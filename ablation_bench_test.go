@@ -1,0 +1,303 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// device timing models, the cache size, audio page snapping, the split of
+// the descriptor from the composition, and scheduler behaviour across
+// devices. These go beyond the paper's own (qualitative) evaluation and
+// probe whether each mechanism earns its place.
+package minos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"minos/internal/demo"
+	"minos/internal/descriptor"
+	"minos/internal/disk"
+	"minos/internal/figures"
+	"minos/internal/index"
+	"minos/internal/object"
+	"minos/internal/server"
+	"minos/internal/text"
+	"minos/internal/vclock"
+	"minos/internal/voice"
+)
+
+// A-DEVICE: the same closed load against the optical vs the magnetic
+// timing model. The optical archiver must saturate earlier — §5's rationale
+// for adding "one or more high performance magnetic disks" to the server.
+func BenchmarkAblationDeviceKind(b *testing.B) {
+	run := func(b *testing.B, dev disk.Device) server.SimStats {
+		var st server.SimStats
+		for i := 0; i < b.N; i++ {
+			clock := vclock.New()
+			q := server.NewDeviceQueue(clock, dev, server.FCFS, nil)
+			issued := 0
+			var issue func(client int)
+			issue = func(client int) {
+				if issued >= 120 {
+					return
+				}
+				issued++
+				off := uint64((issued * 37 % 512) * dev.BlockSize())
+				q.Submit(off, 8192, func(time.Duration) {
+					clock.AfterFunc(20*time.Millisecond, func() { issue(client) })
+				})
+			}
+			for c := 0; c < 8; c++ {
+				issue(c)
+			}
+			elapsed := clock.Run(0)
+			st = q.Stats(elapsed)
+		}
+		return st
+	}
+	b.Run("optical", func(b *testing.B) {
+		dev, err := disk.NewOptical("opt", disk.OpticalGeometry(1024))
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := run(b, dev)
+		b.ReportMetric(float64(st.Mean.Milliseconds()), "sim-mean-ms")
+		b.ReportMetric(st.Utilization, "utilization")
+	})
+	b.Run("magnetic", func(b *testing.B) {
+		dev, err := disk.NewMagnetic("mag", disk.MagneticGeometry(1024))
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := run(b, dev)
+		b.ReportMetric(float64(st.Mean.Milliseconds()), "sim-mean-ms")
+		b.ReportMetric(st.Utilization, "utilization")
+	})
+}
+
+// A-CACHESIZE: hit rate of the re-read browsing workload as the block
+// cache shrinks.
+func BenchmarkAblationCacheSize(b *testing.B) {
+	for _, blocks := range []int{0, 8, 64, 512} {
+		b.Run(fmt.Sprintf("cache%d", blocks), func(b *testing.B) {
+			corpus, err := demo.Build(1<<15, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Rebuild the server with the ablated cache size over the
+			// same archive.
+			srv := server.New(corpus.Server.Archiver(), server.WithCache(blocks))
+			ids := corpus.Server.IDs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv.ResetStats()
+				for j := 0; j < 20; j++ {
+					for _, id := range ids[:4] {
+						ext, _ := srv.Archiver().ExtentOf(id)
+						srv.ReadPiece(ext.Start, 8192)
+					}
+				}
+			}
+			st := srv.Stats()
+			if st.CacheHits+st.CacheMiss > 0 {
+				b.ReportMetric(float64(st.CacheHits)/float64(st.CacheHits+st.CacheMiss), "hit-rate")
+			} else {
+				b.ReportMetric(0, "hit-rate")
+			}
+		})
+	}
+}
+
+// A-SNAP: audio pages snapped to pauses vs exact constant-length pages.
+// Snapping is the paper's "approximately constant time length" — the
+// ablation measures how many page boundaries would split a word without it.
+func BenchmarkAblationAudioPageSnap(b *testing.B) {
+	markup := demo.FillerMarkup("voice", 220, 9)
+	seg, err := text.Parse(markup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syn := voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), 2000)
+	pauses := voice.DetectPauses(syn.Part, voice.DetectorConfig{})
+	splitRate := func(pages []voice.AudioPage) float64 {
+		splits := 0
+		for _, pg := range pages[:len(pages)-1] {
+			inSilence := false
+			for _, p := range pauses {
+				if pg.End > p.Offset && pg.End <= p.Offset+p.Length {
+					inSilence = true
+					break
+				}
+			}
+			if !inSilence {
+				splits++
+			}
+		}
+		if len(pages) <= 1 {
+			return 0
+		}
+		return float64(splits) / float64(len(pages)-1)
+	}
+	b.Run("snapped", func(b *testing.B) {
+		var rate float64
+		for i := 0; i < b.N; i++ {
+			pages := voice.Paginate(syn.Part, 5*time.Second, pauses)
+			rate = splitRate(pages)
+		}
+		b.ReportMetric(rate, "word-split-rate")
+	})
+	b.Run("exact", func(b *testing.B) {
+		var rate float64
+		for i := 0; i < b.N; i++ {
+			pages := voice.Paginate(syn.Part, 5*time.Second, nil)
+			rate = splitRate(pages)
+		}
+		b.ReportMetric(rate, "word-split-rate")
+	})
+}
+
+// A-DESC: how large is the descriptor relative to the composition for each
+// figure object — the §4 design keeps presentation structure (descriptor)
+// separable from bulk data (composition) so that browsing metadata is cheap
+// to fetch.
+func BenchmarkAblationDescriptorOverhead(b *testing.B) {
+	objs := map[string]func() ([]byte, []byte){
+		"fig12": func() ([]byte, []byte) {
+			d, c, _ := descriptor.Encode(figures.Fig12Object())
+			return d, c
+		},
+		"fig34": func() ([]byte, []byte) {
+			d, c, _ := descriptor.Encode(figures.Fig34Object())
+			return d, c
+		},
+		"fig910": func() ([]byte, []byte) {
+			d, c, _ := descriptor.Encode(figures.Fig910Object())
+			return d, c
+		},
+	}
+	for name, build := range objs {
+		b.Run(name, func(b *testing.B) {
+			var dBytes, cBytes int
+			for i := 0; i < b.N; i++ {
+				d, c := build()
+				dBytes, cBytes = len(d), len(c)
+			}
+			b.ReportMetric(float64(dBytes), "descriptor-bytes")
+			b.ReportMetric(float64(cBytes), "composition-bytes")
+			b.ReportMetric(float64(dBytes)/float64(dBytes+cBytes), "descriptor-fraction")
+		})
+	}
+}
+
+// A-SCHED: all three schedulers under heavy load on the optical device.
+func BenchmarkAblationSchedulers(b *testing.B) {
+	for _, kind := range []server.SchedKind{server.FCFS, server.SSTF, server.SCAN} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var st server.SimStats
+			for i := 0; i < b.N; i++ {
+				corpus, err := demo.Build(1<<15, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = corpus.Server.SimulateLoad(server.LoadConfig{
+					Clients: 24, RequestsEach: 8,
+					ThinkTime: 10 * time.Millisecond,
+					PieceLen:  4096, Sched: kind, Seed: 7,
+				})
+			}
+			b.ReportMetric(float64(st.Mean.Milliseconds()), "sim-mean-ms")
+			b.ReportMetric(float64(st.P95.Milliseconds()), "sim-p95-ms")
+		})
+	}
+}
+
+// A-MARKDEPTH: the paper lets the author choose how deeply a voice object
+// is manually edited ("in a certain object, only identification of chapters
+// may be desirable; in another, chapters and sections and paragraphs", §2).
+// This ablation measures the navigation residual — how far from a target
+// utterance the nearest marker lands — as the editing depth varies.
+func BenchmarkAblationMarkerDepth(b *testing.B) {
+	markup := demo.FillerMarkup("presentation", 260, 13)
+	seg, err := text.Parse(markup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := text.Flatten(seg)
+	syn := voice.Synthesize(stream, voice.DefaultSpeaker(), 2000)
+	depths := map[string]text.Unit{
+		"chapters-only": text.UnitChapter,
+		"paragraphs":    text.UnitParagraph,
+		"sentences":     text.UnitSentence,
+	}
+	// Targets: every 10th word's offset.
+	var targets []int
+	for i := 5; i < len(syn.Marks); i += 10 {
+		targets = append(targets, syn.Marks[i].Offset)
+	}
+	for name, depth := range depths {
+		b.Run(name, func(b *testing.B) {
+			markers := voice.MarkersFromMarks(syn.Marks, depth)
+			part := &voice.Part{Rate: syn.Part.Rate, Samples: syn.Part.Samples, Markers: markers}
+			var residual float64
+			for i := 0; i < b.N; i++ {
+				total := 0.0
+				for _, tgt := range targets {
+					// Nearest marker at or before the target.
+					best := 0
+					for _, mk := range part.Markers {
+						if mk.Offset <= tgt && mk.Offset > best {
+							best = mk.Offset
+						}
+					}
+					total += float64(tgt-best) / float64(part.Rate)
+				}
+				residual = total / float64(len(targets))
+			}
+			b.ReportMetric(residual, "mean-residual-sec")
+			b.ReportMetric(float64(len(markers)), "markers")
+		})
+	}
+}
+
+// A-SIG: signature file vs inverted index — the two access-method families
+// of the paper's era. Signatures are tiny and sequential (optical-disk
+// friendly) but admit false positives; the inverted index is exact but
+// larger. The bench reports storage and query cost for both.
+func BenchmarkAblationSignatureVsIndex(b *testing.B) {
+	n := 200
+	var objs []*object.Object
+	for i := 1; i <= n; i++ {
+		o, err := object.NewBuilder(object.ID(i), fmt.Sprintf("doc %d", i), object.Visual).
+			Text(demo.FillerMarkup(fmt.Sprintf("topic%d", i%17), 120, i)).
+			Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		objs = append(objs, o)
+	}
+	b.Run("signature", func(b *testing.B) {
+		sf := index.NewSignatureFile(512, 3)
+		for _, o := range objs {
+			sf.AddObject(o)
+		}
+		b.ResetTimer()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			hits += len(sf.Query("subway", "tour"))
+		}
+		b.ReportMetric(float64(sf.SizeBytes()), "store-bytes")
+	})
+	b.Run("inverted", func(b *testing.B) {
+		ix := index.New()
+		for _, o := range objs {
+			ix.AddObject(o)
+		}
+		b.ResetTimer()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			hits += len(ix.Query("subway", "tour"))
+		}
+		// Approximate the index footprint from posting counts.
+		postings := 0
+		for _, o := range objs {
+			postings += len(o.Stream())
+		}
+		b.ReportMetric(float64(postings*16), "store-bytes")
+	})
+}

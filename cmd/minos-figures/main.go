@@ -1,0 +1,56 @@
+// Command minos-figures regenerates every figure scenario of the paper
+// (Figures 1-10) and prints, per scenario, the narration of what happened
+// plus coarse ASCII previews of the screen at each checkpoint.
+//
+// Usage:
+//
+//	minos-figures [-ascii] [-figure name]
+//
+// With -ascii the full screen previews are printed (large output); without
+// it only the narration and snapshot hashes appear. -figure limits the run
+// to one scenario: f12, f34, f56, f78 or f910.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"minos/internal/figures"
+)
+
+func main() {
+	ascii := flag.Bool("ascii", false, "print ASCII screen previews")
+	which := flag.String("figure", "", "run only one scenario (f12, f34, f56, f78, f910)")
+	flag.Parse()
+
+	var results []*figures.Result
+	switch *which {
+	case "":
+		results = figures.All()
+	case "f12":
+		results = []*figures.Result{figures.RunFig12()}
+	case "f34":
+		results = []*figures.Result{figures.RunFig34()}
+	case "f56":
+		results = []*figures.Result{figures.RunFig56()}
+	case "f78":
+		results = []*figures.Result{figures.RunFig78()}
+	case "f910":
+		results = []*figures.Result{figures.RunFig910()}
+	default:
+		fmt.Fprintf(os.Stderr, "minos-figures: unknown figure %q\n", *which)
+		os.Exit(2)
+	}
+
+	for _, r := range results {
+		fmt.Printf("== %s ==\n", r.Name)
+		for i, note := range r.Notes {
+			fmt.Printf("  [%d] %s (screen %016x)\n", i+1, note, r.Snapshots[i])
+		}
+		if *ascii {
+			fmt.Println(r.Manager.Screen().String())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,84 @@
+// Command minos-server runs a MINOS multimedia object server over TCP,
+// serving the demonstration corpus (the figure objects plus filler
+// documents) through the wire protocol. Workstation sessions (cmd/minos,
+// the examples) connect with -connect.
+//
+// Usage:
+//
+//	minos-server [-listen addr] [-fillers n] [-blocks n] [-archive file]
+//
+// With -archive, the optical medium is loaded from the file when it exists
+// (the archive directory is recovered by scanning the self-describing
+// medium) and saved back to it after publishing the corpus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"minos/internal/archiver"
+	"minos/internal/demo"
+	"minos/internal/disk"
+	"minos/internal/server"
+	"minos/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7086", "listen address")
+	fillers := flag.Int("fillers", 20, "number of filler documents to publish")
+	blocks := flag.Int("blocks", 1<<16, "optical disk capacity in 2 KiB blocks")
+	archivePath := flag.String("archive", "", "persist the optical medium to this file")
+	flag.Parse()
+
+	srv, err := buildServer(*archivePath, *blocks, *fillers)
+	if err != nil {
+		log.Fatalf("minos-server: %v", err)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("minos-server: %v", err)
+	}
+	fmt.Printf("minos-server: %d objects published, listening on %s\n", len(srv.IDs()), l.Addr())
+	log.Fatal(wire.Serve(l, &wire.Handler{Srv: srv}))
+}
+
+func buildServer(archivePath string, blocks, fillers int) (*server.Server, error) {
+	if archivePath != "" {
+		if _, err := os.Stat(archivePath); err == nil {
+			dev, err := disk.LoadFile(archivePath)
+			if err != nil {
+				return nil, err
+			}
+			arch, _, err := archiver.Recover(dev)
+			if err != nil {
+				return nil, err
+			}
+			srv := server.New(arch)
+			// Rebuild serving state (index, miniatures, previews) from
+			// the recovered objects.
+			for _, id := range arch.IDs() {
+				o, _, err := arch.Load(id)
+				if err != nil {
+					return nil, err
+				}
+				srv.Adopt(o)
+			}
+			fmt.Printf("minos-server: recovered %d objects from %s\n", len(arch.IDs()), archivePath)
+			return srv, nil
+		}
+	}
+	c, err := demo.Build(blocks, fillers)
+	if err != nil {
+		return nil, err
+	}
+	if archivePath != "" {
+		if err := c.Server.Archiver().Device().SaveFile(archivePath); err != nil {
+			return nil, err
+		}
+		fmt.Printf("minos-server: medium saved to %s\n", archivePath)
+	}
+	return c.Server, nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestBuildServerFreshAndRecovered(t *testing.T) {
+	path := t.TempDir() + "/arch.mdsk"
+
+	// First boot: fresh corpus, medium saved.
+	srv1, err := buildServer(path, 1<<14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := len(srv1.IDs())
+	if n1 == 0 {
+		t.Fatal("no objects published")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("medium not saved: %v", err)
+	}
+
+	// Second boot: recovered from the medium.
+	srv2, err := buildServer(path, 1<<14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srv2.IDs()) != n1 {
+		t.Fatalf("recovered %d objects, want %d", len(srv2.IDs()), n1)
+	}
+	// Serving state was rebuilt: queries and miniatures work.
+	if got := srv2.Query("subway"); len(got) == 0 {
+		t.Fatal("recovered server cannot answer queries")
+	}
+	for _, id := range srv2.IDs()[:3] {
+		if srv2.Miniature(id) == nil {
+			t.Fatalf("object %d has no miniature after recovery", id)
+		}
+	}
+	// Objects load intact.
+	o, _, err := srv2.Load(srv2.IDs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Title == "" {
+		t.Fatal("recovered object lost its title")
+	}
+}
+
+func TestBuildServerWithoutArchive(t *testing.T) {
+	srv, err := buildServer("", 1<<14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srv.IDs()) == 0 {
+		t.Fatal("no objects")
+	}
+}

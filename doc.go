@@ -1,0 +1,9 @@
+// Package minos is a from-scratch Go reproduction of "The Multimedia
+// Object Presentation Manager of MINOS: A Symmetric Approach"
+// (Christodoulakis, Ho, Theodoridou; SIGMOD 1986).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the executables, examples/ the runnable examples,
+// and bench_test.go in this package regenerates every figure and
+// measurable claim of the paper (see EXPERIMENTS.md).
+package minos

@@ -1,0 +1,162 @@
+// Cityguide: the paper's tourist-information scenarios (§3, Figures 7-10).
+//
+//   - Relevant objects: a subway map with selectable overlays showing the
+//     university sites and the city hospitals (Figures 7-8).
+//   - A guided tour: a view window moving automatically over the map with
+//     voice messages per stop.
+//   - Process simulation: a walk through the old town rendered as
+//     overwrites whose blank spots mark the route (Figures 9-10).
+//   - Views with labels: browsing a large labelled map through a window,
+//     label pattern highlighting, and the inverse label lookup.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"minos/internal/core"
+	"minos/internal/figures"
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/screen"
+	"minos/internal/text"
+	"minos/internal/vclock"
+	"minos/internal/voice"
+)
+
+func main() {
+	relevantObjects()
+	guidedTour()
+	processWalk()
+	labelledViews()
+}
+
+func relevantObjects() {
+	fmt.Println("== relevant objects over the subway map (Figures 7-8) ==")
+	r := figures.RunFig78()
+	for i, note := range r.Notes {
+		fmt.Printf("  step %d: %s\n", i+1, note)
+	}
+}
+
+func guidedTour() {
+	fmt.Println("\n== guided tour: automatic view movement with voice stops ==")
+	m := core.New(core.Config{Screen: screen.New(420, 280), Clock: vclock.New(), VoiceOption: true})
+	o := tourCity()
+	if err := m.Open(o); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.StartTour("sights"); err != nil {
+		log.Fatal(err)
+	}
+	m.Clock().Run(5 * time.Minute)
+	for _, e := range m.EventsOf(core.EvTourStop) {
+		fmt.Printf("  %s %s at %v\n", e.Kind, e.Detail, e.At)
+	}
+	for _, e := range m.EventsOf(core.EvVoiceMsgPlayed) {
+		fmt.Printf("  voice message %q at %v\n", e.Name, e.At)
+	}
+	fmt.Printf("tour ended: %v\n", len(m.EventsOf(core.EvTourEnded)) == 1)
+}
+
+func tourCity() *object.Object {
+	city := img.New("city", 400, 300)
+	base := img.NewBitmap(400, 300)
+	for y := 0; y < 300; y += 24 {
+		for x := 0; x < 400; x++ {
+			base.Set(x, y, true)
+		}
+	}
+	for x := 0; x < 400; x += 32 {
+		for y := 0; y < 300; y++ {
+			base.Set(x, y, true)
+		}
+	}
+	city.Base = base
+
+	speak := func(s string) *voice.Part {
+		seg, err := text.Parse(s + "\n")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), 2000).Part
+	}
+	o, err := object.NewBuilder(600, "City Sights", object.Visual).
+		Text(".title City Sights\nA guided tour of the city follows below.\n").
+		Image(city).
+		VoiceMsg("cathedral", speak("The cathedral dates from the twelfth century"),
+			object.Anchor{Media: object.MediaImage, Image: "city"}).
+		VoiceMsg("harbour", speak("The old harbour is still in use today"),
+			object.Anchor{Media: object.MediaImage, Image: "city"}).
+		Tour("sights", img.Tour{
+			Image: "city", Size: img.Point{X: 120, Y: 90}, DwellMillis: 300,
+			Stops: []img.TourStop{
+				{At: img.Point{X: 0, Y: 0}, VoiceMsgRef: "cathedral"},
+				{At: img.Point{X: 140, Y: 100}},
+				{At: img.Point{X: 260, Y: 200}, VoiceMsgRef: "harbour"},
+			},
+		}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return o
+}
+
+func processWalk() {
+	fmt.Println("\n== process simulation: the city walk (Figures 9-10) ==")
+	r := figures.RunFig910()
+	m := r.Manager
+	fmt.Printf("  frames shown: %d, voice messages: %d, ended: %v\n",
+		len(m.EventsOf(core.EvProcessPage)),
+		len(m.EventsOf(core.EvVoiceMsgPlayed)),
+		len(m.EventsOf(core.EvProcessEnded)) == 1)
+}
+
+func labelledViews() {
+	fmt.Println("\n== views over a large labelled map ==")
+	m := core.New(core.Config{Screen: screen.New(420, 280), Clock: vclock.New(), VoiceOption: true})
+	o := labelledMap()
+	if err := m.Open(o); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.OpenView("sites", img.Rect{X: 0, Y: 0, W: 120, H: 90}); err != nil {
+		log.Fatal(err)
+	}
+	n, err := m.HighlightLabels("hotel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  highlighted %d objects matching 'hotel'\n", n)
+	// Move toward the voice-labelled site; the label plays en route.
+	for i := 0; i < 12; i++ {
+		m.MoveView(img.MoveStep, img.MoveStep/2)
+	}
+	fmt.Printf("  voice labels played while moving: %d\n", len(m.EventsOf(core.EvLabelPlayed)))
+	if err := m.SelectObjectAt(10, 10); err == nil {
+		fmt.Println("  selected an object under the view and displayed its label")
+	}
+}
+
+func labelledMap() *object.Object {
+	im := img.New("sites", 360, 240)
+	im.Add(img.Graphic{Shape: img.ShapeRect, Points: []img.Point{{X: 5, Y: 5}}, Size: img.Point{X: 40, Y: 24},
+		Label: img.Label{Kind: img.TextLabel, Text: "GRAND HOTEL", At: img.Point{X: 8, Y: 32}}})
+	im.Add(img.Graphic{Shape: img.ShapeRect, Points: []img.Point{{X: 200, Y: 60}}, Size: img.Point{X: 40, Y: 24},
+		Label: img.Label{Kind: img.TextLabel, Text: "STATION HOTEL", At: img.Point{X: 204, Y: 88}}})
+	im.Add(img.Graphic{Shape: img.ShapeCircle, Points: []img.Point{{X: 260, Y: 170}}, Radius: 8,
+		Label: img.Label{Kind: img.VoiceLabel, Text: "old theatre", VoiceRef: "theatre", At: img.Point{X: 272, Y: 166}}})
+
+	seg, _ := text.Parse("The old theatre stages plays every weekend.\n")
+	theatre := voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), 2000).Part
+	o, err := object.NewBuilder(601, "Tourist Sites", object.Visual).
+		Text(".title Tourist Sites\nThe map of tourist sites follows.\n").
+		Image(im).
+		VoiceMsg("theatre", theatre, object.Anchor{Media: object.MediaText, From: 0, To: 0}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return o
+}

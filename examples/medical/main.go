@@ -1,0 +1,119 @@
+// Medical: the paper's doctor/x-ray scenario (§3, Figures 3-6).
+//
+// A doctor files observations about an x-ray as an audio mode object —
+// "doctors are notoriously bad typers!" — with the x-ray attached as a
+// visual logical message to the related section of the speech: the film
+// appears on the screen exactly while the related observations play, and
+// transparencies pinpoint areas on the film. The symmetric visual-mode
+// report (Figures 3-4) is exercised too.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"minos/internal/core"
+	"minos/internal/figures"
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/screen"
+	"minos/internal/text"
+	"minos/internal/vclock"
+	"minos/internal/voice"
+)
+
+func main() {
+	audioModeReport()
+	visualModeReport()
+}
+
+// audioModeReport builds the audio-driven object: dictated observations,
+// x-ray pinned during the related segment of the speech.
+func audioModeReport() {
+	fmt.Println("== audio mode: dictated observations with the x-ray as a visual logical message ==")
+
+	dictation := `.chapter Observations
+The film shows a round opacity in the upper lobe of the left lung. The borders are smooth and there is no calcification. Size is stable compared with the previous examination.
+.chapter Plan
+A follow up film in six months is sufficient. No further imaging is needed now.
+`
+	seg, err := text.Parse(dictation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	syn := voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), 2000)
+	syn.Part.Markers = voice.MarkersFromMarks(syn.Marks, text.UnitChapter)
+
+	// The observations chapter is the related segment: find its sample
+	// range from the dictation ground truth.
+	var obsStart, obsEnd int
+	for i, mk := range syn.Marks {
+		if i == 0 {
+			obsStart = mk.Offset
+		}
+		if mk.Bounds&text.StartsChapter != 0 && i > 0 {
+			obsEnd = mk.Offset - 1
+			break
+		}
+	}
+
+	xray := img.NewBitmap(360, 120)
+	for y := 0; y < 120; y++ {
+		for x := 0; x < 360; x++ {
+			dx, dy := float64(x-180)/160, float64(y-60)/55
+			if dx*dx+dy*dy < 1 && (x*7+y*3)%5 < 2 {
+				xray.Set(x, y, true)
+			}
+		}
+	}
+
+	obj, err := object.NewBuilder(500, "Dictated Report 500", object.Audio).
+		VoicePart(syn.Part).
+		VisualMsg("film", xray, object.Anchor{Media: object.MediaVoice, From: obsStart, To: obsEnd}, false).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clock := vclock.New()
+	m := core.New(core.Config{Screen: screen.New(420, 280), Clock: clock, AudioPageLen: 6 * time.Second})
+	if err := m.Open(obj); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audio pages: %d\n", m.PageCount())
+	if err := m.Play(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("playing; x-ray pinned: %v\n", m.Screen().Strip() != nil)
+	// Play until past the observations chapter.
+	for m.Position() <= obsEnd && m.Player().Playing() {
+		clock.Advance(2 * time.Second)
+	}
+	clock.Advance(200 * time.Millisecond)
+	fmt.Printf("after the related segment; x-ray pinned: %v\n", m.Screen().Strip() != nil)
+
+	// Rewind by long pauses to hear the observations again.
+	m.Interrupt()
+	if err := m.RewindPauses(1, true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rewound 1 long pause back to position %d; x-ray pinned again: %v\n",
+		m.Position(), m.Screen().Strip() != nil)
+}
+
+// visualModeReport replays the Figures 3-6 scenarios through the figures
+// package and reports what happened.
+func visualModeReport() {
+	fmt.Println("\n== visual mode: the Figures 3-4 split view and Figures 5-6 transparencies ==")
+	r34 := figures.RunFig34()
+	for i, note := range r34.Notes {
+		fmt.Printf("  F3-4 step %d: %s\n", i+1, note)
+	}
+	r56 := figures.RunFig56()
+	for i, note := range r56.Notes {
+		fmt.Printf("  F5-6 step %d: %s\n", i+1, note)
+	}
+	pinned := r34.Manager.EventsOf(core.EvVisualMsgPinned)
+	fmt.Printf("x-ray pinned %d time(s); stored once in the object (see EXPERIMENTS.md F3-4)\n", len(pinned))
+}

@@ -1,0 +1,132 @@
+// Office: the paper's office-filing scenario (§3, Figures 1-2) plus the
+// full §4 formation pipeline.
+//
+// A document is authored with the editors (text, voice annotation, a
+// figure), formed into a multimedia object through the declarative
+// synthesis file, previewed interactively as miniatures, archived, mailed
+// within and outside the organization, and browsed back — with a
+// transparency set comparing two experiment result curves on the same
+// axes, the paper's office transparency example.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"minos/internal/archiver"
+	"minos/internal/core"
+	"minos/internal/disk"
+	"minos/internal/editors"
+	"minos/internal/formatter"
+	img "minos/internal/image"
+	"minos/internal/layout"
+	"minos/internal/screen"
+	"minos/internal/server"
+	"minos/internal/vclock"
+	"minos/internal/voice"
+)
+
+func main() {
+	dir := formatter.NewDataDir()
+
+	// --- Editors (§4): text, voice and image data in final form ---
+	te := editors.NewTextEditor(`.title Quarterly Measurements
+.chapter Introduction
+This memo compares the measurement series of the current quarter with the previous quarter on the same axes using the transparency capability of the presentation manager.
+.chapter Discussion
+The new series tracks the old one closely at low load and departs above the knee. Detailed numbers are attached in the appendix which follows this discussion chapter.
+`)
+	if err := te.Check(); err != nil {
+		log.Fatal(err)
+	}
+
+	ve := editors.NewVoiceEditor(voice.DefaultSpeaker(), 2000)
+	if err := ve.Dictate("Please look at the divergence above the knee point.\n"); err != nil {
+		log.Fatal(err)
+	}
+	if err := ve.SaveTo(dir, "annotation"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Axes figure plus two curve transparencies.
+	axes := editors.NewImageEditor("axes", 260, 120)
+	axes.Polyline(img.Point{X: 10, Y: 110}, img.Point{X: 10, Y: 10})
+	axes.Polyline(img.Point{X: 10, Y: 110}, img.Point{X: 250, Y: 110})
+	axes.Text(14, 12, "MS")
+	axes.Text(210, 98, "LOAD")
+	axes.SaveTo(dir, "axes")
+
+	curve := func(name string, k int) {
+		e := editors.NewImageEditor(name, 260, 120)
+		var pts []img.Point
+		for x := 10; x <= 250; x += 20 {
+			y := 110 - (x-10)*(x-10)/(700+90*k)
+			pts = append(pts, img.Point{X: x, Y: y})
+		}
+		e.Polyline(pts...)
+		e.SaveBitmapTo(dir, name)
+	}
+	curve("q1", 3)
+	curve("q2", 0)
+
+	// --- Formation (§4): declarative synthesis file, interactive preview ---
+	f := formatter.New(dir)
+	synth := `object 700 visual Quarterly Measurements
+attr author office-example
+text
+` + te.Markup() + `end
+image axes after-word 20
+voicemsg note annotation text:0:24
+transpset curves text:0:30 stacked q1 q2
+`
+	if err := f.SetSynthesis(synth); err != nil {
+		log.Fatal(err)
+	}
+	pages := f.PreviewPages(layout.Spec{W: 400, H: 280})
+	fmt.Printf("formatter preview: %d pages; miniature of page 1 is %dx%d\n",
+		len(pages), f.PreviewPage(0, layout.Spec{W: 400, H: 280}, 4).W,
+		f.PreviewPage(0, layout.Spec{W: 400, H: 280}, 4).H)
+
+	// --- Archive and mail (§4) ---
+	dev, err := disk.NewOptical("opt0", disk.OpticalGeometry(8192))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(archiver.New(dev))
+	obj := f.Object()
+	if _, err := srv.Publish(obj); err != nil {
+		log.Fatal(err)
+	}
+	inside, _, err := srv.Archiver().MailOut(700, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outside, _, err := srv.Archiver().MailOut(700, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mailed within the organization: %d bytes; outside: %d bytes\n", len(inside), len(outside))
+
+	// --- Browse: superimpose the two curves on the same axes ---
+	m := core.New(core.Config{Screen: screen.New(420, 300), Clock: vclock.New(), AudioPageLen: 5 * time.Second})
+	loaded, _, err := srv.Load(700)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Open(loaded); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("browsing %q: %d pages, menu %v\n", loaded.Title, m.PageCount(), m.Screen().Menu()[:3])
+	if err := m.ShowTransparencies(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("transparency 1: last quarter's curve over the axes")
+	if err := m.NextPage(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("transparency 2: both curves superimposed (stacked method) — the active-speaker effect")
+	for _, e := range m.EventsOf(core.EvVoiceMsgPlayed) {
+		fmt.Printf("voice annotation %q played while entering the discussion\n", e.Name)
+	}
+}

@@ -1,0 +1,3 @@
+module minos
+
+go 1.22

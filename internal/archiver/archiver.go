@@ -1,0 +1,401 @@
+// Package archiver implements the MINOS object archiver on the optical
+// disk (§4, §5). Archived objects are "composed of the object descriptor
+// concatenated with the composition file"; when archived, "the offsets of
+// the descriptor have to be incremented by the offset where the composition
+// file is placed within the archiver". Descriptors "may also have pointers
+// to other locations within the object archiver so that data duplication is
+// avoided" — supported here via shared parts. Mail-out resolves those
+// pointers when an object leaves the organization.
+package archiver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"minos/internal/descriptor"
+	"minos/internal/disk"
+	"minos/internal/object"
+)
+
+// ErrNotFound reports a missing object id.
+var ErrNotFound = errors.New("archiver: object not found")
+
+const headerLen = 8 // big-endian descriptor length prefix
+
+// Extent locates one archived object on the device, in bytes.
+type Extent struct {
+	Start  uint64
+	Length uint64
+}
+
+// Archiver is the optical-disk object archive.
+type Archiver struct {
+	dev *disk.Optical
+	dir map[object.ID]Extent
+	// prev records version lineage: prev[v2] = v1 means v2 supersedes v1.
+	prev map[object.ID]object.ID
+}
+
+// New builds an archiver over an optical device.
+func New(dev *disk.Optical) *Archiver {
+	return &Archiver{dev: dev, dir: map[object.ID]Extent{}, prev: map[object.ID]object.ID{}}
+}
+
+// Device exposes the backing optical device (the server's cache and
+// scheduler operate at the device level).
+func (a *Archiver) Device() *disk.Optical { return a.dev }
+
+// SharedPart requests that the named part of the object being archived is
+// not stored again; instead the descriptor points into the already-archived
+// object From, at its part named FromPart (same kind required).
+type SharedPart struct {
+	Part     string
+	From     object.ID
+	FromPart string
+}
+
+// Archive stores the object and returns its extent and the cumulative
+// device service time. The object transitions to the archived state.
+// shared parts become archiver pointers (§4).
+func (a *Archiver) Archive(o *object.Object, shared ...SharedPart) (Extent, time.Duration, error) {
+	if _, ok := a.dir[o.ID]; ok {
+		return Extent{}, 0, fmt.Errorf("archiver: object %d already archived (WORM archive is immutable)", o.ID)
+	}
+	o.Archive()
+	d, comp, err := descriptor.Build(o)
+	if err != nil {
+		return Extent{}, 0, err
+	}
+
+	var total time.Duration
+	// Resolve shared parts to archiver-absolute pointers and drop their
+	// bytes from the composition.
+	if len(shared) > 0 {
+		comp, err = a.applySharing(d, comp, shared, &total)
+		if err != nil {
+			return Extent{}, 0, err
+		}
+	}
+
+	extentStart := uint64(a.dev.Used()) * uint64(a.dev.BlockSize())
+
+	// Fix-point the descriptor length: composition offsets become
+	// archiver-absolute (extentStart + header + descLen + relative), and
+	// the varint encoding of larger offsets can itself grow the
+	// descriptor.
+	orig := make([]uint64, len(d.Parts))
+	for i, p := range d.Parts {
+		orig[i] = p.Offset
+	}
+	encodeAt := func(descLen uint64) []byte {
+		base := extentStart + headerLen + descLen
+		for i := range d.Parts {
+			if d.Parts[i].Loc == descriptor.LocComposition {
+				d.Parts[i].Offset = orig[i] + base
+			}
+		}
+		return d.Encode()
+	}
+	descBytes := encodeAt(0)
+	for iter := 0; iter < 8; iter++ {
+		next := encodeAt(uint64(len(descBytes)))
+		if len(next) == len(descBytes) {
+			descBytes = next
+			break
+		}
+		descBytes = next
+	}
+
+	blob := make([]byte, headerLen, headerLen+len(descBytes)+len(comp))
+	binary.BigEndian.PutUint64(blob, uint64(len(descBytes)))
+	blob = append(blob, descBytes...)
+	blob = append(blob, comp...)
+
+	_, _, t, err := a.dev.Append(blob)
+	total += t
+	if err != nil {
+		return Extent{}, total, err
+	}
+	ext := Extent{Start: extentStart, Length: uint64(len(blob))}
+	a.dir[o.ID] = ext
+	return ext, total, nil
+}
+
+// applySharing rewrites shared part refs to archiver pointers and compacts
+// the composition.
+func (a *Archiver) applySharing(d *descriptor.Descriptor, comp []byte, shared []SharedPart, total *time.Duration) ([]byte, error) {
+	shareFor := map[string]SharedPart{}
+	for _, s := range shared {
+		shareFor[s.Part] = s
+	}
+	// Look up every source part first.
+	type src struct {
+		ref descriptor.PartRef
+		obj object.ID
+	}
+	resolved := map[string]src{}
+	for _, s := range shared {
+		sd, t, err := a.ReadDescriptor(s.From)
+		*total += t
+		if err != nil {
+			return nil, fmt.Errorf("archiver: shared part %q: %w", s.Part, err)
+		}
+		found := false
+		for _, p := range sd.Parts {
+			if p.Name == s.FromPart {
+				resolved[s.Part] = src{ref: p, obj: s.From}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("archiver: object %d has no part %q", s.From, s.FromPart)
+		}
+	}
+	// Rebuild the composition without the shared parts' bytes.
+	idx := make([]int, len(d.Parts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return d.Parts[idx[x]].Offset < d.Parts[idx[y]].Offset })
+	var out []byte
+	for _, i := range idx {
+		p := &d.Parts[i]
+		if s, ok := resolved[p.Name]; ok {
+			srcRef := s.ref
+			if srcRef.Kind != p.Kind {
+				return nil, fmt.Errorf("archiver: shared part %q kind mismatch: %v vs %v", p.Name, srcRef.Kind, p.Kind)
+			}
+			if srcRef.Loc != descriptor.LocComposition {
+				return nil, fmt.Errorf("archiver: shared part %q points at another pointer", p.Name)
+			}
+			// Source descriptors store archiver-absolute offsets.
+			p.Loc = descriptor.LocArchiver
+			p.Offset = srcRef.Offset
+			p.Length = srcRef.Length
+			p.ArchObject = s.obj
+			continue
+		}
+		data := comp[p.Offset : p.Offset+p.Length]
+		p.Offset = uint64(len(out))
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// Has reports whether the object is archived.
+func (a *Archiver) Has(id object.ID) bool {
+	_, ok := a.dir[id]
+	return ok
+}
+
+// ExtentOf returns the extent of an archived object.
+func (a *Archiver) ExtentOf(id object.ID) (Extent, error) {
+	e, ok := a.dir[id]
+	if !ok {
+		return Extent{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return e, nil
+}
+
+// IDs returns all archived object ids in ascending order.
+func (a *Archiver) IDs() []object.ID {
+	out := make([]object.ID, 0, len(a.dir))
+	for id := range a.dir {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReadPiece reads an archiver-absolute byte extent.
+func (a *Archiver) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
+	return disk.ReadExtent(a.dev, off, length)
+}
+
+// ReadDescriptor reads and parses the descriptor of an archived object.
+func (a *Archiver) ReadDescriptor(id object.ID) (*descriptor.Descriptor, time.Duration, error) {
+	ext, err := a.ExtentOf(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	hdr, t1, err := a.ReadPiece(ext.Start, headerLen)
+	if err != nil {
+		return nil, t1, err
+	}
+	descLen := binary.BigEndian.Uint64(hdr)
+	if headerLen+descLen > ext.Length {
+		return nil, t1, fmt.Errorf("archiver: object %d descriptor length %d exceeds extent", id, descLen)
+	}
+	raw, t2, err := a.ReadPiece(ext.Start+headerLen, descLen)
+	if err != nil {
+		return nil, t1 + t2, err
+	}
+	d, err := descriptor.Parse(raw)
+	return d, t1 + t2, err
+}
+
+// Fetch returns a FetchFunc that resolves both composition-resident parts
+// (archiver-absolute after archiving) and archiver pointers.
+func (a *Archiver) Fetch() descriptor.FetchFunc {
+	return func(ref descriptor.PartRef) ([]byte, error) {
+		data, _, err := a.ReadPiece(ref.Offset, ref.Length)
+		return data, err
+	}
+}
+
+// FetchTimed is Fetch but also accumulates device service time into dur.
+func (a *Archiver) FetchTimed(dur *time.Duration) descriptor.FetchFunc {
+	return func(ref descriptor.PartRef) ([]byte, error) {
+		data, t, err := a.ReadPiece(ref.Offset, ref.Length)
+		*dur += t
+		return data, err
+	}
+}
+
+// Load fully materializes an archived object.
+func (a *Archiver) Load(id object.ID) (*object.Object, time.Duration, error) {
+	d, t, err := a.ReadDescriptor(id)
+	if err != nil {
+		return nil, t, err
+	}
+	o, err := d.Materialize(a.FetchTimed(&t))
+	return o, t, err
+}
+
+// ArchiveVersion archives o as a new version superseding prev.
+func (a *Archiver) ArchiveVersion(o *object.Object, prevID object.ID, shared ...SharedPart) (Extent, time.Duration, error) {
+	if !a.Has(prevID) {
+		return Extent{}, 0, fmt.Errorf("%w: previous version %d", ErrNotFound, prevID)
+	}
+	ext, t, err := a.Archive(o, shared...)
+	if err == nil {
+		a.prev[o.ID] = prevID
+	}
+	return ext, t, err
+}
+
+// VersionChain returns the version lineage of id, newest first, ending at
+// the original.
+func (a *Archiver) VersionChain(id object.ID) []object.ID {
+	var chain []object.ID
+	seen := map[object.ID]bool{}
+	for {
+		if seen[id] {
+			break // defensive: cycles cannot normally occur
+		}
+		seen[id] = true
+		chain = append(chain, id)
+		p, ok := a.prev[id]
+		if !ok {
+			break
+		}
+		id = p
+	}
+	return chain
+}
+
+// MailOut produces the self-contained mailed form of an archived object:
+// [8-byte descriptor length][descriptor][composition] with all offsets
+// composition-relative. "When the multimedia object is mailed outside the
+// organization the object descriptor is searched for pointers to
+// information which exists in the archiver. If such pointers exist, the
+// relevant data is extracted from the archiver and appended to the
+// composition" (§4). With inside=true (mail within the organization),
+// archiver pointers are kept as-is.
+func (a *Archiver) MailOut(id object.ID, inside bool) ([]byte, time.Duration, error) {
+	ext, err := a.ExtentOf(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	d, total, err := a.ReadDescriptor(id)
+	if err != nil {
+		return nil, total, err
+	}
+	var comp []byte
+	// Copy own composition parts, making offsets composition-relative.
+	idx := make([]int, 0, len(d.Parts))
+	for i := range d.Parts {
+		if d.Parts[i].Loc == descriptor.LocComposition {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(x, y int) bool { return d.Parts[idx[x]].Offset < d.Parts[idx[y]].Offset })
+	for _, i := range idx {
+		p := &d.Parts[i]
+		data, t, err := a.ReadPiece(p.Offset, p.Length)
+		total += t
+		if err != nil {
+			return nil, total, err
+		}
+		p.Offset = uint64(len(comp))
+		comp = append(comp, data...)
+	}
+	if !inside {
+		for i := range d.Parts {
+			p := &d.Parts[i]
+			if p.Loc != descriptor.LocArchiver {
+				continue
+			}
+			data, t, err := a.ReadPiece(p.Offset, p.Length)
+			total += t
+			if err != nil {
+				return nil, total, err
+			}
+			p.Loc = descriptor.LocComposition
+			p.Offset = uint64(len(comp))
+			p.ArchObject = 0
+			comp = append(comp, data...)
+		}
+	}
+	_ = ext
+	descBytes := d.Encode()
+	blob := make([]byte, headerLen, headerLen+len(descBytes)+len(comp))
+	binary.BigEndian.PutUint64(blob, uint64(len(descBytes)))
+	blob = append(blob, descBytes...)
+	blob = append(blob, comp...)
+	return blob, total, nil
+}
+
+// ImportMailed parses a mailed blob into a descriptor plus composition.
+// Blobs mailed inside the organization may still carry archiver pointers;
+// Materialize then needs an archiver-aware FetchFunc.
+func ImportMailed(blob []byte) (*descriptor.Descriptor, []byte, error) {
+	if len(blob) < headerLen {
+		return nil, nil, errors.New("archiver: mailed blob too short")
+	}
+	descLen := binary.BigEndian.Uint64(blob)
+	if headerLen+descLen > uint64(len(blob)) {
+		return nil, nil, errors.New("archiver: mailed blob truncated")
+	}
+	d, err := descriptor.Parse(blob[headerLen : headerLen+descLen])
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, blob[headerLen+descLen:], nil
+}
+
+// MaterializeMailed rebuilds an object from a mailed blob. For inside-mail
+// blobs, arch resolves archiver pointers; pass nil for outside-mail blobs
+// (which are self-contained).
+func MaterializeMailed(blob []byte, arch *Archiver) (*object.Object, error) {
+	d, comp, err := ImportMailed(blob)
+	if err != nil {
+		return nil, err
+	}
+	local := descriptor.FetchFromComposition(comp)
+	fetch := func(ref descriptor.PartRef) ([]byte, error) {
+		if ref.Loc == descriptor.LocArchiver {
+			if arch == nil {
+				return nil, fmt.Errorf("archiver: blob has archiver pointer for part %q but no archiver available", ref.Name)
+			}
+			data, _, err := arch.ReadPiece(ref.Offset, ref.Length)
+			return data, err
+		}
+		return local(ref)
+	}
+	return d.Materialize(fetch)
+}

@@ -1,0 +1,357 @@
+package archiver
+
+import (
+	"errors"
+	"testing"
+
+	"minos/internal/descriptor"
+	"minos/internal/disk"
+	img "minos/internal/image"
+	"minos/internal/object"
+)
+
+const markup = `.title Doc
+.chapter One
+Alpha beta gamma delta epsilon. Zeta eta theta.
+.chapter Two
+Iota kappa lambda mu nu. Xi omicron pi.
+`
+
+func newArch(t testing.TB, blocks int) *Archiver {
+	t.Helper()
+	dev, err := disk.NewOptical("arch0", disk.OpticalGeometry(blocks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(dev)
+}
+
+func bigImage(name string) *img.Image {
+	im := img.New(name, 120, 90)
+	b := img.NewBitmap(120, 90)
+	b.Fill(img.Rect{X: 10, Y: 10, W: 80, H: 60}, true)
+	im.Base = b
+	return im
+}
+
+func simpleObject(t testing.TB, id object.ID) *object.Object {
+	t.Helper()
+	o, err := object.NewBuilder(id, "Doc", object.Visual).
+		Text(markup).
+		Image(bigImage("fig")).
+		PlaceImageAfterWord("fig", 3).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestArchiveAndLoad(t *testing.T) {
+	a := newArch(t, 512)
+	o := simpleObject(t, 1)
+	ext, dur, err := a.Archive(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Length == 0 || dur == 0 {
+		t.Fatalf("extent %+v, dur %v", ext, dur)
+	}
+	if o.State != object.Archived {
+		t.Fatal("object not transitioned to archived")
+	}
+	back, _, err := a.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != "Doc" || len(back.Images) != 1 {
+		t.Fatal("loaded object mismatch")
+	}
+	if back.Images[0].Rasterize().Hash() != o.Images[0].Rasterize().Hash() {
+		t.Fatal("image damaged through archive")
+	}
+	if len(back.Stream()) != len(o.Stream()) {
+		t.Fatal("stream damaged through archive")
+	}
+}
+
+func TestArchiveTwiceRejected(t *testing.T) {
+	a := newArch(t, 512)
+	o := simpleObject(t, 1)
+	if _, _, err := a.Archive(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Archive(simpleObject(t, 1)); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	a := newArch(t, 64)
+	if _, _, err := a.Load(99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if a.Has(99) {
+		t.Fatal("Has(99)")
+	}
+}
+
+func TestMultipleObjectsSeparateExtents(t *testing.T) {
+	a := newArch(t, 2048)
+	e1, _, err := a.Archive(simpleObject(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _, err := a.Archive(simpleObject(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Start < e1.Start+e1.Length {
+		t.Fatalf("extents overlap: %+v %+v", e1, e2)
+	}
+	ids := a.IDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	// Both load back intact.
+	for _, id := range ids {
+		if _, _, err := a.Load(id); err != nil {
+			t.Fatalf("load %d: %v", id, err)
+		}
+	}
+}
+
+func TestDescriptorOffsetsAreAbsolute(t *testing.T) {
+	a := newArch(t, 512)
+	a.Archive(simpleObject(t, 1)) // occupy low offsets
+	ext, _, err := a.Archive(simpleObject(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := a.ReadDescriptor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Parts {
+		if p.Loc == descriptor.LocComposition && p.Offset < ext.Start {
+			t.Fatalf("part %q offset %d below extent start %d (not rebased)", p.Name, p.Offset, ext.Start)
+		}
+		if p.Offset+p.Length > ext.Start+ext.Length {
+			t.Fatalf("part %q extends past extent", p.Name)
+		}
+	}
+}
+
+func TestSharedPartAvoidsDuplication(t *testing.T) {
+	a := newArch(t, 4096)
+	first := simpleObject(t, 1)
+	e1, _, err := a.Archive(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second object reuses the first's image: "the x-ray bitmap is
+	// only stored once" (§3).
+	second := simpleObject(t, 2)
+	e2, _, err := a.Archive(second, SharedPart{Part: "fig", From: 1, FromPart: "fig"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Length >= e1.Length {
+		t.Fatalf("shared archive not smaller: %d vs %d", e2.Length, e1.Length)
+	}
+	d2, _, err := a.ReadDescriptor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ptr *descriptor.PartRef
+	for i := range d2.Parts {
+		if d2.Parts[i].Name == "fig" {
+			ptr = &d2.Parts[i]
+		}
+	}
+	if ptr == nil || ptr.Loc != descriptor.LocArchiver || ptr.ArchObject != 1 {
+		t.Fatalf("fig part = %+v, want archiver pointer to object 1", ptr)
+	}
+	// Loading resolves the pointer transparently.
+	back, _, err := a.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Images[0].Rasterize().Hash() != first.Images[0].Rasterize().Hash() {
+		t.Fatal("shared image corrupted")
+	}
+}
+
+func TestSharedPartErrors(t *testing.T) {
+	a := newArch(t, 1024)
+	a.Archive(simpleObject(t, 1))
+	if _, _, err := a.Archive(simpleObject(t, 2), SharedPart{Part: "fig", From: 9, FromPart: "fig"}); err == nil {
+		t.Fatal("share from missing object accepted")
+	}
+	if _, _, err := a.Archive(simpleObject(t, 3), SharedPart{Part: "fig", From: 1, FromPart: "ghost"}); err == nil {
+		t.Fatal("share of missing part accepted")
+	}
+	if _, _, err := a.Archive(simpleObject(t, 4), SharedPart{Part: "fig", From: 1, FromPart: "text0"}); err == nil {
+		t.Fatal("kind-mismatched share accepted")
+	}
+}
+
+func TestMailOutOutsideIsSelfContained(t *testing.T) {
+	a := newArch(t, 4096)
+	a.Archive(simpleObject(t, 1))
+	a.Archive(simpleObject(t, 2), SharedPart{Part: "fig", From: 1, FromPart: "fig"})
+	blob, _, err := a.MailOut(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-contained: materializes with no archiver.
+	o, err := MaterializeMailed(blob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Images) != 1 || o.Images[0].Rasterize().PopCount() == 0 {
+		t.Fatal("mailed object image missing")
+	}
+	d, _, err := ImportMailed(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Parts {
+		if p.Loc == descriptor.LocArchiver {
+			t.Fatal("outside mail still has archiver pointers")
+		}
+	}
+}
+
+func TestMailOutInsideKeepsPointers(t *testing.T) {
+	a := newArch(t, 4096)
+	a.Archive(simpleObject(t, 1))
+	a.Archive(simpleObject(t, 2), SharedPart{Part: "fig", From: 1, FromPart: "fig"})
+	inBlob, _, err := a.MailOut(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outBlob, _, err := a.MailOut(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inBlob) >= len(outBlob) {
+		t.Fatalf("inside blob (%d) not smaller than outside blob (%d)", len(inBlob), len(outBlob))
+	}
+	// Inside blob needs the archiver to materialize.
+	if _, err := MaterializeMailed(inBlob, nil); err == nil {
+		t.Fatal("inside blob materialized without archiver")
+	}
+	o, err := MaterializeMailed(inBlob, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Images[0].Rasterize().PopCount() == 0 {
+		t.Fatal("inside-mailed image missing")
+	}
+}
+
+func TestImportMailedRejectsGarbage(t *testing.T) {
+	if _, _, err := ImportMailed([]byte{1, 2}); err == nil {
+		t.Fatal("short blob accepted")
+	}
+	if _, _, err := ImportMailed(make([]byte, 16)); err == nil {
+		t.Fatal("zero blob accepted")
+	}
+}
+
+func TestVersionChain(t *testing.T) {
+	a := newArch(t, 4096)
+	a.Archive(simpleObject(t, 10))
+	if _, _, err := a.ArchiveVersion(simpleObject(t, 11), 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.ArchiveVersion(simpleObject(t, 12), 11); err != nil {
+		t.Fatal(err)
+	}
+	chain := a.VersionChain(12)
+	if len(chain) != 3 || chain[0] != 12 || chain[2] != 10 {
+		t.Fatalf("chain = %v", chain)
+	}
+	if _, _, err := a.ArchiveVersion(simpleObject(t, 13), 999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("version of missing prev: %v", err)
+	}
+	if got := a.VersionChain(10); len(got) != 1 {
+		t.Fatalf("original chain = %v", got)
+	}
+}
+
+func TestArchiverFull(t *testing.T) {
+	a := newArch(t, 2) // 4 KiB: too small for a 300x300 bitmap (11+ KiB)
+	big, err := object.NewBuilder(1, "big", object.Visual).
+		Text(markup).
+		Image(bigImageSized("huge", 300, 300)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Archive(big); !errors.Is(err, disk.ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+}
+
+func bigImageSized(name string, w, h int) *img.Image {
+	im := img.New(name, w, h)
+	b := img.NewBitmap(w, h)
+	b.Fill(img.Rect{X: 0, Y: 0, W: w, H: h}, true)
+	im.Base = b
+	return im
+}
+
+func TestRecoverFromMedium(t *testing.T) {
+	a := newArch(t, 2048)
+	a.Archive(simpleObject(t, 1))
+	a.Archive(simpleObject(t, 2))
+	a.Archive(simpleObject(t, 3), SharedPart{Part: "fig", From: 1, FromPart: "fig"})
+
+	// Persist and reload the medium, then recover the directory by scan.
+	path := t.TempDir() + "/archive.mdsk"
+	if err := a.Device().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := disk.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Recover(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := b.IDs()
+	if len(ids) != 3 {
+		t.Fatalf("recovered %d objects", len(ids))
+	}
+	for _, id := range ids {
+		orig, _ := a.ExtentOf(id)
+		rec, _ := b.ExtentOf(id)
+		if orig != rec {
+			t.Fatalf("object %d extent %+v, want %+v", id, rec, orig)
+		}
+		o, _, err := b.Load(id)
+		if err != nil {
+			t.Fatalf("load %d: %v", id, err)
+		}
+		if len(o.Stream()) == 0 {
+			t.Fatalf("object %d empty after recovery", id)
+		}
+	}
+	// Shared pointers still resolve after recovery.
+	o3, _, err := b.Load(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o3.Images[0].Rasterize().PopCount() == 0 {
+		t.Fatal("shared image lost through recovery")
+	}
+	// Recovery of an empty medium yields an empty archiver.
+	empty, _ := disk.NewOptical("e", disk.OpticalGeometry(16))
+	e, _, err := Recover(empty)
+	if err != nil || len(e.IDs()) != 0 {
+		t.Fatalf("empty recover = %v, %v", e.IDs(), err)
+	}
+}

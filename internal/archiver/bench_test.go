@@ -1,0 +1,32 @@
+package archiver
+
+import (
+	"testing"
+
+	"minos/internal/object"
+)
+
+func BenchmarkArchiveLoad(b *testing.B) {
+	a := newArch(b, 1<<18)
+	for i := 0; i < b.N; i++ {
+		o := simpleObject(b, object.ID(i+1))
+		if _, _, err := a.Archive(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := a.Load(object.ID(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMailOutOutside(b *testing.B) {
+	a := newArch(b, 1<<16)
+	a.Archive(simpleObject(b, 1))
+	a.Archive(simpleObject(b, 2), SharedPart{Part: "fig", From: 1, FromPart: "fig"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := a.MailOut(2, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

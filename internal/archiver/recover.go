@@ -1,0 +1,62 @@
+package archiver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"minos/internal/descriptor"
+	"minos/internal/disk"
+)
+
+// Recover rebuilds an archiver's directory by scanning the optical medium.
+// Archived objects are laid out back-to-back from block 0, each starting at
+// a block boundary with an 8-byte descriptor-length header, so the medium
+// is self-describing: persistence needs only the device image (see
+// disk.SaveFile / disk.LoadFile), no side catalog.
+//
+// Version lineage is in-memory metadata and is not recovered; objects that
+// need durable lineage record their predecessor in an attribute.
+func Recover(dev *disk.Optical) (*Archiver, time.Duration, error) {
+	a := New(dev)
+	bs := uint64(dev.BlockSize())
+	var cursor uint64
+	end := uint64(dev.Used()) * bs
+	var total time.Duration
+	for cursor < end {
+		hdr, t, err := disk.ReadExtent(dev, cursor, headerLen)
+		total += t
+		if err != nil {
+			return nil, total, fmt.Errorf("archiver: recover at %d: %w", cursor, err)
+		}
+		descLen := binary.BigEndian.Uint64(hdr)
+		if descLen == 0 || cursor+headerLen+descLen > end {
+			return nil, total, fmt.Errorf("archiver: recover at %d: implausible descriptor length %d", cursor, descLen)
+		}
+		raw, t2, err := disk.ReadExtent(dev, cursor+headerLen, descLen)
+		total += t2
+		if err != nil {
+			return nil, total, err
+		}
+		d, err := descriptor.Parse(raw)
+		if err != nil {
+			return nil, total, fmt.Errorf("archiver: recover at %d: %w", cursor, err)
+		}
+		// The extent ends where the last composition-resident part ends
+		// (offsets are archiver-absolute on the medium); objects whose
+		// parts are all pointers end right after the descriptor.
+		extentEnd := cursor + headerLen + descLen
+		for _, p := range d.Parts {
+			if p.Loc == descriptor.LocComposition && p.Offset+p.Length > extentEnd {
+				extentEnd = p.Offset + p.Length
+			}
+		}
+		if _, dup := a.dir[d.ID]; dup {
+			return nil, total, fmt.Errorf("archiver: recover: duplicate object id %d at %d", d.ID, cursor)
+		}
+		a.dir[d.ID] = Extent{Start: cursor, Length: extentEnd - cursor}
+		// Advance to the next block boundary.
+		cursor = ((extentEnd + bs - 1) / bs) * bs
+	}
+	return a, total, nil
+}

@@ -1,0 +1,149 @@
+// Package audioout simulates the workstation's voice output device. It
+// plays voice.Part sample streams in virtual time (vclock), supporting the
+// §2 voice browsing primitives: interrupt, resume from the interrupted
+// position, resume from a given offset, and position queries while playing.
+package audioout
+
+import (
+	"fmt"
+	"time"
+
+	"minos/internal/vclock"
+	"minos/internal/voice"
+)
+
+// Player is a single-channel voice output device.
+type Player struct {
+	clock *vclock.Clock
+	part  *voice.Part
+
+	playing   bool
+	startPos  int
+	endPos    int
+	startedAt time.Duration
+	timer     *vclock.Timer
+	onDone    func()
+
+	// PlayLog records every contiguous segment the device actually
+	// emitted (useful for asserting logical-message and tour semantics).
+	PlayLog []Played
+}
+
+// Played is one emitted segment.
+type Played struct {
+	From, To int
+	At       time.Duration // virtual start time
+}
+
+// NewPlayer builds a player on the clock.
+func NewPlayer(clock *vclock.Clock) *Player {
+	return &Player{clock: clock}
+}
+
+// Load selects the part to play, stopping any current playback.
+func (p *Player) Load(part *voice.Part) {
+	p.stopTimer()
+	p.playing = false
+	p.part = part
+}
+
+// Part returns the loaded part.
+func (p *Player) Part() *voice.Part { return p.part }
+
+// Playing reports whether the device is emitting.
+func (p *Player) Playing() bool { return p.playing }
+
+// Play starts emitting samples [from, to); to <= 0 means end of part.
+// onDone (may be nil) fires on the clock when the segment completes. Any
+// current playback is replaced.
+func (p *Player) Play(from, to int, onDone func()) error {
+	if p.part == nil {
+		return fmt.Errorf("audioout: no part loaded")
+	}
+	n := len(p.part.Samples)
+	if to <= 0 || to > n {
+		to = n
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from > to {
+		from = to
+	}
+	p.stopTimer()
+	p.playing = true
+	p.startPos = from
+	p.endPos = to
+	p.startedAt = p.clock.Now()
+	p.onDone = onDone
+	p.PlayLog = append(p.PlayLog, Played{From: from, To: to, At: p.startedAt})
+	dur := p.part.TimeAt(to) - p.part.TimeAt(from)
+	p.timer = p.clock.AfterFunc(dur, func() {
+		p.playing = false
+		p.timer = nil
+		if p.onDone != nil {
+			done := p.onDone
+			p.onDone = nil
+			done()
+		}
+	})
+	return nil
+}
+
+func (p *Player) stopTimer() {
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	p.onDone = nil
+}
+
+// Position returns the current sample offset: live while playing, the
+// interrupted/finished position otherwise.
+func (p *Player) Position() int {
+	if p.part == nil {
+		return 0
+	}
+	if !p.playing {
+		return p.startPos
+	}
+	elapsed := p.clock.Now() - p.startedAt
+	pos := p.startPos + p.part.OffsetAt(elapsed)
+	if pos > p.endPos {
+		pos = p.endPos
+	}
+	return pos
+}
+
+// Interrupt stops playback, keeping the current position for Resume; it
+// returns that position. Interrupting a stopped player is a no-op.
+func (p *Player) Interrupt() int {
+	if !p.playing {
+		return p.startPos
+	}
+	pos := p.Position()
+	p.stopTimer()
+	p.playing = false
+	// Truncate the play log entry to what was actually emitted.
+	if n := len(p.PlayLog); n > 0 && p.PlayLog[n-1].To > pos {
+		p.PlayLog[n-1].To = pos
+	}
+	p.startPos = pos
+	return pos
+}
+
+// Resume continues playback from the interrupted position to the previous
+// segment end (or the part end if that end was already reached).
+func (p *Player) Resume(onDone func()) error {
+	if p.part == nil {
+		return fmt.Errorf("audioout: no part loaded")
+	}
+	if p.playing {
+		return nil
+	}
+	to := p.endPos
+	if to <= p.startPos {
+		to = len(p.part.Samples)
+	}
+	return p.Play(p.startPos, to, onDone)
+}

@@ -1,0 +1,192 @@
+package audioout
+
+import (
+	"testing"
+	"time"
+
+	"minos/internal/text"
+	"minos/internal/vclock"
+	"minos/internal/voice"
+)
+
+func testPart(t testing.TB) *voice.Part {
+	t.Helper()
+	seg, err := text.Parse("One two three four five. Six seven eight nine ten.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), 2000).Part
+}
+
+func TestPlayToCompletion(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	part := testPart(t)
+	p.Load(part)
+	done := false
+	if err := p.Play(0, 0, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Playing() {
+		t.Fatal("not playing after Play")
+	}
+	c.Advance(part.Duration())
+	if !done {
+		t.Fatal("completion callback not fired")
+	}
+	if p.Playing() {
+		t.Fatal("still playing after completion")
+	}
+	if p.Position() != 0 {
+		// startPos unchanged after natural completion; position reports
+		// where the last segment began. Resume should then play to end.
+	}
+	if len(p.PlayLog) != 1 || p.PlayLog[0].From != 0 || p.PlayLog[0].To != len(part.Samples) {
+		t.Fatalf("PlayLog = %+v", p.PlayLog)
+	}
+}
+
+func TestPositionAdvancesWithClock(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	part := testPart(t)
+	p.Load(part)
+	p.Play(0, 0, nil)
+	c.Advance(time.Second)
+	got := p.Position()
+	want := part.OffsetAt(time.Second)
+	if got != want {
+		t.Fatalf("Position = %d, want %d", got, want)
+	}
+}
+
+func TestInterruptResume(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	part := testPart(t)
+	p.Load(part)
+	p.Play(0, 0, nil)
+	c.Advance(2 * time.Second)
+	pos := p.Interrupt()
+	if pos != part.OffsetAt(2*time.Second) {
+		t.Fatalf("interrupt at %d", pos)
+	}
+	if p.Playing() {
+		t.Fatal("playing after interrupt")
+	}
+	// Time passes while interrupted; position must not drift.
+	c.Advance(5 * time.Second)
+	if p.Position() != pos {
+		t.Fatalf("position drifted to %d", p.Position())
+	}
+	done := false
+	if err := p.Resume(func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	remaining := part.Duration() - part.TimeAt(pos)
+	c.Advance(remaining + time.Millisecond)
+	if !done {
+		t.Fatal("resume did not complete")
+	}
+	// Play log covers the two segments contiguously.
+	if len(p.PlayLog) != 2 {
+		t.Fatalf("PlayLog = %+v", p.PlayLog)
+	}
+	if p.PlayLog[0].To != pos || p.PlayLog[1].From != pos {
+		t.Fatalf("segments not contiguous: %+v", p.PlayLog)
+	}
+}
+
+func TestPlaySegment(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	part := testPart(t)
+	p.Load(part)
+	from, to := 1000, 3000
+	done := false
+	p.Play(from, to, func() { done = true })
+	segDur := part.TimeAt(to) - part.TimeAt(from)
+	c.Advance(segDur - time.Millisecond)
+	if done {
+		t.Fatal("completed early")
+	}
+	if pos := p.Position(); pos < from || pos > to {
+		t.Fatalf("position %d outside segment", pos)
+	}
+	c.Advance(2 * time.Millisecond)
+	if !done {
+		t.Fatal("segment did not complete")
+	}
+}
+
+func TestPlayReplacesCurrent(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	part := testPart(t)
+	p.Load(part)
+	firstDone := false
+	p.Play(0, 0, func() { firstDone = true })
+	c.Advance(time.Second)
+	p.Play(0, 500, nil) // replace
+	c.Advance(part.Duration() * 2)
+	if firstDone {
+		t.Fatal("replaced playback still fired its callback")
+	}
+}
+
+func TestInterruptWhenStopped(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	p.Load(testPart(t))
+	if got := p.Interrupt(); got != 0 {
+		t.Fatalf("Interrupt on idle = %d", got)
+	}
+}
+
+func TestPlayWithoutPart(t *testing.T) {
+	p := NewPlayer(vclock.New())
+	if err := p.Play(0, 0, nil); err == nil {
+		t.Fatal("Play without part accepted")
+	}
+	if err := p.Resume(nil); err == nil {
+		t.Fatal("Resume without part accepted")
+	}
+}
+
+func TestResumeWhilePlayingIsNoop(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	p.Load(testPart(t))
+	p.Play(0, 0, nil)
+	if err := p.Resume(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.PlayLog) != 1 {
+		t.Fatal("Resume while playing restarted playback")
+	}
+}
+
+func TestPlayClampsRange(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	part := testPart(t)
+	p.Load(part)
+	p.Play(-100, len(part.Samples)+100, nil)
+	if p.PlayLog[0].From != 0 || p.PlayLog[0].To != len(part.Samples) {
+		t.Fatalf("clamped segment = %+v", p.PlayLog[0])
+	}
+}
+
+func TestLoadStopsPlayback(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	part := testPart(t)
+	p.Load(part)
+	done := false
+	p.Play(0, 0, func() { done = true })
+	p.Load(part) // reload stops
+	c.Advance(part.Duration() * 2)
+	if done || p.Playing() {
+		t.Fatal("Load did not stop playback")
+	}
+}

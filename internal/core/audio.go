@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/text"
+	"minos/internal/voice"
+)
+
+// showAudio renders the audio-mode presentation: the pinned visual message
+// (if any) on top, and a status panel with the audio page position below —
+// the audio object's "presentation form is based on audio pages" (§2).
+func (m *Manager) showAudio() {
+	s := m.cur()
+	m.checkVisualMessages()
+	page := voice.PageOf(s.apages, s.pos)
+	h := m.cfg.Screen.ContentHeight()
+	w := m.cfg.Screen.ContentWidth()
+	panel := img.NewBitmap(w, h)
+	img.DrawString(panel, 4, 4, fmt.Sprintf("AUDIO PAGE %d/%d", page+1, len(s.apages)))
+	// Progress bar across the page.
+	if n := len(s.vpart.Samples); n > 0 {
+		barY := 18
+		barW := w - 8
+		fill := barW * s.pos / n
+		for x := 0; x < barW; x++ {
+			panel.Set(4+x, barY, true)
+			panel.Set(4+x, barY+6, true)
+		}
+		for x := 0; x < fill; x++ {
+			for y := barY + 1; y < barY+6; y++ {
+				panel.Set(4+x, y, true)
+			}
+		}
+	}
+	if m.player.Playing() {
+		img.DrawString(panel, 4, 30, "PLAYING")
+	} else {
+		img.DrawString(panel, 4, 30, "INTERRUPTED")
+	}
+	m.cfg.Screen.ShowPage(panel)
+	m.trace(EvPageShown, "audio", "", page)
+}
+
+// Play starts (or restarts) voice output from the current position.
+func (m *Manager) Play() error {
+	s := m.cur()
+	if s == nil {
+		return errNoObject
+	}
+	if s.obj.Mode != object.Audio {
+		return fmt.Errorf("core: Play on a visual mode object")
+	}
+	m.player.Load(s.vpart)
+	m.trace(EvVoicePlay, "", fmt.Sprintf("from %d", s.pos), voice.PageOf(s.apages, s.pos))
+	m.playChain(s.pos)
+	m.showCurrent()
+	return nil
+}
+
+// playChain plays the voice part from pos, chopping playback at logical
+// message anchor boundaries so branch-in semantics hold during continuous
+// listening: voice messages play "before the voice of the related segment"
+// and visual messages pin for the duration of the related segment (§2).
+func (m *Manager) playChain(pos int) {
+	s := m.cur()
+	if pos >= len(s.vpart.Samples) {
+		s.pos = len(s.vpart.Samples)
+		m.checkVisualMessages()
+		return
+	}
+	s.pos = pos
+	m.checkVisualMessages()
+
+	// Voice message branch-in at this position?
+	for i := range s.obj.VoiceMsgs {
+		vm := &s.obj.VoiceMsgs[i]
+		if vm.Anchor.Media != object.MediaVoice {
+			continue
+		}
+		inside := vm.Anchor.Covers(pos)
+		was := s.inVoiceAnchor[vm.Name]
+		s.inVoiceAnchor[vm.Name] = inside
+		if inside && !was {
+			// Play the message first, then the segment's voice.
+			m.trace(EvVoiceMsgPlayed, vm.Name, "", voice.PageOf(s.apages, pos))
+			m.msgPlayer.Load(vm.Part)
+			m.msgPlayer.Play(0, 0, func() {
+				if m.cur() == s {
+					m.playChain(pos)
+				}
+			})
+			return
+		}
+	}
+
+	next := s.nextBoundary(pos)
+	m.player.Play(pos, next, func() {
+		if m.cur() == s {
+			m.playChain(next)
+		}
+	})
+}
+
+// nextBoundary returns the nearest logical-message anchor boundary after
+// pos (anchor starts and one-past-anchor-ends), or the part end.
+func (s *session) nextBoundary(pos int) int {
+	end := len(s.vpart.Samples)
+	best := end
+	consider := func(b int) {
+		if b > pos && b < best {
+			best = b
+		}
+	}
+	for _, vm := range s.obj.VoiceMsgs {
+		if vm.Anchor.Media == object.MediaVoice {
+			consider(vm.Anchor.From)
+			consider(vm.Anchor.To + 1)
+		}
+	}
+	for _, vm := range s.obj.VisualMsgs {
+		if vm.Anchor.Media == object.MediaVoice {
+			consider(vm.Anchor.From)
+			consider(vm.Anchor.To + 1)
+		}
+	}
+	for _, ts := range s.obj.TranspSets {
+		if ts.Anchor.Media == object.MediaVoice {
+			consider(ts.Anchor.From)
+			consider(ts.Anchor.To + 1)
+		}
+	}
+	return best
+}
+
+// Interrupt stops voice output, keeping the position.
+func (m *Manager) Interrupt() error {
+	s := m.cur()
+	if s == nil {
+		return errNoObject
+	}
+	if s.obj.Mode != object.Audio {
+		return fmt.Errorf("core: Interrupt on a visual mode object")
+	}
+	pos := m.player.Interrupt()
+	m.msgPlayer.Interrupt()
+	s.pos = pos
+	m.trace(EvVoiceInterrupt, "", fmt.Sprintf("at %d", pos), voice.PageOf(s.apages, pos))
+	m.showCurrent()
+	return nil
+}
+
+// Resume continues voice output from the interrupted position (§2).
+func (m *Manager) Resume() error {
+	s := m.cur()
+	if s == nil {
+		return errNoObject
+	}
+	m.trace(EvVoiceResume, "", fmt.Sprintf("from %d", s.pos), voice.PageOf(s.apages, s.pos))
+	return m.Play()
+}
+
+// ResumeFromPageStart restarts voice output from the beginning of the
+// current voice page (§2).
+func (m *Manager) ResumeFromPageStart() error {
+	s := m.cur()
+	if s == nil {
+		return errNoObject
+	}
+	if s.obj.Mode != object.Audio {
+		return fmt.Errorf("core: ResumeFromPageStart on a visual mode object")
+	}
+	pg := voice.PageOf(s.apages, s.pos)
+	s.pos = s.apages[pg].Start
+	m.trace(EvVoiceResume, "page-start", fmt.Sprintf("page %d", pg), pg)
+	return m.Play()
+}
+
+// RewindPauses replays audio "starting from a number of short or long
+// pauses back from the current position" (§2).
+func (m *Manager) RewindPauses(n int, long bool) error {
+	s := m.cur()
+	if s == nil {
+		return errNoObject
+	}
+	if s.obj.Mode != object.Audio {
+		return fmt.Errorf("core: RewindPauses on a visual mode object")
+	}
+	cur := s.pos
+	if m.player.Playing() {
+		cur = m.player.Interrupt()
+	}
+	target := voice.RewindTarget(s.pauses, cur, long, n)
+	s.pos = target
+	kind := "short"
+	if long {
+		kind = "long"
+	}
+	m.trace(EvRewind, kind, fmt.Sprintf("%d pauses: %d -> %d", n, cur, target), voice.PageOf(s.apages, target))
+	return m.Play()
+}
+
+// audioGotoPage jumps playback to an audio page start; playback continues
+// if it was running (pages do not interrupt speech, §2 — but an explicit
+// page jump repositions it).
+func (m *Manager) audioGotoPage(n int) error {
+	s := m.cur()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(s.apages) {
+		n = len(s.apages) - 1
+	}
+	wasPlaying := m.player.Playing()
+	if wasPlaying {
+		m.player.Interrupt()
+	}
+	s.pos = s.apages[n].Start
+	if wasPlaying {
+		return m.Play()
+	}
+	m.showCurrent()
+	return nil
+}
+
+// audioNextUnit browses to the next manually identified logical component.
+func (m *Manager) audioNextUnit(u text.Unit) error {
+	s := m.cur()
+	i := s.vpart.NextMarker(s.pos, u)
+	if i == -1 {
+		return fmt.Errorf("core: no next %v marker", u)
+	}
+	return m.audioSeek(s.vpart.Markers[i].Offset)
+}
+
+// audioPrevUnit browses to the previous logical component.
+func (m *Manager) audioPrevUnit(u text.Unit) error {
+	s := m.cur()
+	i := s.vpart.PrevMarker(s.pos, u)
+	if i == -1 {
+		return fmt.Errorf("core: no previous %v marker", u)
+	}
+	return m.audioSeek(s.vpart.Markers[i].Offset)
+}
+
+// audioFindPattern browses to the next recognized utterance of the pattern.
+// "Voice recognition is not taking place at the time of browsing" (§2) —
+// only the pre-recognized utterances are searched.
+func (m *Manager) audioFindPattern(pattern string) error {
+	s := m.cur()
+	u := voice.NextUtterance(s.vpart.Utterances, pattern, s.pos)
+	if u == nil {
+		m.trace(EvPatternMiss, pattern, "", voice.PageOf(s.apages, s.pos))
+		return fmt.Errorf("core: pattern %q not recognized after position %d", pattern, s.pos)
+	}
+	m.trace(EvPatternFound, pattern, fmt.Sprintf("offset %d", u.Offset), voice.PageOf(s.apages, u.Offset))
+	return m.audioSeek(u.Offset)
+}
+
+func (m *Manager) audioSeek(pos int) error {
+	s := m.cur()
+	wasPlaying := m.player.Playing()
+	if wasPlaying {
+		m.player.Interrupt()
+	}
+	s.pos = pos
+	if wasPlaying {
+		return m.Play()
+	}
+	m.showCurrent()
+	return nil
+}
+
+// AudioPages exposes the audio page table (tests and tools).
+func (m *Manager) AudioPages() []voice.AudioPage {
+	if s := m.cur(); s != nil {
+		return append([]voice.AudioPage(nil), s.apages...)
+	}
+	return nil
+}
+
+// Pauses exposes the detected pauses sorted by offset.
+func (m *Manager) Pauses() []voice.Pause {
+	s := m.cur()
+	if s == nil {
+		return nil
+	}
+	out := append([]voice.Pause(nil), s.pauses...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	return out
+}

@@ -1,0 +1,487 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/screen"
+	"minos/internal/vclock"
+)
+
+// --- tours (§2): automatically played view sequences over an image ---
+
+type tourState struct {
+	ref    *object.TourRef
+	im     *img.Image
+	raster *img.Bitmap
+	at     int // current stop index
+	timer  *vclock.Timer
+}
+
+// halt cancels the tour's pending advance.
+func (t *tourState) halt() {
+	if t.timer != nil {
+		t.timer.Stop()
+		t.timer = nil
+	}
+}
+
+// StartTour begins the named tour: "the sequence is played automatically
+// (the user does not need to press the next page button)" (§2).
+func (m *Manager) StartTour(name string) error {
+	s := m.cur()
+	if s == nil {
+		return errNoObject
+	}
+	var ref *object.TourRef
+	for i := range s.obj.Tours {
+		if s.obj.Tours[i].Name == name {
+			ref = &s.obj.Tours[i]
+		}
+	}
+	if ref == nil {
+		return fmt.Errorf("core: no tour %q", name)
+	}
+	im := s.obj.ImageByName(ref.Tour.Image)
+	if im == nil {
+		return fmt.Errorf("core: tour image %q missing", ref.Tour.Image)
+	}
+	if len(ref.Tour.Stops) == 0 {
+		return fmt.Errorf("core: tour %q has no stops", name)
+	}
+	m.stopAuto()
+	m.tour = &tourState{ref: ref, im: im, raster: im.Rasterize()}
+	m.tourShowStop()
+	return nil
+}
+
+func (m *Manager) tourShowStop() {
+	t := m.tour
+	if t == nil {
+		return
+	}
+	s := m.cur()
+	rect := t.ref.Tour.ViewAt(t.im, t.at)
+	m.cfg.Screen.ShowPage(t.raster.Extract(rect))
+	m.cfg.Screen.SetMenu(m.Menu())
+	stop := t.ref.Tour.Stops[t.at]
+	m.trace(EvTourStop, t.ref.Name, fmt.Sprintf("stop %d at (%d,%d)", t.at, rect.X, rect.Y), -1)
+
+	if stop.VisualMsgRef != "" {
+		if vm := s.obj.VisualMsgByName(stop.VisualMsgRef); vm != nil {
+			m.cfg.Screen.PinStrip(vm.Strip)
+			m.cfg.Screen.ShowPage(t.raster.Extract(rect))
+			m.trace(EvVisualMsgPinned, vm.Name, "tour", -1)
+		}
+	}
+
+	dwell := time.Duration(t.ref.Tour.DwellMillis) * time.Millisecond
+	if dwell <= 0 {
+		dwell = time.Second
+	}
+	advance := func() {
+		if m.tour != t {
+			return
+		}
+		t.at++
+		if t.at >= len(t.ref.Tour.Stops) {
+			m.trace(EvTourEnded, t.ref.Name, "", -1)
+			m.tour = nil
+			m.cfg.Screen.PinStrip(nil)
+			m.showCurrent()
+			return
+		}
+		m.tourShowStop()
+	}
+	if stop.VoiceMsgRef != "" {
+		if vm := s.obj.VoiceMsgByName(stop.VoiceMsgRef); vm != nil {
+			m.trace(EvVoiceMsgPlayed, vm.Name, "tour", -1)
+			m.msgPlayer.Load(vm.Part)
+			m.msgPlayer.Play(0, 0, func() {
+				if m.tour != t {
+					return
+				}
+				t.timer = m.cfg.Clock.AfterFunc(dwell, advance)
+			})
+			return
+		}
+	}
+	t.timer = m.cfg.Clock.AfterFunc(dwell, advance)
+}
+
+// InterruptTour stops the automatic advance; "the user may interrupt the
+// tour and move the window all round in order to navigate through other
+// positions of the image" (§2) — the tour's view becomes a manual view.
+func (m *Manager) InterruptTour() error {
+	t := m.tour
+	if t == nil {
+		return fmt.Errorf("core: no tour running")
+	}
+	t.halt()
+	m.msgPlayer.Interrupt()
+	rect := t.ref.Tour.ViewAt(t.im, t.at)
+	m.tour = nil
+	m.view = &viewState{im: t.im, raster: t.raster, labels: t.im.RasterizeLabels(), v: img.View{Image: t.im.Name, Rect: rect}}
+	m.showView()
+	return nil
+}
+
+// TourRunning reports whether a tour is active.
+func (m *Manager) TourRunning() bool { return m.tour != nil }
+
+// --- process simulation (§2, Figures 9-10) ---
+
+type processState struct {
+	sim    *object.ProcessSim
+	frame  int
+	speed  time.Duration
+	timer  *vclock.Timer
+	mirror *img.Bitmap // accumulated content, independent of screen state
+}
+
+func (p *processState) stop() {
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+}
+
+// StartProcess plays the named process simulation: consecutive visual pages
+// displayed automatically at the designer's speed, overwrites and
+// transparencies composing over the previous page, audio messages gating
+// the page turn (§2).
+func (m *Manager) StartProcess(name string) error {
+	s := m.cur()
+	if s == nil {
+		return errNoObject
+	}
+	var sim *object.ProcessSim
+	for i := range s.obj.ProcessSims {
+		if s.obj.ProcessSims[i].Name == name {
+			sim = &s.obj.ProcessSims[i]
+		}
+	}
+	if sim == nil {
+		return fmt.Errorf("core: no process simulation %q", name)
+	}
+	m.stopAuto()
+	speed := time.Duration(sim.FrameMillis) * time.Millisecond
+	if speed <= 0 {
+		speed = 500 * time.Millisecond
+	}
+	m.process = &processState{sim: sim, speed: speed}
+	m.processStep()
+	return nil
+}
+
+// SetProcessSpeed alters the page-turn speed; "the relative speed ... is
+// set at object creation time but it may be altered by the user" (§2).
+func (m *Manager) SetProcessSpeed(d time.Duration) error {
+	if m.process == nil {
+		return fmt.Errorf("core: no process running")
+	}
+	if d <= 0 {
+		return fmt.Errorf("core: non-positive speed")
+	}
+	m.process.speed = d
+	return nil
+}
+
+// StopProcess halts the simulation.
+func (m *Manager) StopProcess() error {
+	if m.process == nil {
+		return fmt.Errorf("core: no process running")
+	}
+	m.process.stop()
+	m.process = nil
+	m.cfg.Screen.PinStrip(nil)
+	m.showCurrent()
+	return nil
+}
+
+// ProcessRunning reports whether a simulation is active.
+func (m *Manager) ProcessRunning() bool { return m.process != nil }
+
+func (m *Manager) processStep() {
+	p := m.process
+	if p == nil {
+		return
+	}
+	s := m.cur()
+	pg := &p.sim.Pages[p.frame]
+	switch pg.Kind {
+	case object.ProcessReplace:
+		m.cfg.Screen.ShowPage(pg.Image)
+		p.mirror = pg.Image.Clone()
+	case object.ProcessTransparency:
+		m.cfg.Screen.Superimpose(pg.Image)
+		if p.mirror == nil {
+			p.mirror = img.NewBitmap(pg.Image.W, pg.Image.H)
+		}
+		p.mirror.Or(pg.Image, 0, 0)
+	case object.ProcessOverwrite:
+		m.cfg.Screen.Overwrite(pg.Image, pg.Mask)
+		if p.mirror == nil {
+			p.mirror = img.NewBitmap(pg.Image.W, pg.Image.H)
+		}
+		for y := 0; y < pg.Mask.H; y++ {
+			for x := 0; x < pg.Mask.W; x++ {
+				if pg.Mask.Get(x, y) {
+					p.mirror.Set(x, y, pg.Image.Get(x, y))
+				}
+			}
+		}
+	}
+	if pg.VisualMsg != "" {
+		if vm := s.obj.VisualMsgByName(pg.VisualMsg); vm != nil {
+			m.cfg.Screen.PinStrip(vm.Strip)
+			m.trace(EvVisualMsgPinned, vm.Name, "process", -1)
+		}
+	}
+	m.cfg.Screen.SetMenu(m.Menu())
+	m.trace(EvProcessPage, p.sim.Name, fmt.Sprintf("frame %d kind %d", p.frame, pg.Kind), p.frame)
+
+	advance := func() {
+		if m.process != p {
+			return
+		}
+		p.frame++
+		if p.frame >= len(p.sim.Pages) {
+			m.trace(EvProcessEnded, p.sim.Name, "", -1)
+			m.process = nil
+			return
+		}
+		m.processStep()
+	}
+	if pg.VoiceMsg != "" {
+		if vm := s.obj.VoiceMsgByName(pg.VoiceMsg); vm != nil {
+			// "The next visual page is only shown after the logical audio
+			// message has been played" (§2).
+			m.trace(EvVoiceMsgPlayed, vm.Name, "process", -1)
+			m.msgPlayer.Load(vm.Part)
+			m.msgPlayer.Play(0, 0, func() {
+				if m.process != p {
+					return
+				}
+				p.timer = m.cfg.Clock.AfterFunc(p.speed, advance)
+			})
+			return
+		}
+	}
+	p.timer = m.cfg.Clock.AfterFunc(p.speed, advance)
+}
+
+// ProcessContent returns the accumulated simulation raster (tests assert
+// route blanking à la Figures 9-10 against it).
+func (m *Manager) ProcessContent() *img.Bitmap {
+	if m.process == nil || m.process.mirror == nil {
+		return nil
+	}
+	return m.process.mirror.Clone()
+}
+
+// --- views on large images (§2) ---
+
+type viewState struct {
+	im     *img.Image
+	raster *img.Bitmap
+	labels *img.Bitmap
+	v      img.View
+}
+
+// OpenView overlays a view rectangle on the named image and presents the
+// enclosed portion; on a representation image the rectangle maps to the
+// full image (§2).
+func (m *Manager) OpenView(imageName string, rect img.Rect) error {
+	s := m.cur()
+	if s == nil {
+		return errNoObject
+	}
+	im := s.obj.ImageByName(imageName)
+	if im == nil {
+		return fmt.Errorf("core: no image %q", imageName)
+	}
+	m.stopAuto()
+	m.view = &viewState{im: im, raster: im.Rasterize(), labels: im.RasterizeLabels(), v: img.View{Image: imageName, Rect: rect}}
+	m.view.v.Move(im, 0, 0) // clamp
+	m.showView()
+	// Voice labels already inside the opened view play if the option is
+	// on.
+	if m.cfg.VoiceOption {
+		m.playLabels(im.VoiceLabelsIn(m.view.v.Rect))
+	}
+	return nil
+}
+
+// ViewRect returns the current view rectangle.
+func (m *Manager) ViewRect() (img.Rect, bool) {
+	if m.view == nil {
+		return img.Rect{}, false
+	}
+	return m.view.v.Rect, true
+}
+
+func (m *Manager) showView() {
+	v := m.view
+	content := v.raster.Extract(v.v.Rect)
+	labels := v.labels.Extract(v.v.Rect)
+	content.Or(labels, 0, 0)
+	m.cfg.Screen.ShowPage(content)
+	m.cfg.Screen.SetMenu(m.Menu())
+	var inds []screen.Indicator
+	if v.im.Representation {
+		inds = append(inds, screen.Indicator{Kind: screen.RepresentationBadge, Name: "rep", At: img.Point{X: 2, Y: 2}})
+	}
+	m.cfg.Screen.SetIndicators(inds)
+	m.trace(EvViewMoved, v.im.Name, fmt.Sprintf("(%d,%d) %dx%d", v.v.Rect.X, v.v.Rect.Y, v.v.Rect.W, v.v.Rect.H), -1)
+}
+
+// MoveView moves the view; voice labels encountered on the way play when
+// the voice option is on (§2).
+func (m *Manager) MoveView(dx, dy int) error {
+	if m.view == nil {
+		return fmt.Errorf("core: no view open")
+	}
+	heard := m.view.v.Move(m.view.im, dx, dy)
+	m.showView()
+	if m.cfg.VoiceOption {
+		m.playLabels(heard)
+	}
+	return nil
+}
+
+// JumpView repositions the view discontinuously.
+func (m *Manager) JumpView(x, y int) error {
+	if m.view == nil {
+		return fmt.Errorf("core: no view open")
+	}
+	heard := m.view.v.Jump(m.view.im, x, y)
+	m.showView()
+	if m.cfg.VoiceOption {
+		m.playLabels(heard)
+	}
+	return nil
+}
+
+// ResizeView shrinks or expands the view; newly covered voice labels play.
+func (m *Manager) ResizeView(dw, dh int) error {
+	if m.view == nil {
+		return fmt.Errorf("core: no view open")
+	}
+	heard := m.view.v.Resize(m.view.im, dw, dh)
+	m.showView()
+	if m.cfg.VoiceOption {
+		m.playLabels(heard)
+	}
+	return nil
+}
+
+// CloseView returns to page browsing.
+func (m *Manager) CloseView() error {
+	if m.view == nil {
+		return fmt.Errorf("core: no view open")
+	}
+	m.view = nil
+	m.showCurrent()
+	return nil
+}
+
+func (m *Manager) playLabels(indices []int) {
+	v := m.view
+	if v == nil {
+		return
+	}
+	s := m.cur()
+	for _, i := range indices {
+		g := &v.im.Graphics[i]
+		m.trace(EvLabelPlayed, g.Label.Text, g.Label.VoiceRef, -1)
+		if vm := s.obj.VoiceMsgByName(g.Label.VoiceRef); vm != nil {
+			m.msgPlayer.Load(vm.Part)
+			m.msgPlayer.Play(0, 0, nil)
+		}
+	}
+}
+
+// HighlightLabels highlights the image objects whose label contains the
+// pattern ("useful for browsing through large images with many objects on
+// them, such as a road map", §2). Returns the number of matches.
+func (m *Manager) HighlightLabels(pattern string) (int, error) {
+	if m.view == nil {
+		return 0, fmt.Errorf("core: no view open")
+	}
+	matches := m.view.im.MatchLabels(pattern)
+	mask := m.view.im.HighlightMask(matches)
+	m.cfg.Screen.Superimpose(mask.Extract(m.view.v.Rect))
+	m.trace(EvHighlight, pattern, fmt.Sprintf("%d objects", len(matches)), -1)
+	return len(matches), nil
+}
+
+// SelectObjectAt selects the image object under the view-relative point and
+// plays or displays its label — the inverse facility of §2.
+func (m *Manager) SelectObjectAt(x, y int) error {
+	if m.view == nil {
+		return fmt.Errorf("core: no view open")
+	}
+	ix, iy := m.view.v.Rect.X+x, m.view.v.Rect.Y+y
+	i := m.view.im.HitTest(ix, iy)
+	if i == -1 {
+		return fmt.Errorf("core: no object at (%d, %d)", x, y)
+	}
+	g := &m.view.im.Graphics[i]
+	s := m.cur()
+	switch g.Label.Kind {
+	case img.VoiceLabel, img.InvisibleVoiceLabel:
+		m.trace(EvLabelPlayed, g.Label.Text, g.Label.VoiceRef, -1)
+		if vm := s.obj.VoiceMsgByName(g.Label.VoiceRef); vm != nil {
+			m.msgPlayer.Load(vm.Part)
+			m.msgPlayer.Play(0, 0, nil)
+		}
+	case img.TextLabel, img.InvisibleTextLabel:
+		overlay := img.NewBitmap(m.cfg.Screen.ContentWidth(), m.cfg.Screen.ContentHeight())
+		img.DrawString(overlay, 2, 2, g.Label.Text)
+		m.cfg.Screen.Superimpose(overlay)
+		m.trace(EvLabelShown, g.Label.Text, "", -1)
+	default:
+		return fmt.Errorf("core: object %d has no label", i)
+	}
+	return nil
+}
+
+// RevealLabels overlays every label of the viewed image — including
+// invisible ones, which "do not display any information about their
+// existence by default" (§2) — within the current view rectangle.
+func (m *Manager) RevealLabels() error {
+	if m.view == nil {
+		return fmt.Errorf("core: no view open")
+	}
+	im := m.view.im
+	layer := img.NewBitmap(im.W, im.H)
+	for i := range im.Graphics {
+		l := im.Graphics[i].Label
+		switch l.Kind {
+		case img.TextLabel, img.InvisibleTextLabel:
+			img.DrawString(layer, l.At.X, l.At.Y, l.Text)
+		case img.VoiceLabel, img.InvisibleVoiceLabel:
+			img.DrawString(layer, l.At.X, l.At.Y, l.Text)
+		}
+	}
+	m.cfg.Screen.Superimpose(layer.Extract(m.view.v.Rect))
+	m.trace(EvLabelShown, "all", "revealed", -1)
+	return nil
+}
+
+// PlayAllVoiceLabels plays every voice label of the viewed image in a
+// system-defined order (§2).
+func (m *Manager) PlayAllVoiceLabels() error {
+	if m.view == nil {
+		return fmt.Errorf("core: no view open")
+	}
+	all := m.view.im.VoiceLabelsIn(img.Rect{X: 0, Y: 0, W: m.view.im.W, H: m.view.im.H})
+	if len(all) == 0 {
+		return fmt.Errorf("core: image has no voice labels")
+	}
+	m.playLabels(all)
+	return nil
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"minos/internal/object"
+	"minos/internal/screen"
+	"minos/internal/vclock"
+)
+
+func buildBenchObject() (*object.Object, error) {
+	return object.NewBuilder(1, "bench", object.Visual).Text(caseMarkup).Build()
+}
+
+func BenchmarkOpenAndPageThrough(b *testing.B) {
+	o, err := buildBenchObject()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(Config{Screen: screen.New(240, 140), Clock: vclock.New()})
+		if err := m.Open(o); err != nil {
+			b.Fatal(err)
+		}
+		for m.PageNo() < m.PageCount()-1 {
+			m.NextPage()
+		}
+	}
+}
+
+func BenchmarkFindPattern(b *testing.B) {
+	o, err := buildBenchObject()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := New(Config{Screen: screen.New(240, 140), Clock: vclock.New()})
+	if err := m.Open(o); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.GotoPage(0)
+		m.FindPattern("symptoms")
+	}
+}

@@ -1,0 +1,533 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/screen"
+	"minos/internal/text"
+	"minos/internal/vclock"
+	"minos/internal/voice"
+)
+
+const caseMarkup = `.title Case 1042
+.chapter Findings
+.section Lungs
+The upper lobe shows a small shadow near the apex region. It appears benign and has been stable over time according to all prior studies available.
+
+The lower lobe is completely clear on every projection that was taken during this visit and the previous one.
+.section Heart
+Heart size is within normal limits. Rhythm is regular and no murmur was detected at any point during the examination.
+.chapter Plan
+Repeat the examination in six months. Call immediately if any symptoms appear before the scheduled date arrives.
+`
+
+const testRate = 2000
+
+func testManager(t testing.TB) *Manager {
+	t.Helper()
+	return New(Config{
+		Screen: screen.New(240, 140),
+		Clock:  vclock.New(),
+	})
+}
+
+func visualObject(t testing.TB) *object.Object {
+	t.Helper()
+	o, err := object.NewBuilder(1, "Case 1042", object.Visual).Text(caseMarkup).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func audioObject(t testing.TB, editedDownTo text.Unit) *object.Object {
+	t.Helper()
+	o, err := object.NewBuilder(2, "Case 1042 spoken", object.Audio).
+		VoiceFromText(caseMarkup, voice.DefaultSpeaker(), testRate, editedDownTo, nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func shortVoicePart(t testing.TB, words string) *voice.Part {
+	t.Helper()
+	seg, err := text.Parse(words + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), testRate).Part
+}
+
+func TestOpenVisualObject(t *testing.T) {
+	m := testManager(t)
+	if err := m.Open(visualObject(t)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mode() != object.Visual || m.PageNo() != 0 {
+		t.Fatalf("mode=%v page=%d", m.Mode(), m.PageNo())
+	}
+	if m.PageCount() < 2 {
+		t.Fatalf("pages = %d, want several on a small screen", m.PageCount())
+	}
+	if m.Screen().Content().PopCount() == 0 {
+		t.Fatal("screen blank after open")
+	}
+	if len(m.EventsOf(EvPageShown)) == 0 {
+		t.Fatal("no page-shown event")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	m := testManager(t)
+	bad := &object.Object{ID: 9, Mode: object.Visual} // no doc
+	if err := m.Open(bad); err == nil {
+		t.Fatal("visual object without doc accepted")
+	}
+	bad2 := &object.Object{ID: 10, Mode: object.Audio} // no voice
+	if err := m.Open(bad2); err == nil {
+		t.Fatal("audio object without voice accepted")
+	}
+	if err := m.NextPage(); err == nil {
+		t.Fatal("NextPage with no object accepted")
+	}
+}
+
+func TestVisualPageBrowsing(t *testing.T) {
+	m := testManager(t)
+	m.Open(visualObject(t))
+	last := m.PageCount() - 1
+
+	if err := m.NextPage(); err != nil {
+		t.Fatal(err)
+	}
+	if m.PageNo() != 1 {
+		t.Fatalf("page = %d after next", m.PageNo())
+	}
+	if err := m.PrevPage(); err != nil {
+		t.Fatal(err)
+	}
+	if m.PageNo() != 0 {
+		t.Fatalf("page = %d after prev", m.PageNo())
+	}
+	// Prev at the first page clamps.
+	m.PrevPage()
+	if m.PageNo() != 0 {
+		t.Fatal("prev page did not clamp at 0")
+	}
+	// Advance beyond the end clamps to the last page.
+	if err := m.Advance(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.PageNo() != last {
+		t.Fatalf("page = %d after big advance, want %d", m.PageNo(), last)
+	}
+	m.NextPage()
+	if m.PageNo() != last {
+		t.Fatal("next page did not clamp at end")
+	}
+	if err := m.GotoPage(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.PageNo() != 1 {
+		t.Fatalf("GotoPage landed on %d", m.PageNo())
+	}
+	if err := m.Advance(-1); err != nil {
+		t.Fatal(err)
+	}
+	if m.PageNo() != 0 {
+		t.Fatalf("Advance(-1) landed on %d", m.PageNo())
+	}
+}
+
+func TestVisualPagesDiffer(t *testing.T) {
+	m := testManager(t)
+	m.Open(visualObject(t))
+	snap0 := m.Screen().Snapshot()
+	m.NextPage()
+	if m.Screen().Snapshot() == snap0 {
+		t.Fatal("page 1 renders identically to page 0")
+	}
+	m.PrevPage()
+	if m.Screen().Snapshot() != snap0 {
+		t.Fatal("returning to page 0 does not restore the screen")
+	}
+}
+
+func TestVisualLogicalBrowsing(t *testing.T) {
+	m := testManager(t)
+	o := visualObject(t)
+	m.Open(o)
+	stream := o.Stream()
+
+	if err := m.NextUnit(text.UnitSection); err != nil {
+		t.Fatal(err)
+	}
+	pos1 := m.Position()
+	if pos1 == 0 || !stream[pos1].Starts(text.UnitSection) {
+		t.Fatalf("position %d is not a section start", pos1)
+	}
+	if err := m.NextUnit(text.UnitChapter); err != nil {
+		t.Fatal(err)
+	}
+	pos2 := m.Position()
+	if pos2 <= pos1 || !stream[pos2].Starts(text.UnitChapter) {
+		t.Fatalf("chapter browse landed at %d", pos2)
+	}
+	if err := m.PrevUnit(text.UnitChapter); err != nil {
+		t.Fatal(err)
+	}
+	if m.Position() >= pos2 {
+		t.Fatal("prev chapter did not move back")
+	}
+	// Exhaust forward chapters; eventually errors.
+	for i := 0; i < 20; i++ {
+		if err := m.NextUnit(text.UnitChapter); err != nil {
+			return
+		}
+	}
+	t.Fatal("NextUnit(chapter) never exhausted")
+}
+
+func TestVisualPatternBrowsing(t *testing.T) {
+	m := testManager(t)
+	m.Open(visualObject(t))
+
+	if err := m.FindPattern("lower lobe"); err != nil {
+		t.Fatal(err)
+	}
+	pg := m.PageNo()
+	found := m.EventsOf(EvPatternFound)
+	if len(found) != 1 || found[0].Name != "lower lobe" {
+		t.Fatalf("pattern events = %+v", found)
+	}
+	// The page must actually contain the phrase position.
+	o := m.Object()
+	stream := o.Stream()
+	hit := m.Position()
+	if text.NormalizeToken(stream[hit].Word.Text) != "lower" {
+		t.Fatalf("hit word = %q", stream[hit].Word.Text)
+	}
+	_ = pg
+	// Missing patterns error and trace.
+	if err := m.FindPattern("unicorn"); err == nil {
+		t.Fatal("phantom pattern found")
+	}
+	if len(m.EventsOf(EvPatternMiss)) != 1 {
+		t.Fatal("no pattern-miss event")
+	}
+}
+
+func TestMenuReflectsState(t *testing.T) {
+	m := testManager(t)
+	m.Open(visualObject(t))
+	menu := m.Menu()
+	if !contains(menu, "NEXT PAGE") || !contains(menu, "NEXT CHAPTER") || !contains(menu, "FIND PATTERN") {
+		t.Fatalf("visual menu = %v", menu)
+	}
+	if contains(menu, "INTERRUPT") {
+		t.Fatal("voice ops offered on a visual object")
+	}
+
+	m2 := testManager(t)
+	m2.Open(audioObject(t, text.UnitChapter))
+	menu2 := m2.Menu()
+	if !contains(menu2, "RESUME") || !contains(menu2, "BACK N LONG PAUSES") {
+		t.Fatalf("audio menu = %v", menu2)
+	}
+	if !contains(menu2, "NEXT CHAPTER") {
+		t.Fatalf("audio menu lacks chapter browsing despite markers: %v", menu2)
+	}
+	if contains(menu2, "NEXT SECTION") {
+		t.Fatal("audio menu offers section browsing without section markers")
+	}
+	if contains(menu2, "FIND PATTERN") {
+		t.Fatal("audio menu offers pattern browsing without recognized utterances")
+	}
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAudioPageBrowsing(t *testing.T) {
+	m := New(Config{Screen: screen.New(360, 240), Clock: vclock.New(), AudioPageLen: 5 * time.Second})
+	m.Open(audioObject(t, text.UnitChapter))
+	if m.Mode() != object.Audio {
+		t.Fatal("mode")
+	}
+	if m.PageCount() < 3 {
+		t.Fatalf("audio pages = %d", m.PageCount())
+	}
+	if err := m.NextPage(); err != nil {
+		t.Fatal(err)
+	}
+	if m.PageNo() != 1 {
+		t.Fatalf("audio page = %d", m.PageNo())
+	}
+	m.Advance(2)
+	if m.PageNo() != 3 {
+		t.Fatalf("audio page after advance = %d", m.PageNo())
+	}
+	m.PrevPage()
+	if m.PageNo() != 2 {
+		t.Fatalf("audio page after prev = %d", m.PageNo())
+	}
+	m.GotoPage(0)
+	if m.PageNo() != 0 || m.Position() != 0 {
+		t.Fatal("goto page 0 failed")
+	}
+	// Clamping.
+	m.GotoPage(999)
+	if m.PageNo() != m.PageCount()-1 {
+		t.Fatal("audio page clamp failed")
+	}
+}
+
+func TestAudioPlayInterruptResume(t *testing.T) {
+	clock := vclock.New()
+	m := New(Config{Screen: screen.New(360, 240), Clock: clock, AudioPageLen: 5 * time.Second})
+	m.Open(audioObject(t, text.UnitChapter))
+	if err := m.Play(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(3 * time.Second)
+	if err := m.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+	pos := m.Position()
+	if pos == 0 {
+		t.Fatal("no progress before interrupt")
+	}
+	// Virtual time passes; position holds.
+	clock.Advance(10 * time.Second)
+	if m.Position() != pos {
+		t.Fatal("position drifted while interrupted")
+	}
+	if err := m.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Second)
+	if m.Position() <= pos {
+		t.Fatal("no progress after resume")
+	}
+	// Resume from page start rewinds to the current page boundary.
+	m.Interrupt()
+	pages := m.AudioPages()
+	cur := m.PageNo()
+	if err := m.ResumeFromPageStart(); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(10 * time.Millisecond)
+	if got := m.Position(); got < pages[cur].Start || got > pages[cur].Start+testRate {
+		t.Fatalf("resume-from-page-start at %d, page starts at %d", got, pages[cur].Start)
+	}
+}
+
+func TestAudioContinuousAcrossPages(t *testing.T) {
+	clock := vclock.New()
+	m := New(Config{Screen: screen.New(360, 240), Clock: clock, AudioPageLen: 3 * time.Second})
+	m.Open(audioObject(t, text.UnitChapter))
+	m.Play()
+	// Speech is not interrupted at the end of each voice page (§2).
+	clock.Advance(7 * time.Second)
+	if !m.Player().Playing() {
+		t.Fatal("playback stopped at a page boundary")
+	}
+	if m.PageNo() < 2 {
+		t.Fatalf("page = %d after 7s of 3s pages", m.PageNo())
+	}
+}
+
+func TestAudioRewindPauses(t *testing.T) {
+	clock := vclock.New()
+	m := New(Config{Screen: screen.New(360, 240), Clock: clock, AudioPageLen: 5 * time.Second})
+	m.Open(audioObject(t, text.UnitChapter))
+	m.Play()
+	clock.Advance(20 * time.Second)
+	m.Interrupt()
+	before := m.Position()
+	if err := m.RewindPauses(2, false); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Millisecond)
+	after := m.Player().PlayLog[len(m.Player().PlayLog)-1].From
+	if after >= before {
+		t.Fatalf("rewind did not move back: %d -> %d", before, after)
+	}
+	ev := m.EventsOf(EvRewind)
+	if len(ev) != 1 || ev[0].Name != "short" {
+		t.Fatalf("rewind events = %+v", ev)
+	}
+	// Long-pause rewind goes further back than short-pause rewind from
+	// the same position.
+	m.Interrupt()
+	m2 := New(Config{Screen: screen.New(360, 240), Clock: vclock.New(), AudioPageLen: 5 * time.Second})
+	m2.Open(audioObject(t, text.UnitChapter))
+	m2.Play()
+	m2.Clock().Advance(20 * time.Second)
+	m2.Interrupt()
+	m2.RewindPauses(1, true)
+	m2.Clock().Advance(time.Millisecond)
+	longFrom := m2.Player().PlayLog[len(m2.Player().PlayLog)-1].From
+
+	m3 := New(Config{Screen: screen.New(360, 240), Clock: vclock.New(), AudioPageLen: 5 * time.Second})
+	m3.Open(audioObject(t, text.UnitChapter))
+	m3.Play()
+	m3.Clock().Advance(20 * time.Second)
+	m3.Interrupt()
+	m3.RewindPauses(1, false)
+	m3.Clock().Advance(time.Millisecond)
+	shortFrom := m3.Player().PlayLog[len(m3.Player().PlayLog)-1].From
+	if longFrom >= shortFrom {
+		t.Fatalf("long rewind (%d) not before short rewind (%d)", longFrom, shortFrom)
+	}
+}
+
+func TestAudioLogicalBrowsing(t *testing.T) {
+	m := New(Config{Screen: screen.New(360, 240), Clock: vclock.New(), AudioPageLen: 5 * time.Second})
+	o := audioObject(t, text.UnitSection)
+	m.Open(o)
+	vp := o.PrimaryVoice()
+
+	if err := m.NextUnit(text.UnitSection); err != nil {
+		t.Fatal(err)
+	}
+	pos1 := m.Position()
+	// Position must be a marker offset of at least section level.
+	okMarker := false
+	for _, mk := range vp.Markers {
+		if mk.Offset == pos1 && mk.Unit >= text.UnitSection {
+			okMarker = true
+		}
+	}
+	if !okMarker {
+		t.Fatalf("position %d is not a section marker", pos1)
+	}
+	if err := m.NextUnit(text.UnitChapter); err != nil {
+		t.Fatal(err)
+	}
+	pos2 := m.Position()
+	if pos2 <= pos1 {
+		t.Fatal("chapter browse did not advance")
+	}
+	if err := m.PrevUnit(text.UnitChapter); err != nil {
+		t.Fatal(err)
+	}
+	if m.Position() >= pos2 {
+		t.Fatal("prev chapter did not move back")
+	}
+	// Units not identified are not offered in the menu (calling NextUnit
+	// directly still works through boundary containment: a section start
+	// is also a word start).
+	if contains(m.Menu(), "NEXT WORD") {
+		t.Fatal("menu offers word browsing without word markers")
+	}
+}
+
+func TestAudioPatternBrowsing(t *testing.T) {
+	m := New(Config{Screen: screen.New(360, 240), Clock: vclock.New(), AudioPageLen: 5 * time.Second})
+	o := audioObject(t, text.UnitChapter)
+	// Simulate insertion-time recognition of a small vocabulary.
+	seg, _ := text.Parse(caseMarkup)
+	syn := voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), testRate)
+	r := voice.NewRecognizer([]string{"shadow", "heart", "months"})
+	r.HitRate = 1.0
+	o.Voice[0].Utterances = r.Recognize(syn.Marks)
+	m.Open(o)
+
+	if err := m.FindPattern("heart"); err != nil {
+		t.Fatal(err)
+	}
+	pos := m.Position()
+	if pos == 0 {
+		t.Fatal("pattern did not move position")
+	}
+	// Forward-only: next find of the same single-occurrence token fails.
+	if err := m.FindPattern("heart"); err == nil {
+		t.Fatal("second heart found")
+	}
+	// Shadow occurs once; find then miss.
+	m.GotoPage(0)
+	if err := m.FindPattern("shadow"); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-vocabulary words are not findable even though spoken:
+	// recognition happened at insertion time with a limited vocabulary.
+	m.GotoPage(0)
+	if err := m.FindPattern("regular"); err == nil {
+		t.Fatal("out-of-vocabulary pattern found")
+	}
+}
+
+func TestSymmetricBrowsingReachesSameUnit(t *testing.T) {
+	// The symmetry thesis: the same command sequence on the text object
+	// and its voice twin lands on the same logical unit.
+	vis := testManager(t)
+	vis.Open(visualObject(t))
+	aud := New(Config{Screen: screen.New(360, 240), Clock: vclock.New(), AudioPageLen: 5 * time.Second})
+	audObj := audioObject(t, text.UnitSentence)
+	aud.Open(audObj)
+
+	seg, _ := text.Parse(caseMarkup)
+	stream := text.Flatten(seg)
+	syn := voice.Synthesize(stream, voice.DefaultSpeaker(), testRate)
+
+	cmds := []func(m *Manager) error{
+		func(m *Manager) error { return m.NextUnit(text.UnitSection) },
+		func(m *Manager) error { return m.NextUnit(text.UnitChapter) },
+		func(m *Manager) error { return m.NextUnit(text.UnitSentence) },
+		func(m *Manager) error { return m.PrevUnit(text.UnitSection) },
+		func(m *Manager) error { return m.NextUnit(text.UnitSentence) },
+	}
+	for i, cmd := range cmds {
+		if err := cmd(vis); err != nil {
+			t.Fatalf("cmd %d on visual: %v", i, err)
+		}
+		if err := cmd(aud); err != nil {
+			t.Fatalf("cmd %d on audio: %v", i, err)
+		}
+		// Map the audio sample position back to the word it belongs to.
+		audWord := -1
+		for w, mark := range syn.Marks {
+			if mark.Offset <= aud.Position() {
+				audWord = w
+			}
+		}
+		if audWord != vis.Position() {
+			t.Fatalf("after cmd %d: visual at word %d, audio at word %d", i, vis.Position(), audWord)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvPageShown.String() != "page-shown" || EvRewind.String() != "rewind" {
+		t.Fatal("EventKind names")
+	}
+	if EventKind(200).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}
+
+func TestClearEvents(t *testing.T) {
+	m := testManager(t)
+	m.Open(visualObject(t))
+	if len(m.Events()) == 0 {
+		t.Fatal("no events")
+	}
+	m.ClearEvents()
+	if len(m.Events()) != 0 {
+		t.Fatal("events survive clear")
+	}
+}
+
+var _ = img.Point{} // keep import for fixtures below in other files

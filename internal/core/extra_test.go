@@ -1,0 +1,419 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/screen"
+	"minos/internal/text"
+	"minos/internal/vclock"
+)
+
+// --- transparencies on audio-mode objects (the Figures 5-6 audio variant:
+// transparencies over the pinned x-ray during the related speech) ---
+
+func TestAudioModeTransparencies(t *testing.T) {
+	clock := vclock.New()
+	m := New(Config{Screen: screen.New(300, 220), Clock: clock, AudioPageLen: 5 * time.Second})
+	o := audioObject(t, text.UnitChapter)
+	vp := o.PrimaryVoice()
+	mid := len(vp.Samples) / 2
+
+	// X-ray strip pinned for the whole first half; transparencies
+	// anchored within it.
+	xray := strip(160, 60)
+	o.VisualMsgs = append(o.VisualMsgs, object.VisualMessage{
+		Name: "xray", Strip: xray,
+		Anchor: object.Anchor{Media: object.MediaVoice, From: 0, To: mid},
+	})
+	s1 := img.NewBitmap(160, 60)
+	s1.Set(150, 5, true)
+	s2 := img.NewBitmap(160, 60)
+	s2.Set(150, 15, true)
+	o.TranspSets = append(o.TranspSets, object.TransparencySet{
+		Name:           "marks",
+		Anchor:         object.Anchor{Media: object.MediaVoice, From: 0, To: mid},
+		Transparencies: []*img.Bitmap{s1, s2},
+	})
+
+	m.Open(o)
+	if m.Screen().Strip() == nil {
+		t.Fatal("x-ray not pinned at position 0")
+	}
+	if err := m.ShowTransparencies(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Screen().Strip()
+	if st == nil || !st.Get(150, 5) {
+		t.Fatal("transparency 1 not composed over the strip")
+	}
+	if err := m.NextTransparency(); err != nil {
+		t.Fatal(err)
+	}
+	st = m.Screen().Strip()
+	if !st.Get(150, 5) || !st.Get(150, 15) {
+		t.Fatal("stacked transparency 2 not composed")
+	}
+	// In audio mode, NextPage remains an audio page command (the driving
+	// mode is not hijacked by the set).
+	page := m.PageNo()
+	if err := m.NextPage(); err != nil {
+		t.Fatal(err)
+	}
+	if m.PageNo() != page+1 {
+		t.Fatal("NextPage did not advance the audio page")
+	}
+}
+
+// --- relevances of every media kind ---
+
+func TestRelevanceKinds(t *testing.T) {
+	im := img.New("design", 80, 60)
+	im.Add(img.Graphic{Shape: img.ShapeRect, Points: []img.Point{{X: 10, Y: 10}}, Size: img.Point{X: 30, Y: 20}})
+	note := shortVoicePart(t, "Spoken relevance segment here")
+	child, err := object.NewBuilder(300, "detail", object.Visual).
+		Text(caseMarkup).
+		Image(im).
+		VoicePart(note).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := object.NewBuilder(301, "overview", object.Visual).
+		Text(caseMarkup).
+		Relevant(300, object.Anchor{Media: object.MediaText, From: 0, To: 20}, img.Point{X: 4, Y: 50},
+			object.Relevance{Media: object.MediaText, From: 5, To: 12},
+			object.Relevance{Media: object.MediaImage, Image: "design",
+				Polygon: []img.Point{{X: 12, Y: 12}, {X: 36, Y: 12}, {X: 24, Y: 28}}},
+			object.Relevance{Media: object.MediaVoice, From: 100, To: 3000}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Screen: screen.New(300, 220), Clock: vclock.New(),
+		Resolver: func(id object.ID) (*object.Object, error) {
+			if id == 300 {
+				return child, nil
+			}
+			return nil, fmt.Errorf("no object %d", id)
+		}})
+	m.Open(parent)
+	if err := m.EnterRelevant(0); err != nil {
+		t.Fatal(err)
+	}
+	// Text relevance.
+	if err := m.NextRelevance(); err != nil {
+		t.Fatal(err)
+	}
+	ev := m.EventsOf(EvRelevanceShown)
+	if len(ev) != 1 || ev[0].Name != "text" {
+		t.Fatalf("events = %+v", ev)
+	}
+	if m.Position() != 5 {
+		t.Fatalf("text relevance position = %d", m.Position())
+	}
+	// Image relevance: polygon projected on top of the image.
+	if err := m.NextRelevance(); err != nil {
+		t.Fatal(err)
+	}
+	ev = m.EventsOf(EvRelevanceShown)
+	if ev[1].Name != "image" || ev[1].Detail != "design" {
+		t.Fatalf("image relevance event = %+v", ev[1])
+	}
+	if m.Screen().Content().PopCount() == 0 {
+		t.Fatal("image relevance blank")
+	}
+	// Voice relevance: the segment plays independently.
+	if err := m.NextRelevance(); err != nil {
+		t.Fatal(err)
+	}
+	ev = m.EventsOf(EvRelevanceShown)
+	if ev[2].Name != "voice" {
+		t.Fatalf("voice relevance event = %+v", ev[2])
+	}
+	log := m.Player().PlayLog
+	if len(log) == 0 || log[len(log)-1].From != 100 || log[len(log)-1].To != 3000 {
+		t.Fatalf("voice relevance play log = %+v", log)
+	}
+	// Cycling wraps back to the first relevance.
+	if err := m.NextRelevance(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.EventsOf(EvRelevanceShown); got[3].Name != "text" {
+		t.Fatalf("cycle event = %+v", got[3])
+	}
+}
+
+// --- nested relevant objects ---
+
+func TestNestedRelevantObjects(t *testing.T) {
+	grandchild, _ := object.NewBuilder(402, "leaf", object.Visual).Text(caseMarkup).Build()
+	child, _ := object.NewBuilder(401, "middle", object.Visual).
+		Text(caseMarkup).
+		Relevant(402, object.Anchor{Media: object.MediaText, From: 0, To: 50}, img.Point{X: 2, Y: 40}).
+		Build()
+	parent, _ := object.NewBuilder(400, "root", object.Visual).
+		Text(caseMarkup).
+		Relevant(401, object.Anchor{Media: object.MediaText, From: 0, To: 50}, img.Point{X: 2, Y: 40}).
+		Build()
+	objs := map[object.ID]*object.Object{401: child, 402: grandchild}
+	m := New(Config{Screen: screen.New(240, 140), Clock: vclock.New(),
+		Resolver: func(id object.ID) (*object.Object, error) {
+			if o, ok := objs[id]; ok {
+				return o, nil
+			}
+			return nil, fmt.Errorf("no object %d", id)
+		}})
+	m.Open(parent)
+	if err := m.EnterRelevant(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnterRelevant(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() != 3 || m.Object().ID != 402 {
+		t.Fatalf("depth=%d obj=%d", m.Depth(), m.Object().ID)
+	}
+	if err := m.ReturnFromRelevant(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Object().ID != 401 {
+		t.Fatal("pop to middle failed")
+	}
+	if err := m.ReturnFromRelevant(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() != 1 || m.Object().ID != 400 {
+		t.Fatal("pop to root failed")
+	}
+}
+
+// --- menu state under tours, processes, views ---
+
+func TestMenuDuringAutoModes(t *testing.T) {
+	m := New(Config{Screen: screen.New(240, 140), Clock: vclock.New()})
+	m.Open(tourObject(t))
+	menu := m.Menu()
+	if !contains(menu, "TOUR WALK") {
+		t.Fatalf("menu lacks tour: %v", menu)
+	}
+	m.StartTour("walk")
+	menu = m.Menu()
+	if !contains(menu, "INTERRUPT TOUR") || contains(menu, "NEXT PAGE") {
+		t.Fatalf("tour menu = %v", menu)
+	}
+	m.InterruptTour()
+	menu = m.Menu()
+	if !contains(menu, "MOVE VIEW") || !contains(menu, "CLOSE VIEW") {
+		t.Fatalf("view menu = %v", menu)
+	}
+	m.CloseView()
+	if !contains(m.Menu(), "NEXT PAGE") {
+		t.Fatal("page menu not restored")
+	}
+
+	m2 := New(Config{Screen: screen.New(240, 140), Clock: vclock.New()})
+	m2.Open(processObject(t))
+	if !contains(m2.Menu(), "PLAY WALK") {
+		t.Fatalf("menu lacks process: %v", m2.Menu())
+	}
+	m2.StartProcess("walk")
+	menu = m2.Menu()
+	if !contains(menu, "STOP PROCESS") || !contains(menu, "FASTER") {
+		t.Fatalf("process menu = %v", menu)
+	}
+	m2.StopProcess()
+}
+
+// --- invisible label reveal ---
+
+func TestRevealLabels(t *testing.T) {
+	im := img.New("map", 200, 120)
+	im.Add(img.Graphic{Shape: img.ShapePoint, Points: []img.Point{{X: 50, Y: 50}},
+		Label: img.Label{Kind: img.InvisibleTextLabel, Text: "SECRET", At: img.Point{X: 60, Y: 46}}})
+	o, err := object.NewBuilder(1, "map", object.Visual).
+		Text(".title Map\nMap with an invisible label.\n").
+		Image(im).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Screen: screen.New(300, 200), Clock: vclock.New()})
+	m.Open(o)
+	if err := m.RevealLabels(); err == nil {
+		t.Fatal("reveal without view accepted")
+	}
+	m.OpenView("map", img.Rect{X: 0, Y: 0, W: 150, H: 100})
+	before := m.Screen().Content().PopCount()
+	if err := m.RevealLabels(); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Screen().Content().PopCount()
+	if after <= before {
+		t.Fatal("invisible label did not draw pixels")
+	}
+	if len(m.EventsOf(EvLabelShown)) != 1 {
+		t.Fatal("no reveal event")
+	}
+}
+
+// --- audio page goto while playing keeps playing ---
+
+func TestAudioGotoWhilePlaying(t *testing.T) {
+	clock := vclock.New()
+	m := New(Config{Screen: screen.New(240, 140), Clock: clock, AudioPageLen: 4 * time.Second})
+	m.Open(audioObject(t, text.UnitChapter))
+	m.Play()
+	clock.Advance(time.Second)
+	if err := m.GotoPage(2); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Player().Playing() {
+		t.Fatal("page jump stopped playback")
+	}
+	pages := m.AudioPages()
+	if got := m.Position(); got < pages[2].Start {
+		t.Fatalf("position %d before page 2 start %d", got, pages[2].Start)
+	}
+}
+
+// --- pattern browsing respects the driving mode on relevant objects ---
+
+func TestRelevantObjectUsesOwnDrivingMode(t *testing.T) {
+	audioChild := audioObject(t, text.UnitChapter)
+	audioChild.ID = 500
+	parent, _ := object.NewBuilder(501, "root", object.Visual).
+		Text(caseMarkup).
+		Relevant(500, object.Anchor{Media: object.MediaText, From: 0, To: 50}, img.Point{X: 2, Y: 40}).
+		Build()
+	m := New(Config{Screen: screen.New(240, 140), Clock: vclock.New(), AudioPageLen: 5 * time.Second,
+		Resolver: func(id object.ID) (*object.Object, error) { return audioChild, nil }})
+	m.Open(parent)
+	if m.Mode() != object.Visual {
+		t.Fatal("parent mode")
+	}
+	m.EnterRelevant(0)
+	if m.Mode() != object.Audio {
+		t.Fatal("child driving mode not adopted")
+	}
+	// Voice ops work inside the relevant object.
+	if err := m.Play(); err != nil {
+		t.Fatal(err)
+	}
+	m.Clock().Advance(time.Second)
+	if err := m.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+	m.ReturnFromRelevant()
+	if m.Mode() != object.Visual {
+		t.Fatal("parent mode not re-established")
+	}
+	// Voice ops invalid again on the visual parent.
+	if err := m.Play(); err == nil {
+		t.Fatal("Play on visual parent accepted")
+	}
+}
+
+// Voice messages anchored to an image play when the page showing the image
+// first appears (the paper's x-ray narration case in visual mode).
+func TestImageAnchoredVoiceMessage(t *testing.T) {
+	im := img.New("xray", 80, 60)
+	im.Base = img.NewBitmap(80, 60)
+	im.Base.Fill(img.Rect{X: 10, Y: 10, W: 40, H: 30}, true)
+	note := shortVoicePart(t, "Observe the opacity here")
+	o, err := object.NewBuilder(1, "report", object.Visual).
+		Text(caseMarkup).
+		Image(im).
+		PlaceImageAfterWord("xray", 60).
+		VoiceMsg("narr", note, object.Anchor{Media: object.MediaImage, Image: "xray"}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testManager(t)
+	m.Open(o)
+	if len(m.EventsOf(EvVoiceMsgPlayed)) != 0 {
+		t.Fatal("message played before the image page")
+	}
+	// Page forward until the image's page shows.
+	for i := 0; i < m.PageCount(); i++ {
+		m.NextPage()
+		if len(m.EventsOf(EvVoiceMsgPlayed)) > 0 {
+			break
+		}
+	}
+	if got := len(m.EventsOf(EvVoiceMsgPlayed)); got != 1 {
+		t.Fatalf("message played %d times, want 1 on the image page", got)
+	}
+	// Paging away and back replays (fresh branch-in).
+	m.GotoPage(0)
+	for i := 0; i < m.PageCount(); i++ {
+		m.NextPage()
+		if len(m.EventsOf(EvVoiceMsgPlayed)) > 1 {
+			break
+		}
+	}
+	if got := len(m.EventsOf(EvVoiceMsgPlayed)); got != 2 {
+		t.Fatalf("message played %d times after revisit, want 2", got)
+	}
+}
+
+// A point anchor (the two points coincide, §2) triggers its voice message
+// exactly once when playback crosses it.
+func TestPointAnchoredVoiceMessageDuringPlayback(t *testing.T) {
+	clock := vclock.New()
+	m := New(Config{Screen: screen.New(240, 140), Clock: clock, AudioPageLen: 5 * time.Second})
+	o := audioObject(t, text.UnitChapter)
+	vp := o.PrimaryVoice()
+	point := len(vp.Samples) / 3
+	o.VoiceMsgs = append(o.VoiceMsgs, object.VoiceMessage{
+		Name:   "ping",
+		Part:   shortVoicePart(t, "ping"),
+		Anchor: object.Anchor{Media: object.MediaVoice, From: point, To: point},
+	})
+	m.Open(o)
+	m.Play()
+	clock.Run(5 * time.Minute)
+	if got := len(m.EventsOf(EvVoiceMsgPlayed)); got != 1 {
+		t.Fatalf("point message played %d times, want 1", got)
+	}
+	// The message fired exactly when playback reached the point.
+	ev := m.EventsOf(EvVoiceMsgPlayed)[0]
+	wantAt := vp.TimeAt(point)
+	if ev.At < wantAt-time.Millisecond || ev.At > wantAt+time.Millisecond {
+		t.Fatalf("message at %v, want ~%v", ev.At, wantAt)
+	}
+}
+
+// Tour stops with visual message refs pin the strip for that stop.
+func TestTourVisualMessage(t *testing.T) {
+	clock := vclock.New()
+	m := New(Config{Screen: screen.New(240, 140), Clock: clock})
+	o := tourObject(t)
+	o.VisualMsgs = append(o.VisualMsgs, object.VisualMessage{
+		Name:   "caption",
+		Strip:  strip(100, 20),
+		Anchor: object.Anchor{Media: object.MediaText, From: 0, To: 0},
+	})
+	o.Tours[0].Tour.Stops[1].VisualMsgRef = "caption"
+	m.Open(o)
+	m.ClearEvents()
+	m.StartTour("walk")
+	// Advance to stop 1 (stop 0 plays a voice message first).
+	for len(m.EventsOf(EvTourStop)) < 2 && clock.Now() < time.Minute {
+		clock.Advance(200 * time.Millisecond)
+	}
+	if m.Screen().Strip() == nil {
+		t.Fatal("tour stop's visual message not pinned")
+	}
+	pins := m.EventsOf(EvVisualMsgPinned)
+	if len(pins) == 0 || pins[0].Detail != "tour" {
+		t.Fatalf("pin events = %+v", pins)
+	}
+	clock.Run(2 * time.Minute)
+	if m.Screen().Strip() != nil {
+		t.Fatal("strip still pinned after the tour ended")
+	}
+}

@@ -1,0 +1,803 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/screen"
+	"minos/internal/text"
+	"minos/internal/vclock"
+)
+
+func strip(w, h int) *img.Bitmap {
+	b := img.NewBitmap(w, h)
+	b.Fill(img.Rect{X: 1, Y: 1, W: w - 2, H: h - 2}, true)
+	return b
+}
+
+// --- voice logical messages (visual mode) ---
+
+func TestVoiceMessagePlaysOnFirstBranchIn(t *testing.T) {
+	m := testManager(t)
+	note := shortVoicePart(t, "Note this section")
+	o, err := object.NewBuilder(1, "doc", object.Visual).
+		Text(caseMarkup).
+		VoiceMsg("note", note, object.Anchor{Media: object.MediaText, From: 30, To: 60}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Open(o)
+	if len(m.EventsOf(EvVoiceMsgPlayed)) != 0 {
+		t.Fatal("message played before branching in")
+	}
+	// Page forward until inside the anchor.
+	for m.Position() < 30 {
+		if err := m.NextPage(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(m.EventsOf(EvVoiceMsgPlayed)); got != 1 {
+		t.Fatalf("message played %d times, want 1", got)
+	}
+	// Browsing within the segment does not replay.
+	m.NextPage()
+	if m.Position() <= 60 {
+		if got := len(m.EventsOf(EvVoiceMsgPlayed)); got != 1 {
+			t.Fatalf("message replayed within segment: %d", got)
+		}
+	}
+	// Leave and re-enter: plays again (a new branch-in).
+	m.GotoPage(0)
+	for m.Position() < 30 {
+		m.NextPage()
+	}
+	if got := len(m.EventsOf(EvVoiceMsgPlayed)); got != 2 {
+		t.Fatalf("message played %d times after re-entry, want 2", got)
+	}
+}
+
+// --- visual logical messages: the Figures 3-4 split view ---
+
+func splitViewObject(t testing.TB) *object.Object {
+	t.Helper()
+	// Anchor a visual message (an "x-ray") to a mid-document text range.
+	o, err := object.NewBuilder(1, "doc", object.Visual).
+		Text(caseMarkup).
+		VisualMsg("xray", strip(120, 40), object.Anchor{Media: object.MediaText, From: 26, To: 70}, false).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestVisualMessageSplitView(t *testing.T) {
+	m := testManager(t)
+	m.Open(splitViewObject(t))
+	if m.Screen().Strip() != nil {
+		t.Fatal("strip pinned before entering the segment")
+	}
+	for m.Screen().Strip() == nil {
+		if err := m.NextPage(); err != nil {
+			t.Fatal(err)
+		}
+		if m.PageNo() == m.PageCount()-1 && m.Screen().Strip() == nil {
+			t.Fatal("never entered the split view")
+		}
+	}
+	if len(m.EventsOf(EvVisualMsgPinned)) != 1 {
+		t.Fatal("no pinned event")
+	}
+	// The strip stays while paging through the related text.
+	sawMultiplePages := 0
+	for m.Screen().Strip() != nil {
+		if err := m.NextPage(); err != nil {
+			t.Fatal(err)
+		}
+		sawMultiplePages++
+		if sawMultiplePages > 50 {
+			t.Fatal("split view never ends")
+		}
+	}
+	if sawMultiplePages < 2 {
+		t.Fatalf("related text fit one sub-page (%d); fixture too small", sawMultiplePages)
+	}
+	if len(m.EventsOf(EvVisualMsgUnpinned)) != 1 {
+		t.Fatal("no unpinned event")
+	}
+	// After the segment: a page without the image, past the anchor.
+	if m.Position() <= 70 {
+		t.Fatalf("position %d still inside anchor after leaving", m.Position())
+	}
+}
+
+func TestVisualMessageOnceOnly(t *testing.T) {
+	m := testManager(t)
+	o, err := object.NewBuilder(1, "doc", object.Visual).
+		Text(caseMarkup).
+		VisualMsg("xray", strip(120, 40), object.Anchor{Media: object.MediaText, From: 26, To: 70}, true).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Open(o)
+	for m.Screen().Strip() == nil {
+		m.NextPage()
+	}
+	for m.Screen().Strip() != nil {
+		m.NextPage()
+	}
+	// Go back into the anchor: once-only messages do not reappear.
+	m.GotoPage(0)
+	for i := 0; i < m.PageCount()+5; i++ {
+		m.NextPage()
+		if m.Screen().Strip() != nil {
+			t.Fatal("once-only message pinned twice")
+		}
+	}
+	if got := len(m.EventsOf(EvVisualMsgPinned)); got != 1 {
+		t.Fatalf("pinned %d times, want 1", got)
+	}
+}
+
+func TestSplitViewPrevPage(t *testing.T) {
+	m := testManager(t)
+	m.Open(splitViewObject(t))
+	for m.Screen().Strip() == nil {
+		m.NextPage()
+	}
+	m.NextPage() // into sub-page 2
+	if m.Screen().Strip() == nil {
+		t.Skip("anchor fits one sub-page on this geometry")
+	}
+	posIn := m.Position()
+	m.PrevPage() // back to sub-page 1
+	if m.Screen().Strip() == nil {
+		t.Fatal("prev within split view unpinned the strip")
+	}
+	if m.Position() >= posIn {
+		t.Fatal("prev sub-page did not move back")
+	}
+	// Prev from the first sub-page exits before the anchor.
+	m.PrevPage()
+	if m.Screen().Strip() != nil && m.Position() >= 26 {
+		t.Fatal("prev from first sub-page stayed inside")
+	}
+}
+
+// --- visual message pinning on audio objects ---
+
+func TestVisualMessagePinsDuringVoiceSegment(t *testing.T) {
+	clock := vclock.New()
+	m := New(Config{Screen: screen.New(240, 140), Clock: clock, AudioPageLen: 5 * time.Second})
+	o := audioObject(t, text.UnitChapter)
+	vp := o.PrimaryVoice()
+	third := len(vp.Samples) / 3
+	o.VisualMsgs = append(o.VisualMsgs, object.VisualMessage{
+		Name:   "xray",
+		Strip:  strip(120, 40),
+		Anchor: object.Anchor{Media: object.MediaVoice, From: third, To: 2 * third},
+	})
+	m.Open(o)
+	if m.Screen().Strip() != nil {
+		t.Fatal("strip pinned at position 0")
+	}
+	m.Play()
+	// Play into the anchored segment.
+	for m.Position() < third {
+		clock.Advance(time.Second)
+	}
+	clock.Advance(100 * time.Millisecond)
+	if m.Screen().Strip() == nil {
+		t.Fatal("strip not pinned inside the voice segment")
+	}
+	// Play past the segment: strip unpins.
+	for m.Position() <= 2*third && m.Player().Playing() {
+		clock.Advance(time.Second)
+	}
+	clock.Advance(100 * time.Millisecond)
+	if m.Screen().Strip() != nil {
+		t.Fatal("strip still pinned after the voice segment")
+	}
+}
+
+// --- voice messages on audio objects: played before the segment ---
+
+func TestVoiceMessageBeforeSegmentOnAudio(t *testing.T) {
+	clock := vclock.New()
+	m := New(Config{Screen: screen.New(240, 140), Clock: clock, AudioPageLen: 5 * time.Second})
+	o := audioObject(t, text.UnitChapter)
+	vp := o.PrimaryVoice()
+	mid := len(vp.Samples) / 2
+	note := shortVoicePart(t, "Attention here")
+	o.VoiceMsgs = append(o.VoiceMsgs, object.VoiceMessage{
+		Name:   "note",
+		Part:   note,
+		Anchor: object.Anchor{Media: object.MediaVoice, From: mid, To: mid + 4000},
+	})
+	m.Open(o)
+	m.Play()
+	// Advance until the message has played.
+	for len(m.EventsOf(EvVoiceMsgPlayed)) == 0 {
+		clock.Advance(time.Second)
+		if clock.Now() > 5*time.Minute {
+			t.Fatal("message never played")
+		}
+	}
+	// Let the message finish and the segment voice resume.
+	clock.Advance(30 * time.Second)
+	// At the moment the message starts, the main voice must be paused at
+	// the segment start, and it resumes right after the message ends.
+	msgEv := m.EventsOf(EvVoiceMsgPlayed)[0]
+	var resumedAfter bool
+	for _, p := range m.Player().PlayLog {
+		if p.From == mid && p.At > msgEv.At {
+			resumedAfter = true
+		}
+	}
+	if !resumedAfter {
+		t.Fatalf("segment voice did not resume after the message; log=%+v", m.Player().PlayLog)
+	}
+}
+
+// --- transparency sets ---
+
+func transparencyObject(t testing.TB, separate bool) *object.Object {
+	t.Helper()
+	// Sheets mark pixels near the bottom of the page, well below the
+	// fixture's two text lines.
+	s1 := img.NewBitmap(100, 130)
+	s1.Set(10, 100, true)
+	s2 := img.NewBitmap(100, 130)
+	s2.Set(20, 110, true)
+	s3 := img.NewBitmap(100, 130)
+	s3.Set(30, 120, true)
+	o, err := object.NewBuilder(1, "doc", object.Visual).
+		Text(".title Legend\nThe map legend follows here.\n").
+		TranspSet("overlay", object.Anchor{Media: object.MediaText, From: 0, To: 4}, separate, s1, s2, s3).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestTransparenciesStacked(t *testing.T) {
+	m := testManager(t)
+	m.Open(transparencyObject(t, false))
+	if !contains(m.Menu(), "SHOW TRANSPARENCIES") {
+		t.Fatalf("menu = %v", m.Menu())
+	}
+	if err := m.ShowTransparencies(); err != nil {
+		t.Fatal(err)
+	}
+	name, idx := m.ActiveTransparency()
+	if name != "overlay" || idx != 0 {
+		t.Fatalf("active = %s/%d", name, idx)
+	}
+	c := m.Screen().Content()
+	if !c.Get(10, 100) || c.Get(20, 110) {
+		t.Fatal("first transparency composition wrong")
+	}
+	// NextPage steps through the set.
+	m.NextPage()
+	c = m.Screen().Content()
+	if !c.Get(10, 100) || !c.Get(20, 110) {
+		t.Fatal("stacked method lost earlier transparency")
+	}
+	m.NextPage()
+	c = m.Screen().Content()
+	if !c.Get(10, 100) || !c.Get(20, 110) || !c.Get(30, 120) {
+		t.Fatal("stacked all three missing")
+	}
+	// Past the last: set ends, normal paging resumes.
+	m.NextPage()
+	if name, _ := m.ActiveTransparency(); name != "" {
+		t.Fatal("set still active after last transparency")
+	}
+}
+
+func TestTransparenciesSeparate(t *testing.T) {
+	m := testManager(t)
+	m.Open(transparencyObject(t, true))
+	m.ShowTransparencies()
+	m.NextPage() // transparency 2
+	c := m.Screen().Content()
+	if c.Get(10, 100) || !c.Get(20, 110) {
+		t.Fatal("separate method shows earlier transparencies")
+	}
+	m.PrevPage()
+	c = m.Screen().Content()
+	if !c.Get(10, 100) || c.Get(20, 110) {
+		t.Fatal("prev transparency wrong")
+	}
+	// User-selected subset.
+	if err := m.SelectTransparencies(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	c = m.Screen().Content()
+	if !c.Get(10, 100) || c.Get(20, 110) || !c.Get(30, 120) {
+		t.Fatal("selected subset composition wrong")
+	}
+	if err := m.SelectTransparencies(99); err == nil {
+		t.Fatal("out-of-range selection accepted")
+	}
+	ev := m.EventsOf(EvTransparencyShown)
+	if len(ev) == 0 {
+		t.Fatal("no transparency events")
+	}
+}
+
+func TestTransparenciesErrors(t *testing.T) {
+	m := testManager(t)
+	m.Open(visualObject(t))
+	if err := m.ShowTransparencies(); err == nil {
+		t.Fatal("transparencies without a set accepted")
+	}
+	if err := m.NextTransparency(); err == nil {
+		t.Fatal("next transparency without active set accepted")
+	}
+}
+
+// --- relevant objects ---
+
+func relevantFixture(t testing.TB) (*Manager, *object.Object) {
+	t.Helper()
+	child, err := object.NewBuilder(2000, "hospitals", object.Visual).
+		Text(".title Hospitals\nGeneral hospital is north. City clinic is south of the river crossing.\n").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := object.NewBuilder(1, "map", object.Visual).
+		Text(caseMarkup).
+		Relevant(2000, object.Anchor{Media: object.MediaText, From: 0, To: 40}, img.Point{X: 5, Y: 60},
+			object.Relevance{Media: object.MediaText, From: 3, To: 8}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolver := func(id object.ID) (*object.Object, error) {
+		if id == 2000 {
+			return child, nil
+		}
+		return nil, fmt.Errorf("unknown object %d", id)
+	}
+	m := New(Config{Screen: screen.New(240, 140), Clock: vclock.New(), Resolver: resolver})
+	if err := m.Open(parent); err != nil {
+		t.Fatal(err)
+	}
+	return m, parent
+}
+
+func TestRelevantEnterAndReturn(t *testing.T) {
+	m, parent := relevantFixture(t)
+	if m.Depth() != 1 {
+		t.Fatal("depth")
+	}
+	// The indicator shows while inside the anchor.
+	inds := m.Screen().Indicators()
+	if len(inds) != 1 || inds[0].Kind != screen.RelevantObject {
+		t.Fatalf("indicators = %+v", inds)
+	}
+	// Selecting it with the mouse enters the relevant object.
+	if err := m.SelectIndicator(6, 61); err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() != 2 || m.Object().ID != 2000 {
+		t.Fatalf("depth=%d obj=%d", m.Depth(), m.Object().ID)
+	}
+	if len(m.EventsOf(EvEnterRelevant)) != 1 {
+		t.Fatal("no enter event")
+	}
+	// A return indicator appears.
+	foundReturn := false
+	for _, ind := range m.Screen().Indicators() {
+		if ind.Kind == screen.ReturnFromRelevant {
+			foundReturn = true
+		}
+	}
+	if !foundReturn {
+		t.Fatal("no return indicator")
+	}
+	// Browse within the relevant object.
+	if err := m.NextPage(); err != nil {
+		t.Fatal(err)
+	}
+	// Return re-establishes the parent.
+	if err := m.ReturnFromRelevant(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() != 1 || m.Object() != parent {
+		t.Fatal("return did not restore the parent")
+	}
+	if len(m.EventsOf(EvReturnRelevant)) != 1 {
+		t.Fatal("no return event")
+	}
+}
+
+func TestRelevantErrors(t *testing.T) {
+	m, _ := relevantFixture(t)
+	if err := m.EnterRelevant(5); err == nil {
+		t.Fatal("bogus link accepted")
+	}
+	if err := m.ReturnFromRelevant(); err == nil {
+		t.Fatal("return at depth 1 accepted")
+	}
+	if err := m.SelectIndicator(200, 200); err == nil {
+		t.Fatal("selection in empty space accepted")
+	}
+	// No resolver: entering fails cleanly.
+	m2 := testManager(t)
+	o, _ := object.NewBuilder(1, "x", object.Visual).Text(caseMarkup).
+		Relevant(99, object.Anchor{Media: object.MediaText, From: 0, To: 10}, img.Point{X: 1, Y: 1}).Build()
+	m2.Open(o)
+	if err := m2.EnterRelevant(0); err == nil {
+		t.Fatal("enter without resolver accepted")
+	}
+}
+
+func TestRelevances(t *testing.T) {
+	m, _ := relevantFixture(t)
+	if err := m.NextRelevance(); err == nil {
+		t.Fatal("relevances outside a relevant object accepted")
+	}
+	m.EnterRelevant(0)
+	if !contains(m.Menu(), "NEXT RELEVANCE") {
+		t.Fatalf("menu = %v", m.Menu())
+	}
+	if err := m.NextRelevance(); err != nil {
+		t.Fatal(err)
+	}
+	ev := m.EventsOf(EvRelevanceShown)
+	if len(ev) != 1 || ev[0].Name != "text" {
+		t.Fatalf("relevance events = %+v", ev)
+	}
+	if m.Position() != 3 {
+		t.Fatalf("relevance position = %d, want 3", m.Position())
+	}
+	// Cycles through the (single) relevance.
+	if err := m.NextRelevance(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- tours ---
+
+func tourObject(t testing.TB) *object.Object {
+	t.Helper()
+	m := img.New("map", 200, 160)
+	m.Base = img.NewBitmap(200, 160)
+	m.Base.Fill(img.Rect{X: 0, Y: 0, W: 200, H: 160}, true)
+	note := shortVoicePart(t, "This is the north side")
+	o, err := object.NewBuilder(1, "city", object.Visual).
+		Text(".title City\nA tour of the city follows.\n").
+		Image(m).
+		VoiceMsg("north", note, object.Anchor{Media: object.MediaImage, Image: "map"}).
+		Tour("walk", img.Tour{
+			Image: "map", Size: img.Point{X: 60, Y: 50}, DwellMillis: 200,
+			Stops: []img.TourStop{
+				{At: img.Point{X: 0, Y: 0}, VoiceMsgRef: "north"},
+				{At: img.Point{X: 70, Y: 40}},
+				{At: img.Point{X: 140, Y: 100}},
+			},
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestTourPlaysAutomatically(t *testing.T) {
+	clock := vclock.New()
+	m := New(Config{Screen: screen.New(240, 140), Clock: clock})
+	m.Open(tourObject(t))
+	if err := m.StartTour("walk"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.TourRunning() {
+		t.Fatal("tour not running")
+	}
+	clock.Run(2 * time.Minute)
+	if m.TourRunning() {
+		t.Fatal("tour never ended")
+	}
+	stops := m.EventsOf(EvTourStop)
+	if len(stops) != 3 {
+		t.Fatalf("tour stops = %d, want 3", len(stops))
+	}
+	if len(m.EventsOf(EvTourEnded)) != 1 {
+		t.Fatal("no tour-ended event")
+	}
+	// The first stop's voice message played before advancing.
+	msgs := m.EventsOf(EvVoiceMsgPlayed)
+	if len(msgs) != 1 || msgs[0].Name != "north" {
+		t.Fatalf("tour messages = %+v", msgs)
+	}
+	// Message playback gates the advance: stop 2 happens after the
+	// message finished.
+	if stops[1].At <= msgs[0].At {
+		t.Fatal("tour advanced before its voice message")
+	}
+}
+
+func TestTourInterruptBecomesView(t *testing.T) {
+	clock := vclock.New()
+	m := New(Config{Screen: screen.New(240, 140), Clock: clock})
+	m.Open(tourObject(t))
+	m.StartTour("walk")
+	if err := m.InterruptTour(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TourRunning() {
+		t.Fatal("tour still running")
+	}
+	// The window is now movable.
+	r0, ok := m.ViewRect()
+	if !ok {
+		t.Fatal("no view after interrupting the tour")
+	}
+	if err := m.MoveView(img.MoveStep, 0); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := m.ViewRect()
+	if r1.X <= r0.X {
+		t.Fatal("view did not move")
+	}
+	clock.Run(time.Minute)
+	if len(m.EventsOf(EvTourEnded)) != 0 {
+		t.Fatal("interrupted tour still ended")
+	}
+	if err := m.InterruptTour(); err == nil {
+		t.Fatal("double interrupt accepted")
+	}
+	if err := m.StartTour("nope"); err == nil {
+		t.Fatal("phantom tour accepted")
+	}
+}
+
+// --- process simulation ---
+
+func processObject(t testing.TB) *object.Object {
+	t.Helper()
+	base := img.NewBitmap(100, 80)
+	base.Fill(img.Rect{X: 0, Y: 0, W: 100, H: 80}, true)
+	// Overwrites blank a moving spot (the Figures 9-10 route).
+	ow1 := img.NewBitmap(100, 80)
+	mask1 := img.NewBitmap(100, 80)
+	mask1.Fill(img.Rect{X: 10, Y: 10, W: 6, H: 6}, true)
+	ow2 := img.NewBitmap(100, 80)
+	mask2 := img.NewBitmap(100, 80)
+	mask2.Fill(img.Rect{X: 20, Y: 18, W: 6, H: 6}, true)
+	note := shortVoicePart(t, "Here is the old church")
+	o, err := object.NewBuilder(1, "walk", object.Visual).
+		Text(".title Walk\nA walk through the city.\n").
+		VoiceMsg("church", note, object.Anchor{Media: object.MediaText, From: 0, To: 0}).
+		Process("walk", 100,
+			object.ProcessPage{Kind: object.ProcessReplace, Image: base},
+			object.ProcessPage{Kind: object.ProcessOverwrite, Image: ow1, Mask: mask1, VoiceMsg: "church"},
+			object.ProcessPage{Kind: object.ProcessOverwrite, Image: ow2, Mask: mask2},
+		).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestProcessSimulationRuns(t *testing.T) {
+	clock := vclock.New()
+	m := New(Config{Screen: screen.New(240, 140), Clock: clock})
+	m.Open(processObject(t))
+	// Note: Open plays the voice message anchored at word 0 (branch-in).
+	m.ClearEvents()
+	if err := m.StartProcess("walk"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.ProcessRunning() {
+		t.Fatal("process not running")
+	}
+	// After frame 1 and 2, the route spots are blanked while the rest of
+	// the base stays set.
+	clock.Run(2 * time.Minute)
+	if m.ProcessRunning() {
+		t.Fatal("process never ended")
+	}
+	frames := m.EventsOf(EvProcessPage)
+	if len(frames) != 3 {
+		t.Fatalf("frames = %d, want 3", len(frames))
+	}
+	if len(m.EventsOf(EvProcessEnded)) != 1 {
+		t.Fatal("no process-ended event")
+	}
+	c := m.Screen().Content()
+	if c.Get(12, 12) || c.Get(22, 20) {
+		t.Fatal("route spots not blanked by overwrites")
+	}
+	if !c.Get(50, 50) {
+		t.Fatal("base content destroyed outside overwrite masks")
+	}
+	// Voice message gating: frame 2 shown only after the message.
+	msgs := m.EventsOf(EvVoiceMsgPlayed)
+	if len(msgs) != 1 {
+		t.Fatalf("messages = %+v", msgs)
+	}
+	if frames[2].At <= msgs[0].At {
+		t.Fatal("frame 2 shown before the audio message finished")
+	}
+}
+
+func TestProcessSpeedControl(t *testing.T) {
+	clock := vclock.New()
+	m := New(Config{Screen: screen.New(240, 140), Clock: clock})
+	m.Open(processObject(t))
+	m.StartProcess("walk")
+	if err := m.SetProcessSpeed(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetProcessSpeed(0); err == nil {
+		t.Fatal("zero speed accepted")
+	}
+	if err := m.StopProcess(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ProcessRunning() {
+		t.Fatal("process still running after stop")
+	}
+	if err := m.StopProcess(); err == nil {
+		t.Fatal("double stop accepted")
+	}
+	if err := m.StartProcess("nope"); err == nil {
+		t.Fatal("phantom process accepted")
+	}
+}
+
+// --- views and labels ---
+
+func labelledMapObject(t testing.TB) *object.Object {
+	t.Helper()
+	im := img.New("map", 300, 200)
+	im.Add(img.Graphic{Shape: img.ShapeCircle, Points: []img.Point{{X: 40, Y: 40}}, Radius: 6,
+		Label: img.Label{Kind: img.TextLabel, Text: "GENERAL HOSPITAL", At: img.Point{X: 50, Y: 36}}})
+	im.Add(img.Graphic{Shape: img.ShapeCircle, Points: []img.Point{{X: 250, Y: 150}}, Radius: 6,
+		Label: img.Label{Kind: img.VoiceLabel, Text: "city hospital", VoiceRef: "cityh", At: img.Point{X: 258, Y: 146}}})
+	im.Add(img.Graphic{Shape: img.ShapeRect, Points: []img.Point{{X: 120, Y: 90}}, Size: img.Point{X: 30, Y: 20},
+		Label: img.Label{Kind: img.TextLabel, Text: "UNIVERSITY", At: img.Point{X: 120, Y: 84}}})
+	note := shortVoicePart(t, "City hospital with emergency ward")
+	o, err := object.NewBuilder(1, "city map", object.Visual).
+		Text(".title Map\nThe city map follows.\n").
+		Image(im).
+		VoiceMsg("cityh", note, object.Anchor{Media: object.MediaText, From: 0, To: 0}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestViewBrowsing(t *testing.T) {
+	m := New(Config{Screen: screen.New(240, 140), Clock: vclock.New(), VoiceOption: true})
+	m.Open(labelledMapObject(t))
+	m.ClearEvents()
+	if err := m.OpenView("map", img.Rect{X: 0, Y: 0, W: 80, H: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.ViewRect(); !ok {
+		t.Fatal("no view rect")
+	}
+	// The view shows only its portion: content pixels present.
+	if m.Screen().Content().PopCount() == 0 {
+		t.Fatal("view blank")
+	}
+	// Move across the map to the voice-labelled site: label plays.
+	for i := 0; i < 20; i++ {
+		m.MoveView(img.MoveStep, img.MoveStep)
+	}
+	if len(m.EventsOf(EvLabelPlayed)) == 0 {
+		t.Fatal("voice label not played while moving")
+	}
+	if err := m.CloseView(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.ViewRect(); ok {
+		t.Fatal("view survived close")
+	}
+	if err := m.MoveView(1, 1); err == nil {
+		t.Fatal("move without view accepted")
+	}
+	if err := m.OpenView("ghost", img.Rect{}); err == nil {
+		t.Fatal("view on missing image accepted")
+	}
+}
+
+func TestViewJumpAndResize(t *testing.T) {
+	m := New(Config{Screen: screen.New(240, 140), Clock: vclock.New(), VoiceOption: true})
+	m.Open(labelledMapObject(t))
+	m.OpenView("map", img.Rect{X: 0, Y: 0, W: 60, H: 50})
+	m.ClearEvents()
+	if err := m.JumpView(230, 130); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.EventsOf(EvLabelPlayed)) != 1 {
+		t.Fatal("jump into labelled area did not play label")
+	}
+	m.JumpView(0, 0)
+	m.ClearEvents()
+	// Expanding to cover the whole map encounters the label again.
+	if err := m.ResizeView(300, 200); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.EventsOf(EvLabelPlayed)) != 1 {
+		t.Fatal("expansion did not play newly covered label")
+	}
+}
+
+func TestHighlightAndSelect(t *testing.T) {
+	m := New(Config{Screen: screen.New(300, 220), Clock: vclock.New()})
+	m.Open(labelledMapObject(t))
+	m.OpenView("map", img.Rect{X: 0, Y: 0, W: 180, H: 160})
+	n, err := m.HighlightLabels("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("highlighted %d, want 2", n)
+	}
+	// Inverse facility: select the university rect (view coords = image
+	// coords here).
+	if err := m.SelectObjectAt(125, 95); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.EventsOf(EvLabelShown)) != 1 {
+		t.Fatal("text label not shown on selection")
+	}
+	if err := m.SelectObjectAt(5, 5); err == nil {
+		t.Fatal("selection on empty spot accepted")
+	}
+}
+
+func TestPlayAllVoiceLabels(t *testing.T) {
+	m := New(Config{Screen: screen.New(240, 140), Clock: vclock.New()})
+	m.Open(labelledMapObject(t))
+	m.OpenView("map", img.Rect{X: 0, Y: 0, W: 60, H: 50})
+	m.ClearEvents()
+	if err := m.PlayAllVoiceLabels(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.EventsOf(EvLabelPlayed)) != 1 {
+		t.Fatal("voice labels not all played")
+	}
+}
+
+func TestViewOnRepresentation(t *testing.T) {
+	m := New(Config{Screen: screen.New(240, 140), Clock: vclock.New()})
+	o := labelledMapObject(t)
+	full := o.ImageByName("map")
+	mini := full.Miniature(4)
+	o.Images = append(o.Images, mini)
+	m.Open(o)
+	if err := m.OpenView(mini.Name, img.Rect{X: 0, Y: 0, W: 20, H: 15}); err != nil {
+		t.Fatal(err)
+	}
+	// The representation badge shows.
+	found := false
+	for _, ind := range m.Screen().Indicators() {
+		if ind.Kind == screen.RepresentationBadge {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no representation badge")
+	}
+	// Mapping a view back to full-image coordinates scales by the factor.
+	r, _ := m.ViewRect()
+	fullRect := img.ExtractFromRepresentation(mini, r)
+	if fullRect.W != r.W*4 || fullRect.H != r.H*4 {
+		t.Fatalf("mapped rect %+v from %+v", fullRect, r)
+	}
+}

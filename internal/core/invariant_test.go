@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/screen"
+	"minos/internal/text"
+	"minos/internal/vclock"
+)
+
+// TestRandomCommandSequences drives the manager with long pseudo-random
+// command sequences against a feature-rich object graph and checks
+// invariants after every command: the page number stays in range, the
+// navigation depth stays positive, the screen always has a menu, and no
+// command panics.
+func TestRandomCommandSequences(t *testing.T) {
+	childA, _ := object.NewBuilder(801, "child a", object.Visual).Text(caseMarkup).Build()
+	childB := audioObject(t, text.UnitChapter)
+	childB.ID = 802
+
+	sheet := img.NewBitmap(80, 60)
+	sheet.Set(1, 1, true)
+	note := shortVoicePart(t, "note here")
+	frame := img.NewBitmap(60, 40)
+	mask := img.NewBitmap(60, 40)
+	mask.Fill(img.Rect{X: 0, Y: 0, W: 8, H: 8}, true)
+	mapImg := img.New("map", 200, 160)
+	mapImg.Add(img.Graphic{Shape: img.ShapeCircle, Points: []img.Point{{X: 60, Y: 60}}, Radius: 5,
+		Label: img.Label{Kind: img.VoiceLabel, Text: "site", VoiceRef: "note", At: img.Point{X: 70, Y: 56}}})
+
+	root, err := object.NewBuilder(800, "root", object.Visual).
+		Text(caseMarkup).
+		Image(mapImg).
+		VoiceMsg("note", note, object.Anchor{Media: object.MediaText, From: 10, To: 40}).
+		VisualMsg("pin", sheet, object.Anchor{Media: object.MediaText, From: 50, To: 80}, false).
+		TranspSet("ts", object.Anchor{Media: object.MediaText, From: 0, To: 30}, false, sheet, sheet).
+		Relevant(801, object.Anchor{Media: object.MediaText, From: 0, To: 60}, img.Point{X: 2, Y: 40}).
+		Relevant(802, object.Anchor{Media: object.MediaText, From: 20, To: 80}, img.Point{X: 2, Y: 60}).
+		Tour("walk", img.Tour{Image: "map", Size: img.Point{X: 50, Y: 40}, DwellMillis: 50,
+			Stops: []img.TourStop{{At: img.Point{X: 0, Y: 0}}, {At: img.Point{X: 100, Y: 80}}}}).
+		Process("sim", 50,
+			object.ProcessPage{Kind: object.ProcessReplace, Image: frame},
+			object.ProcessPage{Kind: object.ProcessOverwrite, Image: frame, Mask: mask}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resolver := func(id object.ID) (*object.Object, error) {
+		switch id {
+		case 801:
+			return childA, nil
+		case 802:
+			return childB, nil
+		}
+		return nil, fmt.Errorf("no object %d", id)
+	}
+
+	cmds := []func(m *Manager) error{
+		func(m *Manager) error { return m.NextPage() },
+		func(m *Manager) error { return m.PrevPage() },
+		func(m *Manager) error { return m.Advance(3) },
+		func(m *Manager) error { return m.Advance(-2) },
+		func(m *Manager) error { return m.GotoPage(0) },
+		func(m *Manager) error { return m.NextUnit(text.UnitChapter) },
+		func(m *Manager) error { return m.PrevUnit(text.UnitSection) },
+		func(m *Manager) error { return m.NextUnit(text.UnitSentence) },
+		func(m *Manager) error { return m.FindPattern("the") },
+		func(m *Manager) error { return m.ShowTransparencies() },
+		func(m *Manager) error { return m.NextTransparency() },
+		func(m *Manager) error { return m.PrevTransparency() },
+		func(m *Manager) error { return m.EnterRelevant(0) },
+		func(m *Manager) error { return m.EnterRelevant(1) },
+		func(m *Manager) error { return m.ReturnFromRelevant() },
+		func(m *Manager) error { return m.NextRelevance() },
+		func(m *Manager) error { return m.StartTour("walk") },
+		func(m *Manager) error { return m.InterruptTour() },
+		func(m *Manager) error { return m.StartProcess("sim") },
+		func(m *Manager) error { return m.StopProcess() },
+		func(m *Manager) error { return m.OpenView("map", img.Rect{X: 0, Y: 0, W: 50, H: 40}) },
+		func(m *Manager) error { return m.MoveView(16, 8) },
+		func(m *Manager) error { return m.CloseView() },
+		func(m *Manager) error { return m.Play() },
+		func(m *Manager) error { return m.Interrupt() },
+		func(m *Manager) error { return m.Resume() },
+		func(m *Manager) error { return m.RewindPauses(1, true) },
+		func(m *Manager) error { m.Clock().Run(m.Clock().Now() + 2*time.Second); return nil },
+	}
+
+	for seed := uint64(1); seed <= 4; seed++ {
+		clock := vclock.New()
+		m := New(Config{Screen: screen.New(300, 200), Clock: clock, Resolver: resolver,
+			AudioPageLen: 4 * time.Second, VoiceOption: true})
+		if err := m.Open(root); err != nil {
+			t.Fatal(err)
+		}
+		x := seed*2654435761 + 99
+		for step := 0; step < 400; step++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			cmd := cmds[x%uint64(len(cmds))]
+			_ = cmd(m) // errors are fine; panics are not
+			// Invariants.
+			if m.Depth() < 1 {
+				t.Fatalf("seed %d step %d: depth %d", seed, step, m.Depth())
+			}
+			if pc := m.PageCount(); pc > 0 {
+				if pn := m.PageNo(); pn < 0 || pn >= pc {
+					t.Fatalf("seed %d step %d: page %d of %d", seed, step, pn, pc)
+				}
+			}
+			if m.Object() == nil {
+				t.Fatalf("seed %d step %d: no object", seed, step)
+			}
+			if m.Position() < 0 {
+				t.Fatalf("seed %d step %d: negative position", seed, step)
+			}
+		}
+		// Drain any pending playback/timers cleanly.
+		clock.Run(clock.Now() + time.Minute)
+	}
+}

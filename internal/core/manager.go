@@ -1,0 +1,484 @@
+// Package core implements the MINOS multimedia object presentation manager
+// — the paper's primary contribution. It presents archived (or editing-
+// state, §4) multimedia objects on the workstation screen and provides the
+// browsing primitives of §2 with symmetric functionality for text-driven
+// and voice-driven objects:
+//
+//   - page browsing (visual pages / audio pages): next, previous, ±n, goto;
+//   - voice playback control: interrupt, resume, resume from page start,
+//     and pause-based rewind (n short/long pauses back);
+//   - logical-unit browsing (chapter, section, paragraph, sentence, word)
+//     over text boundaries and voice markers;
+//   - pattern browsing over text words and recognized voice utterances;
+//   - voice and visual logical messages with branch-in semantics;
+//   - relevant objects and relevances with an explicit enter/return stack;
+//   - transparency sets (both display methods, user-selected subsets);
+//   - tours, process simulations (with overwrites), and views on large
+//     images with voice labels.
+//
+// The manager drives a screen.Screen and an audioout.Player on a virtual
+// clock and records an Event trace that tests and the figure scenarios
+// assert against.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"minos/internal/audioout"
+	img "minos/internal/image"
+	"minos/internal/layout"
+	"minos/internal/object"
+	"minos/internal/screen"
+	"minos/internal/text"
+	"minos/internal/vclock"
+	"minos/internal/voice"
+)
+
+// EventKind classifies trace events.
+type EventKind uint8
+
+const (
+	EvPageShown EventKind = iota
+	EvVoiceMsgPlayed
+	EvVisualMsgPinned
+	EvVisualMsgUnpinned
+	EvEnterRelevant
+	EvReturnRelevant
+	EvRelevanceShown
+	EvTransparencyShown
+	EvTourStop
+	EvTourEnded
+	EvProcessPage
+	EvProcessEnded
+	EvVoicePlay
+	EvVoiceInterrupt
+	EvVoiceResume
+	EvRewind
+	EvLabelPlayed
+	EvLabelShown
+	EvHighlight
+	EvViewMoved
+	EvPatternFound
+	EvPatternMiss
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	names := [...]string{
+		"page-shown", "voice-msg-played", "visual-msg-pinned",
+		"visual-msg-unpinned", "enter-relevant", "return-relevant",
+		"relevance-shown", "transparency-shown", "tour-stop", "tour-ended",
+		"process-page", "process-ended", "voice-play", "voice-interrupt",
+		"voice-resume", "rewind", "label-played", "label-shown",
+		"highlight", "view-moved", "pattern-found", "pattern-miss",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one entry of the manager's trace.
+type Event struct {
+	Kind   EventKind
+	Name   string // entity involved (message name, object id, ...)
+	Detail string
+	Page   int // page number where applicable, else -1
+	At     time.Duration
+}
+
+// Resolver loads relevant objects by id (backed by the server or archiver).
+type Resolver func(object.ID) (*object.Object, error)
+
+// Config assembles the manager's workstation devices.
+type Config struct {
+	Screen *screen.Screen
+	Clock  *vclock.Clock
+	// Resolver is consulted when the user selects a relevant object
+	// indicator. May be nil if the object has no relevant links.
+	Resolver Resolver
+	// AudioPageLen is the audio page length (0 = voice.DefaultPageLength).
+	AudioPageLen time.Duration
+	// VoiceOption enables automatic voice label playback as views move.
+	VoiceOption bool
+}
+
+// Manager is the multimedia object presentation manager.
+type Manager struct {
+	cfg       Config
+	player    *audioout.Player // object voice part playback
+	msgPlayer *audioout.Player // logical message playback
+
+	stack  []*session
+	events []Event
+
+	tour    *tourState
+	process *processState
+	view    *viewState
+}
+
+// session is the per-object browsing state; entering a relevant object
+// pushes a new session, returning pops it and "the mode of browsing of the
+// parent object is reestablished" (§2).
+type session struct {
+	obj    *object.Object
+	stream []text.FlatWord
+
+	// Visual mode.
+	pages  []layout.Page
+	pageNo int
+	msg    *msgView // active visual-logical-message split view
+
+	// Audio mode.
+	vpart  *voice.Part
+	apages []voice.AudioPage
+	pauses []voice.Pause
+
+	// pos is the current browsing position: a global word index (visual)
+	// or a sample offset (audio).
+	pos int
+
+	// Branch-in tracking for logical messages.
+	inVoiceAnchor  map[string]bool
+	inVisualAnchor map[string]bool
+	shownOnce      map[string]bool
+	pinned         string // name of the pinned visual message, "" if none
+
+	transp *transpState
+
+	// Relevant-object context: the link through which this session was
+	// entered, and the relevance cursor.
+	viaLink *object.RelevantLink
+	relIdx  int
+}
+
+// msgView is the Figures 3-4 split view: the message strip pinned on top,
+// the related words paginated below at reduced height.
+type msgView struct {
+	name     string
+	from, to int
+	subPages []layout.Page
+	subNo    int
+}
+
+type transpState struct {
+	set    *object.TransparencySet
+	base   *img.Bitmap
+	index  int // -1 before the first transparency
+	chosen []int
+}
+
+// New builds a manager. Screen and Clock are required.
+func New(cfg Config) *Manager {
+	if cfg.Screen == nil {
+		cfg.Screen = screen.New(0, 0)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.New()
+	}
+	if cfg.AudioPageLen == 0 {
+		cfg.AudioPageLen = voice.DefaultPageLength
+	}
+	return &Manager{
+		cfg:       cfg,
+		player:    audioout.NewPlayer(cfg.Clock),
+		msgPlayer: audioout.NewPlayer(cfg.Clock),
+	}
+}
+
+// Events returns the trace so far.
+func (m *Manager) Events() []Event { return append([]Event(nil), m.events...) }
+
+// EventsOf filters the trace by kind.
+func (m *Manager) EventsOf(k EventKind) []Event {
+	var out []Event
+	for _, e := range m.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ClearEvents resets the trace.
+func (m *Manager) ClearEvents() { m.events = nil }
+
+func (m *Manager) trace(k EventKind, name, detail string, page int) {
+	m.events = append(m.events, Event{Kind: k, Name: name, Detail: detail, Page: page, At: m.cfg.Clock.Now()})
+}
+
+// Screen exposes the driven screen.
+func (m *Manager) Screen() *screen.Screen { return m.cfg.Screen }
+
+// Clock exposes the virtual clock.
+func (m *Manager) Clock() *vclock.Clock { return m.cfg.Clock }
+
+// Player exposes the object-voice player (tests inspect its log).
+func (m *Manager) Player() *audioout.Player { return m.player }
+
+// MsgPlayer exposes the logical-message player.
+func (m *Manager) MsgPlayer() *audioout.Player { return m.msgPlayer }
+
+func (m *Manager) cur() *session {
+	if len(m.stack) == 0 {
+		return nil
+	}
+	return m.stack[len(m.stack)-1]
+}
+
+// Object returns the object currently being browsed, or nil.
+func (m *Manager) Object() *object.Object {
+	if s := m.cur(); s != nil {
+		return s.obj
+	}
+	return nil
+}
+
+// Depth returns the relevant-object nesting depth (1 = the opened object).
+func (m *Manager) Depth() int { return len(m.stack) }
+
+// Open starts browsing an object in its driving mode. Any previous
+// navigation stack is discarded.
+func (m *Manager) Open(o *object.Object) error {
+	m.stack = nil
+	m.stopAuto()
+	s, err := m.newSession(o)
+	if err != nil {
+		return err
+	}
+	m.stack = []*session{s}
+	if o.Mode == object.Visual {
+		// The opening page may already lie inside a visual logical
+		// message's related segment.
+		m.enterMsgViewIfAnchored()
+	}
+	m.showCurrent()
+	return nil
+}
+
+func (m *Manager) newSession(o *object.Object) (*session, error) {
+	s := &session{
+		obj:            o,
+		stream:         o.Stream(),
+		inVoiceAnchor:  map[string]bool{},
+		inVisualAnchor: map[string]bool{},
+		shownOnce:      map[string]bool{},
+	}
+	switch o.Mode {
+	case object.Visual:
+		if o.Doc == nil {
+			return nil, fmt.Errorf("core: visual mode object %d has no document flow", o.ID)
+		}
+		s.pages = layout.Paginate(o.Doc, m.pageSpec(0))
+		if len(s.pages) == 0 {
+			return nil, fmt.Errorf("core: object %d paginated to zero pages", o.ID)
+		}
+		s.pos = firstWordOf(s.pages, 0)
+	case object.Audio:
+		s.vpart = o.PrimaryVoice()
+		if s.vpart == nil {
+			return nil, fmt.Errorf("core: audio mode object %d has no voice part", o.ID)
+		}
+		s.pauses = voice.DetectPauses(s.vpart, voice.DetectorConfig{})
+		s.apages = voice.Paginate(s.vpart, m.cfg.AudioPageLen, s.pauses)
+		s.pos = 0
+	}
+	return s, nil
+}
+
+// pageSpec derives the pagination geometry; stripH > 0 reserves room for a
+// pinned message strip.
+func (m *Manager) pageSpec(stripH int) layout.Spec {
+	h := m.cfg.Screen.H
+	if stripH > 0 {
+		h -= stripH + screen.GutterCols
+	}
+	return layout.Spec{W: m.cfg.Screen.ContentWidth(), H: h}
+}
+
+func firstWordOf(pages []layout.Page, n int) int {
+	if n < 0 || n >= len(pages) {
+		return 0
+	}
+	if pages[n].FirstWord >= 0 {
+		return pages[n].FirstWord
+	}
+	return 0
+}
+
+// Mode returns the driving mode of the currently browsed object.
+func (m *Manager) Mode() object.Mode {
+	if s := m.cur(); s != nil {
+		return s.obj.Mode
+	}
+	return object.Visual
+}
+
+// PageCount returns the number of pages in the current presentation form
+// (visual or audio per the driving mode).
+func (m *Manager) PageCount() int {
+	s := m.cur()
+	if s == nil {
+		return 0
+	}
+	if s.obj.Mode == object.Audio {
+		return len(s.apages)
+	}
+	return len(s.pages)
+}
+
+// PageNo returns the current page number (0-based).
+func (m *Manager) PageNo() int {
+	s := m.cur()
+	if s == nil {
+		return 0
+	}
+	if s.obj.Mode == object.Audio {
+		return voice.PageOf(s.apages, m.Position())
+	}
+	return s.pageNo
+}
+
+// Position returns the current browsing position (word index or sample
+// offset).
+func (m *Manager) Position() int {
+	s := m.cur()
+	if s == nil {
+		return 0
+	}
+	if s.obj.Mode == object.Audio && m.player.Playing() {
+		return m.player.Position()
+	}
+	return s.pos
+}
+
+// stopAuto cancels any running tour or process simulation.
+func (m *Manager) stopAuto() {
+	if m.tour != nil {
+		m.tour.halt()
+		m.tour = nil
+	}
+	if m.process != nil {
+		m.process.stop()
+		m.process = nil
+	}
+	m.view = nil
+}
+
+// Menu returns the menu options available in the current state; "the menu
+// options which are displayed define the set of available operations" (§2).
+func (m *Manager) Menu() []string {
+	s := m.cur()
+	if s == nil {
+		return nil
+	}
+	var opts []string
+	add := func(o string) { opts = append(opts, o) }
+	if m.tour != nil {
+		add("INTERRUPT TOUR")
+		return opts
+	}
+	if m.process != nil {
+		add("STOP PROCESS")
+		add("FASTER")
+		add("SLOWER")
+		return opts
+	}
+	if m.view != nil {
+		add("MOVE VIEW")
+		add("JUMP VIEW")
+		add("SHRINK VIEW")
+		add("EXPAND VIEW")
+		add("CLOSE VIEW")
+		return opts
+	}
+	add("NEXT PAGE")
+	add("PREV PAGE")
+	add("ADVANCE N")
+	add("GOTO PAGE")
+	if s.obj.Mode == object.Audio {
+		if m.player.Playing() {
+			add("INTERRUPT")
+		} else {
+			add("RESUME")
+			add("RESUME PAGE START")
+		}
+		add("BACK N SHORT PAUSES")
+		add("BACK N LONG PAUSES")
+		for _, u := range s.vpart.UnitsIdentified() {
+			add("NEXT " + upper(u.String()))
+			add("PREV " + upper(u.String()))
+		}
+		if len(s.vpart.Utterances) > 0 {
+			add("FIND PATTERN")
+		}
+	} else {
+		for _, u := range text.UnitsIdentified(s.stream) {
+			if u == text.UnitWord {
+				continue
+			}
+			add("NEXT " + upper(u.String()))
+			add("PREV " + upper(u.String()))
+		}
+		if len(s.stream) > 0 {
+			add("FIND PATTERN")
+		}
+	}
+	if s.transp != nil {
+		add("NEXT TRANSPARENCY")
+		add("PREV TRANSPARENCY")
+		add("SELECT TRANSPARENCIES")
+	} else if m.transpSetAt(s) != nil {
+		add("SHOW TRANSPARENCIES")
+	}
+	for i, rl := range s.obj.Relevants {
+		if rl.Anchor.Covers(s.pos) {
+			add(fmt.Sprintf("RELEVANT OBJ %d", i))
+		}
+	}
+	if len(m.stack) > 1 {
+		add("RETURN")
+		if len(m.relevancesHere()) > 0 {
+			add("NEXT RELEVANCE")
+		}
+	}
+	for _, tr := range s.obj.Tours {
+		add("TOUR " + upper(tr.Name))
+	}
+	for _, ps := range s.obj.ProcessSims {
+		add("PLAY " + upper(ps.Name))
+	}
+	return opts
+}
+
+func upper(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'a' && b[i] <= 'z' {
+			b[i] -= 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// transpSetAt returns a transparency set anchored at the current position,
+// or nil.
+func (m *Manager) transpSetAt(s *session) *object.TransparencySet {
+	for i := range s.obj.TranspSets {
+		ts := &s.obj.TranspSets[i]
+		covers := false
+		switch ts.Anchor.Media {
+		case object.MediaText:
+			if s.obj.Mode == object.Visual {
+				covers = ts.Anchor.Covers(s.pos) || m.anchorOnPage(ts.Anchor)
+			}
+		case object.MediaVoice:
+			covers = ts.Anchor.Covers(s.pos)
+		}
+		if covers {
+			return ts
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/screen"
+	"minos/internal/voice"
+)
+
+// --- transparency sets (§2, Figures 5-6) ---
+
+// ShowTransparencies activates the transparency set anchored at the current
+// position, displaying its first transparency.
+func (m *Manager) ShowTransparencies() error {
+	s := m.cur()
+	if s == nil {
+		return errNoObject
+	}
+	ts := m.transpSetAt(s)
+	if ts == nil {
+		return fmt.Errorf("core: no transparency set at the current position")
+	}
+	base := m.transparencyBase(s)
+	s.transp = &transpState{set: ts, base: base, index: 0}
+	m.showCurrent()
+	return nil
+}
+
+// transparencyBase is "the last page before the transparency set": the
+// current visual page, or for audio-mode objects the pinned strip.
+func (m *Manager) transparencyBase(s *session) *img.Bitmap {
+	if s.obj.Mode == object.Audio {
+		if strip := m.cfg.Screen.Strip(); strip != nil {
+			return strip.Clone()
+		}
+		return img.NewBitmap(m.cfg.Screen.ContentWidth(), m.cfg.Screen.ContentHeight())
+	}
+	if s.pageNo >= 0 && s.pageNo < len(s.pages) {
+		return s.pages[s.pageNo].Bitmap.Clone()
+	}
+	return img.NewBitmap(m.cfg.Screen.ContentWidth(), m.cfg.Screen.ContentHeight())
+}
+
+// NextTransparency shows the next transparency of the active set.
+func (m *Manager) NextTransparency() error {
+	s := m.cur()
+	if s == nil || s.transp == nil {
+		return fmt.Errorf("core: no active transparency set")
+	}
+	if s.transp.index+1 >= len(s.transp.set.Transparencies) {
+		return fmt.Errorf("core: no next transparency")
+	}
+	s.transp.index++
+	s.transp.chosen = nil
+	m.showCurrent()
+	return nil
+}
+
+// PrevTransparency shows the previous transparency.
+func (m *Manager) PrevTransparency() error {
+	s := m.cur()
+	if s == nil || s.transp == nil {
+		return fmt.Errorf("core: no active transparency set")
+	}
+	if s.transp.index == 0 {
+		return fmt.Errorf("core: no previous transparency")
+	}
+	s.transp.index--
+	s.transp.chosen = nil
+	m.showCurrent()
+	return nil
+}
+
+// SelectTransparencies overrides the presentation order: the user chooses
+// which transparencies of the set to see superimposed at the same time (§2).
+func (m *Manager) SelectTransparencies(indices ...int) error {
+	s := m.cur()
+	if s == nil || s.transp == nil {
+		return fmt.Errorf("core: no active transparency set")
+	}
+	for _, i := range indices {
+		if i < 0 || i >= len(s.transp.set.Transparencies) {
+			return fmt.Errorf("core: transparency %d out of range", i)
+		}
+	}
+	s.transp.chosen = append([]int(nil), indices...)
+	m.showCurrent()
+	return nil
+}
+
+func (m *Manager) showTransparency() {
+	s := m.cur()
+	t := s.transp
+	method := screen.Stacked
+	if t.set.MethodSeparate {
+		method = screen.Separate
+	}
+	composed := screen.ComposeTransparencies(t.base, t.set.Transparencies, method, t.index, t.chosen)
+	if s.obj.Mode == object.Audio {
+		m.cfg.Screen.PinStrip(composed)
+	} else {
+		m.cfg.Screen.ShowPage(composed)
+	}
+	detail := fmt.Sprintf("%d/%d", t.index+1, len(t.set.Transparencies))
+	if t.chosen != nil {
+		detail = fmt.Sprintf("selected %v", t.chosen)
+	}
+	m.trace(EvTransparencyShown, t.set.Name, detail, s.pageNo)
+}
+
+// endTransparencies deactivates the set and redraws the underlying page.
+func (m *Manager) endTransparencies() {
+	s := m.cur()
+	if s == nil || s.transp == nil {
+		return
+	}
+	if s.obj.Mode == object.Audio {
+		// Restore the plain pinned strip.
+		m.checkVisualMessages()
+	}
+	s.transp = nil
+}
+
+// endTransparenciesIfLeft ends the set when navigation leaves its anchor.
+func (m *Manager) endTransparenciesIfLeft() {
+	s := m.cur()
+	if s == nil || s.transp == nil {
+		return
+	}
+	if m.transpSetAt(s) != s.transp.set {
+		m.endTransparencies()
+	}
+}
+
+// ActiveTransparency reports the active set name and index, or "" / -1.
+func (m *Manager) ActiveTransparency() (string, int) {
+	s := m.cur()
+	if s == nil || s.transp == nil {
+		return "", -1
+	}
+	return s.transp.set.Name, s.transp.index
+}
+
+// --- relevant objects and relevances (§2, Figures 7-8) ---
+
+// EnterRelevant browses into relevant object link i of the current object;
+// the user explicitly selects the indicator (SelectIndicator calls this).
+// The relevant object's own driving mode takes over.
+func (m *Manager) EnterRelevant(i int) error {
+	s := m.cur()
+	if s == nil {
+		return errNoObject
+	}
+	if i < 0 || i >= len(s.obj.Relevants) {
+		return fmt.Errorf("core: no relevant link %d", i)
+	}
+	if m.cfg.Resolver == nil {
+		return fmt.Errorf("core: no resolver for relevant objects")
+	}
+	link := &s.obj.Relevants[i]
+	target, err := m.cfg.Resolver(link.Target)
+	if err != nil {
+		return fmt.Errorf("core: relevant object %d: %w", link.Target, err)
+	}
+	child, err := m.newSession(target)
+	if err != nil {
+		return err
+	}
+	child.viaLink = link
+	child.relIdx = -1
+	// Pause the parent's voice if playing.
+	if s.obj.Mode == object.Audio && m.player.Playing() {
+		s.pos = m.player.Interrupt()
+	}
+	m.msgPlayer.Interrupt()
+	m.stack = append(m.stack, child)
+	if target.Mode == object.Audio {
+		m.player.Load(child.vpart)
+	}
+	m.cfg.Screen.PinStrip(nil)
+	m.trace(EvEnterRelevant, fmt.Sprintf("%d", target.ID), target.Mode.String(), -1)
+	m.showCurrent()
+	return nil
+}
+
+// ReturnFromRelevant pops back to the parent object; "the mode of browsing
+// of the parent object is reestablished" (§2).
+func (m *Manager) ReturnFromRelevant() error {
+	if len(m.stack) <= 1 {
+		return fmt.Errorf("core: not inside a relevant object")
+	}
+	m.player.Interrupt()
+	m.msgPlayer.Interrupt()
+	m.stack = m.stack[:len(m.stack)-1]
+	s := m.cur()
+	if s.obj.Mode == object.Audio {
+		m.player.Load(s.vpart)
+	}
+	// Re-pin the parent's strip if its split view is still active.
+	if s.msg != nil {
+		if vm := s.obj.VisualMsgByName(s.msg.name); vm != nil {
+			m.cfg.Screen.PinStrip(vm.Strip)
+		}
+	} else {
+		m.cfg.Screen.PinStrip(nil)
+		s.pinned = ""
+	}
+	m.trace(EvReturnRelevant, fmt.Sprintf("%d", s.obj.ID), s.obj.Mode.String(), -1)
+	m.showCurrent()
+	return nil
+}
+
+// SelectIndicator simulates a mouse selection on the screen's indicators:
+// relevant-object indicators enter, the return indicator returns.
+func (m *Manager) SelectIndicator(x, y int) error {
+	idx := m.cfg.Screen.SelectAt(x, y)
+	if idx < 0 {
+		return fmt.Errorf("core: no indicator at (%d, %d)", x, y)
+	}
+	ind := m.cfg.Screen.Indicators()[idx]
+	switch ind.Kind {
+	case screen.RelevantObject:
+		var i int
+		fmt.Sscanf(ind.Name, "rel%d", &i)
+		return m.EnterRelevant(i)
+	case screen.ReturnFromRelevant:
+		return m.ReturnFromRelevant()
+	}
+	return fmt.Errorf("core: indicator %q is not selectable here", ind.Name)
+}
+
+// relevancesHere returns the relevances of the link that brought browsing
+// into the current (relevant) object.
+func (m *Manager) relevancesHere() []object.Relevance {
+	s := m.cur()
+	if s == nil || s.viaLink == nil {
+		return nil
+	}
+	return s.viaLink.Relevances
+}
+
+// NextRelevance presents the next relevance of the entered relevant object:
+// text relevances are shown with begin/end indicators, image relevances as
+// closed polygons on top of the image, voice relevances played
+// independently (§2).
+func (m *Manager) NextRelevance() error {
+	s := m.cur()
+	rels := m.relevancesHere()
+	if len(rels) == 0 {
+		return fmt.Errorf("core: no relevances here")
+	}
+	s.relIdx = (s.relIdx + 1) % len(rels)
+	rv := rels[s.relIdx]
+	switch rv.Media {
+	case object.MediaText:
+		if err := m.visualGotoWord(rv.From); err != nil {
+			return err
+		}
+		// Begin/end indicators drawn as a marker overlay.
+		mark := img.NewBitmap(m.cfg.Screen.ContentWidth(), m.cfg.Screen.ContentHeight())
+		img.DrawString(mark, 0, 0, ">")
+		m.cfg.Screen.Superimpose(mark)
+		m.trace(EvRelevanceShown, "text", fmt.Sprintf("words %d..%d", rv.From, rv.To), s.pageNo)
+	case object.MediaImage:
+		im := s.obj.ImageByName(rv.Image)
+		if im == nil {
+			return fmt.Errorf("core: relevance image %q not in object", rv.Image)
+		}
+		raster := im.Rasterize()
+		if len(rv.Polygon) >= 3 {
+			overlay := img.NewBitmap(im.W, im.H)
+			poly := img.Graphic{Shape: img.ShapePolygon, Points: rv.Polygon}
+			im2 := img.Image{W: im.W, H: im.H, Graphics: []img.Graphic{poly}}
+			overlay.Or(im2.Rasterize(), 0, 0)
+			raster.Or(overlay, 0, 0)
+		}
+		m.cfg.Screen.ShowPage(raster)
+		m.trace(EvRelevanceShown, "image", rv.Image, -1)
+	case object.MediaVoice:
+		vp := s.vpart
+		if vp == nil {
+			// Visual-mode relevant objects may still carry voice parts.
+			vp = s.obj.PrimaryVoice()
+		}
+		if vp == nil {
+			return fmt.Errorf("core: voice relevance on an object with no voice part")
+		}
+		m.player.Load(vp)
+		m.player.Play(rv.From, rv.To, nil)
+		m.trace(EvRelevanceShown, "voice", fmt.Sprintf("samples %d..%d", rv.From, rv.To), voice.PageOf(s.apages, rv.From))
+	}
+	return nil
+}

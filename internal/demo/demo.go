@@ -1,0 +1,167 @@
+// Package demo builds the demonstration corpus used by the command-line
+// tools, the examples and the benchmark harness: the five figure objects
+// plus a configurable number of filler documents, published to an
+// in-memory object server.
+package demo
+
+import (
+	"fmt"
+	"strings"
+
+	img "minos/internal/image"
+
+	"minos/internal/archiver"
+	"minos/internal/disk"
+	"minos/internal/figures"
+	"minos/internal/object"
+	"minos/internal/server"
+	"minos/internal/text"
+	"minos/internal/voice"
+)
+
+// Corpus bundles the built server and the ids of interest.
+type Corpus struct {
+	Server *server.Server
+	// FigureIDs maps scenario labels to published object ids.
+	FigureIDs map[string]object.ID
+}
+
+// Topics provide vocabulary for the filler documents.
+var topics = []string{
+	"lung", "heart", "shadow", "rhythm", "archive", "optical", "voice",
+	"image", "browsing", "presentation", "workstation", "server", "map",
+	"hospital", "university", "subway", "tour", "transparency", "report",
+}
+
+// FillerMarkup generates a deterministic document of roughly n words about
+// the given seed topic.
+func FillerMarkup(topic string, n, seed int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".title Notes on %s\n.chapter Summary\n", topic)
+	w := 0
+	x := uint32(seed)*2654435761 + 17
+	for w < n {
+		if w > 0 && w%60 == 0 {
+			b.WriteString("\n.chapter Continued\n")
+		} else if w > 0 && w%25 == 0 {
+			b.WriteString("\n\n") // paragraph break
+		}
+		x = x*1664525 + 1013904223
+		word := topics[x>>16%uint32(len(topics))]
+		b.WriteString(word)
+		w++
+		if w%9 == 0 {
+			b.WriteString(". ")
+		} else {
+			b.WriteString(" ")
+		}
+	}
+	b.WriteString(".\n")
+	return b.String()
+}
+
+// Build publishes the figure objects and fillers filler documents onto a
+// fresh server with the given optical disk capacity (blocks).
+func Build(blocks, fillers int) (*Corpus, error) {
+	dev, err := disk.NewOptical("archive0", disk.OpticalGeometry(blocks))
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(archiver.New(dev))
+	c := &Corpus{Server: srv, FigureIDs: map[string]object.ID{}}
+
+	parent, university, hospitals := figures.Fig78Objects()
+	for label, o := range map[string]*object.Object{
+		"fig12":     figures.Fig12Object(),
+		"fig34":     figures.Fig34Object(),
+		"fig56":     figures.Fig56Object(),
+		"fig78":     parent,
+		"fig78-uni": university,
+		"fig78-hos": hospitals,
+		"fig910":    figures.Fig910Object(),
+	} {
+		if _, err := srv.Publish(o); err != nil {
+			return nil, fmt.Errorf("demo: publish %s: %w", label, err)
+		}
+		c.FigureIDs[label] = o.ID
+	}
+
+	big, err := BigMapObject(900, 640, 480, 60)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := srv.Publish(big); err != nil {
+		return nil, err
+	}
+	c.FigureIDs["bigmap"] = big.ID
+
+	for i := 0; i < fillers; i++ {
+		topic := topics[i%len(topics)]
+		o, err := object.NewBuilder(object.ID(1000+i), "Notes on "+topic, object.Visual).
+			Text(FillerMarkup(topic, 150, i)).
+			Build()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := srv.Publish(o); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// BigMapObject builds a large labelled map image (the §2 road-map example)
+// with a representation miniature, for the view and label experiments.
+func BigMapObject(id object.ID, w, h, sites int) (*object.Object, error) {
+	im := buildBigMap(w, h, sites)
+	mini := im.Miniature(8)
+	return object.NewBuilder(id, "City Road Map", object.Visual).
+		Text(".title City Road Map\nA very large map with many labelled objects on it.\n").
+		Image(im).
+		Image(mini).
+		Build()
+}
+
+func buildBigMap(w, h, sites int) *img.Image {
+	im := img.New("roadmap", w, h)
+	// Road grid.
+	for y := 16; y < h; y += 48 {
+		im.Add(img.Graphic{Shape: img.ShapePolyline, Points: []img.Point{{X: 0, Y: y}, {X: w - 1, Y: y}}})
+	}
+	for x := 16; x < w; x += 64 {
+		im.Add(img.Graphic{Shape: img.ShapePolyline, Points: []img.Point{{X: x, Y: 0}, {X: x, Y: h - 1}}})
+	}
+	kinds := []string{"HOTEL", "HOSPITAL", "SCHOOL", "MUSEUM", "THEATRE", "STATION"}
+	x := uint32(12345)
+	for i := 0; i < sites; i++ {
+		x = x*1664525 + 1013904223
+		px := int(x>>8) % (w - 40)
+		x = x*1664525 + 1013904223
+		py := int(x>>8) % (h - 20)
+		kind := kinds[i%len(kinds)]
+		label := img.Label{Kind: img.TextLabel, Text: fmt.Sprintf("%s %d", kind, i), At: img.Point{X: px + 8, Y: py - 4}}
+		if i%5 == 0 {
+			label.Kind = img.VoiceLabel
+			label.VoiceRef = fmt.Sprintf("site%d", i)
+		}
+		im.Add(img.Graphic{Shape: img.ShapeCircle, Points: []img.Point{{X: px, Y: py}}, Radius: 4, Label: label})
+	}
+	return im
+}
+
+// SpokenObject builds an audio-mode twin of a filler document, with
+// markers and recognized utterances, for voice experiments.
+func SpokenObject(id object.ID, topic string, words, seed, rate int) (*object.Object, error) {
+	markup := FillerMarkup(topic, words, seed)
+	seg, err := text.Parse(markup)
+	if err != nil {
+		return nil, err
+	}
+	syn := voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), rate)
+	syn.Part.Markers = voice.MarkersFromMarks(syn.Marks, text.UnitChapter)
+	rec := voice.NewRecognizer(topics)
+	syn.Part.Utterances = rec.Recognize(syn.Marks)
+	return object.NewBuilder(id, "Spoken notes on "+topic, object.Audio).
+		VoicePart(syn.Part).
+		Build()
+}

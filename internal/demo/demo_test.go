@@ -1,0 +1,92 @@
+package demo
+
+import (
+	"strings"
+	"testing"
+
+	"minos/internal/text"
+)
+
+func TestBuildCorpus(t *testing.T) {
+	c, err := Build(1<<15, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := c.Server.IDs()
+	// 7 figure objects + big map + 8 fillers.
+	if len(ids) != 16 {
+		t.Fatalf("objects = %d", len(ids))
+	}
+	for _, label := range []string{"fig12", "fig34", "fig56", "fig78", "fig910", "bigmap"} {
+		id, ok := c.FigureIDs[label]
+		if !ok {
+			t.Fatalf("missing figure id %q", label)
+		}
+		if _, _, err := c.Server.Load(id); err != nil {
+			t.Fatalf("load %s: %v", label, err)
+		}
+	}
+	// Fillers are queryable.
+	if got := c.Server.Query("lung"); len(got) == 0 {
+		t.Fatal("filler vocabulary not indexed")
+	}
+}
+
+func TestFillerMarkupDeterministic(t *testing.T) {
+	a := FillerMarkup("lung", 120, 3)
+	b := FillerMarkup("lung", 120, 3)
+	if a != b {
+		t.Fatal("filler not deterministic")
+	}
+	if FillerMarkup("lung", 120, 4) == a {
+		t.Fatal("seed ignored")
+	}
+	seg, err := text.Parse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seg.WordCount(); got < 110 || got > 130 {
+		t.Fatalf("word count = %d, want ~120", got)
+	}
+	if !strings.Contains(a, ".chapter") {
+		t.Fatal("no chapters in filler")
+	}
+}
+
+func TestBigMapObject(t *testing.T) {
+	o, err := BigMapObject(1, 320, 240, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := o.ImageByName("roadmap")
+	if im == nil {
+		t.Fatal("no roadmap image")
+	}
+	if len(im.MatchLabels("hotel")) == 0 {
+		t.Fatal("no hotel labels")
+	}
+	mini := o.ImageByName("roadmap.mini")
+	if mini == nil || !mini.Representation || mini.Scale != 8 {
+		t.Fatalf("miniature = %+v", mini)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpokenObject(t *testing.T) {
+	o, err := SpokenObject(7, "heart", 80, 2, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := o.PrimaryVoice()
+	if vp == nil || len(vp.Samples) == 0 {
+		t.Fatal("no voice")
+	}
+	if len(vp.Markers) == 0 {
+		t.Fatal("no chapter markers")
+	}
+	if len(vp.Utterances) == 0 {
+		t.Fatal("no recognized utterances")
+	}
+}

@@ -1,0 +1,32 @@
+package descriptor
+
+import "testing"
+
+func BenchmarkEncode(b *testing.B) {
+	o := buildRichObject(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Encode(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseAndMaterialize(b *testing.B) {
+	o := buildRichObject(b)
+	desc, comp, err := Encode(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fetch := FetchFromComposition(comp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := Parse(desc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Materialize(fetch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,558 @@
+package descriptor
+
+import (
+	"fmt"
+
+	img "minos/internal/image"
+	"minos/internal/layout"
+	"minos/internal/object"
+	"minos/internal/text"
+)
+
+// Magic and version identify descriptor encodings.
+const (
+	Magic   = "MDSC"
+	Version = 1
+)
+
+// Loc says where a part's bytes live.
+type Loc uint8
+
+const (
+	// LocComposition: the part lives at Offset within this object's
+	// composition file (offsets are composition-relative at encode time;
+	// the archiver rebases them to archiver-absolute when the object is
+	// archived, §4).
+	LocComposition Loc = iota
+	// LocArchiver: the part lives at Offset within the archiver, inside
+	// another archived object's extent — a pointer used "so that data
+	// duplication is avoided" for within-organization objects (§4).
+	LocArchiver
+)
+
+// PartRef is one row of the descriptor's part table.
+type PartRef struct {
+	Kind   PartKind
+	Name   string
+	Loc    Loc
+	Offset uint64
+	Length uint64
+	// ArchObject names the archived object whose extent holds the data
+	// when Loc == LocArchiver.
+	ArchObject object.ID
+}
+
+// DocItem mirrors layout.Item in serialized form.
+type DocItem struct {
+	Type    uint8 // itemHeading, itemWords, itemPicture, itemBreak
+	Level   text.Unit
+	Text    string
+	From    int
+	To      int
+	Picture string
+}
+
+const (
+	itemHeading = 0
+	itemWords   = 1
+	itemPicture = 2
+	itemBreak   = 3
+)
+
+// VoiceMsgRec is a voice logical message row; Part indexes the part table.
+type VoiceMsgRec struct {
+	Name   string
+	Part   int
+	Anchor object.Anchor
+}
+
+// VisualMsgRec is a visual logical message row; Strip indexes the part
+// table.
+type VisualMsgRec struct {
+	Name     string
+	Strip    int
+	Anchor   object.Anchor
+	OnceOnly bool
+}
+
+// TranspSetRec is a transparency set row; Sheets index the part table.
+type TranspSetRec struct {
+	Name     string
+	Anchor   object.Anchor
+	Sheets   []int
+	Separate bool
+}
+
+// ProcessPageRec is one process-simulation frame row.
+type ProcessPageRec struct {
+	Kind      object.ProcessPageKind
+	Image     int // PartBitmap index
+	Mask      int // PartBitmap index or -1
+	VoiceMsg  string
+	VisualMsg string
+}
+
+// ProcessSimRec is a process simulation row.
+type ProcessSimRec struct {
+	Name        string
+	FrameMillis int
+	Pages       []ProcessPageRec
+}
+
+// Descriptor is the parsed object descriptor: the header, the part table,
+// and the interrelationship tables used for presentation and browsing.
+type Descriptor struct {
+	ID    object.ID
+	Title string
+	Mode  object.Mode
+	State object.State
+	Attrs map[string]string
+
+	Parts []PartRef
+
+	Doc         []DocItem
+	VoiceMsgs   []VoiceMsgRec
+	VisualMsgs  []VisualMsgRec
+	Relevants   []object.RelevantLink
+	TranspSets  []TranspSetRec
+	Tours       []object.TourRef
+	ProcessSims []ProcessSimRec
+	Related     []object.ID
+}
+
+// CompositionSize returns the byte length of the composition file implied
+// by the composition-resident parts (assuming composition-relative
+// offsets).
+func (d *Descriptor) CompositionSize() uint64 {
+	var end uint64
+	for _, p := range d.Parts {
+		if p.Loc == LocComposition && p.Offset+p.Length > end {
+			end = p.Offset + p.Length
+		}
+	}
+	return end
+}
+
+// Rebase increments every composition-resident part offset by base: "the
+// offsets of the descriptor have to be incremented by the offset where the
+// composition file is placed within the archiver" (§4).
+func (d *Descriptor) Rebase(base uint64) {
+	for i := range d.Parts {
+		if d.Parts[i].Loc == LocComposition {
+			d.Parts[i].Offset += base
+		}
+	}
+}
+
+// Build serializes the object into a Descriptor plus its composition file.
+// Part offsets are composition-relative.
+func Build(o *object.Object) (*Descriptor, []byte, error) {
+	e := &encoder{obj: o, d: &Descriptor{
+		ID:    o.ID,
+		Title: o.Title,
+		Mode:  o.Mode,
+		State: o.State,
+		Attrs: map[string]string{},
+	}}
+	for k, v := range o.Attrs {
+		e.d.Attrs[k] = v
+	}
+	if err := e.run(); err != nil {
+		return nil, nil, err
+	}
+	return e.d, e.comp, nil
+}
+
+// Encode serializes the object into (descriptor bytes, composition bytes).
+func Encode(o *object.Object) (desc, comp []byte, err error) {
+	d, comp, err := Build(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.Encode(), comp, nil
+}
+
+type encoder struct {
+	obj  *object.Object
+	d    *Descriptor
+	comp []byte
+}
+
+func (e *encoder) addPart(kind PartKind, name string, v any) (int, error) {
+	payload, err := EncodePart(kind, v)
+	if err != nil {
+		return 0, err
+	}
+	e.d.Parts = append(e.d.Parts, PartRef{
+		Kind: kind, Name: name, Loc: LocComposition,
+		Offset: uint64(len(e.comp)), Length: uint64(len(payload)),
+	})
+	e.comp = append(e.comp, payload...)
+	return len(e.d.Parts) - 1, nil
+}
+
+func (e *encoder) run() error {
+	o := e.obj
+	d := e.d
+	for i, seg := range o.Text {
+		if _, err := e.addPart(PartText, fmt.Sprintf("text%d", i), seg); err != nil {
+			return err
+		}
+	}
+	for i, vp := range o.Voice {
+		if _, err := e.addPart(PartVoice, fmt.Sprintf("voice%d", i), vp); err != nil {
+			return err
+		}
+	}
+	for _, im := range o.Images {
+		if _, err := e.addPart(PartImage, im.Name, im); err != nil {
+			return err
+		}
+	}
+
+	if o.Doc != nil {
+		for _, raw := range o.Doc.Items {
+			switch it := raw.(type) {
+			case layout.Heading:
+				d.Doc = append(d.Doc, DocItem{Type: itemHeading, Level: it.Level, Text: it.Text})
+			case layout.Words:
+				d.Doc = append(d.Doc, DocItem{Type: itemWords, From: it.From, To: it.To})
+			case layout.Picture:
+				d.Doc = append(d.Doc, DocItem{Type: itemPicture, Picture: it.Name})
+			case layout.PageBreak:
+				d.Doc = append(d.Doc, DocItem{Type: itemBreak})
+			default:
+				return fmt.Errorf("descriptor: unknown doc item %T", raw)
+			}
+		}
+	}
+
+	for _, m := range o.VoiceMsgs {
+		idx, err := e.addPart(PartVoiceMsg, m.Name, m.Part)
+		if err != nil {
+			return err
+		}
+		d.VoiceMsgs = append(d.VoiceMsgs, VoiceMsgRec{Name: m.Name, Part: idx, Anchor: m.Anchor})
+	}
+	for _, m := range o.VisualMsgs {
+		idx, err := e.addPart(PartBitmap, m.Name, m.Strip)
+		if err != nil {
+			return err
+		}
+		d.VisualMsgs = append(d.VisualMsgs, VisualMsgRec{Name: m.Name, Strip: idx, Anchor: m.Anchor, OnceOnly: m.OnceOnly})
+	}
+	d.Relevants = append(d.Relevants, o.Relevants...)
+	for _, ts := range o.TranspSets {
+		rec := TranspSetRec{Name: ts.Name, Anchor: ts.Anchor, Separate: ts.MethodSeparate}
+		for j, sheet := range ts.Transparencies {
+			idx, err := e.addPart(PartBitmap, fmt.Sprintf("%s#%d", ts.Name, j), sheet)
+			if err != nil {
+				return err
+			}
+			rec.Sheets = append(rec.Sheets, idx)
+		}
+		d.TranspSets = append(d.TranspSets, rec)
+	}
+	d.Tours = append(d.Tours, o.Tours...)
+	for _, ps := range o.ProcessSims {
+		rec := ProcessSimRec{Name: ps.Name, FrameMillis: ps.FrameMillis}
+		for j, pg := range ps.Pages {
+			imgIdx, err := e.addPart(PartBitmap, fmt.Sprintf("%s@%d", ps.Name, j), pg.Image)
+			if err != nil {
+				return err
+			}
+			maskIdx := -1
+			if pg.Mask != nil {
+				maskIdx, err = e.addPart(PartBitmap, fmt.Sprintf("%s@%d.mask", ps.Name, j), pg.Mask)
+				if err != nil {
+					return err
+				}
+			}
+			rec.Pages = append(rec.Pages, ProcessPageRec{
+				Kind: pg.Kind, Image: imgIdx, Mask: maskIdx,
+				VoiceMsg: pg.VoiceMsg, VisualMsg: pg.VisualMsg,
+			})
+		}
+		d.ProcessSims = append(d.ProcessSims, rec)
+	}
+	d.Related = append(d.Related, o.Related...)
+	return nil
+}
+
+// Encode serializes the descriptor to bytes (the inverse of Parse).
+func (d *Descriptor) Encode() []byte {
+	w := &writer{}
+	w.buf = append(w.buf, Magic...)
+	w.uvar(Version)
+	w.uvar(uint64(d.ID))
+	w.u8(uint8(d.Mode))
+	w.u8(uint8(d.State))
+	w.str(d.Title)
+	w.uvar(uint64(len(d.Attrs)))
+	for _, k := range sortedKeys(d.Attrs) {
+		w.str(k)
+		w.str(d.Attrs[k])
+	}
+	w.uvar(uint64(len(d.Parts)))
+	for _, p := range d.Parts {
+		w.u8(uint8(p.Kind))
+		w.str(p.Name)
+		w.u8(uint8(p.Loc))
+		w.uvar(p.Offset)
+		w.uvar(p.Length)
+		w.uvar(uint64(p.ArchObject))
+	}
+	w.uvar(uint64(len(d.Doc)))
+	for _, it := range d.Doc {
+		w.u8(it.Type)
+		switch it.Type {
+		case itemHeading:
+			w.u8(uint8(it.Level))
+			w.str(it.Text)
+		case itemWords:
+			w.vint(it.From)
+			w.vint(it.To)
+		case itemPicture:
+			w.str(it.Picture)
+		}
+	}
+	w.uvar(uint64(len(d.VoiceMsgs)))
+	for _, m := range d.VoiceMsgs {
+		w.str(m.Name)
+		w.uvar(uint64(m.Part))
+		writeAnchor(w, m.Anchor)
+	}
+	w.uvar(uint64(len(d.VisualMsgs)))
+	for _, m := range d.VisualMsgs {
+		w.str(m.Name)
+		w.uvar(uint64(m.Strip))
+		writeAnchor(w, m.Anchor)
+		w.bool(m.OnceOnly)
+	}
+	w.uvar(uint64(len(d.Relevants)))
+	for _, rl := range d.Relevants {
+		w.uvar(uint64(rl.Target))
+		writeAnchor(w, rl.Anchor)
+		w.vint(rl.IndicatorAt.X)
+		w.vint(rl.IndicatorAt.Y)
+		w.uvar(uint64(len(rl.Relevances)))
+		for _, rv := range rl.Relevances {
+			w.u8(uint8(rv.Media))
+			w.vint(rv.From)
+			w.vint(rv.To)
+			w.str(rv.Image)
+			w.uvar(uint64(len(rv.Polygon)))
+			for _, p := range rv.Polygon {
+				w.vint(p.X)
+				w.vint(p.Y)
+			}
+		}
+	}
+	w.uvar(uint64(len(d.TranspSets)))
+	for _, ts := range d.TranspSets {
+		w.str(ts.Name)
+		writeAnchor(w, ts.Anchor)
+		w.bool(ts.Separate)
+		w.uvar(uint64(len(ts.Sheets)))
+		for _, si := range ts.Sheets {
+			w.uvar(uint64(si))
+		}
+	}
+	w.uvar(uint64(len(d.Tours)))
+	for _, tr := range d.Tours {
+		w.str(tr.Name)
+		w.str(tr.Tour.Image)
+		w.vint(tr.Tour.Size.X)
+		w.vint(tr.Tour.Size.Y)
+		w.vint(tr.Tour.DwellMillis)
+		w.uvar(uint64(len(tr.Tour.Stops)))
+		for _, st := range tr.Tour.Stops {
+			w.vint(st.At.X)
+			w.vint(st.At.Y)
+			w.str(st.VoiceMsgRef)
+			w.str(st.VisualMsgRef)
+		}
+	}
+	w.uvar(uint64(len(d.ProcessSims)))
+	for _, ps := range d.ProcessSims {
+		w.str(ps.Name)
+		w.vint(ps.FrameMillis)
+		w.uvar(uint64(len(ps.Pages)))
+		for _, pg := range ps.Pages {
+			w.u8(uint8(pg.Kind))
+			w.uvar(uint64(pg.Image))
+			w.vint(pg.Mask)
+			w.str(pg.VoiceMsg)
+			w.str(pg.VisualMsg)
+		}
+	}
+	w.uvar(uint64(len(d.Related)))
+	for _, id := range d.Related {
+		w.uvar(uint64(id))
+	}
+	return w.buf
+}
+
+func writeAnchor(w *writer, a object.Anchor) {
+	w.u8(uint8(a.Media))
+	w.vint(a.From)
+	w.vint(a.To)
+	w.str(a.Image)
+}
+
+func readAnchor(r *reader) object.Anchor {
+	return object.Anchor{
+		Media: object.MediaKind(r.u8()),
+		From:  r.vint(),
+		To:    r.vint(),
+		Image: r.str(),
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// Parse decodes descriptor bytes into a Descriptor.
+func Parse(data []byte) (*Descriptor, error) {
+	r := &reader{data: data}
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	r.pos = len(Magic)
+	if v := r.uvar(); v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	d := &Descriptor{
+		ID:    object.ID(r.uvar()),
+		Mode:  object.Mode(r.u8()),
+		State: object.State(r.u8()),
+		Title: r.str(),
+		Attrs: map[string]string{},
+	}
+	na := r.count(2)
+	for i := 0; i < na && r.err == nil; i++ {
+		k := r.str()
+		d.Attrs[k] = r.str()
+	}
+	np := r.count(4)
+	for i := 0; i < np && r.err == nil; i++ {
+		d.Parts = append(d.Parts, PartRef{
+			Kind:       PartKind(r.u8()),
+			Name:       r.str(),
+			Loc:        Loc(r.u8()),
+			Offset:     r.uvar(),
+			Length:     r.uvar(),
+			ArchObject: object.ID(r.uvar()),
+		})
+	}
+
+	ni := r.count(1)
+	for i := 0; i < ni && r.err == nil; i++ {
+		it := DocItem{Type: r.u8()}
+		switch it.Type {
+		case itemHeading:
+			it.Level = text.Unit(r.u8())
+			it.Text = r.str()
+		case itemWords:
+			it.From = r.vint()
+			it.To = r.vint()
+		case itemPicture:
+			it.Picture = r.str()
+		case itemBreak:
+		default:
+			r.fail()
+		}
+		d.Doc = append(d.Doc, it)
+	}
+
+	nv := r.count(2)
+	for i := 0; i < nv && r.err == nil; i++ {
+		d.VoiceMsgs = append(d.VoiceMsgs, VoiceMsgRec{
+			Name: r.str(), Part: int(r.uvar()), Anchor: readAnchor(r),
+		})
+	}
+	nm := r.count(2)
+	for i := 0; i < nm && r.err == nil; i++ {
+		d.VisualMsgs = append(d.VisualMsgs, VisualMsgRec{
+			Name: r.str(), Strip: int(r.uvar()), Anchor: readAnchor(r), OnceOnly: r.bool(),
+		})
+	}
+	nr := r.count(2)
+	for i := 0; i < nr && r.err == nil; i++ {
+		rl := object.RelevantLink{Target: object.ID(r.uvar()), Anchor: readAnchor(r)}
+		rl.IndicatorAt = img.Point{X: r.vint(), Y: r.vint()}
+		nrv := r.count(2)
+		for j := 0; j < nrv && r.err == nil; j++ {
+			rv := object.Relevance{
+				Media: object.MediaKind(r.u8()),
+				From:  r.vint(),
+				To:    r.vint(),
+				Image: r.str(),
+			}
+			npts := r.count(2)
+			for k := 0; k < npts && r.err == nil; k++ {
+				rv.Polygon = append(rv.Polygon, img.Point{X: r.vint(), Y: r.vint()})
+			}
+			rl.Relevances = append(rl.Relevances, rv)
+		}
+		d.Relevants = append(d.Relevants, rl)
+	}
+	nt := r.count(2)
+	for i := 0; i < nt && r.err == nil; i++ {
+		ts := TranspSetRec{Name: r.str(), Anchor: readAnchor(r), Separate: r.bool()}
+		nsheets := r.count(1)
+		for j := 0; j < nsheets && r.err == nil; j++ {
+			ts.Sheets = append(ts.Sheets, int(r.uvar()))
+		}
+		d.TranspSets = append(d.TranspSets, ts)
+	}
+	ntr := r.count(2)
+	for i := 0; i < ntr && r.err == nil; i++ {
+		tr := object.TourRef{Name: r.str()}
+		tr.Tour.Image = r.str()
+		tr.Tour.Size = img.Point{X: r.vint(), Y: r.vint()}
+		tr.Tour.DwellMillis = r.vint()
+		nst := r.count(2)
+		for j := 0; j < nst && r.err == nil; j++ {
+			tr.Tour.Stops = append(tr.Tour.Stops, img.TourStop{
+				At:           img.Point{X: r.vint(), Y: r.vint()},
+				VoiceMsgRef:  r.str(),
+				VisualMsgRef: r.str(),
+			})
+		}
+		d.Tours = append(d.Tours, tr)
+	}
+	nps := r.count(2)
+	for i := 0; i < nps && r.err == nil; i++ {
+		ps := ProcessSimRec{Name: r.str(), FrameMillis: r.vint()}
+		npg := r.count(2)
+		for j := 0; j < npg && r.err == nil; j++ {
+			ps.Pages = append(ps.Pages, ProcessPageRec{
+				Kind:      object.ProcessPageKind(r.u8()),
+				Image:     int(r.uvar()),
+				Mask:      r.vint(),
+				VoiceMsg:  r.str(),
+				VisualMsg: r.str(),
+			})
+		}
+		d.ProcessSims = append(d.ProcessSims, ps)
+	}
+	nrel := r.count(1)
+	for i := 0; i < nrel && r.err == nil; i++ {
+		d.Related = append(d.Related, object.ID(r.uvar()))
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,497 @@
+package descriptor
+
+import (
+	"testing"
+	"testing/quick"
+
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/text"
+	"minos/internal/voice"
+)
+
+const markup = `.title Case 1042
+.chapter Findings
+The upper lobe shows a small shadow. It appears *benign*.
+.chapter Plan
+Repeat the examination in six months.
+`
+
+func buildRichObject(t testing.TB) *object.Object {
+	t.Helper()
+	xray := img.New("xray", 60, 40)
+	xray.Add(img.Graphic{Shape: img.ShapeCircle, Points: []img.Point{{X: 30, Y: 20}}, Radius: 8,
+		Label: img.Label{Kind: img.TextLabel, Text: "shadow", At: img.Point{X: 40, Y: 5}}})
+	noteSeg, err := text.Parse("Note the shadow here.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	note := voice.Synthesize(text.Flatten(noteSeg), voice.DefaultSpeaker(), 2000).Part
+
+	strip := img.NewBitmap(50, 20)
+	strip.Fill(img.Rect{X: 2, Y: 2, W: 10, H: 10}, true)
+	sheet1 := img.NewBitmap(50, 40)
+	sheet1.Set(1, 1, true)
+	sheet2 := img.NewBitmap(50, 40)
+	sheet2.Set(2, 2, true)
+	frame := img.NewBitmap(30, 30)
+	frame.Set(3, 3, true)
+	mask := img.NewBitmap(30, 30)
+	mask.Fill(img.Rect{X: 0, Y: 0, W: 5, H: 5}, true)
+
+	b := object.NewBuilder(1042, "Case 1042", object.Visual).
+		Attr("author", "Dr. Ho").
+		Attr("ward", "radiology").
+		Text(markup).
+		Image(xray).
+		PlaceImageAfterWord("xray", 4).
+		VoiceMsg("note", note, object.Anchor{Media: object.MediaText, From: 0, To: 6}).
+		VisualMsg("pin", strip, object.Anchor{Media: object.MediaText, From: 7, To: 12}, true).
+		Relevant(2000, object.Anchor{Media: object.MediaText, From: 2, To: 9}, img.Point{X: 3, Y: 3},
+			object.Relevance{Media: object.MediaImage, Image: "other", Polygon: []img.Point{{X: 1, Y: 1}, {X: 5, Y: 1}, {X: 3, Y: 6}}},
+			object.Relevance{Media: object.MediaText, From: 10, To: 30}).
+		TranspSet("overlay", object.Anchor{Media: object.MediaText, From: 5, To: 5}, true, sheet1, sheet2).
+		Tour("walk", img.Tour{Image: "xray", Size: img.Point{X: 10, Y: 10}, DwellMillis: 250,
+			Stops: []img.TourStop{{At: img.Point{X: 0, Y: 0}, VoiceMsgRef: "note"}, {At: img.Point{X: 20, Y: 10}}}}).
+		Process("walkthrough", 100,
+			object.ProcessPage{Kind: object.ProcessReplace, Image: frame},
+			object.ProcessPage{Kind: object.ProcessOverwrite, Image: frame, Mask: mask, VoiceMsg: "note"},
+			object.ProcessPage{Kind: object.ProcessTransparency, Image: frame, VisualMsg: "pin"})
+	o, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Archive()
+	return o
+}
+
+func roundTrip(t testing.TB, o *object.Object) *object.Object {
+	t.Helper()
+	desc, comp, err := Encode(o)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	d, err := Parse(desc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	back, err := d.Materialize(FetchFromComposition(comp))
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	return back
+}
+
+func TestRoundTripHeader(t *testing.T) {
+	o := buildRichObject(t)
+	back := roundTrip(t, o)
+	if back.ID != o.ID || back.Title != o.Title || back.Mode != o.Mode || back.State != o.State {
+		t.Fatalf("header mismatch: %+v vs %+v", back, o)
+	}
+	if back.Attrs["author"] != "Dr. Ho" || back.Attrs["ward"] != "radiology" {
+		t.Fatal("attributes lost")
+	}
+}
+
+func TestRoundTripTextAndStream(t *testing.T) {
+	o := buildRichObject(t)
+	back := roundTrip(t, o)
+	if len(back.Text) != 1 {
+		t.Fatalf("text segments = %d", len(back.Text))
+	}
+	ws, bs := o.Stream(), back.Stream()
+	if len(ws) != len(bs) {
+		t.Fatalf("stream lengths %d vs %d", len(bs), len(ws))
+	}
+	for i := range ws {
+		if ws[i].Word != bs[i].Word || ws[i].Bounds != bs[i].Bounds || ws[i].EndsWith != bs[i].EndsWith {
+			t.Fatalf("stream word %d differs: %+v vs %+v", i, bs[i], ws[i])
+		}
+	}
+}
+
+func TestRoundTripDocItems(t *testing.T) {
+	o := buildRichObject(t)
+	back := roundTrip(t, o)
+	if len(back.Doc.Items) != len(o.Doc.Items) {
+		t.Fatalf("doc items %d vs %d", len(back.Doc.Items), len(o.Doc.Items))
+	}
+}
+
+func TestRoundTripImages(t *testing.T) {
+	o := buildRichObject(t)
+	back := roundTrip(t, o)
+	if len(back.Images) != 1 {
+		t.Fatalf("images = %d", len(back.Images))
+	}
+	bi, oi := back.Images[0], o.Images[0]
+	if bi.Name != oi.Name || bi.W != oi.W || bi.H != oi.H {
+		t.Fatal("image header mismatch")
+	}
+	if bi.Rasterize().Hash() != oi.Rasterize().Hash() {
+		t.Fatal("image raster differs after round trip")
+	}
+	if len(bi.Graphics) != len(oi.Graphics) {
+		t.Fatal("graphics lost")
+	}
+	if bi.Graphics[0].Label.Text != "shadow" {
+		t.Fatal("label lost")
+	}
+}
+
+func TestRoundTripVoiceMessages(t *testing.T) {
+	o := buildRichObject(t)
+	back := roundTrip(t, o)
+	if len(back.VoiceMsgs) != 1 {
+		t.Fatalf("voice msgs = %d", len(back.VoiceMsgs))
+	}
+	bm, om := back.VoiceMsgs[0], o.VoiceMsgs[0]
+	if bm.Name != om.Name || bm.Anchor != om.Anchor {
+		t.Fatal("voice msg metadata mismatch")
+	}
+	if len(bm.Part.Samples) != len(om.Part.Samples) {
+		t.Fatal("voice msg samples mismatch")
+	}
+	for i := range om.Part.Samples {
+		if bm.Part.Samples[i] != om.Part.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestRoundTripVisualMessages(t *testing.T) {
+	o := buildRichObject(t)
+	back := roundTrip(t, o)
+	if len(back.VisualMsgs) != 1 {
+		t.Fatalf("visual msgs = %d", len(back.VisualMsgs))
+	}
+	bm, om := back.VisualMsgs[0], o.VisualMsgs[0]
+	if bm.Name != om.Name || bm.Anchor != om.Anchor || bm.OnceOnly != om.OnceOnly {
+		t.Fatal("visual msg metadata mismatch")
+	}
+	if bm.Strip.Hash() != om.Strip.Hash() {
+		t.Fatal("strip bitmap differs")
+	}
+}
+
+func TestRoundTripRelevants(t *testing.T) {
+	o := buildRichObject(t)
+	back := roundTrip(t, o)
+	if len(back.Relevants) != 1 {
+		t.Fatalf("relevants = %d", len(back.Relevants))
+	}
+	br, or := back.Relevants[0], o.Relevants[0]
+	if br.Target != or.Target || br.Anchor != or.Anchor || br.IndicatorAt != or.IndicatorAt {
+		t.Fatal("relevant link mismatch")
+	}
+	if len(br.Relevances) != 2 {
+		t.Fatalf("relevances = %d", len(br.Relevances))
+	}
+	if len(br.Relevances[0].Polygon) != 3 || br.Relevances[0].Image != "other" {
+		t.Fatal("polygon relevance mismatch")
+	}
+	if len(back.Related) != 1 || back.Related[0] != 2000 {
+		t.Fatal("related ids lost")
+	}
+}
+
+func TestRoundTripTransparencies(t *testing.T) {
+	o := buildRichObject(t)
+	back := roundTrip(t, o)
+	if len(back.TranspSets) != 1 {
+		t.Fatalf("transp sets = %d", len(back.TranspSets))
+	}
+	bt, ot := back.TranspSets[0], o.TranspSets[0]
+	if bt.Name != ot.Name || !bt.MethodSeparate || len(bt.Transparencies) != 2 {
+		t.Fatal("transparency set mismatch")
+	}
+	for i := range ot.Transparencies {
+		if bt.Transparencies[i].Hash() != ot.Transparencies[i].Hash() {
+			t.Fatalf("sheet %d differs", i)
+		}
+	}
+}
+
+func TestRoundTripTours(t *testing.T) {
+	o := buildRichObject(t)
+	back := roundTrip(t, o)
+	if len(back.Tours) != 1 {
+		t.Fatalf("tours = %d", len(back.Tours))
+	}
+	bt, ot := back.Tours[0], o.Tours[0]
+	if bt.Name != ot.Name || bt.Tour.Image != ot.Tour.Image || bt.Tour.DwellMillis != ot.Tour.DwellMillis {
+		t.Fatal("tour header mismatch")
+	}
+	if len(bt.Tour.Stops) != 2 || bt.Tour.Stops[0].VoiceMsgRef != "note" {
+		t.Fatal("tour stops mismatch")
+	}
+}
+
+func TestRoundTripProcessSims(t *testing.T) {
+	o := buildRichObject(t)
+	back := roundTrip(t, o)
+	if len(back.ProcessSims) != 1 {
+		t.Fatalf("process sims = %d", len(back.ProcessSims))
+	}
+	bp, op := back.ProcessSims[0], o.ProcessSims[0]
+	if bp.Name != op.Name || bp.FrameMillis != op.FrameMillis || len(bp.Pages) != 3 {
+		t.Fatal("process sim header mismatch")
+	}
+	if bp.Pages[1].Kind != object.ProcessOverwrite || bp.Pages[1].Mask == nil {
+		t.Fatal("overwrite page lost mask")
+	}
+	if bp.Pages[1].Mask.Hash() != op.Pages[1].Mask.Hash() {
+		t.Fatal("mask bitmap differs")
+	}
+	if bp.Pages[2].VisualMsg != "pin" {
+		t.Fatal("page message refs lost")
+	}
+}
+
+func TestRoundTripValidates(t *testing.T) {
+	back := roundTrip(t, buildRichObject(t))
+	if err := back.Validate(); err != nil {
+		t.Fatalf("materialized object invalid: %v", err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Parse([]byte("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	desc, _, err := Encode(buildRichObject(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(desc[:len(desc)/2]); err == nil {
+		t.Error("truncated descriptor accepted")
+	}
+	// Flip every 97th byte and demand no panic.
+	for i := 5; i < len(desc); i += 97 {
+		bad := append([]byte(nil), desc...)
+		bad[i] ^= 0xff
+		_, _ = Parse(bad) // must not panic; error or success both fine
+	}
+}
+
+func TestFetchFromCompositionBounds(t *testing.T) {
+	fetch := FetchFromComposition([]byte{1, 2, 3})
+	if _, err := fetch(PartRef{Loc: LocComposition, Offset: 1, Length: 5}); err == nil {
+		t.Error("out-of-range part accepted")
+	}
+	if _, err := fetch(PartRef{Loc: LocArchiver, Offset: 0, Length: 1}); err == nil {
+		t.Error("archiver part served from composition")
+	}
+	b, err := fetch(PartRef{Loc: LocComposition, Offset: 1, Length: 2})
+	if err != nil || len(b) != 2 || b[0] != 2 {
+		t.Errorf("fetch = %v, %v", b, err)
+	}
+}
+
+func TestMaterializeMissingPicture(t *testing.T) {
+	o := buildRichObject(t)
+	desc, comp, err := Encode(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the doc picture name.
+	for i := range d.Doc {
+		if d.Doc[i].Type == 2 {
+			d.Doc[i].Picture = "ghost"
+		}
+	}
+	if _, err := d.Materialize(FetchFromComposition(comp)); err == nil {
+		t.Fatal("missing picture accepted")
+	}
+}
+
+func TestCompositionSize(t *testing.T) {
+	o := buildRichObject(t)
+	desc, comp, err := Encode(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CompositionSize() != uint64(len(comp)) {
+		t.Fatalf("CompositionSize = %d, composition = %d", d.CompositionSize(), len(comp))
+	}
+}
+
+func TestPartKindString(t *testing.T) {
+	if PartText.String() != "text" || PartVoiceMsg.String() != "voicemsg" {
+		t.Error("PartKind.String mismatch")
+	}
+}
+
+// Property: bitmap part encoding round-trips arbitrary small bitmaps.
+func TestQuickBitmapRoundTrip(t *testing.T) {
+	f := func(w8, h8 uint8, seed uint32) bool {
+		wpx, hpx := int(w8%40)+1, int(h8%40)+1
+		b := img.NewBitmap(wpx, hpx)
+		s := seed
+		for i := 0; i < 50; i++ {
+			s = s*1664525 + 1013904223
+			b.Set(int(s>>8)%wpx, int(s>>20)%hpx, true)
+		}
+		enc, err := EncodePart(PartBitmap, b)
+		if err != nil {
+			return false
+		}
+		v, err := DecodePart(PartBitmap, enc)
+		if err != nil {
+			return false
+		}
+		return v.(*img.Bitmap).Hash() == b.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: voice part encoding round-trips arbitrary sample data.
+func TestQuickVoiceRoundTrip(t *testing.T) {
+	f := func(samples []int16) bool {
+		p := &voice.Part{Rate: 8000, Samples: samples}
+		enc, err := EncodePart(PartVoice, p)
+		if err != nil {
+			return false
+		}
+		v, err := DecodePart(PartVoice, enc)
+		if err != nil {
+			return false
+		}
+		got := v.(*voice.Part)
+		if len(got.Samples) != len(samples) {
+			return false
+		}
+		for i := range samples {
+			if got.Samples[i] != samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: text segment encoding round-trips parses of arbitrary token
+// lists.
+func TestQuickSegmentRoundTrip(t *testing.T) {
+	f := func(words []string) bool {
+		var clean []string
+		for _, w := range words {
+			if tok := text.NormalizeToken(w); tok != "" {
+				clean = append(clean, tok)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		src := ".chapter Q\n"
+		for _, w := range clean {
+			src += w + " "
+		}
+		src += "\n"
+		seg, err := text.Parse(src)
+		if err != nil {
+			return false
+		}
+		enc, err := EncodePart(PartText, seg)
+		if err != nil {
+			return false
+		}
+		v, err := DecodePart(PartText, enc)
+		if err != nil {
+			return false
+		}
+		a, b := text.Flatten(seg), text.Flatten(v.(*text.Segment))
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeParseEncodeIdempotent(t *testing.T) {
+	o := buildRichObject(t)
+	desc1, _, err := Encode(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(desc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc2 := d.Encode()
+	if len(desc1) != len(desc2) {
+		t.Fatalf("re-encode length %d vs %d", len(desc2), len(desc1))
+	}
+	for i := range desc1 {
+		if desc1[i] != desc2[i] {
+			t.Fatalf("re-encode differs at byte %d", i)
+		}
+	}
+}
+
+func TestRebaseShiftsCompositionOffsets(t *testing.T) {
+	o := buildRichObject(t)
+	d, comp, err := Build(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := make([]uint64, len(d.Parts))
+	for i, p := range d.Parts {
+		orig[i] = p.Offset
+	}
+	const base = 12345
+	d.Rebase(base)
+	for i, p := range d.Parts {
+		if p.Loc == LocComposition && p.Offset != orig[i]+base {
+			t.Fatalf("part %d offset %d, want %d", i, p.Offset, orig[i]+base)
+		}
+	}
+	// Archiver pointers are untouched.
+	d.Parts[0].Loc = LocArchiver
+	before := d.Parts[0].Offset
+	d.Rebase(100)
+	if d.Parts[0].Offset != before {
+		t.Fatal("archiver pointer rebased")
+	}
+	_ = comp
+}
+
+func TestCountGuardsAgainstHugeAllocations(t *testing.T) {
+	// A descriptor claiming 2^40 parts must fail fast, not allocate.
+	w := &writer{}
+	w.buf = append(w.buf, Magic...)
+	w.uvar(Version)
+	w.uvar(1)       // id
+	w.u8(0)         // mode
+	w.u8(1)         // state
+	w.str("t")      // title
+	w.uvar(0)       // attrs
+	w.uvar(1 << 40) // parts: absurd
+	if _, err := Parse(w.buf); err == nil {
+		t.Fatal("absurd part count accepted")
+	}
+}

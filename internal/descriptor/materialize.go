@@ -1,0 +1,190 @@
+package descriptor
+
+import (
+	"fmt"
+
+	img "minos/internal/image"
+	"minos/internal/layout"
+	"minos/internal/object"
+	"minos/internal/text"
+	"minos/internal/voice"
+)
+
+// FetchFunc retrieves the raw bytes of one part. The workstation's
+// implementation requests the piece from the object server; a local
+// implementation slices the composition file.
+type FetchFunc func(ref PartRef) ([]byte, error)
+
+// FetchFromComposition returns a FetchFunc over an in-memory composition
+// file. It refuses archiver-resident parts (those need the archiver).
+func FetchFromComposition(comp []byte) FetchFunc {
+	return func(ref PartRef) ([]byte, error) {
+		if ref.Loc != LocComposition {
+			return nil, fmt.Errorf("descriptor: part %q lives in the archiver", ref.Name)
+		}
+		end := ref.Offset + ref.Length
+		if end > uint64(len(comp)) {
+			return nil, fmt.Errorf("%w: part %q extent [%d,%d) beyond composition (%d)", ErrCorrupt, ref.Name, ref.Offset, end, len(comp))
+		}
+		return comp[ref.Offset:end], nil
+	}
+}
+
+// Materialize rebuilds the full multimedia object from the descriptor,
+// fetching every part. Lazy partial materialization (fetching single parts
+// on demand) uses the same FetchFunc with DecodePart directly.
+func (d *Descriptor) Materialize(fetch FetchFunc) (*object.Object, error) {
+	o := &object.Object{
+		ID:    d.ID,
+		Title: d.Title,
+		Mode:  d.Mode,
+		State: d.State,
+		Attrs: map[string]string{},
+	}
+	for k, v := range d.Attrs {
+		o.Attrs[k] = v
+	}
+	o.Related = append(o.Related, d.Related...)
+	o.Relevants = append(o.Relevants, d.Relevants...)
+	o.Tours = append(o.Tours, d.Tours...)
+
+	parts := make([]any, len(d.Parts))
+	get := func(i int, want PartKind) (any, error) {
+		if i < 0 || i >= len(d.Parts) {
+			return nil, fmt.Errorf("%w: part index %d out of table", ErrCorrupt, i)
+		}
+		ref := d.Parts[i]
+		if ref.Kind != want {
+			return nil, fmt.Errorf("%w: part %d is %v, want %v", ErrCorrupt, i, ref.Kind, want)
+		}
+		if parts[i] == nil {
+			raw, err := fetch(ref)
+			if err != nil {
+				return nil, err
+			}
+			v, err := DecodePart(ref.Kind, raw)
+			if err != nil {
+				return nil, fmt.Errorf("part %q: %w", ref.Name, err)
+			}
+			parts[i] = v
+		}
+		return parts[i], nil
+	}
+
+	// Primary parts in table order.
+	for i, ref := range d.Parts {
+		switch ref.Kind {
+		case PartText:
+			v, err := get(i, PartText)
+			if err != nil {
+				return nil, err
+			}
+			o.Text = append(o.Text, v.(*text.Segment))
+		case PartVoice:
+			v, err := get(i, PartVoice)
+			if err != nil {
+				return nil, err
+			}
+			o.Voice = append(o.Voice, v.(*voice.Part))
+		case PartImage:
+			v, err := get(i, PartImage)
+			if err != nil {
+				return nil, err
+			}
+			o.Images = append(o.Images, v.(*img.Image))
+		}
+	}
+
+	// Document flow: rebuild the stream from text segments, then items.
+	if len(d.Doc) > 0 {
+		var stream []text.FlatWord
+		for _, seg := range o.Text {
+			stream = append(stream, text.Flatten(seg)...)
+		}
+		doc := &layout.Doc{Stream: stream}
+		for _, it := range d.Doc {
+			switch it.Type {
+			case itemHeading:
+				doc.Items = append(doc.Items, layout.Heading{Level: it.Level, Text: it.Text})
+			case itemWords:
+				if it.From < 0 || it.To < it.From || it.To > len(stream) {
+					return nil, fmt.Errorf("%w: doc words [%d,%d) out of stream %d", ErrCorrupt, it.From, it.To, len(stream))
+				}
+				doc.Items = append(doc.Items, layout.Words{From: it.From, To: it.To})
+			case itemPicture:
+				im := findImage(o.Images, it.Picture)
+				if im == nil {
+					return nil, fmt.Errorf("%w: doc picture %q not among image parts", ErrCorrupt, it.Picture)
+				}
+				doc.Items = append(doc.Items, layout.Picture{Name: it.Picture, Raster: im.Rasterize()})
+			case itemBreak:
+				doc.Items = append(doc.Items, layout.PageBreak{})
+			}
+		}
+		o.Doc = doc
+	}
+
+	for _, rec := range d.VoiceMsgs {
+		v, err := get(rec.Part, PartVoiceMsg)
+		if err != nil {
+			return nil, err
+		}
+		o.VoiceMsgs = append(o.VoiceMsgs, object.VoiceMessage{
+			Name: rec.Name, Part: v.(*voice.Part), Anchor: rec.Anchor,
+		})
+	}
+	for _, rec := range d.VisualMsgs {
+		v, err := get(rec.Strip, PartBitmap)
+		if err != nil {
+			return nil, err
+		}
+		o.VisualMsgs = append(o.VisualMsgs, object.VisualMessage{
+			Name: rec.Name, Strip: v.(*img.Bitmap), Anchor: rec.Anchor, OnceOnly: rec.OnceOnly,
+		})
+	}
+	for _, rec := range d.TranspSets {
+		ts := object.TransparencySet{Name: rec.Name, Anchor: rec.Anchor, MethodSeparate: rec.Separate}
+		for _, si := range rec.Sheets {
+			v, err := get(si, PartBitmap)
+			if err != nil {
+				return nil, err
+			}
+			ts.Transparencies = append(ts.Transparencies, v.(*img.Bitmap))
+		}
+		o.TranspSets = append(o.TranspSets, ts)
+	}
+	for _, rec := range d.ProcessSims {
+		ps := object.ProcessSim{Name: rec.Name, FrameMillis: rec.FrameMillis}
+		for _, pr := range rec.Pages {
+			v, err := get(pr.Image, PartBitmap)
+			if err != nil {
+				return nil, err
+			}
+			pg := object.ProcessPage{
+				Kind:      pr.Kind,
+				Image:     v.(*img.Bitmap),
+				VoiceMsg:  pr.VoiceMsg,
+				VisualMsg: pr.VisualMsg,
+			}
+			if pr.Mask >= 0 {
+				mv, err := get(pr.Mask, PartBitmap)
+				if err != nil {
+					return nil, err
+				}
+				pg.Mask = mv.(*img.Bitmap)
+			}
+			ps.Pages = append(ps.Pages, pg)
+		}
+		o.ProcessSims = append(o.ProcessSims, ps)
+	}
+	return o, nil
+}
+
+func findImage(images []*img.Image, name string) *img.Image {
+	for _, im := range images {
+		if im.Name == name {
+			return im
+		}
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+package descriptor
+
+import (
+	"fmt"
+
+	img "minos/internal/image"
+	"minos/internal/text"
+	"minos/internal/voice"
+)
+
+// PartKind identifies the data type of one composition-file part.
+type PartKind uint8
+
+const (
+	PartText     PartKind = 1 // a text segment (structural encoding)
+	PartVoice    PartKind = 2 // a voice part of the object voice part
+	PartImage    PartKind = 3 // an image part (base bitmap + graphics)
+	PartBitmap   PartKind = 4 // a raw bitmap (strips, transparencies, frames)
+	PartVoiceMsg PartKind = 5 // a voice logical message's audio
+)
+
+// String names the kind.
+func (k PartKind) String() string {
+	switch k {
+	case PartText:
+		return "text"
+	case PartVoice:
+		return "voice"
+	case PartImage:
+		return "image"
+	case PartBitmap:
+		return "bitmap"
+	case PartVoiceMsg:
+		return "voicemsg"
+	}
+	return fmt.Sprintf("PartKind(%d)", uint8(k))
+}
+
+// --- text segments ---
+
+func encodeSegment(w *writer, s *text.Segment) {
+	w.str(s.Title)
+	encodeParas(w, s.Abstract)
+	w.uvar(uint64(len(s.Chapters)))
+	for _, c := range s.Chapters {
+		w.str(c.Title)
+		w.uvar(uint64(len(c.Sections)))
+		for _, sec := range c.Sections {
+			w.str(sec.Title)
+			encodeParas(w, sec.Paragraphs)
+		}
+	}
+	encodeParas(w, s.References)
+}
+
+func encodeParas(w *writer, ps []text.Paragraph) {
+	w.uvar(uint64(len(ps)))
+	for _, p := range ps {
+		w.vint(p.Indent)
+		w.vint(p.Scale)
+		w.uvar(uint64(len(p.Sentences)))
+		for _, sent := range p.Sentences {
+			w.vint(int(sent.Terminator))
+			w.uvar(uint64(len(sent.Words)))
+			for _, word := range sent.Words {
+				w.str(word.Text)
+				w.u8(uint8(word.Emph))
+			}
+		}
+	}
+}
+
+func decodeSegment(r *reader) *text.Segment {
+	s := &text.Segment{Title: r.str()}
+	s.Abstract = decodeParas(r)
+	nc := r.count(1)
+	for i := 0; i < nc && r.err == nil; i++ {
+		c := text.Chapter{Title: r.str()}
+		ns := r.count(1)
+		for j := 0; j < ns && r.err == nil; j++ {
+			sec := text.Section{Title: r.str()}
+			sec.Paragraphs = decodeParas(r)
+			c.Sections = append(c.Sections, sec)
+		}
+		s.Chapters = append(s.Chapters, c)
+	}
+	s.References = decodeParas(r)
+	return s
+}
+
+func decodeParas(r *reader) []text.Paragraph {
+	n := r.count(1)
+	var out []text.Paragraph
+	for i := 0; i < n && r.err == nil; i++ {
+		p := text.Paragraph{Indent: r.vint(), Scale: r.vint()}
+		ns := r.count(1)
+		for j := 0; j < ns && r.err == nil; j++ {
+			sent := text.Sentence{Terminator: rune(r.vint())}
+			nw := r.count(1)
+			for k := 0; k < nw && r.err == nil; k++ {
+				sent.Words = append(sent.Words, text.Word{Text: r.str(), Emph: text.Emphasis(r.u8())})
+			}
+			p.Sentences = append(p.Sentences, sent)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// --- voice parts ---
+
+func encodeVoicePart(w *writer, p *voice.Part) {
+	w.vint(p.Rate)
+	w.samples(p.Samples)
+	w.uvar(uint64(len(p.Markers)))
+	for _, m := range p.Markers {
+		w.vint(m.Offset)
+		w.u8(uint8(m.Unit))
+		w.str(m.Label)
+	}
+	w.uvar(uint64(len(p.Utterances)))
+	for _, u := range p.Utterances {
+		w.str(u.Token)
+		w.vint(u.Offset)
+	}
+}
+
+func decodeVoicePart(r *reader) *voice.Part {
+	p := &voice.Part{Rate: r.vint()}
+	p.Samples = r.samples()
+	nm := r.count(2)
+	for i := 0; i < nm && r.err == nil; i++ {
+		p.Markers = append(p.Markers, voice.Marker{
+			Offset: r.vint(),
+			Unit:   text.Unit(r.u8()),
+			Label:  r.str(),
+		})
+	}
+	nu := r.count(2)
+	for i := 0; i < nu && r.err == nil; i++ {
+		p.Utterances = append(p.Utterances, voice.Utterance{Token: r.str(), Offset: r.vint()})
+	}
+	return p
+}
+
+// --- bitmaps ---
+
+func encodeBitmap(w *writer, b *img.Bitmap) {
+	if b == nil {
+		w.bool(false)
+		return
+	}
+	w.bool(true)
+	w.vint(b.W)
+	w.vint(b.H)
+	// Row-major run-free packing (8 px/byte) via ASCII-free raw export:
+	// reconstruct from pixels to stay independent of internal layout.
+	stride := (b.W + 7) / 8
+	raw := make([]byte, stride*b.H)
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if b.Get(x, y) {
+				raw[y*stride+x/8] |= 1 << (x % 8)
+			}
+		}
+	}
+	w.bytes(raw)
+}
+
+func decodeBitmap(r *reader) *img.Bitmap {
+	if !r.bool() {
+		return nil
+	}
+	wpx, hpx := r.vint(), r.vint()
+	if r.err != nil || wpx < 0 || hpx < 0 || wpx > 1<<16 || hpx > 1<<16 {
+		r.fail()
+		return nil
+	}
+	raw := r.bytesField()
+	stride := (wpx + 7) / 8
+	if r.err != nil || len(raw) != stride*hpx {
+		r.fail()
+		return nil
+	}
+	b := img.NewBitmap(wpx, hpx)
+	for y := 0; y < hpx; y++ {
+		for x := 0; x < wpx; x++ {
+			if raw[y*stride+x/8]&(1<<(x%8)) != 0 {
+				b.Set(x, y, true)
+			}
+		}
+	}
+	return b
+}
+
+// --- images ---
+
+func encodeImage(w *writer, im *img.Image) {
+	w.str(im.Name)
+	w.vint(im.W)
+	w.vint(im.H)
+	encodeBitmap(w, im.Base)
+	w.uvar(uint64(len(im.Graphics)))
+	for i := range im.Graphics {
+		encodeGraphic(w, &im.Graphics[i])
+	}
+	w.bool(im.Representation)
+	w.str(im.Of)
+	w.vint(im.Scale)
+}
+
+func encodeGraphic(w *writer, g *img.Graphic) {
+	w.u8(uint8(g.Shape))
+	w.uvar(uint64(len(g.Points)))
+	for _, p := range g.Points {
+		w.vint(p.X)
+		w.vint(p.Y)
+	}
+	w.vint(g.Radius)
+	w.vint(g.Size.X)
+	w.vint(g.Size.Y)
+	w.str(g.Text)
+	w.bool(g.Filled)
+	w.u8(uint8(g.Label.Kind))
+	w.str(g.Label.Text)
+	w.str(g.Label.VoiceRef)
+	w.vint(g.Label.At.X)
+	w.vint(g.Label.At.Y)
+}
+
+func decodeImage(r *reader) *img.Image {
+	im := &img.Image{Name: r.str(), W: r.vint(), H: r.vint()}
+	im.Base = decodeBitmap(r)
+	n := r.count(4)
+	for i := 0; i < n && r.err == nil; i++ {
+		im.Graphics = append(im.Graphics, decodeGraphic(r))
+	}
+	im.Representation = r.bool()
+	im.Of = r.str()
+	im.Scale = r.vint()
+	return im
+}
+
+func decodeGraphic(r *reader) img.Graphic {
+	g := img.Graphic{Shape: img.Shape(r.u8())}
+	np := r.count(2)
+	for i := 0; i < np && r.err == nil; i++ {
+		g.Points = append(g.Points, img.Point{X: r.vint(), Y: r.vint()})
+	}
+	g.Radius = r.vint()
+	g.Size = img.Point{X: r.vint(), Y: r.vint()}
+	g.Text = r.str()
+	g.Filled = r.bool()
+	g.Label = img.Label{
+		Kind:     img.LabelKind(r.u8()),
+		Text:     r.str(),
+		VoiceRef: r.str(),
+	}
+	g.Label.At = img.Point{X: r.vint(), Y: r.vint()}
+	return g
+}
+
+// EncodePart encodes one part's payload (self-contained, decodable alone).
+func EncodePart(kind PartKind, v any) ([]byte, error) {
+	w := &writer{}
+	switch kind {
+	case PartText:
+		s, ok := v.(*text.Segment)
+		if !ok {
+			return nil, fmt.Errorf("descriptor: EncodePart(%v) with %T", kind, v)
+		}
+		encodeSegment(w, s)
+	case PartVoice, PartVoiceMsg:
+		p, ok := v.(*voice.Part)
+		if !ok {
+			return nil, fmt.Errorf("descriptor: EncodePart(%v) with %T", kind, v)
+		}
+		encodeVoicePart(w, p)
+	case PartImage:
+		im, ok := v.(*img.Image)
+		if !ok {
+			return nil, fmt.Errorf("descriptor: EncodePart(%v) with %T", kind, v)
+		}
+		encodeImage(w, im)
+	case PartBitmap:
+		b, ok := v.(*img.Bitmap)
+		if !ok {
+			return nil, fmt.Errorf("descriptor: EncodePart(%v) with %T", kind, v)
+		}
+		encodeBitmap(w, b)
+	default:
+		return nil, fmt.Errorf("descriptor: unknown part kind %v", kind)
+	}
+	return w.buf, nil
+}
+
+// DecodePart decodes one part payload previously produced by EncodePart.
+func DecodePart(kind PartKind, data []byte) (any, error) {
+	r := &reader{data: data}
+	var v any
+	switch kind {
+	case PartText:
+		v = decodeSegment(r)
+	case PartVoice, PartVoiceMsg:
+		v = decodeVoicePart(r)
+	case PartImage:
+		v = decodeImage(r)
+	case PartBitmap:
+		v = decodeBitmap(r)
+	default:
+		return nil, fmt.Errorf("descriptor: unknown part kind %v", kind)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

@@ -1,0 +1,171 @@
+// Package descriptor serializes multimedia objects into the archived form
+// of the paper (§4): an object descriptor concatenated with a composition
+// file. "The composition file is the concatenation of several data files
+// each one of which contains a certain part of the multimedia object (text
+// parts, images, etc.). The object descriptor indicates how these parts
+// are presented in the physical object" and holds the interrelationship
+// tables used for presentation and browsing.
+//
+// The descriptor's part table points either to offsets within the
+// composition file or to locations within the archiver (avoiding data
+// duplication for objects mailed within the organization, §4); package
+// archiver performs the offset rebasing and mail-out pointer resolution.
+package descriptor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt reports a malformed descriptor or part encoding.
+var ErrCorrupt = errors.New("descriptor: corrupt data")
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)  { w.buf = append(w.buf, v) }
+func (w *writer) bool(v bool) { w.u8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (w *writer) uvar(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+func (w *writer) varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+func (w *writer) vint(v int) { w.varint(int64(v)) }
+func (w *writer) str(s string) {
+	w.uvar(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) bytes(b []byte) {
+	w.uvar(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) samples(s []int16) {
+	w.uvar(uint64(len(s)))
+	for _, v := range s {
+		w.buf = binary.LittleEndian.AppendUint16(w.buf, uint16(v))
+	}
+}
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrCorrupt
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.pos >= len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := r.data[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) bool() bool { return r.u8() != 0 }
+
+func (r *reader) uvar() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) vint() int {
+	v := r.varint()
+	if v > math.MaxInt32 || v < math.MinInt32 {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+// count reads a collection length and bounds it against the remaining
+// bytes, so corrupt input cannot force huge allocations.
+func (r *reader) count(minBytesPer int) int {
+	n := r.uvar()
+	if minBytesPer < 1 {
+		minBytesPer = 1
+	}
+	if r.err != nil || n > uint64((len(r.data)-r.pos)/minBytesPer)+1 {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) str() string {
+	n := r.count(1)
+	if r.err != nil || r.pos+n > len(r.data) {
+		r.fail()
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func (r *reader) bytesField() []byte {
+	n := r.count(1)
+	if r.err != nil || r.pos+n > len(r.data) {
+		r.fail()
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.data[r.pos:r.pos+n])
+	r.pos += n
+	return b
+}
+
+func (r *reader) samples() []int16 {
+	n := r.count(2)
+	if r.err != nil || r.pos+2*n > len(r.data) {
+		r.fail()
+		return nil
+	}
+	out := make([]int16, n)
+	for i := 0; i < n; i++ {
+		out[i] = int16(binary.LittleEndian.Uint16(r.data[r.pos:]))
+		r.pos += 2
+	}
+	return out
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.data) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.data)-r.pos)
+	}
+	return nil
+}

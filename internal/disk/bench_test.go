@@ -1,0 +1,38 @@
+package disk
+
+import "testing"
+
+func BenchmarkOpticalReadExtent(b *testing.B) {
+	o, err := NewOptical("b", OpticalGeometry(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 64*1024)
+	if _, _, _, err := o.Append(data); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadExtent(o, uint64(i%32)*2048, 8192); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImagePersist(b *testing.B) {
+	o, err := NewOptical("b", OpticalGeometry(128))
+	if err != nil {
+		b.Fatal(err)
+	}
+	o.Append(make([]byte, 100*1024))
+	path := b.TempDir() + "/img.mdsk"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := o.SaveFile(path); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := LoadFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

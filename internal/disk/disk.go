@@ -1,0 +1,309 @@
+// Package disk simulates the storage devices of the MINOS server subsystem
+// (§5): a write-once optical disk with huge capacity and slow seeks (the
+// archiver's medium) and a high-performance magnetic disk. Devices return
+// the service time of each operation computed from a seek/rotation/transfer
+// model; the server's queueing simulation consumes those times on the
+// virtual clock, which is how the paper's "queueing delays ... experienced
+// when several users try to access data from the same device" concern is
+// made measurable.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Common errors.
+var (
+	ErrOutOfRange  = errors.New("disk: block out of range")
+	ErrWornWritten = errors.New("disk: optical block already written (WORM)")
+	ErrFull        = errors.New("disk: device full")
+	ErrBadLength   = errors.New("disk: data length != block size")
+)
+
+// Device is a block device with a timing model.
+type Device interface {
+	// ReadBlock returns the block contents and the service time of the
+	// read given the current head position.
+	ReadBlock(n int) ([]byte, time.Duration, error)
+	// WriteBlock stores a full block and returns the service time.
+	WriteBlock(n int, data []byte) (time.Duration, error)
+	// BlockSize returns the device block size in bytes.
+	BlockSize() int
+	// Blocks returns the device capacity in blocks.
+	Blocks() int
+	// SeekTime returns the head movement time to the block without
+	// performing I/O (used by schedulers to order queues).
+	SeekTime(n int) time.Duration
+	// Head returns the current head block position.
+	Head() int
+	// Name identifies the device in statistics.
+	Name() string
+}
+
+// Geometry parameterizes the timing model.
+type Geometry struct {
+	BlockSize      int
+	Blocks         int
+	BlocksPerTrack int
+	// SeekBase is the fixed cost of any head movement; SeekPerTrack adds
+	// per track crossed.
+	SeekBase     time.Duration
+	SeekPerTrack time.Duration
+	// RotationHalf is the average rotational latency (half a revolution).
+	RotationHalf time.Duration
+	// TransferPerBlock is the media transfer time per block.
+	TransferPerBlock time.Duration
+}
+
+func (g Geometry) validate() error {
+	if g.BlockSize <= 0 || g.Blocks <= 0 || g.BlocksPerTrack <= 0 {
+		return fmt.Errorf("disk: bad geometry %+v", g)
+	}
+	return nil
+}
+
+// OpticalGeometry mirrors a mid-1980s optical platter (scaled down so tests
+// stay fast): 2 KiB blocks, slow seeks, modest transfer rate.
+func OpticalGeometry(blocks int) Geometry {
+	return Geometry{
+		BlockSize:        2048,
+		Blocks:           blocks,
+		BlocksPerTrack:   32,
+		SeekBase:         80 * time.Millisecond,
+		SeekPerTrack:     200 * time.Microsecond,
+		RotationHalf:     16 * time.Millisecond,
+		TransferPerBlock: 4 * time.Millisecond,
+	}
+}
+
+// MagneticGeometry mirrors a fast magnetic disk of the era.
+func MagneticGeometry(blocks int) Geometry {
+	return Geometry{
+		BlockSize:        2048,
+		Blocks:           blocks,
+		BlocksPerTrack:   32,
+		SeekBase:         8 * time.Millisecond,
+		SeekPerTrack:     50 * time.Microsecond,
+		RotationHalf:     8 * time.Millisecond,
+		TransferPerBlock: 1 * time.Millisecond,
+	}
+}
+
+type base struct {
+	name string
+	geo  Geometry
+	data [][]byte
+	head int
+
+	// Stats.
+	reads, writes int64
+	busy          time.Duration
+}
+
+func (b *base) BlockSize() int { return b.geo.BlockSize }
+func (b *base) Blocks() int    { return b.geo.Blocks }
+func (b *base) Head() int      { return b.head }
+func (b *base) Name() string   { return b.name }
+
+func (b *base) track(n int) int { return n / b.geo.BlocksPerTrack }
+
+func (b *base) SeekTime(n int) time.Duration {
+	dt := b.track(n) - b.track(b.head)
+	if dt < 0 {
+		dt = -dt
+	}
+	if dt == 0 {
+		return 0
+	}
+	return b.geo.SeekBase + time.Duration(dt)*b.geo.SeekPerTrack
+}
+
+func (b *base) service(n int) time.Duration {
+	t := b.SeekTime(n) + b.geo.RotationHalf + b.geo.TransferPerBlock
+	b.head = n
+	b.busy += t
+	return t
+}
+
+func (b *base) check(n int) error {
+	if n < 0 || n >= b.geo.Blocks {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, n, b.geo.Blocks)
+	}
+	return nil
+}
+
+// Stats reports operation counts and cumulative busy time.
+type Stats struct {
+	Reads, Writes int64
+	Busy          time.Duration
+}
+
+// Magnetic is a read-write magnetic disk.
+type Magnetic struct{ base }
+
+// NewMagnetic builds a magnetic disk with the given geometry.
+func NewMagnetic(name string, geo Geometry) (*Magnetic, error) {
+	if err := geo.validate(); err != nil {
+		return nil, err
+	}
+	return &Magnetic{base{name: name, geo: geo, data: make([][]byte, geo.Blocks)}}, nil
+}
+
+// ReadBlock implements Device; unwritten blocks read as zeroes.
+func (m *Magnetic) ReadBlock(n int) ([]byte, time.Duration, error) {
+	if err := m.check(n); err != nil {
+		return nil, 0, err
+	}
+	m.reads++
+	t := m.service(n)
+	if m.data[n] == nil {
+		return make([]byte, m.geo.BlockSize), t, nil
+	}
+	out := make([]byte, m.geo.BlockSize)
+	copy(out, m.data[n])
+	return out, t, nil
+}
+
+// WriteBlock implements Device.
+func (m *Magnetic) WriteBlock(n int, data []byte) (time.Duration, error) {
+	if err := m.check(n); err != nil {
+		return 0, err
+	}
+	if len(data) != m.geo.BlockSize {
+		return 0, ErrBadLength
+	}
+	m.writes++
+	t := m.service(n)
+	m.data[n] = append([]byte(nil), data...)
+	return t, nil
+}
+
+// Stats returns the device's counters.
+func (m *Magnetic) Stats() Stats { return Stats{Reads: m.reads, Writes: m.writes, Busy: m.busy} }
+
+// Optical is a write-once (WORM) optical disk: a block can be written
+// exactly once and never rewritten.
+type Optical struct {
+	base
+	written []bool
+	next    int // next unwritten block for Append
+}
+
+// NewOptical builds an optical disk with the given geometry.
+func NewOptical(name string, geo Geometry) (*Optical, error) {
+	if err := geo.validate(); err != nil {
+		return nil, err
+	}
+	return &Optical{
+		base:    base{name: name, geo: geo, data: make([][]byte, geo.Blocks)},
+		written: make([]bool, geo.Blocks),
+	}, nil
+}
+
+// ReadBlock implements Device; unwritten blocks read as zeroes.
+func (o *Optical) ReadBlock(n int) ([]byte, time.Duration, error) {
+	if err := o.check(n); err != nil {
+		return nil, 0, err
+	}
+	o.reads++
+	t := o.service(n)
+	if o.data[n] == nil {
+		return make([]byte, o.geo.BlockSize), t, nil
+	}
+	out := make([]byte, o.geo.BlockSize)
+	copy(out, o.data[n])
+	return out, t, nil
+}
+
+// WriteBlock implements Device and enforces write-once semantics.
+func (o *Optical) WriteBlock(n int, data []byte) (time.Duration, error) {
+	if err := o.check(n); err != nil {
+		return 0, err
+	}
+	if len(data) != o.geo.BlockSize {
+		return 0, ErrBadLength
+	}
+	if o.written[n] {
+		return 0, fmt.Errorf("%w: block %d", ErrWornWritten, n)
+	}
+	o.writes++
+	t := o.service(n)
+	o.data[n] = append([]byte(nil), data...)
+	o.written[n] = true
+	if n >= o.next {
+		o.next = n + 1
+	}
+	return t, nil
+}
+
+// Append writes data (any length) starting at the next unwritten block,
+// padding the final block, and returns the starting block, the number of
+// blocks used, and the cumulative service time. It is the archiver's write
+// path.
+func (o *Optical) Append(data []byte) (startBlock, nBlocks int, total time.Duration, err error) {
+	bs := o.geo.BlockSize
+	nBlocks = (len(data) + bs - 1) / bs
+	if nBlocks == 0 {
+		nBlocks = 1
+	}
+	if o.next+nBlocks > o.geo.Blocks {
+		return 0, 0, 0, fmt.Errorf("%w: need %d blocks, %d free", ErrFull, nBlocks, o.geo.Blocks-o.next)
+	}
+	startBlock = o.next
+	for i := 0; i < nBlocks; i++ {
+		blk := make([]byte, bs)
+		lo := i * bs
+		hi := lo + bs
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if lo < len(data) {
+			copy(blk, data[lo:hi])
+		}
+		t, werr := o.WriteBlock(startBlock+i, blk)
+		if werr != nil {
+			return 0, 0, 0, werr
+		}
+		total += t
+	}
+	return startBlock, nBlocks, total, nil
+}
+
+// ReadExtent reads length bytes starting at byte offset off, spanning
+// blocks, and returns the data plus cumulative service time.
+func ReadExtent(d Device, off, length uint64) ([]byte, time.Duration, error) {
+	bs := uint64(d.BlockSize())
+	if length == 0 {
+		return nil, 0, nil
+	}
+	first := off / bs
+	last := (off + length - 1) / bs
+	var total time.Duration
+	out := make([]byte, 0, length)
+	for b := first; b <= last; b++ {
+		blk, t, err := d.ReadBlock(int(b))
+		if err != nil {
+			return nil, total, err
+		}
+		total += t
+		lo := uint64(0)
+		if b == first {
+			lo = off - b*bs
+		}
+		hi := bs
+		if b == last {
+			hi = off + length - b*bs
+		}
+		out = append(out, blk[lo:hi]...)
+	}
+	return out, total, nil
+}
+
+// Stats returns the device's counters.
+func (o *Optical) Stats() Stats { return Stats{Reads: o.reads, Writes: o.writes, Busy: o.busy} }
+
+// Used returns the number of written blocks (the archiver's high-water
+// mark).
+func (o *Optical) Used() int { return o.next }

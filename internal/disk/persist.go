@@ -1,0 +1,180 @@
+package disk
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Image file format for persisting a device's contents:
+//
+//	magic "MDSK" | version u16 | kind u8 | blockSize u32 | blocks u32 |
+//	written-block count u32 | { blockNo u32 | data[blockSize] }*
+//
+// Only written blocks are stored, so sparse archives stay small on the
+// host filesystem.
+const (
+	imgMagic   = "MDSK"
+	imgVersion = 1
+	kindOpt    = 1
+	kindMag    = 2
+)
+
+var errBadImage = errors.New("disk: bad device image")
+
+// WriteImage serializes the optical device's contents to w.
+func (o *Optical) WriteImage(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, kindOpt, o.geo); err != nil {
+		return err
+	}
+	var count uint32
+	for _, ok := range o.written {
+		if ok {
+			count++
+		}
+	}
+	if err := binary.Write(bw, binary.BigEndian, count); err != nil {
+		return err
+	}
+	for i, ok := range o.written {
+		if !ok {
+			continue
+		}
+		if err := binary.Write(bw, binary.BigEndian, uint32(i)); err != nil {
+			return err
+		}
+		blk := o.data[i]
+		if blk == nil {
+			blk = make([]byte, o.geo.BlockSize)
+		}
+		if _, err := bw.Write(blk); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadImage restores an optical device from an image produced by
+// WriteImage. The geometry is taken from the image; timing parameters come
+// from geo (pass OpticalGeometry(0) to keep defaults — Blocks is
+// overridden).
+func ReadImage(r io.Reader, geo Geometry) (*Optical, error) {
+	br := bufio.NewReader(r)
+	kind, blockSize, blocks, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindOpt {
+		return nil, fmt.Errorf("%w: not an optical image", errBadImage)
+	}
+	geo.BlockSize = blockSize
+	geo.Blocks = blocks
+	if geo.BlocksPerTrack == 0 {
+		geo = OpticalGeometry(blocks)
+	}
+	geo.BlockSize = blockSize
+	geo.Blocks = blocks
+	dev, err := NewOptical("restored", geo)
+	if err != nil {
+		return nil, err
+	}
+	var count uint32
+	if err := binary.Read(br, binary.BigEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadImage, err)
+	}
+	if int(count) > blocks {
+		return nil, fmt.Errorf("%w: %d written blocks > capacity %d", errBadImage, count, blocks)
+	}
+	for i := uint32(0); i < count; i++ {
+		var n uint32
+		if err := binary.Read(br, binary.BigEndian, &n); err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadImage, err)
+		}
+		if int(n) >= blocks {
+			return nil, fmt.Errorf("%w: block %d out of range", errBadImage, n)
+		}
+		blk := make([]byte, blockSize)
+		if _, err := io.ReadFull(br, blk); err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadImage, err)
+		}
+		// Restore without paying (or mutating) the timing model.
+		dev.data[n] = blk
+		dev.written[n] = true
+		if int(n) >= dev.next {
+			dev.next = int(n) + 1
+		}
+	}
+	return dev, nil
+}
+
+func writeHeader(w io.Writer, kind uint8, geo Geometry) error {
+	if _, err := w.Write([]byte(imgMagic)); err != nil {
+		return err
+	}
+	hdr := struct {
+		Version   uint16
+		Kind      uint8
+		BlockSize uint32
+		Blocks    uint32
+	}{imgVersion, kind, uint32(geo.BlockSize), uint32(geo.Blocks)}
+	return binary.Write(w, binary.BigEndian, hdr)
+}
+
+func readHeader(r io.Reader) (kind uint8, blockSize, blocks int, err error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: %v", errBadImage, err)
+	}
+	if string(magic) != imgMagic {
+		return 0, 0, 0, fmt.Errorf("%w: bad magic %q", errBadImage, magic)
+	}
+	var hdr struct {
+		Version   uint16
+		Kind      uint8
+		BlockSize uint32
+		Blocks    uint32
+	}
+	if err := binary.Read(r, binary.BigEndian, &hdr); err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: %v", errBadImage, err)
+	}
+	if hdr.Version != imgVersion {
+		return 0, 0, 0, fmt.Errorf("%w: version %d", errBadImage, hdr.Version)
+	}
+	if hdr.BlockSize == 0 || hdr.Blocks == 0 || hdr.BlockSize > 1<<20 || hdr.Blocks > 1<<24 {
+		return 0, 0, 0, fmt.Errorf("%w: implausible geometry", errBadImage)
+	}
+	return hdr.Kind, int(hdr.BlockSize), int(hdr.Blocks), nil
+}
+
+// SaveFile writes the device image to path (atomically via a temp file).
+func (o *Optical) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := o.WriteImage(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a device image from path.
+func LoadFile(path string) (*Optical, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadImage(f, Geometry{})
+}

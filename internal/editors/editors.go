@@ -1,0 +1,227 @@
+// Package editors provides the interactive generation and editing tools of
+// §4 ("there is a number of editors in MINOS ... responsible for the
+// interactive generation and editing of text, image and voice data") in
+// programmatic form. Each editor produces final-form data for the
+// formatter's data directory.
+//
+// The voice editor models insertion-time behaviour the paper describes:
+// logical components "may be manually identified at the time of the
+// insertion by pressing the appropriate buttons", at the cost of slower
+// insertion; and limited-vocabulary recognition runs at insertion time to
+// anchor utterances within the voice part (§2).
+package editors
+
+import (
+	"fmt"
+	"strings"
+
+	"minos/internal/formatter"
+	img "minos/internal/image"
+	"minos/internal/text"
+	"minos/internal/voice"
+)
+
+// TextEditor is a line-oriented editor over MINOS markup.
+type TextEditor struct {
+	lines []string
+}
+
+// NewTextEditor starts with optional initial content.
+func NewTextEditor(initial string) *TextEditor {
+	e := &TextEditor{}
+	if initial != "" {
+		e.lines = strings.Split(strings.TrimRight(initial, "\n"), "\n")
+	}
+	return e
+}
+
+// Lines returns the number of lines.
+func (e *TextEditor) Lines() int { return len(e.lines) }
+
+// Append adds a line at the end.
+func (e *TextEditor) Append(line string) { e.lines = append(e.lines, line) }
+
+// Insert places a line before index i (clamped).
+func (e *TextEditor) Insert(i int, line string) {
+	if i < 0 {
+		i = 0
+	}
+	if i > len(e.lines) {
+		i = len(e.lines)
+	}
+	e.lines = append(e.lines[:i], append([]string{line}, e.lines[i:]...)...)
+}
+
+// Delete removes line i.
+func (e *TextEditor) Delete(i int) error {
+	if i < 0 || i >= len(e.lines) {
+		return fmt.Errorf("editors: line %d out of range", i)
+	}
+	e.lines = append(e.lines[:i], e.lines[i+1:]...)
+	return nil
+}
+
+// Replace rewrites line i.
+func (e *TextEditor) Replace(i int, line string) error {
+	if i < 0 || i >= len(e.lines) {
+		return fmt.Errorf("editors: line %d out of range", i)
+	}
+	e.lines[i] = line
+	return nil
+}
+
+// Markup returns the buffer as markup source.
+func (e *TextEditor) Markup() string { return strings.Join(e.lines, "\n") + "\n" }
+
+// Check parses the buffer and returns the first error, if any.
+func (e *TextEditor) Check() error {
+	_, err := text.Parse(e.Markup())
+	return err
+}
+
+// VoiceEditor records speech (synthesized from typed transcripts — the
+// microphone substitution) with optional insertion-time boundary marking
+// and recognition.
+type VoiceEditor struct {
+	speaker voice.Speaker
+	rate    int
+
+	part  *voice.Part
+	marks []voice.WordMark
+
+	// ManualMarking selects the unit depth the speaker marks with the
+	// buttons while dictating; text.UnitChapter marks only chapters, etc.
+	// A negative sentinel (NoMarking) disables marking entirely — "it
+	// may not be desirable to manually edit all incoming information".
+	ManualMarking text.Unit
+
+	// Recognizer, when non-nil, runs at insertion time over the dictated
+	// speech.
+	Recognizer *voice.Recognizer
+}
+
+// NoMarking disables insertion-time boundary marking.
+const NoMarking = text.Unit(0xff)
+
+// NewVoiceEditor builds an editor for the given speaker profile and rate
+// (0 = voice.SampleRate).
+func NewVoiceEditor(sp voice.Speaker, rate int) *VoiceEditor {
+	return &VoiceEditor{speaker: sp, rate: rate, ManualMarking: NoMarking}
+}
+
+// Dictate appends spoken content from markup (the structure tags drive the
+// synthesized pauses and, when manual marking is on, the markers).
+func (v *VoiceEditor) Dictate(markup string) error {
+	seg, err := text.Parse(markup)
+	if err != nil {
+		return err
+	}
+	syn := voice.Synthesize(text.Flatten(seg), v.speaker, v.rate)
+	if v.part == nil {
+		v.part = syn.Part
+		v.marks = syn.Marks
+	} else {
+		base := len(v.part.Samples)
+		v.part.Samples = append(v.part.Samples, syn.Part.Samples...)
+		for _, mk := range syn.Marks {
+			mk.Offset += base
+			v.marks = append(v.marks, mk)
+		}
+	}
+	return nil
+}
+
+// Marks exposes the dictation ground truth (for experiments).
+func (v *VoiceEditor) Marks() []voice.WordMark { return append([]voice.WordMark(nil), v.marks...) }
+
+// Finalize produces the final-form voice part: manual markers at the chosen
+// depth and recognized utterances anchored at offsets.
+func (v *VoiceEditor) Finalize() (*voice.Part, error) {
+	if v.part == nil {
+		return nil, fmt.Errorf("editors: nothing dictated")
+	}
+	if v.ManualMarking != NoMarking {
+		v.part.Markers = voice.MarkersFromMarks(v.marks, v.ManualMarking)
+	}
+	if v.Recognizer != nil {
+		v.part.Utterances = v.Recognizer.Recognize(v.marks)
+	}
+	if err := v.part.Validate(); err != nil {
+		return nil, err
+	}
+	return v.part, nil
+}
+
+// SaveTo finalizes and stores the part in a data directory.
+func (v *VoiceEditor) SaveTo(dir *formatter.DataDir, name string) error {
+	p, err := v.Finalize()
+	if err != nil {
+		return err
+	}
+	dir.PutVoice(name, p, formatter.Final)
+	return nil
+}
+
+// ImageEditor builds image parts interactively.
+type ImageEditor struct {
+	im   *img.Image
+	undo []int // graphic counts for undo points
+}
+
+// NewImageEditor starts an image surface.
+func NewImageEditor(name string, w, h int) *ImageEditor {
+	return &ImageEditor{im: img.New(name, w, h)}
+}
+
+// CaptureBitmap installs a captured base bitmap (the high-resolution image
+// capture path of §5).
+func (e *ImageEditor) CaptureBitmap(b *img.Bitmap) { e.im.Base = b }
+
+// Checkpoint records an undo point.
+func (e *ImageEditor) Checkpoint() { e.undo = append(e.undo, len(e.im.Graphics)) }
+
+// Undo removes graphics added since the last checkpoint.
+func (e *ImageEditor) Undo() error {
+	if len(e.undo) == 0 {
+		return fmt.Errorf("editors: no checkpoint")
+	}
+	n := e.undo[len(e.undo)-1]
+	e.undo = e.undo[:len(e.undo)-1]
+	e.im.Graphics = e.im.Graphics[:n]
+	return nil
+}
+
+// Add appends a graphics object and returns its index.
+func (e *ImageEditor) Add(g img.Graphic) int { return e.im.Add(g) }
+
+// Circle is a convenience for circles with labels.
+func (e *ImageEditor) Circle(cx, cy, r int, label img.Label) int {
+	return e.Add(img.Graphic{Shape: img.ShapeCircle, Points: []img.Point{{X: cx, Y: cy}}, Radius: r, Label: label})
+}
+
+// Polyline draws a connected line path.
+func (e *ImageEditor) Polyline(pts ...img.Point) int {
+	return e.Add(img.Graphic{Shape: img.ShapePolyline, Points: pts})
+}
+
+// Text places a text run.
+func (e *ImageEditor) Text(x, y int, s string) int {
+	return e.Add(img.Graphic{Shape: img.ShapeText, Points: []img.Point{{X: x, Y: y}}, Text: s})
+}
+
+// Image returns the surface being edited.
+func (e *ImageEditor) Image() *img.Image { return e.im }
+
+// SaveTo stores the image in final (archival) form: "when the editing of an
+// image is completed its archival form (which is device and software
+// package independent) is produced" (§4).
+func (e *ImageEditor) SaveTo(dir *formatter.DataDir, name string) {
+	e.im.Name = name
+	dir.PutImage(name, e.im, formatter.Final)
+}
+
+// SaveBitmapTo rasterizes and stores as a plain bitmap entry (for strips,
+// transparencies and process frames).
+func (e *ImageEditor) SaveBitmapTo(dir *formatter.DataDir, name string) {
+	dir.PutBitmap(name, e.im.Rasterize(), formatter.Final)
+}

@@ -1,0 +1,192 @@
+package editors
+
+import (
+	"strings"
+	"testing"
+
+	"minos/internal/formatter"
+	img "minos/internal/image"
+	"minos/internal/text"
+	"minos/internal/voice"
+)
+
+func TestTextEditorOps(t *testing.T) {
+	e := NewTextEditor(".title Draft\nFirst line here.\n")
+	if e.Lines() != 2 {
+		t.Fatalf("lines = %d", e.Lines())
+	}
+	e.Append("Appended line.")
+	e.Insert(1, ".chapter One")
+	if e.Lines() != 4 {
+		t.Fatalf("lines = %d", e.Lines())
+	}
+	if err := e.Replace(2, "Replaced line."); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	out := e.Markup()
+	if !strings.Contains(out, ".chapter One") || !strings.Contains(out, "Replaced line.") {
+		t.Fatalf("markup = %q", out)
+	}
+	if err := e.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(99); err == nil {
+		t.Fatal("delete out of range accepted")
+	}
+	if err := e.Replace(-1, "x"); err == nil {
+		t.Fatal("replace out of range accepted")
+	}
+}
+
+func TestTextEditorCheckCatchesBadMarkup(t *testing.T) {
+	e := NewTextEditor("")
+	e.Append(".bogus tag")
+	if e.Check() == nil {
+		t.Fatal("bad markup passed Check")
+	}
+}
+
+func TestVoiceEditorDictation(t *testing.T) {
+	v := NewVoiceEditor(voice.DefaultSpeaker(), 2000)
+	if _, err := v.Finalize(); err == nil {
+		t.Fatal("finalize with nothing dictated accepted")
+	}
+	if err := v.Dictate(".chapter One\nFirst thought spoken aloud.\n"); err != nil {
+		t.Fatal(err)
+	}
+	n1 := len(v.Marks())
+	if err := v.Dictate(".chapter Two\nSecond thought follows later.\n"); err != nil {
+		t.Fatal(err)
+	}
+	marks := v.Marks()
+	if len(marks) <= n1 {
+		t.Fatal("second dictation added no marks")
+	}
+	// Appended marks are offset past the first dictation.
+	if marks[n1].Offset <= marks[n1-1].Offset {
+		t.Fatal("appended dictation offsets not rebased")
+	}
+	p, err := v.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Markers) != 0 {
+		t.Fatal("markers present without manual marking")
+	}
+}
+
+func TestVoiceEditorManualMarking(t *testing.T) {
+	v := NewVoiceEditor(voice.DefaultSpeaker(), 2000)
+	v.ManualMarking = text.UnitChapter
+	v.Dictate(".chapter One\nWords here.\n.chapter Two\nMore words.\n")
+	p, err := v.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Markers) != 2 {
+		t.Fatalf("chapter markers = %d, want 2", len(p.Markers))
+	}
+}
+
+func TestVoiceEditorRecognition(t *testing.T) {
+	v := NewVoiceEditor(voice.DefaultSpeaker(), 2000)
+	r := voice.NewRecognizer([]string{"shadow"})
+	r.HitRate = 1.0
+	v.Recognizer = r
+	v.Dictate("The shadow appears here.\n")
+	p, err := v.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Utterances) != 1 || p.Utterances[0].Token != "shadow" {
+		t.Fatalf("utterances = %+v", p.Utterances)
+	}
+}
+
+func TestVoiceEditorSaveTo(t *testing.T) {
+	dir := formatter.NewDataDir()
+	v := NewVoiceEditor(voice.DefaultSpeaker(), 2000)
+	v.Dictate("Saved speech.\n")
+	if err := v.SaveTo(dir, "note"); err != nil {
+		t.Fatal(err)
+	}
+	e := dir.Get("note")
+	if e == nil || e.Voice == nil || e.Status != formatter.Final {
+		t.Fatalf("entry = %+v", e)
+	}
+}
+
+func TestVoiceEditorBadMarkup(t *testing.T) {
+	v := NewVoiceEditor(voice.DefaultSpeaker(), 2000)
+	if err := v.Dictate(".bogus\n"); err == nil {
+		t.Fatal("bad markup dictated")
+	}
+}
+
+func TestImageEditorDrawUndo(t *testing.T) {
+	e := NewImageEditor("map", 100, 80)
+	e.Circle(20, 20, 5, img.Label{Kind: img.TextLabel, Text: "site", At: img.Point{X: 28, Y: 16}})
+	e.Checkpoint()
+	e.Polyline(img.Point{X: 0, Y: 0}, img.Point{X: 99, Y: 79})
+	e.Text(5, 60, "CITY")
+	if len(e.Image().Graphics) != 3 {
+		t.Fatalf("graphics = %d", len(e.Image().Graphics))
+	}
+	if err := e.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Image().Graphics) != 1 {
+		t.Fatalf("graphics after undo = %d", len(e.Image().Graphics))
+	}
+	if err := e.Undo(); err == nil {
+		t.Fatal("undo without checkpoint accepted")
+	}
+}
+
+func TestImageEditorCaptureAndSave(t *testing.T) {
+	dir := formatter.NewDataDir()
+	e := NewImageEditor("xray", 60, 40)
+	cap := img.NewBitmap(60, 40)
+	cap.Fill(img.Rect{X: 5, Y: 5, W: 20, H: 20}, true)
+	e.CaptureBitmap(cap)
+	e.Circle(15, 15, 8, img.Label{})
+	e.SaveTo(dir, "xray")
+	e2 := dir.Get("xray")
+	if e2 == nil || e2.Image == nil {
+		t.Fatal("image not saved")
+	}
+	if e2.Image.Rasterize().PopCount() == 0 {
+		t.Fatal("saved image blank")
+	}
+	// Bitmap form for strips.
+	e.SaveBitmapTo(dir, "xraybm")
+	if b := dir.Get("xraybm"); b == nil || b.Bitmap == nil {
+		t.Fatal("bitmap not saved")
+	}
+}
+
+func TestEditorsFeedFormatter(t *testing.T) {
+	dir := formatter.NewDataDir()
+	te := NewTextEditor(".title Filed Report\nObservations were recorded today.\n")
+	ve := NewVoiceEditor(voice.DefaultSpeaker(), 2000)
+	ve.Dictate("Spoken note for the record.\n")
+	if err := ve.SaveTo(dir, "note"); err != nil {
+		t.Fatal(err)
+	}
+	ie := NewImageEditor("fig", 50, 40)
+	ie.Circle(25, 20, 10, img.Label{})
+	ie.SaveTo(dir, "fig")
+
+	f := formatter.New(dir)
+	synth := "object 10 visual Filed Report\ntext\n" + strings.TrimRight(te.Markup(), "\n") +
+		"\nend\nimage fig after-word 2\nvoicemsg m1 note text:0:2\n"
+	if err := f.SetSynthesis(synth); err != nil {
+		t.Fatal(err)
+	}
+	if f.Object().ImageByName("fig") == nil || len(f.Object().VoiceMsgs) != 1 {
+		t.Fatal("formatter did not pick up editor output")
+	}
+}

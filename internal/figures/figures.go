@@ -1,0 +1,475 @@
+// Package figures reconstructs the paper's Figures 1-10 as executable
+// scenarios. The paper's "evaluation" is demonstrative — each figure shows
+// a presentation capability on the MINOS screen — so each scenario here (a)
+// authors the multimedia objects the figure used, (b) drives the
+// presentation manager through the figure's interaction, and (c) exposes
+// the event trace and screen snapshots that tests, the minos-figures
+// binary, and the benchmark harness consume.
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"minos/internal/core"
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/screen"
+	"minos/internal/text"
+	"minos/internal/vclock"
+	"minos/internal/voice"
+)
+
+// VoiceRate is the synthesis rate used by the figure objects; lower than
+// production 8 kHz to keep scenario runs fast while preserving behaviour.
+const VoiceRate = 2000
+
+// Result carries what a scenario produced.
+type Result struct {
+	Name      string
+	Manager   *core.Manager
+	Snapshots []uint64 // screen hashes at the scenario's checkpoints
+	Notes     []string // human-readable narration of what happened
+}
+
+func (r *Result) snap(m *core.Manager, note string, args ...any) {
+	r.Snapshots = append(r.Snapshots, m.Screen().Snapshot())
+	r.Notes = append(r.Notes, fmt.Sprintf(note, args...))
+}
+
+func newManager(res core.Resolver) *core.Manager {
+	return core.New(core.Config{
+		Screen:       screen.New(512, 342),
+		Clock:        vclock.New(),
+		Resolver:     res,
+		AudioPageLen: 8 * time.Second,
+		VoiceOption:  true,
+	})
+}
+
+func speakPart(markup string) *voice.Part {
+	seg, err := text.Parse(markup)
+	if err != nil {
+		panic("figures: " + err.Error())
+	}
+	return voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), VoiceRate).Part
+}
+
+// --- Figures 1-2: visual pages with text, graphics and bitmaps ---
+
+// Fig12Object authors a multimedia object whose visual pages intermix
+// formatted text, a graphics drawing and a captured bitmap, with the menu
+// column visible — the content of Figures 1 and 2.
+func Fig12Object() *object.Object {
+	drawing := img.New("diagram", 220, 90)
+	drawing.Add(img.Graphic{Shape: img.ShapeRect, Points: []img.Point{{X: 4, Y: 8}}, Size: img.Point{X: 70, Y: 40}})
+	drawing.Add(img.Graphic{Shape: img.ShapeCircle, Points: []img.Point{{X: 150, Y: 30}}, Radius: 22})
+	drawing.Add(img.Graphic{Shape: img.ShapePolyline, Points: []img.Point{{X: 74, Y: 28}, {X: 128, Y: 30}}})
+	drawing.Add(img.Graphic{Shape: img.ShapeText, Points: []img.Point{{X: 6, Y: 54}}, Text: "WORKSTATION"})
+	drawing.Add(img.Graphic{Shape: img.ShapeText, Points: []img.Point{{X: 132, Y: 58}}, Text: "SERVER"})
+
+	captured := img.New("photo", 200, 70)
+	bm := img.NewBitmap(200, 70)
+	for y := 0; y < 70; y++ {
+		for x := 0; x < 200; x++ {
+			if (x/8+y/8)%2 == 0 && (x+y)%3 != 0 {
+				bm.Set(x, y, true)
+			}
+		}
+	}
+	captured.Base = bm
+
+	o := object.NewBuilder(101, "MINOS Overview", object.Visual).
+		Attr("author", "S. Christodoulakis").
+		Text(`.title MINOS Overview
+.chapter Architecture
+.size big
+Multimedia presentation and browsing on a workstation.
+.size normal
+The overall system architecture is composed of a multimedia object server subsystem and a number of workstations interconnected through high capacity links. The workstations may have some disk devices associated with them.
+
+The multimedia object server subsystem is optical disk based and it may also contain one or more high performance magnetic disks. It is used to store objects in an archived state.
+.chapter Presentation
+Very powerful presentation and browsing facilities are required in order to increase the communication bandwidth between user and machine. The presentation manager resides in the user workstation and requests the appropriate pieces of information from the server subsystems.
+`).
+		Image(drawing).
+		Image(captured).
+		PlaceImageAfterWord("diagram", 30).
+		PlaceImageAfterWord("photo", 75).
+		MustBuild()
+	return o
+}
+
+// RunFig12 pages through the object, checkpointing each visual page.
+func RunFig12() *Result {
+	m := newManager(nil)
+	r := &Result{Name: "F1-F2 visual pages with text, graphics and bitmaps", Manager: m}
+	if err := m.Open(Fig12Object()); err != nil {
+		panic(err)
+	}
+	r.snap(m, "page 1 of %d (menu: %d options)", m.PageCount(), len(m.Screen().Menu()))
+	for m.PageNo() < m.PageCount()-1 {
+		m.NextPage()
+		r.snap(m, "page %d", m.PageNo()+1)
+	}
+	return r
+}
+
+// --- Figures 3-4: a visual logical message on a visual mode object ---
+
+// Fig34Object authors the doctor's report: the x-ray bitmap is attached as
+// a visual logical message to the related text, so it stays pinned while
+// the text pages below it. The bitmap is stored once in the object. The
+// anchor range is computed from the word counts of the intro and the
+// related segment, so layout changes cannot desynchronize it.
+func Fig34Object() *object.Object {
+	introWords := countWords(fig34Intro)
+	segWords := countWords(fig34Segment)
+	xray := xrayStrip()
+	o := object.NewBuilder(102, "Radiology Report 7781", object.Visual).
+		Attr("patient", "7781").
+		Text(fig34Markup()).
+		VisualMsg("xray", xray, object.Anchor{
+			Media: object.MediaText,
+			From:  introWords,
+			To:    introWords + segWords - 1,
+		}, false).
+		MustBuild()
+	return o
+}
+
+func countWords(body string) int {
+	seg, err := text.Parse(body)
+	if err != nil {
+		panic("figures: " + err.Error())
+	}
+	return seg.WordCount()
+}
+
+// fig34Intro fills the first visual page so the related segment starts on a
+// later page; fig34Segment is the text the x-ray relates to (long enough to
+// need several sub-pages under the pinned image, as in the figure caption:
+// "three pages are needed in this particular example").
+const fig34Intro = `The patient was admitted on a Tuesday morning complaining of a persistent dry cough that had lasted for roughly three weeks without any fever or weight loss reported at any time. The history is otherwise unremarkable apart from a short episode of bronchitis two winters ago which resolved completely with conservative treatment and has not recurred since then in any form. The physical examination on admission found clear breath sounds over both lung fields with no wheezes and no crackles audible anywhere, a regular heart rhythm without murmurs, and no palpable lymph nodes in the neck or the axillae on either side. Routine laboratory work was entirely within normal limits including the white cell count, the sedimentation rate and the basic metabolic panel drawn on the first morning after the admission had been completed. Because of the persistence of the cough in an otherwise healthy adult the attending physician requested a plain film of the chest which was obtained the same afternoon in two standard projections and forwarded for the radiological opinion that follows in the next part of this report together with the film itself for direct inspection by the reader. While the film was being prepared the patient remained comfortable on the ward and the nursing notes from the first two days record a quiet course without any fever spikes or any change in the character of the cough that had prompted the admission in the first place. A sputum sample was collected on the second morning and sent for routine culture which later returned entirely negative for any pathogenic growth after the customary incubation period had elapsed. The dietary intake was normal throughout the stay and the patient remained fully ambulant on the ward at all times, taking regular walks along the corridor several times each day without any shortness of breath being observed by the staff or reported by the patient himself at any point. The attending team discussed the case briefly at the morning round on the third day and agreed that the further management of the admission would be decided once the radiological opinion had been received and reviewed together with the referring physician, whose practice had followed this patient for more than a decade and who knew the prior history in considerable detail from the records kept at the practice over all of those years.`
+
+const fig34Segment = `The x-ray of the left lung was taken on admission and shows a well defined round opacity in the upper lobe measuring roughly two centimeters across its widest extent. The borders are smooth and there is no visible calcification anywhere within the lesion itself on either projection. Comparison with the previous study from eighteen months ago shows that the size has remained entirely stable over the whole interval, which argues strongly for a benign process rather than anything aggressive in nature. The surrounding lung parenchyma is clear and the pleural surfaces are unremarkable in every projection obtained during this visit. The mediastinal contours and the hilar shadows are both within normal limits for the age of this patient and show no adenopathy. Given the appearance and the stability over time a follow up film in six months is a reasonable and sufficient course of action for this finding. No further imaging is indicated at the present time unless new symptoms should develop in the interval before the scheduled review takes place.`
+
+const fig34Outro = `After the related segment the report continues with routine administrative remarks that do not concern the image above in any way.`
+
+func fig34Markup() string {
+	return ".title Radiology Report 7781\n.chapter History\n" + fig34Intro +
+		"\n.chapter Observations\n" + fig34Segment +
+		"\n.chapter Conclusion\n" + fig34Outro + "\n"
+}
+
+func xrayStrip() *img.Bitmap {
+	b := img.NewBitmap(380, 200)
+	// A chest-like blob with a bright nodule.
+	for y := 0; y < 200; y++ {
+		for x := 0; x < 380; x++ {
+			dx, dy := float64(x-190)/170, float64(y-100)/90
+			if dx*dx+dy*dy < 1 && (x*7+y*3)%5 < 2 {
+				b.Set(x, y, true)
+			}
+		}
+	}
+	g := img.Graphic{Shape: img.ShapeCircle, Points: []img.Point{{X: 150, Y: 70}}, Radius: 9, Filled: true}
+	tmp := img.Image{W: 380, H: 200, Graphics: []img.Graphic{g}}
+	b.Or(tmp.Rasterize(), 0, 0)
+	return b
+}
+
+// RunFig34 browses into the related segment, pages through the split view,
+// and exits past it.
+func RunFig34() *Result {
+	m := newManager(nil)
+	r := &Result{Name: "F3-F4 visual logical message (x-ray pinned over related text)", Manager: m}
+	if err := m.Open(Fig34Object()); err != nil {
+		panic(err)
+	}
+	r.snap(m, "page 1: before the related segment, no image")
+	for m.Screen().Strip() == nil {
+		if err := m.NextPage(); err != nil {
+			panic(err)
+		}
+	}
+	r.snap(m, "entered related segment: x-ray pinned on top")
+	sub := 1
+	for m.Screen().Strip() != nil {
+		if err := m.NextPage(); err != nil {
+			panic(err)
+		}
+		if m.Screen().Strip() != nil {
+			sub++
+			r.snap(m, "related text page %d below the same x-ray", sub)
+		}
+	}
+	r.snap(m, "past the segment: a page without the image")
+	return r
+}
+
+// --- Figures 5-6: transparencies over an x-ray ---
+
+// Fig56Object authors the medical transparency scenario: transparencies
+// each containing a circle pinpointing an area on the x-ray plus related
+// text, superimposed one by one as the user presses next page.
+func Fig56Object() *object.Object {
+	base := img.New("xray", 360, 180)
+	bb := img.NewBitmap(360, 180)
+	for y := 0; y < 180; y++ {
+		for x := 0; x < 360; x++ {
+			dx, dy := float64(x-180)/160, float64(y-90)/80
+			if dx*dx+dy*dy < 1 && (x*5+y*11)%7 < 2 {
+				bb.Set(x, y, true)
+			}
+		}
+	}
+	base.Base = bb
+
+	sheet := func(cx, cy int, label string) *img.Bitmap {
+		im := img.Image{W: 360, H: 260, Graphics: []img.Graphic{
+			{Shape: img.ShapeCircle, Points: []img.Point{{X: cx, Y: cy}}, Radius: 16},
+			{Shape: img.ShapeText, Points: []img.Point{{X: 10, Y: 200}}, Text: label},
+		}}
+		return im.Rasterize()
+	}
+
+	o := object.NewBuilder(103, "X-ray Conference", object.Visual).
+		Text(`.title X-ray Conference
+.chapter Film
+The film under discussion is shown on this page with areas of interest marked by the presenter one at a time as the discussion proceeds through the next page button presses of the audience members.
+`).
+		Image(base).
+		PlaceImageAfterWord("xray", 8).
+		TranspSet("marks", object.Anchor{Media: object.MediaText, From: 0, To: 30}, false,
+			sheet(120, 60, "FIRST AREA: ROUND OPACITY"),
+			sheet(240, 110, "SECOND AREA: CLEAR FIELD"),
+		).
+		MustBuild()
+	return o
+}
+
+// RunFig56 shows the film page, then superimposes each transparency.
+func RunFig56() *Result {
+	m := newManager(nil)
+	r := &Result{Name: "F5-F6 transparencies superimposed on an x-ray", Manager: m}
+	if err := m.Open(Fig56Object()); err != nil {
+		panic(err)
+	}
+	r.snap(m, "film page shown")
+	if err := m.ShowTransparencies(); err != nil {
+		panic(err)
+	}
+	r.snap(m, "transparency 1 superimposed (circle + caption)")
+	if err := m.NextPage(); err != nil {
+		panic(err)
+	}
+	r.snap(m, "transparency 2 superimposed on top")
+	return r
+}
+
+// --- Figures 7-8: relevant objects over a subway map ---
+
+// Fig78Objects authors the subway map with two relevant objects: the
+// university sites and the city hospitals, each an independent object whose
+// image is the map with that overlay superimposed (per the figure caption,
+// "the related objects are just transparencies which are superimposed on
+// the subway map").
+func Fig78Objects() (parent, university, hospitals *object.Object) {
+	mapImg := subwayMap()
+	overlayObj := func(id object.ID, title, glyph string, spots []img.Point) *object.Object {
+		im := img.New("overlay", mapImg.W, mapImg.H)
+		im.Base = mapImg.Rasterize()
+		for _, p := range spots {
+			im.Add(img.Graphic{Shape: img.ShapeCircle, Points: []img.Point{p}, Radius: 7, Filled: true,
+				Label: img.Label{Kind: img.TextLabel, Text: title, At: img.Point{X: p.X + 10, Y: p.Y - 4}}})
+			im.Add(img.Graphic{Shape: img.ShapeText, Points: []img.Point{{X: p.X - 2, Y: p.Y + 10}}, Text: glyph})
+		}
+		return object.NewBuilder(id, title, object.Visual).
+			Text(".title "+title+"\nSites are marked on the map above.\n").
+			Image(im).
+			PlaceImageAfterWord("overlay", 1).
+			MustBuild()
+	}
+	university = overlayObj(202, "University Sites", "U", []img.Point{{X: 90, Y: 60}, {X: 150, Y: 120}})
+	hospitals = overlayObj(203, "City Hospitals", "H", []img.Point{{X: 220, Y: 50}, {X: 60, Y: 140}, {X: 260, Y: 150}})
+
+	parent = object.NewBuilder(201, "Subway Map", object.Visual).
+		Text(".title Subway Map\nSelect an option to see the university sites or the hospitals of the city projected on the map.\n").
+		Image(mapImg).
+		PlaceImageAfterWord("subway", 5).
+		Relevant(202, object.Anchor{Media: object.MediaText, From: 0, To: 18}, img.Point{X: 6, Y: 300}).
+		Relevant(203, object.Anchor{Media: object.MediaText, From: 0, To: 18}, img.Point{X: 26, Y: 300}).
+		MustBuild()
+	return parent, university, hospitals
+}
+
+func subwayMap() *img.Image {
+	im := img.New("subway", 320, 200)
+	im.Add(img.Graphic{Shape: img.ShapePolyline, Points: []img.Point{{X: 10, Y: 100}, {X: 100, Y: 60}, {X: 200, Y: 80}, {X: 310, Y: 40}}})
+	im.Add(img.Graphic{Shape: img.ShapePolyline, Points: []img.Point{{X: 30, Y: 10}, {X: 90, Y: 100}, {X: 160, Y: 180}, {X: 300, Y: 190}}})
+	im.Add(img.Graphic{Shape: img.ShapePolyline, Points: []img.Point{{X: 10, Y: 170}, {X: 150, Y: 120}, {X: 310, Y: 130}}})
+	for _, p := range []img.Point{{X: 100, Y: 60}, {X: 90, Y: 100}, {X: 150, Y: 120}, {X: 200, Y: 80}} {
+		im.Add(img.Graphic{Shape: img.ShapeCircle, Points: []img.Point{p}, Radius: 3})
+	}
+	return im
+}
+
+// RunFig78 opens the map, selects the hospitals relevant object through its
+// indicator, and returns.
+func RunFig78() *Result {
+	parent, university, hospitals := Fig78Objects()
+	resolver := func(id object.ID) (*object.Object, error) {
+		switch id {
+		case 202:
+			return university, nil
+		case 203:
+			return hospitals, nil
+		}
+		return nil, fmt.Errorf("unknown relevant object %d", id)
+	}
+	m := newManager(resolver)
+	r := &Result{Name: "F7-F8 relevant objects over the subway map", Manager: m}
+	if err := m.Open(parent); err != nil {
+		panic(err)
+	}
+	r.snap(m, "subway map with %d relevant object indicators", len(m.Screen().Indicators()))
+	if err := m.EnterRelevant(1); err != nil {
+		panic(err)
+	}
+	r.snap(m, "hospitals overlay superimposed on the map")
+	if err := m.ReturnFromRelevant(); err != nil {
+		panic(err)
+	}
+	r.snap(m, "returned to the plain map")
+	if err := m.EnterRelevant(0); err != nil {
+		panic(err)
+	}
+	r.snap(m, "university overlay superimposed on the map")
+	if err := m.ReturnFromRelevant(); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// --- Figures 9-10: process simulation of a city walk ---
+
+// Fig910Object authors the guided city walk: one base image and a sequence
+// of overwrites whose blank spots identify the route followed so far, each
+// with a voice logical message describing the site.
+func Fig910Object() *object.Object {
+	base := img.NewBitmap(300, 180)
+	for y := 0; y < 180; y++ {
+		for x := 0; x < 300; x++ {
+			if (x/20+y/20)%2 == 0 {
+				base.Set(x, y, true)
+			}
+		}
+	}
+	route := []img.Point{{X: 20, Y: 20}, {X: 70, Y: 45}, {X: 130, Y: 80}, {X: 190, Y: 120}, {X: 250, Y: 150}}
+	b := object.NewBuilder(104, "City Walk", object.Visual).
+		Text(".title City Walk\nFollow the walk through the old town district now.\n")
+	names := []string{"gate", "church", "market", "bridge", "harbour"}
+	for i, name := range names {
+		b.VoiceMsg(name, speakPart("Here is the old "+name+" of the town.\n"),
+			object.Anchor{Media: object.MediaText, From: 0, To: 0})
+		_ = i
+	}
+	pages := []object.ProcessPage{{Kind: object.ProcessReplace, Image: base}}
+	for i, p := range route {
+		ow := img.NewBitmap(300, 180)
+		mask := img.NewBitmap(300, 180)
+		mask.Fill(img.Rect{X: p.X, Y: p.Y, W: 10, H: 10}, true)
+		pages = append(pages, object.ProcessPage{
+			Kind: object.ProcessOverwrite, Image: ow, Mask: mask, VoiceMsg: names[i],
+		})
+	}
+	b.Process("walk", 400, pages...)
+	return b.MustBuild()
+}
+
+// RunFig910 plays the walk to completion.
+func RunFig910() *Result {
+	m := newManager(nil)
+	r := &Result{Name: "F9-F10 process simulation: guided city walk with overwrites", Manager: m}
+	o := Fig910Object()
+	if err := m.Open(o); err != nil {
+		panic(err)
+	}
+	m.ClearEvents()
+	if err := m.StartProcess("walk"); err != nil {
+		panic(err)
+	}
+	r.snap(m, "walk started: base city image")
+	m.Clock().Run(10 * time.Minute)
+	r.snap(m, "walk finished: blank spots mark the route followed")
+	return r
+}
+
+// All runs every figure scenario plus the §3 audio-narration example.
+func All() []*Result {
+	return []*Result{RunFig12(), RunFig34(), RunFig56(), RunFig78(), RunFig910(), RunAudioNarration()}
+}
+
+// --- §3 audio-mode example: the doctor's dictated x-ray observations ---
+
+// AudioNarrationObject authors the §3 audio scenario: the doctor files
+// observations as an audio mode object; the x-ray is attached as a visual
+// logical message to the related section of the speech, appearing on the
+// screen exactly while that section plays.
+func AudioNarrationObject() (*object.Object, [2]int) {
+	dictation := `.chapter Observations
+The film shows a well defined round opacity in the upper lobe of the left lung. The borders are smooth and there is no calcification visible anywhere. The size is stable compared with the previous examination from last year.
+.chapter Plan
+A follow up film in six months will be sufficient. No further imaging is needed at the present time.
+`
+	seg, err := text.Parse(dictation)
+	if err != nil {
+		panic("figures: " + err.Error())
+	}
+	syn := voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), VoiceRate)
+	syn.Part.Markers = voice.MarkersFromMarks(syn.Marks, text.UnitChapter)
+
+	// The observations chapter is the related segment.
+	var obsEnd int
+	for i, mk := range syn.Marks {
+		if i > 0 && mk.Bounds&text.StartsChapter != 0 {
+			obsEnd = mk.Offset - 1
+			break
+		}
+	}
+	o := object.NewBuilder(105, "Dictated Report", object.Audio).
+		VoicePart(syn.Part).
+		VisualMsg("film", xrayStrip(), object.Anchor{Media: object.MediaVoice, From: 0, To: obsEnd}, false).
+		MustBuild()
+	return o, [2]int{0, obsEnd}
+}
+
+// RunAudioNarration plays the dictation through the related segment, past
+// it, and rewinds by one long pause.
+func RunAudioNarration() *Result {
+	m := newManager(nil)
+	r := &Result{Name: "A1 audio-mode dictation: x-ray pinned during the related speech", Manager: m}
+	o, seg := AudioNarrationObject()
+	if err := m.Open(o); err != nil {
+		panic(err)
+	}
+	if err := m.Play(); err != nil {
+		panic(err)
+	}
+	r.snap(m, "dictation playing; x-ray pinned: %v", m.Screen().Strip() != nil)
+	for m.Position() <= seg[1] && m.Player().Playing() {
+		m.Clock().Advance(2 * time.Second)
+	}
+	m.Clock().Advance(200 * time.Millisecond)
+	r.snap(m, "past the observations; x-ray pinned: %v", m.Screen().Strip() != nil)
+	m.Interrupt()
+	// Two long pauses back crosses the chapter gap into the observations.
+	if err := m.RewindPauses(2, true); err != nil {
+		panic(err)
+	}
+	m.Clock().Advance(100 * time.Millisecond)
+	r.snap(m, "rewound two long pauses; x-ray pinned again: %v", m.Screen().Strip() != nil)
+	m.Interrupt()
+	return r
+}

@@ -1,0 +1,587 @@
+// Package formatter implements the multimedia object formatter of §4: "the
+// multimedia object formatter is responsible for the creation of the
+// multimedia object descriptor. The formatter is declarative and
+// interactive." A multimedia object file in the editing state consists of a
+// synthesis file (presentation form + tags naming data files + text), a
+// data directory (name, type, location, length, status of data), the
+// composition file and the object descriptor; here the synthesis file is a
+// small declarative language, the data directory is an in-memory store fed
+// by the editors, and Format() rebuilds the object (and hence descriptor +
+// composition via package descriptor) from scratch — which is exactly what
+// the paper prescribes when the synthesis or data files change ("the
+// descriptor file and the composition file may have to be deleted and
+// recreated").
+//
+// Interactivity: after every change the designer previews "a miniature of
+// the current page of the formatted object ... displayed in the right hand
+// side of the screen" via PreviewPage.
+package formatter
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	img "minos/internal/image"
+	"minos/internal/layout"
+	"minos/internal/object"
+	"minos/internal/voice"
+)
+
+// DataStatus describes whether a data directory entry is in its final
+// (archival) form (§4).
+type DataStatus uint8
+
+const (
+	// Draft data is still being edited.
+	Draft DataStatus = iota
+	// Final data is in the device- and package-independent archival
+	// form the archiver's presentation interface expects.
+	Final
+)
+
+// DataEntry is one data directory row.
+type DataEntry struct {
+	Name   string
+	Status DataStatus
+
+	// Exactly one of the following is set, per the entry's type.
+	Voice  *voice.Part
+	Bitmap *img.Bitmap
+	Image  *img.Image
+}
+
+// Kind names the entry's data type.
+func (e *DataEntry) Kind() string {
+	switch {
+	case e.Voice != nil:
+		return "voice"
+	case e.Bitmap != nil:
+		return "bitmap"
+	case e.Image != nil:
+		return "image"
+	}
+	return "empty"
+}
+
+// DataDir is the data directory of a multimedia object file.
+type DataDir struct {
+	entries map[string]*DataEntry
+	order   []string
+}
+
+// NewDataDir returns an empty directory.
+func NewDataDir() *DataDir {
+	return &DataDir{entries: map[string]*DataEntry{}}
+}
+
+func (d *DataDir) put(e *DataEntry) {
+	if _, ok := d.entries[e.Name]; !ok {
+		d.order = append(d.order, e.Name)
+	}
+	d.entries[e.Name] = e
+}
+
+// PutVoice stores a voice part under name.
+func (d *DataDir) PutVoice(name string, p *voice.Part, st DataStatus) {
+	d.put(&DataEntry{Name: name, Voice: p, Status: st})
+}
+
+// PutBitmap stores a bitmap under name.
+func (d *DataDir) PutBitmap(name string, b *img.Bitmap, st DataStatus) {
+	d.put(&DataEntry{Name: name, Bitmap: b, Status: st})
+}
+
+// PutImage stores an image under name.
+func (d *DataDir) PutImage(name string, im *img.Image, st DataStatus) {
+	d.put(&DataEntry{Name: name, Image: im, Status: st})
+}
+
+// Get returns the entry, or nil.
+func (d *DataDir) Get(name string) *DataEntry { return d.entries[name] }
+
+// Names returns entry names in insertion order.
+func (d *DataDir) Names() []string { return append([]string(nil), d.order...) }
+
+// Formatter rebuilds a multimedia object from a synthesis file plus the
+// data directory.
+type Formatter struct {
+	Dir   *DataDir
+	synth string
+	obj   *object.Object
+}
+
+// New builds a formatter over the data directory.
+func New(dir *DataDir) *Formatter {
+	if dir == nil {
+		dir = NewDataDir()
+	}
+	return &Formatter{Dir: dir}
+}
+
+// SetSynthesis replaces the synthesis file and reformats the object.
+// Errors carry the synthesis line number.
+func (f *Formatter) SetSynthesis(src string) error {
+	obj, err := f.format(src)
+	if err != nil {
+		return err
+	}
+	f.synth = src
+	f.obj = obj
+	return nil
+}
+
+// Synthesis returns the current synthesis source.
+func (f *Formatter) Synthesis() string { return f.synth }
+
+// Object returns the formatted object (nil before the first successful
+// SetSynthesis). The object is in the editing state.
+func (f *Formatter) Object() *object.Object { return f.obj }
+
+// PreviewPages paginates the current object at the given spec — the
+// formatter's interactive miniature preview path. The user "can navigate
+// through the pages of the miniature" (§4).
+func (f *Formatter) PreviewPages(spec layout.Spec) []layout.Page {
+	if f.obj == nil || f.obj.Doc == nil {
+		return nil
+	}
+	return layout.Paginate(f.obj.Doc, spec)
+}
+
+// PreviewPage renders page n as a miniature bitmap of the given reduction
+// factor, or nil if out of range.
+func (f *Formatter) PreviewPage(n int, spec layout.Spec, factor int) *img.Bitmap {
+	pages := f.PreviewPages(spec)
+	if n < 0 || n >= len(pages) {
+		return nil
+	}
+	return pages[n].Bitmap.Downscale(factor)
+}
+
+// format parses the synthesis language. Directives:
+//
+//	object <id> <visual|audio> <title...>
+//	attr <key> <value...>
+//	text            (markup lines follow, until a lone "end")
+//	voicepart <data> [edited <unit>]
+//	image <data> [after-word <n>]
+//	voicemsg <name> <data> <anchor>
+//	visualmsg <name> <data> <anchor> [once]
+//	transpset <name> <anchor> <stacked|separate> <data>...
+//	relevant <target-id> <anchor> at <x> <y>
+//	tour <name> <image> <w> <h> <dwell-ms> stops <x,y[:voice=NAME][:visual=NAME]>...
+//	process <name> <frame-ms> <kind:data[:mask][:voice=N][:visual=N]>...
+//	pagebreak after-word <n>
+//
+// anchor = text:<from>:<to> | voice:<from>:<to> | image:<name>
+func (f *Formatter) format(src string) (*object.Object, error) {
+	var b *object.Builder
+	sc := bufio.NewScanner(strings.NewReader(src))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("synthesis line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+
+	var textLines []string
+	inText := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if inText {
+			if line == "end" {
+				inText = false
+				if b == nil {
+					return nil, fail("text before object directive")
+				}
+				b.Text(strings.Join(textLines, "\n") + "\n")
+				textLines = nil
+				continue
+			}
+			textLines = append(textLines, sc.Text())
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		dir := fields[0]
+		args := fields[1:]
+		if dir == "object" {
+			if b != nil {
+				return nil, fail("duplicate object directive")
+			}
+			if len(args) < 3 {
+				return nil, fail("object needs <id> <mode> <title>")
+			}
+			id, err := strconv.ParseUint(args[0], 10, 64)
+			if err != nil {
+				return nil, fail("bad object id %q", args[0])
+			}
+			var mode object.Mode
+			switch args[1] {
+			case "visual":
+				mode = object.Visual
+			case "audio":
+				mode = object.Audio
+			default:
+				return nil, fail("bad mode %q", args[1])
+			}
+			b = object.NewBuilder(object.ID(id), strings.Join(args[2:], " "), mode)
+			continue
+		}
+		if b == nil {
+			return nil, fail("directive %q before object", dir)
+		}
+		var err error
+		switch dir {
+		case "attr":
+			if len(args) < 2 {
+				err = fmt.Errorf("attr needs <key> <value>")
+			} else {
+				b.Attr(args[0], strings.Join(args[1:], " "))
+			}
+		case "text":
+			inText = true
+		case "voicepart":
+			err = f.doVoicePart(b, args)
+		case "image":
+			err = f.doImage(b, args)
+		case "voicemsg":
+			err = f.doVoiceMsg(b, args)
+		case "visualmsg":
+			err = f.doVisualMsg(b, args)
+		case "transpset":
+			err = f.doTranspSet(b, args)
+		case "relevant":
+			err = f.doRelevant(b, args)
+		case "tour":
+			err = f.doTour(b, args)
+		case "process":
+			err = f.doProcess(b, args)
+		case "pagebreak":
+			err = f.doPageBreak(b, args)
+		default:
+			err = fmt.Errorf("unknown directive %q", dir)
+		}
+		if err != nil {
+			return nil, fail("%v", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if inText {
+		return nil, fmt.Errorf("synthesis: unterminated text block")
+	}
+	if b == nil {
+		return nil, fmt.Errorf("synthesis: no object directive")
+	}
+	return b.Build()
+}
+
+func (f *Formatter) voiceData(name string) (*voice.Part, error) {
+	e := f.Dir.Get(name)
+	if e == nil {
+		return nil, fmt.Errorf("data %q not in data directory", name)
+	}
+	if e.Voice == nil {
+		return nil, fmt.Errorf("data %q is %s, want voice", name, e.Kind())
+	}
+	if e.Status != Final {
+		return nil, fmt.Errorf("data %q is not in final form (the archiver's presentation interface expects final-form data)", name)
+	}
+	return e.Voice, nil
+}
+
+func (f *Formatter) bitmapData(name string) (*img.Bitmap, error) {
+	e := f.Dir.Get(name)
+	if e == nil {
+		return nil, fmt.Errorf("data %q not in data directory", name)
+	}
+	if e.Bitmap == nil {
+		return nil, fmt.Errorf("data %q is %s, want bitmap", name, e.Kind())
+	}
+	if e.Status != Final {
+		return nil, fmt.Errorf("data %q is not in final form", name)
+	}
+	return e.Bitmap, nil
+}
+
+func (f *Formatter) imageData(name string) (*img.Image, error) {
+	e := f.Dir.Get(name)
+	if e == nil {
+		return nil, fmt.Errorf("data %q not in data directory", name)
+	}
+	if e.Image == nil {
+		return nil, fmt.Errorf("data %q is %s, want image", name, e.Kind())
+	}
+	if e.Status != Final {
+		return nil, fmt.Errorf("data %q is not in final form", name)
+	}
+	return e.Image, nil
+}
+
+func parseAnchor(s string) (object.Anchor, error) {
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "text", "voice":
+		if len(parts) != 3 {
+			return object.Anchor{}, fmt.Errorf("anchor %q needs from:to", s)
+		}
+		from, err1 := strconv.Atoi(parts[1])
+		to, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return object.Anchor{}, fmt.Errorf("bad anchor bounds in %q", s)
+		}
+		media := object.MediaText
+		if parts[0] == "voice" {
+			media = object.MediaVoice
+		}
+		return object.Anchor{Media: media, From: from, To: to}, nil
+	case "image":
+		if len(parts) != 2 {
+			return object.Anchor{}, fmt.Errorf("anchor %q needs image:name", s)
+		}
+		return object.Anchor{Media: object.MediaImage, Image: parts[1]}, nil
+	}
+	return object.Anchor{}, fmt.Errorf("unknown anchor medium %q", parts[0])
+}
+
+func (f *Formatter) doVoicePart(b *object.Builder, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("voicepart needs <data>")
+	}
+	p, err := f.voiceData(args[0])
+	if err != nil {
+		return err
+	}
+	b.VoicePart(p)
+	return nil
+}
+
+func (f *Formatter) doImage(b *object.Builder, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("image needs <data>")
+	}
+	im, err := f.imageData(args[0])
+	if err != nil {
+		return err
+	}
+	b.Image(im)
+	if len(args) >= 3 && args[1] == "after-word" {
+		w, err := strconv.Atoi(args[2])
+		if err != nil {
+			return fmt.Errorf("bad after-word %q", args[2])
+		}
+		b.PlaceImageAfterWord(im.Name, w)
+	}
+	return nil
+}
+
+func (f *Formatter) doVoiceMsg(b *object.Builder, args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("voicemsg needs <name> <data> <anchor>")
+	}
+	p, err := f.voiceData(args[1])
+	if err != nil {
+		return err
+	}
+	a, err := parseAnchor(args[2])
+	if err != nil {
+		return err
+	}
+	b.VoiceMsg(args[0], p, a)
+	return nil
+}
+
+func (f *Formatter) doVisualMsg(b *object.Builder, args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("visualmsg needs <name> <data> <anchor> [once]")
+	}
+	strip, err := f.bitmapData(args[1])
+	if err != nil {
+		return err
+	}
+	a, err := parseAnchor(args[2])
+	if err != nil {
+		return err
+	}
+	once := len(args) > 3 && args[3] == "once"
+	b.VisualMsg(args[0], strip, a, once)
+	return nil
+}
+
+func (f *Formatter) doTranspSet(b *object.Builder, args []string) error {
+	if len(args) < 4 {
+		return fmt.Errorf("transpset needs <name> <anchor> <stacked|separate> <data>...")
+	}
+	a, err := parseAnchor(args[1])
+	if err != nil {
+		return err
+	}
+	var separate bool
+	switch args[2] {
+	case "stacked":
+	case "separate":
+		separate = true
+	default:
+		return fmt.Errorf("bad method %q", args[2])
+	}
+	var sheets []*img.Bitmap
+	for _, name := range args[3:] {
+		s, err := f.bitmapData(name)
+		if err != nil {
+			return err
+		}
+		sheets = append(sheets, s)
+	}
+	b.TranspSet(args[0], a, separate, sheets...)
+	return nil
+}
+
+func (f *Formatter) doRelevant(b *object.Builder, args []string) error {
+	if len(args) != 5 || args[2] != "at" {
+		return fmt.Errorf("relevant needs <target> <anchor> at <x> <y>")
+	}
+	target, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad target id %q", args[0])
+	}
+	a, err := parseAnchor(args[1])
+	if err != nil {
+		return err
+	}
+	x, err1 := strconv.Atoi(args[3])
+	y, err2 := strconv.Atoi(args[4])
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("bad indicator position")
+	}
+	b.Relevant(object.ID(target), a, img.Point{X: x, Y: y})
+	return nil
+}
+
+func (f *Formatter) doTour(b *object.Builder, args []string) error {
+	if len(args) < 7 || args[5] != "stops" {
+		return fmt.Errorf("tour needs <name> <image> <w> <h> <dwell-ms> stops <x,y[:voice=N][:visual=N]>...")
+	}
+	w, err1 := strconv.Atoi(args[2])
+	h, err2 := strconv.Atoi(args[3])
+	dwell, err3 := strconv.Atoi(args[4])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return fmt.Errorf("bad tour geometry")
+	}
+	tour := img.Tour{Image: args[1], Size: img.Point{X: w, Y: h}, DwellMillis: dwell}
+	for _, spec := range args[6:] {
+		stop, err := parseStop(spec)
+		if err != nil {
+			return err
+		}
+		tour.Stops = append(tour.Stops, stop)
+	}
+	b.Tour(args[0], tour)
+	return nil
+}
+
+func parseStop(spec string) (img.TourStop, error) {
+	parts := strings.Split(spec, ":")
+	xy := strings.Split(parts[0], ",")
+	if len(xy) != 2 {
+		return img.TourStop{}, fmt.Errorf("bad stop %q", spec)
+	}
+	x, err1 := strconv.Atoi(xy[0])
+	y, err2 := strconv.Atoi(xy[1])
+	if err1 != nil || err2 != nil {
+		return img.TourStop{}, fmt.Errorf("bad stop coordinates %q", spec)
+	}
+	st := img.TourStop{At: img.Point{X: x, Y: y}}
+	for _, opt := range parts[1:] {
+		switch {
+		case strings.HasPrefix(opt, "voice="):
+			st.VoiceMsgRef = opt[len("voice="):]
+		case strings.HasPrefix(opt, "visual="):
+			st.VisualMsgRef = opt[len("visual="):]
+		default:
+			return img.TourStop{}, fmt.Errorf("bad stop option %q", opt)
+		}
+	}
+	return st, nil
+}
+
+func (f *Formatter) doProcess(b *object.Builder, args []string) error {
+	if len(args) < 3 {
+		return fmt.Errorf("process needs <name> <frame-ms> <page>...")
+	}
+	frame, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("bad frame ms %q", args[1])
+	}
+	var pages []object.ProcessPage
+	for _, spec := range args[2:] {
+		pg, err := f.parseProcessPage(spec)
+		if err != nil {
+			return err
+		}
+		pages = append(pages, pg)
+	}
+	b.Process(args[0], frame, pages...)
+	return nil
+}
+
+func (f *Formatter) parseProcessPage(spec string) (object.ProcessPage, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 {
+		return object.ProcessPage{}, fmt.Errorf("bad process page %q", spec)
+	}
+	var pg object.ProcessPage
+	switch parts[0] {
+	case "replace":
+		pg.Kind = object.ProcessReplace
+	case "transparency":
+		pg.Kind = object.ProcessTransparency
+	case "overwrite":
+		pg.Kind = object.ProcessOverwrite
+	default:
+		return pg, fmt.Errorf("bad process page kind %q", parts[0])
+	}
+	im, err := f.bitmapData(parts[1])
+	if err != nil {
+		return pg, err
+	}
+	pg.Image = im
+	rest := parts[2:]
+	if pg.Kind == object.ProcessOverwrite {
+		if len(rest) == 0 {
+			return pg, fmt.Errorf("overwrite page %q needs a mask", spec)
+		}
+		mask, err := f.bitmapData(rest[0])
+		if err != nil {
+			return pg, err
+		}
+		pg.Mask = mask
+		rest = rest[1:]
+	}
+	for _, opt := range rest {
+		switch {
+		case strings.HasPrefix(opt, "voice="):
+			pg.VoiceMsg = opt[len("voice="):]
+		case strings.HasPrefix(opt, "visual="):
+			pg.VisualMsg = opt[len("visual="):]
+		default:
+			return pg, fmt.Errorf("bad process page option %q", opt)
+		}
+	}
+	return pg, nil
+}
+
+func (f *Formatter) doPageBreak(b *object.Builder, args []string) error {
+	if len(args) != 2 || args[0] != "after-word" {
+		return fmt.Errorf("pagebreak needs after-word <n>")
+	}
+	n, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("bad word index %q", args[1])
+	}
+	return b.PageBreakAfterWord(n)
+}

@@ -1,0 +1,322 @@
+package formatter
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"minos/internal/descriptor"
+
+	img "minos/internal/image"
+	"minos/internal/layout"
+	"minos/internal/object"
+	"minos/internal/text"
+	"minos/internal/voice"
+)
+
+func testDir(t testing.TB) *DataDir {
+	t.Helper()
+	dir := NewDataDir()
+	seg, err := text.Parse("Note the shadow in the upper lobe.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	note := voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), 2000).Part
+	dir.PutVoice("note", note, Final)
+
+	strip := img.NewBitmap(80, 24)
+	strip.Fill(img.Rect{X: 2, Y: 2, W: 20, H: 20}, true)
+	dir.PutBitmap("strip", strip, Final)
+
+	s1 := img.NewBitmap(60, 40)
+	s1.Set(1, 1, true)
+	s2 := img.NewBitmap(60, 40)
+	s2.Set(2, 2, true)
+	dir.PutBitmap("s1", s1, Final)
+	dir.PutBitmap("s2", s2, Final)
+
+	mask := img.NewBitmap(60, 40)
+	mask.Fill(img.Rect{X: 0, Y: 0, W: 10, H: 10}, true)
+	dir.PutBitmap("mask", mask, Final)
+
+	xray := img.New("xray", 60, 40)
+	xray.Add(img.Graphic{Shape: img.ShapeCircle, Points: []img.Point{{X: 30, Y: 20}}, Radius: 8})
+	dir.PutImage("xray", xray, Final)
+
+	draft := img.NewBitmap(10, 10)
+	dir.PutBitmap("wip", draft, Draft)
+	return dir
+}
+
+const goodSynth = `# Case 1042 synthesis file
+object 1042 visual Case 1042
+attr author Dr. Ho
+text
+.title Case 1042
+.chapter Findings
+The upper lobe shows a small shadow. It appears benign today.
+.chapter Plan
+Repeat the examination in six months time.
+end
+image xray after-word 4
+voicemsg note note text:0:6
+visualmsg pin strip text:7:12 once
+transpset overlay text:5:5 separate s1 s2
+relevant 2000 text:2:9 at 3 3
+tour walk xray 10 10 250 stops 0,0:voice=note 20,10
+process sim 100 replace:s1 overwrite:s2:mask:voice=note transparency:s1:visual=pin
+pagebreak after-word 8
+`
+
+func TestFormatFullObject(t *testing.T) {
+	f := New(testDir(t))
+	if err := f.SetSynthesis(goodSynth); err != nil {
+		t.Fatal(err)
+	}
+	o := f.Object()
+	if o == nil {
+		t.Fatal("no object")
+	}
+	if o.ID != 1042 || o.Mode != object.Visual || o.Title != "Case 1042" {
+		t.Fatalf("header %+v", o)
+	}
+	if o.Attrs["author"] != "Dr. Ho" {
+		t.Error("attr lost")
+	}
+	if len(o.VoiceMsgs) != 1 || o.VoiceMsgs[0].Name != "note" {
+		t.Error("voicemsg lost")
+	}
+	if len(o.VisualMsgs) != 1 || !o.VisualMsgs[0].OnceOnly {
+		t.Error("visualmsg lost")
+	}
+	if len(o.TranspSets) != 1 || !o.TranspSets[0].MethodSeparate || len(o.TranspSets[0].Transparencies) != 2 {
+		t.Error("transpset lost")
+	}
+	if len(o.Relevants) != 1 || o.Relevants[0].Target != 2000 {
+		t.Error("relevant lost")
+	}
+	if len(o.Tours) != 1 || o.Tours[0].Tour.Stops[0].VoiceMsgRef != "note" {
+		t.Error("tour lost")
+	}
+	if len(o.ProcessSims) != 1 || len(o.ProcessSims[0].Pages) != 3 {
+		t.Fatal("process lost")
+	}
+	if o.ProcessSims[0].Pages[1].Kind != object.ProcessOverwrite || o.ProcessSims[0].Pages[1].Mask == nil {
+		t.Error("overwrite mask lost")
+	}
+	if o.ProcessSims[0].Pages[2].VisualMsg != "pin" {
+		t.Error("process page option lost")
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreviewPages(t *testing.T) {
+	f := New(testDir(t))
+	if err := f.SetSynthesis(goodSynth); err != nil {
+		t.Fatal(err)
+	}
+	spec := layout.Spec{W: 200, H: 150}
+	pages := f.PreviewPages(spec)
+	if len(pages) < 2 {
+		t.Fatalf("pages = %d (pagebreak should force at least 2)", len(pages))
+	}
+	mini := f.PreviewPage(0, spec, 4)
+	if mini == nil || mini.W != 50 {
+		t.Fatalf("miniature = %+v", mini)
+	}
+	if mini.PopCount() == 0 {
+		t.Fatal("miniature blank")
+	}
+	if f.PreviewPage(99, spec, 4) != nil {
+		t.Fatal("out-of-range page preview")
+	}
+}
+
+func TestInteractiveReformat(t *testing.T) {
+	f := New(testDir(t))
+	base := "object 1 visual Doc\ntext\nShort body here.\nend\n"
+	if err := f.SetSynthesis(base); err != nil {
+		t.Fatal(err)
+	}
+	p1 := len(f.PreviewPages(layout.Spec{W: 150, H: 60}))
+	longer := "object 1 visual Doc\ntext\n" + strings.Repeat("More and more words keep arriving now. ", 30) + "\nend\n"
+	if err := f.SetSynthesis(longer); err != nil {
+		t.Fatal(err)
+	}
+	p2 := len(f.PreviewPages(layout.Spec{W: 150, H: 60}))
+	if p2 <= p1 {
+		t.Fatalf("reformat did not grow pages: %d -> %d", p1, p2)
+	}
+	// A failed edit keeps the previous good object.
+	if err := f.SetSynthesis("object broken"); err == nil {
+		t.Fatal("bad synthesis accepted")
+	}
+	if len(f.PreviewPages(layout.Spec{W: 150, H: 60})) != p2 {
+		t.Fatal("failed edit destroyed the object")
+	}
+}
+
+func TestSynthesisErrorsCarryLineNumbers(t *testing.T) {
+	f := New(testDir(t))
+	err := f.SetSynthesis("object 1 visual Doc\nbogus directive\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSynthesisRejections(t *testing.T) {
+	dir := testDir(t)
+	cases := map[string]string{
+		"no object":          "attr a b\n",
+		"duplicate object":   "object 1 visual A\nobject 2 visual B\n",
+		"bad mode":           "object 1 holographic A\n",
+		"bad id":             "object x visual A\n",
+		"unknown data":       "object 1 visual A\ntext\nwords here.\nend\nvoicemsg m ghost text:0:1\n",
+		"wrong data kind":    "object 1 visual A\ntext\nwords here.\nend\nvoicemsg m strip text:0:1\n",
+		"draft data":         "object 1 visual A\ntext\nwords here.\nend\nvisualmsg m wip text:0:1\n",
+		"bad anchor":         "object 1 visual A\ntext\nwords here.\nend\nvoicemsg m note mars:0:1\n",
+		"bad anchor bounds":  "object 1 visual A\ntext\nwords here.\nend\nvoicemsg m note text:zero:1\n",
+		"unterminated text":  "object 1 visual A\ntext\nwords here.\n",
+		"bad transp method":  "object 1 visual A\ntext\nwords here.\nend\ntranspset t text:0:1 diagonal s1\n",
+		"overwrite w/o mask": "object 1 visual A\ntext\nwords here.\nend\nprocess p 100 overwrite:s1\n",
+		"bad stop":           "object 1 visual A\ntext\nwords here.\nend\nimage xray\ntour t xray 5 5 100 stops nonsense\n",
+		"bad stop option":    "object 1 visual A\ntext\nwords here.\nend\nimage xray\ntour t xray 5 5 100 stops 1,1:color=red\n",
+		"empty synthesis":    "",
+	}
+	for name, src := range cases {
+		f := New(dir)
+		if err := f.SetSynthesis(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDataDirBasics(t *testing.T) {
+	dir := testDir(t)
+	names := dir.Names()
+	if len(names) != 7 || names[0] != "note" {
+		t.Fatalf("Names = %v", names)
+	}
+	if dir.Get("note").Kind() != "voice" {
+		t.Error("note kind")
+	}
+	if dir.Get("strip").Kind() != "bitmap" {
+		t.Error("strip kind")
+	}
+	if dir.Get("xray").Kind() != "image" {
+		t.Error("xray kind")
+	}
+	if dir.Get("ghost") != nil {
+		t.Error("phantom entry")
+	}
+	// Updating keeps order stable.
+	dir.PutBitmap("strip", img.NewBitmap(1, 1), Final)
+	if len(dir.Names()) != 7 {
+		t.Error("update duplicated entry")
+	}
+	if (&DataEntry{}).Kind() != "empty" {
+		t.Error("empty kind")
+	}
+}
+
+func TestAudioModeSynthesis(t *testing.T) {
+	f := New(testDir(t))
+	src := `object 7 audio Spoken Observations
+voicepart note
+visualmsg xraypin strip voice:0:2000
+`
+	if err := f.SetSynthesis(src); err != nil {
+		t.Fatal(err)
+	}
+	o := f.Object()
+	if o.Mode != object.Audio || o.PrimaryVoice() == nil {
+		t.Fatal("audio object wrong")
+	}
+	if len(o.VisualMsgs) != 1 || o.VisualMsgs[0].Anchor.Media != object.MediaVoice {
+		t.Fatal("voice-anchored visual message lost")
+	}
+}
+
+func TestObjectFileRoundTrip(t *testing.T) {
+	f := New(testDir(t))
+	if err := f.SaveObjectFile(t.TempDir()); err == nil {
+		t.Fatal("save before formatting accepted")
+	}
+	if err := f.SetSynthesis(goodSynth); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir() + "/case-1042"
+	if err := f.SaveObjectFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The §4 layout exists on disk.
+	for _, fn := range []string{"synthesis", "data-directory", "descriptor", "composition"} {
+		if _, err := os.Stat(filepath.Join(dir, fn)); err != nil {
+			t.Fatalf("missing %s: %v", fn, err)
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "data"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("data files: %v (%d)", err, len(entries))
+	}
+
+	back, err := LoadObjectFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Synthesis() != f.Synthesis() {
+		t.Fatal("synthesis file changed")
+	}
+	bo, fo := back.Object(), f.Object()
+	if bo.ID != fo.ID || bo.Title != fo.Title {
+		t.Fatal("object identity changed")
+	}
+	if len(bo.Stream()) != len(fo.Stream()) {
+		t.Fatal("stream changed")
+	}
+	if len(bo.VoiceMsgs) != len(fo.VoiceMsgs) || len(bo.TranspSets) != len(fo.TranspSets) {
+		t.Fatal("interrelations changed")
+	}
+	if bo.ImageByName("xray").Rasterize().Hash() != fo.ImageByName("xray").Rasterize().Hash() {
+		t.Fatal("image data changed")
+	}
+	// Data directory preserves status.
+	if back.Dir.Get("wip").Status != Draft {
+		t.Fatal("draft status lost")
+	}
+	// The derived descriptor on disk parses and matches the object.
+	raw, err := os.ReadFile(filepath.Join(dir, "descriptor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := descriptor.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != fo.ID {
+		t.Fatalf("descriptor id = %d", d.ID)
+	}
+	comp, err := os.ReadFile(filepath.Join(dir, "composition"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Materialize(descriptor.FetchFromComposition(comp)); err != nil {
+		t.Fatalf("on-disk descriptor+composition do not materialize: %v", err)
+	}
+}
+
+func TestLoadObjectFileErrors(t *testing.T) {
+	if _, err := LoadObjectFile(t.TempDir()); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+	// Corrupt data-directory line.
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "synthesis"), []byte("object 1 visual X\ntext\nwords here.\nend\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "data-directory"), []byte("broken line without tabs\n"), 0o644)
+	if _, err := LoadObjectFile(dir); err == nil {
+		t.Fatal("malformed data directory accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package formatter
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"minos/internal/descriptor"
+	img "minos/internal/image"
+	"minos/internal/voice"
+)
+
+// The multimedia object file (§4): "multimedia objects in the editing state
+// are composed of a set of files within a multimedia object file. The
+// multimedia object file is a set of files organized within a directory
+// which has the name of the multimedia object. This set of files contains a
+// synthesis-file, the object descriptor, a composition-file, a
+// data-directory file, and a set of data files."
+//
+// SaveObjectFile writes that layout:
+//
+//	<dir>/synthesis            the synthesis source
+//	<dir>/data-directory       name, type, length and status of each entry
+//	<dir>/data/<name>.part     each data file in final (archival) form
+//	<dir>/descriptor           the generated object descriptor
+//	<dir>/composition          the generated composition file
+//
+// LoadObjectFile restores the data directory and synthesis file and
+// reformats, recreating descriptor and composition — matching §4's rule
+// that those two are derived files ("may have to be deleted and
+// recreated").
+
+const (
+	synthesisFile = "synthesis"
+	dataDirFile   = "data-directory"
+	dataSubdir    = "data"
+	descFile      = "descriptor"
+	compFile      = "composition"
+)
+
+// SaveObjectFile writes the formatter's current state as a multimedia
+// object file under dir (created if needed). The formatter must hold a
+// successfully formatted object.
+func (f *Formatter) SaveObjectFile(dir string) error {
+	if f.obj == nil {
+		return fmt.Errorf("formatter: nothing formatted to save")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, dataSubdir), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, synthesisFile), []byte(f.synth), 0o644); err != nil {
+		return err
+	}
+
+	// Data files: each entry in its final archival form, encoded with the
+	// same part encoding the archiver expects.
+	var catalog []string
+	for _, name := range f.Dir.Names() {
+		e := f.Dir.Get(name)
+		var kind descriptor.PartKind
+		var v any
+		switch {
+		case e.Voice != nil:
+			kind, v = descriptor.PartVoice, e.Voice
+		case e.Bitmap != nil:
+			kind, v = descriptor.PartBitmap, e.Bitmap
+		case e.Image != nil:
+			kind, v = descriptor.PartImage, e.Image
+		default:
+			continue
+		}
+		payload, err := descriptor.EncodePart(kind, v)
+		if err != nil {
+			return fmt.Errorf("formatter: data %q: %w", name, err)
+		}
+		fn := filepath.Join(dir, dataSubdir, name+".part")
+		if err := os.WriteFile(fn, payload, 0o644); err != nil {
+			return err
+		}
+		status := "draft"
+		if e.Status == Final {
+			status = "final"
+		}
+		catalog = append(catalog, fmt.Sprintf("%s\t%s\t%d\t%s", name, kind, len(payload), status))
+	}
+	sort.Strings(catalog)
+	ddContent := strings.Join(catalog, "\n") + "\n"
+	if err := os.WriteFile(filepath.Join(dir, dataDirFile), []byte(ddContent), 0o644); err != nil {
+		return err
+	}
+
+	// Derived files: descriptor + composition.
+	desc, comp, err := descriptor.Encode(f.obj)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, descFile), desc, 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, compFile), comp, 0o644)
+}
+
+// LoadObjectFile reads a multimedia object file saved by SaveObjectFile and
+// returns a formatter holding the reconstructed data directory and
+// synthesis file, already reformatted.
+func LoadObjectFile(dir string) (*Formatter, error) {
+	synth, err := os.ReadFile(filepath.Join(dir, synthesisFile))
+	if err != nil {
+		return nil, err
+	}
+	ddRaw, err := os.ReadFile(filepath.Join(dir, dataDirFile))
+	if err != nil {
+		return nil, err
+	}
+	dd := NewDataDir()
+	for lineNo, line := range strings.Split(strings.TrimRight(string(ddRaw), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("formatter: data-directory line %d malformed", lineNo+1)
+		}
+		name, kindName, status := fields[0], fields[1], fields[3]
+		payload, err := os.ReadFile(filepath.Join(dir, dataSubdir, name+".part"))
+		if err != nil {
+			return nil, err
+		}
+		st := Draft
+		if status == "final" {
+			st = Final
+		}
+		switch kindName {
+		case "voice":
+			v, err := descriptor.DecodePart(descriptor.PartVoice, payload)
+			if err != nil {
+				return nil, fmt.Errorf("formatter: data %q: %w", name, err)
+			}
+			dd.PutVoice(name, v.(*voice.Part), st)
+		case "bitmap":
+			v, err := descriptor.DecodePart(descriptor.PartBitmap, payload)
+			if err != nil {
+				return nil, fmt.Errorf("formatter: data %q: %w", name, err)
+			}
+			dd.PutBitmap(name, v.(*img.Bitmap), st)
+		case "image":
+			v, err := descriptor.DecodePart(descriptor.PartImage, payload)
+			if err != nil {
+				return nil, fmt.Errorf("formatter: data %q: %w", name, err)
+			}
+			dd.PutImage(name, v.(*img.Image), st)
+		default:
+			return nil, fmt.Errorf("formatter: data %q has unknown kind %q", name, kindName)
+		}
+	}
+	f := New(dd)
+	if err := f.SetSynthesis(string(synth)); err != nil {
+		return nil, fmt.Errorf("formatter: reformat of loaded object file: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,44 @@
+package image
+
+import "testing"
+
+func benchImage() *Image {
+	im := New("bench", 320, 240)
+	for i := 0; i < 40; i++ {
+		im.Add(Graphic{Shape: ShapeCircle, Points: []Point{{X: (i * 37) % 320, Y: (i * 53) % 240}}, Radius: 6,
+			Label: Label{Kind: TextLabel, Text: "SITE", At: Point{X: 5, Y: 5}}})
+	}
+	return im
+}
+
+func BenchmarkRasterize(b *testing.B) {
+	im := benchImage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.Rasterize()
+	}
+}
+
+func BenchmarkExtractView(b *testing.B) {
+	raster := benchImage().Rasterize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raster.Extract(Rect{X: 40, Y: 40, W: 128, H: 96})
+	}
+}
+
+func BenchmarkDownscaleMiniature(b *testing.B) {
+	raster := benchImage().Rasterize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raster.Downscale(4)
+	}
+}
+
+func BenchmarkHitTest(b *testing.B) {
+	im := benchImage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.HitTest(i%320, (i*7)%240)
+	}
+}

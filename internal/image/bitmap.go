@@ -1,0 +1,235 @@
+// Package image implements the image part of a MINOS multimedia object:
+// bitmaps, graphics objects with labels, views (windows) on large images,
+// and representation images (miniatures).
+//
+// Per the paper (§2): "Images in MINOS may be bitmaps or graphics. Images
+// with graphics contain graphics objects such as points, polygons,
+// polylines, circles, etc. Graphics objects may have a label associated
+// with them" and labels may be text labels, voice labels, or invisible.
+package image
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Bitmap is a 1-bit raster, matching the bitmapped displays of the paper's
+// era. Rows are packed 8 pixels per byte, row-major.
+type Bitmap struct {
+	W, H   int
+	stride int
+	bits   []byte
+}
+
+// NewBitmap allocates a cleared bitmap.
+func NewBitmap(w, h int) *Bitmap {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("image: NewBitmap(%d, %d)", w, h))
+	}
+	stride := (w + 7) / 8
+	return &Bitmap{W: w, H: h, stride: stride, bits: make([]byte, stride*h)}
+}
+
+// ByteSize returns the storage footprint of the raster in bytes; the
+// view/miniature transfer experiments report this.
+func (b *Bitmap) ByteSize() int { return len(b.bits) }
+
+// In reports whether (x, y) lies inside the bitmap.
+func (b *Bitmap) In(x, y int) bool { return x >= 0 && x < b.W && y >= 0 && y < b.H }
+
+// Set sets pixel (x, y) to v; out-of-range writes are ignored so drawing
+// primitives can clip trivially.
+func (b *Bitmap) Set(x, y int, v bool) {
+	if !b.In(x, y) {
+		return
+	}
+	idx := y*b.stride + x/8
+	mask := byte(1) << (x % 8)
+	if v {
+		b.bits[idx] |= mask
+	} else {
+		b.bits[idx] &^= mask
+	}
+}
+
+// Get returns pixel (x, y); out-of-range reads are false.
+func (b *Bitmap) Get(x, y int) bool {
+	if !b.In(x, y) {
+		return false
+	}
+	return b.bits[y*b.stride+x/8]&(byte(1)<<(x%8)) != 0
+}
+
+// Fill sets every pixel in the rectangle to v.
+func (b *Bitmap) Fill(r Rect, v bool) {
+	for y := r.Y; y < r.Y+r.H; y++ {
+		for x := r.X; x < r.X+r.W; x++ {
+			b.Set(x, y, v)
+		}
+	}
+}
+
+// PopCount returns the number of set pixels; tests use it to assert
+// compositing behaviour cheaply.
+func (b *Bitmap) PopCount() int {
+	n := 0
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if b.Get(x, y) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	nb := NewBitmap(b.W, b.H)
+	copy(nb.bits, b.bits)
+	return nb
+}
+
+// Or draws src onto b at (dx, dy) with OR semantics: set pixels turn on,
+// clear pixels leave the destination alone. This is the transparency
+// compositing operation.
+func (b *Bitmap) Or(src *Bitmap, dx, dy int) {
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			if src.Get(x, y) {
+				b.Set(dx+x, dy+y, true)
+			}
+		}
+	}
+}
+
+// Blit copies src onto b at (dx, dy), overwriting both set and clear pixels
+// within src's rectangle.
+func (b *Bitmap) Blit(src *Bitmap, dx, dy int) {
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			b.Set(dx+x, dy+y, src.Get(x, y))
+		}
+	}
+}
+
+// Extract copies the rectangle r (clipped to the bitmap) into a new bitmap
+// of r's size. It is the core of view retrieval: the server ships only
+// these bytes.
+func (b *Bitmap) Extract(r Rect) *Bitmap {
+	out := NewBitmap(r.W, r.H)
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			if b.Get(r.X+x, r.Y+y) {
+				out.Set(x, y, true)
+			}
+		}
+	}
+	return out
+}
+
+// Downscale returns a miniature reduced by integer factor f using a
+// majority-of-ones box filter. Representation images ("miniatures") are
+// "much smaller than the image itself, and thus ... easily transferable to
+// main memory" (§2).
+func (b *Bitmap) Downscale(f int) *Bitmap {
+	if f <= 1 {
+		return b.Clone()
+	}
+	out := NewBitmap((b.W+f-1)/f, (b.H+f-1)/f)
+	for oy := 0; oy < out.H; oy++ {
+		for ox := 0; ox < out.W; ox++ {
+			ones, total := 0, 0
+			for y := oy * f; y < (oy+1)*f && y < b.H; y++ {
+				for x := ox * f; x < (ox+1)*f && x < b.W; x++ {
+					total++
+					if b.Get(x, y) {
+						ones++
+					}
+				}
+			}
+			if total > 0 && ones*3 >= total {
+				out.Set(ox, oy, true)
+			}
+		}
+	}
+	return out
+}
+
+// Hash returns a stable content hash used by tests and screen snapshots.
+func (b *Bitmap) Hash() uint64 {
+	h := fnv.New64a()
+	var dims [8]byte
+	dims[0] = byte(b.W)
+	dims[1] = byte(b.W >> 8)
+	dims[2] = byte(b.H)
+	dims[3] = byte(b.H >> 8)
+	h.Write(dims[:4])
+	h.Write(b.bits)
+	return h.Sum64()
+}
+
+// ASCII renders the bitmap as '#' and '.' rows, for golden tests and the
+// CLI's snapshot output.
+func (b *Bitmap) ASCII() string {
+	var sb strings.Builder
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if b.Get(x, y) {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Rect is an axis-aligned rectangle.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// Contains reports whether the point lies inside the rectangle.
+func (r Rect) Contains(x, y int) bool {
+	return x >= r.X && x < r.X+r.W && y >= r.Y && y < r.Y+r.H
+}
+
+// Intersects reports whether two rectangles overlap.
+func (r Rect) Intersects(o Rect) bool {
+	return r.X < o.X+o.W && o.X < r.X+r.W && r.Y < o.Y+o.H && o.Y < r.Y+r.H
+}
+
+// Clip returns r clipped to the bounds rectangle.
+func (r Rect) Clip(bounds Rect) Rect {
+	x1 := max(r.X, bounds.X)
+	y1 := max(r.Y, bounds.Y)
+	x2 := min(r.X+r.W, bounds.X+bounds.W)
+	y2 := min(r.Y+r.H, bounds.Y+bounds.H)
+	if x2 < x1 {
+		x2 = x1
+	}
+	if y2 < y1 {
+		y2 = y1
+	}
+	return Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+}
+
+// Area returns the rectangle's area in pixels.
+func (r Rect) Area() int { return r.W * r.H }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,244 @@
+package image
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LabelKind is the presentation form of a graphics object's label (§2):
+// invisible, text label, or voice label.
+type LabelKind uint8
+
+const (
+	NoLabel LabelKind = iota
+	TextLabel
+	VoiceLabel
+	InvisibleTextLabel
+	InvisibleVoiceLabel
+)
+
+// Visible reports whether the label displays an indication by default.
+func (k LabelKind) Visible() bool { return k == TextLabel || k == VoiceLabel }
+
+// Label is "some short information about the object" attached to a graphics
+// object. Text labels display their text near the object; voice labels
+// display an indicator and play on selection; invisible labels display
+// nothing by default.
+type Label struct {
+	Kind LabelKind
+	// Text holds the label text for text labels, and the transcript /
+	// token form for voice labels (used for pattern highlighting; the
+	// paper's label pattern search must work for both kinds).
+	Text string
+	// VoiceRef names the voice data carrying the spoken label, resolved
+	// through the object descriptor. Empty for text labels.
+	VoiceRef string
+	// At is the designer-specified display position for the label or
+	// voice indicator, relative to the image origin.
+	At Point
+}
+
+// Point is an integer coordinate.
+type Point struct{ X, Y int }
+
+// Shape enumerates graphics object geometries.
+type Shape uint8
+
+const (
+	ShapePoint Shape = iota
+	ShapePolyline
+	ShapePolygon
+	ShapeCircle
+	ShapeRect
+	ShapeText // a short text run placed on the image
+)
+
+// String names the shape for traces and errors.
+func (s Shape) String() string {
+	switch s {
+	case ShapePoint:
+		return "point"
+	case ShapePolyline:
+		return "polyline"
+	case ShapePolygon:
+		return "polygon"
+	case ShapeCircle:
+		return "circle"
+	case ShapeRect:
+		return "rect"
+	case ShapeText:
+		return "text"
+	}
+	return fmt.Sprintf("Shape(%d)", uint8(s))
+}
+
+// Graphic is one graphics object.
+type Graphic struct {
+	Shape  Shape
+	Points []Point // point: 1; polyline/polygon: vertices; circle: center; rect: min corner
+	Radius int     // circle only
+	Size   Point   // rect only: W, H
+	Text   string  // ShapeText only
+	Filled bool    // polygon/circle/rect shading
+	Label  Label
+}
+
+// Bounds returns the graphic's bounding rectangle.
+func (g *Graphic) Bounds() Rect {
+	switch g.Shape {
+	case ShapeCircle:
+		c := g.Points[0]
+		return Rect{X: c.X - g.Radius, Y: c.Y - g.Radius, W: 2*g.Radius + 1, H: 2*g.Radius + 1}
+	case ShapeRect:
+		p := g.Points[0]
+		return Rect{X: p.X, Y: p.Y, W: g.Size.X, H: g.Size.Y}
+	case ShapeText:
+		p := g.Points[0]
+		return Rect{X: p.X, Y: p.Y, W: len(g.Text) * glyphW, H: glyphH}
+	default:
+		if len(g.Points) == 0 {
+			return Rect{}
+		}
+		minX, minY := g.Points[0].X, g.Points[0].Y
+		maxX, maxY := minX, minY
+		for _, p := range g.Points[1:] {
+			minX, maxX = min(minX, p.X), max(maxX, p.X)
+			minY, maxY = min(minY, p.Y), max(maxY, p.Y)
+		}
+		return Rect{X: minX, Y: minY, W: maxX - minX + 1, H: maxY - minY + 1}
+	}
+}
+
+// Image is the image part element: either a raw bitmap, or a drawing
+// surface (graphics objects over an optional base bitmap), rasterized on
+// demand.
+type Image struct {
+	Name string
+	W, H int
+	// Base is an optional background bitmap (e.g. a captured x-ray).
+	Base *Bitmap
+	// Graphics are the vector objects drawn over the base.
+	Graphics []Graphic
+	// Representation marks this image as a miniature of another image
+	// (paper §2: "the system explicitly indicates that an image is a
+	// representation"). Scale is the reduction factor relative to Of.
+	Representation bool
+	Of             string
+	Scale          int
+}
+
+// New creates an empty image surface.
+func New(name string, w, h int) *Image {
+	return &Image{Name: name, W: w, H: h}
+}
+
+// Add appends a graphics object and returns its index.
+func (im *Image) Add(g Graphic) int {
+	im.Graphics = append(im.Graphics, g)
+	return len(im.Graphics) - 1
+}
+
+// Rasterize renders the image (base + graphics) into a fresh bitmap.
+func (im *Image) Rasterize() *Bitmap {
+	b := NewBitmap(im.W, im.H)
+	if im.Base != nil {
+		b.Or(im.Base, 0, 0)
+	}
+	for i := range im.Graphics {
+		drawGraphic(b, &im.Graphics[i])
+	}
+	return b
+}
+
+// RasterizeLabels renders only the default-visible label text and voice
+// indicators, as a separate layer the screen overlays.
+func (im *Image) RasterizeLabels() *Bitmap {
+	b := NewBitmap(im.W, im.H)
+	for i := range im.Graphics {
+		g := &im.Graphics[i]
+		switch g.Label.Kind {
+		case TextLabel:
+			DrawString(b, g.Label.At.X, g.Label.At.Y, g.Label.Text)
+		case VoiceLabel:
+			drawVoiceIndicator(b, g.Label.At.X, g.Label.At.Y)
+		}
+	}
+	return b
+}
+
+// Miniature produces the representation image of im at reduction factor f.
+func (im *Image) Miniature(f int) *Image {
+	raster := im.Rasterize().Downscale(f)
+	mini := &Image{
+		Name:           im.Name + ".mini",
+		W:              raster.W,
+		H:              raster.H,
+		Base:           raster,
+		Representation: true,
+		Of:             im.Name,
+		Scale:          f,
+	}
+	return mini
+}
+
+// HitTest returns the index of the topmost graphic whose bounds contain the
+// point, or -1. This is the "user selects an object using the mouse and the
+// system plays or displays the label" inverse facility (§2).
+func (im *Image) HitTest(x, y int) int {
+	for i := len(im.Graphics) - 1; i >= 0; i-- {
+		if im.Graphics[i].Bounds().Contains(x, y) {
+			return i
+		}
+	}
+	return -1
+}
+
+// MatchLabels returns the indices of graphics whose label text contains the
+// pattern (case-insensitive). This backs "the user can specify a pattern
+// and request that the objects in which this pattern appears within their
+// label are highlighted" (§2) — useful for large images such as road maps.
+func (im *Image) MatchLabels(pattern string) []int {
+	pat := strings.ToLower(pattern)
+	var out []int
+	for i := range im.Graphics {
+		l := im.Graphics[i].Label
+		if l.Kind == NoLabel {
+			continue
+		}
+		if strings.Contains(strings.ToLower(l.Text), pat) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HighlightMask renders a mask bitmap with the bounds of each listed
+// graphic outlined, which the screen XORs/ORs over the displayed image.
+func (im *Image) HighlightMask(indices []int) *Bitmap {
+	b := NewBitmap(im.W, im.H)
+	for _, i := range indices {
+		if i < 0 || i >= len(im.Graphics) {
+			continue
+		}
+		r := im.Graphics[i].Bounds()
+		drawRectOutline(b, r)
+	}
+	return b
+}
+
+// VoiceLabelsIn returns the indices of graphics with voice labels whose
+// bounds intersect the rectangle, in stable order. The view mechanism plays
+// these "as the view moves" when the voice option is on (§2).
+func (im *Image) VoiceLabelsIn(r Rect) []int {
+	var out []int
+	for i := range im.Graphics {
+		k := im.Graphics[i].Label.Kind
+		if k != VoiceLabel && k != InvisibleVoiceLabel {
+			continue
+		}
+		if im.Graphics[i].Bounds().Intersects(r) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,486 @@
+package image
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapSetGet(t *testing.T) {
+	b := NewBitmap(10, 10)
+	if b.Get(3, 4) {
+		t.Fatal("fresh bitmap not clear")
+	}
+	b.Set(3, 4, true)
+	if !b.Get(3, 4) {
+		t.Fatal("Set did not stick")
+	}
+	b.Set(3, 4, false)
+	if b.Get(3, 4) {
+		t.Fatal("clear did not stick")
+	}
+}
+
+func TestBitmapOutOfRangeIgnored(t *testing.T) {
+	b := NewBitmap(4, 4)
+	b.Set(-1, 0, true)
+	b.Set(0, -1, true)
+	b.Set(4, 0, true)
+	b.Set(0, 4, true)
+	if b.PopCount() != 0 {
+		t.Fatal("out-of-range Set affected bitmap")
+	}
+	if b.Get(-1, -1) || b.Get(99, 99) {
+		t.Fatal("out-of-range Get returned true")
+	}
+}
+
+func TestBitmapOrAndBlit(t *testing.T) {
+	dst := NewBitmap(8, 8)
+	dst.Fill(Rect{0, 0, 8, 8}, true)
+	src := NewBitmap(4, 4) // all clear
+	src.Set(0, 0, true)
+
+	or := dst.Clone()
+	or.Or(src, 2, 2)
+	if or.PopCount() != 64 {
+		t.Fatalf("Or cleared pixels: pop = %d", or.PopCount())
+	}
+
+	bl := dst.Clone()
+	bl.Blit(src, 2, 2)
+	// Blit overwrites the 4x4 region: 64 - 16 + 1 set pixel.
+	if bl.PopCount() != 64-16+1 {
+		t.Fatalf("Blit pop = %d, want %d", bl.PopCount(), 64-16+1)
+	}
+}
+
+func TestBitmapExtract(t *testing.T) {
+	b := NewBitmap(20, 20)
+	b.Set(5, 5, true)
+	b.Set(6, 7, true)
+	sub := b.Extract(Rect{5, 5, 4, 4})
+	if sub.W != 4 || sub.H != 4 {
+		t.Fatalf("Extract dims %dx%d", sub.W, sub.H)
+	}
+	if !sub.Get(0, 0) || !sub.Get(1, 2) {
+		t.Fatal("Extract lost pixels")
+	}
+	if sub.PopCount() != 2 {
+		t.Fatalf("Extract pop = %d, want 2", sub.PopCount())
+	}
+}
+
+func TestBitmapDownscale(t *testing.T) {
+	b := NewBitmap(16, 16)
+	b.Fill(Rect{0, 0, 8, 8}, true)
+	mini := b.Downscale(4)
+	if mini.W != 4 || mini.H != 4 {
+		t.Fatalf("Downscale dims %dx%d, want 4x4", mini.W, mini.H)
+	}
+	if !mini.Get(0, 0) || !mini.Get(1, 1) {
+		t.Fatal("dense quadrant lost")
+	}
+	if mini.Get(3, 3) {
+		t.Fatal("empty quadrant gained pixels")
+	}
+	if mini.ByteSize() >= b.ByteSize() {
+		t.Fatal("miniature not smaller")
+	}
+	same := b.Downscale(1)
+	if same.Hash() != b.Hash() {
+		t.Fatal("Downscale(1) should be identity")
+	}
+}
+
+func TestBitmapHashDiffers(t *testing.T) {
+	a := NewBitmap(8, 8)
+	b := NewBitmap(8, 8)
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal bitmaps hash differently")
+	}
+	b.Set(1, 1, true)
+	if a.Hash() == b.Hash() {
+		t.Fatal("different bitmaps hash equal")
+	}
+	c := NewBitmap(8, 4)
+	if a.Hash() == c.Hash() {
+		t.Fatal("different dims hash equal")
+	}
+}
+
+func TestBitmapASCII(t *testing.T) {
+	b := NewBitmap(3, 2)
+	b.Set(1, 0, true)
+	want := ".#.\n...\n"
+	if got := b.ASCII(); got != want {
+		t.Fatalf("ASCII = %q, want %q", got, want)
+	}
+}
+
+func TestRectOps(t *testing.T) {
+	r := Rect{10, 10, 5, 5}
+	if !r.Contains(10, 10) || !r.Contains(14, 14) {
+		t.Error("Contains edge failed")
+	}
+	if r.Contains(15, 10) || r.Contains(9, 10) {
+		t.Error("Contains outside succeeded")
+	}
+	if !r.Intersects(Rect{14, 14, 5, 5}) {
+		t.Error("overlapping rects not intersecting")
+	}
+	if r.Intersects(Rect{15, 15, 5, 5}) {
+		t.Error("touching rects intersect")
+	}
+	clipped := Rect{-5, -5, 20, 20}.Clip(Rect{0, 0, 10, 10})
+	if clipped != (Rect{0, 0, 10, 10}) {
+		t.Errorf("Clip = %+v", clipped)
+	}
+	empty := Rect{50, 50, 5, 5}.Clip(Rect{0, 0, 10, 10})
+	if empty.Area() != 0 {
+		t.Errorf("disjoint Clip area = %d", empty.Area())
+	}
+}
+
+func TestDrawLineEndpoints(t *testing.T) {
+	b := NewBitmap(20, 20)
+	drawLine(b, Point{2, 3}, Point{17, 11})
+	if !b.Get(2, 3) || !b.Get(17, 11) {
+		t.Fatal("line endpoints not set")
+	}
+	if b.PopCount() < 15 {
+		t.Fatalf("line too sparse: %d", b.PopCount())
+	}
+}
+
+func TestRasterizeCircle(t *testing.T) {
+	im := New("c", 30, 30)
+	im.Add(Graphic{Shape: ShapeCircle, Points: []Point{{15, 15}}, Radius: 10})
+	b := im.Rasterize()
+	if !b.Get(25, 15) || !b.Get(5, 15) || !b.Get(15, 25) || !b.Get(15, 5) {
+		t.Fatal("circle cardinal points missing")
+	}
+	if b.Get(15, 15) {
+		t.Fatal("unfilled circle has centre set")
+	}
+	im2 := New("c2", 30, 30)
+	im2.Add(Graphic{Shape: ShapeCircle, Points: []Point{{15, 15}}, Radius: 10, Filled: true})
+	if !im2.Rasterize().Get(15, 15) {
+		t.Fatal("filled circle centre clear")
+	}
+}
+
+func TestRasterizePolygonFill(t *testing.T) {
+	im := New("p", 20, 20)
+	im.Add(Graphic{Shape: ShapePolygon, Filled: true,
+		Points: []Point{{2, 2}, {17, 2}, {17, 17}, {2, 17}}})
+	b := im.Rasterize()
+	if !b.Get(10, 10) {
+		t.Fatal("polygon interior not filled")
+	}
+	if b.Get(0, 0) {
+		t.Fatal("polygon exterior filled")
+	}
+}
+
+func TestRasterizeRectAndText(t *testing.T) {
+	im := New("r", 80, 20)
+	im.Add(Graphic{Shape: ShapeRect, Points: []Point{{1, 1}}, Size: Point{10, 8}})
+	im.Add(Graphic{Shape: ShapeText, Points: []Point{{20, 2}}, Text: "HI"})
+	b := im.Rasterize()
+	if !b.Get(1, 1) || !b.Get(10, 8) {
+		t.Fatal("rect outline corners missing")
+	}
+	// The glyphs must put some pixels in the text area.
+	sub := b.Extract(Rect{20, 2, StringWidth("HI"), GlyphHeight()})
+	if sub.PopCount() == 0 {
+		t.Fatal("no text pixels")
+	}
+}
+
+func TestRasterizeWithBase(t *testing.T) {
+	base := NewBitmap(10, 10)
+	base.Set(0, 0, true)
+	im := &Image{Name: "b", W: 10, H: 10, Base: base}
+	if !im.Rasterize().Get(0, 0) {
+		t.Fatal("base bitmap not composed")
+	}
+}
+
+func TestGraphicBounds(t *testing.T) {
+	c := Graphic{Shape: ShapeCircle, Points: []Point{{10, 10}}, Radius: 3}
+	if got := c.Bounds(); got != (Rect{7, 7, 7, 7}) {
+		t.Errorf("circle bounds = %+v", got)
+	}
+	r := Graphic{Shape: ShapeRect, Points: []Point{{2, 3}}, Size: Point{4, 5}}
+	if got := r.Bounds(); got != (Rect{2, 3, 4, 5}) {
+		t.Errorf("rect bounds = %+v", got)
+	}
+	pl := Graphic{Shape: ShapePolyline, Points: []Point{{1, 1}, {5, 9}, {3, 2}}}
+	if got := pl.Bounds(); got != (Rect{1, 1, 5, 9}) {
+		t.Errorf("polyline bounds = %+v", got)
+	}
+	empty := Graphic{Shape: ShapePolyline}
+	if got := empty.Bounds(); got.Area() != 0 {
+		t.Errorf("empty bounds = %+v", got)
+	}
+}
+
+func TestHitTestTopmost(t *testing.T) {
+	im := New("h", 40, 40)
+	im.Add(Graphic{Shape: ShapeRect, Points: []Point{{0, 0}}, Size: Point{40, 40},
+		Label: Label{Kind: TextLabel, Text: "below"}})
+	top := im.Add(Graphic{Shape: ShapeRect, Points: []Point{{10, 10}}, Size: Point{10, 10},
+		Label: Label{Kind: TextLabel, Text: "above"}})
+	if got := im.HitTest(15, 15); got != top {
+		t.Fatalf("HitTest = %d, want topmost %d", got, top)
+	}
+	if got := im.HitTest(35, 35); got != 0 {
+		t.Fatalf("HitTest = %d, want 0", got)
+	}
+	if got := im.HitTest(-1, -1); got != -1 {
+		t.Fatalf("HitTest outside = %d, want -1", got)
+	}
+}
+
+func TestMatchLabels(t *testing.T) {
+	im := New("m", 100, 100)
+	im.Add(Graphic{Shape: ShapePoint, Points: []Point{{1, 1}},
+		Label: Label{Kind: TextLabel, Text: "General Hospital"}})
+	im.Add(Graphic{Shape: ShapePoint, Points: []Point{{2, 2}},
+		Label: Label{Kind: VoiceLabel, Text: "City Hospital", VoiceRef: "v1"}})
+	im.Add(Graphic{Shape: ShapePoint, Points: []Point{{3, 3}},
+		Label: Label{Kind: TextLabel, Text: "University"}})
+	im.Add(Graphic{Shape: ShapePoint, Points: []Point{{4, 4}}}) // no label
+	got := im.MatchLabels("hospital")
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("MatchLabels = %v", got)
+	}
+	if n := len(im.MatchLabels("museum")); n != 0 {
+		t.Fatalf("MatchLabels(miss) = %d", n)
+	}
+}
+
+func TestHighlightMask(t *testing.T) {
+	im := New("hl", 50, 50)
+	i := im.Add(Graphic{Shape: ShapeRect, Points: []Point{{10, 10}}, Size: Point{20, 10},
+		Label: Label{Kind: TextLabel, Text: "X"}})
+	mask := im.HighlightMask([]int{i, 99, -1})
+	if !mask.Get(10, 10) || !mask.Get(29, 19) {
+		t.Fatal("highlight outline corners missing")
+	}
+	if mask.Get(15, 15) {
+		t.Fatal("highlight filled interior")
+	}
+}
+
+func TestVoiceLabelsIn(t *testing.T) {
+	im := New("v", 100, 100)
+	a := im.Add(Graphic{Shape: ShapePoint, Points: []Point{{10, 10}},
+		Label: Label{Kind: VoiceLabel, Text: "a", VoiceRef: "va"}})
+	im.Add(Graphic{Shape: ShapePoint, Points: []Point{{90, 90}},
+		Label: Label{Kind: VoiceLabel, Text: "b", VoiceRef: "vb"}})
+	im.Add(Graphic{Shape: ShapePoint, Points: []Point{{12, 12}},
+		Label: Label{Kind: TextLabel, Text: "not voice"}})
+	got := im.VoiceLabelsIn(Rect{0, 0, 50, 50})
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("VoiceLabelsIn = %v", got)
+	}
+}
+
+func TestRasterizeLabels(t *testing.T) {
+	im := New("lab", 120, 40)
+	im.Add(Graphic{Shape: ShapePoint, Points: []Point{{5, 5}},
+		Label: Label{Kind: TextLabel, Text: "GO", At: Point{10, 5}}})
+	im.Add(Graphic{Shape: ShapePoint, Points: []Point{{60, 5}},
+		Label: Label{Kind: VoiceLabel, Text: "spoken", VoiceRef: "v", At: Point{70, 5}}})
+	im.Add(Graphic{Shape: ShapePoint, Points: []Point{{100, 5}},
+		Label: Label{Kind: InvisibleTextLabel, Text: "hidden", At: Point{100, 20}}})
+	layer := im.RasterizeLabels()
+	if layer.Extract(Rect{10, 5, StringWidth("GO"), GlyphHeight()}).PopCount() == 0 {
+		t.Fatal("text label not drawn")
+	}
+	if layer.Extract(Rect{70, 5, 5, 7}).PopCount() == 0 {
+		t.Fatal("voice indicator not drawn")
+	}
+	if layer.Extract(Rect{95, 18, 25, 10}).PopCount() != 0 {
+		t.Fatal("invisible label drawn")
+	}
+}
+
+func TestMiniature(t *testing.T) {
+	im := New("map", 200, 160)
+	im.Add(Graphic{Shape: ShapeRect, Points: []Point{{20, 20}}, Size: Point{100, 80}, Filled: true})
+	mini := im.Miniature(4)
+	if !mini.Representation || mini.Of != "map" || mini.Scale != 4 {
+		t.Fatalf("miniature metadata: %+v", mini)
+	}
+	if mini.W != 50 || mini.H != 40 {
+		t.Fatalf("miniature dims %dx%d", mini.W, mini.H)
+	}
+	if mini.Rasterize().PopCount() == 0 {
+		t.Fatal("miniature blank")
+	}
+}
+
+func TestViewMoveClampsAndReportsLabels(t *testing.T) {
+	im := New("map", 200, 200)
+	lbl := im.Add(Graphic{Shape: ShapeCircle, Points: []Point{{150, 100}}, Radius: 4,
+		Label: Label{Kind: VoiceLabel, Text: "site", VoiceRef: "v"}})
+	v := &View{Image: "map", Rect: Rect{0, 80, 50, 50}}
+	heard := v.Move(im, 30, 0) // now covers x in [30,80) — label at 146..154 not covered
+	if len(heard) != 0 {
+		t.Fatalf("unexpected labels heard: %v", heard)
+	}
+	heard = v.Move(im, 90, 0) // covers [120,170) — label encountered
+	if len(heard) != 1 || heard[0] != lbl {
+		t.Fatalf("labels heard = %v, want [%d]", heard, lbl)
+	}
+	// Moving within coverage does not replay.
+	heard = v.Move(im, 1, 0)
+	if len(heard) != 0 {
+		t.Fatalf("label replayed: %v", heard)
+	}
+	// Clamp at the right edge.
+	v.Move(im, 10000, 10000)
+	if v.Rect.X != 150 || v.Rect.Y != 150 {
+		t.Fatalf("clamp failed: %+v", v.Rect)
+	}
+}
+
+func TestViewJump(t *testing.T) {
+	im := New("map", 100, 100)
+	lbl := im.Add(Graphic{Shape: ShapePoint, Points: []Point{{10, 10}},
+		Label: Label{Kind: VoiceLabel, Text: "x", VoiceRef: "v"}})
+	v := &View{Rect: Rect{50, 50, 20, 20}}
+	heard := v.Jump(im, 0, 0)
+	if v.Rect.X != 0 || v.Rect.Y != 0 {
+		t.Fatalf("Jump position %+v", v.Rect)
+	}
+	if len(heard) != 1 || heard[0] != lbl {
+		t.Fatalf("Jump labels = %v", heard)
+	}
+}
+
+func TestViewResize(t *testing.T) {
+	im := New("map", 100, 100)
+	lbl := im.Add(Graphic{Shape: ShapePoint, Points: []Point{{40, 40}},
+		Label: Label{Kind: VoiceLabel, Text: "x", VoiceRef: "v"}})
+	v := &View{Rect: Rect{0, 0, 20, 20}}
+	if heard := v.Resize(im, -30, -30); len(heard) != 0 || v.Rect.W != 1 || v.Rect.H != 1 {
+		t.Fatalf("shrink: rect %+v heard %v", v.Rect, heard)
+	}
+	heard := v.Resize(im, 49, 49) // now 50x50, covers the label
+	if len(heard) != 1 || heard[0] != lbl {
+		t.Fatalf("expand labels = %v", heard)
+	}
+	v.Resize(im, 1000, 1000)
+	if v.Rect.W != 100 || v.Rect.H != 100 {
+		t.Fatalf("expand clamp %+v", v.Rect)
+	}
+}
+
+func TestExtractFromRepresentation(t *testing.T) {
+	rep := &Image{Name: "m.mini", W: 50, H: 40, Representation: true, Of: "m", Scale: 4}
+	full := ExtractFromRepresentation(rep, Rect{10, 5, 10, 10})
+	if full != (Rect{40, 20, 40, 40}) {
+		t.Fatalf("mapped rect %+v", full)
+	}
+	flat := &Image{Scale: 1}
+	if got := ExtractFromRepresentation(flat, Rect{1, 2, 3, 4}); got != (Rect{1, 2, 3, 4}) {
+		t.Fatalf("identity mapping %+v", got)
+	}
+}
+
+func TestTourViewAt(t *testing.T) {
+	im := New("map", 100, 100)
+	tour := &Tour{Image: "map", Size: Point{30, 30}, Stops: []TourStop{
+		{At: Point{0, 0}},
+		{At: Point{90, 90}}, // clamps to 70,70
+	}}
+	if got := tour.ViewAt(im, 0); got != (Rect{0, 0, 30, 30}) {
+		t.Fatalf("stop 0 = %+v", got)
+	}
+	if got := tour.ViewAt(im, 1); got != (Rect{70, 70, 30, 30}) {
+		t.Fatalf("stop 1 = %+v", got)
+	}
+	if got := tour.ViewAt(im, 5); got.Area() != 0 {
+		t.Fatalf("out-of-range stop = %+v", got)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if ShapeCircle.String() != "circle" || ShapePolygon.String() != "polygon" {
+		t.Error("Shape.String mismatch")
+	}
+	if !strings.HasPrefix(Shape(77).String(), "Shape(") {
+		t.Error("unknown shape string")
+	}
+}
+
+// Property: Extract(r) preserves exactly the pixels of the source region.
+func TestQuickExtractRoundTrip(t *testing.T) {
+	f := func(seed uint32, rx, ry uint8) bool {
+		b := NewBitmap(32, 32)
+		s := seed
+		for i := 0; i < 64; i++ {
+			s = s*1664525 + 1013904223
+			b.Set(int(s>>8%32), int(s>>16%32), true)
+		}
+		r := Rect{int(rx % 24), int(ry % 24), 8, 8}
+		sub := b.Extract(r)
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				if sub.Get(x, y) != b.Get(r.X+x, r.Y+y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Or never clears pixels; Blit of a clone is idempotent.
+func TestQuickOrMonotonic(t *testing.T) {
+	f := func(seed uint32) bool {
+		a := NewBitmap(16, 16)
+		b := NewBitmap(16, 16)
+		s := seed
+		for i := 0; i < 40; i++ {
+			s = s*1664525 + 1013904223
+			a.Set(int(s>>4%16), int(s>>12%16), true)
+			b.Set(int(s>>20%16), int(s>>24%16), true)
+		}
+		before := a.PopCount()
+		a.Or(b, 0, 0)
+		return a.PopCount() >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrawStringScaled(t *testing.T) {
+	small := NewBitmap(80, 20)
+	DrawString(small, 0, 0, "HI")
+	big := NewBitmap(80, 20)
+	DrawStringScaled(big, 0, 0, "HI", 2)
+	if big.PopCount() != 4*small.PopCount() {
+		t.Fatalf("scaled pixels = %d, want 4x %d", big.PopCount(), small.PopCount())
+	}
+	if StringWidthScaled("HI", 2) != 2*StringWidth("HI") {
+		t.Fatal("scaled width wrong")
+	}
+	if StringWidthScaled("HI", 0) != StringWidth("HI") {
+		t.Fatal("scale 0 should mean normal")
+	}
+	// Scale 1 delegates to the plain renderer.
+	s1 := NewBitmap(80, 20)
+	DrawStringScaled(s1, 0, 0, "HI", 1)
+	if s1.Hash() != small.Hash() {
+		t.Fatal("scale 1 differs from DrawString")
+	}
+}

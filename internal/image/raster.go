@@ -1,0 +1,344 @@
+package image
+
+// Rasterization primitives: Bresenham lines, midpoint circles, even-odd
+// scanline polygon fill, and a compact 5x7 pixel font for on-image text and
+// labels.
+
+const (
+	glyphW = 6 // 5 pixels + 1 spacing column
+	glyphH = 7
+)
+
+func drawGraphic(b *Bitmap, g *Graphic) {
+	switch g.Shape {
+	case ShapePoint:
+		for _, p := range g.Points {
+			b.Set(p.X, p.Y, true)
+		}
+	case ShapePolyline:
+		for i := 1; i < len(g.Points); i++ {
+			drawLine(b, g.Points[i-1], g.Points[i])
+		}
+	case ShapePolygon:
+		if g.Filled {
+			fillPolygon(b, g.Points)
+		}
+		for i := 0; i < len(g.Points); i++ {
+			drawLine(b, g.Points[i], g.Points[(i+1)%len(g.Points)])
+		}
+	case ShapeCircle:
+		if len(g.Points) == 0 {
+			return
+		}
+		if g.Filled {
+			fillCircle(b, g.Points[0], g.Radius)
+		}
+		drawCircle(b, g.Points[0], g.Radius)
+	case ShapeRect:
+		if len(g.Points) == 0 {
+			return
+		}
+		r := Rect{X: g.Points[0].X, Y: g.Points[0].Y, W: g.Size.X, H: g.Size.Y}
+		if g.Filled {
+			b.Fill(r, true)
+		} else {
+			drawRectOutline(b, r)
+		}
+	case ShapeText:
+		if len(g.Points) == 0 {
+			return
+		}
+		DrawString(b, g.Points[0].X, g.Points[0].Y, g.Text)
+	}
+}
+
+func drawLine(b *Bitmap, p0, p1 Point) {
+	dx := abs(p1.X - p0.X)
+	dy := -abs(p1.Y - p0.Y)
+	sx, sy := 1, 1
+	if p0.X > p1.X {
+		sx = -1
+	}
+	if p0.Y > p1.Y {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := p0.X, p0.Y
+	for {
+		b.Set(x, y, true)
+		if x == p1.X && y == p1.Y {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func drawCircle(b *Bitmap, c Point, r int) {
+	if r <= 0 {
+		b.Set(c.X, c.Y, true)
+		return
+	}
+	x, y := r, 0
+	err := 1 - r
+	for x >= y {
+		b.Set(c.X+x, c.Y+y, true)
+		b.Set(c.X+y, c.Y+x, true)
+		b.Set(c.X-y, c.Y+x, true)
+		b.Set(c.X-x, c.Y+y, true)
+		b.Set(c.X-x, c.Y-y, true)
+		b.Set(c.X-y, c.Y-x, true)
+		b.Set(c.X+y, c.Y-x, true)
+		b.Set(c.X+x, c.Y-y, true)
+		y++
+		if err < 0 {
+			err += 2*y + 1
+		} else {
+			x--
+			err += 2*(y-x) + 1
+		}
+	}
+}
+
+func fillCircle(b *Bitmap, c Point, r int) {
+	for y := -r; y <= r; y++ {
+		for x := -r; x <= r; x++ {
+			if x*x+y*y <= r*r {
+				b.Set(c.X+x, c.Y+y, true)
+			}
+		}
+	}
+}
+
+// fillPolygon performs even-odd scanline filling.
+func fillPolygon(b *Bitmap, pts []Point) {
+	if len(pts) < 3 {
+		return
+	}
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts[1:] {
+		minY, maxY = min(minY, p.Y), max(maxY, p.Y)
+	}
+	for y := minY; y <= maxY; y++ {
+		var xs []int
+		j := len(pts) - 1
+		for i := 0; i < len(pts); i++ {
+			yi, yj := pts[i].Y, pts[j].Y
+			if (yi <= y && yj > y) || (yj <= y && yi > y) {
+				x := pts[i].X + (y-yi)*(pts[j].X-pts[i].X)/(yj-yi)
+				xs = append(xs, x)
+			}
+			j = i
+		}
+		sortInts(xs)
+		for k := 0; k+1 < len(xs); k += 2 {
+			for x := xs[k]; x <= xs[k+1]; x++ {
+				b.Set(x, y, true)
+			}
+		}
+	}
+}
+
+func drawRectOutline(b *Bitmap, r Rect) {
+	if r.W <= 0 || r.H <= 0 {
+		return
+	}
+	drawLine(b, Point{r.X, r.Y}, Point{r.X + r.W - 1, r.Y})
+	drawLine(b, Point{r.X, r.Y + r.H - 1}, Point{r.X + r.W - 1, r.Y + r.H - 1})
+	drawLine(b, Point{r.X, r.Y}, Point{r.X, r.Y + r.H - 1})
+	drawLine(b, Point{r.X + r.W - 1, r.Y}, Point{r.X + r.W - 1, r.Y + r.H - 1})
+}
+
+// drawVoiceIndicator draws the small loudspeaker glyph marking a voice
+// label's presence.
+func drawVoiceIndicator(b *Bitmap, x, y int) {
+	// A 5x7 speaker-ish glyph.
+	pattern := [7]byte{
+		0b00100,
+		0b01100,
+		0b11101,
+		0b11110,
+		0b11101,
+		0b01100,
+		0b00100,
+	}
+	blitGlyphRows(b, x, y, pattern)
+}
+
+// DrawString renders s with the built-in 5x7 font at (x, y) being the top
+// left of the first glyph. Unknown runes render as a filled box.
+func DrawString(b *Bitmap, x, y int, s string) {
+	cx := x
+	for _, r := range s {
+		if r == '\n' {
+			cx = x
+			y += glyphH + 1
+			continue
+		}
+		drawGlyph(b, cx, y, r)
+		cx += glyphW
+	}
+}
+
+// StringWidth returns the pixel width of s in the built-in font.
+func StringWidth(s string) int { return len([]rune(s)) * glyphW }
+
+// StringWidthScaled returns the pixel width of s at an integer scale.
+func StringWidthScaled(s string, scale int) int {
+	if scale < 1 {
+		scale = 1
+	}
+	return len([]rune(s)) * glyphW * scale
+}
+
+// DrawStringScaled renders s at an integer pixel scale (each font pixel
+// becomes a scale x scale block) — the formatter's larger letter sizes.
+func DrawStringScaled(b *Bitmap, x, y int, s string, scale int) {
+	if scale <= 1 {
+		DrawString(b, x, y, s)
+		return
+	}
+	cx := x
+	for _, r := range s {
+		if r == '\n' {
+			cx = x
+			y += (glyphH + 1) * scale
+			continue
+		}
+		drawGlyphScaled(b, cx, y, r, scale)
+		cx += glyphW * scale
+	}
+}
+
+func drawGlyphScaled(b *Bitmap, x, y int, r rune, scale int) {
+	if r >= 'a' && r <= 'z' {
+		r = r - 'a' + 'A'
+	}
+	pat, ok := font5x7[r]
+	if !ok {
+		if r == ' ' {
+			return
+		}
+		pat = [7]byte{0b11111, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b11111}
+	}
+	for row := 0; row < 7; row++ {
+		for col := 0; col < 5; col++ {
+			if pat[row]&(1<<(4-col)) != 0 {
+				for dy := 0; dy < scale; dy++ {
+					for dx := 0; dx < scale; dx++ {
+						b.Set(x+col*scale+dx, y+row*scale+dy, true)
+					}
+				}
+			}
+		}
+	}
+}
+
+// GlyphHeight returns the pixel height of the built-in font.
+func GlyphHeight() int { return glyphH }
+
+func drawGlyph(b *Bitmap, x, y int, r rune) {
+	if r >= 'a' && r <= 'z' {
+		r = r - 'a' + 'A'
+	}
+	pat, ok := font5x7[r]
+	if !ok {
+		if r == ' ' {
+			return
+		}
+		pat = [7]byte{0b11111, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b11111}
+	}
+	blitGlyphRows(b, x, y, pat)
+}
+
+func blitGlyphRows(b *Bitmap, x, y int, pat [7]byte) {
+	for row := 0; row < 7; row++ {
+		bits := pat[row]
+		for col := 0; col < 5; col++ {
+			if bits&(1<<(4-col)) != 0 {
+				b.Set(x+col, y+row, true)
+			}
+		}
+	}
+}
+
+// font5x7 covers uppercase letters, digits and common punctuation; enough
+// for screen menus, labels and golden tests.
+var font5x7 = map[rune][7]byte{
+	'A':  {0b01110, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001},
+	'B':  {0b11110, 0b10001, 0b10001, 0b11110, 0b10001, 0b10001, 0b11110},
+	'C':  {0b01110, 0b10001, 0b10000, 0b10000, 0b10000, 0b10001, 0b01110},
+	'D':  {0b11110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b11110},
+	'E':  {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111},
+	'F':  {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b10000},
+	'G':  {0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01111},
+	'H':  {0b10001, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001},
+	'I':  {0b01110, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'J':  {0b00111, 0b00010, 0b00010, 0b00010, 0b00010, 0b10010, 0b01100},
+	'K':  {0b10001, 0b10010, 0b10100, 0b11000, 0b10100, 0b10010, 0b10001},
+	'L':  {0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b11111},
+	'M':  {0b10001, 0b11011, 0b10101, 0b10101, 0b10001, 0b10001, 0b10001},
+	'N':  {0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001, 0b10001},
+	'O':  {0b01110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110},
+	'P':  {0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000, 0b10000},
+	'Q':  {0b01110, 0b10001, 0b10001, 0b10001, 0b10101, 0b10010, 0b01101},
+	'R':  {0b11110, 0b10001, 0b10001, 0b11110, 0b10100, 0b10010, 0b10001},
+	'S':  {0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110},
+	'T':  {0b11111, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100},
+	'U':  {0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110},
+	'V':  {0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01010, 0b00100},
+	'W':  {0b10001, 0b10001, 0b10001, 0b10101, 0b10101, 0b10101, 0b01010},
+	'X':  {0b10001, 0b10001, 0b01010, 0b00100, 0b01010, 0b10001, 0b10001},
+	'Y':  {0b10001, 0b10001, 0b01010, 0b00100, 0b00100, 0b00100, 0b00100},
+	'Z':  {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b11111},
+	'0':  {0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110},
+	'1':  {0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'2':  {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111},
+	'3':  {0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110},
+	'4':  {0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010},
+	'5':  {0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110},
+	'6':  {0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110},
+	'7':  {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000},
+	'8':  {0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110},
+	'9':  {0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100},
+	'.':  {0b00000, 0b00000, 0b00000, 0b00000, 0b00000, 0b01100, 0b01100},
+	',':  {0b00000, 0b00000, 0b00000, 0b00000, 0b01100, 0b00100, 0b01000},
+	':':  {0b00000, 0b01100, 0b01100, 0b00000, 0b01100, 0b01100, 0b00000},
+	'-':  {0b00000, 0b00000, 0b00000, 0b11111, 0b00000, 0b00000, 0b00000},
+	'+':  {0b00000, 0b00100, 0b00100, 0b11111, 0b00100, 0b00100, 0b00000},
+	'!':  {0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00000, 0b00100},
+	'?':  {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b00000, 0b00100},
+	'/':  {0b00001, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b10000},
+	'(':  {0b00010, 0b00100, 0b01000, 0b01000, 0b01000, 0b00100, 0b00010},
+	')':  {0b01000, 0b00100, 0b00010, 0b00010, 0b00010, 0b00100, 0b01000},
+	'>':  {0b01000, 0b00100, 0b00010, 0b00001, 0b00010, 0b00100, 0b01000},
+	'<':  {0b00010, 0b00100, 0b01000, 0b10000, 0b01000, 0b00100, 0b00010},
+	'=':  {0b00000, 0b00000, 0b11111, 0b00000, 0b11111, 0b00000, 0b00000},
+	'*':  {0b00000, 0b10101, 0b01110, 0b11111, 0b01110, 0b10101, 0b00000},
+	'#':  {0b01010, 0b11111, 0b01010, 0b01010, 0b01010, 0b11111, 0b01010},
+	'_':  {0b00000, 0b00000, 0b00000, 0b00000, 0b00000, 0b00000, 0b11111},
+	'\'': {0b00100, 0b00100, 0b01000, 0b00000, 0b00000, 0b00000, 0b00000},
+	'"':  {0b01010, 0b01010, 0b00000, 0b00000, 0b00000, 0b00000, 0b00000},
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package image
+
+// View is a rectangle overlaid on an image (or on a representation of it);
+// the enclosed portion is presented on the workstation display and only
+// that portion's data is retrieved from the server (§2).
+type View struct {
+	// Image is the name of the image the view is defined on. When the
+	// view was defined on a representation, Image still names the full
+	// image: "when a view is defined on the representation image the
+	// system has to transfer only the data of the view".
+	Image string
+	Rect  Rect
+}
+
+// MoveStep is the default per-menu-selection movement quantum in pixels.
+const MoveStep = 16
+
+// ResizeStep is the default shrink/expand quantum in pixels.
+const ResizeStep = 8
+
+// Move translates the view by (dx, dy), clamped inside the image bounds.
+// It returns the voice-label graphics newly encountered — those whose
+// bounds intersect the new rectangle but not the old one — which the
+// presentation manager plays when the voice option is on.
+func (v *View) Move(im *Image, dx, dy int) []int {
+	old := v.Rect
+	nr := old
+	nr.X = clampInt(nr.X+dx, 0, max(0, im.W-nr.W))
+	nr.Y = clampInt(nr.Y+dy, 0, max(0, im.H-nr.H))
+	v.Rect = nr
+	return newlyEncountered(im, old, nr)
+}
+
+// Jump repositions the view at (x, y) (a non-contiguous move, §2), clamped
+// to the image. All voice labels within the new rectangle are "newly
+// encountered" since the move is discontinuous.
+func (v *View) Jump(im *Image, x, y int) []int {
+	v.Rect.X = clampInt(x, 0, max(0, im.W-v.Rect.W))
+	v.Rect.Y = clampInt(y, 0, max(0, im.H-v.Rect.H))
+	return im.VoiceLabelsIn(v.Rect)
+}
+
+// Resize grows (positive) or shrinks (negative) the view by (dw, dh),
+// keeping the top-left corner fixed and clamping to the image. It returns
+// voice labels newly covered by an expansion ("when the size increases new
+// labels may be played", §2).
+func (v *View) Resize(im *Image, dw, dh int) []int {
+	old := v.Rect
+	nr := old
+	nr.W = clampInt(nr.W+dw, 1, im.W-nr.X)
+	nr.H = clampInt(nr.H+dh, 1, im.H-nr.Y)
+	v.Rect = nr
+	if nr.W <= old.W && nr.H <= old.H {
+		return nil
+	}
+	return newlyEncountered(im, old, nr)
+}
+
+// newlyEncountered lists voice-label graphics intersecting nr but not old.
+func newlyEncountered(im *Image, old, nr Rect) []int {
+	var out []int
+	for _, i := range im.VoiceLabelsIn(nr) {
+		if !im.Graphics[i].Bounds().Intersects(old) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ExtractFromRepresentation maps a view defined on a representation image
+// back to full-image coordinates. The caller then requests only that
+// rectangle's data from the server.
+func ExtractFromRepresentation(rep *Image, viewOnRep Rect) Rect {
+	s := rep.Scale
+	if s <= 1 {
+		return viewOnRep
+	}
+	return Rect{X: viewOnRep.X * s, Y: viewOnRep.Y * s, W: viewOnRep.W * s, H: viewOnRep.H * s}
+}
+
+// TourStop is one position of a tour: the view lands with its top-left at
+// At, and the optional logical message names attached to this stop play or
+// display before the tour advances.
+type TourStop struct {
+	At Point
+	// VoiceMsgRef and VisualMsgRef name logical messages in the object
+	// descriptor, empty if none.
+	VoiceMsgRef  string
+	VisualMsgRef string
+}
+
+// Tour is "a sequence of views defined on an image by the multimedia object
+// designer ... played automatically" (§2). It is defined by one rectangle
+// size and a sequence of positions.
+type Tour struct {
+	Image string
+	Size  Point // the view rectangle's W, H
+	Stops []TourStop
+	// DwellMillis is the time the view rests on each stop before
+	// advancing (in addition to any voice message play time).
+	DwellMillis int
+}
+
+// ViewAt returns the view rectangle at stop i, clamped to the image.
+func (t *Tour) ViewAt(im *Image, i int) Rect {
+	if i < 0 || i >= len(t.Stops) {
+		return Rect{}
+	}
+	p := t.Stops[i].At
+	r := Rect{X: p.X, Y: p.Y, W: t.Size.X, H: t.Size.Y}
+	r.X = clampInt(r.X, 0, max(0, im.W-r.W))
+	r.Y = clampInt(r.Y, 0, max(0, im.H-r.H))
+	return r
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,51 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"minos/internal/object"
+)
+
+func benchIndex(b *testing.B, n int) (*Index, *SignatureFile) {
+	b.Helper()
+	ix := New()
+	sf := NewSignatureFile(512, 3)
+	for i := 1; i <= n; i++ {
+		src := fmt.Sprintf("document %d speaks about topic%d and shared words here.\n", i, i%13)
+		o, err := object.NewBuilder(object.ID(i), fmt.Sprintf("doc %d", i), object.Visual).Text(src).Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix.AddObject(o)
+		sf.AddObject(o)
+	}
+	return ix, sf
+}
+
+func BenchmarkInvertedQuery(b *testing.B) {
+	ix, _ := benchIndex(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Query("topic7", "shared")
+	}
+}
+
+func BenchmarkSignatureQuery(b *testing.B) {
+	_, sf := benchIndex(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sf.Query("topic7", "shared")
+	}
+}
+
+func BenchmarkBoyerMooreScan(b *testing.B) {
+	s := ""
+	for i := 0; i < 200; i++ {
+		s += fmt.Sprintf("document %d speaks about many shared words here. ", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BoyerMoore(s, "shared words")
+	}
+}

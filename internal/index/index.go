@@ -1,0 +1,257 @@
+// Package index implements the server subsystem's content access methods
+// (§5): an inverted index over the words of object text parts and the
+// recognized utterances of object voice parts. "The recognized voice
+// segments are used to provide content addressibility and browsing by using
+// the same access methods as in text" (§2) — both media index into the same
+// term space, which is what makes pattern browsing symmetric.
+//
+// A linear Boyer–Moore scan is provided as the unindexed baseline for the
+// E-PAT experiment.
+package index
+
+import (
+	"sort"
+	"strings"
+
+	"minos/internal/object"
+	"minos/internal/text"
+)
+
+// Posting is one occurrence of a term.
+type Posting struct {
+	Obj   object.ID
+	Media object.MediaKind // MediaText (word index) or MediaVoice (sample offset)
+	Pos   int
+}
+
+// Index is the inverted index. The zero value is not usable; call New.
+type Index struct {
+	terms map[string][]Posting
+	docs  map[object.ID]bool
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{terms: map[string][]Posting{}, docs: map[object.ID]bool{}}
+}
+
+// Objects returns the number of indexed objects.
+func (ix *Index) Objects() int { return len(ix.docs) }
+
+// Terms returns the number of distinct terms.
+func (ix *Index) Terms() int { return len(ix.terms) }
+
+// AddObject indexes the object's text stream and recognized voice
+// utterances. Indexing the same object twice is a no-op.
+func (ix *Index) AddObject(o *object.Object) {
+	if ix.docs[o.ID] {
+		return
+	}
+	ix.docs[o.ID] = true
+	// Titles and headings are content-addressable too; they anchor at
+	// position 0 (phrase verification always re-checks the stream, so
+	// these postings only widen object-level recall).
+	addTitle := func(s string) {
+		for _, f := range strings.Fields(s) {
+			if tok := text.NormalizeToken(f); tok != "" {
+				ix.terms[tok] = append(ix.terms[tok], Posting{Obj: o.ID, Media: object.MediaText, Pos: 0})
+			}
+		}
+	}
+	addTitle(o.Title)
+	for _, v := range o.Attrs {
+		addTitle(v)
+	}
+	for _, seg := range o.Text {
+		addTitle(seg.Title)
+		for _, ch := range seg.Chapters {
+			addTitle(ch.Title)
+			for _, sec := range ch.Sections {
+				addTitle(sec.Title)
+			}
+		}
+	}
+	for i, fw := range o.Stream() {
+		tok := text.NormalizeToken(fw.Word.Text)
+		if tok == "" {
+			continue
+		}
+		ix.terms[tok] = append(ix.terms[tok], Posting{Obj: o.ID, Media: object.MediaText, Pos: i})
+	}
+	for _, vp := range o.Voice {
+		for _, u := range vp.Utterances {
+			ix.terms[u.Token] = append(ix.terms[u.Token], Posting{Obj: o.ID, Media: object.MediaVoice, Pos: u.Offset})
+		}
+	}
+}
+
+// Postings returns the postings of a term (normalized internally), sorted
+// by (object, media, position).
+func (ix *Index) Postings(term string) []Posting {
+	ps := ix.terms[text.NormalizeToken(term)]
+	out := append([]Posting(nil), ps...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Obj != out[j].Obj {
+			return out[i].Obj < out[j].Obj
+		}
+		if out[i].Media != out[j].Media {
+			return out[i].Media < out[j].Media
+		}
+		return out[i].Pos < out[j].Pos
+	})
+	return out
+}
+
+// Query evaluates an AND query over the terms and returns matching object
+// ids in ascending order. An empty query matches nothing.
+func (ix *Index) Query(terms ...string) []object.ID {
+	if len(terms) == 0 {
+		return nil
+	}
+	var result map[object.ID]bool
+	for _, t := range terms {
+		objs := map[object.ID]bool{}
+		for _, p := range ix.terms[text.NormalizeToken(t)] {
+			objs[p.Obj] = true
+		}
+		if result == nil {
+			result = objs
+			continue
+		}
+		for id := range result {
+			if !objs[id] {
+				delete(result, id)
+			}
+		}
+	}
+	out := make([]object.ID, 0, len(result))
+	for id := range result {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NextIn returns the first position > from of the term in the given object
+// and medium, using the index, with found=false if none.
+func (ix *Index) NextIn(id object.ID, media object.MediaKind, term string, from int) (pos int, found bool) {
+	best := -1
+	for _, p := range ix.terms[text.NormalizeToken(term)] {
+		if p.Obj == id && p.Media == media && p.Pos > from {
+			if best == -1 || p.Pos < best {
+				best = p.Pos
+			}
+		}
+	}
+	return best, best >= 0
+}
+
+// PrevIn is NextIn's mirror: the last position < from.
+func (ix *Index) PrevIn(id object.ID, media object.MediaKind, term string, from int) (pos int, found bool) {
+	best := -1
+	for _, p := range ix.terms[text.NormalizeToken(term)] {
+		if p.Obj == id && p.Media == media && p.Pos < from {
+			if p.Pos > best {
+				best = p.Pos
+			}
+		}
+	}
+	return best, best >= 0
+}
+
+// NextPhraseInStream finds the first word index > from where the pattern's
+// tokens occur consecutively in the stream; -1 if none. Used for multi-word
+// text patterns (the index narrows by the first token; verification is
+// positional).
+func NextPhraseInStream(stream []text.FlatWord, pattern string, from int) int {
+	toks := tokenize(pattern)
+	if len(toks) == 0 {
+		return -1
+	}
+	for i := from + 1; i+len(toks) <= len(stream); i++ {
+		if matchAt(stream, i, toks) {
+			return i
+		}
+	}
+	return -1
+}
+
+// NextPhrase finds the next phrase occurrence in an object's text using the
+// index for the first token and the stream for verification.
+func (ix *Index) NextPhrase(id object.ID, stream []text.FlatWord, pattern string, from int) int {
+	toks := tokenize(pattern)
+	if len(toks) == 0 {
+		return -1
+	}
+	pos := from
+	for {
+		p, ok := ix.NextIn(id, object.MediaText, toks[0], pos)
+		if !ok {
+			return -1
+		}
+		if matchAt(stream, p, toks) {
+			return p
+		}
+		pos = p
+	}
+}
+
+func tokenize(pattern string) []string {
+	var toks []string
+	for _, f := range strings.Fields(pattern) {
+		if t := text.NormalizeToken(f); t != "" {
+			toks = append(toks, t)
+		}
+	}
+	return toks
+}
+
+func matchAt(stream []text.FlatWord, i int, toks []string) bool {
+	if i < 0 || i+len(toks) > len(stream) {
+		return false
+	}
+	for k, tok := range toks {
+		if text.NormalizeToken(stream[i+k].Word.Text) != tok {
+			return false
+		}
+	}
+	return true
+}
+
+// BoyerMoore finds all occurrences of pattern in s using the bad-character
+// rule, returning byte offsets. It is the unindexed raw-scan baseline and
+// is also used for substring search within labels.
+func BoyerMoore(s, pattern string) []int {
+	m := len(pattern)
+	if m == 0 || m > len(s) {
+		return nil
+	}
+	var last [256]int
+	for i := range last {
+		last[i] = -1
+	}
+	for i := 0; i < m; i++ {
+		last[pattern[i]] = i
+	}
+	var out []int
+	i := m - 1
+	for i < len(s) {
+		j := m - 1
+		k := i
+		for j >= 0 && s[k] == pattern[j] {
+			j--
+			k--
+		}
+		if j < 0 {
+			out = append(out, k+1)
+			i++
+			continue
+		}
+		shift := j - last[s[k]]
+		if shift < 1 {
+			shift = 1
+		}
+		i += shift
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package index
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"minos/internal/object"
+	"minos/internal/text"
+	"minos/internal/voice"
+)
+
+func makeObject(t testing.TB, id object.ID, markup string, vocab []string) *object.Object {
+	t.Helper()
+	b := object.NewBuilder(id, "t", object.Visual).Text(markup)
+	o, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vocab != nil {
+		seg, _ := text.Parse(markup)
+		syn := voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), 2000)
+		r := voice.NewRecognizer(vocab)
+		r.HitRate = 1.0
+		syn.Part.Utterances = r.Recognize(syn.Marks)
+		o.Voice = append(o.Voice, syn.Part)
+	}
+	return o
+}
+
+func TestQueryAND(t *testing.T) {
+	ix := New()
+	ix.AddObject(makeObject(t, 1, "the lung shadow is benign.\n", nil))
+	ix.AddObject(makeObject(t, 2, "the lung is clear today.\n", nil))
+	ix.AddObject(makeObject(t, 3, "heart rhythm is regular.\n", nil))
+
+	if got := ix.Query("lung"); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Query(lung) = %v", got)
+	}
+	if got := ix.Query("lung", "shadow"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Query(lung,shadow) = %v", got)
+	}
+	if got := ix.Query("lung", "rhythm"); len(got) != 0 {
+		t.Fatalf("Query(disjoint) = %v", got)
+	}
+	if got := ix.Query(); got != nil {
+		t.Fatalf("empty query = %v", got)
+	}
+	if got := ix.Query("absent"); len(got) != 0 {
+		t.Fatalf("missing term = %v", got)
+	}
+}
+
+func TestQueryNormalizesTerms(t *testing.T) {
+	ix := New()
+	ix.AddObject(makeObject(t, 1, "The X-ray looks fine.\n", nil))
+	if got := ix.Query("x-ray"); len(got) != 1 {
+		t.Fatalf("Query(x-ray) = %v", got)
+	}
+	if got := ix.Query("XRAY"); len(got) != 1 {
+		t.Fatalf("Query(XRAY) = %v", got)
+	}
+}
+
+func TestAddObjectIdempotent(t *testing.T) {
+	ix := New()
+	o := makeObject(t, 1, "alpha beta.\n", nil)
+	ix.AddObject(o)
+	n := len(ix.Postings("alpha"))
+	ix.AddObject(o)
+	if len(ix.Postings("alpha")) != n {
+		t.Fatal("double indexing duplicated postings")
+	}
+	if ix.Objects() != 1 {
+		t.Fatalf("Objects = %d", ix.Objects())
+	}
+}
+
+func TestVoiceUtterancesIndexed(t *testing.T) {
+	ix := New()
+	ix.AddObject(makeObject(t, 7, "the shadow appears benign today.\n", []string{"shadow", "benign"}))
+	ps := ix.Postings("shadow")
+	var textHits, voiceHits int
+	for _, p := range ps {
+		switch p.Media {
+		case object.MediaText:
+			textHits++
+		case object.MediaVoice:
+			voiceHits++
+		}
+	}
+	if textHits != 1 || voiceHits != 1 {
+		t.Fatalf("shadow postings: text=%d voice=%d", textHits, voiceHits)
+	}
+	// Voice-only query still finds the object ("same access methods as
+	// in text").
+	if got := ix.Query("benign"); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Query(benign) = %v", got)
+	}
+}
+
+func TestNextPrevIn(t *testing.T) {
+	ix := New()
+	o := makeObject(t, 1, "alpha beta alpha gamma alpha.\n", nil)
+	ix.AddObject(o)
+	pos, ok := ix.NextIn(1, object.MediaText, "alpha", -1)
+	if !ok || pos != 0 {
+		t.Fatalf("first alpha at %d", pos)
+	}
+	pos, ok = ix.NextIn(1, object.MediaText, "alpha", 0)
+	if !ok || pos != 2 {
+		t.Fatalf("second alpha at %d", pos)
+	}
+	pos, ok = ix.NextIn(1, object.MediaText, "alpha", 4)
+	if ok {
+		t.Fatalf("phantom alpha at %d", pos)
+	}
+	pos, ok = ix.PrevIn(1, object.MediaText, "alpha", 4)
+	if !ok || pos != 2 {
+		t.Fatalf("PrevIn = %d", pos)
+	}
+	if _, ok = ix.PrevIn(1, object.MediaText, "alpha", 0); ok {
+		t.Fatal("PrevIn before first found something")
+	}
+}
+
+func TestNextPhrase(t *testing.T) {
+	ix := New()
+	o := makeObject(t, 1, "the small shadow is here. another small shadow appears. small print only.\n", nil)
+	ix.AddObject(o)
+	stream := o.Stream()
+	p1 := ix.NextPhrase(1, stream, "small shadow", -1)
+	if p1 == -1 || text.NormalizeToken(stream[p1].Word.Text) != "small" {
+		t.Fatalf("first phrase at %d", p1)
+	}
+	p2 := ix.NextPhrase(1, stream, "small shadow", p1)
+	if p2 <= p1 {
+		t.Fatalf("second phrase at %d", p2)
+	}
+	if p3 := ix.NextPhrase(1, stream, "small shadow", p2); p3 != -1 {
+		t.Fatalf("third phrase at %d", p3)
+	}
+	if ix.NextPhrase(1, stream, "", -1) != -1 {
+		t.Fatal("empty pattern matched")
+	}
+	// Index and linear scan agree.
+	if lin := NextPhraseInStream(stream, "small shadow", -1); lin != p1 {
+		t.Fatalf("linear scan %d vs indexed %d", lin, p1)
+	}
+	if lin := NextPhraseInStream(stream, "small shadow", p1); lin != p2 {
+		t.Fatalf("linear scan %d vs indexed %d", lin, p2)
+	}
+}
+
+func TestNextPhraseCaseAndPunct(t *testing.T) {
+	ix := New()
+	o := makeObject(t, 1, "The X-ray shows improvement.\n", nil)
+	ix.AddObject(o)
+	if p := ix.NextPhrase(1, o.Stream(), "x-ray shows", -1); p != 1 {
+		t.Fatalf("phrase at %d, want 1", p)
+	}
+}
+
+func TestBoyerMoore(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   []int
+	}{
+		{"hello world hello", "hello", []int{0, 12}},
+		{"aaaa", "aa", []int{0, 1, 2}},
+		{"abc", "abcd", nil},
+		{"abc", "", nil},
+		{"mississippi", "issi", []int{1, 4}},
+		{"abc", "xyz", nil},
+	}
+	for _, c := range cases {
+		got := BoyerMoore(c.s, c.pat)
+		if len(got) != len(c.want) {
+			t.Errorf("BoyerMoore(%q, %q) = %v, want %v", c.s, c.pat, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("BoyerMoore(%q, %q) = %v, want %v", c.s, c.pat, got, c.want)
+			}
+		}
+	}
+}
+
+// Property: BoyerMoore agrees with strings.Index-based scanning.
+func TestQuickBoyerMooreMatchesStdlib(t *testing.T) {
+	f := func(s string, pat string) bool {
+		if len(pat) == 0 || len(pat) > len(s) {
+			return true
+		}
+		got := BoyerMoore(s, pat)
+		var want []int
+		for i := 0; i+len(pat) <= len(s); i++ {
+			if s[i:i+len(pat)] == pat {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Also exercise low-alphabet strings where BM shifts are stressed.
+	g := func(a, b uint8, n uint8) bool {
+		alpha := []byte{'a', 'b'}
+		s := make([]byte, int(n)%64+4)
+		x := uint32(a)<<8 | uint32(b)
+		for i := range s {
+			x = x*1664525 + 1013904223
+			s[i] = alpha[x>>16&1]
+		}
+		return f(string(s), string(alpha[a&1])+string(alpha[b&1]))
+	}
+	if err := quick.Check(g, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostingsSorted(t *testing.T) {
+	ix := New()
+	ix.AddObject(makeObject(t, 2, "z z z.\n", nil))
+	ix.AddObject(makeObject(t, 1, "z z.\n", nil))
+	ps := ix.Postings("z")
+	if len(ps) != 5 {
+		t.Fatalf("postings = %d", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Obj < ps[i-1].Obj {
+			t.Fatal("postings not sorted by object")
+		}
+		if ps[i].Obj == ps[i-1].Obj && ps[i].Pos <= ps[i-1].Pos {
+			t.Fatal("postings not sorted by position")
+		}
+	}
+}
+
+func TestTermsCount(t *testing.T) {
+	ix := New()
+	ix.AddObject(makeObject(t, 1, "alpha beta alpha.\n", nil))
+	// Two body tokens plus the object title token ("t").
+	if ix.Terms() != 3 {
+		t.Fatalf("Terms = %d, want 3", ix.Terms())
+	}
+}
+
+func TestTitlesAreQueryable(t *testing.T) {
+	ix := New()
+	ix.AddObject(makeObject(t, 1, ".title Subway Map\n.chapter Lines\nbody words only here.\n", nil))
+	if got := ix.Query("subway"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Query(subway) = %v", got)
+	}
+	if got := ix.Query("lines"); len(got) != 1 {
+		t.Fatalf("Query(chapter title) = %v", got)
+	}
+}
+
+func TestPhraseLongerThanStream(t *testing.T) {
+	ix := New()
+	o := makeObject(t, 1, "one two.\n", nil)
+	ix.AddObject(o)
+	long := strings.Repeat("one two ", 4)
+	if p := ix.NextPhrase(1, o.Stream(), long, -1); p != -1 {
+		t.Fatalf("overlong phrase matched at %d", p)
+	}
+}
+
+func TestAttributesAreQueryable(t *testing.T) {
+	ix := New()
+	o := makeObject(t, 1, "plain body words.\n", nil)
+	o.Attrs["author"] = "Christodoulakis"
+	o.Attrs["ward"] = "radiology"
+	ix.AddObject(o)
+	if got := ix.Query("christodoulakis"); len(got) != 1 {
+		t.Fatalf("Query(author) = %v", got)
+	}
+	if got := ix.Query("radiology"); len(got) != 1 {
+		t.Fatalf("Query(ward) = %v", got)
+	}
+}

@@ -1,0 +1,143 @@
+package index
+
+import (
+	"minos/internal/object"
+	"minos/internal/text"
+)
+
+// SignatureFile is the superimposed-coding access method of the paper's
+// era (signature files were a research focus of the MINOS group): each
+// object gets a fixed-width bit signature formed by OR-ing the hash codes
+// of its terms; a query's signature is tested by bitwise containment.
+// False positives are possible (and measured by the harness); false
+// negatives are not. Signatures are tiny compared to an inverted index and
+// sequential to scan — attractive on 1986 optical storage.
+type SignatureFile struct {
+	// width is the signature width in 64-bit words.
+	width int
+	// bitsPerTerm is how many bits each term sets.
+	bitsPerTerm int
+	sigs        []objSignature
+}
+
+type objSignature struct {
+	id  object.ID
+	sig []uint64
+}
+
+// NewSignatureFile builds an empty signature file. widthBits is rounded up
+// to a multiple of 64; zero values select 512 bits / 3 bits per term.
+func NewSignatureFile(widthBits, bitsPerTerm int) *SignatureFile {
+	if widthBits <= 0 {
+		widthBits = 512
+	}
+	if bitsPerTerm <= 0 {
+		bitsPerTerm = 3
+	}
+	return &SignatureFile{width: (widthBits + 63) / 64, bitsPerTerm: bitsPerTerm}
+}
+
+// WidthBits returns the signature width in bits.
+func (sf *SignatureFile) WidthBits() int { return sf.width * 64 }
+
+// Objects returns the number of signatures stored.
+func (sf *SignatureFile) Objects() int { return len(sf.sigs) }
+
+// SizeBytes returns the storage footprint of all signatures.
+func (sf *SignatureFile) SizeBytes() int { return len(sf.sigs) * sf.width * 8 }
+
+func (sf *SignatureFile) termBits(tok string, sig []uint64) {
+	// Two independent hashes combined (Kirsch–Mitzenmacher).
+	var h1, h2 uint64 = 14695981039346656037, 5381
+	for i := 0; i < len(tok); i++ {
+		h1 = (h1 ^ uint64(tok[i])) * 1099511628211
+		h2 = h2*33 + uint64(tok[i])
+	}
+	bits := uint64(sf.width * 64)
+	for k := 0; k < sf.bitsPerTerm; k++ {
+		b := (h1 + uint64(k)*h2) % bits
+		sig[b/64] |= 1 << (b % 64)
+	}
+}
+
+// AddObject computes and stores the object's signature over its text words,
+// titles and recognized voice utterances (the same term space as the
+// inverted index).
+func (sf *SignatureFile) AddObject(o *object.Object) {
+	sig := make([]uint64, sf.width)
+	add := func(tok string) {
+		if tok != "" {
+			sf.termBits(tok, sig)
+		}
+	}
+	for _, fw := range o.Stream() {
+		add(text.NormalizeToken(fw.Word.Text))
+	}
+	addWords := func(s string) {
+		start := -1
+		for i := 0; i <= len(s); i++ {
+			if i == len(s) || s[i] == ' ' {
+				if start >= 0 {
+					add(text.NormalizeToken(s[start:i]))
+					start = -1
+				}
+				continue
+			}
+			if start < 0 {
+				start = i
+			}
+		}
+	}
+	addWords(o.Title)
+	for _, seg := range o.Text {
+		addWords(seg.Title)
+		for _, ch := range seg.Chapters {
+			addWords(ch.Title)
+			for _, sec := range ch.Sections {
+				addWords(sec.Title)
+			}
+		}
+	}
+	for _, vp := range o.Voice {
+		for _, u := range vp.Utterances {
+			add(u.Token)
+		}
+	}
+	sf.sigs = append(sf.sigs, objSignature{id: o.ID, sig: sig})
+}
+
+// Query returns the ids of objects whose signature contains every query
+// term's bits. The result may include false positives; callers that need
+// exactness verify against the inverted index or the objects themselves.
+func (sf *SignatureFile) Query(terms ...string) []object.ID {
+	if len(terms) == 0 {
+		return nil
+	}
+	probe := make([]uint64, sf.width)
+	any := false
+	for _, t := range terms {
+		tok := text.NormalizeToken(t)
+		if tok == "" {
+			continue
+		}
+		any = true
+		sf.termBits(tok, probe)
+	}
+	if !any {
+		return nil
+	}
+	var out []object.ID
+	for _, os := range sf.sigs {
+		match := true
+		for i, w := range probe {
+			if os.sig[i]&w != w {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, os.id)
+		}
+	}
+	return out
+}

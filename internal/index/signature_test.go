@@ -1,0 +1,126 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"minos/internal/object"
+)
+
+func TestSignatureNoFalseNegatives(t *testing.T) {
+	sf := NewSignatureFile(512, 3)
+	ix := New()
+	for i := 1; i <= 20; i++ {
+		o := makeObject(t, object.ID(i), fmt.Sprintf("document %d about topic%d and topic%d here.\n", i, i, i%5), nil)
+		sf.AddObject(o)
+		ix.AddObject(o)
+	}
+	// Every inverted-index hit must also be a signature hit.
+	for i := 1; i <= 20; i++ {
+		term := fmt.Sprintf("topic%d", i%5)
+		truth := map[uint64]bool{}
+		for _, id := range ix.Query(term) {
+			truth[uint64(id)] = true
+		}
+		got := map[uint64]bool{}
+		for _, id := range sf.Query(term) {
+			got[uint64(id)] = true
+		}
+		for id := range truth {
+			if !got[id] {
+				t.Fatalf("term %q: object %d missed by signature file", term, id)
+			}
+		}
+	}
+}
+
+func TestSignatureANDQueries(t *testing.T) {
+	sf := NewSignatureFile(1024, 4)
+	a := makeObject(t, 1, "alpha beta gamma here.\n", nil)
+	b := makeObject(t, 2, "alpha delta epsilon here.\n", nil)
+	sf.AddObject(a)
+	sf.AddObject(b)
+	got := sf.Query("alpha", "beta")
+	found := false
+	for _, id := range got {
+		if id == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("AND query missed the true match")
+	}
+	if sf.Query() != nil || sf.Query("...") != nil {
+		t.Fatal("empty queries matched")
+	}
+}
+
+func TestSignatureFalsePositiveRateShrinksWithWidth(t *testing.T) {
+	rate := func(widthBits int) float64 {
+		sf := NewSignatureFile(widthBits, 3)
+		ix := New()
+		n := 60
+		for i := 1; i <= n; i++ {
+			o := makeObject(t, object.ID(i), fmt.Sprintf("filler%d words%d unique%d content.\n", i, i*7, i*13), nil)
+			sf.AddObject(o)
+			ix.AddObject(o)
+		}
+		fp, total := 0, 0
+		for i := 1; i <= n; i++ {
+			term := fmt.Sprintf("unique%d", i*13)
+			truth := map[uint64]bool{}
+			for _, id := range ix.Query(term) {
+				truth[uint64(id)] = true
+			}
+			for _, id := range sf.Query(term) {
+				total++
+				if !truth[uint64(id)] {
+					fp++
+				}
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(fp) / float64(total)
+	}
+	narrow := rate(64)
+	wide := rate(2048)
+	if wide > narrow {
+		t.Fatalf("false positives did not shrink with width: %.3f -> %.3f", narrow, wide)
+	}
+	if wide > 0.05 {
+		t.Fatalf("wide signature false-positive rate %.3f too high", wide)
+	}
+}
+
+func TestSignatureSizeAccounting(t *testing.T) {
+	sf := NewSignatureFile(512, 3)
+	if sf.WidthBits() != 512 {
+		t.Fatalf("WidthBits = %d", sf.WidthBits())
+	}
+	sf.AddObject(makeObject(t, 1, "one.\n", nil))
+	sf.AddObject(makeObject(t, 2, "two.\n", nil))
+	if sf.Objects() != 2 {
+		t.Fatalf("Objects = %d", sf.Objects())
+	}
+	if sf.SizeBytes() != 2*512/8 {
+		t.Fatalf("SizeBytes = %d", sf.SizeBytes())
+	}
+	// Defaults.
+	d := NewSignatureFile(0, 0)
+	if d.WidthBits() != 512 {
+		t.Fatalf("default width = %d", d.WidthBits())
+	}
+}
+
+func TestSignatureIndexesVoiceAndTitles(t *testing.T) {
+	sf := NewSignatureFile(1024, 3)
+	o := makeObject(t, 5, ".title Spoken Notes\nbody words here.\n", []string{"shadow"})
+	// Inject an utterance token not present in the text.
+	o.Voice[0].Utterances = append(o.Voice[0].Utterances[:0], o.Voice[0].Utterances...)
+	sf.AddObject(o)
+	if len(sf.Query("spoken")) != 1 {
+		t.Fatal("title term missed")
+	}
+}

@@ -1,0 +1,36 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+
+	"minos/internal/text"
+)
+
+func benchDoc(b *testing.B, words int) *Doc {
+	b.Helper()
+	src := ".title Bench\n.chapter One\n" + strings.Repeat("lorem ipsum dolor sit amet consectetur. ", words/6) + "\n"
+	seg, err := text.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return FromSegment(seg)
+}
+
+func BenchmarkPaginate500Words(b *testing.B) {
+	d := benchDoc(b, 500)
+	spec := Spec{W: 400, H: 330}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Paginate(d, spec)
+	}
+}
+
+func BenchmarkPageOfWord(b *testing.B) {
+	d := benchDoc(b, 500)
+	pages := Paginate(d, Spec{W: 400, H: 330})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PageOfWord(pages, i%len(d.Stream))
+	}
+}

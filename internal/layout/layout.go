@@ -1,0 +1,328 @@
+// Package layout is the pagination engine: it formats a composed multimedia
+// object (text streams, headings, images) into visual pages. "A text page
+// is all the text information which is presented at the same time at the
+// screen of the workstation. Often text is intermixed with images in the
+// same page. We call these generic pages visual pages." (§2)
+//
+// Each produced page records the global word range it covers, so the
+// presentation manager can map logical-unit starts and pattern-match
+// positions to page numbers ("the system returns the next page with the
+// occurrence of this pattern", §2).
+package layout
+
+import (
+	"fmt"
+
+	img "minos/internal/image"
+	"minos/internal/text"
+)
+
+// Item is one element of a composed document, in presentation order.
+// Implementations: Heading, Words, Picture, PageBreak.
+type Item interface{ item() }
+
+// Heading renders a chapter or section title line.
+type Heading struct {
+	Level text.Unit // UnitChapter or UnitSection
+	Text  string
+}
+
+// Words renders the global word stream slice [From, To).
+type Words struct {
+	From, To int
+}
+
+// Picture places an image block in the flow.
+type Picture struct {
+	Name   string
+	Raster *img.Bitmap
+}
+
+// PageBreak forces a new visual page.
+type PageBreak struct{}
+
+func (Heading) item()   {}
+func (Words) item()     {}
+func (Picture) item()   {}
+func (PageBreak) item() {}
+
+// Doc is a composed document: the global word stream plus the item flow
+// referencing it.
+type Doc struct {
+	Stream []text.FlatWord
+	Items  []Item
+}
+
+// FromSegment builds a Doc from a parsed text segment: headings are
+// inserted at chapter/section starts, words flow between them. Extra items
+// (e.g. pictures) can then be spliced by the formatter.
+func FromSegment(seg *text.Segment) *Doc {
+	stream := text.Flatten(seg)
+	d := &Doc{Stream: stream}
+	if seg.Title != "" {
+		d.Items = append(d.Items, Heading{Level: text.UnitChapter, Text: seg.Title})
+	}
+	last := 0
+	flush := func(to int) {
+		if to > last {
+			d.Items = append(d.Items, Words{From: last, To: to})
+			last = to
+		}
+	}
+	for i, fw := range stream {
+		if fw.Chapter >= 0 && fw.Bounds&text.StartsChapter != 0 {
+			flush(i)
+			if t := seg.Chapters[fw.Chapter].Title; t != "" {
+				d.Items = append(d.Items, Heading{Level: text.UnitChapter, Text: t})
+			}
+		}
+		if fw.Chapter >= 0 && fw.Section >= 0 && fw.Bounds&text.StartsSection != 0 {
+			flush(i)
+			if t := seg.Chapters[fw.Chapter].Sections[fw.Section].Title; t != "" {
+				d.Items = append(d.Items, Heading{Level: text.UnitSection, Text: t})
+			}
+		}
+	}
+	flush(len(stream))
+	return d
+}
+
+// InsertAfterWord splices an item into the flow so it appears immediately
+// after global word index w, splitting a Words item if necessary. It is how
+// the formatter intermixes images with text.
+func (d *Doc) InsertAfterWord(w int, it Item) error {
+	for i, raw := range d.Items {
+		ws, ok := raw.(Words)
+		if !ok {
+			continue
+		}
+		if w < ws.From || w >= ws.To {
+			continue
+		}
+		if w == ws.To-1 {
+			d.Items = append(d.Items[:i+1], append([]Item{it}, d.Items[i+1:]...)...)
+			return nil
+		}
+		rest := Words{From: w + 1, To: ws.To}
+		d.Items[i] = Words{From: ws.From, To: w + 1}
+		d.Items = append(d.Items[:i+1], append([]Item{it, rest}, d.Items[i+1:]...)...)
+		return nil
+	}
+	return fmt.Errorf("layout: word index %d not found in flow", w)
+}
+
+// Spec gives the page geometry in pixels.
+type Spec struct {
+	W, H   int
+	Margin int
+	// LineH is the text line height; zero selects font height + 2.
+	LineH int
+}
+
+func (sp Spec) withDefaults() Spec {
+	if sp.Margin == 0 {
+		sp.Margin = 4
+	}
+	if sp.LineH == 0 {
+		sp.LineH = img.GlyphHeight() + 2
+	}
+	return sp
+}
+
+// Page is one visual page.
+type Page struct {
+	Bitmap *img.Bitmap
+	// FirstWord and LastWord delimit the global word indices shown on the
+	// page, [FirstWord, LastWord); FirstWord == -1 for a page without
+	// body text.
+	FirstWord, LastWord int
+	// Pictures lists names of images appearing on the page.
+	Pictures []string
+}
+
+// HasWord reports whether global word index w is shown on the page.
+func (p *Page) HasWord(w int) bool {
+	return p.FirstWord >= 0 && w >= p.FirstWord && w < p.LastWord
+}
+
+// Paginate formats the document into visual pages.
+func Paginate(d *Doc, sp Spec) []Page {
+	sp = sp.withDefaults()
+	pg := &paginator{doc: d, sp: sp}
+	pg.newPage()
+	for _, raw := range d.Items {
+		switch it := raw.(type) {
+		case Heading:
+			pg.heading(it)
+		case Words:
+			pg.words(it)
+		case Picture:
+			pg.picture(it)
+		case PageBreak:
+			pg.breakPage()
+		}
+	}
+	pg.flushPage()
+	return pg.pages
+}
+
+// PageOfWord returns the index of the page showing global word w, or -1.
+func PageOfWord(pages []Page, w int) int {
+	for i := range pages {
+		if pages[i].HasWord(w) {
+			return i
+		}
+	}
+	return -1
+}
+
+type paginator struct {
+	doc   *Doc
+	sp    Spec
+	pages []Page
+
+	cur   Page
+	bm    *img.Bitmap
+	x, y  int
+	empty bool
+}
+
+func (p *paginator) newPage() {
+	p.bm = img.NewBitmap(p.sp.W, p.sp.H)
+	p.cur = Page{Bitmap: p.bm, FirstWord: -1}
+	p.x, p.y = p.sp.Margin, p.sp.Margin
+	p.empty = true
+}
+
+func (p *paginator) flushPage() {
+	if p.empty && len(p.pages) > 0 {
+		return // drop a trailing blank page
+	}
+	p.pages = append(p.pages, p.cur)
+}
+
+func (p *paginator) breakPage() {
+	p.flushPage()
+	p.newPage()
+}
+
+func (p *paginator) fits(h int) bool { return p.y+h <= p.sp.H-p.sp.Margin }
+
+func (p *paginator) ensure(h int) {
+	if !p.fits(h) && !p.empty {
+		p.breakPage()
+	}
+}
+
+func (p *paginator) heading(h Heading) {
+	lineH := p.sp.LineH + 3
+	p.ensure(lineH + p.sp.LineH) // keep a heading with at least one line
+	if !p.empty {
+		p.y += p.sp.LineH / 2 // spacing above headings
+	}
+	img.DrawString(p.bm, p.sp.Margin, p.y, h.Text)
+	if h.Level >= text.UnitChapter {
+		// Underline chapter headings.
+		w := img.StringWidth(h.Text)
+		for x := p.sp.Margin; x < p.sp.Margin+w && x < p.sp.W-p.sp.Margin; x++ {
+			p.bm.Set(x, p.y+img.GlyphHeight()+1, true)
+		}
+	}
+	p.y += lineH
+	p.x = p.sp.Margin
+	p.empty = false
+}
+
+func (p *paginator) words(ws Words) {
+	const spaceW = 4
+	maxX := p.sp.W - p.sp.Margin
+	lineStarted := p.x > p.sp.Margin
+	scale := 1
+	for i := ws.From; i < ws.To; i++ {
+		fw := p.doc.Stream[i]
+		if s := fw.Scale; s > 1 {
+			scale = s
+		} else {
+			scale = 1
+		}
+		lineH := p.sp.LineH * scale
+		if fw.Bounds&text.StartsParagraph != 0 {
+			// New paragraph: fresh line plus indent.
+			if lineStarted || !p.empty {
+				p.y += lineH
+			}
+			p.x = p.sp.Margin + 8
+			lineStarted = false
+			if !p.fits(lineH) {
+				p.breakPage()
+				p.x = p.sp.Margin + 8
+			}
+		}
+		word := fw.Word.Text
+		if fw.EndsWith != 0 {
+			word += string(fw.EndsWith)
+		}
+		w := img.StringWidthScaled(word, scale)
+		if lineStarted && p.x+w > maxX {
+			p.y += lineH
+			p.x = p.sp.Margin
+			lineStarted = false
+			if !p.fits(lineH) {
+				p.breakPage()
+			}
+		}
+		if !p.fits(lineH) && p.empty {
+			// Degenerate page smaller than a line: draw anyway.
+		}
+		drawWord(p.bm, p.x, p.y, word, fw.Word.Emph, scale)
+		if p.cur.FirstWord == -1 {
+			p.cur.FirstWord = i
+		}
+		p.cur.LastWord = i + 1
+		p.x += w + spaceW*scale
+		lineStarted = true
+		p.empty = false
+	}
+	if lineStarted {
+		p.y += p.sp.LineH * scale
+		p.x = p.sp.Margin
+	}
+}
+
+func drawWord(b *img.Bitmap, x, y int, word string, e text.Emphasis, scale int) {
+	img.DrawStringScaled(b, x, y, word, scale)
+	if e&text.Bold != 0 {
+		img.DrawStringScaled(b, x+1, y, word, scale) // overdraw for weight
+	}
+	if e&text.Underline != 0 {
+		w := img.StringWidthScaled(word, scale)
+		for i := 0; i < w-1; i++ {
+			b.Set(x+i, y+img.GlyphHeight()*scale, true)
+		}
+	}
+	if e&text.Italic != 0 {
+		// Mark italics with a light leading tick; true slanting is out
+		// of scope for a 1-bit 5x7 font.
+		b.Set(x-1, y, true)
+	}
+}
+
+func (p *paginator) picture(pic Picture) {
+	if pic.Raster == nil {
+		return
+	}
+	h := pic.Raster.H + p.sp.LineH/2
+	p.ensure(h)
+	p.bm.Or(pic.Raster, p.sp.Margin, p.y)
+	p.y += h
+	p.x = p.sp.Margin
+	p.cur.Pictures = append(p.cur.Pictures, pic.Name)
+	p.empty = false
+}
+
+// PaginateWords is a convenience for documents that are pure text: it wraps
+// the whole stream in one Words item.
+func PaginateWords(stream []text.FlatWord, sp Spec) []Page {
+	d := &Doc{Stream: stream, Items: []Item{Words{From: 0, To: len(stream)}}}
+	return Paginate(d, sp)
+}

@@ -1,0 +1,354 @@
+package layout
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	img "minos/internal/image"
+	"minos/internal/text"
+)
+
+const doc = `.title Report
+.chapter Findings
+.section Lungs
+The upper lobe shows a small shadow. It appears benign and stable over time.
+
+The lower lobe is clear on every projection that was taken during the visit.
+.section Heart
+Heart size is normal. Rhythm is regular and no murmur was detected at all.
+.chapter Plan
+Repeat the examination in six months. Call immediately if symptoms appear.
+`
+
+func buildDoc(t testing.TB) *Doc {
+	t.Helper()
+	seg, err := text.Parse(doc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return FromSegment(seg)
+}
+
+func smallSpec() Spec { return Spec{W: 180, H: 120} }
+
+func TestFromSegmentItems(t *testing.T) {
+	d := buildDoc(t)
+	var headings []string
+	wordTotal := 0
+	for _, it := range d.Items {
+		switch v := it.(type) {
+		case Heading:
+			headings = append(headings, v.Text)
+		case Words:
+			if v.To <= v.From {
+				t.Fatalf("empty words item %+v", v)
+			}
+			wordTotal += v.To - v.From
+		}
+	}
+	want := []string{"Report", "Findings", "Lungs", "Heart", "Plan"}
+	if strings.Join(headings, ",") != strings.Join(want, ",") {
+		t.Fatalf("headings = %v, want %v", headings, want)
+	}
+	if wordTotal != len(d.Stream) {
+		t.Fatalf("words in items = %d, stream = %d", wordTotal, len(d.Stream))
+	}
+}
+
+func TestWordsItemsAreContiguous(t *testing.T) {
+	d := buildDoc(t)
+	next := 0
+	for _, it := range d.Items {
+		if ws, ok := it.(Words); ok {
+			if ws.From != next {
+				t.Fatalf("words item starts at %d, want %d", ws.From, next)
+			}
+			next = ws.To
+		}
+	}
+	if next != len(d.Stream) {
+		t.Fatalf("coverage ends at %d, want %d", next, len(d.Stream))
+	}
+}
+
+func TestPaginateCoversAllWords(t *testing.T) {
+	d := buildDoc(t)
+	pages := Paginate(d, smallSpec())
+	if len(pages) < 2 {
+		t.Fatalf("pages = %d, want multiple for small spec", len(pages))
+	}
+	covered := 0
+	for i, p := range pages {
+		if p.FirstWord == -1 {
+			continue
+		}
+		if p.FirstWord != covered {
+			t.Fatalf("page %d starts at word %d, want %d", i, p.FirstWord, covered)
+		}
+		covered = p.LastWord
+	}
+	if covered != len(d.Stream) {
+		t.Fatalf("covered %d words, want %d", covered, len(d.Stream))
+	}
+}
+
+func TestPaginatePixelsPresent(t *testing.T) {
+	d := buildDoc(t)
+	pages := Paginate(d, smallSpec())
+	for i, p := range pages {
+		if p.Bitmap.PopCount() == 0 {
+			t.Fatalf("page %d blank", i)
+		}
+	}
+}
+
+func TestPageOfWord(t *testing.T) {
+	d := buildDoc(t)
+	pages := Paginate(d, smallSpec())
+	if got := PageOfWord(pages, 0); got != 0 {
+		t.Fatalf("PageOfWord(0) = %d", got)
+	}
+	last := len(d.Stream) - 1
+	if got := PageOfWord(pages, last); got != len(pages)-1 {
+		t.Fatalf("PageOfWord(last) = %d, want %d", got, len(pages)-1)
+	}
+	if got := PageOfWord(pages, last+100); got != -1 {
+		t.Fatalf("PageOfWord(oob) = %d, want -1", got)
+	}
+	// Every word maps to exactly one page.
+	for w := 0; w < len(d.Stream); w++ {
+		n := 0
+		for i := range pages {
+			if pages[i].HasWord(w) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("word %d on %d pages", w, n)
+		}
+	}
+}
+
+func TestBiggerPagesFewer(t *testing.T) {
+	d := buildDoc(t)
+	small := Paginate(d, Spec{W: 160, H: 100})
+	large := Paginate(d, Spec{W: 400, H: 600})
+	if len(large) >= len(small) {
+		t.Fatalf("large spec pages (%d) not fewer than small (%d)", len(large), len(small))
+	}
+}
+
+func TestInsertAfterWordSplits(t *testing.T) {
+	d := buildDoc(t)
+	pic := Picture{Name: "xray", Raster: img.NewBitmap(30, 20)}
+	if err := d.InsertAfterWord(5, pic); err != nil {
+		t.Fatal(err)
+	}
+	// Flow must still cover all words contiguously.
+	next := 0
+	sawPic := false
+	for _, it := range d.Items {
+		switch v := it.(type) {
+		case Words:
+			if v.From != next {
+				t.Fatalf("discontinuity at %d (want %d)", v.From, next)
+			}
+			next = v.To
+		case Picture:
+			if v.Name == "xray" {
+				sawPic = true
+				if next != 6 {
+					t.Fatalf("picture after word %d, want 6", next)
+				}
+			}
+		}
+	}
+	if !sawPic || next != len(d.Stream) {
+		t.Fatal("picture missing or words lost")
+	}
+}
+
+func TestInsertAfterWordAtItemEnd(t *testing.T) {
+	seg, _ := text.Parse("One two three.\n")
+	d := FromSegment(seg)
+	if err := d.InsertAfterWord(2, PageBreak{}); err != nil {
+		t.Fatal(err)
+	}
+	// The break lands after the final Words item, not inside it.
+	lastWords := -1
+	for i, it := range d.Items {
+		if _, ok := it.(Words); ok {
+			lastWords = i
+		}
+	}
+	if _, ok := d.Items[lastWords+1].(PageBreak); !ok {
+		t.Fatalf("items = %#v", d.Items)
+	}
+}
+
+func TestInsertAfterWordBad(t *testing.T) {
+	d := buildDoc(t)
+	if err := d.InsertAfterWord(len(d.Stream)+5, PageBreak{}); err == nil {
+		t.Fatal("out-of-range insert accepted")
+	}
+}
+
+func TestPictureOnPage(t *testing.T) {
+	d := buildDoc(t)
+	raster := img.NewBitmap(40, 30)
+	raster.Fill(img.Rect{X: 0, Y: 0, W: 40, H: 30}, true)
+	if err := d.InsertAfterWord(3, Picture{Name: "xray", Raster: raster}); err != nil {
+		t.Fatal(err)
+	}
+	pages := Paginate(d, Spec{W: 300, H: 400})
+	found := ""
+	for i, p := range pages {
+		for _, name := range p.Pictures {
+			if name == "xray" {
+				found = name
+				_ = i
+			}
+		}
+	}
+	if found != "xray" {
+		t.Fatal("picture not recorded on any page")
+	}
+}
+
+func TestPageBreakForcesNewPage(t *testing.T) {
+	seg, _ := text.Parse("Alpha beta gamma.\n")
+	d := FromSegment(seg)
+	if err := d.InsertAfterWord(0, PageBreak{}); err != nil {
+		t.Fatal(err)
+	}
+	pages := Paginate(d, Spec{W: 300, H: 300})
+	if len(pages) != 2 {
+		t.Fatalf("pages = %d, want 2", len(pages))
+	}
+	if pages[0].LastWord != 1 || pages[1].FirstWord != 1 {
+		t.Fatalf("split at %d/%d", pages[0].LastWord, pages[1].FirstWord)
+	}
+}
+
+func TestTallPictureGetsOwnPage(t *testing.T) {
+	seg, _ := text.Parse("Intro words before the figure.\n")
+	d := FromSegment(seg)
+	tall := img.NewBitmap(50, 180)
+	tall.Fill(img.Rect{X: 0, Y: 0, W: 50, H: 180}, true)
+	if err := d.InsertAfterWord(4, Picture{Name: "big", Raster: tall}); err != nil {
+		t.Fatal(err)
+	}
+	pages := Paginate(d, Spec{W: 200, H: 200})
+	if len(pages) < 2 {
+		t.Fatalf("pages = %d, want picture pushed to page 2", len(pages))
+	}
+	if len(pages[1].Pictures) != 1 {
+		t.Fatalf("page 2 pictures = %v", pages[1].Pictures)
+	}
+}
+
+func TestPaginateWordsPureText(t *testing.T) {
+	seg, _ := text.Parse("Only some words to show here.\n")
+	stream := text.Flatten(seg)
+	pages := PaginateWords(stream, Spec{W: 200, H: 100})
+	if len(pages) != 1 {
+		t.Fatalf("pages = %d", len(pages))
+	}
+	if pages[0].FirstWord != 0 || pages[0].LastWord != len(stream) {
+		t.Fatalf("range %d..%d", pages[0].FirstWord, pages[0].LastWord)
+	}
+}
+
+func TestEmptyDocOnePage(t *testing.T) {
+	pages := Paginate(&Doc{}, smallSpec())
+	if len(pages) != 1 {
+		t.Fatalf("pages = %d, want 1 blank", len(pages))
+	}
+	if pages[0].FirstWord != -1 {
+		t.Fatal("blank page claims words")
+	}
+}
+
+func TestEmphasisRendering(t *testing.T) {
+	seg, _ := text.Parse("plain *bold* _under_ word.\n")
+	d := FromSegment(seg)
+	pages := Paginate(d, Spec{W: 300, H: 100})
+	if len(pages) != 1 {
+		t.Fatalf("pages = %d", len(pages))
+	}
+	// Bold overdraw makes the page denser than the same text unemphasised.
+	seg2, _ := text.Parse("plain bold under word.\n")
+	pages2 := Paginate(FromSegment(seg2), Spec{W: 300, H: 100})
+	if pages[0].Bitmap.PopCount() <= pages2[0].Bitmap.PopCount() {
+		t.Fatal("emphasis did not add pixels")
+	}
+}
+
+// Property: for arbitrary word lists and page geometries, pagination covers
+// every word exactly once, in order, with no overlaps.
+func TestQuickPaginationCoverage(t *testing.T) {
+	f := func(nWords uint8, w8, h8 uint8) bool {
+		n := int(nWords)%150 + 1
+		var b strings.Builder
+		b.WriteString(".chapter Q\n")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "w%d ", i)
+			if i%7 == 6 {
+				b.WriteString(". ")
+			}
+		}
+		b.WriteString(".\n")
+		seg, err := text.Parse(b.String())
+		if err != nil {
+			return false
+		}
+		d := FromSegment(seg)
+		spec := Spec{W: int(w8)%200 + 60, H: int(h8)%150 + 40}
+		pages := Paginate(d, spec)
+		covered := 0
+		for _, p := range pages {
+			if p.FirstWord == -1 {
+				continue
+			}
+			if p.FirstWord != covered || p.LastWord <= p.FirstWord {
+				return false
+			}
+			covered = p.LastWord
+		}
+		return covered == len(d.Stream)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBigTextTakesMoreSpace(t *testing.T) {
+	small, err := text.Parse("Some words rendered at the usual size here.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := text.Parse(".size big\nSome words rendered at the usual size here.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{W: 200, H: 400}
+	ps := Paginate(FromSegment(small), spec)
+	pb := Paginate(FromSegment(big), spec)
+	if pb[0].Bitmap.PopCount() <= ps[0].Bitmap.PopCount() {
+		t.Fatal("big text did not draw more pixels")
+	}
+}
+
+func TestBigTextPaginatesToMorePages(t *testing.T) {
+	body := strings.Repeat("several words repeated over and over again. ", 12)
+	small, _ := text.Parse(body + "\n")
+	big, _ := text.Parse(".size big\n" + body + "\n")
+	spec := Spec{W: 220, H: 120}
+	ns := len(Paginate(FromSegment(small), spec))
+	nb := len(Paginate(FromSegment(big), spec))
+	if nb <= ns {
+		t.Fatalf("big pages (%d) not more than small (%d)", nb, ns)
+	}
+}

@@ -1,0 +1,191 @@
+package object
+
+import (
+	"fmt"
+
+	img "minos/internal/image"
+	"minos/internal/layout"
+	"minos/internal/text"
+	"minos/internal/voice"
+)
+
+// Builder assembles a multimedia object in the editing state. It is the
+// programmatic counterpart of the interactive editors + formatter pipeline
+// (§4) and is used by the examples, the editors and the figure scenarios.
+type Builder struct {
+	obj *Object
+	err error
+}
+
+// NewBuilder starts an object with the given identity and driving mode.
+func NewBuilder(id ID, title string, mode Mode) *Builder {
+	return &Builder{obj: &Object{
+		ID:    id,
+		Title: title,
+		Mode:  mode,
+		State: Editing,
+		Attrs: map[string]string{},
+	}}
+}
+
+func (b *Builder) fail(format string, args ...any) *Builder {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+	return b
+}
+
+// Attr records an attribute.
+func (b *Builder) Attr(key, value string) *Builder {
+	b.obj.Attrs[key] = value
+	return b
+}
+
+// Text parses MINOS markup into a text segment and composes it into the
+// document flow. The first Text call establishes the flow; later calls
+// append segments (rarely needed).
+func (b *Builder) Text(markup string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	seg, err := text.Parse(markup)
+	if err != nil {
+		return b.fail("builder: %v", err)
+	}
+	b.obj.Text = append(b.obj.Text, seg)
+	if b.obj.Doc == nil {
+		b.obj.Doc = layout.FromSegment(seg)
+	}
+	return b
+}
+
+// VoiceFromText synthesizes the markup as speech by the speaker, making it
+// the object voice part, and returns the synthesis ground truth through
+// marks (optional, may be nil). Manual logical editing down to the given
+// unit level is simulated (§2).
+func (b *Builder) VoiceFromText(markup string, sp voice.Speaker, rate int, editedDownTo text.Unit, marks *[]voice.WordMark) *Builder {
+	if b.err != nil {
+		return b
+	}
+	seg, err := text.Parse(markup)
+	if err != nil {
+		return b.fail("builder: %v", err)
+	}
+	syn := voice.Synthesize(text.Flatten(seg), sp, rate)
+	syn.Part.Markers = voice.MarkersFromMarks(syn.Marks, editedDownTo)
+	b.obj.Voice = append(b.obj.Voice, syn.Part)
+	if marks != nil {
+		*marks = syn.Marks
+	}
+	return b
+}
+
+// VoicePart attaches an existing voice part.
+func (b *Builder) VoicePart(p *voice.Part) *Builder {
+	b.obj.Voice = append(b.obj.Voice, p)
+	return b
+}
+
+// Image attaches an image part.
+func (b *Builder) Image(im *img.Image) *Builder {
+	if b.obj.ImageByName(im.Name) != nil {
+		return b.fail("builder: duplicate image name %q", im.Name)
+	}
+	b.obj.Images = append(b.obj.Images, im)
+	return b
+}
+
+// PlaceImageAfterWord splices the image into the visual flow after the
+// given global word index.
+func (b *Builder) PlaceImageAfterWord(name string, word int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	im := b.obj.ImageByName(name)
+	if im == nil {
+		return b.fail("builder: unknown image %q", name)
+	}
+	if b.obj.Doc == nil {
+		return b.fail("builder: no document flow to place image in")
+	}
+	if err := b.obj.Doc.InsertAfterWord(word, layout.Picture{Name: name, Raster: im.Rasterize()}); err != nil {
+		return b.fail("builder: %v", err)
+	}
+	return b
+}
+
+// PageBreakAfterWord forces a visual page break after the given global
+// word index.
+func (b *Builder) PageBreakAfterWord(w int) error {
+	if b.err != nil {
+		return b.err
+	}
+	if b.obj.Doc == nil {
+		b.fail("builder: no document flow for page break")
+		return b.err
+	}
+	if err := b.obj.Doc.InsertAfterWord(w, layout.PageBreak{}); err != nil {
+		b.fail("builder: %v", err)
+		return b.err
+	}
+	return nil
+}
+
+// VoiceMsg attaches a voice logical message.
+func (b *Builder) VoiceMsg(name string, part *voice.Part, anchor Anchor) *Builder {
+	b.obj.VoiceMsgs = append(b.obj.VoiceMsgs, VoiceMessage{Name: name, Part: part, Anchor: anchor})
+	return b
+}
+
+// VisualMsg attaches a visual logical message.
+func (b *Builder) VisualMsg(name string, strip *img.Bitmap, anchor Anchor, onceOnly bool) *Builder {
+	b.obj.VisualMsgs = append(b.obj.VisualMsgs, VisualMessage{Name: name, Strip: strip, Anchor: anchor, OnceOnly: onceOnly})
+	return b
+}
+
+// Relevant links a relevant object.
+func (b *Builder) Relevant(target ID, anchor Anchor, at img.Point, relevances ...Relevance) *Builder {
+	b.obj.Relevants = append(b.obj.Relevants, RelevantLink{Target: target, Anchor: anchor, Relevances: relevances, IndicatorAt: at})
+	b.obj.Related = append(b.obj.Related, target)
+	return b
+}
+
+// TranspSet attaches a transparency set.
+func (b *Builder) TranspSet(name string, anchor Anchor, separate bool, sheets ...*img.Bitmap) *Builder {
+	b.obj.TranspSets = append(b.obj.TranspSets, TransparencySet{
+		Name: name, Anchor: anchor, Transparencies: sheets, MethodSeparate: separate,
+	})
+	return b
+}
+
+// Tour attaches a tour.
+func (b *Builder) Tour(name string, t img.Tour) *Builder {
+	b.obj.Tours = append(b.obj.Tours, TourRef{Name: name, Tour: t})
+	return b
+}
+
+// Process attaches a process simulation.
+func (b *Builder) Process(name string, frameMillis int, pages ...ProcessPage) *Builder {
+	b.obj.ProcessSims = append(b.obj.ProcessSims, ProcessSim{Name: name, Pages: pages, FrameMillis: frameMillis})
+	return b
+}
+
+// Build validates and returns the object, still in the editing state.
+func (b *Builder) Build() (*Object, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.obj.Validate(); err != nil {
+		return nil, err
+	}
+	return b.obj, nil
+}
+
+// MustBuild is Build for tests and examples with static inputs.
+func (b *Builder) MustBuild() *Object {
+	o, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return o
+}

@@ -1,0 +1,367 @@
+// Package object defines the MINOS multimedia object model.
+//
+// "The unit of information in MINOS is a multimedia object. Multimedia
+// objects may be composed of attributes, an object text part (collection of
+// text segments), an object voice part (collection of voice segments), and
+// an object image part (collection of images). A unique object identifier
+// is associated with each multimedia object. ... Multimedia objects may be
+// in an editing state or in an archived state." (§2)
+//
+// The interrelationships between parts — logical messages, relevant
+// objects, transparency sets, tours, process simulations — are "encoded
+// within the multimedia object descriptor" (§4); package descriptor
+// serializes this model into that form.
+package object
+
+import (
+	"fmt"
+
+	img "minos/internal/image"
+	"minos/internal/layout"
+	"minos/internal/text"
+	"minos/internal/voice"
+)
+
+// ID is the unique object identifier.
+type ID uint64
+
+// State is the object lifecycle state.
+type State uint8
+
+const (
+	// Editing objects may be modified; they live as multimedia object
+	// files on workstation disks.
+	Editing State = iota
+	// Archived objects are immutable; the presentation and browsing
+	// capabilities of the paper apply to archived objects.
+	Archived
+)
+
+// String names the state.
+func (s State) String() string {
+	if s == Editing {
+		return "editing"
+	}
+	return "archived"
+}
+
+// Mode is the driving mode: "the principal way of presenting the
+// information in the object ... either visual or audio" (§2).
+type Mode uint8
+
+const (
+	Visual Mode = iota
+	Audio
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Audio {
+		return "audio"
+	}
+	return "visual"
+}
+
+// MediaKind distinguishes anchor coordinate spaces.
+type MediaKind uint8
+
+const (
+	MediaText  MediaKind = iota // anchor in global word indices
+	MediaVoice                  // anchor in voice-part sample offsets
+	MediaImage                  // anchor is a whole image (by name)
+)
+
+// Anchor identifies a segment of the parent object's driving medium. "Text
+// is linear. Two points identify the beginning and the end of a text
+// segment. The two points may coincide." (§2). For voice the points are
+// sample offsets; anchors may overlap freely.
+type Anchor struct {
+	Media MediaKind
+	From  int
+	To    int
+	// Image names the anchored image when Media == MediaImage.
+	Image string
+}
+
+// Covers reports whether position p (a word index or sample offset in the
+// anchor's medium) falls within [From, To]. A zero-length anchor (the two
+// points coincide) covers exactly its point.
+func (a Anchor) Covers(p int) bool {
+	if a.Media == MediaImage {
+		return false
+	}
+	return p >= a.From && p <= a.To
+}
+
+// VoiceMessage is a voice logical message: an "unstructured audio segment
+// (typically short)" attached to a segment or image; it plays "when the
+// user first branches into the corresponding segments during browsing" (§2).
+type VoiceMessage struct {
+	Name   string
+	Part   *voice.Part
+	Anchor Anchor
+}
+
+// VisualMessage is a visual logical message: a short (at most one visual
+// page) segment of visual information always displayed at the top part of
+// the page while the user browses within the related segment (§2).
+type VisualMessage struct {
+	Name   string
+	Strip  *img.Bitmap
+	Anchor Anchor
+	// OnceOnly: "the user has the option to specify that the visual
+	// logical message is displayed only once whenever the user branches
+	// during browsing from a non-related segment" (§2).
+	OnceOnly bool
+}
+
+// Relevance is a section of the relevant object related to the parent
+// anchor: a text span, a voice span, or a closed polygon over an image (§2).
+type Relevance struct {
+	Media   MediaKind
+	From    int
+	To      int
+	Image   string      // image name for MediaImage relevances
+	Polygon []img.Point // closed polygon displayed on top of the image
+}
+
+// RelevantLink connects a section of the parent object to an independent
+// relevant object.
+type RelevantLink struct {
+	Target      ID
+	Anchor      Anchor
+	Relevances  []Relevance
+	IndicatorAt img.Point
+}
+
+// TransparencySet is "an ordered set of consecutive transparencies" (§2),
+// placed in the page flow after the page containing AnchorWord (visual
+// mode) or shown during [Anchor.From, Anchor.To] (audio mode).
+type TransparencySet struct {
+	Name           string
+	Anchor         Anchor
+	Transparencies []*img.Bitmap
+	// MethodSeparate selects the second display method: each
+	// transparency separately on top of the last pre-set page.
+	MethodSeparate bool
+}
+
+// ProcessPageKind selects how a process-simulation page composes over the
+// previous one.
+type ProcessPageKind uint8
+
+const (
+	// ProcessReplace shows the page as a fresh image.
+	ProcessReplace ProcessPageKind = iota
+	// ProcessTransparency superimposes the page.
+	ProcessTransparency
+	// ProcessOverwrite replaces only the pixels the page owns (its mask).
+	ProcessOverwrite
+)
+
+// ProcessPage is one frame of a process simulation.
+type ProcessPage struct {
+	Kind  ProcessPageKind
+	Image *img.Bitmap
+	Mask  *img.Bitmap // ProcessOverwrite only: pixels the overwrite owns
+	// VoiceMsg optionally names a VoiceMessage played with the page; the
+	// next page "is only shown after the logical audio message has been
+	// played" (§2).
+	VoiceMsg string
+	// VisualMsg optionally names a VisualMessage pinned with the page.
+	VisualMsg string
+}
+
+// ProcessSim is "an ordered set of consecutive visual pages which is
+// displayed one after the other automatically" (§2). The relative speed is
+// set at object creation time but may be altered by the user.
+type ProcessSim struct {
+	Name        string
+	Pages       []ProcessPage
+	FrameMillis int // designer-set speed
+}
+
+// TourRef attaches an image tour plus per-stop logical message names.
+type TourRef struct {
+	Name string
+	Tour img.Tour
+}
+
+// Object is a multimedia object.
+type Object struct {
+	ID    ID
+	Title string
+	Mode  Mode
+	State State
+	Attrs map[string]string
+
+	// Parts.
+	Text   []*text.Segment
+	Voice  []*voice.Part
+	Images []*img.Image
+
+	// Doc is the composed presentation flow for the visual presentation
+	// form; Stream is its flattened word stream (shared).
+	Doc *layout.Doc
+
+	// Interrelationships (the descriptor content).
+	VoiceMsgs   []VoiceMessage
+	VisualMsgs  []VisualMessage
+	Relevants   []RelevantLink
+	TranspSets  []TransparencySet
+	Tours       []TourRef
+	ProcessSims []ProcessSim
+
+	// Related objects: "information about the related objects is kept
+	// within the object itself" (§2).
+	Related []ID
+}
+
+// Stream returns the flattened word stream of the composed document (empty
+// if the object has no text flow).
+func (o *Object) Stream() []text.FlatWord {
+	if o.Doc == nil {
+		return nil
+	}
+	return o.Doc.Stream
+}
+
+// PrimaryVoice returns the first voice part, which drives audio-mode
+// objects, or nil.
+func (o *Object) PrimaryVoice() *voice.Part {
+	if len(o.Voice) == 0 {
+		return nil
+	}
+	return o.Voice[0]
+}
+
+// ImageByName finds an image part by name, or nil.
+func (o *Object) ImageByName(name string) *img.Image {
+	for _, im := range o.Images {
+		if im.Name == name {
+			return im
+		}
+	}
+	return nil
+}
+
+// VoiceMsgByName finds a voice logical message by name, or nil.
+func (o *Object) VoiceMsgByName(name string) *VoiceMessage {
+	for i := range o.VoiceMsgs {
+		if o.VoiceMsgs[i].Name == name {
+			return &o.VoiceMsgs[i]
+		}
+	}
+	return nil
+}
+
+// VisualMsgByName finds a visual logical message by name, or nil.
+func (o *Object) VisualMsgByName(name string) *VisualMessage {
+	for i := range o.VisualMsgs {
+		if o.VisualMsgs[i].Name == name {
+			return &o.VisualMsgs[i]
+		}
+	}
+	return nil
+}
+
+// Archive transitions the object to the archived state; archived objects
+// reject further modification through Mutable.
+func (o *Object) Archive() { o.State = Archived }
+
+// Mutable returns an error unless the object is in the editing state.
+func (o *Object) Mutable() error {
+	if o.State != Editing {
+		return fmt.Errorf("object %d: archived objects are not allowed to be modified", o.ID)
+	}
+	return nil
+}
+
+// Validate checks cross-references: message anchors within media bounds,
+// image names resolvable, process/tour message names resolvable.
+func (o *Object) Validate() error {
+	streamLen := len(o.Stream())
+	var voiceLen int
+	if v := o.PrimaryVoice(); v != nil {
+		voiceLen = len(v.Samples)
+	}
+	checkAnchor := func(what string, a Anchor) error {
+		switch a.Media {
+		case MediaText:
+			if a.From < 0 || a.To < a.From || a.To > streamLen {
+				return fmt.Errorf("object %d: %s text anchor [%d,%d] out of stream range %d", o.ID, what, a.From, a.To, streamLen)
+			}
+		case MediaVoice:
+			if a.From < 0 || a.To < a.From || a.To > voiceLen {
+				return fmt.Errorf("object %d: %s voice anchor [%d,%d] out of sample range %d", o.ID, what, a.From, a.To, voiceLen)
+			}
+		case MediaImage:
+			if o.ImageByName(a.Image) == nil {
+				return fmt.Errorf("object %d: %s anchored to unknown image %q", o.ID, what, a.Image)
+			}
+		}
+		return nil
+	}
+	for _, m := range o.VoiceMsgs {
+		if m.Part == nil {
+			return fmt.Errorf("object %d: voice message %q has no audio", o.ID, m.Name)
+		}
+		if err := checkAnchor("voice message "+m.Name, m.Anchor); err != nil {
+			return err
+		}
+	}
+	for _, m := range o.VisualMsgs {
+		if m.Strip == nil {
+			return fmt.Errorf("object %d: visual message %q has no strip", o.ID, m.Name)
+		}
+		if err := checkAnchor("visual message "+m.Name, m.Anchor); err != nil {
+			return err
+		}
+	}
+	for _, r := range o.Relevants {
+		if err := checkAnchor(fmt.Sprintf("relevant link to %d", r.Target), r.Anchor); err != nil {
+			return err
+		}
+	}
+	for _, ts := range o.TranspSets {
+		if len(ts.Transparencies) == 0 {
+			return fmt.Errorf("object %d: transparency set %q empty", o.ID, ts.Name)
+		}
+		if err := checkAnchor("transparency set "+ts.Name, ts.Anchor); err != nil {
+			return err
+		}
+	}
+	for _, tr := range o.Tours {
+		if o.ImageByName(tr.Tour.Image) == nil {
+			return fmt.Errorf("object %d: tour %q over unknown image %q", o.ID, tr.Name, tr.Tour.Image)
+		}
+		for i, stop := range tr.Tour.Stops {
+			if stop.VoiceMsgRef != "" && o.VoiceMsgByName(stop.VoiceMsgRef) == nil {
+				return fmt.Errorf("object %d: tour %q stop %d references unknown voice message %q", o.ID, tr.Name, i, stop.VoiceMsgRef)
+			}
+			if stop.VisualMsgRef != "" && o.VisualMsgByName(stop.VisualMsgRef) == nil {
+				return fmt.Errorf("object %d: tour %q stop %d references unknown visual message %q", o.ID, tr.Name, i, stop.VisualMsgRef)
+			}
+		}
+	}
+	for _, ps := range o.ProcessSims {
+		if len(ps.Pages) == 0 {
+			return fmt.Errorf("object %d: process simulation %q has no pages", o.ID, ps.Name)
+		}
+		for i, pg := range ps.Pages {
+			if pg.Image == nil {
+				return fmt.Errorf("object %d: process simulation %q page %d has no image", o.ID, ps.Name, i)
+			}
+			if pg.Kind == ProcessOverwrite && pg.Mask == nil {
+				return fmt.Errorf("object %d: process simulation %q page %d overwrite without mask", o.ID, ps.Name, i)
+			}
+			if pg.VoiceMsg != "" && o.VoiceMsgByName(pg.VoiceMsg) == nil {
+				return fmt.Errorf("object %d: process simulation %q page %d references unknown voice message %q", o.ID, ps.Name, i, pg.VoiceMsg)
+			}
+			if pg.VisualMsg != "" && o.VisualMsgByName(pg.VisualMsg) == nil {
+				return fmt.Errorf("object %d: process simulation %q page %d references unknown visual message %q", o.ID, ps.Name, i, pg.VisualMsg)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package object
+
+import (
+	"strings"
+	"testing"
+
+	img "minos/internal/image"
+	"minos/internal/text"
+	"minos/internal/voice"
+)
+
+const bodyMarkup = `.title Case 1042
+.chapter Findings
+The upper lobe shows a small shadow. It appears benign.
+.chapter Plan
+Repeat the examination in six months.
+`
+
+func xrayImage() *img.Image {
+	im := img.New("xray", 60, 40)
+	im.Add(img.Graphic{Shape: img.ShapeCircle, Points: []img.Point{{X: 30, Y: 20}}, Radius: 8})
+	return im
+}
+
+func shortVoice(t testing.TB) *voice.Part {
+	t.Helper()
+	seg, err := text.Parse("Note the shadow here.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), 2000).Part
+}
+
+func TestBuilderBasicVisualObject(t *testing.T) {
+	o, err := NewBuilder(42, "Case 1042", Visual).
+		Attr("author", "Dr. Ho").
+		Text(bodyMarkup).
+		Image(xrayImage()).
+		PlaceImageAfterWord("xray", 5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ID != 42 || o.Mode != Visual || o.State != Editing {
+		t.Fatalf("header: %+v", o)
+	}
+	if o.Attrs["author"] != "Dr. Ho" {
+		t.Error("attribute lost")
+	}
+	if len(o.Stream()) == 0 {
+		t.Error("no stream")
+	}
+	if o.ImageByName("xray") == nil {
+		t.Error("image lost")
+	}
+	if o.ImageByName("missing") != nil {
+		t.Error("phantom image")
+	}
+}
+
+func TestBuilderErrorsPropagate(t *testing.T) {
+	_, err := NewBuilder(1, "x", Visual).Text(".bogus\n").Build()
+	if err == nil {
+		t.Fatal("bad markup accepted")
+	}
+	_, err = NewBuilder(1, "x", Visual).Text(bodyMarkup).PlaceImageAfterWord("nope", 0).Build()
+	if err == nil {
+		t.Fatal("unknown image accepted")
+	}
+	_, err = NewBuilder(1, "x", Visual).
+		Image(xrayImage()).Image(xrayImage()).Build()
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate image: %v", err)
+	}
+	_, err = NewBuilder(1, "x", Visual).Image(xrayImage()).PlaceImageAfterWord("xray", 0).Build()
+	if err == nil {
+		t.Fatal("image placement without flow accepted")
+	}
+}
+
+func TestArchiveBlocksMutation(t *testing.T) {
+	o := NewBuilder(7, "t", Visual).Text(bodyMarkup).MustBuild()
+	if err := o.Mutable(); err != nil {
+		t.Fatalf("editing object not mutable: %v", err)
+	}
+	o.Archive()
+	if o.State != Archived {
+		t.Fatal("Archive did not change state")
+	}
+	if err := o.Mutable(); err == nil {
+		t.Fatal("archived object reported mutable")
+	}
+	if o.State.String() != "archived" || Editing.String() != "editing" {
+		t.Error("State.String mismatch")
+	}
+}
+
+func TestAnchorCovers(t *testing.T) {
+	a := Anchor{Media: MediaText, From: 5, To: 10}
+	for _, p := range []int{5, 7, 10} {
+		if !a.Covers(p) {
+			t.Errorf("anchor should cover %d", p)
+		}
+	}
+	for _, p := range []int{4, 11} {
+		if a.Covers(p) {
+			t.Errorf("anchor should not cover %d", p)
+		}
+	}
+	// Coinciding points cover exactly one position.
+	pt := Anchor{Media: MediaText, From: 3, To: 3}
+	if !pt.Covers(3) || pt.Covers(2) || pt.Covers(4) {
+		t.Error("point anchor coverage wrong")
+	}
+	im := Anchor{Media: MediaImage, Image: "xray"}
+	if im.Covers(0) {
+		t.Error("image anchor covers positions")
+	}
+}
+
+func TestValidateAnchorsOutOfRange(t *testing.T) {
+	vp := shortVoice(t)
+	cases := []struct {
+		name  string
+		build func() *Builder
+	}{
+		{"text anchor past stream", func() *Builder {
+			return NewBuilder(1, "x", Visual).Text(bodyMarkup).
+				VoiceMsg("m", vp, Anchor{Media: MediaText, From: 0, To: 100000})
+		}},
+		{"voice anchor without voice part", func() *Builder {
+			return NewBuilder(1, "x", Audio).
+				VoiceMsg("m", vp, Anchor{Media: MediaVoice, From: 0, To: 999})
+		}},
+		{"image anchor unknown", func() *Builder {
+			return NewBuilder(1, "x", Visual).Text(bodyMarkup).
+				VoiceMsg("m", vp, Anchor{Media: MediaImage, Image: "ghost"})
+		}},
+		{"negative from", func() *Builder {
+			return NewBuilder(1, "x", Visual).Text(bodyMarkup).
+				VoiceMsg("m", vp, Anchor{Media: MediaText, From: -1, To: 2})
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.build().Build(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestValidateMessageContent(t *testing.T) {
+	if _, err := NewBuilder(1, "x", Visual).Text(bodyMarkup).
+		VoiceMsg("m", nil, Anchor{Media: MediaText, From: 0, To: 1}).Build(); err == nil {
+		t.Error("voice message without audio accepted")
+	}
+	if _, err := NewBuilder(1, "x", Visual).Text(bodyMarkup).
+		VisualMsg("m", nil, Anchor{Media: MediaText, From: 0, To: 1}, false).Build(); err == nil {
+		t.Error("visual message without strip accepted")
+	}
+}
+
+func TestValidateTransparencySet(t *testing.T) {
+	if _, err := NewBuilder(1, "x", Visual).Text(bodyMarkup).
+		TranspSet("t", Anchor{Media: MediaText, From: 0, To: 1}, false).Build(); err == nil {
+		t.Error("empty transparency set accepted")
+	}
+	sheet := img.NewBitmap(10, 10)
+	if _, err := NewBuilder(1, "x", Visual).Text(bodyMarkup).
+		TranspSet("t", Anchor{Media: MediaText, From: 0, To: 1}, false, sheet).Build(); err != nil {
+		t.Errorf("valid transparency set rejected: %v", err)
+	}
+}
+
+func TestValidateTour(t *testing.T) {
+	tour := img.Tour{Image: "ghost", Size: img.Point{X: 10, Y: 10}, Stops: []img.TourStop{{At: img.Point{X: 0, Y: 0}}}}
+	if _, err := NewBuilder(1, "x", Visual).Text(bodyMarkup).Tour("t", tour).Build(); err == nil {
+		t.Error("tour over unknown image accepted")
+	}
+	tour.Image = "xray"
+	tour.Stops[0].VoiceMsgRef = "ghostmsg"
+	if _, err := NewBuilder(1, "x", Visual).Text(bodyMarkup).Image(xrayImage()).Tour("t", tour).Build(); err == nil {
+		t.Error("tour with unknown voice message accepted")
+	}
+	tour.Stops[0].VoiceMsgRef = ""
+	if _, err := NewBuilder(1, "x", Visual).Text(bodyMarkup).Image(xrayImage()).Tour("t", tour).Build(); err != nil {
+		t.Errorf("valid tour rejected: %v", err)
+	}
+}
+
+func TestValidateProcessSim(t *testing.T) {
+	frame := img.NewBitmap(20, 20)
+	if _, err := NewBuilder(1, "x", Visual).Text(bodyMarkup).
+		Process("p", 100).Build(); err == nil {
+		t.Error("empty process sim accepted")
+	}
+	if _, err := NewBuilder(1, "x", Visual).Text(bodyMarkup).
+		Process("p", 100, ProcessPage{Kind: ProcessOverwrite, Image: frame}).Build(); err == nil {
+		t.Error("overwrite page without mask accepted")
+	}
+	if _, err := NewBuilder(1, "x", Visual).Text(bodyMarkup).
+		Process("p", 100, ProcessPage{Kind: ProcessReplace, Image: frame, VoiceMsg: "nope"}).Build(); err == nil {
+		t.Error("unknown voice message ref accepted")
+	}
+	ok := NewBuilder(1, "x", Visual).Text(bodyMarkup).
+		Process("p", 100,
+			ProcessPage{Kind: ProcessReplace, Image: frame},
+			ProcessPage{Kind: ProcessOverwrite, Image: frame, Mask: frame})
+	if _, err := ok.Build(); err != nil {
+		t.Errorf("valid process sim rejected: %v", err)
+	}
+}
+
+func TestRelevantRecordsRelated(t *testing.T) {
+	o := NewBuilder(1, "parent", Visual).Text(bodyMarkup).
+		Relevant(99, Anchor{Media: MediaText, From: 0, To: 3}, img.Point{X: 5, Y: 5},
+			Relevance{Media: MediaText, From: 0, To: 10}).
+		MustBuild()
+	if len(o.Relevants) != 1 || o.Relevants[0].Target != 99 {
+		t.Fatal("relevant link lost")
+	}
+	if len(o.Related) != 1 || o.Related[0] != 99 {
+		t.Fatal("related ids not recorded within the object")
+	}
+}
+
+func TestVoiceFromText(t *testing.T) {
+	var marks []voice.WordMark
+	o := NewBuilder(2, "spoken", Audio).
+		VoiceFromText(bodyMarkup, voice.DefaultSpeaker(), 2000, text.UnitChapter, &marks).
+		MustBuild()
+	vp := o.PrimaryVoice()
+	if vp == nil || len(vp.Samples) == 0 {
+		t.Fatal("no voice part")
+	}
+	if len(marks) == 0 {
+		t.Fatal("marks not returned")
+	}
+	// Chapter-only editing: exactly the chapter markers.
+	units := vp.UnitsIdentified()
+	if len(units) != 1 || units[0] != text.UnitChapter {
+		t.Fatalf("units = %v", units)
+	}
+}
+
+func TestMessageLookupByName(t *testing.T) {
+	vp := shortVoice(t)
+	strip := img.NewBitmap(10, 10)
+	o := NewBuilder(3, "x", Visual).Text(bodyMarkup).
+		VoiceMsg("note", vp, Anchor{Media: MediaText, From: 0, To: 3}).
+		VisualMsg("pic", strip, Anchor{Media: MediaText, From: 4, To: 8}, true).
+		MustBuild()
+	if o.VoiceMsgByName("note") == nil || o.VoiceMsgByName("zzz") != nil {
+		t.Error("voice message lookup wrong")
+	}
+	if o.VisualMsgByName("pic") == nil || o.VisualMsgByName("zzz") != nil {
+		t.Error("visual message lookup wrong")
+	}
+	if !o.VisualMsgs[0].OnceOnly {
+		t.Error("once-only flag lost")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Visual.String() != "visual" || Audio.String() != "audio" {
+		t.Error("Mode.String mismatch")
+	}
+}

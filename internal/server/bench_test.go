@@ -1,0 +1,42 @@
+package server
+
+import (
+	"testing"
+
+	"minos/internal/object"
+)
+
+func BenchmarkReadPieceWarm(b *testing.B) {
+	s := newServer(b, 2048)
+	o, err := object.NewBuilder(1, "bench", object.Visual).
+		Text(".title Bench\nwords to occupy a few blocks of storage here.\n").Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Publish(o); err != nil {
+		b.Fatal(err)
+	}
+	ext, _ := s.Archiver().ExtentOf(1)
+	s.ReadPiece(ext.Start, ext.Length) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.ReadPiece(ext.Start, ext.Length); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPublish(b *testing.B) {
+	s := newServer(b, 1<<18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := object.NewBuilder(object.ID(i+1), "bench", object.Visual).
+			Text(".title Bench\nwords to occupy a few blocks of storage here.\n").Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Publish(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

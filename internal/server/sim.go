@@ -1,0 +1,266 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"minos/internal/disk"
+	"minos/internal/vclock"
+)
+
+// SchedKind selects the device request scheduler.
+type SchedKind uint8
+
+const (
+	// FCFS serves requests in arrival order.
+	FCFS SchedKind = iota
+	// SSTF serves the queued request with the shortest seek from the
+	// current head position.
+	SSTF
+	// SCAN sweeps the head in one direction, serving requests in block
+	// order, then reverses (the elevator algorithm).
+	SCAN
+)
+
+// String names the scheduler.
+func (k SchedKind) String() string {
+	switch k {
+	case FCFS:
+		return "fcfs"
+	case SSTF:
+		return "sstf"
+	case SCAN:
+		return "scan"
+	}
+	return fmt.Sprintf("SchedKind(%d)", uint8(k))
+}
+
+// SimRequest is one device request in the queueing simulation.
+type SimRequest struct {
+	Off, Len uint64
+	arrive   time.Duration
+	done     func(t time.Duration)
+}
+
+// DeviceQueue is a single device served by one head with a scheduler; it is
+// the queueing model of the shared server device (§5).
+type DeviceQueue struct {
+	clock *vclock.Clock
+	dev   disk.Device
+	kind  SchedKind
+	serve func(off, length uint64) (time.Duration, error)
+
+	queue   []*SimRequest
+	busy    bool
+	sweepUp bool
+
+	// Stats.
+	served    int
+	totalResp time.Duration
+	resps     []time.Duration
+	busyTime  time.Duration
+}
+
+// NewDeviceQueue builds a queue over the device. serve computes the service
+// time of a request (e.g. the server's cached ReadPiece); if nil, raw
+// extent reads are used.
+func NewDeviceQueue(clock *vclock.Clock, dev disk.Device, kind SchedKind, serve func(off, length uint64) (time.Duration, error)) *DeviceQueue {
+	q := &DeviceQueue{clock: clock, dev: dev, kind: kind, sweepUp: true, serve: serve}
+	if q.serve == nil {
+		q.serve = func(off, length uint64) (time.Duration, error) {
+			_, t, err := disk.ReadExtent(dev, off, length)
+			return t, err
+		}
+	}
+	return q
+}
+
+// Submit enqueues a request; done fires on the clock when it completes,
+// with the response time (queueing + service).
+func (q *DeviceQueue) Submit(off, length uint64, done func(resp time.Duration)) {
+	r := &SimRequest{Off: off, Len: length, arrive: q.clock.Now(), done: done}
+	q.queue = append(q.queue, r)
+	if !q.busy {
+		q.dispatch()
+	}
+}
+
+func (q *DeviceQueue) dispatch() {
+	if len(q.queue) == 0 {
+		q.busy = false
+		return
+	}
+	q.busy = true
+	i := q.pick()
+	r := q.queue[i]
+	q.queue = append(q.queue[:i], q.queue[i+1:]...)
+	svc, err := q.serve(r.Off, r.Len)
+	if err != nil {
+		svc = 0
+	}
+	q.busyTime += svc
+	q.clock.AfterFunc(svc, func() {
+		resp := q.clock.Now() - r.arrive
+		q.served++
+		q.totalResp += resp
+		q.resps = append(q.resps, resp)
+		if r.done != nil {
+			r.done(resp)
+		}
+		q.dispatch()
+	})
+}
+
+// pick selects the next request index per the scheduler.
+func (q *DeviceQueue) pick() int {
+	if q.kind == FCFS || len(q.queue) == 1 {
+		return 0
+	}
+	bs := uint64(q.dev.BlockSize())
+	head := q.dev.Head()
+	switch q.kind {
+	case SSTF:
+		best, bestDist := 0, int(^uint(0)>>1)
+		for i, r := range q.queue {
+			d := int(r.Off/bs) - head
+			if d < 0 {
+				d = -d
+			}
+			if d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		return best
+	case SCAN:
+		// Serve the nearest request in the sweep direction; reverse at
+		// the end of the sweep.
+		best, bestDist := -1, int(^uint(0)>>1)
+		for i, r := range q.queue {
+			d := int(r.Off/bs) - head
+			if q.sweepUp && d >= 0 && d < bestDist {
+				best, bestDist = i, d
+			}
+			if !q.sweepUp && d <= 0 && -d < bestDist {
+				best, bestDist = i, -d
+			}
+		}
+		if best == -1 {
+			q.sweepUp = !q.sweepUp
+			return q.pick()
+		}
+		return best
+	}
+	return 0
+}
+
+// SimStats summarizes a load run.
+type SimStats struct {
+	Served      int
+	Mean        time.Duration
+	P95         time.Duration
+	Max         time.Duration
+	Utilization float64 // busy time / elapsed
+	Elapsed     time.Duration
+}
+
+// Stats computes the summary given the run's elapsed virtual time.
+func (q *DeviceQueue) Stats(elapsed time.Duration) SimStats {
+	st := SimStats{Served: q.served, Elapsed: elapsed}
+	if q.served == 0 {
+		return st
+	}
+	st.Mean = q.totalResp / time.Duration(q.served)
+	sorted := append([]time.Duration(nil), q.resps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	st.P95 = sorted[(len(sorted)*95)/100-boolToInt(len(sorted)*95%100 == 0)]
+	st.Max = sorted[len(sorted)-1]
+	if elapsed > 0 {
+		st.Utilization = float64(q.busyTime) / float64(elapsed)
+	}
+	return st
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// LoadConfig drives a closed queueing network: Clients users each issue
+// RequestsEach piece reads with ThinkTime between them.
+type LoadConfig struct {
+	Clients      int
+	RequestsEach int
+	ThinkTime    time.Duration
+	// PieceLen is the read size per request in bytes.
+	PieceLen uint64
+	// Sched selects the device scheduler.
+	Sched SchedKind
+	// Seed varies the access pattern.
+	Seed uint64
+}
+
+// SimulateLoad runs the closed-network load against the server's device
+// through the cache, with requests targeting random archived extents. It
+// models §5's concern: several users accessing data from the same device.
+func (s *Server) SimulateLoad(cfg LoadConfig) SimStats {
+	clock := vclock.New()
+	q := NewDeviceQueue(clock, s.arch.Device(), cfg.Sched, func(off, length uint64) (time.Duration, error) {
+		_, t, err := s.ReadPiece(off, length)
+		return t, err
+	})
+	ids := s.arch.IDs()
+	if len(ids) == 0 || cfg.Clients <= 0 || cfg.RequestsEach <= 0 {
+		return SimStats{}
+	}
+	type ext struct{ start, length uint64 }
+	exts := make([]ext, 0, len(ids))
+	for _, id := range ids {
+		e, err := s.arch.ExtentOf(id)
+		if err != nil {
+			continue
+		}
+		exts = append(exts, ext{e.Start, e.Length})
+	}
+	rng := cfg.Seed*2654435761 + 12345
+	next := func(mod uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		if mod == 0 {
+			return 0
+		}
+		return rng % mod
+	}
+	var issue func(client, remaining int)
+	issue = func(client, remaining int) {
+		if remaining == 0 {
+			return
+		}
+		e := exts[next(uint64(len(exts)))]
+		pl := cfg.PieceLen
+		if pl == 0 || pl > e.length {
+			pl = e.length
+		}
+		off := e.start
+		if e.length > pl {
+			off += next(e.length - pl)
+		}
+		q.Submit(off, pl, func(resp time.Duration) {
+			clock.AfterFunc(cfg.ThinkTime, func() {
+				issue(client, remaining-1)
+			})
+		})
+	}
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		// Stagger arrivals slightly so clients do not align perfectly.
+		clock.AfterFunc(time.Duration(c)*time.Millisecond, func() {
+			issue(c, cfg.RequestsEach)
+		})
+	}
+	elapsed := clock.Run(0)
+	return q.Stats(elapsed)
+}

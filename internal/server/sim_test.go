@@ -1,0 +1,96 @@
+package server
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"minos/internal/disk"
+	"minos/internal/vclock"
+)
+
+// Property: the device queue serves every submitted request exactly once,
+// regardless of scheduler and arrival pattern (conservation).
+func TestQuickDeviceQueueConservation(t *testing.T) {
+	f := func(seed uint32, kind8 uint8) bool {
+		kind := SchedKind(kind8 % 3)
+		dev, err := disk.NewOptical("q", disk.OpticalGeometry(256))
+		if err != nil {
+			return false
+		}
+		clock := vclock.New()
+		q := NewDeviceQueue(clock, dev, kind, nil)
+		n := int(seed)%30 + 5
+		done := 0
+		x := seed
+		for i := 0; i < n; i++ {
+			x = x*1664525 + 1013904223
+			off := uint64(x%200) * uint64(dev.BlockSize())
+			delay := time.Duration(x%50) * time.Millisecond
+			clock.AfterFunc(delay, func() {
+				q.Submit(off, 2048, func(time.Duration) { done++ })
+			})
+		}
+		elapsed := clock.Run(0)
+		st := q.Stats(elapsed)
+		return done == n && st.Served == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SCAN must not starve far-away requests: a burst near the head plus one
+// far request all complete.
+func TestSCANNoStarvation(t *testing.T) {
+	dev, err := disk.NewOptical("q", disk.OpticalGeometry(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vclock.New()
+	q := NewDeviceQueue(clock, dev, SCAN, nil)
+	served := map[int]bool{}
+	// Far request first, then a stream of near requests arriving while
+	// it waits.
+	q.Submit(uint64(2000*dev.BlockSize()), 2048, func(time.Duration) { served[-1] = true })
+	for i := 0; i < 20; i++ {
+		i := i
+		clock.AfterFunc(time.Duration(i)*5*time.Millisecond, func() {
+			q.Submit(uint64((i%4)*dev.BlockSize()), 2048, func(time.Duration) { served[i] = true })
+		})
+	}
+	clock.Run(0)
+	if !served[-1] {
+		t.Fatal("SCAN starved the far request")
+	}
+	if len(served) != 21 {
+		t.Fatalf("served %d of 21", len(served))
+	}
+}
+
+// The queue's mean response under contention exceeds the uncontended
+// service time (queueing delay is real).
+func TestQueueingDelayVisible(t *testing.T) {
+	mk := func() (*vclock.Clock, *DeviceQueue) {
+		dev, _ := disk.NewOptical("q", disk.OpticalGeometry(1024))
+		clock := vclock.New()
+		return clock, NewDeviceQueue(clock, dev, FCFS, nil)
+	}
+	// One request alone.
+	clock1, q1 := mk()
+	q1.Submit(0, 2048, nil)
+	st1 := q1.Stats(clock1.Run(0))
+
+	// Ten simultaneous requests.
+	clock2, q2 := mk()
+	for i := 0; i < 10; i++ {
+		q2.Submit(uint64(i*64*q2.dev.BlockSize()), 2048, nil)
+	}
+	st2 := q2.Stats(clock2.Run(0))
+	if st2.Mean <= st1.Mean {
+		t.Fatalf("contended mean %v not above solo %v", st2.Mean, st1.Mean)
+	}
+	if st2.Max <= st2.Mean {
+		t.Fatalf("max %v not above mean %v", st2.Max, st2.Mean)
+	}
+}

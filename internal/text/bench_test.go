@@ -1,0 +1,35 @@
+package text
+
+import (
+	"strings"
+	"testing"
+)
+
+func BenchmarkParse(b *testing.B) {
+	src := ".title Bench\n.chapter One\n" + strings.Repeat("lorem ipsum dolor sit amet consectetur adipiscing. ", 60) + "\n"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlattenAndNavigate(b *testing.B) {
+	src := ".title Bench\n.chapter One\n" + strings.Repeat("lorem ipsum dolor sit amet consectetur adipiscing. ", 60) + "\n"
+	seg, err := Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream := Flatten(seg)
+		pos := -1
+		for {
+			pos = NextStart(stream, pos, UnitSentence)
+			if pos == -1 {
+				break
+			}
+		}
+	}
+}

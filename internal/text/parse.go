@@ -1,0 +1,229 @@
+package text
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads MINOS formatting-tag markup and produces a Segment. The
+// language is a line-oriented declarative tag set in the spirit of the
+// formatters the paper cites (Scribe/TeX-era): the user states logical
+// structure, and those same tags identify the logical subdivisions used for
+// browsing (paper §2).
+//
+// Tags (each on its own line, starting with a dot):
+//
+//	.title <text>      object/segment title
+//	.abstract          following paragraphs form the abstract
+//	.chapter <title>   start a chapter
+//	.section <title>   start a section within the current chapter
+//	.references        following paragraphs are the reference list
+//	.indent <n>        set paragraph indent for subsequent paragraphs
+//	.size <big|normal> set the letter size for subsequent paragraphs
+//	.pp                explicit paragraph break
+//
+// Body lines hold the running text. A blank line is a paragraph break.
+// Within body text, inline emphasis markers apply per word:
+//
+//	*word*   bold
+//	_word_   underline
+//	/word/   italic
+//
+// Sentences end at '.', '!' or '?' followed by whitespace or end of line.
+// A chapter tag with no .section creates an implicit untitled section so
+// text can be placed directly under a chapter.
+func Parse(src string) (*Segment, error) {
+	p := &parser{seg: &Segment{}}
+	sc := bufio.NewScanner(strings.NewReader(src))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("text: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("text: scan: %w", err)
+	}
+	p.flushParagraph()
+	return p.seg, nil
+}
+
+type parseRegion uint8
+
+const (
+	regionBody parseRegion = iota
+	regionAbstract
+	regionReferences
+)
+
+type parser struct {
+	seg    *Segment
+	region parseRegion
+	indent int
+	scale  int
+
+	curWords []Word
+	curSents []Sentence
+}
+
+func (p *parser) line(line string) error {
+	trimmed := strings.TrimSpace(line)
+	if strings.HasPrefix(trimmed, ".") {
+		return p.tag(trimmed)
+	}
+	if trimmed == "" {
+		p.flushParagraph()
+		return nil
+	}
+	p.bodyText(trimmed)
+	return nil
+}
+
+func (p *parser) tag(line string) error {
+	name, arg, _ := strings.Cut(line[1:], " ")
+	arg = strings.TrimSpace(arg)
+	switch name {
+	case "title":
+		p.seg.Title = arg
+	case "abstract":
+		p.flushParagraph()
+		p.region = regionAbstract
+	case "chapter":
+		p.flushParagraph()
+		p.region = regionBody
+		p.seg.Chapters = append(p.seg.Chapters, Chapter{Title: arg})
+	case "section":
+		p.flushParagraph()
+		p.region = regionBody
+		if len(p.seg.Chapters) == 0 {
+			p.seg.Chapters = append(p.seg.Chapters, Chapter{})
+		}
+		c := &p.seg.Chapters[len(p.seg.Chapters)-1]
+		c.Sections = append(c.Sections, Section{Title: arg})
+	case "references":
+		p.flushParagraph()
+		p.region = regionReferences
+	case "pp":
+		p.flushParagraph()
+	case "size":
+		p.flushParagraph()
+		switch arg {
+		case "big":
+			p.scale = 2
+		case "normal":
+			p.scale = 1
+		default:
+			return fmt.Errorf("bad .size argument %q (want big or normal)", arg)
+		}
+	case "indent":
+		p.flushParagraph()
+		n := 0
+		if _, err := fmt.Sscanf(arg, "%d", &n); err != nil {
+			return fmt.Errorf("bad .indent argument %q", arg)
+		}
+		if n < 0 {
+			return fmt.Errorf("negative .indent %d", n)
+		}
+		p.indent = n
+	default:
+		return fmt.Errorf("unknown tag .%s", name)
+	}
+	return nil
+}
+
+func (p *parser) bodyText(s string) {
+	for _, field := range strings.Fields(s) {
+		word, emph, term := splitWord(field)
+		if word == "" {
+			continue
+		}
+		p.curWords = append(p.curWords, Word{Text: word, Emph: emph})
+		if term != 0 {
+			p.curSents = append(p.curSents, Sentence{Words: p.curWords, Terminator: term})
+			p.curWords = nil
+		}
+	}
+}
+
+// splitWord strips inline emphasis markers and a trailing sentence
+// terminator from one whitespace-delimited field.
+func splitWord(field string) (word string, emph Emphasis, term rune) {
+	// Trailing terminator (possibly after a closing emphasis marker).
+	runes := []rune(field)
+	for len(runes) > 0 {
+		last := runes[len(runes)-1]
+		if last == '.' || last == '!' || last == '?' {
+			term = last
+			runes = runes[:len(runes)-1]
+			break
+		}
+		if last == ',' || last == ';' || last == ':' || last == ')' || last == '"' {
+			runes = runes[:len(runes)-1]
+			continue
+		}
+		break
+	}
+	s := string(runes)
+	s = strings.TrimLeft(s, "(\"")
+	for {
+		switch {
+		case len(s) >= 2 && strings.HasPrefix(s, "*") && strings.HasSuffix(s, "*"):
+			emph |= Bold
+			s = s[1 : len(s)-1]
+		case len(s) >= 2 && strings.HasPrefix(s, "_") && strings.HasSuffix(s, "_"):
+			emph |= Underline
+			s = s[1 : len(s)-1]
+		case len(s) >= 2 && strings.HasPrefix(s, "/") && strings.HasSuffix(s, "/"):
+			emph |= Italic
+			s = s[1 : len(s)-1]
+		default:
+			return s, emph, term
+		}
+	}
+}
+
+func (p *parser) flushParagraph() {
+	if len(p.curWords) > 0 {
+		p.curSents = append(p.curSents, Sentence{Words: p.curWords})
+		p.curWords = nil
+	}
+	if len(p.curSents) == 0 {
+		return
+	}
+	para := Paragraph{Sentences: p.curSents, Indent: p.indent, Scale: p.scale}
+	p.curSents = nil
+	switch p.region {
+	case regionAbstract:
+		p.seg.Abstract = append(p.seg.Abstract, para)
+	case regionReferences:
+		p.seg.References = append(p.seg.References, para)
+	default:
+		if len(p.seg.Chapters) == 0 {
+			p.seg.Chapters = append(p.seg.Chapters, Chapter{})
+		}
+		c := &p.seg.Chapters[len(p.seg.Chapters)-1]
+		if len(c.Sections) == 0 {
+			c.Sections = append(c.Sections, Section{})
+		}
+		sec := &c.Sections[len(c.Sections)-1]
+		sec.Paragraphs = append(sec.Paragraphs, para)
+	}
+}
+
+// NormalizeToken lowercases a word and strips non-alphanumeric runes; it is
+// the shared token form for indexing and pattern browsing across text and
+// recognized voice.
+func NormalizeToken(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		}
+	}
+	return b.String()
+}

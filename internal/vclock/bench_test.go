@@ -1,0 +1,16 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := New()
+		for j := 0; j < 100; j++ {
+			c.Schedule(time.Duration(j%17)*time.Millisecond, func() {})
+		}
+		c.Run(0)
+	}
+}

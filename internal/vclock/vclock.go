@@ -1,0 +1,201 @@
+// Package vclock provides a deterministic virtual clock and discrete-event
+// scheduler. All time-dependent behaviour in the reproduction — voice
+// playback, tours, process simulation, disk service times, server queueing —
+// runs against a Clock instead of the wall clock, so experiments are
+// deterministic and fast.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a virtual clock. The zero value is not usable; use New.
+//
+// A Clock is single-threaded by design: events fire inside Advance/Run on
+// the calling goroutine, in timestamp order (FIFO among equal timestamps).
+// This mirrors a classical discrete-event simulator and avoids any
+// dependence on goroutine scheduling for experiment results.
+type Clock struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	// firing guards against re-entrant Advance calls from inside an
+	// event callback, which would corrupt the heap traversal.
+	firing bool
+}
+
+// New returns a Clock positioned at time zero with no pending events.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time as an offset from the clock's origin.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Timer is a handle to a scheduled event. Stop cancels it.
+type Timer struct {
+	clock   *Clock
+	id      uint64
+	stopped bool
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending
+// (i.e. the call prevented the event from firing).
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return t.clock.cancel(t.id)
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+	// index within the heap, maintained by heap.Interface methods.
+	index int
+	// cancelled events stay in the heap but are skipped when popped.
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Schedule runs fn at absolute virtual time at. Scheduling in the past (or
+// at the current instant) is allowed: the event fires on the next Advance
+// or Run call, before any later events.
+func (c *Clock) Schedule(at time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("vclock: Schedule with nil function")
+	}
+	if at < c.now {
+		at = c.now
+	}
+	c.seq++
+	e := &event{at: at, seq: c.seq, fn: fn}
+	heap.Push(&c.events, e)
+	return &Timer{clock: c, id: e.seq}
+}
+
+// AfterFunc runs fn after duration d of virtual time has elapsed.
+func (c *Clock) AfterFunc(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return c.Schedule(c.now+d, fn)
+}
+
+func (c *Clock) cancel(id uint64) bool {
+	for _, e := range c.events {
+		if e.seq == id && !e.cancelled {
+			e.cancelled = true
+			return true
+		}
+	}
+	return false
+}
+
+// Pending reports the number of scheduled, uncancelled events.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, e := range c.events {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Advance moves the clock forward by d, firing every event whose timestamp
+// falls within the window, in order. Events scheduled by callbacks within
+// the window also fire.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: Advance by negative duration %v", d))
+	}
+	c.AdvanceTo(c.now + d)
+}
+
+// AdvanceTo moves the clock forward to absolute time t, firing due events.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t < c.now {
+		panic(fmt.Sprintf("vclock: AdvanceTo(%v) before now (%v)", t, c.now))
+	}
+	if c.firing {
+		panic("vclock: re-entrant Advance from event callback")
+	}
+	c.firing = true
+	defer func() { c.firing = false }()
+	for len(c.events) > 0 {
+		next := c.events[0]
+		if next.cancelled {
+			heap.Pop(&c.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		heap.Pop(&c.events)
+		c.now = next.at
+		next.fn()
+	}
+	c.now = t
+}
+
+// Run fires events until none remain or until limit is reached, whichever
+// comes first, and returns the final virtual time. A limit of zero or less
+// means "no limit"; in that case the caller is responsible for ensuring the
+// event set drains (e.g. a tour that ends).
+func (c *Clock) Run(limit time.Duration) time.Duration {
+	if c.firing {
+		panic("vclock: re-entrant Run from event callback")
+	}
+	c.firing = true
+	defer func() { c.firing = false }()
+	for len(c.events) > 0 {
+		next := c.events[0]
+		if next.cancelled {
+			heap.Pop(&c.events)
+			continue
+		}
+		if limit > 0 && next.at > limit {
+			c.now = limit
+			return c.now
+		}
+		heap.Pop(&c.events)
+		c.now = next.at
+		next.fn()
+	}
+	if limit > 0 && limit > c.now {
+		c.now = limit
+	}
+	return c.now
+}

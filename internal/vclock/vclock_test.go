@@ -1,0 +1,208 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNowStartsAtZero(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestAdvanceMovesTime(t *testing.T) {
+	c := New()
+	c.Advance(5 * time.Second)
+	if got := c.Now(); got != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", got)
+	}
+}
+
+func TestScheduleFiresInOrder(t *testing.T) {
+	c := New()
+	var got []int
+	c.Schedule(3*time.Second, func() { got = append(got, 3) })
+	c.Schedule(1*time.Second, func() { got = append(got, 1) })
+	c.Schedule(2*time.Second, func() { got = append(got, 2) })
+	c.Advance(10 * time.Second)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	c := New()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	c.Advance(time.Second)
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestAdvancePartial(t *testing.T) {
+	c := New()
+	fired := false
+	c.Schedule(10*time.Second, func() { fired = true })
+	c.Advance(5 * time.Second)
+	if fired {
+		t.Fatal("event fired too early")
+	}
+	c.Advance(5 * time.Second)
+	if !fired {
+		t.Fatal("event did not fire at its timestamp")
+	}
+}
+
+func TestAfterFunc(t *testing.T) {
+	c := New()
+	c.Advance(time.Minute)
+	var at time.Duration
+	c.AfterFunc(2*time.Second, func() { at = c.Now() })
+	c.Advance(5 * time.Second)
+	if at != time.Minute+2*time.Second {
+		t.Fatalf("fired at %v, want 1m2s", at)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := New()
+	fired := false
+	tm := c.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	c.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestCallbackSchedulesWithinWindow(t *testing.T) {
+	c := New()
+	var got []time.Duration
+	c.Schedule(time.Second, func() {
+		got = append(got, c.Now())
+		c.AfterFunc(time.Second, func() { got = append(got, c.Now()) })
+	})
+	c.Advance(5 * time.Second)
+	if len(got) != 2 || got[0] != time.Second || got[1] != 2*time.Second {
+		t.Fatalf("chained events fired at %v", got)
+	}
+}
+
+func TestRunDrainsAllEvents(t *testing.T) {
+	c := New()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < 10 {
+			c.AfterFunc(time.Second, step)
+		}
+	}
+	c.AfterFunc(time.Second, step)
+	end := c.Run(0)
+	if n != 10 {
+		t.Fatalf("fired %d events, want 10", n)
+	}
+	if end != 10*time.Second {
+		t.Fatalf("Run ended at %v, want 10s", end)
+	}
+}
+
+func TestRunHonorsLimit(t *testing.T) {
+	c := New()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		c.AfterFunc(time.Second, step)
+	}
+	c.AfterFunc(time.Second, step)
+	end := c.Run(5500 * time.Millisecond)
+	if n != 5 {
+		t.Fatalf("fired %d events, want 5", n)
+	}
+	if end != 5500*time.Millisecond {
+		t.Fatalf("Run ended at %v, want 5.5s", end)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", c.Pending())
+	}
+}
+
+func TestSchedulePastClampsToNow(t *testing.T) {
+	c := New()
+	c.Advance(time.Minute)
+	var at time.Duration = -1
+	c.Schedule(time.Second, func() { at = c.Now() })
+	c.Advance(0)
+	if at != time.Minute {
+		t.Fatalf("past-scheduled event fired at %v, want now (1m)", at)
+	}
+}
+
+func TestPendingCountsUncancelled(t *testing.T) {
+	c := New()
+	t1 := c.AfterFunc(time.Second, func() {})
+	c.AfterFunc(2*time.Second, func() {})
+	if c.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", c.Pending())
+	}
+	t1.Stop()
+	if c.Pending() != 1 {
+		t.Fatalf("Pending() = %d after Stop, want 1", c.Pending())
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	New().Advance(-time.Second)
+}
+
+func TestReentrantAdvancePanics(t *testing.T) {
+	c := New()
+	var recovered any
+	c.AfterFunc(time.Second, func() {
+		defer func() { recovered = recover() }()
+		c.Advance(time.Second)
+	})
+	c.Advance(2 * time.Second)
+	if recovered == nil {
+		t.Fatal("re-entrant Advance did not panic")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	c := New()
+	tm := c.AfterFunc(time.Second, func() {})
+	c.Advance(2 * time.Second)
+	if tm.Stop() {
+		t.Fatal("Stop() = true after the event fired")
+	}
+}
+
+func TestNilTimerStop(t *testing.T) {
+	var tm *Timer
+	if tm.Stop() {
+		t.Fatal("nil timer Stop = true")
+	}
+}

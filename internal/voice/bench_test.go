@@ -1,0 +1,51 @@
+package voice
+
+import (
+	"testing"
+	"time"
+
+	"minos/internal/text"
+)
+
+func benchStream(b *testing.B) []text.FlatWord {
+	b.Helper()
+	seg, err := text.Parse(speechDoc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return text.Flatten(seg)
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	stream := benchStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Synthesize(stream, DefaultSpeaker(), 2000)
+	}
+}
+
+func BenchmarkDetectPauses(b *testing.B) {
+	syn := Synthesize(benchStream(b), DefaultSpeaker(), 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectPauses(syn.Part, DetectorConfig{})
+	}
+}
+
+func BenchmarkPaginateAudio(b *testing.B) {
+	syn := Synthesize(benchStream(b), DefaultSpeaker(), 2000)
+	pauses := DetectPauses(syn.Part, DetectorConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Paginate(syn.Part, 5*time.Second, pauses)
+	}
+}
+
+func BenchmarkRecognize(b *testing.B) {
+	syn := Synthesize(benchStream(b), DefaultSpeaker(), 2000)
+	r := NewRecognizer([]string{"lobe", "heart", "x-ray", "shadow"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Recognize(syn.Marks)
+	}
+}

@@ -1,0 +1,82 @@
+package voice
+
+import "time"
+
+// DefaultPageLength is the default audio page length. The paper defines
+// audio pages as "consecutive partitions of the audio object part which are
+// of approximately constant time length" (§2).
+const DefaultPageLength = 20 * time.Second
+
+// AudioPage is one audio page: a sample range of the voice part.
+type AudioPage struct {
+	Start int // first sample
+	End   int // one past the last sample
+}
+
+// Paginate splits the part into audio pages of approximately pageLen
+// (0 selects DefaultPageLength). Page boundaries snap to the nearest
+// detected pause end within a quarter-page, so pages do not split words —
+// the "approximately constant" qualifier in the paper. Pass nil pauses to
+// get exact constant-length pages.
+func Paginate(p *Part, pageLen time.Duration, pauses []Pause) []AudioPage {
+	if pageLen <= 0 {
+		pageLen = DefaultPageLength
+	}
+	per := int(int64(pageLen) * int64(p.Rate) / int64(time.Second))
+	if per <= 0 {
+		per = 1
+	}
+	var pages []AudioPage
+	start := 0
+	for start < len(p.Samples) {
+		end := start + per
+		if end >= len(p.Samples) {
+			end = len(p.Samples)
+		} else if len(pauses) > 0 {
+			end = snapToPause(end, per/4, pauses)
+			if end <= start {
+				end = start + per
+				if end > len(p.Samples) {
+					end = len(p.Samples)
+				}
+			}
+		}
+		pages = append(pages, AudioPage{Start: start, End: end})
+		start = end
+	}
+	return pages
+}
+
+// snapToPause moves a tentative boundary to the end of the nearest pause
+// within ±slack samples, preferring the closest.
+func snapToPause(boundary, slack int, pauses []Pause) int {
+	best := boundary
+	bestDist := slack + 1
+	for _, p := range pauses {
+		end := p.Offset + p.Length
+		d := end - boundary
+		if d < 0 {
+			d = -d
+		}
+		if d <= slack && d < bestDist {
+			best = end
+			bestDist = d
+		}
+	}
+	return best
+}
+
+// PageOf returns the index of the page containing sample offset off, or the
+// last page if off is past the end, or 0 for an empty page list... callers
+// guarantee pages is non-empty.
+func PageOf(pages []AudioPage, off int) int {
+	for i, pg := range pages {
+		if off < pg.End {
+			return i
+		}
+	}
+	if len(pages) == 0 {
+		return 0
+	}
+	return len(pages) - 1
+}

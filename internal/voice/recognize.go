@@ -1,0 +1,115 @@
+package voice
+
+import (
+	"sort"
+
+	"minos/internal/text"
+)
+
+// Recognizer simulates the limited-vocabulary voice recognition device of
+// the 1986 system. Per the paper (§2), "voice recognition is not taking
+// place at the time of browsing. Instead, some voice segments have been
+// recognized at the time of voice insertion, or at machine's idle time" and
+// "recognized utterances are associated with a particular point of the
+// object voice part in order to facilitate browsing within an object."
+//
+// The simulation spots vocabulary words in the synthesis ground truth and
+// emits an Utterance per hit, with a deterministic miss model (a real
+// limited recognizer misses some occurrences) and an optional false-alarm
+// model. Recognizer quality is a parameter so the E-RECOG experiment can
+// sweep it.
+type Recognizer struct {
+	// Vocabulary is the set of normalized tokens the device can spot.
+	// Empty means "unlimited" (every word is in vocabulary) — useful for
+	// upper-bound experiments, unrealistic for 1986.
+	Vocabulary map[string]bool
+	// HitRate is the probability an in-vocabulary occurrence is
+	// recognized (default 0.9).
+	HitRate float64
+	// FalseAlarmRate is the probability any word triggers a spurious
+	// recognition of a random vocabulary token (default 0).
+	FalseAlarmRate float64
+	// Seed makes the miss pattern deterministic.
+	Seed uint64
+}
+
+// NewRecognizer builds a recognizer over the given vocabulary words
+// (normalized internally).
+func NewRecognizer(words []string) *Recognizer {
+	v := make(map[string]bool, len(words))
+	for _, w := range words {
+		if t := text.NormalizeToken(w); t != "" {
+			v[t] = true
+		}
+	}
+	return &Recognizer{Vocabulary: v, HitRate: 0.9, Seed: 7}
+}
+
+// Recognize runs the simulated device over the synthesis ground truth and
+// returns the recognized utterances sorted by offset. It does not modify
+// the part; callers typically assign the result to Part.Utterances.
+func (r *Recognizer) Recognize(marks []WordMark) []Utterance {
+	hitRate := r.HitRate
+	if hitRate <= 0 {
+		hitRate = 0.9
+	}
+	rng := jitterSource{state: r.Seed*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9}
+	vocabList := r.sortedVocab()
+	var out []Utterance
+	for _, m := range marks {
+		tok := text.NormalizeToken(m.Word)
+		if tok == "" {
+			continue
+		}
+		inVocab := len(r.Vocabulary) == 0 || r.Vocabulary[tok]
+		roll := float64(rng.next()%10000) / 10000
+		if inVocab && roll < hitRate {
+			out = append(out, Utterance{Token: tok, Offset: m.Offset})
+			continue
+		}
+		if r.FalseAlarmRate > 0 && len(vocabList) > 0 {
+			roll2 := float64(rng.next()%10000) / 10000
+			if roll2 < r.FalseAlarmRate {
+				fake := vocabList[rng.next()%uint64(len(vocabList))]
+				out = append(out, Utterance{Token: fake, Offset: m.Offset})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	return out
+}
+
+func (r *Recognizer) sortedVocab() []string {
+	out := make([]string, 0, len(r.Vocabulary))
+	for w := range r.Vocabulary {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NextUtterance returns the first utterance with the given token strictly
+// after sample offset from, or nil. This is the voice half of pattern
+// browsing (§2): the system returns the next page with the occurrence of
+// the pattern in the object's voice.
+func NextUtterance(utts []Utterance, token string, from int) *Utterance {
+	token = text.NormalizeToken(token)
+	for i := range utts {
+		if utts[i].Offset > from && utts[i].Token == token {
+			return &utts[i]
+		}
+	}
+	return nil
+}
+
+// PrevUtterance returns the last utterance with the given token strictly
+// before sample offset from, or nil.
+func PrevUtterance(utts []Utterance, token string, from int) *Utterance {
+	token = text.NormalizeToken(token)
+	for i := len(utts) - 1; i >= 0; i-- {
+		if utts[i].Offset < from && utts[i].Token == token {
+			return &utts[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package voice
+
+import (
+	"math"
+	"time"
+
+	"minos/internal/text"
+)
+
+// Speaker describes the prosody of a simulated speaker. The pause structure
+// — not the waveform — is what the presentation primitives depend on, so the
+// profile centres on rate and pause scaling.
+type Speaker struct {
+	// WordsPerMinute sets the speaking rate; the reference rate is 150.
+	WordsPerMinute int
+	// PitchHz is the fundamental of the synthetic voice.
+	PitchHz float64
+	// PauseScale multiplies all inter-word silences (a deliberate
+	// speaker pauses longer everywhere).
+	PauseScale float64
+	// NoiseAmp is the amplitude of the background noise floor added to
+	// the whole recording, making silence detection non-trivial.
+	NoiseAmp int16
+	// Seed varies the deterministic jitter between otherwise identical
+	// speakers.
+	Seed uint64
+}
+
+// DefaultSpeaker returns the reference speaker profile.
+func DefaultSpeaker() Speaker {
+	return Speaker{WordsPerMinute: 150, PitchHz: 120, PauseScale: 1.0, NoiseAmp: 40, Seed: 1}
+}
+
+func (sp Speaker) rateFactor() float64 {
+	wpm := sp.WordsPerMinute
+	if wpm <= 0 {
+		wpm = 150
+	}
+	return 150.0 / float64(wpm)
+}
+
+// Reference pause lengths at 150 wpm, before PauseScale/jitter. Word gaps
+// are the paper's "short pauses"; paragraph-and-above gaps are the "long
+// pauses"; sentence gaps sit between but remain on the short side.
+const (
+	refWordGap      = 90 * time.Millisecond
+	refSentenceGap  = 220 * time.Millisecond
+	refParagraphGap = 750 * time.Millisecond
+	refSectionGap   = 1100 * time.Millisecond
+	refChapterGap   = 1500 * time.Millisecond
+
+	refWordBase    = 110 * time.Millisecond
+	refWordPerChar = 42 * time.Millisecond
+)
+
+// GapKind classifies the silence preceding a word in the synthesis ground
+// truth, used by the pause-detection experiment.
+type GapKind uint8
+
+const (
+	GapNone GapKind = iota // first word: no preceding gap
+	GapWord
+	GapSentence
+	GapParagraph
+	GapSection
+	GapChapter
+)
+
+// IsLong reports whether the gap kind is a "long pause" in the paper's
+// sense (roughly, a paragraph boundary or larger).
+func (g GapKind) IsLong() bool { return g >= GapParagraph }
+
+// WordMark records where each spoken word starts in the synthesized sample
+// stream, together with the logical boundary it begins and the kind of gap
+// that preceded it. WordMarks are synthesis ground truth: the pause
+// detector and recognizer experiments are scored against them, and the
+// manual-editing simulation derives Markers from them.
+type WordMark struct {
+	Offset int
+	Word   string
+	Bounds text.Boundary
+	Gap    GapKind
+	GapLen time.Duration
+}
+
+// Synthesis is the result of synthesizing a flattened text stream.
+type Synthesis struct {
+	Part  *Part
+	Marks []WordMark
+}
+
+// Synthesize renders the flattened word stream as speech by the given
+// speaker at the given sampling rate (0 means SampleRate).
+func Synthesize(stream []text.FlatWord, sp Speaker, rate int) *Synthesis {
+	if rate <= 0 {
+		rate = SampleRate
+	}
+	part := &Part{Rate: rate}
+	syn := &Synthesis{Part: part}
+	rf := sp.rateFactor()
+	ps := sp.PauseScale
+	if ps <= 0 {
+		ps = 1
+	}
+	rng := jitterSource{state: sp.Seed*2654435761 + 0x9e3779b97f4a7c15}
+	var prevEnds rune
+	for i, fw := range stream {
+		gap, kind := gapBefore(fw, i, prevEnds)
+		gap = time.Duration(float64(gap) * rf * ps)
+		if gap > 0 {
+			// ±15% deterministic jitter.
+			gap = rng.jitter(gap, 0.15)
+			appendSilence(part, sp, gap)
+		}
+		mark := WordMark{
+			Offset: len(part.Samples),
+			Word:   fw.Word.Text,
+			Bounds: fw.Bounds,
+			Gap:    kind,
+			GapLen: gap,
+		}
+		syn.Marks = append(syn.Marks, mark)
+		dur := refWordBase + time.Duration(len(fw.Word.Text))*refWordPerChar
+		dur = rng.jitter(time.Duration(float64(dur)*rf), 0.10)
+		loud := 1.0
+		if fw.Word.Emph&text.Bold != 0 {
+			loud = 1.5 // "increased loudness" expresses emphasis in speech (§2)
+		}
+		appendWord(part, sp, dur, loud)
+		prevEnds = fw.EndsWith
+	}
+	return syn
+}
+
+func gapBefore(fw text.FlatWord, i int, prevEnds rune) (time.Duration, GapKind) {
+	if i == 0 {
+		return 0, GapNone
+	}
+	switch {
+	case fw.Bounds&text.StartsChapter != 0:
+		return refChapterGap, GapChapter
+	case fw.Bounds&text.StartsSection != 0:
+		return refSectionGap, GapSection
+	case fw.Bounds&text.StartsParagraph != 0:
+		return refParagraphGap, GapParagraph
+	case fw.Bounds&text.StartsSentence != 0 && prevEnds != 0:
+		return refSentenceGap, GapSentence
+	default:
+		return refWordGap, GapWord
+	}
+}
+
+func appendSilence(p *Part, sp Speaker, d time.Duration) {
+	n := int(int64(d) * int64(p.Rate) / int64(time.Second))
+	base := len(p.Samples)
+	for i := 0; i < n; i++ {
+		p.Samples = append(p.Samples, noiseSample(sp, base+i))
+	}
+}
+
+func appendWord(p *Part, sp Speaker, d time.Duration, loud float64) {
+	n := int(int64(d) * int64(p.Rate) / int64(time.Second))
+	if n == 0 {
+		n = 1
+	}
+	pitch := sp.PitchHz
+	if pitch <= 0 {
+		pitch = 120
+	}
+	amp := 8000.0 * loud
+	base := len(p.Samples)
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(p.Rate)
+		// Attack/decay envelope so word boundaries are soft.
+		env := envelope(float64(i), float64(n))
+		v := amp * env * (0.7*math.Sin(2*math.Pi*pitch*t) + 0.3*math.Sin(2*math.Pi*2.3*pitch*t))
+		s := clamp16(int32(v) + int32(noiseSample(sp, base+i)))
+		p.Samples = append(p.Samples, s)
+	}
+}
+
+func envelope(i, n float64) float64 {
+	attack := n * 0.15
+	decay := n * 0.2
+	switch {
+	case i < attack:
+		return i / attack
+	case i > n-decay:
+		return (n - i) / decay
+	default:
+		return 1
+	}
+}
+
+func clamp16(v int32) int16 {
+	if v > math.MaxInt16 {
+		return math.MaxInt16
+	}
+	if v < math.MinInt16 {
+		return math.MinInt16
+	}
+	return int16(v)
+}
+
+// noiseSample produces a deterministic low-amplitude noise floor.
+func noiseSample(sp Speaker, i int) int16 {
+	if sp.NoiseAmp == 0 {
+		return 0
+	}
+	x := uint64(i)*6364136223846793005 + sp.Seed
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int16(int64(x%uint64(2*sp.NoiseAmp+1)) - int64(sp.NoiseAmp))
+}
+
+// jitterSource is a tiny deterministic PRNG (splitmix64 core) used only to
+// perturb durations; determinism keeps experiments reproducible.
+type jitterSource struct{ state uint64 }
+
+func (j *jitterSource) next() uint64 {
+	j.state += 0x9e3779b97f4a7c15
+	z := j.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// jitter returns d perturbed by up to ±frac.
+func (j *jitterSource) jitter(d time.Duration, frac float64) time.Duration {
+	u := float64(j.next()%10000)/10000.0*2 - 1 // [-1, 1)
+	return time.Duration(float64(d) * (1 + frac*u))
+}
+
+// MarkersFromMarks derives manual Markers from the ground-truth word marks
+// down to and including the given unit level, simulating the degree of
+// manual editing done at insertion time ("in a certain object, only
+// identification of chapters may be desirable; in another, chapters and
+// sections and paragraphs", §2). Pass text.UnitWord to mark everything.
+func MarkersFromMarks(marks []WordMark, down text.Unit) []Marker {
+	var out []Marker
+	for _, m := range marks {
+		unit, ok := highestUnit(m.Bounds)
+		if !ok {
+			if down == text.UnitWord {
+				out = append(out, Marker{Offset: m.Offset, Unit: text.UnitWord, Label: m.Word})
+			}
+			continue
+		}
+		if unit >= down {
+			out = append(out, Marker{Offset: m.Offset, Unit: unit, Label: m.Word})
+		}
+	}
+	return out
+}
+
+func highestUnit(b text.Boundary) (text.Unit, bool) {
+	switch {
+	case b&text.StartsChapter != 0:
+		return text.UnitChapter, true
+	case b&text.StartsSection != 0:
+		return text.UnitSection, true
+	case b&text.StartsParagraph != 0:
+		return text.UnitParagraph, true
+	case b&text.StartsSentence != 0:
+		return text.UnitSentence, true
+	}
+	return text.UnitWord, false
+}

@@ -1,0 +1,191 @@
+// Package voice implements the voice part of a MINOS multimedia object.
+//
+// The 1986 system digitized real speech through dedicated hardware. That
+// hardware is substituted (see DESIGN.md) by a deterministic speech
+// synthesizer that converts an annotated transcript into PCM samples with a
+// prosody model: per-word sound bursts, amplitude envelopes, and silences
+// whose lengths depend on the boundary being crossed (word, sentence,
+// paragraph, section, chapter) and on the speaker's rate. Everything the
+// presentation manager observes about voice — sample amplitudes, silence
+// runs, durations, playback positions — is faithfully produced, so pause
+// detection, audio paging and pause-based rewind behave as they would on
+// real digitized voice.
+//
+// The package also provides:
+//
+//   - the pause detector with adaptive short/long classification (paper §2:
+//     "the exact timing for short and long pauses depends on the speaker and
+//     the section of the speech; it is decided from the current context by
+//     sampling"),
+//   - audio pages: consecutive partitions of approximately constant time
+//     length,
+//   - logical component markers (set manually at insertion time, per §2),
+//   - simulated limited-vocabulary voice recognition producing recognized
+//     utterances anchored at offsets within the voice part (§2: recognition
+//     happens at insertion or idle time, never at browsing time).
+package voice
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"minos/internal/text"
+)
+
+// SampleRate is the default sampling rate in Hz. 8 kHz telephone-quality
+// audio matches the paper's era.
+const SampleRate = 8000
+
+// Part is one voice segment of a multimedia object: PCM samples plus the
+// structures the presentation manager browses with.
+type Part struct {
+	Rate    int     // samples per second
+	Samples []int16 // mono PCM
+
+	// Markers are logical component boundaries identified manually at
+	// insertion time (or later). They may be empty or partial: "the
+	// degree of desired editing varies according to the importance of
+	// information" (§2).
+	Markers []Marker
+
+	// Utterances are the output of (simulated) limited-vocabulary voice
+	// recognition, each anchored at a particular point of the voice part.
+	Utterances []Utterance
+}
+
+// Duration returns the total play time of the part.
+func (p *Part) Duration() time.Duration {
+	if p.Rate == 0 {
+		return 0
+	}
+	return time.Duration(len(p.Samples)) * time.Second / time.Duration(p.Rate)
+}
+
+// OffsetAt converts a time position into a sample offset, clamped to the
+// part bounds.
+func (p *Part) OffsetAt(t time.Duration) int {
+	if p.Rate == 0 || t <= 0 {
+		return 0
+	}
+	off := int(int64(t) * int64(p.Rate) / int64(time.Second))
+	if off > len(p.Samples) {
+		off = len(p.Samples)
+	}
+	return off
+}
+
+// TimeAt converts a sample offset into a time position.
+func (p *Part) TimeAt(off int) time.Duration {
+	if p.Rate == 0 {
+		return 0
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off > len(p.Samples) {
+		off = len(p.Samples)
+	}
+	return time.Duration(off) * time.Second / time.Duration(p.Rate)
+}
+
+// Marker is a manually identified logical component boundary in the voice
+// part, analogous to a text logical unit start.
+type Marker struct {
+	Offset int // sample offset where the unit starts
+	Unit   text.Unit
+	Label  string // optional: e.g. the chapter title spoken
+}
+
+// Utterance is one recognized word anchored at a sample offset.
+type Utterance struct {
+	Token  string // normalized token form (see text.NormalizeToken)
+	Offset int
+}
+
+// NextMarker returns the index into Markers of the first marker with
+// Offset > from whose unit is at least u (a chapter marker satisfies a
+// request for sections, mirroring text boundary containment), or -1.
+func (p *Part) NextMarker(from int, u text.Unit) int {
+	best := -1
+	for i, m := range p.Markers {
+		if m.Offset > from && m.Unit >= u {
+			if best == -1 || m.Offset < p.Markers[best].Offset {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// PrevMarker returns the index of the last marker with Offset < from whose
+// unit is at least u, or -1.
+func (p *Part) PrevMarker(from int, u text.Unit) int {
+	best := -1
+	for i, m := range p.Markers {
+		if m.Offset < from && m.Unit >= u {
+			if best == -1 || m.Offset > p.Markers[best].Offset {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// UnitsIdentified reports which logical unit levels have markers, used by
+// the presentation manager to compute available menu options.
+func (p *Part) UnitsIdentified() []text.Unit {
+	have := map[text.Unit]bool{}
+	for _, m := range p.Markers {
+		have[m.Unit] = true
+	}
+	var out []text.Unit
+	for _, u := range []text.Unit{text.UnitWord, text.UnitSentence, text.UnitParagraph, text.UnitSection, text.UnitChapter} {
+		if have[u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Intensity returns the mean absolute amplitude over a frame of samples
+// beginning at off; it is the observable the pause detector thresholds.
+func (p *Part) Intensity(off, frame int) float64 {
+	if off < 0 {
+		off = 0
+	}
+	end := off + frame
+	if end > len(p.Samples) {
+		end = len(p.Samples)
+	}
+	if end <= off {
+		return 0
+	}
+	var sum float64
+	for _, s := range p.Samples[off:end] {
+		sum += math.Abs(float64(s))
+	}
+	return sum / float64(end-off)
+}
+
+// Validate reports structural problems (markers out of range or unsorted
+// offsets are tolerated but out-of-range anchors are not).
+func (p *Part) Validate() error {
+	if p.Rate <= 0 {
+		return fmt.Errorf("voice: non-positive sample rate %d", p.Rate)
+	}
+	for i, m := range p.Markers {
+		if m.Offset < 0 || m.Offset > len(p.Samples) {
+			return fmt.Errorf("voice: marker %d offset %d out of range [0,%d]", i, m.Offset, len(p.Samples))
+		}
+	}
+	for i, u := range p.Utterances {
+		if u.Offset < 0 || u.Offset > len(p.Samples) {
+			return fmt.Errorf("voice: utterance %d offset %d out of range", i, u.Offset)
+		}
+		if u.Token == "" {
+			return fmt.Errorf("voice: utterance %d has empty token", i)
+		}
+	}
+	return nil
+}

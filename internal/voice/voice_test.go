@@ -1,0 +1,517 @@
+package voice
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"minos/internal/text"
+)
+
+const testRate = 4000 // keep synthesis fast in tests
+
+const speechDoc = `.title Observations
+.chapter Findings
+.section Lungs
+The upper lobe shows a small shadow. It appears benign!
+
+The lower lobe is clear. No further action needed.
+.section Heart
+Heart size is normal. Rhythm is regular.
+.chapter Plan
+.section Followup
+Repeat the x-ray in six months. Call if symptoms appear.
+`
+
+func synthDoc(t testing.TB, sp Speaker) (*Synthesis, []text.FlatWord) {
+	t.Helper()
+	seg, err := text.Parse(speechDoc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	stream := text.Flatten(seg)
+	return Synthesize(stream, sp, testRate), stream
+}
+
+func TestSynthesizeProducesSamples(t *testing.T) {
+	syn, stream := synthDoc(t, DefaultSpeaker())
+	if len(syn.Part.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	if len(syn.Marks) != len(stream) {
+		t.Fatalf("marks = %d, want %d (one per word)", len(syn.Marks), len(stream))
+	}
+	if err := syn.Part.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a, _ := synthDoc(t, DefaultSpeaker())
+	b, _ := synthDoc(t, DefaultSpeaker())
+	if len(a.Part.Samples) != len(b.Part.Samples) {
+		t.Fatal("lengths differ across identical runs")
+	}
+	for i := range a.Part.Samples {
+		if a.Part.Samples[i] != b.Part.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestSynthesizeMarksMonotonic(t *testing.T) {
+	syn, _ := synthDoc(t, DefaultSpeaker())
+	for i := 1; i < len(syn.Marks); i++ {
+		if syn.Marks[i].Offset <= syn.Marks[i-1].Offset {
+			t.Fatalf("mark %d offset %d not after %d", i, syn.Marks[i].Offset, syn.Marks[i-1].Offset)
+		}
+	}
+}
+
+func TestSynthesizeGapKinds(t *testing.T) {
+	syn, stream := synthDoc(t, DefaultSpeaker())
+	if syn.Marks[0].Gap != GapNone {
+		t.Errorf("first gap = %v, want GapNone", syn.Marks[0].Gap)
+	}
+	// Every chapter-start word after the first gets a chapter gap.
+	for i := 1; i < len(stream); i++ {
+		if stream[i].Bounds&text.StartsChapter != 0 && syn.Marks[i].Gap != GapChapter {
+			t.Errorf("word %d (%q): gap = %v, want GapChapter", i, stream[i].Word.Text, syn.Marks[i].Gap)
+		}
+	}
+}
+
+func TestFasterSpeakerShorter(t *testing.T) {
+	slow, _ := synthDoc(t, Speaker{WordsPerMinute: 100, PitchHz: 120, PauseScale: 1, NoiseAmp: 40, Seed: 1})
+	fast, _ := synthDoc(t, Speaker{WordsPerMinute: 220, PitchHz: 120, PauseScale: 1, NoiseAmp: 40, Seed: 1})
+	if fast.Part.Duration() >= slow.Part.Duration() {
+		t.Fatalf("fast speaker (%v) not shorter than slow (%v)", fast.Part.Duration(), slow.Part.Duration())
+	}
+}
+
+func TestLoudnessForBoldWords(t *testing.T) {
+	seg, _ := text.Parse("A *loud* word.\n")
+	stream := text.Flatten(seg)
+	syn := Synthesize(stream, DefaultSpeaker(), testRate)
+	// Mean intensity over the bold word should exceed the plain word.
+	plainStart := syn.Marks[0].Offset
+	loudStart := syn.Marks[1].Offset
+	wordEnd := syn.Marks[2].Offset
+	p := syn.Part
+	plain := p.Intensity(plainStart, loudStart-plainStart)
+	loud := p.Intensity(loudStart, wordEnd-loudStart)
+	if loud <= plain*1.2 {
+		t.Fatalf("loud word intensity %.0f not clearly above plain %.0f", loud, plain)
+	}
+}
+
+func TestOffsetTimeRoundTrip(t *testing.T) {
+	syn, _ := synthDoc(t, DefaultSpeaker())
+	p := syn.Part
+	for _, off := range []int{0, 100, len(p.Samples) / 2, len(p.Samples)} {
+		back := p.OffsetAt(p.TimeAt(off))
+		if diff := back - off; diff < -1 || diff > 1 {
+			t.Errorf("round trip %d -> %d", off, back)
+		}
+	}
+	if p.OffsetAt(-time.Second) != 0 {
+		t.Error("negative time should clamp to 0")
+	}
+	if p.OffsetAt(p.Duration()+time.Hour) != len(p.Samples) {
+		t.Error("overlong time should clamp to end")
+	}
+}
+
+func TestValidateRejectsBadParts(t *testing.T) {
+	p := &Part{Rate: 0}
+	if p.Validate() == nil {
+		t.Error("zero rate accepted")
+	}
+	p = &Part{Rate: 8000, Samples: make([]int16, 10), Markers: []Marker{{Offset: 11}}}
+	if p.Validate() == nil {
+		t.Error("out-of-range marker accepted")
+	}
+	p = &Part{Rate: 8000, Samples: make([]int16, 10), Utterances: []Utterance{{Token: "", Offset: 2}}}
+	if p.Validate() == nil {
+		t.Error("empty utterance token accepted")
+	}
+}
+
+func TestDetectPausesFindsGaps(t *testing.T) {
+	syn, _ := synthDoc(t, DefaultSpeaker())
+	pauses := DetectPauses(syn.Part, DetectorConfig{})
+	if len(pauses) == 0 {
+		t.Fatal("no pauses detected")
+	}
+	// Ground truth gap count: every mark except the first has a gap.
+	want := len(syn.Marks) - 1
+	got := len(pauses)
+	// Detection can merge/miss a few at boundaries; demand 80%+.
+	if got < want*8/10 || got > want*12/10 {
+		t.Fatalf("detected %d pauses, ground truth %d", got, want)
+	}
+}
+
+// pauseAccuracy scores detected pause classification against ground truth:
+// for each ground-truth gap, find the detected pause covering its sample
+// range and compare IsLong.
+func pauseAccuracy(syn *Synthesis, pauses []Pause) (correct, total int) {
+	for i := 1; i < len(syn.Marks); i++ {
+		m := syn.Marks[i]
+		gapStart := m.Offset - int(int64(m.GapLen)*int64(syn.Part.Rate)/int64(time.Second))
+		mid := (gapStart + m.Offset) / 2
+		var found *Pause
+		for j := range pauses {
+			p := &pauses[j]
+			if mid >= p.Offset && mid < p.Offset+p.Length {
+				found = p
+				break
+			}
+		}
+		if found == nil {
+			continue
+		}
+		total++
+		if found.Long == m.Gap.IsLong() {
+			correct++
+		}
+	}
+	return correct, total
+}
+
+func TestAdaptiveClassificationAccurate(t *testing.T) {
+	for _, wpm := range []int{100, 150, 220} {
+		sp := DefaultSpeaker()
+		sp.WordsPerMinute = wpm
+		syn, _ := synthDoc(t, sp)
+		pauses := DetectPauses(syn.Part, DetectorConfig{})
+		correct, total := pauseAccuracy(syn, pauses)
+		if total == 0 {
+			t.Fatalf("wpm=%d: no gaps matched", wpm)
+		}
+		acc := float64(correct) / float64(total)
+		if acc < 0.85 {
+			t.Errorf("wpm=%d: adaptive accuracy %.2f < 0.85 (%d/%d)", wpm, acc, correct, total)
+		}
+	}
+}
+
+func TestFixedThresholdDegradesAtExtremes(t *testing.T) {
+	// A fixed threshold tuned for 150 wpm (400 ms) applied to a very slow,
+	// long-pausing speaker should misclassify word gaps as long.
+	sp := DefaultSpeaker()
+	sp.WordsPerMinute = 60
+	sp.PauseScale = 3
+	syn, _ := synthDoc(t, sp)
+	fixed := DetectPauses(syn.Part, DetectorConfig{FixedLongThreshold: 400 * time.Millisecond})
+	adaptive := DetectPauses(syn.Part, DetectorConfig{})
+	fc, ft := pauseAccuracy(syn, fixed)
+	ac, at := pauseAccuracy(syn, adaptive)
+	if ft == 0 || at == 0 {
+		t.Fatal("no gaps matched")
+	}
+	facc := float64(fc) / float64(ft)
+	aacc := float64(ac) / float64(at)
+	if aacc <= facc {
+		t.Errorf("adaptive (%.2f) not better than fixed (%.2f) on slow speaker", aacc, facc)
+	}
+}
+
+func TestRewindTarget(t *testing.T) {
+	syn, _ := synthDoc(t, DefaultSpeaker())
+	pauses := DetectPauses(syn.Part, DetectorConfig{})
+	end := len(syn.Part.Samples)
+	// One long pause back from the end should land inside the part.
+	target := RewindTarget(pauses, end, true, 1)
+	if target <= 0 || target >= end {
+		t.Fatalf("rewind 1 long pause = %d", target)
+	}
+	// Two long pauses back lands earlier.
+	target2 := RewindTarget(pauses, end, true, 2)
+	if target2 >= target {
+		t.Fatalf("rewind 2 (%d) not before rewind 1 (%d)", target2, target)
+	}
+	// Asking for more pauses than exist rewinds to the start.
+	if got := RewindTarget(pauses, end, true, 10000); got != 0 {
+		t.Fatalf("excessive rewind = %d, want 0", got)
+	}
+	// n <= 0 keeps the position.
+	if got := RewindTarget(pauses, 500, true, 0); got != 500 {
+		t.Fatalf("rewind 0 = %d, want 500", got)
+	}
+}
+
+func TestPausesBeforeOrder(t *testing.T) {
+	pauses := []Pause{
+		{Offset: 100, Length: 50, Long: false},
+		{Offset: 300, Length: 200, Long: true},
+		{Offset: 700, Length: 60, Long: false},
+	}
+	got := PausesBefore(pauses, 1000, false, 5)
+	if len(got) != 2 || got[0] != 760 || got[1] != 150 {
+		t.Fatalf("PausesBefore = %v, want [760 150]", got)
+	}
+	// Position before a pause's end excludes it.
+	got = PausesBefore(pauses, 755, false, 5)
+	if len(got) != 1 || got[0] != 150 {
+		t.Fatalf("PausesBefore(755) = %v, want [150]", got)
+	}
+}
+
+func TestPaginateConstantLength(t *testing.T) {
+	syn, _ := synthDoc(t, DefaultSpeaker())
+	pageLen := 5 * time.Second
+	pages := Paginate(syn.Part, pageLen, nil)
+	if len(pages) < 2 {
+		t.Fatalf("pages = %d, want several", len(pages))
+	}
+	per := int(int64(pageLen) * int64(testRate) / int64(time.Second))
+	for i, pg := range pages[:len(pages)-1] {
+		if pg.End-pg.Start != per {
+			t.Errorf("page %d length %d, want %d", i, pg.End-pg.Start, per)
+		}
+	}
+	// Contiguous cover.
+	if pages[0].Start != 0 {
+		t.Error("first page does not start at 0")
+	}
+	for i := 1; i < len(pages); i++ {
+		if pages[i].Start != pages[i-1].End {
+			t.Errorf("gap between pages %d and %d", i-1, i)
+		}
+	}
+	if pages[len(pages)-1].End != len(syn.Part.Samples) {
+		t.Error("last page does not end at part end")
+	}
+}
+
+func TestPaginateSnapsToPauses(t *testing.T) {
+	syn, _ := synthDoc(t, DefaultSpeaker())
+	pauses := DetectPauses(syn.Part, DetectorConfig{})
+	pages := Paginate(syn.Part, 5*time.Second, pauses)
+	// Internal boundaries should coincide with a pause end where one is
+	// near (approximately constant, not exactly).
+	snapped := 0
+	for _, pg := range pages[:len(pages)-1] {
+		for _, p := range pauses {
+			if pg.End == p.Offset+p.Length {
+				snapped++
+				break
+			}
+		}
+	}
+	if snapped == 0 {
+		t.Error("no page boundary snapped to a pause")
+	}
+	// Cover must remain contiguous.
+	for i := 1; i < len(pages); i++ {
+		if pages[i].Start != pages[i-1].End {
+			t.Fatalf("gap between pages %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	pages := []AudioPage{{0, 100}, {100, 200}, {200, 300}}
+	if PageOf(pages, 0) != 0 || PageOf(pages, 99) != 0 {
+		t.Error("PageOf first page wrong")
+	}
+	if PageOf(pages, 100) != 1 || PageOf(pages, 250) != 2 {
+		t.Error("PageOf middle wrong")
+	}
+	if PageOf(pages, 999) != 2 {
+		t.Error("PageOf past end should clamp to last")
+	}
+}
+
+func TestMarkersFromMarks(t *testing.T) {
+	syn, stream := synthDoc(t, DefaultSpeaker())
+	chapterOnly := MarkersFromMarks(syn.Marks, text.UnitChapter)
+	wantChapters := 0
+	for _, fw := range stream {
+		if fw.Bounds&text.StartsChapter != 0 {
+			wantChapters++
+		}
+	}
+	if len(chapterOnly) != wantChapters {
+		t.Fatalf("chapter markers = %d, want %d", len(chapterOnly), wantChapters)
+	}
+	all := MarkersFromMarks(syn.Marks, text.UnitWord)
+	if len(all) != len(stream) {
+		t.Fatalf("full markers = %d, want %d", len(all), len(stream))
+	}
+	deep := MarkersFromMarks(syn.Marks, text.UnitParagraph)
+	if len(deep) <= len(chapterOnly) {
+		t.Error("paragraph-deep editing should add markers")
+	}
+}
+
+func TestMarkerNavigation(t *testing.T) {
+	syn, _ := synthDoc(t, DefaultSpeaker())
+	p := syn.Part
+	p.Markers = MarkersFromMarks(syn.Marks, text.UnitSection)
+	first := p.NextMarker(-1, text.UnitChapter)
+	if first == -1 {
+		t.Fatal("no chapter marker")
+	}
+	second := p.NextMarker(p.Markers[first].Offset, text.UnitChapter)
+	if second == -1 || p.Markers[second].Offset <= p.Markers[first].Offset {
+		t.Fatal("second chapter marker wrong")
+	}
+	if back := p.PrevMarker(p.Markers[second].Offset, text.UnitChapter); back != first {
+		t.Fatalf("PrevMarker = %d, want %d", back, first)
+	}
+	// A section request is satisfied by chapter markers too.
+	if p.NextMarker(-1, text.UnitSection) == -1 {
+		t.Fatal("section navigation found nothing")
+	}
+}
+
+func TestUnitsIdentifiedFromMarkers(t *testing.T) {
+	syn, _ := synthDoc(t, DefaultSpeaker())
+	p := syn.Part
+	p.Markers = MarkersFromMarks(syn.Marks, text.UnitChapter)
+	units := p.UnitsIdentified()
+	if len(units) != 1 || units[0] != text.UnitChapter {
+		t.Fatalf("units = %v, want [chapter]", units)
+	}
+}
+
+func TestRecognizerFindsVocabulary(t *testing.T) {
+	syn, _ := synthDoc(t, DefaultSpeaker())
+	r := NewRecognizer([]string{"lobe", "heart", "x-ray"})
+	r.HitRate = 1.0
+	utts := r.Recognize(syn.Marks)
+	counts := map[string]int{}
+	for _, u := range utts {
+		counts[u.Token]++
+	}
+	if counts["lobe"] != 2 {
+		t.Errorf("lobe hits = %d, want 2", counts["lobe"])
+	}
+	if counts["heart"] != 1 {
+		t.Errorf("heart hits = %d, want 1", counts["heart"])
+	}
+	if counts["xray"] != 1 {
+		t.Errorf("xray hits = %d, want 1", counts["xray"])
+	}
+	if counts["shadow"] != 0 {
+		t.Error("out-of-vocabulary word recognized")
+	}
+}
+
+func TestRecognizerMissRate(t *testing.T) {
+	syn, _ := synthDoc(t, DefaultSpeaker())
+	r := NewRecognizer(nil) // unlimited vocabulary
+	r.Vocabulary = nil
+	r.HitRate = 0.5
+	utts := r.Recognize(syn.Marks)
+	if len(utts) == 0 || len(utts) >= len(syn.Marks) {
+		t.Fatalf("hits = %d of %d words; want a strict subset", len(utts), len(syn.Marks))
+	}
+}
+
+func TestRecognizerDeterministic(t *testing.T) {
+	syn, _ := synthDoc(t, DefaultSpeaker())
+	r := NewRecognizer([]string{"lobe", "heart"})
+	a := r.Recognize(syn.Marks)
+	b := r.Recognize(syn.Marks)
+	if len(a) != len(b) {
+		t.Fatal("recognition not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("recognition not deterministic")
+		}
+	}
+}
+
+func TestNextPrevUtterance(t *testing.T) {
+	utts := []Utterance{
+		{Token: "lobe", Offset: 100},
+		{Token: "heart", Offset: 200},
+		{Token: "lobe", Offset: 300},
+	}
+	if u := NextUtterance(utts, "lobe", 0); u == nil || u.Offset != 100 {
+		t.Fatal("NextUtterance from 0 wrong")
+	}
+	if u := NextUtterance(utts, "Lobe,", 100); u == nil || u.Offset != 300 {
+		t.Fatal("NextUtterance should normalize token and skip current")
+	}
+	if u := NextUtterance(utts, "lobe", 300); u != nil {
+		t.Fatal("NextUtterance past last should be nil")
+	}
+	if u := PrevUtterance(utts, "lobe", 300); u == nil || u.Offset != 100 {
+		t.Fatal("PrevUtterance wrong")
+	}
+	if u := PrevUtterance(utts, "lobe", 100); u != nil {
+		t.Fatal("PrevUtterance before first should be nil")
+	}
+}
+
+func TestTwoMeansSplit(t *testing.T) {
+	short := []int{90, 100, 110, 95, 105}
+	long := []int{800, 900, 850}
+	split, separated := twoMeansSplit(append(append([]int{}, short...), long...))
+	if !separated {
+		t.Fatal("bimodal data not separated")
+	}
+	if split <= 110 || split >= 800 {
+		t.Fatalf("split = %d, want between clusters", split)
+	}
+	_, separated = twoMeansSplit([]int{100, 101, 99, 100})
+	if separated {
+		t.Fatal("unimodal data claimed separated")
+	}
+	if _, sep := twoMeansSplit([]int{5}); sep {
+		t.Fatal("single value claimed separated")
+	}
+}
+
+// Property: audio pagination covers the part contiguously for arbitrary
+// page lengths, with and without pause snapping.
+func TestQuickAudioPaginationCoverage(t *testing.T) {
+	syn, _ := synthDoc(t, DefaultSpeaker())
+	pauses := DetectPauses(syn.Part, DetectorConfig{})
+	f := func(secs uint8, snap bool) bool {
+		pageLen := time.Duration(int(secs)%12+1) * time.Second
+		var ps []Pause
+		if snap {
+			ps = pauses
+		}
+		pages := Paginate(syn.Part, pageLen, ps)
+		if len(pages) == 0 {
+			return false
+		}
+		if pages[0].Start != 0 || pages[len(pages)-1].End != len(syn.Part.Samples) {
+			return false
+		}
+		for i := 1; i < len(pages); i++ {
+			if pages[i].Start != pages[i-1].End {
+				return false
+			}
+			if pages[i].End <= pages[i].Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RewindTarget never moves forward and never goes negative.
+func TestQuickRewindMonotonic(t *testing.T) {
+	syn, _ := synthDoc(t, DefaultSpeaker())
+	pauses := DetectPauses(syn.Part, DetectorConfig{})
+	f := func(pos16 uint16, n8 uint8, long bool) bool {
+		pos := int(pos16) % (len(syn.Part.Samples) + 1)
+		n := int(n8)%5 + 1
+		target := RewindTarget(pauses, pos, long, n)
+		return target >= 0 && target <= pos
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

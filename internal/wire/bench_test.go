@@ -1,0 +1,23 @@
+package wire
+
+import "testing"
+
+func BenchmarkLocalRoundTrip(b *testing.B) {
+	c, _ := localClient(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Query("lung"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDescriptorFetch(b *testing.B) {
+	c, _ := localClient(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Descriptor(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// LocalTransport runs the protocol in-process against a Handler, modelling
+// the link with a latency + bandwidth cost. It accounts every byte moved in
+// both directions, which the view/miniature transfer experiments measure.
+type LocalTransport struct {
+	H *Handler
+	// Latency is the fixed per-round-trip cost; Bandwidth is in bytes
+	// per second (0 = infinite).
+	Latency   time.Duration
+	Bandwidth int64
+
+	mu         sync.Mutex
+	bytesSent  int64 // workstation -> server
+	bytesRecv  int64 // server -> workstation
+	roundTrips int64
+	linkTime   time.Duration
+}
+
+// EthernetLink approximates the paper-era 10 Mbit/s Ethernet.
+func EthernetLink(h *Handler) *LocalTransport {
+	return &LocalTransport{H: h, Latency: 2 * time.Millisecond, Bandwidth: 10_000_000 / 8}
+}
+
+// RoundTrip implements Transport.
+func (l *LocalTransport) RoundTrip(req []byte) ([]byte, error) {
+	resp := l.H.Handle(req)
+	l.mu.Lock()
+	l.bytesSent += int64(len(req))
+	l.bytesRecv += int64(len(resp))
+	l.roundTrips++
+	l.linkTime += l.cost(len(req)) + l.cost(len(resp))
+	l.mu.Unlock()
+	return resp, nil
+}
+
+func (l *LocalTransport) cost(n int) time.Duration {
+	t := l.Latency
+	if l.Bandwidth > 0 {
+		t += time.Duration(int64(n) * int64(time.Second) / l.Bandwidth)
+	}
+	return t
+}
+
+// Close implements Transport.
+func (l *LocalTransport) Close() error { return nil }
+
+// LinkStats summarizes simulated link usage.
+type LinkStats struct {
+	BytesSent  int64
+	BytesRecv  int64
+	RoundTrips int64
+	LinkTime   time.Duration
+}
+
+// Stats returns the accumulated link statistics.
+func (l *LocalTransport) Stats() LinkStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LinkStats{BytesSent: l.bytesSent, BytesRecv: l.bytesRecv, RoundTrips: l.roundTrips, LinkTime: l.linkTime}
+}
+
+// ResetStats zeroes the accumulated statistics.
+func (l *LocalTransport) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bytesSent, l.bytesRecv, l.roundTrips, l.linkTime = 0, 0, 0, 0
+}
+
+// TCPTransport runs the protocol over a net.Conn.
+type TCPTransport struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*TCPTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPTransport{conn: conn}, nil
+}
+
+// RoundTrip implements Transport; exchanges are serialized per connection.
+func (t *TCPTransport) RoundTrip(req []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := WriteFrame(t.conn, req); err != nil {
+		return nil, err
+	}
+	return ReadFrame(t.conn)
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error { return t.conn.Close() }
+
+// Serve accepts connections on l and serves protocol requests until the
+// listener closes. Each connection is handled on its own goroutine; the
+// server itself is driven synchronously per request (the underlying device
+// model is single-headed anyway).
+func Serve(l net.Listener, h *Handler) error {
+	var mu sync.Mutex // serialize handler access across connections
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			for {
+				req, err := ReadFrame(conn)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				resp := h.Handle(req)
+				mu.Unlock()
+				if err := WriteFrame(conn, resp); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}

@@ -1,0 +1,458 @@
+// Package wire implements the workstation ↔ object-server protocol. The
+// paper's architecture (§5) connects workstations to the server subsystem
+// "through high capacity links" (Ethernet in the 1986 implementation); here
+// the protocol runs over real TCP (net) or over an in-memory simulated link
+// with a latency/bandwidth model, so experiments can account for bytes
+// moved and transfer time (the E-VIEW and E-MINI experiments depend on
+// this).
+//
+// The protocol is piece-oriented, matching the server interface: the
+// workstation fetches descriptors, byte extents, miniatures and query
+// results — never whole objects in one request.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"minos/internal/descriptor"
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/server"
+	"minos/internal/voice"
+)
+
+// Op codes.
+const (
+	OpQuery        = 1
+	OpDescriptor   = 2
+	OpReadPiece    = 3
+	OpMiniature    = 4
+	OpList         = 5
+	OpMode         = 6
+	OpImageView    = 7
+	OpVoicePreview = 8
+)
+
+// Response status codes.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+var errShort = errors.New("wire: short message")
+
+// Transport carries one request/response exchange.
+type Transport interface {
+	RoundTrip(req []byte) (resp []byte, err error)
+	// Close releases the transport.
+	Close() error
+}
+
+// --- message building ---
+
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+type cursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *cursor) u8() (byte, error) {
+	if c.pos >= len(c.data) {
+		return 0, errShort
+	}
+	v := c.data[c.pos]
+	c.pos++
+	return v, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	if c.pos+4 > len(c.data) {
+		return 0, errShort
+	}
+	v := binary.BigEndian.Uint32(c.data[c.pos:])
+	c.pos += 4
+	return v, nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if c.pos+8 > len(c.data) {
+		return 0, errShort
+	}
+	v := binary.BigEndian.Uint64(c.data[c.pos:])
+	c.pos += 8
+	return v, nil
+}
+
+func (c *cursor) str() (string, error) {
+	n, err := c.u32()
+	if err != nil {
+		return "", err
+	}
+	if c.pos+int(n) > len(c.data) {
+		return "", errShort
+	}
+	s := string(c.data[c.pos : c.pos+int(n)])
+	c.pos += int(n)
+	return s, nil
+}
+
+func (c *cursor) rest() []byte { return c.data[c.pos:] }
+
+// Handler serves protocol requests against a server.
+type Handler struct {
+	Srv *server.Server
+}
+
+// Handle processes one request message and returns the response message.
+func (h *Handler) Handle(req []byte) []byte {
+	c := &cursor{data: req}
+	op, err := c.u8()
+	if err != nil {
+		return errResp(err)
+	}
+	switch op {
+	case OpQuery:
+		n, err := c.u32()
+		if err != nil {
+			return errResp(err)
+		}
+		terms := make([]string, 0, n)
+		for i := uint32(0); i < n; i++ {
+			s, err := c.str()
+			if err != nil {
+				return errResp(err)
+			}
+			terms = append(terms, s)
+		}
+		ids := h.Srv.Query(terms...)
+		return okResp(0, encodeIDs(ids))
+	case OpDescriptor:
+		id, err := c.u64()
+		if err != nil {
+			return errResp(err)
+		}
+		d, dur, err := h.Srv.Descriptor(object.ID(id))
+		if err != nil {
+			return errResp(err)
+		}
+		return okResp(dur, d.Encode())
+	case OpReadPiece:
+		off, err := c.u64()
+		if err != nil {
+			return errResp(err)
+		}
+		length, err := c.u64()
+		if err != nil {
+			return errResp(err)
+		}
+		data, dur, err := h.Srv.ReadPiece(off, length)
+		if err != nil {
+			return errResp(err)
+		}
+		return okResp(dur, data)
+	case OpMiniature:
+		id, err := c.u64()
+		if err != nil {
+			return errResp(err)
+		}
+		m := h.Srv.Miniature(object.ID(id))
+		if m == nil {
+			return errResp(fmt.Errorf("wire: no miniature for object %d", id))
+		}
+		payload, err := descriptor.EncodePart(descriptor.PartBitmap, m)
+		if err != nil {
+			return errResp(err)
+		}
+		return okResp(0, payload)
+	case OpImageView:
+		id, err := c.u64()
+		if err != nil {
+			return errResp(err)
+		}
+		name, err := c.str()
+		if err != nil {
+			return errResp(err)
+		}
+		var rect [4]int
+		for i := range rect {
+			v, err := c.u32()
+			if err != nil {
+				return errResp(err)
+			}
+			rect[i] = int(int32(v))
+		}
+		bm, dur, err := h.Srv.ImageView(object.ID(id), name, img.Rect{X: rect[0], Y: rect[1], W: rect[2], H: rect[3]})
+		if err != nil {
+			return errResp(err)
+		}
+		payload, err := descriptor.EncodePart(descriptor.PartBitmap, bm)
+		if err != nil {
+			return errResp(err)
+		}
+		return okResp(dur, payload)
+	case OpVoicePreview:
+		id, err := c.u64()
+		if err != nil {
+			return errResp(err)
+		}
+		vp := h.Srv.VoicePreview(object.ID(id))
+		if vp == nil {
+			return errResp(fmt.Errorf("wire: no voice preview for object %d", id))
+		}
+		payload, err := descriptor.EncodePart(descriptor.PartVoice, vp)
+		if err != nil {
+			return errResp(err)
+		}
+		return okResp(0, payload)
+	case OpList:
+		return okResp(0, encodeIDs(h.Srv.IDs()))
+	case OpMode:
+		id, err := c.u64()
+		if err != nil {
+			return errResp(err)
+		}
+		m, ok := h.Srv.Mode(object.ID(id))
+		if !ok {
+			return errResp(fmt.Errorf("wire: unknown object %d", id))
+		}
+		return okResp(0, []byte{byte(m)})
+	default:
+		return errResp(fmt.Errorf("wire: unknown op %d", op))
+	}
+}
+
+func encodeIDs(ids []object.ID) []byte {
+	out := appendU32(nil, uint32(len(ids)))
+	for _, id := range ids {
+		out = appendU64(out, uint64(id))
+	}
+	return out
+}
+
+func okResp(dur time.Duration, payload []byte) []byte {
+	out := []byte{statusOK}
+	out = appendU64(out, uint64(dur))
+	out = appendU32(out, uint32(len(payload)))
+	return append(out, payload...)
+}
+
+func errResp(err error) []byte {
+	msg := err.Error()
+	out := []byte{statusErr}
+	out = appendU64(out, 0)
+	out = appendU32(out, uint32(len(msg)))
+	return append(out, msg...)
+}
+
+// Client is the workstation-side stub.
+type Client struct {
+	t Transport
+}
+
+// NewClient wraps a transport.
+func NewClient(t Transport) *Client { return &Client{t: t} }
+
+// Close releases the transport.
+func (c *Client) Close() error { return c.t.Close() }
+
+func (c *Client) call(req []byte) ([]byte, time.Duration, error) {
+	resp, err := c.t.RoundTrip(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	cur := &cursor{data: resp}
+	status, err := cur.u8()
+	if err != nil {
+		return nil, 0, err
+	}
+	durN, err := cur.u64()
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := cur.u32()
+	if err != nil {
+		return nil, 0, err
+	}
+	if cur.pos+int(n) > len(resp) {
+		return nil, 0, errShort
+	}
+	payload := cur.rest()[:n]
+	if status == statusErr {
+		return nil, 0, fmt.Errorf("wire: server: %s", payload)
+	}
+	return payload, time.Duration(durN), nil
+}
+
+// Query evaluates a content query on the server.
+func (c *Client) Query(terms ...string) ([]object.ID, time.Duration, error) {
+	req := []byte{OpQuery}
+	req = appendU32(req, uint32(len(terms)))
+	for _, t := range terms {
+		req = appendStr(req, t)
+	}
+	payload, dur, err := c.call(req)
+	if err != nil {
+		return nil, dur, err
+	}
+	ids, err := decodeIDs(payload)
+	return ids, dur, err
+}
+
+// Descriptor fetches and parses an object descriptor.
+func (c *Client) Descriptor(id object.ID) (*descriptor.Descriptor, time.Duration, error) {
+	req := appendU64([]byte{OpDescriptor}, uint64(id))
+	payload, dur, err := c.call(req)
+	if err != nil {
+		return nil, dur, err
+	}
+	d, err := descriptor.Parse(payload)
+	return d, dur, err
+}
+
+// ReadPiece fetches an archiver-absolute byte extent.
+func (c *Client) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
+	req := appendU64([]byte{OpReadPiece}, off)
+	req = appendU64(req, length)
+	return c.call(req)
+}
+
+// Miniature fetches an object miniature.
+func (c *Client) Miniature(id object.ID) (*img.Bitmap, time.Duration, error) {
+	req := appendU64([]byte{OpMiniature}, uint64(id))
+	payload, dur, err := c.call(req)
+	if err != nil {
+		return nil, dur, err
+	}
+	v, err := descriptor.DecodePart(descriptor.PartBitmap, payload)
+	if err != nil {
+		return nil, dur, err
+	}
+	return v.(*img.Bitmap), dur, nil
+}
+
+// ImageView fetches only the given rectangle of an image part (§2 views):
+// the response carries the view's pixels, not the whole image.
+func (c *Client) ImageView(id object.ID, name string, r img.Rect) (*img.Bitmap, time.Duration, error) {
+	req := appendU64([]byte{OpImageView}, uint64(id))
+	req = appendStr(req, name)
+	for _, v := range []int{r.X, r.Y, r.W, r.H} {
+		req = appendU32(req, uint32(int32(v)))
+	}
+	payload, dur, err := c.call(req)
+	if err != nil {
+		return nil, dur, err
+	}
+	v, err := descriptor.DecodePart(descriptor.PartBitmap, payload)
+	if err != nil {
+		return nil, dur, err
+	}
+	return v.(*img.Bitmap), dur, nil
+}
+
+// VoicePreview fetches the voice preview of an audio-mode object, played
+// "as the miniature passes through the screen" (§5).
+func (c *Client) VoicePreview(id object.ID) (*voice.Part, time.Duration, error) {
+	req := appendU64([]byte{OpVoicePreview}, uint64(id))
+	payload, dur, err := c.call(req)
+	if err != nil {
+		return nil, dur, err
+	}
+	v, err := descriptor.DecodePart(descriptor.PartVoice, payload)
+	if err != nil {
+		return nil, dur, err
+	}
+	return v.(*voice.Part), dur, nil
+}
+
+// List returns all published object ids.
+func (c *Client) List() ([]object.ID, time.Duration, error) {
+	payload, dur, err := c.call([]byte{OpList})
+	if err != nil {
+		return nil, dur, err
+	}
+	ids, err := decodeIDs(payload)
+	return ids, dur, err
+}
+
+// Mode returns an object's driving mode.
+func (c *Client) Mode(id object.ID) (object.Mode, error) {
+	req := appendU64([]byte{OpMode}, uint64(id))
+	payload, _, err := c.call(req)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) != 1 {
+		return 0, errShort
+	}
+	return object.Mode(payload[0]), nil
+}
+
+// Fetch adapts the client into a descriptor.FetchFunc, accumulating device
+// time into dur if non-nil.
+func (c *Client) Fetch(dur *time.Duration) descriptor.FetchFunc {
+	return func(ref descriptor.PartRef) ([]byte, error) {
+		data, t, err := c.ReadPiece(ref.Offset, ref.Length)
+		if dur != nil {
+			*dur += t
+		}
+		return data, err
+	}
+}
+
+func decodeIDs(payload []byte) ([]object.ID, error) {
+	c := &cursor{data: payload}
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]object.ID, 0, n)
+	for i := uint32(0); i < n; i++ {
+		v, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, object.ID(v))
+	}
+	return ids, nil
+}
+
+// --- framing over byte streams (TCP) ---
+
+// WriteFrame writes a length-prefixed message.
+func WriteFrame(w io.Writer, msg []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message (up to 64 MiB).
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 64<<20 {
+		return nil, fmt.Errorf("wire: oversized frame %d", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}

@@ -1,0 +1,217 @@
+// Package workstation implements the user-facing session of §5: "users
+// submit queries based on object content from their workstation. ...
+// Miniatures of qualifying objects may be returned to the user using a
+// sequential browsing interface. ... When the user selects the miniature of
+// an object the multimedia object presentation manager undertakes the
+// responsibility to present the information of the selected object."
+//
+// The session talks to the object server exclusively through the wire
+// protocol (pieces, never whole objects in one request) and hands selected
+// objects to a core.Manager. It also browses objects still in the editing
+// state through the same presentation code path, as §4 requires
+// ("duplication of software is not required").
+package workstation
+
+import (
+	"fmt"
+	"time"
+
+	"minos/internal/core"
+	"minos/internal/formatter"
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/wire"
+)
+
+// Session is one user's workstation session.
+type Session struct {
+	client *wire.Client
+	mgr    *core.Manager
+
+	results []object.ID
+	cursor  int
+
+	// FetchTime accumulates server device time attributed to this
+	// session's piece requests.
+	FetchTime time.Duration
+}
+
+// New builds a session over a protocol client. The manager configuration's
+// Resolver is overridden to resolve relevant objects through the server.
+func New(client *wire.Client, cfg core.Config) *Session {
+	s := &Session{client: client, cursor: -1}
+	cfg.Resolver = func(id object.ID) (*object.Object, error) {
+		return s.load(id)
+	}
+	s.mgr = core.New(cfg)
+	return s
+}
+
+// Manager exposes the presentation manager driving this session's screen.
+func (s *Session) Manager() *core.Manager { return s.mgr }
+
+// Query submits a content query and installs the qualifying objects as the
+// sequential browsing result set. It returns the number of hits.
+func (s *Session) Query(terms ...string) (int, error) {
+	ids, dur, err := s.client.Query(terms...)
+	if err != nil {
+		return 0, err
+	}
+	s.FetchTime += dur
+	s.results = ids
+	s.cursor = -1
+	return len(ids), nil
+}
+
+// Refine narrows the current result set with additional terms — the §5
+// loop where the user returns "to the query specification interface to
+// refine his filter". The refined set is the intersection of the current
+// results with the new terms' matches.
+func (s *Session) Refine(terms ...string) (int, error) {
+	ids, dur, err := s.client.Query(terms...)
+	if err != nil {
+		return 0, err
+	}
+	s.FetchTime += dur
+	match := map[object.ID]bool{}
+	for _, id := range ids {
+		match[id] = true
+	}
+	var kept []object.ID
+	for _, id := range s.results {
+		if match[id] {
+			kept = append(kept, id)
+		}
+	}
+	s.results = kept
+	s.cursor = -1
+	return len(kept), nil
+}
+
+// Results returns the current result set.
+func (s *Session) Results() []object.ID { return append([]object.ID(nil), s.results...) }
+
+// NextMiniature advances the sequential browsing interface and returns the
+// next qualifying object's id and miniature. It reports done=true past the
+// last result. For audio-mode objects the voice preview plays as the
+// miniature passes through the screen (§5).
+func (s *Session) NextMiniature() (id object.ID, mini *img.Bitmap, done bool, err error) {
+	if s.cursor+1 >= len(s.results) {
+		return 0, nil, true, nil
+	}
+	s.cursor++
+	return s.miniAtCursor()
+}
+
+// PrevMiniature steps the browsing cursor back.
+func (s *Session) PrevMiniature() (id object.ID, mini *img.Bitmap, done bool, err error) {
+	if s.cursor <= 0 {
+		return 0, nil, true, nil
+	}
+	s.cursor--
+	return s.miniAtCursor()
+}
+
+func (s *Session) miniAtCursor() (object.ID, *img.Bitmap, bool, error) {
+	id := s.results[s.cursor]
+	mini, dur, err := s.client.Miniature(id)
+	s.FetchTime += dur
+	if err != nil {
+		return id, nil, false, err
+	}
+	if mode, merr := s.client.Mode(id); merr == nil && mode == object.Audio {
+		if vp, pdur, perr := s.client.VoicePreview(id); perr == nil {
+			s.FetchTime += pdur
+			s.mgr.MsgPlayer().Load(vp)
+			s.mgr.MsgPlayer().Play(0, 0, nil)
+		}
+	}
+	return id, mini, false, nil
+}
+
+// ShowBrowser renders the sequential browsing interface on the session's
+// screen: a filmstrip of the result set's miniatures with the cursor's
+// miniature highlighted, as §5 describes for browsing "a large number of
+// objects that may qualify".
+func (s *Session) ShowBrowser() error {
+	scr := s.mgr.Screen()
+	w, h := scr.ContentWidth(), scr.ContentHeight()
+	page := img.NewBitmap(w, h)
+	img.DrawString(page, 4, 2, fmt.Sprintf("%d QUALIFYING OBJECTS", len(s.results)))
+	const cell = 72
+	perRow := w / cell
+	if perRow < 1 {
+		perRow = 1
+	}
+	for i, id := range s.results {
+		row, col := i/perRow, i%perRow
+		x, y := 4+col*cell, 14+row*cell
+		if y+cell > h {
+			img.DrawString(page, 4, h-10, "MORE ...")
+			break
+		}
+		mini, dur, err := s.client.Miniature(id)
+		s.FetchTime += dur
+		if err != nil {
+			return err
+		}
+		page.Or(mini, x+2, y+2)
+		if i == s.cursor {
+			// Highlight the cursor's miniature with a border.
+			for bx := 0; bx < cell-4; bx++ {
+				page.Set(x+bx, y, true)
+				page.Set(x+bx, y+cell-6, true)
+			}
+			for by := 0; by < cell-5; by++ {
+				page.Set(x, y+by, true)
+				page.Set(x+cell-5, y+by, true)
+			}
+		}
+	}
+	scr.SetTitle("QUERY RESULTS")
+	scr.PinStrip(nil)
+	scr.ShowPage(page)
+	scr.SetMenu([]string{"NEXT MINIATURE", "PREV MINIATURE", "OPEN", "REFINE QUERY"})
+	scr.SetIndicators(nil)
+	return nil
+}
+
+// OpenSelected presents the object under the browsing cursor: the manager
+// takes over, fetching the descriptor and parts from the server.
+func (s *Session) OpenSelected() error {
+	if s.cursor < 0 || s.cursor >= len(s.results) {
+		return fmt.Errorf("workstation: no miniature selected")
+	}
+	return s.OpenObject(s.results[s.cursor])
+}
+
+// OpenObject presents an arbitrary published object.
+func (s *Session) OpenObject(id object.ID) error {
+	o, err := s.load(id)
+	if err != nil {
+		return err
+	}
+	return s.mgr.Open(o)
+}
+
+func (s *Session) load(id object.ID) (*object.Object, error) {
+	d, dur, err := s.client.Descriptor(id)
+	if err != nil {
+		return nil, err
+	}
+	s.FetchTime += dur
+	return d.Materialize(s.client.Fetch(&s.FetchTime))
+}
+
+// BrowseEditing presents the formatter's current object — still in the
+// editing state — through the same presentation manager (§4).
+func (s *Session) BrowseEditing(f *formatter.Formatter) error {
+	o := f.Object()
+	if o == nil {
+		return fmt.Errorf("workstation: formatter has no object yet")
+	}
+	return s.mgr.Open(o)
+}
+
+// Close releases the protocol client.
+func (s *Session) Close() error { return s.client.Close() }
