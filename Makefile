@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race bench fmt vet check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short-mode race pass over the packages with concurrency stress tests.
+race:
+	$(GO) test -race -short ./internal/server ./internal/wire
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build test race

@@ -6,18 +6,28 @@
 // Usage:
 //
 //	minos-server [-listen addr] [-fillers n] [-blocks n] [-archive file]
+//	             [-idle-timeout d] [-seek-concurrency n]
 //
 // With -archive, the optical medium is loaded from the file when it exists
 // (the archive directory is recovered by scanning the self-describing
 // medium) and saved back to it after publishing the corpus.
+//
+// Connections are served concurrently; a misbehaving connection (bad
+// frame, stalled client past -idle-timeout) is dropped and logged without
+// affecting the others. SIGINT/SIGTERM closes the listener, drains the
+// open connections and reports the final server statistics.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"minos/internal/archiver"
 	"minos/internal/demo"
@@ -31,18 +41,52 @@ func main() {
 	fillers := flag.Int("fillers", 20, "number of filler documents to publish")
 	blocks := flag.Int("blocks", 1<<16, "optical disk capacity in 2 KiB blocks")
 	archivePath := flag.String("archive", "", "persist the optical medium to this file")
+	idle := flag.Duration("idle-timeout", 5*time.Minute, "drop connections idle for this long (0 = never)")
+	seek := flag.Int("seek-concurrency", 1, "device reads in flight at once (1 = single optical head)")
 	flag.Parse()
 
 	srv, err := buildServer(*archivePath, *blocks, *fillers)
 	if err != nil {
 		log.Fatalf("minos-server: %v", err)
 	}
+	srv.SetSeekConcurrency(*seek)
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("minos-server: %v", err)
 	}
 	fmt.Printf("minos-server: %d objects published, listening on %s\n", len(srv.IDs()), l.Addr())
-	log.Fatal(wire.Serve(l, &wire.Handler{Srv: srv}))
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := serve(l, srv, sig, *idle); err != nil {
+		log.Fatalf("minos-server: %v", err)
+	}
+}
+
+// serve runs the wire server until a shutdown signal arrives (graceful:
+// close the listener, drain connections, report stats) or the listener
+// fails. Per-connection errors are logged, never fatal.
+func serve(l net.Listener, srv *server.Server, sig <-chan os.Signal, idle time.Duration) error {
+	done := make(chan error, 1)
+	go func() {
+		done <- wire.ServeWith(l, &wire.Handler{Srv: srv}, wire.ServeOpts{
+			IdleTimeout: idle,
+			ErrorLog:    func(err error) { log.Printf("minos-server: %v", err) },
+		})
+	}()
+	select {
+	case s := <-sig:
+		fmt.Printf("minos-server: %v: shutting down\n", s)
+		l.Close()
+		<-done // ServeWith drains open connections before returning
+	case err := <-done:
+		if err != nil && !errors.Is(err, net.ErrClosed) {
+			return err
+		}
+	}
+	st := srv.Stats()
+	fmt.Printf("minos-server: served %d piece reads, %d bytes out; cache %d hits / %d misses; device waits %d (%v queued)\n",
+		st.PieceReads, st.BytesOut, st.CacheHits, st.CacheMiss, st.DeviceWaits, time.Duration(st.DeviceWaitNanos))
+	return nil
 }
 
 func buildServer(archivePath string, blocks, fillers int) (*server.Server, error) {

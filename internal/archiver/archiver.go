@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"minos/internal/descriptor"
@@ -31,9 +32,20 @@ type Extent struct {
 	Length uint64
 }
 
-// Archiver is the optical-disk object archive.
+// Archiver is the optical-disk object archive. It is safe for concurrent
+// use: reads (ExtentOf, ReadPiece, Load, ...) may run in parallel with each
+// other and with at most one in-flight Archive.
 type Archiver struct {
 	dev *disk.Optical
+
+	// writeMu serializes the whole archiving path: the extent a new object
+	// lands in is computed from the device high-water mark, which must not
+	// move between that computation and the Append.
+	writeMu sync.Mutex
+
+	// mu guards the directory maps below; the wire handlers read them
+	// concurrently while Publish may be adding entries.
+	mu  sync.RWMutex
 	dir map[object.ID]Extent
 	// prev records version lineage: prev[v2] = v1 means v2 supersedes v1.
 	prev map[object.ID]object.ID
@@ -61,7 +73,9 @@ type SharedPart struct {
 // device service time. The object transitions to the archived state.
 // shared parts become archiver pointers (§4).
 func (a *Archiver) Archive(o *object.Object, shared ...SharedPart) (Extent, time.Duration, error) {
-	if _, ok := a.dir[o.ID]; ok {
+	a.writeMu.Lock()
+	defer a.writeMu.Unlock()
+	if a.Has(o.ID) {
 		return Extent{}, 0, fmt.Errorf("archiver: object %d already archived (WORM archive is immutable)", o.ID)
 	}
 	o.Archive()
@@ -120,7 +134,9 @@ func (a *Archiver) Archive(o *object.Object, shared ...SharedPart) (Extent, time
 		return Extent{}, total, err
 	}
 	ext := Extent{Start: extentStart, Length: uint64(len(blob))}
+	a.mu.Lock()
 	a.dir[o.ID] = ext
+	a.mu.Unlock()
 	return ext, total, nil
 }
 
@@ -188,13 +204,17 @@ func (a *Archiver) applySharing(d *descriptor.Descriptor, comp []byte, shared []
 
 // Has reports whether the object is archived.
 func (a *Archiver) Has(id object.ID) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	_, ok := a.dir[id]
 	return ok
 }
 
 // ExtentOf returns the extent of an archived object.
 func (a *Archiver) ExtentOf(id object.ID) (Extent, error) {
+	a.mu.RLock()
 	e, ok := a.dir[id]
+	a.mu.RUnlock()
 	if !ok {
 		return Extent{}, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
@@ -203,10 +223,12 @@ func (a *Archiver) ExtentOf(id object.ID) (Extent, error) {
 
 // IDs returns all archived object ids in ascending order.
 func (a *Archiver) IDs() []object.ID {
+	a.mu.RLock()
 	out := make([]object.ID, 0, len(a.dir))
 	for id := range a.dir {
 		out = append(out, id)
 	}
+	a.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -273,7 +295,9 @@ func (a *Archiver) ArchiveVersion(o *object.Object, prevID object.ID, shared ...
 	}
 	ext, t, err := a.Archive(o, shared...)
 	if err == nil {
+		a.mu.Lock()
 		a.prev[o.ID] = prevID
+		a.mu.Unlock()
 	}
 	return ext, t, err
 }
@@ -281,6 +305,8 @@ func (a *Archiver) ArchiveVersion(o *object.Object, prevID object.ID, shared ...
 // VersionChain returns the version lineage of id, newest first, ending at
 // the original.
 func (a *Archiver) VersionChain(id object.ID) []object.ID {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	var chain []object.ID
 	seen := map[object.ID]bool{}
 	for {

@@ -11,6 +11,7 @@ package disk
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -94,6 +95,12 @@ func MagneticGeometry(blocks int) Geometry {
 type base struct {
 	name string
 	geo  Geometry
+
+	// mu guards data, head, the written map of Optical, and the stats;
+	// several server goroutines may hit the same device concurrently (the
+	// server bounds that concurrency with its seek semaphore, but the
+	// device must stay coherent whatever the bound is).
+	mu   sync.Mutex
 	data [][]byte
 	head int
 
@@ -104,12 +111,23 @@ type base struct {
 
 func (b *base) BlockSize() int { return b.geo.BlockSize }
 func (b *base) Blocks() int    { return b.geo.Blocks }
-func (b *base) Head() int      { return b.head }
 func (b *base) Name() string   { return b.name }
+
+func (b *base) Head() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.head
+}
 
 func (b *base) track(n int) int { return n / b.geo.BlocksPerTrack }
 
 func (b *base) SeekTime(n int) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seekTimeLocked(n)
+}
+
+func (b *base) seekTimeLocked(n int) time.Duration {
 	dt := b.track(n) - b.track(b.head)
 	if dt < 0 {
 		dt = -dt
@@ -120,8 +138,9 @@ func (b *base) SeekTime(n int) time.Duration {
 	return b.geo.SeekBase + time.Duration(dt)*b.geo.SeekPerTrack
 }
 
+// service moves the head to n and accounts the operation; callers hold mu.
 func (b *base) service(n int) time.Duration {
-	t := b.SeekTime(n) + b.geo.RotationHalf + b.geo.TransferPerBlock
+	t := b.seekTimeLocked(n) + b.geo.RotationHalf + b.geo.TransferPerBlock
 	b.head = n
 	b.busy += t
 	return t
@@ -156,6 +175,8 @@ func (m *Magnetic) ReadBlock(n int) ([]byte, time.Duration, error) {
 	if err := m.check(n); err != nil {
 		return nil, 0, err
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.reads++
 	t := m.service(n)
 	if m.data[n] == nil {
@@ -174,6 +195,8 @@ func (m *Magnetic) WriteBlock(n int, data []byte) (time.Duration, error) {
 	if len(data) != m.geo.BlockSize {
 		return 0, ErrBadLength
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.writes++
 	t := m.service(n)
 	m.data[n] = append([]byte(nil), data...)
@@ -181,7 +204,11 @@ func (m *Magnetic) WriteBlock(n int, data []byte) (time.Duration, error) {
 }
 
 // Stats returns the device's counters.
-func (m *Magnetic) Stats() Stats { return Stats{Reads: m.reads, Writes: m.writes, Busy: m.busy} }
+func (m *Magnetic) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Reads: m.reads, Writes: m.writes, Busy: m.busy}
+}
 
 // Optical is a write-once (WORM) optical disk: a block can be written
 // exactly once and never rewritten.
@@ -207,6 +234,8 @@ func (o *Optical) ReadBlock(n int) ([]byte, time.Duration, error) {
 	if err := o.check(n); err != nil {
 		return nil, 0, err
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.reads++
 	t := o.service(n)
 	if o.data[n] == nil {
@@ -225,6 +254,8 @@ func (o *Optical) WriteBlock(n int, data []byte) (time.Duration, error) {
 	if len(data) != o.geo.BlockSize {
 		return 0, ErrBadLength
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if o.written[n] {
 		return 0, fmt.Errorf("%w: block %d", ErrWornWritten, n)
 	}
@@ -248,10 +279,17 @@ func (o *Optical) Append(data []byte) (startBlock, nBlocks int, total time.Durat
 	if nBlocks == 0 {
 		nBlocks = 1
 	}
+	// Reserve the block range up front so concurrent Appends cannot
+	// interleave their extents.
+	o.mu.Lock()
 	if o.next+nBlocks > o.geo.Blocks {
-		return 0, 0, 0, fmt.Errorf("%w: need %d blocks, %d free", ErrFull, nBlocks, o.geo.Blocks-o.next)
+		free := o.geo.Blocks - o.next
+		o.mu.Unlock()
+		return 0, 0, 0, fmt.Errorf("%w: need %d blocks, %d free", ErrFull, nBlocks, free)
 	}
 	startBlock = o.next
+	o.next += nBlocks
+	o.mu.Unlock()
 	for i := 0; i < nBlocks; i++ {
 		blk := make([]byte, bs)
 		lo := i * bs
@@ -278,6 +316,12 @@ func ReadExtent(d Device, off, length uint64) ([]byte, time.Duration, error) {
 	if length == 0 {
 		return nil, 0, nil
 	}
+	// Bounds-check before allocating: a hostile length would otherwise
+	// drive a huge allocation (or overflow off+length) before the per-block
+	// range check ever fires.
+	if off+length < off || off+length > bs*uint64(d.Blocks()) {
+		return nil, 0, fmt.Errorf("%w: extent [%d, +%d)", ErrOutOfRange, off, length)
+	}
 	first := off / bs
 	last := (off + length - 1) / bs
 	var total time.Duration
@@ -302,8 +346,16 @@ func ReadExtent(d Device, off, length uint64) ([]byte, time.Duration, error) {
 }
 
 // Stats returns the device's counters.
-func (o *Optical) Stats() Stats { return Stats{Reads: o.reads, Writes: o.writes, Busy: o.busy} }
+func (o *Optical) Stats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return Stats{Reads: o.reads, Writes: o.writes, Busy: o.busy}
+}
 
-// Used returns the number of written blocks (the archiver's high-water
-// mark).
-func (o *Optical) Used() int { return o.next }
+// Used returns the number of written (or Append-reserved) blocks — the
+// archiver's high-water mark.
+func (o *Optical) Used() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.next
+}

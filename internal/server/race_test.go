@@ -1,0 +1,295 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	img "minos/internal/image"
+	"minos/internal/object"
+)
+
+// raceIters scales the stress loops down under -short (the Makefile's race
+// target runs short mode so `make check` stays quick).
+func raceIters(t *testing.T, full int) int {
+	t.Helper()
+	if testing.Short() {
+		return full / 4
+	}
+	return full
+}
+
+// TestConcurrentReadsMatchSerial hammers one server from many goroutines
+// with overlapping Piece/Miniature/View/Query/Stats requests and asserts
+// every response is byte-identical to the serial baseline. Run it under
+// `go test -race` to prove the handler paths are data-race free.
+func TestConcurrentReadsMatchSerial(t *testing.T) {
+	s := newServer(t, 4096)
+	if _, err := s.Publish(docObject(t, 1, "the lung shadow is visible here today.\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Publish(docObject(t, 2, "the heart rhythm is regular and steady.\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Publish(imageObject(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial baselines, captured before any concurrency.
+	type baseline struct {
+		piece []byte
+		view  *img.Bitmap
+		query []object.ID
+	}
+	base := map[object.ID]*baseline{}
+	viewRect := img.Rect{X: 8, Y: 8, W: 48, H: 40}
+	for _, id := range s.IDs() {
+		ext, err := s.Archiver().ExtentOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _, err := s.ReadPiece(ext.Start, ext.Length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base[id] = &baseline{piece: data}
+	}
+	v, _, err := s.ImageView(3, "map", viewRect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base[3].view = v
+	base[3].query = s.Query("the")
+
+	const workers = 32
+	iters := raceIters(t, 60)
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids := s.IDs()
+			for i := 0; i < iters; i++ {
+				id := ids[(w+i)%3] // the three baseline objects
+				ext, err := s.Archiver().ExtentOf(id)
+				if err != nil {
+					errc <- err
+					return
+				}
+				data, _, err := s.ReadPiece(ext.Start, ext.Length)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !bytes.Equal(data, base[id].piece) {
+					errc <- fmt.Errorf("worker %d: piece of object %d diverged from serial read", w, id)
+					return
+				}
+				if m := s.Miniature(id); m == nil || m.PopCount() == 0 {
+					errc <- fmt.Errorf("worker %d: bad miniature for %d", w, id)
+					return
+				}
+				if _, ok := s.Mode(id); !ok {
+					errc <- fmt.Errorf("worker %d: mode of %d missing", w, id)
+					return
+				}
+				switch i % 3 {
+				case 0:
+					got, _, err := s.ImageView(3, "map", viewRect)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !bitmapsEqual(got, base[3].view) {
+						errc <- fmt.Errorf("worker %d: view diverged from serial extract", w)
+						return
+					}
+				case 1:
+					got := s.Query("the")
+					if len(got) < len(base[3].query) {
+						errc <- fmt.Errorf("worker %d: Query(the) = %v, want at least %v", w, got, base[3].query)
+						return
+					}
+				case 2:
+					st := s.Stats()
+					if st.PieceReads <= 0 {
+						errc <- fmt.Errorf("worker %d: stats went backwards: %+v", w, st)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// One writer publishes fresh objects while the readers run: Adopt,
+	// Query and Miniature must not race.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4+1; i++ {
+			id := object.ID(100 + i)
+			if _, err := s.Publish(docObject(t, id, "freshly published words arrive.\n")); err != nil {
+				errc <- err
+				return
+			}
+			if s.Miniature(id) == nil {
+				errc <- fmt.Errorf("published object %d has no miniature", id)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.PieceReads == 0 || st.CacheHits == 0 {
+		t.Fatalf("final stats = %+v", st)
+	}
+}
+
+func bitmapsEqual(a, b *img.Bitmap) bool {
+	if a.W != b.W || a.H != b.H {
+		return false
+	}
+	for y := 0; y < a.H; y++ {
+		for x := 0; x < a.W; x++ {
+			if a.Get(x, y) != b.Get(x, y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestImageViewSingleFlight verifies that N concurrent first viewers of
+// the same image drive exactly one rasterization: the device read count
+// grows by one image fetch, not N.
+func TestImageViewSingleFlight(t *testing.T) {
+	s := newServer(t, 4096)
+	if _, err := s.Publish(imageObject(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := s.Archiver().ExtentOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxBlocks := int64(ext.Length/2048 + 2) // whole object + header slack
+
+	dev := s.Archiver().Device()
+	reads0 := dev.Stats().Reads
+	const viewers = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, viewers)
+	for i := 0; i < viewers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := s.ImageView(1, "map", img.Rect{X: 0, Y: 0, W: 64, H: 64})
+			if err != nil {
+				errc <- err
+				return
+			}
+			if v.W != 64 || v.H != 64 {
+				errc <- fmt.Errorf("view dims %dx%d", v.W, v.H)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if delta := dev.Stats().Reads - reads0; delta > maxBlocks {
+		t.Fatalf("%d viewers drove %d device reads (single-flight should need at most %d)", viewers, delta, maxBlocks)
+	}
+
+	// Error views are not cached: a missing image fails for everyone and
+	// keeps failing consistently.
+	if _, _, err := s.ImageView(1, "ghost", img.Rect{}); err == nil {
+		t.Fatal("view of missing image accepted")
+	}
+	if _, _, err := s.ImageView(1, "ghost", img.Rect{}); err == nil {
+		t.Fatal("second view of missing image accepted")
+	}
+}
+
+// TestConcurrentPublish races multiple publishers; the WORM directory
+// must stay consistent and every object servable afterwards.
+func TestConcurrentPublish(t *testing.T) {
+	s := newServer(t, 8192)
+	const publishers = 8
+	iters := raceIters(t, 8)
+	var wg sync.WaitGroup
+	errc := make(chan error, publishers)
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := object.ID(1 + p*100 + i)
+				if _, err := s.Publish(docObject(t, id, fmt.Sprintf("object %d body words.\n", id))); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	ids := s.IDs()
+	if len(ids) != publishers*iters {
+		t.Fatalf("archived %d objects, want %d", len(ids), publishers*iters)
+	}
+	for _, id := range ids {
+		o, _, err := s.Load(id)
+		if err != nil {
+			t.Fatalf("load %d after concurrent publish: %v", id, err)
+		}
+		if len(o.Stream()) == 0 {
+			t.Fatalf("object %d lost its text", id)
+		}
+	}
+}
+
+// TestRunConcurrentLoadWarmHitsStayFast runs the §5 N-reader experiment:
+// with a warmed hot set, wall-clock latency percentiles stay flat because
+// cache hits never touch the seek semaphore.
+func TestRunConcurrentLoadWarmHits(t *testing.T) {
+	s := newServer(t, 8192)
+	for i := 1; i <= 6; i++ {
+		if _, err := s.Publish(docObject(t, object.ID(i), "warm hot set object body with several words inside.\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.RunConcurrentLoad(ConcurrentLoadConfig{
+		Readers:      8,
+		RequestsEach: raceIters(t, 200),
+		PieceLen:     1024,
+		HotExtents:   4,
+		Warm:         true,
+		Seed:         7,
+	})
+	if st.Requests == 0 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.DeviceTime != 0 {
+		t.Fatalf("warmed hot-set run paid device time %v (cache should absorb it)", st.DeviceTime)
+	}
+	if st.P95 == 0 && st.Max == 0 {
+		t.Fatalf("no latencies recorded: %+v", st)
+	}
+	srvStats := s.Stats()
+	if srvStats.DeviceWaits != 0 {
+		t.Fatalf("cache hits queued on the device semaphore %d times", srvStats.DeviceWaits)
+	}
+	if st.Throughput <= 0 {
+		t.Fatalf("throughput = %v", st.Throughput)
+	}
+}

@@ -11,12 +11,14 @@
 package server
 
 import (
-	"container/list"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"minos/internal/archiver"
 	"minos/internal/descriptor"
+	"minos/internal/disk"
 	img "minos/internal/image"
 	"minos/internal/index"
 	"minos/internal/layout"
@@ -28,22 +30,51 @@ import (
 // sequential browsing interface (§5).
 const MiniatureSize = 64
 
-// Server is the multimedia object server.
+// Server is the multimedia object server. It is safe for concurrent use:
+// the wire layer serves every connection in parallel, so all serving state
+// is either immutable, guarded by mu, atomic, or (for the block cache and
+// the devices) self-synchronizing. Device access is bounded by a seek
+// semaphore — by default one outstanding device read, preserving the
+// paper's single-optical-head queueing behaviour — so cache hits never
+// queue behind a seek.
 type Server struct {
-	arch     *archiver.Archiver
-	idx      *index.Index
-	cache    *BlockCache
+	arch  *archiver.Archiver
+	idx   *index.Index
+	cache *BlockCache
+
+	// devSem bounds concurrent device reads (the configurable "number of
+	// heads"); acquisition wait time is the contention signal reported by
+	// Stats.
+	devSem chan struct{}
+
+	// mu guards the serving maps below (and the index, whose AddObject
+	// mutates shared postings).
+	mu       sync.RWMutex
 	minis    map[object.ID]*img.Bitmap
 	modes    map[object.ID]object.Mode
 	previews map[object.ID]*voice.Part
 	// rasters caches rasterized image parts so repeated view requests
 	// pay the device once (the raster stays on the server's magnetic
-	// disk / memory in the paper's architecture).
-	rasters map[string]*img.Bitmap
+	// disk / memory in the paper's architecture). Entries are created
+	// before rasterization starts, so concurrent viewers of the same
+	// image single-flight onto one rasterization.
+	rasters map[string]*rasterJob
 
-	// Stats.
-	pieceReads int64
-	bytesOut   int64
+	// Stats (atomic: bumped on every piece read, no lock on the hot path).
+	pieceReads   atomic.Int64
+	bytesOut     atomic.Int64
+	devWaits     atomic.Int64
+	devWaitNanos atomic.Int64
+}
+
+// rasterJob is a single-flight slot for one (object, image) raster: the
+// first requester rasterizes, everyone else blocks on done and shares the
+// result.
+type rasterJob struct {
+	done chan struct{}
+	bm   *img.Bitmap
+	dur  time.Duration
+	err  error
 }
 
 // Option configures the server.
@@ -61,17 +92,36 @@ func WithCache(blocks int) Option {
 	}
 }
 
+// WithSeekConcurrency bounds the number of device reads in flight at once.
+// The default of 1 models the paper's single optical head; higher values
+// model device arrays or request reordering hardware.
+func WithSeekConcurrency(n int) Option {
+	return func(s *Server) { s.SetSeekConcurrency(n) }
+}
+
+// SetSeekConcurrency resizes the device seek semaphore for a server built
+// elsewhere (e.g. the demo corpus). It must be called before requests are
+// served concurrently; swapping the semaphore under load would let extra
+// readers onto the device.
+func (s *Server) SetSeekConcurrency(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.devSem = make(chan struct{}, n)
+}
+
 // New builds a server over an archiver. By default a modest cache is
-// installed.
+// installed and device reads are serialized (seek concurrency 1).
 func New(arch *archiver.Archiver, opts ...Option) *Server {
 	s := &Server{
 		arch:     arch,
 		idx:      index.New(),
 		cache:    NewBlockCache(256),
+		devSem:   make(chan struct{}, 1),
 		minis:    map[object.ID]*img.Bitmap{},
 		modes:    map[object.ID]object.Mode{},
 		previews: map[object.ID]*voice.Part{},
-		rasters:  map[string]*img.Bitmap{},
+		rasters:  map[string]*rasterJob{},
 	}
 	for _, o := range opts {
 		o(s)
@@ -102,8 +152,11 @@ func (s *Server) Publish(o *object.Object, shared ...archiver.SharedPart) (time.
 // content index, miniature, mode table and voice preview. Recovery paths
 // (archiver.Recover) use it to rebuild serving state from the medium.
 func (s *Server) Adopt(o *object.Object) {
+	mini := buildMiniature(o) // pure; keep it outside the lock
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.idx.AddObject(o)
-	s.minis[o.ID] = buildMiniature(o)
+	s.minis[o.ID] = mini
 	s.modes[o.ID] = o.Mode
 	if o.Mode == object.Audio {
 		if vp := o.PrimaryVoice(); vp != nil {
@@ -127,7 +180,11 @@ func voicePreview(vp *voice.Part) *voice.Part {
 }
 
 // VoicePreview returns the voice preview of an audio-mode object, or nil.
-func (s *Server) VoicePreview(id object.ID) *voice.Part { return s.previews[id] }
+func (s *Server) VoicePreview(id object.ID) *voice.Part {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.previews[id]
+}
 
 // PublishMailed ingests a mailed object blob (received from another
 // organization) into this server's archive: the blob is materialized and
@@ -175,15 +232,22 @@ func buildMiniature(o *object.Object) *img.Bitmap {
 
 // ReadPiece serves an archiver-absolute byte extent through the block
 // cache, returning the device service time actually incurred (cache hits
-// cost nothing).
+// cost nothing). Cache misses acquire the seek semaphore, so at most the
+// configured number of readers occupy the device while cache hits proceed
+// untouched.
 func (s *Server) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
-	s.pieceReads++
-	s.bytesOut += int64(length)
+	s.pieceReads.Add(1)
 	if length == 0 {
 		return nil, 0, nil
 	}
 	dev := s.arch.Device()
 	bs := uint64(dev.BlockSize())
+	// Bounds-check before allocating: wire requests carry
+	// client-controlled lengths, and an unchecked huge length would
+	// overflow off+length or drive an enormous allocation.
+	if off+length < off || off+length > bs*uint64(dev.Blocks()) {
+		return nil, 0, fmt.Errorf("server: extent [%d, +%d) beyond device end %d", off, length, bs*uint64(dev.Blocks()))
+	}
 	first := off / bs
 	last := (off + length - 1) / bs
 	var total time.Duration
@@ -196,14 +260,11 @@ func (s *Server) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
 		if blk == nil {
 			var t time.Duration
 			var err error
-			blk, t, err = dev.ReadBlock(int(b))
+			blk, t, err = s.readDeviceBlock(dev, b)
 			if err != nil {
 				return nil, total, err
 			}
 			total += t
-			if s.cache != nil {
-				s.cache.Put(b, blk)
-			}
 		}
 		lo := uint64(0)
 		if b == first {
@@ -215,7 +276,41 @@ func (s *Server) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
 		}
 		out = append(out, blk[lo:hi]...)
 	}
+	// Count bytes actually produced, not the client-claimed length: a
+	// rejected oversized request must not skew the counter.
+	s.bytesOut.Add(int64(len(out)))
 	return out, total, nil
+}
+
+// readDeviceBlock reads one block under the seek semaphore, filling the
+// cache. After waiting for a slot it re-checks the cache: another reader
+// may have fetched the same block meanwhile, in which case the device is
+// not touched again.
+func (s *Server) readDeviceBlock(dev disk.Device, b uint64) ([]byte, time.Duration, error) {
+	select {
+	case s.devSem <- struct{}{}:
+	default:
+		start := time.Now()
+		s.devSem <- struct{}{}
+		s.devWaits.Add(1)
+		s.devWaitNanos.Add(time.Since(start).Nanoseconds())
+	}
+	defer func() { <-s.devSem }()
+	if s.cache != nil {
+		// peek, not Get: the caller's lookup already recorded this
+		// request's miss.
+		if blk := s.cache.peek(b); blk != nil {
+			return blk, 0, nil
+		}
+	}
+	blk, t, err := dev.ReadBlock(int(b))
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.cache != nil {
+		s.cache.Put(b, blk)
+	}
+	return blk, t, nil
 }
 
 // Descriptor reads and parses an object's descriptor through the cache.
@@ -272,40 +367,69 @@ func (s *Server) Load(id object.ID) (*object.Object, time.Duration, error) {
 // view area, not the image area.
 func (s *Server) ImageView(id object.ID, name string, r img.Rect) (*img.Bitmap, time.Duration, error) {
 	key := fmt.Sprintf("%d/%s", id, name)
-	raster, ok := s.rasters[key]
-	var dur time.Duration
+	s.mu.Lock()
+	job, ok := s.rasters[key]
 	if !ok {
-		d, t, err := s.Descriptor(id)
-		dur += t
-		if err != nil {
-			return nil, dur, err
-		}
-		var ref *descriptor.PartRef
-		for i := range d.Parts {
-			if d.Parts[i].Kind == descriptor.PartImage && d.Parts[i].Name == name {
-				ref = &d.Parts[i]
-				break
-			}
-		}
-		if ref == nil {
-			return nil, dur, fmt.Errorf("server: object %d has no image %q", id, name)
-		}
-		raw, t2, err := s.ReadPiece(ref.Offset, ref.Length)
-		dur += t2
-		if err != nil {
-			return nil, dur, err
-		}
-		v, err := descriptor.DecodePart(descriptor.PartImage, raw)
-		if err != nil {
-			return nil, dur, err
-		}
-		im := v.(*img.Image)
-		raster = im.Rasterize()
-		raster.Or(im.RasterizeLabels(), 0, 0)
-		s.rasters[key] = raster
+		job = &rasterJob{done: make(chan struct{})}
+		s.rasters[key] = job
 	}
+	s.mu.Unlock()
+	var dur time.Duration
+	if ok {
+		// Another request rasterized (or is rasterizing) this image:
+		// wait and share its raster; no device time is charged, as with
+		// any cache hit.
+		<-job.done
+	} else {
+		job.bm, job.dur, job.err = s.rasterize(id, name)
+		if job.err != nil {
+			// Do not cache failures: a later Publish may make the
+			// view servable.
+			s.mu.Lock()
+			delete(s.rasters, key)
+			s.mu.Unlock()
+		}
+		close(job.done)
+		dur = job.dur
+	}
+	if job.err != nil {
+		return nil, dur, job.err
+	}
+	raster := job.bm
 	clipped := r.Clip(img.Rect{X: 0, Y: 0, W: raster.W, H: raster.H})
 	return raster.Extract(clipped), dur, nil
+}
+
+// rasterize decodes and rasterizes the named image part of an object,
+// charging the device time incurred.
+func (s *Server) rasterize(id object.ID, name string) (*img.Bitmap, time.Duration, error) {
+	d, dur, err := s.Descriptor(id)
+	if err != nil {
+		return nil, dur, err
+	}
+	var ref *descriptor.PartRef
+	for i := range d.Parts {
+		if d.Parts[i].Kind == descriptor.PartImage && d.Parts[i].Name == name {
+			ref = &d.Parts[i]
+			break
+		}
+	}
+	if ref == nil {
+		return nil, dur, fmt.Errorf("server: object %d has no image %q", id, name)
+	}
+	raw, t2, err := s.ReadPiece(ref.Offset, ref.Length)
+	dur += t2
+	if err != nil {
+		return nil, dur, err
+	}
+	v, err := descriptor.DecodePart(descriptor.PartImage, raw)
+	if err != nil {
+		return nil, dur, err
+	}
+	im := v.(*img.Image)
+	raster := im.Rasterize()
+	raster.Or(im.RasterizeLabels(), 0, 0)
+	return raster, dur, nil
 }
 
 // PublishVersion archives o as a new version superseding prevID; the
@@ -326,14 +450,22 @@ func (s *Server) Versions(id object.ID) []object.ID { return s.arch.VersionChain
 // Query evaluates a content query ("users submit queries based on object
 // content from their workstation", §5) and returns qualifying object ids.
 func (s *Server) Query(terms ...string) []object.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.idx.Query(terms...)
 }
 
 // Miniature returns the object's miniature, or nil.
-func (s *Server) Miniature(id object.ID) *img.Bitmap { return s.minis[id] }
+func (s *Server) Miniature(id object.ID) *img.Bitmap {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.minis[id]
+}
 
 // Mode returns the published object's driving mode.
 func (s *Server) Mode(id object.ID) (object.Mode, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	m, ok := s.modes[id]
 	return m, ok
 }
@@ -341,87 +473,44 @@ func (s *Server) Mode(id object.ID) (object.Mode, bool) {
 // IDs lists the published objects.
 func (s *Server) IDs() []object.ID { return s.arch.IDs() }
 
-// Stats reports request counters and cache effectiveness.
+// Stats reports request counters, cache effectiveness and device
+// contention. DeviceWaits counts device reads that had to queue for the
+// seek semaphore; DeviceWaitNanos is the total wall time spent queueing —
+// together they measure the §5 "queueing delays ... when several users try
+// to access data from the same device".
 type Stats struct {
 	PieceReads int64
 	BytesOut   int64
 	CacheHits  int64
 	CacheMiss  int64
+	// DeviceWaits / DeviceWaitNanos report seek-semaphore contention.
+	DeviceWaits     int64
+	DeviceWaitNanos int64
 }
 
-// Stats returns current counters.
+// Stats returns a consistent snapshot of the current counters; it is safe
+// to call concurrently with any request traffic (the STATS wire request
+// does exactly that).
 func (s *Server) Stats() Stats {
-	st := Stats{PieceReads: s.pieceReads, BytesOut: s.bytesOut}
+	st := Stats{
+		PieceReads:      s.pieceReads.Load(),
+		BytesOut:        s.bytesOut.Load(),
+		DeviceWaits:     s.devWaits.Load(),
+		DeviceWaitNanos: s.devWaitNanos.Load(),
+	}
 	if s.cache != nil {
-		st.CacheHits = s.cache.hits
-		st.CacheMiss = s.cache.misses
+		st.CacheHits, st.CacheMiss = s.cache.Counters()
 	}
 	return st
 }
 
 // ResetStats zeroes the counters (cache contents are kept).
 func (s *Server) ResetStats() {
-	s.pieceReads, s.bytesOut = 0, 0
+	s.pieceReads.Store(0)
+	s.bytesOut.Store(0)
+	s.devWaits.Store(0)
+	s.devWaitNanos.Store(0)
 	if s.cache != nil {
-		s.cache.hits, s.cache.misses = 0, 0
+		s.cache.ResetCounters()
 	}
-}
-
-// BlockCache is an LRU cache of device blocks.
-type BlockCache struct {
-	cap    int
-	ll     *list.List // front = most recent; values are *cacheEntry
-	byBlk  map[uint64]*list.Element
-	hits   int64
-	misses int64
-}
-
-type cacheEntry struct {
-	blk  uint64
-	data []byte
-}
-
-// NewBlockCache builds a cache holding up to capBlocks blocks.
-func NewBlockCache(capBlocks int) *BlockCache {
-	return &BlockCache{cap: capBlocks, ll: list.New(), byBlk: map[uint64]*list.Element{}}
-}
-
-// Get returns the cached block or nil.
-func (c *BlockCache) Get(blk uint64) []byte {
-	if e, ok := c.byBlk[blk]; ok {
-		c.ll.MoveToFront(e)
-		c.hits++
-		return e.Value.(*cacheEntry).data
-	}
-	c.misses++
-	return nil
-}
-
-// Put inserts a block, evicting the least recently used beyond capacity.
-func (c *BlockCache) Put(blk uint64, data []byte) {
-	if c.cap <= 0 {
-		return
-	}
-	if e, ok := c.byBlk[blk]; ok {
-		c.ll.MoveToFront(e)
-		e.Value.(*cacheEntry).data = data
-		return
-	}
-	e := c.ll.PushFront(&cacheEntry{blk: blk, data: data})
-	c.byBlk[blk] = e
-	for c.ll.Len() > c.cap {
-		old := c.ll.Back()
-		c.ll.Remove(old)
-		delete(c.byBlk, old.Value.(*cacheEntry).blk)
-	}
-}
-
-// Len returns the number of cached blocks.
-func (c *BlockCache) Len() int { return c.ll.Len() }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"minos/internal/disk"
+	"minos/internal/object"
 	"minos/internal/vclock"
 )
 
@@ -92,5 +94,75 @@ func TestQueueingDelayVisible(t *testing.T) {
 	}
 	if st2.Max <= st2.Mean {
 		t.Fatalf("max %v not above mean %v", st2.Max, st2.Mean)
+	}
+}
+
+// contentionServer archives a spread of documents so the contention sim
+// has a hot set to warm and cold extents for background misses.
+func contentionServer(t testing.TB) *Server {
+	t.Helper()
+	s := newServer(t, 8192)
+	for i := 1; i <= 16; i++ {
+		body := strings.Repeat("payload words for extent spacing.\n", 40+i*5)
+		if _, err := s.Publish(docObject(t, object.ID(i), body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestSimulateContentionModels is the E-CONC experiment: the same mixed
+// workload (8 cache-hit clients + 2 cold readers) under the seed's global
+// handler lock vs. the device-only lock. Dropping the global lock must buy
+// cache hits at least 1.5x throughput — in practice far more, since under
+// GlobalLock every hit waits out in-progress optical reads.
+func TestSimulateContentionModels(t *testing.T) {
+	cfg := ContentionConfig{
+		Clients:      8,
+		RequestsEach: 50,
+		PieceLen:     4096,
+		HotExtents:   6,
+		ColdReaders:  2,
+		Seed:         7,
+	}
+	cfg.Model = GlobalLock
+	global := contentionServer(t).SimulateContention(cfg)
+	cfg.Model = DeviceLock
+	device := contentionServer(t).SimulateContention(cfg)
+
+	want := cfg.Clients * cfg.RequestsEach
+	if global.HitRequests != want || device.HitRequests != want {
+		t.Fatalf("hit requests = %d / %d, want %d", global.HitRequests, device.HitRequests, want)
+	}
+	if global.ColdRequests == 0 {
+		t.Fatal("global-lock run saw no background misses")
+	}
+	if global.HitThroughput <= 0 || device.HitThroughput <= 0 {
+		t.Fatalf("throughput = %v / %v", global.HitThroughput, device.HitThroughput)
+	}
+	ratio := device.HitThroughput / global.HitThroughput
+	t.Logf("global-lock: %.0f hits/s mean %v p95 %v elapsed %v (%d cold reads)",
+		global.HitThroughput, global.HitMean, global.HitP95, global.Elapsed, global.ColdRequests)
+	t.Logf("device-lock: %.0f hits/s mean %v p95 %v elapsed %v (%d cold reads)",
+		device.HitThroughput, device.HitMean, device.HitP95, device.Elapsed, device.ColdRequests)
+	t.Logf("ratio: %.1fx", ratio)
+	if ratio < 1.5 {
+		t.Fatalf("device-lock hit throughput only %.2fx global-lock, want > 1.5x", ratio)
+	}
+	if device.HitP95 >= global.HitP95 {
+		t.Fatalf("device-lock p95 %v not below global-lock p95 %v", device.HitP95, global.HitP95)
+	}
+}
+
+// An empty or trivial config must not hang or divide by zero.
+func TestSimulateContentionDegenerate(t *testing.T) {
+	s := newServer(t, 256)
+	if st := s.SimulateContention(ContentionConfig{Clients: 4, RequestsEach: 4}); st.HitRequests != 0 {
+		t.Fatalf("empty archive produced %d hits", st.HitRequests)
+	}
+	s2 := contentionServer(t)
+	st := s2.SimulateContention(ContentionConfig{Clients: 1, RequestsEach: 1, Model: DeviceLock})
+	if st.HitRequests != 1 || st.HitThroughput <= 0 {
+		t.Fatalf("single request run = %+v", st)
 	}
 }

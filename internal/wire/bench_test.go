@@ -1,6 +1,11 @@
 package wire
 
-import "testing"
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
 
 func BenchmarkLocalRoundTrip(b *testing.B) {
 	c, _ := localClient(b)
@@ -20,4 +25,71 @@ func BenchmarkDescriptorFetch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchConcurrentPieceReads measures cache-hit piece-read throughput over
+// TCP with 8 concurrent client connections — the wall-clock half of the
+// E-CONC experiment (the vclock half is TestSimulateContentionModels).
+// With serialize=true every request queues behind one global handler lock
+// (the seed behaviour); with serialize=false requests are served in
+// parallel. The wall-clock gap scales with available cores, since a
+// cache-hit handler is pure CPU.
+func benchConcurrentPieceReads(b *testing.B, serialize bool) {
+	srv := testServer(b)
+	const (
+		region  = 128 * 2048 // warmed byte range (fits the 256-block cache)
+		piece   = 64 * 1024  // per-request read size
+		clients = 8
+	)
+	if _, _, err := srv.ReadPiece(0, region); err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go ServeWith(l, &Handler{Srv: srv}, ServeOpts{Serialize: serialize})
+
+	cs := make([]*Client, clients)
+	for i := range cs {
+		tp, err := Dial(l.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs[i] = NewClient(tp)
+		defer cs[i].Close()
+	}
+	b.SetBytes(piece)
+	b.ResetTimer()
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	for _, c := range cs {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				off := uint64(i*piece) % (region - piece)
+				if _, _, err := c.ReadPiece(off, piece); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func BenchmarkServePieceReads8ClientsSerialized(b *testing.B) {
+	benchConcurrentPieceReads(b, true)
+}
+
+func BenchmarkServePieceReads8ClientsParallel(b *testing.B) {
+	benchConcurrentPieceReads(b, false)
 }

@@ -1,6 +1,9 @@
 package wire
 
 import (
+	"errors"
+	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -101,28 +104,96 @@ func (t *TCPTransport) RoundTrip(req []byte) ([]byte, error) {
 // Close implements Transport.
 func (t *TCPTransport) Close() error { return t.conn.Close() }
 
+// ServeOpts configures Serve behaviour.
+type ServeOpts struct {
+	// IdleTimeout drops a connection that sends no request for this long
+	// (0 = never). It bounds the damage a stalled or hostile client can
+	// do to the connection table.
+	IdleTimeout time.Duration
+	// ErrorLog receives per-connection errors (bad frames, write
+	// failures). Nil discards them. Clean closes (EOF, closed network
+	// connection) are not reported.
+	ErrorLog func(error)
+	// Serialize restores the historical behaviour of one global lock
+	// around the handler, so every request across every connection is
+	// served one at a time. It exists for A/B throughput experiments
+	// (E-CONC); production serving leaves it false.
+	Serialize bool
+}
+
 // Serve accepts connections on l and serves protocol requests until the
-// listener closes. Each connection is handled on its own goroutine; the
-// server itself is driven synchronously per request (the underlying device
-// model is single-headed anyway).
+// listener closes. Each connection runs on its own goroutine and requests
+// are handled fully in parallel: the handler's server is concurrency-safe,
+// and device queueing is modelled where it belongs (the server's seek
+// semaphore), not by a global lock.
 func Serve(l net.Listener, h *Handler) error {
-	var mu sync.Mutex // serialize handler access across connections
+	return ServeWith(l, h, ServeOpts{})
+}
+
+// ServeWith is Serve with explicit options. When the listener closes, all
+// open connections are closed and their handler goroutines drained before
+// ServeWith returns.
+func ServeWith(l net.Listener, h *Handler, opts ServeOpts) error {
+	var (
+		serialMu sync.Mutex // only used when opts.Serialize
+		connMu   sync.Mutex
+		conns    = map[net.Conn]struct{}{}
+		wg       sync.WaitGroup
+	)
+	logf := func(format string, args ...any) {
+		if opts.ErrorLog != nil {
+			opts.ErrorLog(fmt.Errorf(format, args...))
+		}
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			// Listener closed (graceful shutdown) or fatal accept
+			// failure: tear down active connections and wait for
+			// their handlers to finish in-flight responses.
+			connMu.Lock()
+			for c := range conns {
+				c.Close()
+			}
+			connMu.Unlock()
+			wg.Wait()
 			return err
 		}
+		connMu.Lock()
+		conns[conn] = struct{}{}
+		connMu.Unlock()
+		wg.Add(1)
 		go func(conn net.Conn) {
-			defer conn.Close()
+			defer wg.Done()
+			defer func() {
+				connMu.Lock()
+				delete(conns, conn)
+				connMu.Unlock()
+				conn.Close()
+			}()
 			for {
+				if opts.IdleTimeout > 0 {
+					conn.SetReadDeadline(time.Now().Add(opts.IdleTimeout))
+				}
 				req, err := ReadFrame(conn)
 				if err != nil {
+					if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+						logf("wire: %s: read: %w", conn.RemoteAddr(), err)
+					}
 					return
 				}
-				mu.Lock()
-				resp := h.Handle(req)
-				mu.Unlock()
+				var resp []byte
+				if opts.Serialize {
+					serialMu.Lock()
+					resp = h.Handle(req)
+					serialMu.Unlock()
+				} else {
+					resp = h.Handle(req)
+				}
 				if err := WriteFrame(conn, resp); err != nil {
+					if !errors.Is(err, net.ErrClosed) {
+						logf("wire: %s: write: %w", conn.RemoteAddr(), err)
+					}
 					return
 				}
 			}

@@ -35,6 +35,7 @@ const (
 	OpMode         = 6
 	OpImageView    = 7
 	OpVoicePreview = 8
+	OpStats        = 9
 )
 
 // Response status codes.
@@ -127,7 +128,10 @@ func (h *Handler) Handle(req []byte) []byte {
 		if err != nil {
 			return errResp(err)
 		}
-		terms := make([]string, 0, n)
+		// Cap the preallocation: n is client-controlled, and each term
+		// needs at least 4 bytes of request, so anything beyond the
+		// remaining request length fails below anyway.
+		terms := make([]string, 0, min(int(n), len(c.rest())/4+1))
 		for i := uint32(0); i < n; i++ {
 			s, err := c.str()
 			if err != nil {
@@ -217,6 +221,15 @@ func (h *Handler) Handle(req []byte) []byte {
 		return okResp(0, payload)
 	case OpList:
 		return okResp(0, encodeIDs(h.Srv.IDs()))
+	case OpStats:
+		st := h.Srv.Stats()
+		out := appendU64(nil, uint64(st.PieceReads))
+		out = appendU64(out, uint64(st.BytesOut))
+		out = appendU64(out, uint64(st.CacheHits))
+		out = appendU64(out, uint64(st.CacheMiss))
+		out = appendU64(out, uint64(st.DeviceWaits))
+		out = appendU64(out, uint64(st.DeviceWaitNanos))
+		return okResp(0, out)
 	case OpMode:
 		id, err := c.u64()
 		if err != nil {
@@ -398,6 +411,30 @@ func (c *Client) Mode(id object.ID) (object.Mode, error) {
 	return object.Mode(payload[0]), nil
 }
 
+// Stats fetches the server's request/cache/contention counters — the load
+// simulation and cmd/minos-server use it to report device contention.
+func (c *Client) Stats() (server.Stats, error) {
+	payload, _, err := c.call([]byte{OpStats})
+	if err != nil {
+		return server.Stats{}, err
+	}
+	cur := &cursor{data: payload}
+	var vals [6]uint64
+	for i := range vals {
+		if vals[i], err = cur.u64(); err != nil {
+			return server.Stats{}, err
+		}
+	}
+	return server.Stats{
+		PieceReads:      int64(vals[0]),
+		BytesOut:        int64(vals[1]),
+		CacheHits:       int64(vals[2]),
+		CacheMiss:       int64(vals[3]),
+		DeviceWaits:     int64(vals[4]),
+		DeviceWaitNanos: int64(vals[5]),
+	}, nil
+}
+
 // Fetch adapts the client into a descriptor.FetchFunc, accumulating device
 // time into dur if non-nil.
 func (c *Client) Fetch(dur *time.Duration) descriptor.FetchFunc {
@@ -415,6 +452,11 @@ func decodeIDs(payload []byte) ([]object.ID, error) {
 	n, err := c.u32()
 	if err != nil {
 		return nil, err
+	}
+	// Each id occupies 8 payload bytes; validate before preallocating so
+	// a corrupt count cannot drive a huge allocation.
+	if uint64(len(c.rest())) < uint64(n)*8 {
+		return nil, errShort
 	}
 	ids := make([]object.ID, 0, n)
 	for i := uint32(0); i < n; i++ {
