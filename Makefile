@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fmt vet check
+.PHONY: all build test race bench bench-smoke fmt vet check
 
 all: build
 
@@ -12,10 +12,15 @@ test:
 
 # Short-mode race pass over the packages with concurrency stress tests.
 race:
-	$(GO) test -race -short ./internal/server ./internal/wire
+	$(GO) test -race -short ./internal/server ./internal/wire ./internal/workstation
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# One-iteration pass over the pipeline benchmarks: catches bit-rot in the
+# wire mux and prefetch benchmark harnesses without paying for a full run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'EPipe|Mux|Prefetch' -benchtime=1x . ./internal/wire ./internal/workstation
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -24,4 +29,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test race
+check: fmt vet build test race bench-smoke

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	minos-server [-listen addr] [-fillers n] [-blocks n] [-archive file]
-//	             [-idle-timeout d] [-seek-concurrency n]
+//	             [-idle-timeout d] [-seek-concurrency n] [-readahead n]
 //
 // With -archive, the optical medium is loaded from the file when it exists
 // (the archive directory is recovered by scanning the self-describing
@@ -43,6 +43,7 @@ func main() {
 	archivePath := flag.String("archive", "", "persist the optical medium to this file")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "drop connections idle for this long (0 = never)")
 	seek := flag.Int("seek-concurrency", 1, "device reads in flight at once (1 = single optical head)")
+	readahead := flag.Int("readahead", 8, "blocks pulled into the cache behind a sequential sweep (0 = off)")
 	flag.Parse()
 
 	srv, err := buildServer(*archivePath, *blocks, *fillers)
@@ -50,6 +51,7 @@ func main() {
 		log.Fatalf("minos-server: %v", err)
 	}
 	srv.SetSeekConcurrency(*seek)
+	srv.SetReadAhead(*readahead)
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("minos-server: %v", err)
@@ -84,8 +86,8 @@ func serve(l net.Listener, srv *server.Server, sig <-chan os.Signal, idle time.D
 		}
 	}
 	st := srv.Stats()
-	fmt.Printf("minos-server: served %d piece reads, %d bytes out; cache %d hits / %d misses; device waits %d (%v queued)\n",
-		st.PieceReads, st.BytesOut, st.CacheHits, st.CacheMiss, st.DeviceWaits, time.Duration(st.DeviceWaitNanos))
+	fmt.Printf("minos-server: served %d piece reads, %d bytes out; cache %d hits / %d misses; device waits %d (%v queued); %d read-ahead blocks\n",
+		st.PieceReads, st.BytesOut, st.CacheHits, st.CacheMiss, st.DeviceWaits, time.Duration(st.DeviceWaitNanos), st.ReadAheadBlocks)
 	return nil
 }
 

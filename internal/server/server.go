@@ -60,11 +60,19 @@ type Server struct {
 	// image single-flight onto one rasterization.
 	rasters map[string]*rasterJob
 
+	// readAhead is the number of sequentially-next blocks pulled into the
+	// cache after a cache-miss read (0 = disabled); raBusy keeps at most
+	// one read-ahead sweep in flight so misses cannot fan out a goroutine
+	// storm onto the seek semaphore.
+	readAhead int
+	raBusy    atomic.Bool
+
 	// Stats (atomic: bumped on every piece read, no lock on the hot path).
 	pieceReads   atomic.Int64
 	bytesOut     atomic.Int64
 	devWaits     atomic.Int64
 	devWaitNanos atomic.Int64
+	raBlocks     atomic.Int64
 }
 
 // rasterJob is a single-flight slot for one (object, image) raster: the
@@ -108,6 +116,24 @@ func (s *Server) SetSeekConcurrency(n int) {
 		n = 1
 	}
 	s.devSem = make(chan struct{}, n)
+}
+
+// WithReadAhead enables sequential block read-ahead: after a cache-miss
+// read, the next n blocks are pulled into the block cache behind the seek
+// semaphore, so a sequentially-browsing client finds its next extent
+// already resident. Zero disables it (the default).
+func WithReadAhead(n int) Option {
+	return func(s *Server) { s.SetReadAhead(n) }
+}
+
+// SetReadAhead sets the read-ahead depth in blocks for a server built
+// elsewhere. Like SetSeekConcurrency it must be called before concurrent
+// serving starts.
+func (s *Server) SetReadAhead(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.readAhead = n
 }
 
 // New builds a server over an archiver. By default a modest cache is
@@ -251,6 +277,7 @@ func (s *Server) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
 	first := off / bs
 	last := (off + length - 1) / bs
 	var total time.Duration
+	missed := false
 	out := make([]byte, 0, length)
 	for b := first; b <= last; b++ {
 		var blk []byte
@@ -265,6 +292,7 @@ func (s *Server) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
 				return nil, total, err
 			}
 			total += t
+			missed = true
 		}
 		lo := uint64(0)
 		if b == first {
@@ -279,7 +307,45 @@ func (s *Server) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
 	// Count bytes actually produced, not the client-claimed length: a
 	// rejected oversized request must not skew the counter.
 	s.bytesOut.Add(int64(len(out)))
+	// A miss that reached the device hints at a sequential sweep: warm
+	// the next blocks in the background so the follower request hits.
+	if missed && s.readAhead > 0 && s.cache != nil && s.raBusy.CompareAndSwap(false, true) {
+		go s.readAheadFrom(last + 1)
+	}
 	return out, total, nil
+}
+
+// readAheadFrom pulls up to s.readAhead sequentially-next blocks into the
+// block cache. It competes for the seek semaphore like any device reader
+// (the optical head is still the bottleneck the paper worries about) but
+// does not touch the contention counters: its queueing is background work,
+// not a user-visible wait.
+func (s *Server) readAheadFrom(first uint64) {
+	defer s.raBusy.Store(false)
+	dev := s.arch.Device()
+	end := uint64(dev.Blocks())
+	for i := uint64(0); i < uint64(s.readAhead); i++ {
+		b := first + i
+		if b >= end {
+			return
+		}
+		if s.cache.peek(b) != nil {
+			continue
+		}
+		s.devSem <- struct{}{}
+		var err error
+		if s.cache.peek(b) == nil { // re-check: a foreground read may have won
+			var blk []byte
+			if blk, _, err = dev.ReadBlock(int(b)); err == nil {
+				s.cache.Put(b, blk)
+				s.raBlocks.Add(1)
+			}
+		}
+		<-s.devSem
+		if err != nil {
+			return
+		}
+	}
 }
 
 // readDeviceBlock reads one block under the seek semaphore, filling the
@@ -486,6 +552,9 @@ type Stats struct {
 	// DeviceWaits / DeviceWaitNanos report seek-semaphore contention.
 	DeviceWaits     int64
 	DeviceWaitNanos int64
+	// ReadAheadBlocks counts blocks pulled into the cache by sequential
+	// read-ahead rather than by a request.
+	ReadAheadBlocks int64
 }
 
 // Stats returns a consistent snapshot of the current counters; it is safe
@@ -497,6 +566,7 @@ func (s *Server) Stats() Stats {
 		BytesOut:        s.bytesOut.Load(),
 		DeviceWaits:     s.devWaits.Load(),
 		DeviceWaitNanos: s.devWaitNanos.Load(),
+		ReadAheadBlocks: s.raBlocks.Load(),
 	}
 	if s.cache != nil {
 		st.CacheHits, st.CacheMiss = s.cache.Counters()
@@ -510,6 +580,7 @@ func (s *Server) ResetStats() {
 	s.bytesOut.Store(0)
 	s.devWaits.Store(0)
 	s.devWaitNanos.Store(0)
+	s.raBlocks.Store(0)
 	if s.cache != nil {
 		s.cache.ResetCounters()
 	}

@@ -47,6 +47,17 @@ func FuzzHandleRequest(f *testing.F) {
 	f.Add([]byte{OpDescriptor, 1, 2})                              // truncated id
 	f.Add([]byte{})
 	f.Add([]byte{99})
+	// Protocol v2 ops.
+	f.Add(appendU32([]byte{OpHello}, ProtocolV2))
+	f.Add(appendU32([]byte{OpHello}, 0))          // version below minimum
+	f.Add(appendU32([]byte{OpHello}, 0xffffffff)) // absurd version claim
+	batchReq := appendU32([]byte{OpMiniatures}, 3)
+	for _, id := range []uint64{3, 42, 1} {
+		batchReq = appendU64(batchReq, id)
+	}
+	f.Add(batchReq)
+	f.Add(appendU32([]byte{OpMiniatures}, 0xffffffff)) // 4 G miniatures claimed
+	f.Add(appendU32([]byte{OpMiniatures}, 2))          // count 2, zero ids
 
 	h := fuzzHandler(f)
 	f.Fuzz(func(t *testing.T, req []byte) {
@@ -114,5 +125,65 @@ func FuzzClientResponse(f *testing.F) {
 		c.List()  // id-list decoding
 		c.Stats() // stats decoding
 		c.Mode(1) // fixed-size payload decoding
+	})
+}
+
+// FuzzMuxDemux drives the v2 frame demultiplexer with hostile frames:
+// truncated, unknown-id and duplicate frames must be dropped without
+// panicking, every registered call must be resolved exactly once (by
+// delivery or by failAll), and the pending table must end empty — a leak
+// here is a goroutine stuck in Wait forever on a real connection.
+func FuzzMuxDemux(f *testing.F) {
+	f.Add([]byte{}, uint8(3))
+	f.Add([]byte{0x00}, uint8(1))      // truncated id
+	f.Add(appendU32(nil, 1), uint8(2)) // bare id, no body
+	f.Add(append(appendU32(nil, 2), 0xAB, 0xCD), uint8(4))
+	f.Add(append(appendU32(nil, 99), 0xAB), uint8(1)) // unknown id
+	dup := append(appendU32(nil, 1), 0x01)
+	f.Add(append(dup, dup...), uint8(2)) // same id twice in one stream
+	f.Fuzz(func(t *testing.T, stream []byte, nCalls uint8) {
+		d := newDemux()
+		n := int(nCalls % 8)
+		chans := make(map[uint32]chan muxResult, n)
+		for i := 0; i < n; i++ {
+			id := uint32(i + 1)
+			ch, err := d.register(id)
+			if err != nil {
+				t.Fatalf("register(%d): %v", id, err)
+			}
+			chans[id] = ch
+		}
+		// Split the fuzz input into frames (first byte = length of next
+		// frame) and deliver each; any byte soup must be survivable.
+		delivered := 0
+		for len(stream) > 0 {
+			flen := int(stream[0])
+			if flen > len(stream)-1 {
+				flen = len(stream) - 1
+			}
+			if d.deliver(stream[1 : 1+flen]) {
+				delivered++
+			}
+			stream = stream[1+flen:]
+		}
+		if delivered > n {
+			t.Fatalf("delivered %d frames to %d pending calls", delivered, n)
+		}
+		// Connection death: every still-pending call must resolve, and
+		// the table must be empty with registration poisoned.
+		d.failAll(ErrTransportClosed)
+		if got := d.pendingLen(); got != 0 {
+			t.Fatalf("%d pending calls leaked", got)
+		}
+		if _, err := d.register(1000); err == nil {
+			t.Fatal("register succeeded after failAll")
+		}
+		for id, ch := range chans {
+			select {
+			case <-ch:
+			default:
+				t.Fatalf("call %d never resolved", id)
+			}
+		}
 	})
 }

@@ -1,0 +1,389 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Protocol versions negotiated by the HELLO op. Version 1 is the original
+// lock-step protocol: one frame out, one frame back, strictly alternating.
+// Version 2 multiplexes many in-flight exchanges over one connection by
+// prefixing every frame (in both directions) with a 4-byte correlation id,
+// which is what lets the browse prefetch pipeline overlap delivery with
+// viewing instead of paying a full link round trip per cursor step.
+const (
+	ProtocolV1 = 1
+	ProtocolV2 = 2
+)
+
+// Errors surfaced by pipelined calls.
+var (
+	// ErrCallTimeout reports a call that exceeded its per-call deadline.
+	// The connection stays usable: the late response is discarded by the
+	// demultiplexer when (if) it arrives.
+	ErrCallTimeout = errors.New("wire: call timed out")
+	// ErrTransportClosed reports a call attempted or in flight when the
+	// connection died; every pending call fails with an error wrapping it.
+	ErrTransportClosed = errors.New("wire: transport closed")
+)
+
+// Pending is one in-flight exchange started on a pipelined transport.
+type Pending interface {
+	// Wait blocks until the response (or the call's failure) arrives.
+	Wait() ([]byte, error)
+}
+
+// Pipeliner is a Transport that can carry many concurrent exchanges at
+// once. Transports that cannot (the lock-step TCPTransport) are adapted by
+// the client with a goroutine per call, which still overlaps the caller but
+// serializes on the wire.
+type Pipeliner interface {
+	Transport
+	Start(req []byte) Pending
+}
+
+// --- correlation-id demultiplexer ---
+
+type muxResult struct {
+	resp []byte
+	err  error
+}
+
+// demux routes v2 response frames to the pending call with the matching
+// correlation id. It is deliberately self-contained (no net.Conn) so the
+// fuzz target can drive it with hostile frames directly: truncated,
+// duplicate and unknown-id frames must be dropped without panicking and
+// without leaking pending-call table entries.
+type demux struct {
+	mu      sync.Mutex
+	pending map[uint32]chan muxResult
+	err     error // set once the transport dies; register fails afterwards
+}
+
+func newDemux() *demux {
+	return &demux{pending: map[uint32]chan muxResult{}}
+}
+
+// register allocates the pending slot for a correlation id. It fails after
+// failAll (connection dead) and on a duplicate id (caller bug).
+func (d *demux) register(id uint32) (chan muxResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if _, dup := d.pending[id]; dup {
+		return nil, fmt.Errorf("wire: duplicate correlation id %d", id)
+	}
+	ch := make(chan muxResult, 1)
+	d.pending[id] = ch
+	return ch, nil
+}
+
+// cancel drops a pending slot (per-call timeout); a response arriving later
+// is treated as unknown-id and discarded.
+func (d *demux) cancel(id uint32) {
+	d.mu.Lock()
+	delete(d.pending, id)
+	d.mu.Unlock()
+}
+
+// deliver routes one raw v2 frame ([4-byte id][response]) to its pending
+// call. It reports whether a call was completed; short frames and unknown
+// or already-completed ids are dropped.
+func (d *demux) deliver(frame []byte) bool {
+	if len(frame) < 4 {
+		return false
+	}
+	id := binary.BigEndian.Uint32(frame)
+	d.mu.Lock()
+	ch, ok := d.pending[id]
+	if ok {
+		delete(d.pending, id)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return false
+	}
+	ch <- muxResult{resp: frame[4:]}
+	return true
+}
+
+// failAll completes every pending call with err and poisons the table so
+// later register calls fail fast — the clean-error-propagation path when
+// the connection dies under in-flight requests.
+func (d *demux) failAll(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	for id, ch := range d.pending {
+		delete(d.pending, id)
+		ch <- muxResult{err: d.err}
+	}
+	d.mu.Unlock()
+}
+
+// pendingLen returns the number of registered, undelivered calls.
+func (d *demux) pendingLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending)
+}
+
+// --- client-side multiplexed transport ---
+
+// MuxTransport runs the protocol over a net.Conn with v2 multiplexed
+// framing when the server supports it: any number of calls may be in
+// flight concurrently on the one connection, each with its own correlation
+// id and optional per-call timeout. Against a v1 server the HELLO is
+// rejected and the transport degrades to serialized lock-step exchanges,
+// so old servers keep working.
+type MuxTransport struct {
+	conn    net.Conn
+	version int
+
+	// callTimeout (nanoseconds) bounds each call; 0 = wait forever.
+	callTimeout atomic.Int64
+
+	// v2 state.
+	writeMu sync.Mutex
+	d       *demux
+	nextID  atomic.Uint32
+
+	// v1 fallback state: lock-step exchanges under one mutex.
+	legacyMu sync.Mutex
+}
+
+// DialMux connects to a wire server and negotiates the protocol version
+// with a HELLO. A v2 server upgrades the connection to multiplexed framing;
+// a v1 server (which answers HELLO with an unknown-op error) leaves the
+// transport in lock-step mode.
+func DialMux(addr string) (*MuxTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &MuxTransport{conn: conn, version: ProtocolV1}
+	hello := appendU32([]byte{OpHello}, ProtocolV2)
+	if err := WriteFrame(conn, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	resp, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if v, perr := parseHelloResponse(resp); perr == nil && v >= ProtocolV2 {
+		m.version = ProtocolV2
+		m.d = newDemux()
+		go m.readLoop()
+	}
+	// Any HELLO failure (a v1 server answers "unknown op") falls back to
+	// lock-step: the connection is still a perfectly good v1 transport.
+	return m, nil
+}
+
+// parseHelloResponse extracts the negotiated version from a HELLO response.
+func parseHelloResponse(resp []byte) (int, error) {
+	payload, _, err := parseResponse(resp)
+	if err != nil {
+		return 0, err
+	}
+	c := &cursor{data: payload}
+	v, err := c.u32()
+	if err != nil {
+		return 0, err
+	}
+	return int(v), nil
+}
+
+// Version reports the negotiated protocol version.
+func (m *MuxTransport) Version() int { return m.version }
+
+// SetCallTimeout bounds every subsequent call (write + wait for response);
+// zero waits forever. A timed-out call fails with ErrCallTimeout while the
+// connection stays usable.
+func (m *MuxTransport) SetCallTimeout(d time.Duration) { m.callTimeout.Store(int64(d)) }
+
+// readLoop is the single reader demultiplexing response frames; on any
+// read error it fails every pending call and poisons the transport.
+func (m *MuxTransport) readLoop() {
+	for {
+		frame, err := ReadFrame(m.conn)
+		if err != nil {
+			m.d.failAll(fmt.Errorf("%w: %v", ErrTransportClosed, err))
+			return
+		}
+		m.d.deliver(frame)
+	}
+}
+
+// muxPending is a v2 in-flight call.
+type muxPending struct {
+	m       *muxPendingState
+	timeout time.Duration
+}
+
+type muxPendingState struct {
+	d   *demux
+	id  uint32
+	ch  chan muxResult
+	err error // immediate failure (register/write)
+}
+
+// Wait implements Pending.
+func (p *muxPending) Wait() ([]byte, error) {
+	if p.m.err != nil {
+		return nil, p.m.err
+	}
+	if p.timeout <= 0 {
+		r := <-p.m.ch
+		return r.resp, r.err
+	}
+	t := time.NewTimer(p.timeout)
+	defer t.Stop()
+	select {
+	case r := <-p.m.ch:
+		return r.resp, r.err
+	case <-t.C:
+		p.m.d.cancel(p.m.id)
+		// The demux may have delivered between the timer firing and the
+		// cancel; prefer the response if it is already there.
+		select {
+		case r := <-p.m.ch:
+			return r.resp, r.err
+		default:
+		}
+		return nil, fmt.Errorf("%w after %v", ErrCallTimeout, p.timeout)
+	}
+}
+
+// errPending is a call that failed before it was written.
+type errPending struct{ err error }
+
+func (p errPending) Wait() ([]byte, error) { return nil, p.err }
+
+// Start implements Pipeliner: it sends the request and returns immediately;
+// Wait collects the response. In lock-step fallback mode the exchange runs
+// serialized in a goroutine, preserving Start's non-blocking contract.
+func (m *MuxTransport) Start(req []byte) Pending {
+	timeout := time.Duration(m.callTimeout.Load())
+	if m.version < ProtocolV2 {
+		ch := make(chan muxResult, 1)
+		go func() {
+			resp, err := m.legacyRoundTrip(req, timeout)
+			ch <- muxResult{resp: resp, err: err}
+		}()
+		return &muxPending{m: &muxPendingState{ch: ch}}
+	}
+	id := m.nextID.Add(1)
+	ch, err := m.d.register(id)
+	if err != nil {
+		return errPending{err: err}
+	}
+	frame := make([]byte, 0, 4+len(req))
+	frame = appendU32(frame, id)
+	frame = append(frame, req...)
+	m.writeMu.Lock()
+	if timeout > 0 {
+		m.conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	werr := WriteFrame(m.conn, frame)
+	m.writeMu.Unlock()
+	if werr != nil {
+		m.d.cancel(id)
+		return errPending{err: werr}
+	}
+	return &muxPending{m: &muxPendingState{d: m.d, id: id, ch: ch}, timeout: timeout}
+}
+
+// legacyRoundTrip is the v1 lock-step exchange with deadlines.
+func (m *MuxTransport) legacyRoundTrip(req []byte, timeout time.Duration) ([]byte, error) {
+	m.legacyMu.Lock()
+	defer m.legacyMu.Unlock()
+	if timeout > 0 {
+		m.conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if err := WriteFrame(m.conn, req); err != nil {
+		return nil, err
+	}
+	return ReadFrame(m.conn)
+}
+
+// RoundTrip implements Transport; it is safe for concurrent use and, in v2
+// mode, concurrent calls really are in flight together on the wire.
+func (m *MuxTransport) RoundTrip(req []byte) ([]byte, error) {
+	return m.Start(req).Wait()
+}
+
+// Close implements Transport; pending v2 calls fail with ErrTransportClosed.
+func (m *MuxTransport) Close() error { return m.conn.Close() }
+
+// --- server side ---
+
+// maxConnInFlight bounds concurrently-served requests per v2 connection;
+// the read loop blocks (natural backpressure) when a client keeps more in
+// flight than that.
+const maxConnInFlight = 64
+
+// muxConn serves one upgraded v2 connection: each request frame is handled
+// on its own goroutine and its response written back tagged with the
+// request's correlation id, so slow (device-bound) requests do not block
+// fast (cache-hit) ones behind head-of-line. Returns when the connection
+// dies, after draining in-flight handlers.
+func muxConn(conn net.Conn, h *Handler, opts ServeOpts, serialMu *sync.Mutex, logf func(format string, args ...any)) {
+	var (
+		writeMu sync.Mutex
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, maxConnInFlight)
+	)
+	defer wg.Wait()
+	for {
+		if opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(opts.IdleTimeout))
+		}
+		frame, err := ReadFrame(conn)
+		if err != nil {
+			if !isCleanClose(err) {
+				logf("wire: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if len(frame) < 4 {
+			logf("wire: %s: short v2 frame (%d bytes)", conn.RemoteAddr(), len(frame))
+			return
+		}
+		id := binary.BigEndian.Uint32(frame)
+		req := frame[4:]
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(id uint32, req []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var resp []byte
+			if opts.Serialize {
+				serialMu.Lock()
+				resp = h.Handle(req)
+				serialMu.Unlock()
+			} else {
+				resp = h.Handle(req)
+			}
+			out := make([]byte, 0, 4+len(resp))
+			out = appendU32(out, id)
+			out = append(out, resp...)
+			writeMu.Lock()
+			werr := WriteFrame(conn, out)
+			writeMu.Unlock()
+			if werr != nil && !errors.Is(werr, net.ErrClosed) {
+				logf("wire: %s: write: %v", conn.RemoteAddr(), werr)
+			}
+		}(id, req)
+	}
+}

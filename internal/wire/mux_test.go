@@ -1,0 +1,545 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"minos/internal/object"
+)
+
+// serveTCP starts a v2-capable wire server on a loopback listener and
+// returns its address.
+func serveTCP(t testing.TB) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go Serve(l, &Handler{Srv: testServer(t)})
+	return l.Addr().String()
+}
+
+func TestMuxNegotiation(t *testing.T) {
+	addr := serveTCP(t)
+	tp, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	if tp.Version() != ProtocolV2 {
+		t.Fatalf("negotiated version = %d, want %d", tp.Version(), ProtocolV2)
+	}
+	c := NewClient(tp)
+	ids, _, err := c.Query("lung")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("Query over mux = %v", ids)
+	}
+}
+
+func TestMuxConcurrentInFlight(t *testing.T) {
+	addr := serveTCP(t)
+	tp, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(tp)
+	defer c.Close()
+
+	// Many goroutines hammer the one connection; every reply must match
+	// its request (correlation ids, not arrival order, route responses).
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					ids, _, err := c.Query("lung")
+					if err == nil && (len(ids) != 1 || ids[0] != 1) {
+						err = fmt.Errorf("query = %v", ids)
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					d, _, err := c.Descriptor(2)
+					if err == nil && d.Title != "heart" {
+						err = fmt.Errorf("descriptor = %+v", d)
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+				default:
+					m, _, err := c.Miniature(3)
+					if err == nil && m.PopCount() == 0 {
+						err = fmt.Errorf("blank miniature")
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMuxOutOfOrderWait(t *testing.T) {
+	addr := serveTCP(t)
+	tp, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(tp)
+	defer c.Close()
+
+	// Start three calls, wait for them in reverse order: each must still
+	// get its own response.
+	a := c.MiniaturesStart([]object.ID{1})
+	b := c.MiniaturesStart([]object.ID{2})
+	d := c.MiniaturesStart([]object.ID{3})
+	for _, pm := range []*PendingMiniatures{d, b, a} {
+		res, _, err := pm.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || !res[0].OK {
+			t.Fatalf("batch result = %+v", res)
+		}
+	}
+}
+
+// lockstepV1 simulates a pre-HELLO server: strict request/response framing
+// and every unknown op (including OpHello) answered with an error.
+func lockstepV1(t testing.TB, h *Handler) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					req, err := ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					var resp []byte
+					if len(req) > 0 && req[0] >= OpHello {
+						resp = errResp(fmt.Errorf("unknown op %d", req[0]))
+					} else {
+						resp = h.Handle(req)
+					}
+					if WriteFrame(conn, resp) != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+func TestMuxFallbackToLockstep(t *testing.T) {
+	addr := lockstepV1(t, &Handler{Srv: testServer(t)})
+	tp, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Version() != ProtocolV1 {
+		t.Fatalf("version against v1 server = %d, want %d", tp.Version(), ProtocolV1)
+	}
+	c := NewClient(tp)
+	defer c.Close()
+	ids, _, err := c.Query("heart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("fallback Query = %v", ids)
+	}
+	// The pipelined API still works against a v1 server (serialized
+	// lock-step under the hood), using ops the old server understands.
+	var pends []Pending
+	for _, id := range []object.ID{1, 2, 3} {
+		pends = append(pends, tp.Start(appendU64([]byte{OpMiniature}, uint64(id))))
+	}
+	for i, p := range pends {
+		resp, err := p.Wait()
+		if err != nil {
+			t.Fatalf("fallback pipelined call %d: %v", i, err)
+		}
+		if _, _, err := parseResponse(resp); err != nil {
+			t.Fatalf("fallback pipelined call %d: %v", i, err)
+		}
+	}
+}
+
+func TestV1ClientAgainstV2Server(t *testing.T) {
+	addr := serveTCP(t)
+	// Old-style lock-step client: never sends HELLO, must be served
+	// unchanged by a server that also understands v2.
+	tp, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := NewClient(tp)
+	defer v1.Close()
+
+	// A mux client shares the server concurrently.
+	mtp, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := NewClient(mtp)
+	defer v2.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, _, err := v1.List(); err != nil {
+				errs <- fmt.Errorf("v1 client: %w", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, _, err := v2.Miniature(3); err != nil {
+				errs <- fmt.Errorf("v2 client: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// stalledServer negotiates v2 on accept, then swallows every request
+// without replying. stop closes all accepted connections.
+func stalledServer(t testing.TB) (addr string, stop func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu    sync.Mutex
+		conns []net.Conn
+	)
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, conn)
+			mu.Unlock()
+			go func() {
+				req, err := ReadFrame(conn)
+				if err != nil || len(req) == 0 || req[0] != OpHello {
+					conn.Close()
+					return
+				}
+				WriteFrame(conn, okResp(0, appendU32(nil, ProtocolV2)))
+				for {
+					if _, err := ReadFrame(conn); err != nil {
+						return
+					}
+					// Swallow the request; never respond.
+				}
+			}()
+		}
+	}()
+	stop = func() {
+		l.Close()
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	}
+	t.Cleanup(stop)
+	return l.Addr().String(), stop
+}
+
+func TestMuxCallTimeout(t *testing.T) {
+	addr, _ := stalledServer(t)
+	tp, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	if tp.Version() != ProtocolV2 {
+		t.Fatalf("version = %d", tp.Version())
+	}
+	tp.SetCallTimeout(50 * time.Millisecond)
+	start := time.Now()
+	_, err = tp.RoundTrip([]byte{OpList})
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("stalled call error = %v, want ErrCallTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	// The timed-out call must not leak its pending-table slot.
+	if n := tp.d.pendingLen(); n != 0 {
+		t.Fatalf("%d pending calls leaked after timeout", n)
+	}
+}
+
+func TestMuxConnectionDeathFailsPending(t *testing.T) {
+	addr, stop := stalledServer(t)
+	tp, err := DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+
+	// Several calls in flight when the server dies: all must fail with an
+	// error wrapping ErrTransportClosed, and later calls must fail fast.
+	var pends []Pending
+	for i := 0; i < 4; i++ {
+		pends = append(pends, tp.Start([]byte{OpList}))
+	}
+	stop()
+	for i, p := range pends {
+		if _, err := p.Wait(); !errors.Is(err, ErrTransportClosed) {
+			t.Fatalf("pending %d after death: %v, want ErrTransportClosed", i, err)
+		}
+	}
+	if _, err := tp.Start([]byte{OpList}).Wait(); !errors.Is(err, ErrTransportClosed) {
+		t.Fatalf("post-death call error = %v", err)
+	}
+}
+
+// TestTCPTimeoutAgainstDeadServer is the satellite fix: a lock-step client
+// calling a server that accepts but never answers must fail by deadline,
+// not hang forever.
+func TestTCPTimeoutAgainstDeadServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			// Read and discard forever; never respond.
+			buf := make([]byte, 1024)
+			for {
+				if _, err := conn.Read(buf); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	tp, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	tp.SetTimeout(100 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() {
+		_, err := tp.RoundTrip([]byte{OpList})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var nerr net.Error
+		if !errors.As(err, &nerr) || !nerr.Timeout() {
+			t.Fatalf("dead-server call error = %v, want timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RoundTrip hung against dead server despite SetTimeout")
+	}
+}
+
+// TestLocalTransportBatchWindow is the satellite fix for the simulated
+// link: overlapping exchanges share one latency window, sequential
+// exchanges each pay their own.
+func TestLocalTransportBatchWindow(t *testing.T) {
+	lt := &LocalTransport{H: &Handler{Srv: testServer(t)}, Latency: 10 * time.Millisecond}
+	req := []byte{OpList}
+
+	// Two overlapping exchanges: latency charged once.
+	a := lt.Start(req)
+	b := lt.Start(req)
+	if _, err := a.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := lt.Stats().LinkTime; got != 2*lt.Latency {
+		t.Fatalf("overlapping link time = %v, want %v", got, 2*lt.Latency)
+	}
+
+	// Two sequential exchanges: latency charged per round trip.
+	lt.ResetStats()
+	if _, err := lt.RoundTrip(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lt.RoundTrip(req); err != nil {
+		t.Fatal(err)
+	}
+	if got := lt.Stats().LinkTime; got != 4*lt.Latency {
+		t.Fatalf("sequential link time = %v, want %v", got, 4*lt.Latency)
+	}
+
+	// Wait is idempotent: a second Wait must not reopen the window.
+	lt.ResetStats()
+	p := lt.Start(req)
+	p.Wait()
+	p.Wait()
+	if _, err := lt.RoundTrip(req); err != nil {
+		t.Fatal(err)
+	}
+	if got := lt.Stats().LinkTime; got != 4*lt.Latency {
+		t.Fatalf("post-idempotent link time = %v, want %v", got, 4*lt.Latency)
+	}
+}
+
+func TestMiniaturesBatch(t *testing.T) {
+	c, lt := localClient(t)
+	lt.ResetStats()
+	res, _, err := c.Miniatures([]object.ID{3, 42, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Stats().RoundTrips != 1 {
+		t.Fatalf("batch took %d round trips", lt.Stats().RoundTrips)
+	}
+	if len(res) != 3 {
+		t.Fatalf("batch size = %d", len(res))
+	}
+	if res[0].ID != 3 || !res[0].OK || res[0].Mini.PopCount() == 0 {
+		t.Fatalf("entry 0 = %+v", res[0])
+	}
+	if res[0].Mode != object.Audio {
+		t.Fatalf("entry 0 mode = %v, want Audio", res[0].Mode)
+	}
+	if res[1].ID != 42 || res[1].OK {
+		t.Fatalf("missing object entry = %+v", res[1])
+	}
+	if !res[2].OK || res[2].Mode != object.Visual {
+		t.Fatalf("entry 2 = %+v", res[2])
+	}
+
+	// The batch must agree with the lock-step path bit for bit.
+	single, _, err := c.Miniature(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.PopCount() != res[0].Mini.PopCount() {
+		t.Fatalf("batched miniature diverges from single fetch")
+	}
+
+	if _, _, err := c.Miniatures(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+func TestDemuxHostileFrames(t *testing.T) {
+	d := newDemux()
+	ch, err := d.register(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short, unknown-id and duplicate deliveries must be dropped.
+	if d.deliver(nil) || d.deliver([]byte{1, 2}) {
+		t.Fatal("short frame delivered")
+	}
+	if d.deliver(appendU32(nil, 99)) {
+		t.Fatal("unknown id delivered")
+	}
+	if !d.deliver(append(appendU32(nil, 7), 0xAB)) {
+		t.Fatal("valid frame not delivered")
+	}
+	if d.deliver(append(appendU32(nil, 7), 0xCD)) {
+		t.Fatal("duplicate id delivered twice")
+	}
+	r := <-ch
+	if r.err != nil || len(r.resp) != 1 || r.resp[0] != 0xAB {
+		t.Fatalf("delivered = %+v", r)
+	}
+	if _, err := d.register(7); err != nil {
+		t.Fatal("id reuse after completion should be allowed")
+	}
+	d.failAll(ErrTransportClosed)
+	if d.pendingLen() != 0 {
+		t.Fatal("failAll left pending calls")
+	}
+	if _, err := d.register(8); !errors.Is(err, ErrTransportClosed) {
+		t.Fatalf("register after failAll = %v", err)
+	}
+}
+
+func BenchmarkMuxConcurrentMiniatures(b *testing.B) {
+	addr := serveTCP(b)
+	tp, err := DialMux(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewClient(tp)
+	defer c.Close()
+	if _, _, err := c.Miniature(3); err != nil { // warm the block cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := c.Miniature(3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkMuxBatchedMiniatures(b *testing.B) {
+	c, _ := localClient(b)
+	ids := []object.ID{1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Miniatures(ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

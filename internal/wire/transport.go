@@ -12,6 +12,13 @@ import (
 // LocalTransport runs the protocol in-process against a Handler, modelling
 // the link with a latency + bandwidth cost. It accounts every byte moved in
 // both directions, which the view/miniature transfer experiments measure.
+//
+// The latency model is pipelining-aware: exchanges overlapping in flight
+// (Start called before earlier calls Wait) form one batch window and pay
+// the propagation latency once, while every frame always pays its own
+// bandwidth cost. Without this, an A/B between lock-step and pipelined
+// browsing would bill the pipelined side a full round-trip latency per
+// frame — exactly the cost pipelining exists to amortize.
 type LocalTransport struct {
 	H *Handler
 	// Latency is the fixed per-round-trip cost; Bandwidth is in bytes
@@ -19,11 +26,12 @@ type LocalTransport struct {
 	Latency   time.Duration
 	Bandwidth int64
 
-	mu         sync.Mutex
-	bytesSent  int64 // workstation -> server
-	bytesRecv  int64 // server -> workstation
-	roundTrips int64
-	linkTime   time.Duration
+	mu          sync.Mutex
+	bytesSent   int64 // workstation -> server
+	bytesRecv   int64 // server -> workstation
+	roundTrips  int64
+	linkTime    time.Duration
+	outstanding int // in-flight exchanges (Start issued, Wait pending)
 }
 
 // EthernetLink approximates the paper-era 10 Mbit/s Ethernet.
@@ -31,24 +39,61 @@ func EthernetLink(h *Handler) *LocalTransport {
 	return &LocalTransport{H: h, Latency: 2 * time.Millisecond, Bandwidth: 10_000_000 / 8}
 }
 
-// RoundTrip implements Transport.
-func (l *LocalTransport) RoundTrip(req []byte) ([]byte, error) {
+// localPending is an in-flight simulated exchange.
+type localPending struct {
+	l    *LocalTransport
+	resp []byte
+	done bool
+}
+
+// Wait implements Pending; it closes this exchange's slot in the batch
+// window.
+func (p *localPending) Wait() ([]byte, error) {
+	if !p.done {
+		p.done = true
+		p.l.mu.Lock()
+		p.l.outstanding--
+		p.l.mu.Unlock()
+	}
+	return p.resp, nil
+}
+
+// Start implements Pipeliner. The handler runs immediately (the simulated
+// link defers cost accounting, not work); the exchange stays open until
+// Wait, and only the exchange that opens a batch window pays the link's
+// round-trip latency.
+func (l *LocalTransport) Start(req []byte) Pending {
 	resp := l.H.Handle(req)
 	l.mu.Lock()
 	l.bytesSent += int64(len(req))
 	l.bytesRecv += int64(len(resp))
 	l.roundTrips++
-	l.linkTime += l.cost(len(req)) + l.cost(len(resp))
+	c := l.byteCost(len(req)) + l.byteCost(len(resp))
+	if l.outstanding == 0 {
+		c += 2 * l.Latency
+	}
+	l.outstanding++
+	l.linkTime += c
 	l.mu.Unlock()
-	return resp, nil
+	return &localPending{l: l, resp: resp}
+}
+
+// RoundTrip implements Transport; a lone round trip is a batch window of
+// one and pays the full latency, as before.
+func (l *LocalTransport) RoundTrip(req []byte) ([]byte, error) {
+	return l.Start(req).Wait()
 }
 
 func (l *LocalTransport) cost(n int) time.Duration {
-	t := l.Latency
-	if l.Bandwidth > 0 {
-		t += time.Duration(int64(n) * int64(time.Second) / l.Bandwidth)
+	return l.Latency + l.byteCost(n)
+}
+
+// byteCost is the transfer time of n bytes at the link bandwidth.
+func (l *LocalTransport) byteCost(n int) time.Duration {
+	if l.Bandwidth <= 0 {
+		return 0
 	}
-	return t
+	return time.Duration(int64(n) * int64(time.Second) / l.Bandwidth)
 }
 
 // Close implements Transport.
@@ -76,10 +121,11 @@ func (l *LocalTransport) ResetStats() {
 	l.bytesSent, l.bytesRecv, l.roundTrips, l.linkTime = 0, 0, 0, 0
 }
 
-// TCPTransport runs the protocol over a net.Conn.
+// TCPTransport runs the protocol over a net.Conn, lock-step (protocol v1).
 type TCPTransport struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
 }
 
 // Dial connects to a wire server.
@@ -91,10 +137,24 @@ func Dial(addr string) (*TCPTransport, error) {
 	return &TCPTransport{conn: conn}, nil
 }
 
+// SetTimeout bounds every subsequent RoundTrip (write + read) with a
+// connection deadline, so a dead or stalled server fails the call instead
+// of hanging the client forever. Zero restores unbounded waits.
+func (t *TCPTransport) SetTimeout(d time.Duration) {
+	t.mu.Lock()
+	t.timeout = d
+	t.mu.Unlock()
+}
+
 // RoundTrip implements Transport; exchanges are serialized per connection.
 func (t *TCPTransport) RoundTrip(req []byte) ([]byte, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.timeout > 0 {
+		t.conn.SetDeadline(time.Now().Add(t.timeout))
+	} else {
+		t.conn.SetDeadline(time.Time{})
+	}
 	if err := WriteFrame(t.conn, req); err != nil {
 		return nil, err
 	}
@@ -103,6 +163,12 @@ func (t *TCPTransport) RoundTrip(req []byte) ([]byte, error) {
 
 // Close implements Transport.
 func (t *TCPTransport) Close() error { return t.conn.Close() }
+
+// isCleanClose reports whether a connection read error is an ordinary
+// hang-up (EOF, closed connection) rather than something worth logging.
+func isCleanClose(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)
+}
 
 // ServeOpts configures Serve behaviour.
 type ServeOpts struct {
@@ -177,7 +243,7 @@ func ServeWith(l net.Listener, h *Handler, opts ServeOpts) error {
 				}
 				req, err := ReadFrame(conn)
 				if err != nil {
-					if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+					if !isCleanClose(err) {
 						logf("wire: %s: read: %w", conn.RemoteAddr(), err)
 					}
 					return
@@ -195,6 +261,15 @@ func ServeWith(l net.Listener, h *Handler, opts ServeOpts) error {
 						logf("wire: %s: write: %w", conn.RemoteAddr(), err)
 					}
 					return
+				}
+				// A HELLO negotiating v2 or higher upgrades this
+				// connection to multiplexed framing; the acknowledgement
+				// just written was the last lock-step frame.
+				if len(req) == 5 && req[0] == OpHello && resp[0] == statusOK {
+					if v, err := parseHelloResponse(resp); err == nil && v >= ProtocolV2 {
+						muxConn(conn, h, opts, &serialMu, logf)
+						return
+					}
 				}
 			}
 		}(conn)

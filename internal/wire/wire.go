@@ -36,7 +36,20 @@ const (
 	OpImageView    = 7
 	OpVoicePreview = 8
 	OpStats        = 9
+	// OpHello negotiates the protocol version (see ProtocolV2 in mux.go).
+	// A v1 server answers it with an unknown-op error, which the client
+	// treats as "version 1".
+	OpHello = 10
+	// OpMiniatures fetches up to MaxMiniatureBatch miniatures (with their
+	// driving modes) in one round trip — the batched op behind the
+	// sequential-browsing prefetch pipeline.
+	OpMiniatures = 11
 )
+
+// MaxMiniatureBatch bounds the ids accepted by one OpMiniatures request;
+// larger batches are rejected rather than letting a client drive an
+// arbitrarily large response.
+const MaxMiniatureBatch = 1024
 
 // Response status codes.
 const (
@@ -179,6 +192,50 @@ func (h *Handler) Handle(req []byte) []byte {
 			return errResp(err)
 		}
 		return okResp(0, payload)
+	case OpMiniatures:
+		n, err := c.u32()
+		if err != nil {
+			return errResp(err)
+		}
+		if n > MaxMiniatureBatch {
+			return errResp(fmt.Errorf("wire: miniature batch of %d exceeds %d", n, MaxMiniatureBatch))
+		}
+		out := appendU32(nil, n)
+		for i := uint32(0); i < n; i++ {
+			id, err := c.u64()
+			if err != nil {
+				return errResp(err)
+			}
+			mode, _ := h.Srv.Mode(object.ID(id))
+			m := h.Srv.Miniature(object.ID(id))
+			if m == nil {
+				// Absent entries are in-band (present=0): one missing
+				// miniature must not fail the whole batch.
+				out = append(out, 0, byte(mode))
+				continue
+			}
+			payload, err := descriptor.EncodePart(descriptor.PartBitmap, m)
+			if err != nil {
+				return errResp(err)
+			}
+			out = append(out, 1, byte(mode))
+			out = appendU32(out, uint32(len(payload)))
+			out = append(out, payload...)
+		}
+		return okResp(0, out)
+	case OpHello:
+		v, err := c.u32()
+		if err != nil {
+			return errResp(err)
+		}
+		neg := uint32(ProtocolV2)
+		if v < neg {
+			neg = v
+		}
+		if neg < ProtocolV1 {
+			return errResp(fmt.Errorf("wire: unsupported protocol version %d", v))
+		}
+		return okResp(0, appendU32(nil, neg))
 	case OpImageView:
 		id, err := c.u64()
 		if err != nil {
@@ -229,6 +286,9 @@ func (h *Handler) Handle(req []byte) []byte {
 		out = appendU64(out, uint64(st.CacheMiss))
 		out = appendU64(out, uint64(st.DeviceWaits))
 		out = appendU64(out, uint64(st.DeviceWaitNanos))
+		// Appended after v1: old clients read the first six and ignore
+		// the rest; new clients tolerate the field being absent.
+		out = appendU64(out, uint64(st.ReadAheadBlocks))
 		return okResp(0, out)
 	case OpMode:
 		id, err := c.u64()
@@ -284,6 +344,27 @@ func (c *Client) call(req []byte) ([]byte, time.Duration, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	return parseResponse(resp)
+}
+
+// start launches a call without waiting for its response, pipelining over
+// the transport when it supports that and falling back to a goroutine per
+// call otherwise.
+func (c *Client) start(req []byte) Pending {
+	if p, ok := c.t.(Pipeliner); ok {
+		return p.Start(req)
+	}
+	ch := make(chan muxResult, 1)
+	go func() {
+		resp, err := c.t.RoundTrip(req)
+		ch <- muxResult{resp: resp, err: err}
+	}()
+	return &muxPending{m: &muxPendingState{ch: ch}}
+}
+
+// parseResponse splits a response message into payload and device time,
+// converting server-reported errors.
+func parseResponse(resp []byte) ([]byte, time.Duration, error) {
 	cur := &cursor{data: resp}
 	status, err := cur.u8()
 	if err != nil {
@@ -354,6 +435,95 @@ func (c *Client) Miniature(id object.ID) (*img.Bitmap, time.Duration, error) {
 	return v.(*img.Bitmap), dur, nil
 }
 
+// MiniatureResult is one entry of a batched miniature fetch.
+type MiniatureResult struct {
+	ID object.ID
+	// OK reports whether the server has a miniature for the id; Mini is
+	// nil otherwise.
+	OK   bool
+	Mini *img.Bitmap
+	// Mode is the object's driving mode, shipped with the miniature so
+	// sequential browsing does not pay a second round trip per step to
+	// learn whether a voice preview applies.
+	Mode object.Mode
+}
+
+// Miniatures fetches up to MaxMiniatureBatch miniatures (plus driving
+// modes) in a single round trip; results align with ids. Missing
+// miniatures come back with OK=false rather than failing the batch.
+func (c *Client) Miniatures(ids []object.ID) ([]MiniatureResult, time.Duration, error) {
+	p := c.MiniaturesStart(ids)
+	return p.Wait()
+}
+
+// PendingMiniatures is an in-flight batched miniature fetch.
+type PendingMiniatures struct {
+	ids []object.ID
+	p   Pending
+}
+
+// MiniaturesStart launches a batched miniature fetch without waiting —
+// the browse prefetcher keeps several of these in flight on a pipelined
+// transport while the user views the current miniature.
+func (c *Client) MiniaturesStart(ids []object.ID) *PendingMiniatures {
+	req := appendU32([]byte{OpMiniatures}, uint32(len(ids)))
+	for _, id := range ids {
+		req = appendU64(req, uint64(id))
+	}
+	return &PendingMiniatures{ids: ids, p: c.start(req)}
+}
+
+// Wait collects the batch's results.
+func (pm *PendingMiniatures) Wait() ([]MiniatureResult, time.Duration, error) {
+	resp, err := pm.p.Wait()
+	if err != nil {
+		return nil, 0, err
+	}
+	payload, dur, err := parseResponse(resp)
+	if err != nil {
+		return nil, dur, err
+	}
+	cur := &cursor{data: payload}
+	n, err := cur.u32()
+	if err != nil {
+		return nil, dur, err
+	}
+	if int(n) != len(pm.ids) {
+		return nil, dur, fmt.Errorf("wire: miniature batch returned %d entries for %d ids", n, len(pm.ids))
+	}
+	out := make([]MiniatureResult, 0, len(pm.ids))
+	for i := range pm.ids {
+		present, err := cur.u8()
+		if err != nil {
+			return nil, dur, err
+		}
+		mode, err := cur.u8()
+		if err != nil {
+			return nil, dur, err
+		}
+		r := MiniatureResult{ID: pm.ids[i], Mode: object.Mode(mode)}
+		if present != 0 {
+			ln, err := cur.u32()
+			if err != nil {
+				return nil, dur, err
+			}
+			if cur.pos+int(ln) > len(payload) {
+				return nil, dur, errShort
+			}
+			raw := payload[cur.pos : cur.pos+int(ln)]
+			cur.pos += int(ln)
+			v, err := descriptor.DecodePart(descriptor.PartBitmap, raw)
+			if err != nil {
+				return nil, dur, err
+			}
+			r.OK = true
+			r.Mini = v.(*img.Bitmap)
+		}
+		out = append(out, r)
+	}
+	return out, dur, nil
+}
+
 // ImageView fetches only the given rectangle of an image part (§2 views):
 // the response carries the view's pixels, not the whole image.
 func (c *Client) ImageView(id object.ID, name string, r img.Rect) (*img.Bitmap, time.Duration, error) {
@@ -419,9 +589,14 @@ func (c *Client) Stats() (server.Stats, error) {
 		return server.Stats{}, err
 	}
 	cur := &cursor{data: payload}
-	var vals [6]uint64
+	// The first six fields are the v1 layout and are required; fields
+	// appended later (read-ahead) default to zero against older servers.
+	var vals [7]uint64
 	for i := range vals {
 		if vals[i], err = cur.u64(); err != nil {
+			if i >= 6 {
+				break
+			}
 			return server.Stats{}, err
 		}
 	}
@@ -432,6 +607,7 @@ func (c *Client) Stats() (server.Stats, error) {
 		CacheMiss:       int64(vals[3]),
 		DeviceWaits:     int64(vals[4]),
 		DeviceWaitNanos: int64(vals[5]),
+		ReadAheadBlocks: int64(vals[6]),
 	}, nil
 }
 

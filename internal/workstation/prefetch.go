@@ -1,0 +1,358 @@
+// Browse read-ahead pipeline: while the user views the current miniature,
+// the next few result miniatures are already warming in a client-side LRU,
+// fetched in batches (one round trip per batch) and, on a pipelined
+// transport, with several batches in flight at once. This is the
+// workstation half of attacking §5's queueing-delay worry for miniature
+// sequential browsing: overlap delivery with viewing, so the cursor only
+// pays link latency on a cold start.
+package workstation
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/wire"
+)
+
+// PrefetchConfig tunes the browse read-ahead pipeline.
+type PrefetchConfig struct {
+	// Depth is how many result miniatures ahead of the cursor are kept
+	// warm (default 8).
+	Depth int
+	// Batch is how many miniatures one OpMiniatures round trip carries
+	// (default 4). The prefetcher only issues full batches away from the
+	// end of the result set, so steady-state browsing costs ~1/Batch
+	// round trips per cursor step.
+	Batch int
+	// CacheSize is the client-side miniature LRU capacity in entries
+	// (default 4×(Depth+Batch)).
+	CacheSize int
+}
+
+func (c PrefetchConfig) withDefaults() PrefetchConfig {
+	if c.Depth <= 0 {
+		c.Depth = 8
+	}
+	if c.Batch <= 0 {
+		c.Batch = 4
+	}
+	if c.Batch > wire.MaxMiniatureBatch {
+		c.Batch = wire.MaxMiniatureBatch
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4 * (c.Depth + c.Batch)
+	}
+	return c
+}
+
+// PrefetchStats reports what the pipeline did.
+type PrefetchStats struct {
+	// Hits / Misses count cursor steps served from / not from the warm
+	// cache. Steady-state sequential browsing is all hits after the cold
+	// start.
+	Hits, Misses int64
+	// Batches counts OpMiniatures round trips issued (foreground and
+	// background).
+	Batches int64
+	// Prefetched counts miniatures landed by background batches;
+	// Dropped counts fetched miniatures discarded because a Query or
+	// Refine invalidated the result set while they were in flight.
+	Prefetched, Dropped int64
+	// FetchTime accumulates server device time reported by the
+	// prefetcher's own round trips.
+	FetchTime time.Duration
+}
+
+// miniEntry is one cached miniature with its driving mode.
+type miniEntry struct {
+	id   object.ID
+	mini *img.Bitmap
+	mode object.Mode
+}
+
+// miniLRU is a small client-side LRU of miniatures, keyed by object id.
+type miniLRU struct {
+	cap  int
+	ll   *list.List
+	byID map[object.ID]*list.Element
+}
+
+func newMiniLRU(capEntries int) *miniLRU {
+	return &miniLRU{cap: capEntries, ll: list.New(), byID: map[object.ID]*list.Element{}}
+}
+
+func (c *miniLRU) get(id object.ID) (*miniEntry, bool) {
+	e, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*miniEntry), true
+}
+
+func (c *miniLRU) has(id object.ID) bool {
+	_, ok := c.byID[id]
+	return ok
+}
+
+func (c *miniLRU) put(ent *miniEntry) {
+	if c.cap <= 0 {
+		return
+	}
+	if e, ok := c.byID[ent.id]; ok {
+		c.ll.MoveToFront(e)
+		e.Value = ent
+		return
+	}
+	c.byID[ent.id] = c.ll.PushFront(ent)
+	for c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.byID, old.Value.(*miniEntry).id)
+	}
+}
+
+func (c *miniLRU) clear() {
+	c.ll.Init()
+	clear(c.byID)
+}
+
+// prefetcher keeps the next Depth result miniatures warming while the user
+// views the current one. It is safe for the background fetch goroutine and
+// the session goroutine to interleave; Query/Refine invalidation bumps the
+// generation so in-flight results for the old result set are discarded
+// instead of surfacing stale.
+type prefetcher struct {
+	c *wire.Client
+
+	mu        sync.Mutex
+	landed    sync.Cond // broadcast whenever an in-flight fetch completes
+	cfg       PrefetchConfig
+	gen       uint64
+	cache     *miniLRU
+	inflight  map[object.ID]uint64 // id -> generation of the fetch in flight
+	scheduled int                  // highest result index covered by issued fetches
+	stats     PrefetchStats
+
+	wg sync.WaitGroup // background batch waiters, drained on Close
+}
+
+func newPrefetcher(c *wire.Client, cfg PrefetchConfig) *prefetcher {
+	cfg = cfg.withDefaults()
+	p := &prefetcher{
+		c:         c,
+		cfg:       cfg,
+		cache:     newMiniLRU(cfg.CacheSize),
+		inflight:  map[object.ID]uint64{},
+		scheduled: -1,
+	}
+	p.landed.L = &p.mu
+	return p
+}
+
+// invalidate discards the warm cache and marks every in-flight fetch
+// stale; called when Query/Refine replaces the result set.
+func (p *prefetcher) invalidate() {
+	p.mu.Lock()
+	p.gen++
+	p.cache.clear()
+	p.scheduled = -1
+	p.mu.Unlock()
+	// Wake ensure callers parked on a now-superseded in-flight fetch.
+	p.landed.Broadcast()
+}
+
+// drain waits for background fetches to finish (their results are dropped
+// or cached as their generation dictates).
+func (p *prefetcher) drain() { p.wg.Wait() }
+
+// Stats snapshots the pipeline counters.
+func (p *prefetcher) Stats() PrefetchStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ensure returns the miniature and mode for ids[i], foreground-fetching a
+// batch on a cold cursor and topping off the read-ahead window either way.
+func (p *prefetcher) ensure(ids []object.ID, i int) (*img.Bitmap, object.Mode, error) {
+	p.mu.Lock()
+	id := ids[i]
+	for {
+		if e, ok := p.cache.get(id); ok {
+			p.stats.Hits++
+			chunks, gen := p.planLocked(ids, i)
+			p.mu.Unlock()
+			p.launch(chunks, gen)
+			return e.mini, e.mode, nil
+		}
+		// A batch carrying this id is already on the wire: wait for it to
+		// land instead of fetching the same miniature twice. If the batch
+		// fails or an invalidation supersedes it, fall through to a
+		// foreground fetch.
+		if g, busy := p.inflight[id]; busy && g == p.gen {
+			p.landed.Wait()
+			continue
+		}
+		break
+	}
+	p.stats.Misses++
+	p.stats.Batches++
+	gen := p.gen
+	// Foreground batch: the cursor's id plus the next uncached ids, so
+	// the cold start already warms the first window.
+	chunk := make([]object.ID, 0, p.cfg.Batch)
+	chunk = append(chunk, id)
+	p.inflight[id] = gen
+	for j := i + 1; j < len(ids) && len(chunk) < p.cfg.Batch; j++ {
+		if p.cache.has(ids[j]) {
+			continue
+		}
+		if _, busy := p.inflight[ids[j]]; busy {
+			continue
+		}
+		chunk = append(chunk, ids[j])
+		p.inflight[ids[j]] = gen
+		if idx := j; idx > p.scheduled {
+			p.scheduled = idx
+		}
+	}
+	p.mu.Unlock()
+
+	res, dur, err := p.c.Miniatures(chunk)
+
+	p.mu.Lock()
+	for _, cid := range chunk {
+		if p.inflight[cid] == gen {
+			delete(p.inflight, cid)
+		}
+	}
+	defer p.landed.Broadcast()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, 0, err
+	}
+	p.stats.FetchTime += dur
+	fresh := p.gen == gen
+	var cur *wire.MiniatureResult
+	for k := range res {
+		if res[k].ID == id {
+			cur = &res[k]
+		}
+		if fresh && res[k].OK {
+			p.cache.put(&miniEntry{id: res[k].ID, mini: res[k].Mini, mode: res[k].Mode})
+		} else if !fresh {
+			p.stats.Dropped++
+		}
+	}
+	var chunks [][]object.ID
+	var planGen uint64
+	if fresh {
+		chunks, planGen = p.planLocked(ids, i)
+	}
+	p.mu.Unlock()
+	p.launch(chunks, planGen)
+
+	if cur == nil || !cur.OK {
+		return nil, 0, &noMiniatureError{id: id}
+	}
+	return cur.Mini, cur.Mode, nil
+}
+
+type noMiniatureError struct{ id object.ID }
+
+func (e *noMiniatureError) Error() string {
+	return fmt.Sprintf("workstation: server has no miniature for object %d", e.id)
+}
+
+// planLocked (caller holds mu) decides which background batches to issue
+// for the window (i, i+Depth]. It only issues full batches — so the link
+// pays one round trip per Batch cursor steps, not one per step — except at
+// the tail of the result set, where the remainder is fetched as-is.
+func (p *prefetcher) planLocked(ids []object.ID, i int) ([][]object.ID, uint64) {
+	target := min(i+p.cfg.Depth, len(ids)-1)
+	if p.scheduled < i {
+		p.scheduled = i
+	}
+	type cand struct {
+		id  object.ID
+		idx int
+	}
+	var pend []cand
+	for j := p.scheduled + 1; j <= target; j++ {
+		if p.cache.has(ids[j]) {
+			continue
+		}
+		if _, busy := p.inflight[ids[j]]; busy {
+			continue
+		}
+		pend = append(pend, cand{ids[j], j})
+	}
+	if len(pend) == 0 {
+		p.scheduled = target
+		return nil, p.gen
+	}
+	atTail := target == len(ids)-1
+	var chunks [][]object.ID
+	for len(pend) >= p.cfg.Batch || (atTail && len(pend) > 0) {
+		n := min(p.cfg.Batch, len(pend))
+		chunk := make([]object.ID, 0, n)
+		for _, cd := range pend[:n] {
+			chunk = append(chunk, cd.id)
+			p.inflight[cd.id] = p.gen
+			if cd.idx > p.scheduled {
+				p.scheduled = cd.idx
+			}
+		}
+		chunks = append(chunks, chunk)
+		pend = pend[n:]
+	}
+	p.stats.Batches += int64(len(chunks))
+	return chunks, p.gen
+}
+
+// launch starts every planned batch before waiting on any — on a pipelined
+// transport they share the link's batch window — then collects results on
+// one background goroutine, inserting only those still belonging to the
+// current generation.
+func (p *prefetcher) launch(chunks [][]object.ID, gen uint64) {
+	if len(chunks) == 0 {
+		return
+	}
+	calls := make([]*wire.PendingMiniatures, len(chunks))
+	for i, chunk := range chunks {
+		calls[i] = p.c.MiniaturesStart(chunk)
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for i, call := range calls {
+			res, dur, err := call.Wait()
+			p.mu.Lock()
+			for _, id := range chunks[i] {
+				if p.inflight[id] == gen {
+					delete(p.inflight, id)
+				}
+			}
+			if err == nil {
+				p.stats.FetchTime += dur
+				if p.gen == gen {
+					for k := range res {
+						if res[k].OK {
+							p.cache.put(&miniEntry{id: res[k].ID, mini: res[k].Mini, mode: res[k].Mode})
+							p.stats.Prefetched++
+						}
+					}
+				} else {
+					p.stats.Dropped += int64(len(res))
+				}
+			}
+			p.mu.Unlock()
+			p.landed.Broadcast()
+		}
+	}()
+}

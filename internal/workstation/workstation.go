@@ -31,6 +31,10 @@ type Session struct {
 	results []object.ID
 	cursor  int
 
+	// pf, when non-nil, keeps the next miniatures of the result set
+	// warming while the user views the current one (see prefetch.go).
+	pf *prefetcher
+
 	// FetchTime accumulates server device time attributed to this
 	// session's piece requests.
 	FetchTime time.Duration
@@ -50,6 +54,24 @@ func New(client *wire.Client, cfg core.Config) *Session {
 // Manager exposes the presentation manager driving this session's screen.
 func (s *Session) Manager() *core.Manager { return s.mgr }
 
+// EnablePrefetch turns on the browse read-ahead pipeline: sequential
+// browsing fetches miniatures in batches of cfg.Batch per round trip and
+// keeps the next cfg.Depth result miniatures warm in a client-side LRU
+// while the user views the current one. Query and Refine invalidate the
+// pipeline so a changed result set never surfaces a stale miniature.
+func (s *Session) EnablePrefetch(cfg PrefetchConfig) {
+	s.pf = newPrefetcher(s.client, cfg)
+}
+
+// PrefetchStats reports the read-ahead pipeline's counters (zero value if
+// prefetching is not enabled).
+func (s *Session) PrefetchStats() PrefetchStats {
+	if s.pf == nil {
+		return PrefetchStats{}
+	}
+	return s.pf.Stats()
+}
+
 // Query submits a content query and installs the qualifying objects as the
 // sequential browsing result set. It returns the number of hits.
 func (s *Session) Query(terms ...string) (int, error) {
@@ -60,6 +82,9 @@ func (s *Session) Query(terms ...string) (int, error) {
 	s.FetchTime += dur
 	s.results = ids
 	s.cursor = -1
+	if s.pf != nil {
+		s.pf.invalidate()
+	}
 	return len(ids), nil
 }
 
@@ -85,6 +110,9 @@ func (s *Session) Refine(terms ...string) (int, error) {
 	}
 	s.results = kept
 	s.cursor = -1
+	if s.pf != nil {
+		s.pf.invalidate()
+	}
 	return len(kept), nil
 }
 
@@ -114,12 +142,30 @@ func (s *Session) PrevMiniature() (id object.ID, mini *img.Bitmap, done bool, er
 
 func (s *Session) miniAtCursor() (object.ID, *img.Bitmap, bool, error) {
 	id := s.results[s.cursor]
-	mini, dur, err := s.client.Miniature(id)
-	s.FetchTime += dur
-	if err != nil {
-		return id, nil, false, err
+	var (
+		mini *img.Bitmap
+		mode object.Mode
+	)
+	if s.pf != nil {
+		// Prefetch path: the batch reply ships the mode inline with the
+		// miniature, so a cursor step costs no extra round trip for it.
+		m, md, err := s.pf.ensure(s.results, s.cursor)
+		if err != nil {
+			return id, nil, false, err
+		}
+		mini, mode = m, md
+	} else {
+		m, dur, err := s.client.Miniature(id)
+		s.FetchTime += dur
+		if err != nil {
+			return id, nil, false, err
+		}
+		mini = m
+		if md, merr := s.client.Mode(id); merr == nil {
+			mode = md
+		}
 	}
-	if mode, merr := s.client.Mode(id); merr == nil && mode == object.Audio {
+	if mode == object.Audio {
 		if vp, pdur, perr := s.client.VoicePreview(id); perr == nil {
 			s.FetchTime += pdur
 			s.mgr.MsgPlayer().Load(vp)
@@ -213,5 +259,10 @@ func (s *Session) BrowseEditing(f *formatter.Formatter) error {
 	return s.mgr.Open(o)
 }
 
-// Close releases the protocol client.
-func (s *Session) Close() error { return s.client.Close() }
+// Close drains any in-flight prefetches and releases the protocol client.
+func (s *Session) Close() error {
+	if s.pf != nil {
+		s.pf.drain()
+	}
+	return s.client.Close()
+}
