@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt vet check
+.PHONY: all build test race bench bench-smoke fault-matrix fmt vet check
 
 all: build
 
@@ -12,7 +12,14 @@ test:
 
 # Short-mode race pass over the packages with concurrency stress tests.
 race:
-	$(GO) test -race -short ./internal/server ./internal/wire ./internal/workstation
+	$(GO) test -race -short ./internal/server ./internal/wire ./internal/workstation ./internal/faults
+
+# Resilience suite: fault injection, v1/v2 interop under faults, session
+# resync/degraded serving, and the E-FAULT experiment.
+fault-matrix:
+	$(GO) test ./internal/faults -run . -count=1
+	$(GO) test ./internal/workstation -run 'Resync|Stale|ContextCancelled' -count=1
+	$(GO) test . -run 'EFault' -count=1
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -29,4 +36,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test race bench-smoke
+check: fmt vet build test race fault-matrix bench-smoke

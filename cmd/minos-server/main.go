@@ -7,6 +7,7 @@
 //
 //	minos-server [-listen addr] [-fillers n] [-blocks n] [-archive file]
 //	             [-idle-timeout d] [-seek-concurrency n] [-readahead n]
+//	             [-max-inflight n]
 //
 // With -archive, the optical medium is loaded from the file when it exists
 // (the archive directory is recovered by scanning the self-describing
@@ -44,6 +45,7 @@ func main() {
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "drop connections idle for this long (0 = never)")
 	seek := flag.Int("seek-concurrency", 1, "device reads in flight at once (1 = single optical head)")
 	readahead := flag.Int("readahead", 8, "blocks pulled into the cache behind a sequential sweep (0 = off)")
+	maxInflight := flag.Int("max-inflight", 0, "device-bound requests served at once before shedding with busy (0 = unbounded)")
 	flag.Parse()
 
 	srv, err := buildServer(*archivePath, *blocks, *fillers)
@@ -52,6 +54,7 @@ func main() {
 	}
 	srv.SetSeekConcurrency(*seek)
 	srv.SetReadAhead(*readahead)
+	srv.SetMaxInFlight(*maxInflight)
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("minos-server: %v", err)
@@ -86,8 +89,8 @@ func serve(l net.Listener, srv *server.Server, sig <-chan os.Signal, idle time.D
 		}
 	}
 	st := srv.Stats()
-	fmt.Printf("minos-server: served %d piece reads, %d bytes out; cache %d hits / %d misses; device waits %d (%v queued); %d read-ahead blocks\n",
-		st.PieceReads, st.BytesOut, st.CacheHits, st.CacheMiss, st.DeviceWaits, time.Duration(st.DeviceWaitNanos), st.ReadAheadBlocks)
+	fmt.Printf("minos-server: served %d piece reads, %d bytes out; cache %d hits / %d misses; device waits %d (%v queued); %d read-ahead blocks; %d shed busy\n",
+		st.PieceReads, st.BytesOut, st.CacheHits, st.CacheMiss, st.DeviceWaits, time.Duration(st.DeviceWaitNanos), st.ReadAheadBlocks, st.Shed)
 	return nil
 }
 

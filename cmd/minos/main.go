@@ -17,6 +17,7 @@
 // Global flags:
 //
 //	-connect addr    use a remote server instead of the built-in corpus
+//	-timeout d       per-call deadline for remote servers (default 10s)
 //	-fillers n       filler documents in the built-in corpus (default 12)
 //
 // The browse script is a comma-separated command list:
@@ -30,6 +31,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -60,6 +62,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("minos", flag.ContinueOnError)
 	connect := fs.String("connect", "", "remote server address (default: built-in corpus)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-call deadline for remote servers (0 = none)")
 	fillers := fs.Int("fillers", 12, "filler documents in the built-in corpus")
 	script := fs.String("script", "next,next,prev", "browse command script")
 	clients := fs.Int("clients", 8, "simulate: concurrent users")
@@ -80,25 +83,42 @@ func run(args []string) error {
 	}
 	defer session.Close()
 
+	// Per-call deadline: each wire exchange (and the retries inside it)
+	// must finish within -timeout.
+	callCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout <= 0 {
+			return context.Background(), func() {}
+		}
+		return context.WithTimeout(context.Background(), *timeout)
+	}
+
 	switch rest[0] {
 	case "query":
 		if len(rest) < 2 {
 			return fmt.Errorf("query needs terms")
 		}
-		n, err := session.Query(rest[1:]...)
+		ctx, cancel := callCtx()
+		n, err := session.QueryCtx(ctx, rest[1:]...)
+		cancel()
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%d qualifying objects\n", n)
 		for {
-			id, mini, done, err := session.NextMiniature()
+			ctx, cancel := callCtx()
+			st, err := session.NextMiniatureCtx(ctx)
+			cancel()
 			if err != nil {
 				return err
 			}
-			if done {
+			if st.Done {
 				break
 			}
-			fmt.Printf("  object %d  miniature %dx%d (%d bytes)\n", id, mini.W, mini.H, mini.ByteSize())
+			note := ""
+			if st.Stale {
+				note = "  (stale: server unreachable, cached copy)"
+			}
+			fmt.Printf("  object %d  miniature %dx%d (%d bytes)%s\n", st.ID, st.Mini.W, st.Mini.H, st.Mini.ByteSize(), note)
 		}
 		return nil
 	case "list":
@@ -227,11 +247,16 @@ func interactive(sess *workstation.Session, r io.Reader) error {
 func openSession(connect string, fillers int) (*workstation.Session, *server.Server, error) {
 	cfg := core.Config{Screen: screen.New(512, 342), Clock: vclock.New(), VoiceOption: true}
 	if connect != "" {
-		tp, err := wire.Dial(connect)
+		// Multiplexed v2 transport (falls back to v1 lock-step during
+		// HELLO), retries on transient faults, and redials the server if
+		// the connection drops mid-session.
+		tp, err := wire.DialMux(connect)
 		if err != nil {
 			return nil, nil, err
 		}
-		return workstation.New(wire.NewClient(tp), cfg), nil, nil
+		client := wire.NewClient(tp)
+		client.EnableReconnect(func() (wire.Transport, error) { return wire.DialMux(connect) })
+		return workstation.New(client, cfg), nil, nil
 	}
 	c, err := demo.Build(1<<16, fillers)
 	if err != nil {

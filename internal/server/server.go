@@ -11,6 +11,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,12 @@ type Server struct {
 	readAhead int
 	raBusy    atomic.Bool
 
+	// inflight bounds admitted device-bound requests (nil = unbounded).
+	// When the queue is full, Admit sheds the request with ErrBusy instead
+	// of queueing without bound — the client backs off and retries.
+	inflight chan struct{}
+	shed     atomic.Int64
+
 	// Stats (atomic: bumped on every piece read, no lock on the hot path).
 	pieceReads   atomic.Int64
 	bytesOut     atomic.Int64
@@ -116,6 +123,48 @@ func (s *Server) SetSeekConcurrency(n int) {
 		n = 1
 	}
 	s.devSem = make(chan struct{}, n)
+}
+
+// ErrBusy reports that the server refused to queue a request because its
+// bounded in-flight queue is full. The condition is transient: the wire
+// layer maps it to a distinct busy status and clients retry after backoff.
+var ErrBusy = errors.New("server: busy")
+
+// WithMaxInFlight bounds the number of device-bound requests admitted at
+// once. Requests beyond the bound are shed with ErrBusy rather than queued
+// without limit — under overload the server stays responsive to the cheap
+// in-memory ops (query, miniatures) a degraded client needs. Zero (the
+// default) leaves admission unbounded.
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) { s.SetMaxInFlight(n) }
+}
+
+// SetMaxInFlight sets the admission bound for a server built elsewhere.
+// Like SetSeekConcurrency it must be called before concurrent serving
+// starts.
+func (s *Server) SetMaxInFlight(n int) {
+	if n <= 0 {
+		s.inflight = nil
+		return
+	}
+	s.inflight = make(chan struct{}, n)
+}
+
+// Admit asks for an admission slot for one device-bound request. On
+// success it returns a release function the caller must invoke when the
+// request finishes; when the in-flight queue is full it sheds the request
+// with ErrBusy.
+func (s *Server) Admit() (func(), error) {
+	if s.inflight == nil {
+		return func() {}, nil
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return func() { <-s.inflight }, nil
+	default:
+		s.shed.Add(1)
+		return nil, ErrBusy
+	}
 }
 
 // WithReadAhead enables sequential block read-ahead: after a cache-miss
@@ -555,6 +604,9 @@ type Stats struct {
 	// ReadAheadBlocks counts blocks pulled into the cache by sequential
 	// read-ahead rather than by a request.
 	ReadAheadBlocks int64
+	// Shed counts requests refused with ErrBusy by the bounded in-flight
+	// admission queue (load shedding under overload).
+	Shed int64
 }
 
 // Stats returns a consistent snapshot of the current counters; it is safe
@@ -567,6 +619,7 @@ func (s *Server) Stats() Stats {
 		DeviceWaits:     s.devWaits.Load(),
 		DeviceWaitNanos: s.devWaitNanos.Load(),
 		ReadAheadBlocks: s.raBlocks.Load(),
+		Shed:            s.shed.Load(),
 	}
 	if s.cache != nil {
 		st.CacheHits, st.CacheMiss = s.cache.Counters()
@@ -581,6 +634,7 @@ func (s *Server) ResetStats() {
 	s.devWaits.Store(0)
 	s.devWaitNanos.Store(0)
 	s.raBlocks.Store(0)
+	s.shed.Store(0)
 	if s.cache != nil {
 		s.cache.ResetCounters()
 	}

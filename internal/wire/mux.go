@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -229,6 +230,7 @@ func (m *MuxTransport) readLoop() {
 type muxPending struct {
 	m       *muxPendingState
 	timeout time.Duration
+	ctx     context.Context // optional; non-nil calls also fail on ctx end
 }
 
 type muxPendingState struct {
@@ -243,26 +245,40 @@ func (p *muxPending) Wait() ([]byte, error) {
 	if p.m.err != nil {
 		return nil, p.m.err
 	}
-	if p.timeout <= 0 {
-		r := <-p.m.ch
-		return r.resp, r.err
+	var timeoutC <-chan time.Time
+	if p.timeout > 0 {
+		t := time.NewTimer(p.timeout)
+		defer t.Stop()
+		timeoutC = t.C
 	}
-	t := time.NewTimer(p.timeout)
-	defer t.Stop()
+	var done <-chan struct{}
+	if p.ctx != nil {
+		done = p.ctx.Done()
+	}
 	select {
 	case r := <-p.m.ch:
 		return r.resp, r.err
-	case <-t.C:
-		p.m.d.cancel(p.m.id)
-		// The demux may have delivered between the timer firing and the
-		// cancel; prefer the response if it is already there.
-		select {
-		case r := <-p.m.ch:
-			return r.resp, r.err
-		default:
-		}
-		return nil, fmt.Errorf("%w after %v", ErrCallTimeout, p.timeout)
+	case <-timeoutC:
+		return p.abandon(fmt.Errorf("%w after %v", ErrCallTimeout, p.timeout))
+	case <-done:
+		return p.abandon(p.ctx.Err())
 	}
+}
+
+// abandon gives up on the call (timeout or context end), releasing its
+// pending slot so the table does not leak. The demux may have delivered
+// between the trigger and the cancel; prefer the response if it is already
+// there.
+func (p *muxPending) abandon(err error) ([]byte, error) {
+	if p.m.d != nil {
+		p.m.d.cancel(p.m.id)
+	}
+	select {
+	case r := <-p.m.ch:
+		return r.resp, r.err
+	default:
+	}
+	return nil, err
 }
 
 // errPending is a call that failed before it was written.
@@ -317,10 +333,40 @@ func (m *MuxTransport) legacyRoundTrip(req []byte, timeout time.Duration) ([]byt
 	return ReadFrame(m.conn)
 }
 
+// StartCtx implements ContextPipeliner: the in-flight call additionally
+// fails with the context's error when ctx ends before the response. A
+// cancelled v2 call releases its pending slot and any late response is
+// discarded by the demultiplexer; the connection stays usable.
+func (m *MuxTransport) StartCtx(ctx context.Context, req []byte) Pending {
+	if err := ctx.Err(); err != nil {
+		return errPending{err: err}
+	}
+	p := m.Start(req)
+	if mp, ok := p.(*muxPending); ok && ctx.Done() != nil {
+		mp.ctx = ctx
+	}
+	return p
+}
+
 // RoundTrip implements Transport; it is safe for concurrent use and, in v2
 // mode, concurrent calls really are in flight together on the wire.
 func (m *MuxTransport) RoundTrip(req []byte) ([]byte, error) {
 	return m.Start(req).Wait()
+}
+
+// RoundTripCtx implements ContextTransport.
+func (m *MuxTransport) RoundTripCtx(ctx context.Context, req []byte) ([]byte, error) {
+	return m.StartCtx(ctx, req).Wait()
+}
+
+// PendingCalls reports the number of in-flight v2 calls still awaiting a
+// response (always 0 in lock-step fallback mode). The fault-matrix tests
+// use it to assert that faults never leak pending-call table entries.
+func (m *MuxTransport) PendingCalls() int {
+	if m.d == nil {
+		return 0
+	}
+	return m.d.pendingLen()
 }
 
 // Close implements Transport; pending v2 calls fail with ErrTransportClosed.

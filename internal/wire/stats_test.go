@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"testing"
+
+	"minos/internal/server"
+)
+
+// TestStatsTaggedRoundTrip: every counter survives the tagged encoding,
+// including the ones deliberately emitted out of historical order.
+func TestStatsTaggedRoundTrip(t *testing.T) {
+	want := server.Stats{
+		PieceReads: 1, BytesOut: 2, CacheHits: 3, CacheMiss: 4,
+		DeviceWaits: 5, DeviceWaitNanos: 6, ReadAheadBlocks: 7, Shed: 8,
+	}
+	payload := encodeStatsTagged(want)
+	if payload[0] != statsTagged {
+		t.Fatalf("marker = %#x", payload[0])
+	}
+	got, err := decodeStatsTagged(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+}
+
+// TestStatsTaggedSkipsUnknownTags: a client must keep decoding the fields
+// it knows when a newer server appends counters with tags it does not.
+func TestStatsTaggedSkipsUnknownTags(t *testing.T) {
+	payload := encodeStatsTagged(server.Stats{PieceReads: 9, Shed: 2})
+	payload = append(payload, 200) // unknown future tag...
+	payload = appendU64(payload, 12345)
+	got, err := decodeStatsTagged(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PieceReads != 9 || got.Shed != 2 {
+		t.Fatalf("decode with unknown tag = %+v", got)
+	}
+}
+
+// TestStatsPositionalFallback: the client still decodes the pre-tagged
+// positional layout (six required u64 fields plus the optional seventh),
+// so it keeps working against old servers.
+func TestStatsPositionalFallback(t *testing.T) {
+	var payload []byte
+	for _, v := range []uint64{1, 2, 3, 4, 5, 6, 7} {
+		payload = appendU64(payload, v)
+	}
+	got, err := decodeStatsPositional(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := server.Stats{PieceReads: 1, BytesOut: 2, CacheHits: 3, CacheMiss: 4,
+		DeviceWaits: 5, DeviceWaitNanos: 6, ReadAheadBlocks: 7}
+	if got != want {
+		t.Fatalf("positional decode = %+v, want %+v", got, want)
+	}
+	// Six-field layout (servers predating read-ahead) still decodes.
+	got, err = decodeStatsPositional(payload[:48])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ReadAheadBlocks != 0 || got.DeviceWaitNanos != 6 {
+		t.Fatalf("six-field decode = %+v", got)
+	}
+}
+
+// TestStatsOverWire: the wire Stats call decodes the tagged response the
+// current server emits.
+func TestStatsOverWire(t *testing.T) {
+	c, _ := localClient(t)
+	if _, _, err := c.ReadPiece(0, 64); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PieceReads == 0 {
+		t.Fatalf("stats over wire = %+v", st)
+	}
+}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -84,6 +85,25 @@ func (l *LocalTransport) RoundTrip(req []byte) ([]byte, error) {
 	return l.Start(req).Wait()
 }
 
+// RoundTripCtx implements ContextTransport. The simulated link defers cost
+// accounting, not work, so the exchange itself cannot block: honouring the
+// context means refusing to start once it has ended.
+func (l *LocalTransport) RoundTripCtx(ctx context.Context, req []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.RoundTrip(req)
+}
+
+// StartCtx implements ContextPipeliner (see RoundTripCtx on the blocking
+// question).
+func (l *LocalTransport) StartCtx(ctx context.Context, req []byte) Pending {
+	if err := ctx.Err(); err != nil {
+		return errPending{err: err}
+	}
+	return l.Start(req)
+}
+
 func (l *LocalTransport) cost(n int) time.Duration {
 	return l.Latency + l.byteCost(n)
 }
@@ -140,6 +160,10 @@ func Dial(addr string) (*TCPTransport, error) {
 // SetTimeout bounds every subsequent RoundTrip (write + read) with a
 // connection deadline, so a dead or stalled server fails the call instead
 // of hanging the client forever. Zero restores unbounded waits.
+//
+// Deprecated: pass a context with a deadline to the client's ctx-first
+// methods (QueryCtx etc.) instead — RoundTripCtx translates it into the
+// connection deadline per call, and cancellation works mid-call.
 func (t *TCPTransport) SetTimeout(d time.Duration) {
 	t.mu.Lock()
 	t.timeout = d
@@ -148,17 +172,53 @@ func (t *TCPTransport) SetTimeout(d time.Duration) {
 
 // RoundTrip implements Transport; exchanges are serialized per connection.
 func (t *TCPTransport) RoundTrip(req []byte) ([]byte, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.timeout > 0 {
-		t.conn.SetDeadline(time.Now().Add(t.timeout))
-	} else {
-		t.conn.SetDeadline(time.Time{})
-	}
-	if err := WriteFrame(t.conn, req); err != nil {
+	return t.RoundTripCtx(context.Background(), req)
+}
+
+// RoundTripCtx implements ContextTransport: a context deadline becomes the
+// connection deadline for this exchange (tightened by any SetTimeout value),
+// and cancellation mid-call forces the blocked read to fail immediately by
+// expiring the deadline.
+func (t *TCPTransport) RoundTripCtx(ctx context.Context, req []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return ReadFrame(t.conn)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	deadline := time.Time{}
+	if t.timeout > 0 {
+		deadline = time.Now().Add(t.timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	t.conn.SetDeadline(deadline)
+	if ctx.Done() != nil {
+		// Cancellation (not just deadline expiry) must unblock the read:
+		// yank the connection deadline to the past when ctx ends.
+		stop := context.AfterFunc(ctx, func() {
+			t.conn.SetDeadline(time.Unix(1, 0))
+		})
+		defer stop()
+	}
+	if err := WriteFrame(t.conn, req); err != nil {
+		return nil, wrapCtxErr(ctx, err)
+	}
+	resp, err := ReadFrame(t.conn)
+	return resp, wrapCtxErr(ctx, err)
+}
+
+// wrapCtxErr maps a connection error caused by context cancellation back to
+// the context's error, so callers see context.Canceled, not a confusing
+// i/o timeout.
+func wrapCtxErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("%w (%v)", cerr, err)
+	}
+	return err
 }
 
 // Close implements Transport.

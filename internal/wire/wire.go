@@ -12,10 +12,14 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"minos/internal/descriptor"
@@ -51,19 +55,70 @@ const (
 // arbitrarily large response.
 const MaxMiniatureBatch = 1024
 
-// Response status codes.
+// Response status codes. statusBusy distinguishes load shedding (the server
+// refused to queue the request; retry after backoff) from application errors
+// (statusErr, fatal to the call).
 const (
-	statusOK  = 0
-	statusErr = 1
+	statusOK   = 0
+	statusErr  = 1
+	statusBusy = 2
 )
 
-var errShort = errors.New("wire: short message")
+// ErrShort reports a message that ended before its declared contents — a
+// truncated or otherwise damaged frame. The condition is a transport
+// integrity failure, not an application error, so it is classified
+// retryable (see IsRetryable).
+var ErrShort = errors.New("wire: short message")
+
+var errShort = ErrShort
 
 // Transport carries one request/response exchange.
 type Transport interface {
 	RoundTrip(req []byte) (resp []byte, err error)
 	// Close releases the transport.
 	Close() error
+}
+
+// ContextTransport is a Transport that can bound one exchange with a
+// context: the call fails with the context's error when it is cancelled or
+// its deadline passes. This is the cancellation mechanism of the ctx-first
+// client API (it replaces the old TCPTransport.SetTimeout knob).
+type ContextTransport interface {
+	Transport
+	RoundTripCtx(ctx context.Context, req []byte) ([]byte, error)
+}
+
+// ContextPipeliner is a Pipeliner whose in-flight exchanges honour a
+// context.
+type ContextPipeliner interface {
+	Pipeliner
+	StartCtx(ctx context.Context, req []byte) Pending
+}
+
+// roundTripCtx performs one exchange honouring ctx, using the transport's
+// native context support when it has any and a watchdog goroutine when it
+// does not.
+func roundTripCtx(ctx context.Context, t Transport, req []byte) ([]byte, error) {
+	if ct, ok := t.(ContextTransport); ok {
+		return ct.RoundTripCtx(ctx, req)
+	}
+	if ctx.Done() == nil {
+		return t.RoundTrip(req)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ch := make(chan muxResult, 1)
+	go func() {
+		resp, err := t.RoundTrip(req)
+		ch <- muxResult{resp: resp, err: err}
+	}()
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // --- message building ---
@@ -134,6 +189,18 @@ func (h *Handler) Handle(req []byte) []byte {
 	op, err := c.u8()
 	if err != nil {
 		return errResp(err)
+	}
+	// Device-bound ops pass the server's admission gate so an overloaded
+	// server sheds work with a retryable busy response instead of queueing
+	// without bound. Cheap in-memory ops (query, list, miniatures, stats)
+	// are always served — they are what a degraded client needs most.
+	switch op {
+	case OpReadPiece, OpDescriptor, OpImageView:
+		release, aerr := h.Srv.Admit()
+		if aerr != nil {
+			return errResp(aerr)
+		}
+		defer release()
 	}
 	switch op {
 	case OpQuery:
@@ -279,17 +346,7 @@ func (h *Handler) Handle(req []byte) []byte {
 	case OpList:
 		return okResp(0, encodeIDs(h.Srv.IDs()))
 	case OpStats:
-		st := h.Srv.Stats()
-		out := appendU64(nil, uint64(st.PieceReads))
-		out = appendU64(out, uint64(st.BytesOut))
-		out = appendU64(out, uint64(st.CacheHits))
-		out = appendU64(out, uint64(st.CacheMiss))
-		out = appendU64(out, uint64(st.DeviceWaits))
-		out = appendU64(out, uint64(st.DeviceWaitNanos))
-		// Appended after v1: old clients read the first six and ignore
-		// the rest; new clients tolerate the field being absent.
-		out = appendU64(out, uint64(st.ReadAheadBlocks))
-		return okResp(0, out)
+		return okResp(0, encodeStatsTagged(h.Srv.Stats()))
 	case OpMode:
 		id, err := c.u64()
 		if err != nil {
@@ -303,6 +360,113 @@ func (h *Handler) Handle(req []byte) []byte {
 	default:
 		return errResp(fmt.Errorf("wire: unknown op %d", op))
 	}
+}
+
+// --- stats encoding ---
+//
+// The STATS payload originally was a positional sequence of u64 counters,
+// which made every new counter depend on append order forever. The tagged
+// encoding replaces it: a marker byte, then repeated [u8 tag][u64 value]
+// fields in any order. Decoders skip unknown tags (so servers may add
+// counters freely) and tolerate absent ones (so clients keep working
+// against servers that predate a counter). The marker cannot collide with
+// a positional payload: the first positional byte is the top byte of the
+// PieceReads counter, which would require ~10^18 piece reads to reach it.
+
+const statsTagged = 0xF5
+
+// Stats field tags. Append new counters with new tags — order on the wire
+// no longer matters.
+const (
+	statsTagPieceReads      = 1
+	statsTagBytesOut        = 2
+	statsTagCacheHits       = 3
+	statsTagCacheMiss       = 4
+	statsTagDeviceWaits     = 5
+	statsTagDeviceWaitNanos = 6
+	statsTagReadAheadBlocks = 7
+	statsTagShed            = 8
+)
+
+func encodeStatsTagged(st server.Stats) []byte {
+	out := []byte{statsTagged}
+	field := func(tag byte, v int64) {
+		out = append(out, tag)
+		out = appendU64(out, uint64(v))
+	}
+	field(statsTagPieceReads, st.PieceReads)
+	field(statsTagBytesOut, st.BytesOut)
+	field(statsTagCacheHits, st.CacheHits)
+	field(statsTagCacheMiss, st.CacheMiss)
+	field(statsTagDeviceWaits, st.DeviceWaits)
+	field(statsTagDeviceWaitNanos, st.DeviceWaitNanos)
+	// Deliberately out of historical order: tagged decoding must not care.
+	field(statsTagShed, st.Shed)
+	field(statsTagReadAheadBlocks, st.ReadAheadBlocks)
+	return out
+}
+
+func decodeStatsTagged(payload []byte) (server.Stats, error) {
+	var st server.Stats
+	c := &cursor{data: payload, pos: 1} // skip the marker
+	for c.pos < len(payload) {
+		tag, err := c.u8()
+		if err != nil {
+			return st, err
+		}
+		v, err := c.u64()
+		if err != nil {
+			return st, err
+		}
+		switch tag {
+		case statsTagPieceReads:
+			st.PieceReads = int64(v)
+		case statsTagBytesOut:
+			st.BytesOut = int64(v)
+		case statsTagCacheHits:
+			st.CacheHits = int64(v)
+		case statsTagCacheMiss:
+			st.CacheMiss = int64(v)
+		case statsTagDeviceWaits:
+			st.DeviceWaits = int64(v)
+		case statsTagDeviceWaitNanos:
+			st.DeviceWaitNanos = int64(v)
+		case statsTagReadAheadBlocks:
+			st.ReadAheadBlocks = int64(v)
+		case statsTagShed:
+			st.Shed = int64(v)
+		default:
+			// Unknown tag from a newer server: skip it.
+		}
+	}
+	return st, nil
+}
+
+// decodeStatsPositional decodes the legacy fixed-order layout still emitted
+// by pre-tagged servers: six required u64 fields plus optional appended
+// ones.
+func decodeStatsPositional(payload []byte) (server.Stats, error) {
+	cur := &cursor{data: payload}
+	var vals [7]uint64
+	for i := range vals {
+		v, err := cur.u64()
+		if err != nil {
+			if i >= 6 {
+				break
+			}
+			return server.Stats{}, err
+		}
+		vals[i] = v
+	}
+	return server.Stats{
+		PieceReads:      int64(vals[0]),
+		BytesOut:        int64(vals[1]),
+		CacheHits:       int64(vals[2]),
+		CacheMiss:       int64(vals[3]),
+		DeviceWaits:     int64(vals[4]),
+		DeviceWaitNanos: int64(vals[5]),
+		ReadAheadBlocks: int64(vals[6]),
+	}, nil
 }
 
 func encodeIDs(ids []object.ID) []byte {
@@ -321,49 +485,115 @@ func okResp(dur time.Duration, payload []byte) []byte {
 }
 
 func errResp(err error) []byte {
+	status := byte(statusErr)
+	if errors.Is(err, server.ErrBusy) {
+		status = statusBusy
+	}
 	msg := err.Error()
-	out := []byte{statusErr}
+	out := []byte{status}
 	out = appendU64(out, 0)
 	out = appendU32(out, uint32(len(msg)))
 	return append(out, msg...)
 }
 
-// Client is the workstation-side stub.
+// Client is the workstation-side stub. Every call runs under a retry loop:
+// failures classified retryable (see IsRetryable) are re-issued after an
+// exponential backoff, reconnecting first (with full HELLO renegotiation)
+// when the failure means the connection is dead and a redial function is
+// installed (EnableReconnect). All protocol ops are idempotent reads, so
+// retrying is always safe.
 type Client struct {
-	t Transport
+	mu     sync.Mutex
+	t      Transport
+	redial func() (Transport, error)
+	retry  RetryPolicy
+
+	reconnects atomic.Int64
 }
 
 // NewClient wraps a transport.
-func NewClient(t Transport) *Client { return &Client{t: t} }
-
-// Close releases the transport.
-func (c *Client) Close() error { return c.t.Close() }
-
-func (c *Client) call(req []byte) ([]byte, time.Duration, error) {
-	resp, err := c.t.RoundTrip(req)
-	if err != nil {
-		return nil, 0, err
-	}
-	return parseResponse(resp)
+func NewClient(t Transport) *Client {
+	return &Client{t: t, retry: RetryPolicy{}.withDefaults()}
 }
 
-// start launches a call without waiting for its response, pipelining over
-// the transport when it supports that and falling back to a goroutine per
-// call otherwise.
-func (c *Client) start(req []byte) Pending {
-	if p, ok := c.t.(Pipeliner); ok {
+// Close releases the transport.
+func (c *Client) Close() error { return c.Transport().Close() }
+
+func (c *Client) policy() RetryPolicy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retry
+}
+
+// callCtx performs one request/response exchange under the retry loop,
+// bounded by ctx.
+func (c *Client) callCtx(ctx context.Context, req []byte) ([]byte, time.Duration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pol := c.policy()
+	var last error
+	for attempt := 1; ; attempt++ {
+		t := c.Transport()
+		resp, err := roundTripCtx(ctx, t, req)
+		if err == nil {
+			var payload []byte
+			var dur time.Duration
+			payload, dur, err = parseResponse(resp)
+			if err == nil {
+				return payload, dur, nil
+			}
+		}
+		last = err
+		if ctx.Err() != nil || !IsRetryable(err) || attempt >= pol.MaxAttempts {
+			return nil, 0, last
+		}
+		if NeedsReconnect(err) {
+			if rerr := c.reconnect(t); rerr != nil {
+				if errors.Is(rerr, errNoRedial) {
+					// Without a redialer a dead connection stays dead:
+					// retrying cannot help.
+					return nil, 0, last
+				}
+				// Redial failed (server still down); back off and try
+				// dialing again on the next attempt.
+				last = fmt.Errorf("wire: reconnect: %w", rerr)
+			}
+		}
+		if serr := sleepCtx(ctx, pol.backoff(attempt)); serr != nil {
+			return nil, 0, last
+		}
+	}
+}
+
+func (c *Client) call(req []byte) ([]byte, time.Duration, error) {
+	return c.callCtx(context.Background(), req)
+}
+
+// startCtx launches a call without waiting for its response, pipelining
+// over the transport when it supports that and falling back to a goroutine
+// per call otherwise. Pipelined calls bypass the retry loop — the browse
+// prefetcher treats their failures as cache misses and refetches in the
+// foreground, which does retry.
+func (c *Client) startCtx(ctx context.Context, req []byte) Pending {
+	t := c.Transport()
+	if cp, ok := t.(ContextPipeliner); ok {
+		return cp.StartCtx(ctx, req)
+	}
+	if p, ok := t.(Pipeliner); ok {
 		return p.Start(req)
 	}
 	ch := make(chan muxResult, 1)
 	go func() {
-		resp, err := c.t.RoundTrip(req)
+		resp, err := roundTripCtx(ctx, t, req)
 		ch <- muxResult{resp: resp, err: err}
 	}()
 	return &muxPending{m: &muxPendingState{ch: ch}}
 }
 
 // parseResponse splits a response message into payload and device time,
-// converting server-reported errors.
+// converting server-reported errors. Busy responses (load shedding) wrap
+// ErrServerBusy so the retry loop can classify them.
 func parseResponse(resp []byte) ([]byte, time.Duration, error) {
 	cur := &cursor{data: resp}
 	status, err := cur.u8()
@@ -382,20 +612,23 @@ func parseResponse(resp []byte) ([]byte, time.Duration, error) {
 		return nil, 0, errShort
 	}
 	payload := cur.rest()[:n]
-	if status == statusErr {
+	switch status {
+	case statusErr:
 		return nil, 0, fmt.Errorf("wire: server: %s", payload)
+	case statusBusy:
+		return nil, 0, fmt.Errorf("%w: %s", ErrServerBusy, payload)
 	}
 	return payload, time.Duration(durN), nil
 }
 
-// Query evaluates a content query on the server.
-func (c *Client) Query(terms ...string) ([]object.ID, time.Duration, error) {
+// QueryCtx evaluates a content query on the server, bounded by ctx.
+func (c *Client) QueryCtx(ctx context.Context, terms ...string) ([]object.ID, time.Duration, error) {
 	req := []byte{OpQuery}
 	req = appendU32(req, uint32(len(terms)))
 	for _, t := range terms {
 		req = appendStr(req, t)
 	}
-	payload, dur, err := c.call(req)
+	payload, dur, err := c.callCtx(ctx, req)
 	if err != nil {
 		return nil, dur, err
 	}
@@ -403,10 +636,15 @@ func (c *Client) Query(terms ...string) ([]object.ID, time.Duration, error) {
 	return ids, dur, err
 }
 
-// Descriptor fetches and parses an object descriptor.
-func (c *Client) Descriptor(id object.ID) (*descriptor.Descriptor, time.Duration, error) {
+// Query evaluates a content query on the server.
+func (c *Client) Query(terms ...string) ([]object.ID, time.Duration, error) {
+	return c.QueryCtx(context.Background(), terms...)
+}
+
+// DescriptorCtx fetches and parses an object descriptor, bounded by ctx.
+func (c *Client) DescriptorCtx(ctx context.Context, id object.ID) (*descriptor.Descriptor, time.Duration, error) {
 	req := appendU64([]byte{OpDescriptor}, uint64(id))
-	payload, dur, err := c.call(req)
+	payload, dur, err := c.callCtx(ctx, req)
 	if err != nil {
 		return nil, dur, err
 	}
@@ -414,17 +652,54 @@ func (c *Client) Descriptor(id object.ID) (*descriptor.Descriptor, time.Duration
 	return d, dur, err
 }
 
-// ReadPiece fetches an archiver-absolute byte extent.
-func (c *Client) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
+// Descriptor fetches and parses an object descriptor.
+func (c *Client) Descriptor(id object.ID) (*descriptor.Descriptor, time.Duration, error) {
+	return c.DescriptorCtx(context.Background(), id)
+}
+
+// ReadPieceCtx fetches an archiver-absolute byte extent, bounded by ctx.
+func (c *Client) ReadPieceCtx(ctx context.Context, off, length uint64) ([]byte, time.Duration, error) {
 	req := appendU64([]byte{OpReadPiece}, off)
 	req = appendU64(req, length)
-	return c.call(req)
+	return c.callCtx(ctx, req)
+}
+
+// ReadPiece fetches an archiver-absolute byte extent.
+func (c *Client) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
+	return c.ReadPieceCtx(context.Background(), off, length)
+}
+
+// MiniatureCtx fetches an object miniature. It rides the batched
+// OpMiniatures path (a batch of one), falling back to the legacy single-
+// shot op against servers that predate batching.
+func (c *Client) MiniatureCtx(ctx context.Context, id object.ID) (*img.Bitmap, time.Duration, error) {
+	res, dur, err := c.MiniaturesCtx(ctx, []object.ID{id})
+	if err != nil {
+		if isUnknownOp(err) {
+			return c.miniatureSingle(ctx, id)
+		}
+		return nil, dur, err
+	}
+	if !res[0].OK {
+		return nil, dur, fmt.Errorf("wire: no miniature for object %d", id)
+	}
+	return res[0].Mini, dur, nil
 }
 
 // Miniature fetches an object miniature.
+//
+// Deprecated: use MiniaturesCtx — one round trip fetches a whole batch with
+// driving modes included. Miniature is kept as a thin wrapper over the
+// batched path.
 func (c *Client) Miniature(id object.ID) (*img.Bitmap, time.Duration, error) {
+	return c.MiniatureCtx(context.Background(), id)
+}
+
+// miniatureSingle is the pre-batching wire op, kept for servers that answer
+// OpMiniatures with an unknown-op error.
+func (c *Client) miniatureSingle(ctx context.Context, id object.ID) (*img.Bitmap, time.Duration, error) {
 	req := appendU64([]byte{OpMiniature}, uint64(id))
-	payload, dur, err := c.call(req)
+	payload, dur, err := c.callCtx(ctx, req)
 	if err != nil {
 		return nil, dur, err
 	}
@@ -433,6 +708,12 @@ func (c *Client) Miniature(id object.ID) (*img.Bitmap, time.Duration, error) {
 		return nil, dur, err
 	}
 	return v.(*img.Bitmap), dur, nil
+}
+
+// isUnknownOp reports whether err is a server rejection of an op it does
+// not implement (an older protocol peer).
+func isUnknownOp(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "unknown op")
 }
 
 // MiniatureResult is one entry of a batched miniature fetch.
@@ -448,12 +729,23 @@ type MiniatureResult struct {
 	Mode object.Mode
 }
 
-// Miniatures fetches up to MaxMiniatureBatch miniatures (plus driving
-// modes) in a single round trip; results align with ids. Missing
-// miniatures come back with OK=false rather than failing the batch.
+// MiniaturesCtx fetches up to MaxMiniatureBatch miniatures (plus driving
+// modes) in a single round trip, bounded by ctx; results align with ids.
+// Missing miniatures come back with OK=false rather than failing the batch.
+// This path runs under the retry loop; the pipelined MiniaturesStart does
+// not.
+func (c *Client) MiniaturesCtx(ctx context.Context, ids []object.ID) ([]MiniatureResult, time.Duration, error) {
+	payload, dur, err := c.callCtx(ctx, encodeMiniaturesReq(ids))
+	if err != nil {
+		return nil, dur, err
+	}
+	res, err := decodeMiniatures(ids, payload)
+	return res, dur, err
+}
+
+// Miniatures fetches a miniature batch in one round trip.
 func (c *Client) Miniatures(ids []object.ID) ([]MiniatureResult, time.Duration, error) {
-	p := c.MiniaturesStart(ids)
-	return p.Wait()
+	return c.MiniaturesCtx(context.Background(), ids)
 }
 
 // PendingMiniatures is an in-flight batched miniature fetch.
@@ -462,15 +754,24 @@ type PendingMiniatures struct {
 	p   Pending
 }
 
-// MiniaturesStart launches a batched miniature fetch without waiting —
-// the browse prefetcher keeps several of these in flight on a pipelined
-// transport while the user views the current miniature.
-func (c *Client) MiniaturesStart(ids []object.ID) *PendingMiniatures {
+func encodeMiniaturesReq(ids []object.ID) []byte {
 	req := appendU32([]byte{OpMiniatures}, uint32(len(ids)))
 	for _, id := range ids {
 		req = appendU64(req, uint64(id))
 	}
-	return &PendingMiniatures{ids: ids, p: c.start(req)}
+	return req
+}
+
+// MiniaturesStartCtx launches a batched miniature fetch without waiting —
+// the browse prefetcher keeps several of these in flight on a pipelined
+// transport while the user views the current miniature.
+func (c *Client) MiniaturesStartCtx(ctx context.Context, ids []object.ID) *PendingMiniatures {
+	return &PendingMiniatures{ids: ids, p: c.startCtx(ctx, encodeMiniaturesReq(ids))}
+}
+
+// MiniaturesStart launches a batched miniature fetch without waiting.
+func (c *Client) MiniaturesStart(ids []object.ID) *PendingMiniatures {
+	return c.MiniaturesStartCtx(context.Background(), ids)
 }
 
 // Wait collects the batch's results.
@@ -483,56 +784,64 @@ func (pm *PendingMiniatures) Wait() ([]MiniatureResult, time.Duration, error) {
 	if err != nil {
 		return nil, dur, err
 	}
+	res, err := decodeMiniatures(pm.ids, payload)
+	return res, dur, err
+}
+
+// decodeMiniatures parses an OpMiniatures response payload against the
+// request's id list.
+func decodeMiniatures(ids []object.ID, payload []byte) ([]MiniatureResult, error) {
 	cur := &cursor{data: payload}
 	n, err := cur.u32()
 	if err != nil {
-		return nil, dur, err
+		return nil, err
 	}
-	if int(n) != len(pm.ids) {
-		return nil, dur, fmt.Errorf("wire: miniature batch returned %d entries for %d ids", n, len(pm.ids))
+	if int(n) != len(ids) {
+		return nil, fmt.Errorf("wire: miniature batch returned %d entries for %d ids", n, len(ids))
 	}
-	out := make([]MiniatureResult, 0, len(pm.ids))
-	for i := range pm.ids {
+	out := make([]MiniatureResult, 0, len(ids))
+	for i := range ids {
 		present, err := cur.u8()
 		if err != nil {
-			return nil, dur, err
+			return nil, err
 		}
 		mode, err := cur.u8()
 		if err != nil {
-			return nil, dur, err
+			return nil, err
 		}
-		r := MiniatureResult{ID: pm.ids[i], Mode: object.Mode(mode)}
+		r := MiniatureResult{ID: ids[i], Mode: object.Mode(mode)}
 		if present != 0 {
 			ln, err := cur.u32()
 			if err != nil {
-				return nil, dur, err
+				return nil, err
 			}
 			if cur.pos+int(ln) > len(payload) {
-				return nil, dur, errShort
+				return nil, errShort
 			}
 			raw := payload[cur.pos : cur.pos+int(ln)]
 			cur.pos += int(ln)
 			v, err := descriptor.DecodePart(descriptor.PartBitmap, raw)
 			if err != nil {
-				return nil, dur, err
+				return nil, err
 			}
 			r.OK = true
 			r.Mini = v.(*img.Bitmap)
 		}
 		out = append(out, r)
 	}
-	return out, dur, nil
+	return out, nil
 }
 
-// ImageView fetches only the given rectangle of an image part (§2 views):
-// the response carries the view's pixels, not the whole image.
-func (c *Client) ImageView(id object.ID, name string, r img.Rect) (*img.Bitmap, time.Duration, error) {
+// ImageViewCtx fetches only the given rectangle of an image part (§2
+// views), bounded by ctx: the response carries the view's pixels, not the
+// whole image.
+func (c *Client) ImageViewCtx(ctx context.Context, id object.ID, name string, r img.Rect) (*img.Bitmap, time.Duration, error) {
 	req := appendU64([]byte{OpImageView}, uint64(id))
 	req = appendStr(req, name)
 	for _, v := range []int{r.X, r.Y, r.W, r.H} {
 		req = appendU32(req, uint32(int32(v)))
 	}
-	payload, dur, err := c.call(req)
+	payload, dur, err := c.callCtx(ctx, req)
 	if err != nil {
 		return nil, dur, err
 	}
@@ -543,11 +852,16 @@ func (c *Client) ImageView(id object.ID, name string, r img.Rect) (*img.Bitmap, 
 	return v.(*img.Bitmap), dur, nil
 }
 
-// VoicePreview fetches the voice preview of an audio-mode object, played
-// "as the miniature passes through the screen" (§5).
-func (c *Client) VoicePreview(id object.ID) (*voice.Part, time.Duration, error) {
+// ImageView fetches only the given rectangle of an image part.
+func (c *Client) ImageView(id object.ID, name string, r img.Rect) (*img.Bitmap, time.Duration, error) {
+	return c.ImageViewCtx(context.Background(), id, name, r)
+}
+
+// VoicePreviewCtx fetches the voice preview of an audio-mode object, played
+// "as the miniature passes through the screen" (§5), bounded by ctx.
+func (c *Client) VoicePreviewCtx(ctx context.Context, id object.ID) (*voice.Part, time.Duration, error) {
 	req := appendU64([]byte{OpVoicePreview}, uint64(id))
-	payload, dur, err := c.call(req)
+	payload, dur, err := c.callCtx(ctx, req)
 	if err != nil {
 		return nil, dur, err
 	}
@@ -558,9 +872,14 @@ func (c *Client) VoicePreview(id object.ID) (*voice.Part, time.Duration, error) 
 	return v.(*voice.Part), dur, nil
 }
 
-// List returns all published object ids.
-func (c *Client) List() ([]object.ID, time.Duration, error) {
-	payload, dur, err := c.call([]byte{OpList})
+// VoicePreview fetches the voice preview of an audio-mode object.
+func (c *Client) VoicePreview(id object.ID) (*voice.Part, time.Duration, error) {
+	return c.VoicePreviewCtx(context.Background(), id)
+}
+
+// ListCtx returns all published object ids, bounded by ctx.
+func (c *Client) ListCtx(ctx context.Context) ([]object.ID, time.Duration, error) {
+	payload, dur, err := c.callCtx(ctx, []byte{OpList})
 	if err != nil {
 		return nil, dur, err
 	}
@@ -568,10 +887,44 @@ func (c *Client) List() ([]object.ID, time.Duration, error) {
 	return ids, dur, err
 }
 
+// List returns all published object ids.
+func (c *Client) List() ([]object.ID, time.Duration, error) {
+	return c.ListCtx(context.Background())
+}
+
+// ModeCtx returns an object's driving mode. Like MiniatureCtx it rides the
+// batched OpMiniatures path (which ships modes alongside miniatures), with
+// a fallback to the legacy OpMode against servers that predate batching.
+// Every adopted object carries a miniature, so a batch entry with OK=false
+// means the object is unknown.
+func (c *Client) ModeCtx(ctx context.Context, id object.ID) (object.Mode, error) {
+	res, _, err := c.MiniaturesCtx(ctx, []object.ID{id})
+	if err != nil {
+		if isUnknownOp(err) {
+			return c.modeSingle(ctx, id)
+		}
+		return 0, err
+	}
+	if !res[0].OK {
+		return 0, fmt.Errorf("wire: unknown object %d", id)
+	}
+	return res[0].Mode, nil
+}
+
 // Mode returns an object's driving mode.
+//
+// Deprecated: use MiniaturesCtx — the batched miniature fetch ships each
+// object's driving mode with its miniature, so a separate mode round trip
+// is never needed. Mode is kept as a thin wrapper over the batched path.
 func (c *Client) Mode(id object.ID) (object.Mode, error) {
+	return c.ModeCtx(context.Background(), id)
+}
+
+// modeSingle is the pre-batching wire op, kept for servers that answer
+// OpMiniatures with an unknown-op error.
+func (c *Client) modeSingle(ctx context.Context, id object.ID) (object.Mode, error) {
 	req := appendU64([]byte{OpMode}, uint64(id))
-	payload, _, err := c.call(req)
+	payload, _, err := c.callCtx(ctx, req)
 	if err != nil {
 		return 0, err
 	}
@@ -581,34 +934,24 @@ func (c *Client) Mode(id object.ID) (object.Mode, error) {
 	return object.Mode(payload[0]), nil
 }
 
-// Stats fetches the server's request/cache/contention counters — the load
-// simulation and cmd/minos-server use it to report device contention.
-func (c *Client) Stats() (server.Stats, error) {
-	payload, _, err := c.call([]byte{OpStats})
+// StatsCtx fetches the server's request/cache/contention counters — the
+// load simulation and cmd/minos-server use it to report device contention.
+// It decodes both the tagged encoding and the positional layout of
+// pre-tagged servers.
+func (c *Client) StatsCtx(ctx context.Context) (server.Stats, error) {
+	payload, _, err := c.callCtx(ctx, []byte{OpStats})
 	if err != nil {
 		return server.Stats{}, err
 	}
-	cur := &cursor{data: payload}
-	// The first six fields are the v1 layout and are required; fields
-	// appended later (read-ahead) default to zero against older servers.
-	var vals [7]uint64
-	for i := range vals {
-		if vals[i], err = cur.u64(); err != nil {
-			if i >= 6 {
-				break
-			}
-			return server.Stats{}, err
-		}
+	if len(payload) > 0 && payload[0] == statsTagged {
+		return decodeStatsTagged(payload)
 	}
-	return server.Stats{
-		PieceReads:      int64(vals[0]),
-		BytesOut:        int64(vals[1]),
-		CacheHits:       int64(vals[2]),
-		CacheMiss:       int64(vals[3]),
-		DeviceWaits:     int64(vals[4]),
-		DeviceWaitNanos: int64(vals[5]),
-		ReadAheadBlocks: int64(vals[6]),
-	}, nil
+	return decodeStatsPositional(payload)
+}
+
+// Stats fetches the server's request/cache/contention counters.
+func (c *Client) Stats() (server.Stats, error) {
+	return c.StatsCtx(context.Background())
 }
 
 // Fetch adapts the client into a descriptor.FetchFunc, accumulating device

@@ -9,6 +9,7 @@ package workstation
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -67,11 +68,16 @@ type PrefetchStats struct {
 	FetchTime time.Duration
 }
 
-// miniEntry is one cached miniature with its driving mode.
+// miniEntry is one cached miniature with its driving mode, tagged with the
+// prefetch generation it was fetched under. Entries from a superseded
+// generation never satisfy a normal lookup, but they stay resident as
+// stale candidates: when the server is unreachable the session may serve
+// one, explicitly flagged, instead of a blank screen.
 type miniEntry struct {
 	id   object.ID
 	mini *img.Bitmap
 	mode object.Mode
+	gen  uint64
 }
 
 // miniLRU is a small client-side LRU of miniatures, keyed by object id.
@@ -85,18 +91,34 @@ func newMiniLRU(capEntries int) *miniLRU {
 	return &miniLRU{cap: capEntries, ll: list.New(), byID: map[object.ID]*list.Element{}}
 }
 
-func (c *miniLRU) get(id object.ID) (*miniEntry, bool) {
+// get returns the entry for id only if it belongs to generation gen:
+// invalidation bumps the generation, so superseded entries miss here.
+func (c *miniLRU) get(id object.ID, gen uint64) (*miniEntry, bool) {
 	e, ok := c.byID[id]
 	if !ok {
 		return nil, false
 	}
+	ent := e.Value.(*miniEntry)
+	if ent.gen != gen {
+		return nil, false
+	}
 	c.ll.MoveToFront(e)
+	return ent, true
+}
+
+// getAny returns the entry for id regardless of generation — the degraded
+// (server-unreachable) path, where a stale miniature beats none.
+func (c *miniLRU) getAny(id object.ID) (*miniEntry, bool) {
+	e, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
 	return e.Value.(*miniEntry), true
 }
 
-func (c *miniLRU) has(id object.ID) bool {
-	_, ok := c.byID[id]
-	return ok
+func (c *miniLRU) has(id object.ID, gen uint64) bool {
+	e, ok := c.byID[id]
+	return ok && e.Value.(*miniEntry).gen == gen
 }
 
 func (c *miniLRU) put(ent *miniEntry) {
@@ -114,11 +136,6 @@ func (c *miniLRU) put(ent *miniEntry) {
 		c.ll.Remove(old)
 		delete(c.byID, old.Value.(*miniEntry).id)
 	}
-}
-
-func (c *miniLRU) clear() {
-	c.ll.Init()
-	clear(c.byID)
 }
 
 // prefetcher keeps the next Depth result miniatures warming while the user
@@ -154,16 +171,27 @@ func newPrefetcher(c *wire.Client, cfg PrefetchConfig) *prefetcher {
 	return p
 }
 
-// invalidate discards the warm cache and marks every in-flight fetch
-// stale; called when Query/Refine replaces the result set.
+// invalidate supersedes the warm cache and marks every in-flight fetch
+// stale; called when Query/Refine replaces the result set and when the
+// client reconnects (the server may have restarted with changed content).
+// Superseded entries stay resident as stale candidates for the degraded
+// path (staleEntry) but can never satisfy a normal lookup.
 func (p *prefetcher) invalidate() {
 	p.mu.Lock()
 	p.gen++
-	p.cache.clear()
 	p.scheduled = -1
 	p.mu.Unlock()
 	// Wake ensure callers parked on a now-superseded in-flight fetch.
 	p.landed.Broadcast()
+}
+
+// staleEntry returns the cached miniature for id from any generation —
+// only for degraded serving while the server is unreachable; the caller
+// must surface it flagged stale.
+func (p *prefetcher) staleEntry(id object.ID) (*miniEntry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cache.getAny(id)
 }
 
 // drain waits for background fetches to finish (their results are dropped
@@ -179,11 +207,13 @@ func (p *prefetcher) Stats() PrefetchStats {
 
 // ensure returns the miniature and mode for ids[i], foreground-fetching a
 // batch on a cold cursor and topping off the read-ahead window either way.
-func (p *prefetcher) ensure(ids []object.ID, i int) (*img.Bitmap, object.Mode, error) {
+// The foreground fetch is bounded by ctx; background batches are not (they
+// are read-ahead, droppable by generation).
+func (p *prefetcher) ensure(ctx context.Context, ids []object.ID, i int) (*img.Bitmap, object.Mode, error) {
 	p.mu.Lock()
 	id := ids[i]
 	for {
-		if e, ok := p.cache.get(id); ok {
+		if e, ok := p.cache.get(id, p.gen); ok {
 			p.stats.Hits++
 			chunks, gen := p.planLocked(ids, i)
 			p.mu.Unlock()
@@ -209,7 +239,7 @@ func (p *prefetcher) ensure(ids []object.ID, i int) (*img.Bitmap, object.Mode, e
 	chunk = append(chunk, id)
 	p.inflight[id] = gen
 	for j := i + 1; j < len(ids) && len(chunk) < p.cfg.Batch; j++ {
-		if p.cache.has(ids[j]) {
+		if p.cache.has(ids[j], gen) {
 			continue
 		}
 		if _, busy := p.inflight[ids[j]]; busy {
@@ -223,7 +253,7 @@ func (p *prefetcher) ensure(ids []object.ID, i int) (*img.Bitmap, object.Mode, e
 	}
 	p.mu.Unlock()
 
-	res, dur, err := p.c.Miniatures(chunk)
+	res, dur, err := p.c.MiniaturesCtx(ctx, chunk)
 
 	p.mu.Lock()
 	for _, cid := range chunk {
@@ -244,7 +274,7 @@ func (p *prefetcher) ensure(ids []object.ID, i int) (*img.Bitmap, object.Mode, e
 			cur = &res[k]
 		}
 		if fresh && res[k].OK {
-			p.cache.put(&miniEntry{id: res[k].ID, mini: res[k].Mini, mode: res[k].Mode})
+			p.cache.put(&miniEntry{id: res[k].ID, mini: res[k].Mini, mode: res[k].Mode, gen: gen})
 		} else if !fresh {
 			p.stats.Dropped++
 		}
@@ -284,7 +314,7 @@ func (p *prefetcher) planLocked(ids []object.ID, i int) ([][]object.ID, uint64) 
 	}
 	var pend []cand
 	for j := p.scheduled + 1; j <= target; j++ {
-		if p.cache.has(ids[j]) {
+		if p.cache.has(ids[j], p.gen) {
 			continue
 		}
 		if _, busy := p.inflight[ids[j]]; busy {
@@ -343,7 +373,7 @@ func (p *prefetcher) launch(chunks [][]object.ID, gen uint64) {
 				if p.gen == gen {
 					for k := range res {
 						if res[k].OK {
-							p.cache.put(&miniEntry{id: res[k].ID, mini: res[k].Mini, mode: res[k].Mode})
+							p.cache.put(&miniEntry{id: res[k].ID, mini: res[k].Mini, mode: res[k].Mode, gen: gen})
 							p.stats.Prefetched++
 						}
 					}

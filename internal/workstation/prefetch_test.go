@@ -1,6 +1,7 @@
 package workstation
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -247,7 +248,7 @@ func TestPrefetcherConcurrentEnsureInvalidate(t *testing.T) {
 					continue
 				}
 				idx := (g*7 + i) % n
-				mini, _, err := p.ensure(ids, idx)
+				mini, _, err := p.ensure(context.Background(), ids, idx)
 				if err != nil {
 					t.Error(err)
 					return

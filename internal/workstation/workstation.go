@@ -13,6 +13,7 @@
 package workstation
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,6 +32,16 @@ type Session struct {
 	results []object.ID
 	cursor  int
 
+	// queryLog records the query that built the current result set plus
+	// every refinement applied to it, in order. After a reconnect (the
+	// server may have restarted) the session replays the log to re-derive
+	// the result set instead of trusting the one fetched before the
+	// failure.
+	queryLog [][]string
+	// seenReconnects is the client reconnect count the session last
+	// synchronized against (see maybeResync).
+	seenReconnects int64
+
 	// pf, when non-nil, keeps the next miniatures of the result set
 	// warming while the user views the current one (see prefetch.go).
 	pf *prefetcher
@@ -38,6 +49,19 @@ type Session struct {
 	// FetchTime accumulates server device time attributed to this
 	// session's piece requests.
 	FetchTime time.Duration
+}
+
+// BrowseStep is one sequential-browsing cursor step.
+type BrowseStep struct {
+	ID   object.ID
+	Mini *img.Bitmap
+	Mode object.Mode
+	// Stale marks a miniature served from the local cache while the
+	// server was unreachable: possibly superseded, better than a blank
+	// screen. A later step on a healthy connection serves fresh data.
+	Stale bool
+	// Done reports the cursor stepped past the end of the result set.
+	Done bool
 }
 
 // New builds a session over a protocol client. The manager configuration's
@@ -72,107 +96,200 @@ func (s *Session) PrefetchStats() PrefetchStats {
 	return s.pf.Stats()
 }
 
-// Query submits a content query and installs the qualifying objects as the
-// sequential browsing result set. It returns the number of hits.
-func (s *Session) Query(terms ...string) (int, error) {
-	ids, dur, err := s.client.Query(terms...)
+// QueryCtx submits a content query and installs the qualifying objects as
+// the sequential browsing result set. It returns the number of hits.
+func (s *Session) QueryCtx(ctx context.Context, terms ...string) (int, error) {
+	ids, dur, err := s.client.QueryCtx(ctx, terms...)
 	if err != nil {
 		return 0, err
 	}
 	s.FetchTime += dur
 	s.results = ids
 	s.cursor = -1
+	s.queryLog = [][]string{append([]string(nil), terms...)}
+	s.seenReconnects = s.client.Reconnects()
 	if s.pf != nil {
 		s.pf.invalidate()
 	}
 	return len(ids), nil
 }
 
-// Refine narrows the current result set with additional terms — the §5
+// Query submits a content query and installs the result set.
+func (s *Session) Query(terms ...string) (int, error) {
+	return s.QueryCtx(context.Background(), terms...)
+}
+
+// RefineCtx narrows the current result set with additional terms — the §5
 // loop where the user returns "to the query specification interface to
 // refine his filter". The refined set is the intersection of the current
 // results with the new terms' matches.
-func (s *Session) Refine(terms ...string) (int, error) {
-	ids, dur, err := s.client.Query(terms...)
+func (s *Session) RefineCtx(ctx context.Context, terms ...string) (int, error) {
+	ids, dur, err := s.client.QueryCtx(ctx, terms...)
 	if err != nil {
 		return 0, err
 	}
 	s.FetchTime += dur
+	s.results = intersect(s.results, ids)
+	s.cursor = -1
+	s.queryLog = append(s.queryLog, append([]string(nil), terms...))
+	if s.pf != nil {
+		s.pf.invalidate()
+	}
+	return len(s.results), nil
+}
+
+// Refine narrows the current result set with additional terms.
+func (s *Session) Refine(terms ...string) (int, error) {
+	return s.RefineCtx(context.Background(), terms...)
+}
+
+// intersect keeps the members of base that appear in hits, preserving
+// base's order.
+func intersect(base, hits []object.ID) []object.ID {
 	match := map[object.ID]bool{}
-	for _, id := range ids {
+	for _, id := range hits {
 		match[id] = true
 	}
 	var kept []object.ID
-	for _, id := range s.results {
+	for _, id := range base {
 		if match[id] {
 			kept = append(kept, id)
 		}
 	}
-	s.results = kept
-	s.cursor = -1
+	return kept
+}
+
+// maybeResync re-derives session state that a server restart may have
+// invalidated. The trigger is the client's reconnect counter: when it has
+// moved since the session last synchronized, the prefetch generation is
+// bumped (no pre-restart miniature may surface as fresh) and the query log
+// is replayed to rebuild the result set. A failed replay (server still
+// down) leaves the old state for degraded browsing and retries on the next
+// step.
+func (s *Session) maybeResync(ctx context.Context) {
+	rc := s.client.Reconnects()
+	if rc == s.seenReconnects {
+		return
+	}
 	if s.pf != nil {
 		s.pf.invalidate()
 	}
-	return len(kept), nil
+	if len(s.queryLog) == 0 {
+		s.seenReconnects = rc
+		return
+	}
+	var rebuilt []object.ID
+	for i, terms := range s.queryLog {
+		ids, dur, err := s.client.QueryCtx(ctx, terms...)
+		if err != nil {
+			// Keep the stale result set and the unsynchronized counter:
+			// the next cursor step tries again.
+			return
+		}
+		s.FetchTime += dur
+		if i == 0 {
+			rebuilt = ids
+		} else {
+			rebuilt = intersect(rebuilt, ids)
+		}
+	}
+	s.results = rebuilt
+	if s.cursor >= len(s.results) {
+		s.cursor = len(s.results) - 1
+	}
+	// The replay itself may have reconnected again; record where we ended.
+	s.seenReconnects = s.client.Reconnects()
 }
 
 // Results returns the current result set.
 func (s *Session) Results() []object.ID { return append([]object.ID(nil), s.results...) }
 
-// NextMiniature advances the sequential browsing interface and returns the
-// next qualifying object's id and miniature. It reports done=true past the
-// last result. For audio-mode objects the voice preview plays as the
-// miniature passes through the screen (§5).
-func (s *Session) NextMiniature() (id object.ID, mini *img.Bitmap, done bool, err error) {
+// NextMiniatureCtx advances the sequential browsing interface and returns
+// the next qualifying object's step. It reports Done=true past the last
+// result. For audio-mode objects the voice preview plays as the miniature
+// passes through the screen (§5). After a reconnect the session re-syncs
+// first (replaying the query log) so a restarted server never leaves the
+// browse on a phantom result set; while the server is unreachable a cached
+// miniature may be served with Stale=true.
+func (s *Session) NextMiniatureCtx(ctx context.Context) (BrowseStep, error) {
+	s.maybeResync(ctx)
 	if s.cursor+1 >= len(s.results) {
-		return 0, nil, true, nil
+		return BrowseStep{Done: true}, nil
 	}
 	s.cursor++
-	return s.miniAtCursor()
+	return s.stepAtCursor(ctx)
+}
+
+// NextMiniature advances the sequential browsing interface.
+func (s *Session) NextMiniature() (id object.ID, mini *img.Bitmap, done bool, err error) {
+	st, err := s.NextMiniatureCtx(context.Background())
+	return st.ID, st.Mini, st.Done, err
+}
+
+// PrevMiniatureCtx steps the browsing cursor back.
+func (s *Session) PrevMiniatureCtx(ctx context.Context) (BrowseStep, error) {
+	s.maybeResync(ctx)
+	if s.cursor <= 0 {
+		return BrowseStep{Done: true}, nil
+	}
+	s.cursor--
+	return s.stepAtCursor(ctx)
 }
 
 // PrevMiniature steps the browsing cursor back.
 func (s *Session) PrevMiniature() (id object.ID, mini *img.Bitmap, done bool, err error) {
-	if s.cursor <= 0 {
-		return 0, nil, true, nil
-	}
-	s.cursor--
-	return s.miniAtCursor()
+	st, err := s.PrevMiniatureCtx(context.Background())
+	return st.ID, st.Mini, st.Done, err
 }
 
-func (s *Session) miniAtCursor() (object.ID, *img.Bitmap, bool, error) {
+func (s *Session) stepAtCursor(ctx context.Context) (BrowseStep, error) {
 	id := s.results[s.cursor]
 	var (
 		mini *img.Bitmap
 		mode object.Mode
+		ferr error
 	)
 	if s.pf != nil {
 		// Prefetch path: the batch reply ships the mode inline with the
 		// miniature, so a cursor step costs no extra round trip for it.
-		m, md, err := s.pf.ensure(s.results, s.cursor)
+		m, md, err := s.pf.ensure(ctx, s.results, s.cursor)
 		if err != nil {
-			return id, nil, false, err
+			ferr = err
+		} else {
+			mini, mode = m, md
 		}
-		mini, mode = m, md
 	} else {
-		m, dur, err := s.client.Miniature(id)
+		m, dur, err := s.client.MiniatureCtx(ctx, id)
 		s.FetchTime += dur
 		if err != nil {
-			return id, nil, false, err
-		}
-		mini = m
-		if md, merr := s.client.Mode(id); merr == nil {
-			mode = md
+			ferr = err
+		} else {
+			mini = m
+			if md, merr := s.client.ModeCtx(ctx, id); merr == nil {
+				mode = md
+			}
 		}
 	}
+	if ferr != nil {
+		// Degraded browsing: the retry loop already exhausted itself on a
+		// transient failure (server down or mid-restart). A cached
+		// miniature — flagged stale — keeps the user browsing; there is
+		// no voice preview (it would need the server).
+		if wire.IsRetryable(ferr) && s.pf != nil {
+			if e, ok := s.pf.staleEntry(id); ok {
+				return BrowseStep{ID: id, Mini: e.mini, Mode: e.mode, Stale: true}, nil
+			}
+		}
+		return BrowseStep{ID: id}, ferr
+	}
 	if mode == object.Audio {
-		if vp, pdur, perr := s.client.VoicePreview(id); perr == nil {
+		if vp, pdur, perr := s.client.VoicePreviewCtx(ctx, id); perr == nil {
 			s.FetchTime += pdur
 			s.mgr.MsgPlayer().Load(vp)
 			s.mgr.MsgPlayer().Play(0, 0, nil)
 		}
 	}
-	return id, mini, false, nil
+	return BrowseStep{ID: id, Mini: mini, Mode: mode}, nil
 }
 
 // ShowBrowser renders the sequential browsing interface on the session's
