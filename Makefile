@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_OUT ?= BENCH_5.json
 
-.PHONY: all build test race bench bench-smoke fault-matrix fmt vet check
+.PHONY: all build test race bench bench-smoke bench-json bench-json-smoke alloc-guard fault-matrix fmt vet check
 
 all: build
 
@@ -29,6 +30,21 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'EPipe|Mux|Prefetch' -benchtime=1x . ./internal/wire ./internal/workstation
 
+# Benchmark-regression report: run the E-ALLOC hot-path benchmarks and
+# write ns/op, B/op and allocs/op to $(BENCH_OUT) (committed per PR).
+bench-json:
+	$(GO) run ./cmd/minos-bench -out $(BENCH_OUT)
+
+# One-iteration harness smoke: proves minos-bench still runs and parses
+# without overwriting the committed report.
+bench-json-smoke:
+	$(GO) run ./cmd/minos-bench -benchtime 1x -out - >/dev/null
+
+# Steady-state allocation guards (testing.AllocsPerRun); skipped under
+# -race, where the runtime deliberately drops sync.Pool entries.
+alloc-guard:
+	$(GO) test -run 'Alloc' -count=1 ./internal/image ./internal/voice ./internal/server ./internal/wire
+
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -36,4 +52,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test race fault-matrix bench-smoke
+check: fmt vet build test race fault-matrix bench-smoke alloc-guard bench-json-smoke

@@ -1,0 +1,154 @@
+// Command minos-bench is the benchmark-regression harness: it runs the
+// hot-path benchmarks (`go test -bench -benchmem`) over the render/encode
+// packages, parses the standard benchmark output and writes a JSON report
+// with ns/op, B/op and allocs/op per benchmark. Committed reports
+// (BENCH_<n>.json) pin the numbers a PR was accepted against, so a later
+// change that regresses allocations is caught by diffing reports, not by
+// re-reading terminal scrollback.
+//
+// Usage:
+//
+//	minos-bench [-out file] [-bench regex] [-benchtime d] [-count n] [pkg ...]
+//
+// With -out - the report goes to stdout. The default package set covers the
+// rasterize→encode, miniature-serve, synthesis and wire paths measured by
+// the E-ALLOC experiment.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// defaultPackages are the hot-path packages the E-ALLOC experiment tracks.
+var defaultPackages = []string{
+	"./internal/image",
+	"./internal/voice",
+	"./internal/server",
+	"./internal/wire",
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the written JSON document.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	Bench     string   `json:"bench"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_5.json", "report file (- = stdout)")
+	bench := flag.String("bench", "Rasterize|Miniature|Synthesize|MuxBatched|LocalRoundTrip", "benchmark regex passed to go test")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (empty = default)")
+	count := flag.Int("count", 1, "go test -count value")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = defaultPackages
+	}
+
+	rep := Report{GoVersion: goVersion(), Bench: *bench, BenchTime: *benchtime}
+	for _, pkg := range pkgs {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+			"-count", strconv.Itoa(*count)}
+		if *benchtime != "" {
+			args = append(args, "-benchtime", *benchtime)
+		}
+		args = append(args, pkg)
+		cmd := exec.Command("go", args...)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "minos-bench: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		res, err := parseBench(pkg, buf.String())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minos-bench: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, res...)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minos-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "minos-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("minos-bench: %d benchmarks -> %s\n", len(rep.Results), *out)
+}
+
+// parseBench extracts benchmark lines of the standard form
+//
+//	BenchmarkName-8   1234   5678 ns/op   90 B/op   1 allocs/op
+//
+// from go test output. Packages whose run matched no benchmark contribute
+// nothing (go test prints "no test files" or just PASS).
+func parseBench(pkg, out string) ([]Result, error) {
+	var res []Result
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 3 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		r := Result{Name: name, Package: pkg}
+		var err error
+		if r.Iterations, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q", line)
+		}
+		for i := 2; i+1 < len(f); i++ {
+			v := f[i]
+			switch f[i+1] {
+			case "ns/op":
+				r.NsPerOp, err = strconv.ParseFloat(v, 64)
+			case "B/op":
+				r.BytesPerOp, err = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, err = strconv.ParseInt(v, 10, 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", v, line)
+			}
+		}
+		res = append(res, r)
+	}
+	return res, nil
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -7,7 +7,7 @@
 //
 //	minos-server [-listen addr] [-fillers n] [-blocks n] [-archive file]
 //	             [-idle-timeout d] [-seek-concurrency n] [-readahead n]
-//	             [-max-inflight n]
+//	             [-max-inflight n] [-pprof addr]
 //
 // With -archive, the optical medium is loaded from the file when it exists
 // (the archive directory is recovered by scanning the self-describing
@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,7 +48,21 @@ func main() {
 	seek := flag.Int("seek-concurrency", 1, "device reads in flight at once (1 = single optical head)")
 	readahead := flag.Int("readahead", 8, "blocks pulled into the cache behind a sequential sweep (0 = off)")
 	maxInflight := flag.Int("max-inflight", 0, "device-bound requests served at once before shedding with busy (0 = unbounded)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof profiling on this address (empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		pl, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("minos-server: pprof listen: %v", err)
+		}
+		fmt.Printf("minos-server: pprof on http://%s/debug/pprof/\n", pl.Addr())
+		go func() {
+			if err := http.Serve(pl, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("minos-server: pprof: %v", err)
+			}
+		}()
+	}
 
 	srv, err := buildServer(*archivePath, *blocks, *fillers)
 	if err != nil {
@@ -91,6 +107,8 @@ func serve(l net.Listener, srv *server.Server, sig <-chan os.Signal, idle time.D
 	st := srv.Stats()
 	fmt.Printf("minos-server: served %d piece reads, %d bytes out; cache %d hits / %d misses; device waits %d (%v queued); %d read-ahead blocks; %d shed busy\n",
 		st.PieceReads, st.BytesOut, st.CacheHits, st.CacheMiss, st.DeviceWaits, time.Duration(st.DeviceWaitNanos), st.ReadAheadBlocks, st.Shed)
+	fmt.Printf("minos-server: encoded miniatures %d hits / %d misses; buffer pool %d fresh allocs / %d recycled\n",
+		st.EncodedHits, st.EncodedMiss, st.PoolAllocs, st.PoolRecycled)
 	return nil
 }
 

@@ -153,18 +153,9 @@ func encodeBitmap(w *writer, b *img.Bitmap) {
 	w.bool(true)
 	w.vint(b.W)
 	w.vint(b.H)
-	// Row-major run-free packing (8 px/byte) via ASCII-free raw export:
-	// reconstruct from pixels to stay independent of internal layout.
-	stride := (b.W + 7) / 8
-	raw := make([]byte, stride*b.H)
-	for y := 0; y < b.H; y++ {
-		for x := 0; x < b.W; x++ {
-			if b.Get(x, y) {
-				raw[y*stride+x/8] |= 1 << (x % 8)
-			}
-		}
-	}
-	w.bytes(raw)
+	// Row-major packing, 8 px/byte, bit x%8 of byte y*stride+x/8 — exactly
+	// Bitmap's own storage layout, so the packed pixels ship as-is.
+	w.bytes(b.Raw())
 }
 
 func decodeBitmap(r *reader) *img.Bitmap {
@@ -183,13 +174,7 @@ func decodeBitmap(r *reader) *img.Bitmap {
 		return nil
 	}
 	b := img.NewBitmap(wpx, hpx)
-	for y := 0; y < hpx; y++ {
-		for x := 0; x < wpx; x++ {
-			if raw[y*stride+x/8]&(1<<(x%8)) != 0 {
-				b.Set(x, y, true)
-			}
-		}
-	}
+	copy(b.Raw(), raw) // wire layout matches Bitmap storage byte-for-byte
 	return b
 }
 

@@ -1,0 +1,24 @@
+package image
+
+import (
+	"testing"
+
+	"minos/internal/pool"
+)
+
+// TestAllocRasterize guards the steady-state allocation count of the
+// rasterize hot path: with the pixel buffer recycled, each Rasterize should
+// cost only the Bitmap header itself.
+func TestAllocRasterize(t *testing.T) {
+	if pool.RaceEnabled {
+		t.Skip("sync.Pool drops entries under the race detector")
+	}
+	im := benchImage()
+	im.Rasterize().Release() // warm the pool
+	avg := testing.AllocsPerRun(50, func() {
+		im.Rasterize().Release()
+	})
+	if avg > 1 {
+		t.Fatalf("Rasterize allocates %.1f objects/run in steady state, want <= 1", avg)
+	}
+}

@@ -13,25 +13,28 @@ func benchImage() *Image {
 
 func BenchmarkRasterize(b *testing.B) {
 	im := benchImage()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		im.Rasterize()
+		im.Rasterize().Release()
 	}
 }
 
 func BenchmarkExtractView(b *testing.B) {
 	raster := benchImage().Rasterize()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		raster.Extract(Rect{X: 40, Y: 40, W: 128, H: 96})
+		raster.Extract(Rect{X: 40, Y: 40, W: 128, H: 96}).Release()
 	}
 }
 
 func BenchmarkDownscaleMiniature(b *testing.B) {
 	raster := benchImage().Rasterize()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		raster.Downscale(4)
+		raster.Downscale(4).Release()
 	}
 }
 

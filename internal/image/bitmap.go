@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"strings"
+
+	"minos/internal/pool"
 )
 
 // Bitmap is a 1-bit raster, matching the bitmapped displays of the paper's
@@ -22,14 +24,36 @@ type Bitmap struct {
 	bits   []byte
 }
 
-// NewBitmap allocates a cleared bitmap.
+// NewBitmap allocates a cleared bitmap. Pixel storage is drawn from the
+// process buffer pool; a caller that provably holds the last reference may
+// hand it back with Release, and a bitmap that is never released is simply
+// garbage collected.
 func NewBitmap(w, h int) *Bitmap {
 	if w < 0 || h < 0 {
 		panic(fmt.Sprintf("image: NewBitmap(%d, %d)", w, h))
 	}
 	stride := (w + 7) / 8
-	return &Bitmap{W: w, H: h, stride: stride, bits: make([]byte, stride*h)}
+	return &Bitmap{W: w, H: h, stride: stride, bits: pool.Bytes.GetZeroed(stride * h)}
 }
+
+// Release returns the pixel storage to the buffer pool and empties the
+// bitmap (0x0, so stray use afterwards reads false / writes nowhere rather
+// than scribbling on recycled memory). Only the last holder of the bitmap —
+// and of any slice obtained via Raw — may call it; releasing is optional.
+func (b *Bitmap) Release() {
+	if b == nil || b.bits == nil {
+		return
+	}
+	pool.Bytes.Put(b.bits)
+	b.bits = nil
+	b.W, b.H, b.stride = 0, 0, 0
+}
+
+// Raw exposes the packed pixel storage: rows of stride (W+7)/8 bytes, 8
+// pixels per byte, bit x%8 of byte y*stride+x/8. The slice is shared with
+// the bitmap — treat it as read-only unless you own the bitmap outright,
+// and do not retain it past Release.
+func (b *Bitmap) Raw() []byte { return b.bits }
 
 // ByteSize returns the storage footprint of the raster in bytes; the
 // view/miniature transfer experiments report this.

@@ -168,7 +168,9 @@ func (im *Image) RasterizeLabels() *Bitmap {
 
 // Miniature produces the representation image of im at reduction factor f.
 func (im *Image) Miniature(f int) *Image {
-	raster := im.Rasterize().Downscale(f)
+	full := im.Rasterize()
+	raster := full.Downscale(f) // always a fresh bitmap, even at f <= 1
+	full.Release()
 	mini := &Image{
 		Name:           im.Name + ".mini",
 		W:              raster.W,

@@ -1,0 +1,6 @@
+//go:build !race
+
+package pool
+
+// RaceEnabled reports whether the race detector is compiled in. See race.go.
+const RaceEnabled = false

@@ -1,0 +1,124 @@
+// Package pool provides size-classed, sync.Pool-backed slice pools for the
+// hot render/encode paths: bitmap pixel buffers (internal/image), PCM sample
+// buffers (internal/voice) and wire frame buffers (internal/wire).
+//
+// Ownership discipline (see DESIGN.md "Buffer pooling ownership rules"):
+// a buffer obtained from a pool has exactly one owner at a time. Putting a
+// buffer back transfers ownership to the pool — the caller must not retain
+// the slice or any sub-slice afterwards. Forgetting to Put is always safe
+// (the buffer is simply garbage collected); a double Put or a Put of a
+// still-referenced buffer is the one way to corrupt data, so only code that
+// provably holds the last reference may release.
+//
+// Get and Put are allocation-free in steady state: buffers are stored behind
+// recycled *[]T headers, so neither direction boxes a slice header into an
+// interface.
+package pool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Size classes are powers of two. Requests below the minimum are rounded up;
+// requests above the maximum bypass the pool entirely (plain make, drop on
+// Put) so a pathological frame cannot pin megabytes in every class.
+const (
+	minClassBits = 6  // 64 elements
+	maxClassBits = 22 // 4 Mi elements
+)
+
+// Counters aggregate across every pool in the process (bytes and samples
+// alike). They feed the PoolRecycled/PoolAllocs fields of server.Stats.
+var (
+	allocs   atomic.Int64 // Get calls that had to allocate fresh memory
+	recycles atomic.Int64 // Put calls that parked a buffer for reuse
+)
+
+// Counters returns the process-wide pool counters: buffers newly allocated
+// by Get and buffers parked for reuse by Put.
+func Counters() (newAllocs, recycled int64) {
+	return allocs.Load(), recycles.Load()
+}
+
+// ResetCounters zeroes the process-wide pool counters (pooled buffers are
+// kept). The server's ResetStats calls it alongside its own counters.
+func ResetCounters() {
+	allocs.Store(0)
+	recycles.Store(0)
+}
+
+// Slices is a size-classed pool of []T buffers. The zero value is ready to
+// use. All methods are safe for concurrent use.
+type Slices[T any] struct {
+	classes [maxClassBits + 1]sync.Pool // each stores *[]T with cap >= 1<<index
+	headers sync.Pool                   // recycled *[]T wrappers (nil slices)
+}
+
+// Bytes pools the process's []byte buffers: wire frames, response bodies and
+// bitmap pixel storage.
+var Bytes Slices[byte]
+
+// Samples pools []int16 PCM buffers for voice synthesis.
+var Samples Slices[int16]
+
+// classFor returns the class whose buffers satisfy a request for n
+// elements: the smallest power of two >= n (clamped to the minimum class).
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return minClassBits
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a buffer with len n. Its contents are arbitrary (recycled
+// memory is not cleared); callers needing zeroed memory clear it themselves
+// or use GetZeroed.
+func (p *Slices[T]) Get(n int) []T {
+	if n < 0 {
+		panic("pool: Get with negative length")
+	}
+	c := classFor(n)
+	if c > maxClassBits {
+		allocs.Add(1)
+		return make([]T, n)
+	}
+	if v := p.classes[c].Get(); v != nil {
+		h := v.(*[]T)
+		b := *h
+		*h = nil
+		p.headers.Put(h)
+		return b[:n]
+	}
+	allocs.Add(1)
+	return make([]T, n, 1<<c)
+}
+
+// GetZeroed is Get with the returned buffer cleared.
+func (p *Slices[T]) GetZeroed(n int) []T {
+	b := p.Get(n)
+	clear(b)
+	return b
+}
+
+// Put parks a buffer for reuse. The caller transfers ownership: the slice
+// (and every sub-slice of it) must not be touched afterwards. Buffers too
+// small or too large for the size classes are dropped, and any slice —
+// pooled origin or not — is accepted, so callers can release without
+// tracking where a buffer came from.
+func (p *Slices[T]) Put(b []T) {
+	c := bits.Len(uint(cap(b))) - 1 // largest class fully backed by cap(b)
+	if c < minClassBits || c > maxClassBits {
+		return
+	}
+	var h *[]T
+	if v := p.headers.Get(); v != nil {
+		h = v.(*[]T)
+	} else {
+		h = new([]T)
+	}
+	*h = b[:0]
+	p.classes[c].Put(h)
+	recycles.Add(1)
+}

@@ -1,0 +1,102 @@
+package pool
+
+import "testing"
+
+func TestGetLengthAndClassRounding(t *testing.T) {
+	var p Slices[byte]
+	cases := []struct{ n, wantCap int }{
+		{0, 64}, {1, 64}, {64, 64}, {65, 128}, {100, 128},
+		{1 << 12, 1 << 12}, {(1 << 12) + 1, 1 << 13},
+	}
+	for _, c := range cases {
+		b := p.Get(c.n)
+		if len(b) != c.n {
+			t.Fatalf("Get(%d): len = %d", c.n, len(b))
+		}
+		if cap(b) != c.wantCap {
+			t.Fatalf("Get(%d): cap = %d, want %d", c.n, cap(b), c.wantCap)
+		}
+		p.Put(b)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("sync.Pool drops entries under the race detector")
+	}
+	var p Slices[byte]
+	b := p.Get(100)
+	for i := range b {
+		b[i] = 0xAB
+	}
+	p.Put(b)
+	// Same class: must hand back the parked buffer, dirty contents and all.
+	got := p.Get(128)
+	if &got[0] != &b[0] {
+		t.Fatal("Get after Put did not reuse the parked buffer")
+	}
+	if got[0] != 0xAB {
+		t.Fatal("recycled buffer was unexpectedly cleared")
+	}
+}
+
+func TestGetZeroedClearsRecycledMemory(t *testing.T) {
+	var p Slices[byte]
+	b := p.Get(256)
+	for i := range b {
+		b[i] = 0xFF
+	}
+	p.Put(b)
+	z := p.GetZeroed(256)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetZeroed: byte %d = %#x", i, v)
+		}
+	}
+}
+
+func TestPutDropsOddAndOversizeCaps(t *testing.T) {
+	var p Slices[byte]
+	// cap 100 floors to class 64: a later Get(100) must NOT return it, since
+	// class 128 is where Get(100) looks and class 64 cannot hold 100 bytes.
+	small := make([]byte, 100)
+	p.Put(small)
+	if got := p.Get(64); len(got) != 64 {
+		t.Fatalf("Get(64) len = %d", len(got))
+	}
+	// Below the minimum class and above the maximum class: dropped silently.
+	p.Put(make([]byte, 8))
+	p.Put(make([]byte, 1<<23))
+	// Oversize Get bypasses the pool but still honours the length.
+	huge := p.Get((1 << 22) + 1)
+	if len(huge) != (1<<22)+1 {
+		t.Fatalf("oversize Get len = %d", len(huge))
+	}
+	p.Put(huge) // cap floors to class 22... only if cap is exact; either way no panic
+}
+
+func TestCounters(t *testing.T) {
+	ResetCounters()
+	var p Slices[int16]
+	b := p.Get(500) // fresh: allocs +1
+	p.Put(b)        // parked: recycles +1
+	na, rec := Counters()
+	if na < 1 || rec < 1 {
+		t.Fatalf("Counters() = %d, %d; want both >= 1", na, rec)
+	}
+	ResetCounters()
+	na, rec = Counters()
+	if na != 0 || rec != 0 {
+		t.Fatalf("after ResetCounters: %d, %d", na, rec)
+	}
+}
+
+func TestGetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(-1) did not panic")
+		}
+	}()
+	var p Slices[byte]
+	p.Get(-1)
+}

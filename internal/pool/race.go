@@ -1,0 +1,8 @@
+//go:build race
+
+package pool
+
+// RaceEnabled reports whether the race detector is compiled in. Under -race
+// the runtime deliberately drops sync.Pool entries to widen the schedule
+// space, so allocation-count guard tests must skip rather than fail.
+const RaceEnabled = true

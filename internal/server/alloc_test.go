@@ -1,0 +1,24 @@
+package server
+
+import (
+	"testing"
+
+	"minos/internal/pool"
+)
+
+// TestAllocBuildMiniature guards the miniature build path (rasterize +
+// labels overlay + downscale): with every intermediate bitmap released, a
+// steady-state run should cost only the handful of Bitmap headers.
+func TestAllocBuildMiniature(t *testing.T) {
+	if pool.RaceEnabled {
+		t.Skip("sync.Pool drops entries under the race detector")
+	}
+	o := benchImageObject(t, 1)
+	buildMiniature(o).Release() // warm the pool
+	avg := testing.AllocsPerRun(20, func() {
+		buildMiniature(o).Release()
+	})
+	if avg > 4 {
+		t.Fatalf("buildMiniature allocates %.1f objects/run in steady state, want <= 4", avg)
+	}
+}

@@ -3,8 +3,44 @@ package server
 import (
 	"testing"
 
+	"minos/internal/descriptor"
+	img "minos/internal/image"
 	"minos/internal/object"
 )
+
+// benchImageObject builds an image-bearing object comparable to the demo
+// corpus figures: a 320x240 drawing surface with a few dozen graphics.
+func benchImageObject(tb testing.TB, id object.ID) *object.Object {
+	tb.Helper()
+	im := img.New("map", 320, 240)
+	for i := 0; i < 40; i++ {
+		im.Add(img.Graphic{Shape: img.ShapeCircle,
+			Points: []img.Point{{X: (i * 37) % 320, Y: (i * 53) % 240}}, Radius: 6,
+			Label: img.Label{Kind: img.TextLabel, Text: "SITE", At: img.Point{X: 5, Y: 5}}})
+	}
+	o, err := object.NewBuilder(id, "bench-map", object.Visual).
+		Text(".title Bench\nthe bench map object.\n").Image(im).Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return o
+}
+
+// BenchmarkRasterizeEncode is the rasterize→encode hot path measured by the
+// E-ALLOC experiment: build an object's miniature (rasterize + downscale)
+// and wire-encode it, exactly what serving a cold miniature costs.
+func BenchmarkRasterizeEncode(b *testing.B) {
+	o := benchImageObject(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := buildMiniature(o)
+		if _, err := descriptor.EncodePart(descriptor.PartBitmap, m); err != nil {
+			b.Fatal(err)
+		}
+		m.Release() // transient here, as when Adopt replaces a miniature
+	}
+}
 
 func BenchmarkReadPieceWarm(b *testing.B) {
 	s := newServer(b, 2048)

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"minos/internal/descriptor"
+	"minos/internal/object"
+)
+
+// TestMiniatureEncodedCache covers the encoded-frame cache life cycle:
+// first request encodes and installs (a miss), repeats serve the cached
+// bytes (hits), and Adopt invalidates so the next request re-encodes.
+func TestMiniatureEncodedCache(t *testing.T) {
+	s := newServer(t, 4096)
+	o := imageObject(t, 1)
+	if _, err := s.Publish(o); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+
+	p1, mode, ok := s.MiniatureEncoded(1)
+	if !ok || len(p1) == 0 {
+		t.Fatalf("MiniatureEncoded(1) = ok %v, %d bytes", ok, len(p1))
+	}
+	if mode != object.Visual {
+		t.Fatalf("mode = %v", mode)
+	}
+	want, err := descriptor.EncodePart(descriptor.PartBitmap, s.Miniature(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p1, want) {
+		t.Fatal("cached payload differs from a direct encode")
+	}
+
+	p2, _, ok := s.MiniatureEncoded(1)
+	if !ok || &p2[0] != &p1[0] {
+		t.Fatal("second request did not serve the cached bytes")
+	}
+	if st := s.Stats(); st.EncodedMiss != 1 || st.EncodedHits != 1 {
+		t.Fatalf("after one miss + one hit: hits=%d miss=%d", st.EncodedHits, st.EncodedMiss)
+	}
+
+	// Adopt invalidates: the next request misses, re-encodes identically,
+	// and the old slice is still intact (dropped, never recycled).
+	s.Adopt(o)
+	p3, _, ok := s.MiniatureEncoded(1)
+	if !ok || !bytes.Equal(p3, want) {
+		t.Fatal("re-encoded payload after Adopt diverged")
+	}
+	if st := s.Stats(); st.EncodedMiss != 2 {
+		t.Fatalf("Adopt did not invalidate: miss=%d", st.EncodedMiss)
+	}
+	if !bytes.Equal(p1, want) {
+		t.Fatal("invalidation corrupted the previously returned payload")
+	}
+
+	// Unpublished object: not ok, nothing cached.
+	if _, _, ok := s.MiniatureEncoded(99); ok {
+		t.Fatal("MiniatureEncoded of unknown object reported ok")
+	}
+
+	// Adopt's buildMiniature released its intermediates, so the pool
+	// counters (allocs on a cold pool, recycles always) surface in stats.
+	st := s.Stats()
+	if st.PoolRecycled == 0 {
+		t.Fatalf("pool counters absent from stats: %+v", st)
+	}
+	s.ResetStats()
+	if st = s.Stats(); st.EncodedHits != 0 || st.EncodedMiss != 0 || st.PoolAllocs != 0 || st.PoolRecycled != 0 {
+		t.Fatalf("ResetStats left counters: %+v", st)
+	}
+}

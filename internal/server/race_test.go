@@ -151,6 +151,73 @@ func TestConcurrentReadsMatchSerial(t *testing.T) {
 	}
 }
 
+// TestConcurrentMiniatureEncodedChurn hammers the encoded-frame cache from
+// many readers while a writer re-adopts the same objects, invalidating the
+// cache on every pass. Re-adoption rebuilds a byte-identical miniature, so
+// every reader must see exactly the serial baseline bytes — a recycled or
+// half-installed buffer would diverge. Run under -race to prove the
+// encGen/encMu protocol.
+func TestConcurrentMiniatureEncodedChurn(t *testing.T) {
+	s := newServer(t, 4096)
+	objs := []*object.Object{
+		docObject(t, 1, "the lung shadow is visible here today.\n"),
+		imageObject(t, 3),
+	}
+	for _, o := range objs {
+		if _, err := s.Publish(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := map[object.ID][]byte{}
+	for _, o := range objs {
+		payload, _, ok := s.MiniatureEncoded(o.ID)
+		if !ok || len(payload) == 0 {
+			t.Fatalf("no encoded miniature for %d", o.ID)
+		}
+		base[o.ID] = append([]byte(nil), payload...)
+	}
+
+	const readers = 16
+	iters := raceIters(t, 200)
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+1)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				o := objs[(w+i)%len(objs)]
+				payload, _, ok := s.MiniatureEncoded(o.ID)
+				if !ok {
+					errc <- fmt.Errorf("reader %d: miniature of %d vanished", w, o.ID)
+					return
+				}
+				if !bytes.Equal(payload, base[o.ID]) {
+					errc <- fmt.Errorf("reader %d: encoded miniature of %d diverged from serial baseline", w, o.ID)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4+1; i++ {
+			s.Adopt(objs[i%len(objs)]) // invalidates the encoded cache
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.EncodedHits == 0 || st.EncodedMiss == 0 {
+		t.Fatalf("churn saw hits=%d miss=%d; want both nonzero", st.EncodedHits, st.EncodedMiss)
+	}
+}
+
 func bitmapsEqual(a, b *img.Bitmap) bool {
 	if a.W != b.W || a.H != b.H {
 		return false

@@ -24,6 +24,7 @@ import (
 	"minos/internal/index"
 	"minos/internal/layout"
 	"minos/internal/object"
+	"minos/internal/pool"
 	"minos/internal/voice"
 )
 
@@ -61,6 +62,17 @@ type Server struct {
 	// image single-flight onto one rasterization.
 	rasters map[string]*rasterJob
 
+	// encMinis is the encoded-frame cache: the wire-ready miniature reply
+	// bytes per object, so a warm miniature request skips rasterize and
+	// encode entirely. Guarded by encMu (never held together with mu);
+	// encGen is bumped on every Adopt so a slow encoder cannot install a
+	// stale entry over an invalidation.
+	encMu    sync.RWMutex
+	encMinis map[object.ID]encodedMini
+	encGen   atomic.Int64
+	encHits  atomic.Int64
+	encMiss  atomic.Int64
+
 	// readAhead is the number of sequentially-next blocks pulled into the
 	// cache after a cache-miss read (0 = disabled); raBusy keeps at most
 	// one read-ahead sweep in flight so misses cannot fan out a goroutine
@@ -80,6 +92,15 @@ type Server struct {
 	devWaits     atomic.Int64
 	devWaitNanos atomic.Int64
 	raBlocks     atomic.Int64
+}
+
+// encodedMini is one encoded-frame cache entry: the descriptor-encoded
+// miniature payload (a read-only shared slice — both wire protocol versions
+// carry this same payload encoding, so one entry serves v1 and v2) plus the
+// driving mode the reply framing needs.
+type encodedMini struct {
+	payload []byte
+	mode    object.Mode
 }
 
 // rasterJob is a single-flight slot for one (object, image) raster: the
@@ -197,6 +218,7 @@ func New(arch *archiver.Archiver, opts ...Option) *Server {
 		modes:    map[object.ID]object.Mode{},
 		previews: map[object.ID]*voice.Part{},
 		rasters:  map[string]*rasterJob{},
+		encMinis: map[object.ID]encodedMini{},
 	}
 	for _, o := range opts {
 		o(s)
@@ -229,7 +251,6 @@ func (s *Server) Publish(o *object.Object, shared ...archiver.SharedPart) (time.
 func (s *Server) Adopt(o *object.Object) {
 	mini := buildMiniature(o) // pure; keep it outside the lock
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.idx.AddObject(o)
 	s.minis[o.ID] = mini
 	s.modes[o.ID] = o.Mode
@@ -238,6 +259,14 @@ func (s *Server) Adopt(o *object.Object) {
 			s.previews[o.ID] = voicePreview(vp)
 		}
 	}
+	s.mu.Unlock()
+	// Invalidate the encoded-frame cache after the new miniature is
+	// visible; bumping encGen keeps a concurrent MiniatureEncoded from
+	// installing bytes encoded from the superseded miniature.
+	s.encMu.Lock()
+	s.encGen.Add(1)
+	delete(s.encMinis, o.ID)
+	s.encMu.Unlock()
 }
 
 // PreviewSeconds is the length of the voice preview attached to audio-mode
@@ -297,7 +326,8 @@ func buildMiniature(o *object.Object) *img.Bitmap {
 	if f < 1 {
 		f = 1
 	}
-	mini := full.Downscale(f)
+	mini := full.Downscale(f) // always a fresh bitmap, even at f <= 1
+	full.Release()
 	if o.Mode == object.Audio {
 		// Voice badge: small filled block top-right.
 		mini.Fill(img.Rect{X: mini.W - 5, Y: 0, W: 5, H: 5}, true)
@@ -543,7 +573,9 @@ func (s *Server) rasterize(id object.ID, name string) (*img.Bitmap, time.Duratio
 	}
 	im := v.(*img.Image)
 	raster := im.Rasterize()
-	raster.Or(im.RasterizeLabels(), 0, 0)
+	labels := im.RasterizeLabels()
+	raster.Or(labels, 0, 0)
+	labels.Release()
 	return raster, dur, nil
 }
 
@@ -577,6 +609,45 @@ func (s *Server) Miniature(id object.ID) *img.Bitmap {
 	return s.minis[id]
 }
 
+// MiniatureEncoded returns the wire-encoded miniature payload
+// (descriptor.EncodePart(PartBitmap, ...) bytes) and driving mode for id,
+// serving warm requests from the encoded-frame cache without touching the
+// raster or the encoder. The returned slice is shared with the cache and
+// must be treated as read-only; it stays valid across invalidation (the
+// cache drops its reference, it never recycles the bytes). ok is false when
+// the object has no miniature; mode is still reported if the object is
+// published.
+func (s *Server) MiniatureEncoded(id object.ID) ([]byte, object.Mode, bool) {
+	s.encMu.RLock()
+	e, hit := s.encMinis[id]
+	s.encMu.RUnlock()
+	if hit {
+		s.encHits.Add(1)
+		return e.payload, e.mode, true
+	}
+	s.encMiss.Add(1)
+	gen := s.encGen.Load()
+	s.mu.RLock()
+	mini := s.minis[id]
+	mode := s.modes[id]
+	s.mu.RUnlock()
+	if mini == nil {
+		return nil, mode, false
+	}
+	payload, err := descriptor.EncodePart(descriptor.PartBitmap, mini)
+	if err != nil {
+		return nil, mode, false
+	}
+	s.encMu.Lock()
+	// An Adopt since our snapshot may have replaced the miniature; its
+	// encGen bump makes this install a no-op so stale bytes never land.
+	if s.encGen.Load() == gen {
+		s.encMinis[id] = encodedMini{payload: payload, mode: mode}
+	}
+	s.encMu.Unlock()
+	return payload, mode, true
+}
+
 // Mode returns the published object's driving mode.
 func (s *Server) Mode(id object.ID) (object.Mode, bool) {
 	s.mu.RLock()
@@ -607,6 +678,16 @@ type Stats struct {
 	// Shed counts requests refused with ErrBusy by the bounded in-flight
 	// admission queue (load shedding under overload).
 	Shed int64
+	// EncodedHits / EncodedMiss report encoded-frame cache effectiveness:
+	// miniature requests answered from pre-encoded reply bytes versus
+	// requests that had to encode.
+	EncodedHits int64
+	EncodedMiss int64
+	// PoolAllocs / PoolRecycled are the process-wide buffer pool counters
+	// (fresh allocations by Get, buffers parked for reuse by Put). They
+	// span every pool in the process, not just this server's traffic.
+	PoolAllocs   int64
+	PoolRecycled int64
 }
 
 // Stats returns a consistent snapshot of the current counters; it is safe
@@ -620,7 +701,10 @@ func (s *Server) Stats() Stats {
 		DeviceWaitNanos: s.devWaitNanos.Load(),
 		ReadAheadBlocks: s.raBlocks.Load(),
 		Shed:            s.shed.Load(),
+		EncodedHits:     s.encHits.Load(),
+		EncodedMiss:     s.encMiss.Load(),
 	}
+	st.PoolAllocs, st.PoolRecycled = pool.Counters()
 	if s.cache != nil {
 		st.CacheHits, st.CacheMiss = s.cache.Counters()
 	}
@@ -635,6 +719,9 @@ func (s *Server) ResetStats() {
 	s.devWaitNanos.Store(0)
 	s.raBlocks.Store(0)
 	s.shed.Store(0)
+	s.encHits.Store(0)
+	s.encMiss.Store(0)
+	pool.ResetCounters()
 	if s.cache != nil {
 		s.cache.ResetCounters()
 	}

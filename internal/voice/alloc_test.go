@@ -1,0 +1,24 @@
+package voice
+
+import (
+	"testing"
+
+	"minos/internal/pool"
+)
+
+// TestAllocSynthesize guards the steady-state allocation count of voice
+// synthesis: with the sample buffer recycled, each run should cost only the
+// Part/Synthesis headers and the word-mark slice.
+func TestAllocSynthesize(t *testing.T) {
+	if pool.RaceEnabled {
+		t.Skip("sync.Pool drops entries under the race detector")
+	}
+	stream := benchStream(t)
+	Synthesize(stream, DefaultSpeaker(), 2000).Part.ReleaseSamples() // warm the pool
+	avg := testing.AllocsPerRun(20, func() {
+		Synthesize(stream, DefaultSpeaker(), 2000).Part.ReleaseSamples()
+	})
+	if avg > 4 {
+		t.Fatalf("Synthesize allocates %.1f objects/run in steady state, want <= 4", avg)
+	}
+}

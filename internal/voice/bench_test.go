@@ -7,7 +7,7 @@ import (
 	"minos/internal/text"
 )
 
-func benchStream(b *testing.B) []text.FlatWord {
+func benchStream(b testing.TB) []text.FlatWord {
 	b.Helper()
 	seg, err := text.Parse(speechDoc)
 	if err != nil {
@@ -18,9 +18,10 @@ func benchStream(b *testing.B) []text.FlatWord {
 
 func BenchmarkSynthesize(b *testing.B) {
 	stream := benchStream(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Synthesize(stream, DefaultSpeaker(), 2000)
+		Synthesize(stream, DefaultSpeaker(), 2000).Part.ReleaseSamples()
 	}
 }
 

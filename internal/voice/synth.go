@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"minos/internal/pool"
 	"minos/internal/text"
 )
 
@@ -95,13 +96,15 @@ func Synthesize(stream []text.FlatWord, sp Speaker, rate int) *Synthesis {
 	if rate <= 0 {
 		rate = SampleRate
 	}
-	part := &Part{Rate: rate}
-	syn := &Synthesis{Part: part}
 	rf := sp.rateFactor()
 	ps := sp.PauseScale
 	if ps <= 0 {
 		ps = 1
 	}
+	// One pooled sample buffer sized up front (jitter margin included), one
+	// exact Marks slab — instead of O(total samples) append growth.
+	part := &Part{Rate: rate, Samples: pool.Samples.Get(estimateSamples(stream, rf, ps, rate))[:0]}
+	syn := &Synthesis{Part: part, Marks: make([]WordMark, 0, len(stream))}
 	rng := jitterSource{state: sp.Seed*2654435761 + 0x9e3779b97f4a7c15}
 	var prevEnds rune
 	for i, fw := range stream {
@@ -130,6 +133,25 @@ func Synthesize(stream []text.FlatWord, sp Speaker, rate int) *Synthesis {
 		prevEnds = fw.EndsWith
 	}
 	return syn
+}
+
+// estimateSamples upper-bounds the sample count Synthesize will produce for
+// the stream: the jitter-free gap and word durations plus a margin covering
+// the ±15% jitter and the one-sample minimum per word. Over-estimating only
+// rounds the pooled buffer up a size class; under-estimating merely falls
+// back to append growth.
+func estimateSamples(stream []text.FlatWord, rf, ps float64, rate int) int {
+	var total time.Duration
+	var prevEnds rune
+	for i := range stream {
+		gap, _ := gapBefore(stream[i], i, prevEnds)
+		total += time.Duration(float64(gap) * rf * ps)
+		dur := refWordBase + time.Duration(len(stream[i].Word.Text))*refWordPerChar
+		total += time.Duration(float64(dur) * rf)
+		prevEnds = stream[i].EndsWith
+	}
+	n := int(int64(total) * int64(rate) / int64(time.Second))
+	return n + n/5 + len(stream) + 64
 }
 
 func gapBefore(fw text.FlatWord, i int, prevEnds rune) (time.Duration, GapKind) {

@@ -30,6 +30,7 @@ import (
 	"math"
 	"time"
 
+	"minos/internal/pool"
 	"minos/internal/text"
 )
 
@@ -52,6 +53,18 @@ type Part struct {
 	// Utterances are the output of (simulated) limited-vocabulary voice
 	// recognition, each anchored at a particular point of the voice part.
 	Utterances []Utterance
+}
+
+// ReleaseSamples returns the PCM buffer to the sample pool and empties the
+// part. Synthesize draws Samples from the pool, so transient parts (batch
+// experiments, alloc guards) can recycle them; parts published into a server
+// or session are shared and must never be released.
+func (p *Part) ReleaseSamples() {
+	if p == nil || p.Samples == nil {
+		return
+	}
+	pool.Samples.Put(p.Samples)
+	p.Samples = nil
 }
 
 // Duration returns the total play time of the part.

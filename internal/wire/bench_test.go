@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"minos/internal/object"
 )
 
 func BenchmarkLocalRoundTrip(b *testing.B) {
@@ -92,4 +94,24 @@ func BenchmarkServePieceReads8ClientsSerialized(b *testing.B) {
 
 func BenchmarkServePieceReads8ClientsParallel(b *testing.B) {
 	benchConcurrentPieceReads(b, false)
+}
+
+// BenchmarkMiniatureServeWarm measures the steady-state server handler path
+// for a batched miniature request: every published miniature already built,
+// every request identical — the shape of sequential browsing under load.
+func BenchmarkMiniatureServeWarm(b *testing.B) {
+	h := &Handler{Srv: testServer(b)}
+	req := encodeMiniaturesReq([]object.ID{1, 2, 3})
+	if resp := h.Handle(req); resp[0] != statusOK {
+		b.Fatalf("warmup response status %d", resp[0])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := h.Handle(req)
+		if resp[0] != statusOK {
+			b.Fatal("bad response")
+		}
+		recycleResponse(resp) // as the serve loops do after the write
+	}
 }

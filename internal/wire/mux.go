@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"minos/internal/pool"
 )
 
 // Protocol versions negotiated by the HELLO op. Version 1 is the original
@@ -304,20 +306,30 @@ func (m *MuxTransport) Start(req []byte) Pending {
 	if err != nil {
 		return errPending{err: err}
 	}
-	frame := make([]byte, 0, 4+len(req))
-	frame = appendU32(frame, id)
-	frame = append(frame, req...)
+	out := muxFrame(id, req)
 	m.writeMu.Lock()
 	if timeout > 0 {
 		m.conn.SetWriteDeadline(time.Now().Add(timeout))
 	}
-	werr := WriteFrame(m.conn, frame)
+	_, werr := m.conn.Write(out)
 	m.writeMu.Unlock()
+	pool.Bytes.Put(out)
 	if werr != nil {
 		m.d.cancel(id)
 		return errPending{err: werr}
 	}
 	return &muxPending{m: &muxPendingState{d: m.d, id: id, ch: ch}, timeout: timeout}
+}
+
+// muxFrame stages one v2 frame — [length u32][correlation id u32][msg] — in
+// an exactly-sized pooled buffer, so the whole frame goes out in a single
+// Write. The caller owns the result and recycles it after the write.
+func muxFrame(id uint32, msg []byte) []byte {
+	out := pool.Bytes.Get(8 + len(msg))
+	binary.BigEndian.PutUint32(out, uint32(4+len(msg)))
+	binary.BigEndian.PutUint32(out[4:], id)
+	copy(out[8:], msg)
+	return out
 }
 
 // legacyRoundTrip is the v1 lock-step exchange with deadlines.
@@ -389,13 +401,14 @@ func muxConn(conn net.Conn, h *Handler, opts ServeOpts, serialMu *sync.Mutex, lo
 		writeMu sync.Mutex
 		wg      sync.WaitGroup
 		sem     = make(chan struct{}, maxConnInFlight)
+		hdr     [4]byte // frame-header scratch (only the read loop touches it)
 	)
 	defer wg.Wait()
 	for {
 		if opts.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(opts.IdleTimeout))
 		}
-		frame, err := ReadFrame(conn)
+		frame, err := readFramePooled(conn, &hdr)
 		if err != nil {
 			if !isCleanClose(err) {
 				logf("wire: %s: read: %v", conn.RemoteAddr(), err)
@@ -407,12 +420,12 @@ func muxConn(conn net.Conn, h *Handler, opts ServeOpts, serialMu *sync.Mutex, lo
 			return
 		}
 		id := binary.BigEndian.Uint32(frame)
-		req := frame[4:]
 		sem <- struct{}{}
 		wg.Add(1)
-		go func(id uint32, req []byte) {
+		go func(id uint32, frame []byte) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			req := frame[4:]
 			var resp []byte
 			if opts.Serialize {
 				serialMu.Lock()
@@ -421,15 +434,16 @@ func muxConn(conn net.Conn, h *Handler, opts ServeOpts, serialMu *sync.Mutex, lo
 			} else {
 				resp = h.Handle(req)
 			}
-			out := make([]byte, 0, 4+len(resp))
-			out = appendU32(out, id)
-			out = append(out, resp...)
+			pool.Bytes.Put(frame) // Handle copies what it keeps
+			out := muxFrame(id, resp)
 			writeMu.Lock()
-			werr := WriteFrame(conn, out)
+			_, werr := conn.Write(out)
 			writeMu.Unlock()
+			pool.Bytes.Put(out)
+			recycleResponse(resp)
 			if werr != nil && !errors.Is(werr, net.ErrClosed) {
 				logf("wire: %s: write: %v", conn.RemoteAddr(), werr)
 			}
-		}(id, req)
+		}(id, frame)
 	}
 }

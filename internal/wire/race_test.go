@@ -155,6 +155,58 @@ func TestServeConcurrentConnections(t *testing.T) {
 	}
 }
 
+// TestConcurrentPooledResponses drives the handler's pooled-response path
+// from many goroutines at once: each builds a batched miniature response
+// from a pool buffer, and each goroutine byte-compares its response against
+// the serial baseline before recycling it. If the pool ever handed the same
+// buffer to two in-flight responses, or a recycle landed while the bytes
+// were still being read, the comparison (or -race) would catch it.
+func TestConcurrentPooledResponses(t *testing.T) {
+	h := &Handler{Srv: testServer(t)}
+	req := encodeMiniaturesReq([]object.ID{1, 2, 3})
+	first := h.Handle(req)
+	if first[0] != statusOK {
+		t.Fatalf("baseline response status %d", first[0])
+	}
+	base := append([]byte(nil), first...)
+	recycleResponse(first)
+
+	const workers = 16
+	iters := raceIters(t, 300)
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp := h.Handle(req)
+				if !bytes.Equal(resp, base) {
+					errc <- fmt.Errorf("worker %d: pooled response diverged from serial baseline", w)
+					return
+				}
+				res, err := decodeMiniatures([]object.ID{1, 2, 3}, resp[13:])
+				if err != nil {
+					errc <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				for _, r := range res {
+					if !r.OK || r.Mini == nil || r.Mini.PopCount() == 0 {
+						errc <- fmt.Errorf("worker %d: blank miniature in batch", w)
+						return
+					}
+				}
+				recycleResponse(resp)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
 // TestLocalTransportConcurrent drives one shared in-process transport from
 // many goroutines: the link accounting and the handler must both tolerate
 // it (the client stub itself is stateless).

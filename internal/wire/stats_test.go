@@ -12,6 +12,7 @@ func TestStatsTaggedRoundTrip(t *testing.T) {
 	want := server.Stats{
 		PieceReads: 1, BytesOut: 2, CacheHits: 3, CacheMiss: 4,
 		DeviceWaits: 5, DeviceWaitNanos: 6, ReadAheadBlocks: 7, Shed: 8,
+		EncodedHits: 9, EncodedMiss: 10, PoolAllocs: 11, PoolRecycled: 12,
 	}
 	payload := encodeStatsTagged(want)
 	if payload[0] != statsTagged {

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"minos/internal/pool"
 )
 
 // LocalTransport runs the protocol in-process against a Handler, modelling
@@ -297,11 +299,12 @@ func ServeWith(l net.Listener, h *Handler, opts ServeOpts) error {
 				connMu.Unlock()
 				conn.Close()
 			}()
+			var hdr [4]byte // per-connection frame-header scratch
 			for {
 				if opts.IdleTimeout > 0 {
 					conn.SetReadDeadline(time.Now().Add(opts.IdleTimeout))
 				}
-				req, err := ReadFrame(conn)
+				req, err := readFramePooled(conn, &hdr)
 				if err != nil {
 					if !isCleanClose(err) {
 						logf("wire: %s: read: %w", conn.RemoteAddr(), err)
@@ -316,7 +319,7 @@ func ServeWith(l net.Listener, h *Handler, opts ServeOpts) error {
 				} else {
 					resp = h.Handle(req)
 				}
-				if err := WriteFrame(conn, resp); err != nil {
+				if err := writeFramePooled(conn, resp); err != nil {
 					if !errors.Is(err, net.ErrClosed) {
 						logf("wire: %s: write: %w", conn.RemoteAddr(), err)
 					}
@@ -325,11 +328,19 @@ func ServeWith(l net.Listener, h *Handler, opts ServeOpts) error {
 				// A HELLO negotiating v2 or higher upgrades this
 				// connection to multiplexed framing; the acknowledgement
 				// just written was the last lock-step frame.
-				if len(req) == 5 && req[0] == OpHello && resp[0] == statusOK {
-					if v, err := parseHelloResponse(resp); err == nil && v >= ProtocolV2 {
-						muxConn(conn, h, opts, &serialMu, logf)
-						return
+				upgrade := len(req) == 5 && req[0] == OpHello && resp[0] == statusOK
+				if upgrade {
+					if v, err := parseHelloResponse(resp); err != nil || v < ProtocolV2 {
+						upgrade = false
 					}
+				}
+				// The loop is the last holder of both frames: the response
+				// is written out, the request parsed and copied from.
+				pool.Bytes.Put(req)
+				recycleResponse(resp)
+				if upgrade {
+					muxConn(conn, h, opts, &serialMu, logf)
+					return
 				}
 			}
 		}(conn)

@@ -25,6 +25,7 @@ import (
 	"minos/internal/descriptor"
 	img "minos/internal/image"
 	"minos/internal/object"
+	"minos/internal/pool"
 	"minos/internal/server"
 	"minos/internal/voice"
 )
@@ -54,6 +55,13 @@ const (
 // larger batches are rejected rather than letting a client drive an
 // arbitrarily large response.
 const MaxMiniatureBatch = 1024
+
+// miniEntryHint over-estimates one OpMiniatures response entry: present +
+// mode + length prefix, plus the encoded bitmap of a miniature (both
+// dimensions are bounded by server.MiniatureSize) with header slack. The
+// hint keeps the batched response inside its initial pooled buffer, so the
+// warm path never reallocates.
+const miniEntryHint = 6 + 16 + (server.MiniatureSize/8+1)*(server.MiniatureSize+1)
 
 // Response status codes. statusBusy distinguishes load shedding (the server
 // refused to queue the request; retry after backoff) from application errors
@@ -219,8 +227,7 @@ func (h *Handler) Handle(req []byte) []byte {
 			}
 			terms = append(terms, s)
 		}
-		ids := h.Srv.Query(terms...)
-		return okResp(0, encodeIDs(ids))
+		return idsResp(h.Srv.Query(terms...))
 	case OpDescriptor:
 		id, err := c.u64()
 		if err != nil {
@@ -250,13 +257,9 @@ func (h *Handler) Handle(req []byte) []byte {
 		if err != nil {
 			return errResp(err)
 		}
-		m := h.Srv.Miniature(object.ID(id))
-		if m == nil {
+		payload, _, ok := h.Srv.MiniatureEncoded(object.ID(id))
+		if !ok {
 			return errResp(fmt.Errorf("wire: no miniature for object %d", id))
-		}
-		payload, err := descriptor.EncodePart(descriptor.PartBitmap, m)
-		if err != nil {
-			return errResp(err)
 		}
 		return okResp(0, payload)
 	case OpMiniatures:
@@ -267,29 +270,29 @@ func (h *Handler) Handle(req []byte) []byte {
 		if n > MaxMiniatureBatch {
 			return errResp(fmt.Errorf("wire: miniature batch of %d exceeds %d", n, MaxMiniatureBatch))
 		}
-		out := appendU32(nil, n)
+		// The hot path of sequential browsing: every entry comes from the
+		// encoded-frame cache and lands in one pooled, hint-sized response
+		// buffer — steady state performs no heap allocation at all.
+		out := newResp(4 + int(n)*miniEntryHint)
+		out = appendU32(out, n)
 		for i := uint32(0); i < n; i++ {
 			id, err := c.u64()
 			if err != nil {
+				recycleResponse(out)
 				return errResp(err)
 			}
-			mode, _ := h.Srv.Mode(object.ID(id))
-			m := h.Srv.Miniature(object.ID(id))
-			if m == nil {
+			payload, mode, ok := h.Srv.MiniatureEncoded(object.ID(id))
+			if !ok {
 				// Absent entries are in-band (present=0): one missing
 				// miniature must not fail the whole batch.
 				out = append(out, 0, byte(mode))
 				continue
 			}
-			payload, err := descriptor.EncodePart(descriptor.PartBitmap, m)
-			if err != nil {
-				return errResp(err)
-			}
 			out = append(out, 1, byte(mode))
 			out = appendU32(out, uint32(len(payload)))
 			out = append(out, payload...)
 		}
-		return okResp(0, out)
+		return finishResp(out, statusOK, 0)
 	case OpHello:
 		v, err := c.u32()
 		if err != nil {
@@ -325,6 +328,7 @@ func (h *Handler) Handle(req []byte) []byte {
 			return errResp(err)
 		}
 		payload, err := descriptor.EncodePart(descriptor.PartBitmap, bm)
+		bm.Release() // the extract is per-request; the encoding is a copy
 		if err != nil {
 			return errResp(err)
 		}
@@ -344,7 +348,7 @@ func (h *Handler) Handle(req []byte) []byte {
 		}
 		return okResp(0, payload)
 	case OpList:
-		return okResp(0, encodeIDs(h.Srv.IDs()))
+		return idsResp(h.Srv.IDs())
 	case OpStats:
 		return okResp(0, encodeStatsTagged(h.Srv.Stats()))
 	case OpMode:
@@ -386,6 +390,10 @@ const (
 	statsTagDeviceWaitNanos = 6
 	statsTagReadAheadBlocks = 7
 	statsTagShed            = 8
+	statsTagEncodedHits     = 9
+	statsTagEncodedMiss     = 10
+	statsTagPoolAllocs      = 11
+	statsTagPoolRecycled    = 12
 )
 
 func encodeStatsTagged(st server.Stats) []byte {
@@ -403,6 +411,10 @@ func encodeStatsTagged(st server.Stats) []byte {
 	// Deliberately out of historical order: tagged decoding must not care.
 	field(statsTagShed, st.Shed)
 	field(statsTagReadAheadBlocks, st.ReadAheadBlocks)
+	field(statsTagEncodedHits, st.EncodedHits)
+	field(statsTagEncodedMiss, st.EncodedMiss)
+	field(statsTagPoolAllocs, st.PoolAllocs)
+	field(statsTagPoolRecycled, st.PoolRecycled)
 	return out
 }
 
@@ -435,6 +447,14 @@ func decodeStatsTagged(payload []byte) (server.Stats, error) {
 			st.ReadAheadBlocks = int64(v)
 		case statsTagShed:
 			st.Shed = int64(v)
+		case statsTagEncodedHits:
+			st.EncodedHits = int64(v)
+		case statsTagEncodedMiss:
+			st.EncodedMiss = int64(v)
+		case statsTagPoolAllocs:
+			st.PoolAllocs = int64(v)
+		case statsTagPoolRecycled:
+			st.PoolRecycled = int64(v)
 		default:
 			// Unknown tag from a newer server: skip it.
 		}
@@ -477,11 +497,51 @@ func encodeIDs(ids []object.ID) []byte {
 	return out
 }
 
+// idsResp builds an OK response carrying an id list directly in a pooled
+// buffer sized exactly, skipping the intermediate payload slice.
+func idsResp(ids []object.ID) []byte {
+	out := newResp(4 + 8*len(ids))
+	out = appendU32(out, uint32(len(ids)))
+	for _, id := range ids {
+		out = appendU64(out, uint64(id))
+	}
+	return finishResp(out, statusOK, 0)
+}
+
+// Responses are built in pooled buffers: newResp reserves the fixed header,
+// the handler appends the payload, finishResp patches the header in place.
+//
+// Ownership rule: Handle's return value may be pool-backed. The TCP serve
+// loops (v1 loop, v2 muxConn) recycle it after the frame is written;
+// LocalTransport hands it to the in-process client, which retains payload
+// sub-slices, so it must never recycle. Anything that is not provably the
+// last holder just lets the GC have it.
+const respHeader = 13 // [status u8][device time u64][payload length u32]
+
+// newResp returns a pooled response buffer with room for sizeHint payload
+// bytes and the header bytes reserved (an over-estimate merely rounds up a
+// size class; an under-estimate falls back to append growth).
+func newResp(sizeHint int) []byte {
+	return pool.Bytes.Get(respHeader + sizeHint)[:respHeader]
+}
+
+// finishResp fills in the reserved header of a newResp buffer.
+func finishResp(out []byte, status byte, dur time.Duration) []byte {
+	out[0] = status
+	binary.BigEndian.PutUint64(out[1:9], uint64(dur))
+	binary.BigEndian.PutUint32(out[9:13], uint32(len(out)-respHeader))
+	return out
+}
+
+// recycleResponse hands a Handle response back to the buffer pool. Only the
+// last holder — a serve loop that has finished writing the frame and kept no
+// sub-slice — may call it; calling it is always optional.
+func recycleResponse(resp []byte) { pool.Bytes.Put(resp) }
+
 func okResp(dur time.Duration, payload []byte) []byte {
-	out := []byte{statusOK}
-	out = appendU64(out, uint64(dur))
-	out = appendU32(out, uint32(len(payload)))
-	return append(out, payload...)
+	out := newResp(len(payload))
+	out = append(out, payload...)
+	return finishResp(out, statusOK, dur)
 }
 
 func errResp(err error) []byte {
@@ -490,10 +550,9 @@ func errResp(err error) []byte {
 		status = statusBusy
 	}
 	msg := err.Error()
-	out := []byte{status}
-	out = appendU64(out, 0)
-	out = appendU32(out, uint32(len(msg)))
-	return append(out, msg...)
+	out := newResp(len(msg))
+	out = append(out, msg...)
+	return finishResp(out, status, 0)
 }
 
 // Client is the workstation-side stub. Every call runs under a retry loop:
@@ -1016,4 +1075,35 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	return msg, nil
+}
+
+// readFramePooled is ReadFrame with the message read into a pooled buffer
+// scratched through hdr (a per-connection [4]byte so the header read does
+// not allocate). The caller owns the frame and recycles it when done.
+func readFramePooled(r io.Reader, hdr *[4]byte) ([]byte, error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 64<<20 {
+		return nil, fmt.Errorf("wire: oversized frame %d", n)
+	}
+	msg := pool.Bytes.Get(int(n))
+	if _, err := io.ReadFull(r, msg); err != nil {
+		pool.Bytes.Put(msg)
+		return nil, err
+	}
+	return msg, nil
+}
+
+// writeFramePooled writes msg as one length-prefixed frame with a single
+// Write call, staging header and body in a pooled buffer (WriteFrame's two
+// writes cost a syscall each on a TCP conn).
+func writeFramePooled(w io.Writer, msg []byte) error {
+	out := pool.Bytes.Get(4 + len(msg))
+	binary.BigEndian.PutUint32(out, uint32(len(msg)))
+	copy(out[4:], msg)
+	_, err := w.Write(out)
+	pool.Bytes.Put(out)
+	return err
 }

@@ -277,6 +277,11 @@ func (p *prefetcher) ensure(ctx context.Context, ids []object.ID, i int) (*img.B
 			p.cache.put(&miniEntry{id: res[k].ID, mini: res[k].Mini, mode: res[k].Mode, gen: gen})
 		} else if !fresh {
 			p.stats.Dropped++
+			// A superseded result never reached the cache or any caller —
+			// except the cursor's own entry, which is still returned below.
+			if res[k].OK && res[k].ID != id {
+				res[k].Mini.Release()
+			}
 		}
 	}
 	var chunks [][]object.ID
@@ -379,6 +384,16 @@ func (p *prefetcher) launch(chunks [][]object.ID, gen uint64) {
 					}
 				} else {
 					p.stats.Dropped += int64(len(res))
+					// Generation-dropped miniatures were never exposed:
+					// this goroutine is their only holder, so their pixel
+					// buffers go straight back to the pool. (LRU evictions,
+					// by contrast, may still be referenced by a session and
+					// are left to the GC.)
+					for k := range res {
+						if res[k].OK {
+							res[k].Mini.Release()
+						}
+					}
 				}
 			}
 			p.mu.Unlock()
