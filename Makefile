@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_6.json
 
-.PHONY: all build test race bench bench-smoke bench-json bench-json-smoke alloc-guard fault-matrix fmt vet check
+.PHONY: all build test race bench bench-smoke bench-json bench-json-smoke alloc-guard fault-matrix load-smoke fmt vet check
 
 all: build
 
@@ -13,7 +13,7 @@ test:
 
 # Short-mode race pass over the packages with concurrency stress tests.
 race:
-	$(GO) test -race -short ./internal/server ./internal/wire ./internal/workstation ./internal/faults
+	$(GO) test -race -short ./internal/server ./internal/wire ./internal/workstation ./internal/faults ./internal/sched ./internal/vclock
 
 # Resilience suite: fault injection, v1/v2 interop under faults, session
 # resync/degraded serving, and the E-FAULT experiment.
@@ -30,10 +30,16 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'EPipe|Mux|Prefetch' -benchtime=1x . ./internal/wire ./internal/workstation
 
-# Benchmark-regression report: run the E-ALLOC hot-path benchmarks and
-# write ns/op, B/op and allocs/op to $(BENCH_OUT) (committed per PR).
+# Benchmark-regression report: run the E-ALLOC hot-path benchmarks plus
+# the E-LOAD mass-session run and write the combined report to
+# $(BENCH_OUT) (committed per PR).
 bench-json:
-	$(GO) run ./cmd/minos-bench -out $(BENCH_OUT)
+	$(GO) run ./cmd/minos-bench -load -out $(BENCH_OUT)
+
+# E-LOAD smoke: ~100 sessions x 200 steps through the load harness with a
+# p99 latency bound. Cheap enough to gate every `make check`.
+load-smoke:
+	$(GO) test -run 'ELoadSmoke' -count=1 .
 
 # One-iteration harness smoke: proves minos-bench still runs and parses
 # without overwriting the committed report.
@@ -52,4 +58,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test race fault-matrix bench-smoke alloc-guard bench-json-smoke
+check: fmt vet build test race fault-matrix bench-smoke alloc-guard bench-json-smoke load-smoke

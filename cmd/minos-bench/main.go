@@ -8,11 +8,17 @@
 //
 // Usage:
 //
-//	minos-bench [-out file] [-bench regex] [-benchtime d] [-count n] [pkg ...]
+//	minos-bench [-out file] [-bench regex] [-benchtime d] [-count n]
+//	            [-load] [-load-sessions n] [-load-duration d] [pkg ...]
 //
 // With -out - the report goes to stdout. The default package set covers the
 // rasterize→encode, miniature-serve, synthesis and wire paths measured by
 // the E-ALLOC experiment.
+//
+// With -load the report additionally carries the E-LOAD mass-session run:
+// the internal/loadgen harness drives the configured fleet in-process
+// against a fresh corpus and the measured latency percentiles, shed rate,
+// fairness ratio and device-wait histogram are embedded under "load".
 package main
 
 import (
@@ -24,6 +30,9 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"time"
+
+	"minos/internal/loadgen"
 )
 
 // defaultPackages are the hot-path packages the E-ALLOC experiment tracks.
@@ -44,19 +53,48 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// LoadReport is the embedded E-LOAD result: one mass-session run of the
+// internal/loadgen harness. Latencies are reported in milliseconds so the
+// committed JSON diffs readably.
+type LoadReport struct {
+	Sessions      int     `json:"sessions"`
+	DurationMs    float64 `json:"duration_ms"`
+	MaxInFlight   int     `json:"max_in_flight"`
+	Seed          uint64  `json:"seed"`
+	Steps         int64   `json:"steps"`
+	Offered       int64   `json:"offered"`
+	Sheds         int64   `json:"sheds"`
+	Degraded      int64   `json:"degraded"`
+	ShedRate      float64 `json:"shed_rate"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	FairnessRatio float64 `json:"fairness_ratio"`
+	MinSteps      int64   `json:"min_steps"`
+	MaxSteps      int64   `json:"max_steps"`
+	DevWaits      []int64 `json:"dev_waits"`
+}
+
 // Report is the written JSON document.
 type Report struct {
-	GoVersion string   `json:"go_version"`
-	Bench     string   `json:"bench"`
-	BenchTime string   `json:"benchtime"`
-	Results   []Result `json:"results"`
+	GoVersion string      `json:"go_version"`
+	Bench     string      `json:"bench"`
+	BenchTime string      `json:"benchtime"`
+	Results   []Result    `json:"results"`
+	Load      *LoadReport `json:"load,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "report file (- = stdout)")
+	out := flag.String("out", "BENCH_6.json", "report file (- = stdout)")
 	bench := flag.String("bench", "Rasterize|Miniature|Synthesize|MuxBatched|LocalRoundTrip", "benchmark regex passed to go test")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (empty = default)")
 	count := flag.Int("count", 1, "go test -count value")
+	load := flag.Bool("load", false, "run the E-LOAD mass-session harness and embed its result")
+	loadSessions := flag.Int("load-sessions", 10_000, "E-LOAD fleet size")
+	loadDuration := flag.Duration("load-duration", 30*time.Second, "E-LOAD virtual duration")
+	loadMaxInFlight := flag.Int("load-maxinflight", 64, "E-LOAD server admission bound")
+	loadSeed := flag.Uint64("load-seed", 1986, "E-LOAD run seed")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
@@ -64,6 +102,16 @@ func main() {
 	}
 
 	rep := Report{GoVersion: goVersion(), Bench: *bench, BenchTime: *benchtime}
+	if *load {
+		lr, err := runLoad(*loadSessions, *loadDuration, *loadMaxInFlight, *loadSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minos-bench: load: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Load = lr
+		fmt.Fprintf(os.Stderr, "minos-bench: E-LOAD %d sessions: steps=%d shed=%.1f%% p99=%.2fms fairness=%.2f\n",
+			lr.Sessions, lr.Steps, 100*lr.ShedRate, lr.P99Ms, lr.FairnessRatio)
+	}
 	for _, pkg := range pkgs {
 		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
 			"-count", strconv.Itoa(*count)}
@@ -143,6 +191,45 @@ func parseBench(pkg, out string) ([]Result, error) {
 		res = append(res, r)
 	}
 	return res, nil
+}
+
+// runLoad builds the standard E-LOAD corpus and drives one mass-session
+// run in-process (the harness is deterministic: same flags, same report).
+func runLoad(sessions int, duration time.Duration, maxInFlight int, seed uint64) (*LoadReport, error) {
+	srv, err := loadgen.BuildCorpus(1<<15, 60, 12)
+	if err != nil {
+		return nil, err
+	}
+	res, err := loadgen.Run(srv, loadgen.Config{
+		Sessions:    sessions,
+		Duration:    duration,
+		Seed:        seed,
+		MaxInFlight: maxInFlight,
+		HotSessions: sessions / 100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return &LoadReport{
+		Sessions:      res.Sessions,
+		DurationMs:    ms(duration),
+		MaxInFlight:   maxInFlight,
+		Seed:          seed,
+		Steps:         res.Steps,
+		Offered:       res.Offered,
+		Sheds:         res.Sheds,
+		Degraded:      res.Degraded,
+		ShedRate:      res.ShedRate,
+		P50Ms:         ms(res.P50),
+		P95Ms:         ms(res.P95),
+		P99Ms:         ms(res.P99),
+		MaxMs:         ms(res.MaxLat),
+		FairnessRatio: res.FairnessRatio,
+		MinSteps:      res.MinSteps,
+		MaxSteps:      res.MaxSteps,
+		DevWaits:      res.DevWaits,
+	}, nil
 }
 
 func goVersion() string {

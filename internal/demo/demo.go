@@ -71,19 +71,25 @@ func Build(blocks, fillers int) (*Corpus, error) {
 	c := &Corpus{Server: srv, FigureIDs: map[string]object.ID{}}
 
 	parent, university, hospitals := figures.Fig78Objects()
-	for label, o := range map[string]*object.Object{
-		"fig12":     figures.Fig12Object(),
-		"fig34":     figures.Fig34Object(),
-		"fig56":     figures.Fig56Object(),
-		"fig78":     parent,
-		"fig78-uni": university,
-		"fig78-hos": hospitals,
-		"fig910":    figures.Fig910Object(),
+	// Publish in a fixed order: map iteration order would vary the archive
+	// layout from build to build, and the load harness's determinism
+	// guarantee covers the corpus too.
+	for _, fig := range []struct {
+		label string
+		o     *object.Object
+	}{
+		{"fig12", figures.Fig12Object()},
+		{"fig34", figures.Fig34Object()},
+		{"fig56", figures.Fig56Object()},
+		{"fig78", parent},
+		{"fig78-uni", university},
+		{"fig78-hos", hospitals},
+		{"fig910", figures.Fig910Object()},
 	} {
-		if _, err := srv.Publish(o); err != nil {
-			return nil, fmt.Errorf("demo: publish %s: %w", label, err)
+		if _, err := srv.Publish(fig.o); err != nil {
+			return nil, fmt.Errorf("demo: publish %s: %w", fig.label, err)
 		}
-		c.FigureIDs[label] = o.ID
+		c.FigureIDs[fig.label] = fig.o.ID
 	}
 
 	big, err := BigMapObject(900, 640, 480, 60)

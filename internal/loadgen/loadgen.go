@@ -1,0 +1,554 @@
+// Package loadgen is the deterministic mass-session load harness: it
+// drives thousands of concurrent simulated browse sessions against a real
+// *server.Server on a virtual clock, so the §5 concern — "queueing delays
+// that may be experienced when several users try to access data from the
+// same device" — is measurable at population scale, repeatably.
+//
+// The harness is symmetric with the real serving path: sessions call the
+// server's actual admission gate (AdmitAs) and actual read path
+// (ReadPieceAs, DescriptorAs), so cache behaviour, shed decisions and
+// device service times are the production code's, not a model of it. Only
+// the *waiting* is simulated: device service runs through an event-driven
+// station built on the same sched.FairQueue the real seek semaphore uses,
+// and link transfer/think time elapse on the vclock. Everything runs on
+// one goroutine inside Clock.Run, so a given (corpus, Config) pair yields
+// a bit-identical Result every run.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"minos/internal/object"
+	"minos/internal/sched"
+	"minos/internal/server"
+	"minos/internal/vclock"
+)
+
+// LinkModel is the simulated workstation↔server link and per-request CPU
+// cost. The defaults match the wire layer's EthernetLink (10 Mbit/s, 2 ms
+// propagation).
+type LinkModel struct {
+	Latency   time.Duration
+	Bandwidth int64 // bytes per second (0 = infinite)
+	// StepCPU is the modelled server CPU cost of serving one cache-hit
+	// item (query evaluation, miniature encode, piece memcpy).
+	StepCPU time.Duration
+}
+
+// DefaultLink returns the paper-era Ethernet link model.
+func DefaultLink() LinkModel {
+	return LinkModel{Latency: 2 * time.Millisecond, Bandwidth: 10_000_000 / 8, StepCPU: 50 * time.Microsecond}
+}
+
+func (l LinkModel) byteCost(n int) time.Duration {
+	if l.Bandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(int64(n) * int64(time.Second) / l.Bandwidth)
+}
+
+// transfer is the link cost of one request/response exchange moving n
+// payload bytes.
+func (l LinkModel) transfer(n int) time.Duration {
+	return 2*l.Latency + l.byteCost(n)
+}
+
+// Config parameterizes one harness run.
+type Config struct {
+	// Sessions is the number of concurrent simulated sessions.
+	Sessions int
+	// StepsEach, when positive, ends each session after that many
+	// completed steps (closed run; used by the smoke gate).
+	StepsEach int
+	// Duration, when positive, stops sessions from starting new steps at
+	// this virtual time (open run; used for throughput and fairness,
+	// where per-session completed steps are the signal).
+	Duration time.Duration
+	// Seed drives every random choice in the run.
+	Seed uint64
+	// Scenarios are assigned to sessions round-robin; nil means
+	// DefaultScenarios (office, medical, city guide).
+	Scenarios []Scenario
+	// Heads is the device-station concurrency (default 1: the paper's
+	// single optical head).
+	Heads int
+	// MaxInFlight is the server admission bound (0 = unbounded).
+	MaxInFlight int
+	// HotSessions marks the first n sessions as hot: zero think time, a
+	// session pounding the server as fast as responses return. Used to
+	// show a hot session cannot starve the fleet.
+	HotSessions int
+	// Link overrides the link model (zero value = DefaultLink).
+	Link LinkModel
+}
+
+// WaitBounds are the device-wait histogram bucket upper bounds. Bucket 0
+// counts dispatches that never waited; bucket i counts waits at most
+// WaitBounds[i-1]; the final bucket counts everything beyond.
+var WaitBounds = []time.Duration{
+	time.Millisecond, 4 * time.Millisecond, 16 * time.Millisecond,
+	64 * time.Millisecond, 256 * time.Millisecond, time.Second, 4 * time.Second,
+}
+
+// Result is the measured outcome of one run. Identical (corpus, Config)
+// inputs produce identical Results.
+type Result struct {
+	Sessions    int
+	Steps       int64 // completed steps across all sessions
+	Offered     int64 // device-bound admission attempts
+	Sheds       int64 // attempts refused by the admission gate
+	Degraded    int64 // device steps abandoned after the retry budget
+	ShedRate    float64
+	P50, P95    time.Duration
+	P99, MaxLat time.Duration
+	// FairnessRatio is max/min completed steps per session within the
+	// least-fair scenario class (hot sessions are their own class). A
+	// starved session (0 steps) makes the ratio equal to the class
+	// maximum.
+	FairnessRatio      float64
+	MinSteps, MaxSteps int64
+	// DevWaits is the device-wait histogram (see WaitBounds).
+	DevWaits    []int64
+	VirtualTime time.Duration
+}
+
+// Run drives cfg.Sessions sessions against srv and reports the measured
+// result. The server should be freshly built (cache state is part of the
+// experiment); read-ahead must be disabled on it, as the harness is
+// single-threaded and background sweeps would race the virtual clock.
+func Run(srv *server.Server, cfg Config) (Result, error) {
+	if cfg.Sessions <= 0 {
+		return Result{}, fmt.Errorf("loadgen: Sessions must be positive")
+	}
+	if cfg.StepsEach <= 0 && cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("loadgen: one of StepsEach or Duration must be set")
+	}
+	cat, err := scanCatalog(srv)
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.Heads <= 0 {
+		cfg.Heads = 1
+	}
+	if cfg.Link == (LinkModel{}) {
+		cfg.Link = DefaultLink()
+	}
+	scen := cfg.Scenarios
+	if len(scen) == 0 {
+		scen = DefaultScenarios()
+	}
+	srv.SetMaxInFlight(cfg.MaxInFlight)
+
+	h := &harness{
+		clock: vclock.New(),
+		srv:   srv,
+		cat:   cat,
+		cfg:   cfg,
+		waits: make([]int64, len(WaitBounds)+2),
+	}
+	h.station = &station{h: h, heads: cfg.Heads}
+	h.sessions = make([]*session, cfg.Sessions)
+	for i := range h.sessions {
+		s := &session{
+			h:      h,
+			id:     i,
+			tenant: uint64(i) + 1,
+			scIdx:  i % len(scen),
+			sc:     scen[i%len(scen)],
+			hot:    i < cfg.HotSessions,
+			rng:    (cfg.Seed+1)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9 + 1,
+		}
+		h.sessions[i] = s
+		// Stagger starts across one think window so the fleet does not
+		// arrive as a single synchronized burst.
+		window := s.sc.Think + s.sc.ThinkJitter
+		if s.hot || window <= 0 {
+			window = time.Millisecond
+		}
+		h.clock.AfterFunc(time.Duration(s.rand(uint64(window))), s.beginStep)
+	}
+	h.clock.Run(0)
+	return h.result(), nil
+}
+
+// harness is the shared run state. Everything below runs on the single
+// goroutine inside Clock.Run; no locking is needed or wanted — event order
+// is the only ordering.
+type harness struct {
+	clock     *vclock.Clock
+	srv       *server.Server
+	cat       catalog
+	cfg       Config
+	station   *station
+	sessions  []*session
+	latencies []time.Duration
+	steps     int64
+	offered   int64
+	sheds     int64
+	degraded  int64
+	waits     []int64
+}
+
+func (h *harness) recordWait(w time.Duration) {
+	if w <= 0 {
+		h.waits[0]++
+		return
+	}
+	for i, b := range WaitBounds {
+		if w <= b {
+			h.waits[i+1]++
+			return
+		}
+	}
+	h.waits[len(h.waits)-1]++
+}
+
+func (h *harness) result() Result {
+	r := Result{
+		Sessions:    h.cfg.Sessions,
+		Steps:       h.steps,
+		Offered:     h.offered,
+		Sheds:       h.sheds,
+		Degraded:    h.degraded,
+		DevWaits:    h.waits,
+		VirtualTime: h.clock.Now(),
+	}
+	if h.offered > 0 {
+		r.ShedRate = float64(h.sheds) / float64(h.offered)
+	}
+	if len(h.latencies) > 0 {
+		sorted := make([]time.Duration, len(h.latencies))
+		copy(sorted, h.latencies)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		pick := func(p float64) time.Duration {
+			i := int(p*float64(len(sorted))+0.5) - 1
+			if i < 0 {
+				i = 0
+			}
+			if i >= len(sorted) {
+				i = len(sorted) - 1
+			}
+			return sorted[i]
+		}
+		r.P50, r.P95, r.P99 = pick(0.50), pick(0.95), pick(0.99)
+		r.MaxLat = sorted[len(sorted)-1]
+	}
+	// Fairness: compare sessions only within their class (same scenario,
+	// same hotness) — classes legitimately differ in pacing. Report the
+	// least fair class.
+	perClass := map[int][]int64{}
+	for _, s := range h.sessions {
+		key := s.scIdx * 2
+		if s.hot {
+			key++
+		}
+		perClass[key] = append(perClass[key], s.steps)
+	}
+	r.FairnessRatio = 1
+	for _, steps := range perClass {
+		if len(steps) < 2 {
+			continue
+		}
+		mn, mx := steps[0], steps[0]
+		for _, v := range steps[1:] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		denom := mn
+		if denom == 0 {
+			denom = 1 // a starved session: the ratio degrades to the max
+		}
+		if ratio := float64(mx) / float64(denom); ratio > r.FairnessRatio {
+			r.FairnessRatio = ratio
+			r.MinSteps, r.MaxSteps = mn, mx
+		}
+	}
+	return r
+}
+
+// station is the event-driven device model: the seek queue as the paper
+// describes it, sharing the real semaphore's fair-queueing policy
+// (sched.FairQueue, round-robin across tenants). Service times are the
+// real server's measured device times, so the station adds only what the
+// single-threaded harness cannot observe directly — the waiting.
+type station struct {
+	h     *harness
+	heads int
+	inuse int
+	q     sched.FairQueue[*devJob]
+}
+
+type devJob struct {
+	svc  time.Duration
+	enq  time.Duration
+	done func()
+}
+
+func (st *station) submit(tenant uint64, svc time.Duration, done func()) {
+	st.q.Push(tenant, &devJob{svc: svc, enq: st.h.clock.Now(), done: done})
+	st.dispatch()
+}
+
+func (st *station) dispatch() {
+	for st.inuse < st.heads && st.q.Len() > 0 {
+		_, j, _ := st.q.Pop()
+		st.inuse++
+		st.h.recordWait(st.h.clock.Now() - j.enq)
+		st.h.clock.AfterFunc(j.svc, func() {
+			st.inuse--
+			j.done()
+			st.dispatch()
+		})
+	}
+}
+
+// Step kinds.
+const (
+	kindQuery = iota
+	kindBrowse
+	kindPiece
+	kindAudio
+)
+
+// session is one simulated browsing user.
+type session struct {
+	h      *harness
+	id     int
+	tenant uint64
+	scIdx  int
+	sc     Scenario
+	hot    bool
+	rng    uint64
+
+	steps     int64
+	results   []object.ID
+	cursor    int
+	stepStart time.Duration
+	attempts  int    // admission attempts within the current step
+	current   func() // in-progress step, retried after a shed backoff
+}
+
+// The session's shed-retry budget mirrors the wire client's default
+// RetryPolicy (4 attempts, 2ms base backoff, 250ms cap): past it, a real
+// workstation abandons the fetch and degrades to what it has cached, so
+// the harness does the same and counts the step as degraded.
+const (
+	shedMaxAttempts = 4
+	shedBaseDelay   = 2 * time.Millisecond
+	shedMaxDelay    = 250 * time.Millisecond
+)
+
+// rand is the session's private xorshift64 generator; mod 0 returns the
+// raw value.
+func (s *session) rand(mod uint64) uint64 {
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	if mod == 0 {
+		return s.rng
+	}
+	return s.rng % mod
+}
+
+func (s *session) done() bool {
+	if s.h.cfg.StepsEach > 0 && s.steps >= int64(s.h.cfg.StepsEach) {
+		return true
+	}
+	if s.h.cfg.Duration > 0 && s.h.clock.Now() >= s.h.cfg.Duration {
+		return true
+	}
+	return false
+}
+
+func (s *session) beginStep() {
+	if s.done() {
+		return
+	}
+	s.stepStart = s.h.clock.Now()
+	s.attempts = 0
+	kind := s.pickKind()
+	switch kind {
+	case kindQuery:
+		s.current = s.doQuery
+	case kindBrowse:
+		s.current = s.doBrowse
+	case kindPiece:
+		s.current = s.doPiece
+	default:
+		s.current = s.doAudio
+	}
+	s.current()
+}
+
+func (s *session) pickKind() int {
+	// Until the first query lands, a session has nothing to browse.
+	if len(s.results) == 0 {
+		return kindQuery
+	}
+	q, b, p, a := s.sc.QueryW, s.sc.BrowseW, s.sc.PieceW, s.sc.AudioW
+	if len(s.h.cat.audio) == 0 {
+		b += a // no audio targets: fold audio fetches into browsing
+		a = 0
+	}
+	r := int(s.rand(uint64(q + b + p + a)))
+	switch {
+	case r < q:
+		return kindQuery
+	case r < q+b:
+		return kindBrowse
+	case r < q+b+p:
+		return kindPiece
+	default:
+		return kindAudio
+	}
+}
+
+// complete finishes the current step after extra virtual time (link
+// transfer, CPU) elapses, then schedules the next one after think time.
+func (s *session) complete(extra time.Duration) {
+	s.h.clock.AfterFunc(extra, func() {
+		s.h.latencies = append(s.h.latencies, s.h.clock.Now()-s.stepStart)
+		s.steps++
+		s.h.steps++
+		s.h.clock.AfterFunc(s.thinkTime(), s.beginStep)
+	})
+}
+
+func (s *session) thinkTime() time.Duration {
+	if s.hot {
+		return 0
+	}
+	t := s.sc.Think
+	if s.sc.ThinkJitter > 0 {
+		t += time.Duration(s.rand(uint64(s.sc.ThinkJitter)))
+	}
+	return t
+}
+
+// doQuery runs a content query against the real index and pages the
+// session's browse cursor onto the result set.
+func (s *session) doQuery() {
+	term := s.h.cat.terms[s.rand(uint64(len(s.h.cat.terms)))]
+	ids := s.h.srv.Query(term)
+	if len(ids) > 0 {
+		s.results = ids
+		s.cursor = int(s.rand(uint64(len(ids))))
+	}
+	cost := s.h.cfg.Link.transfer(9+len(term)+8*len(ids)) + s.h.cfg.Link.StepCPU
+	s.complete(cost)
+}
+
+// doBrowse fetches a batch of miniatures from the encoded-frame cache —
+// the sequential-browsing hot path, all in-memory.
+func (s *session) doBrowse() {
+	n := s.sc.BrowseBatch
+	if n > len(s.results) {
+		n = len(s.results)
+	}
+	bytes := 0
+	for i := 0; i < n; i++ {
+		id := s.results[(s.cursor+i)%len(s.results)]
+		if payload, _, ok := s.h.srv.MiniatureEncoded(id); ok {
+			bytes += len(payload) + 6
+		}
+	}
+	s.cursor = (s.cursor + n) % len(s.results)
+	cost := s.h.cfg.Link.transfer(bytes) + time.Duration(n)*s.h.cfg.Link.StepCPU
+	s.complete(cost)
+}
+
+// admitDevice passes the server's real admission gate. On shed it backs
+// off exponentially with jitter and retries the in-progress step; past
+// the retry budget it completes the step degraded (link cost only, no
+// device work) — the workstation falls back to what it has cached.
+func (s *session) admitDevice(admitted func(release func())) {
+	s.h.offered++
+	s.attempts++
+	release, err := s.h.srv.AdmitAs(s.tenant)
+	if err != nil {
+		s.h.sheds++
+		if s.attempts >= shedMaxAttempts {
+			s.h.degraded++
+			s.complete(s.h.cfg.Link.transfer(0))
+			return
+		}
+		backoff := shedBaseDelay << (s.attempts - 1)
+		if backoff > shedMaxDelay {
+			backoff = shedMaxDelay
+		}
+		// ±50% jitter, like the wire client, so a shed burst does not
+		// stampede back in lockstep.
+		delay := backoff/2 + time.Duration(s.rand(uint64(backoff)))
+		s.h.clock.AfterFunc(delay, func() {
+			// Past the deadline the step is abandoned, not completed:
+			// an open run must drain.
+			if s.h.cfg.Duration > 0 && s.h.clock.Now() >= s.h.cfg.Duration {
+				return
+			}
+			s.current()
+		})
+		return
+	}
+	admitted(release)
+}
+
+// finishDevice routes the device-bound tail of a step: real device time
+// queues at the station under this session's tenant; pure cache hits skip
+// the device entirely, exactly like the real read path.
+func (s *session) finishDevice(release func(), devTime, transfer time.Duration) {
+	if devTime > 0 {
+		// The admission slot is held through device service + transfer;
+		// completion latency covers the same span.
+		s.h.station.submit(s.tenant, devTime, func() {
+			s.h.clock.AfterFunc(transfer, release)
+			s.complete(transfer)
+		})
+		return
+	}
+	s.h.clock.AfterFunc(transfer, release)
+	s.complete(transfer)
+}
+
+// doPiece reads a random extent of a visual object through the server's
+// real block cache and admission gate.
+func (s *session) doPiece() {
+	t := s.h.cat.visual[s.rand(uint64(len(s.h.cat.visual)))]
+	length := s.sc.PieceLen
+	if length > t.ext.length {
+		length = t.ext.length
+	}
+	off := t.ext.start + s.rand(t.ext.length-length+1)
+	s.admitDevice(func(release func()) {
+		data, devT, err := s.h.srv.ReadPieceAs(s.tenant, off, length)
+		transfer := s.h.cfg.Link.transfer(len(data)) + s.h.cfg.Link.StepCPU
+		if err != nil {
+			transfer = s.h.cfg.Link.transfer(0)
+		}
+		s.finishDevice(release, devT, transfer)
+	})
+}
+
+// doAudio fetches an audio object's descriptor (a device read, first
+// time) and its voice preview bytes — the "voice segments ... played as
+// the miniature passes through the screen" (§5).
+func (s *session) doAudio() {
+	id := s.h.cat.audio[s.rand(uint64(len(s.h.cat.audio)))]
+	s.admitDevice(func(release func()) {
+		_, devT, err := s.h.srv.DescriptorAs(s.tenant, id)
+		bytes := 0
+		if vp := s.h.srv.VoicePreview(id); vp != nil {
+			bytes = 2 * len(vp.Samples) // 16-bit mono PCM
+		}
+		transfer := s.h.cfg.Link.transfer(bytes) + s.h.cfg.Link.StepCPU
+		if err != nil {
+			transfer = s.h.cfg.Link.transfer(0)
+		}
+		s.finishDevice(release, devT, transfer)
+	})
+}

@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"minos/internal/server"
+)
+
+// corpus builds the standard small load corpus (shared per test, rebuilt
+// when server state must be fresh).
+func corpus(t *testing.T) *server.Server {
+	t.Helper()
+	srv, err := BuildCorpus(1<<15, 60, 12)
+	if err != nil {
+		t.Fatalf("BuildCorpus: %v", err)
+	}
+	return srv
+}
+
+// TestRunSmoke is the load-smoke gate: a modest fleet completes every
+// step with a sane latency profile.
+func TestRunSmoke(t *testing.T) {
+	srv := corpus(t)
+	res, err := Run(srv, Config{
+		Sessions:    100,
+		StepsEach:   200,
+		Seed:        42,
+		MaxInFlight: 32,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := int64(100 * 200); res.Steps != want {
+		t.Fatalf("completed %d steps, want %d", res.Steps, want)
+	}
+	// Generous bound: a step is at worst a shed-retry cycle plus queued
+	// device reads; anything beyond a few virtual seconds means the
+	// admission gate or station leaks latency.
+	if res.P99 > 5*time.Second {
+		t.Fatalf("p99 step latency %v exceeds generous 5s bound", res.P99)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("implausible percentiles: p50=%v p99=%v", res.P50, res.P99)
+	}
+	var waits int64
+	for _, n := range res.DevWaits {
+		waits += n
+	}
+	if waits == 0 {
+		t.Fatalf("no device dispatches recorded; the piece/audio mix never reached the station")
+	}
+}
+
+// TestDeterminism: identical corpus + config must yield a bit-identical
+// Result — the harness's entire value is repeatability.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Sessions: 80, StepsEach: 60, Seed: 7, MaxInFlight: 16, HotSessions: 4}
+	a, err := Run(corpus(t), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(corpus(t), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSeedChangesRun: different seeds should actually change the workload.
+func TestSeedChangesRun(t *testing.T) {
+	cfg := Config{Sessions: 40, StepsEach: 40, MaxInFlight: 16}
+	cfg.Seed = 1
+	a, err := Run(corpus(t), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cfg.Seed = 2
+	b, err := Run(corpus(t), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Fatalf("different seeds produced identical results: %+v", a)
+	}
+}
+
+// TestHotSessionsCannotStarveFleet: with per-tenant admission and fair
+// queueing at the device, a pack of zero-think-time sessions must not
+// starve the normal population.
+func TestHotSessionsCannotStarveFleet(t *testing.T) {
+	res, err := Run(corpus(t), Config{
+		Sessions:    60,
+		Duration:    20 * time.Second,
+		Seed:        11,
+		MaxInFlight: 8,
+		HotSessions: 6,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.MinSteps == 0 {
+		t.Fatalf("a session was starved outright: %+v", res)
+	}
+	if res.FairnessRatio > 2 {
+		t.Fatalf("fairness ratio %.2f exceeds 2 (min=%d max=%d)", res.FairnessRatio, res.MinSteps, res.MaxSteps)
+	}
+}
+
+// TestShedRateGrowsWithOfferedLoad: holding the admission bound fixed,
+// more sessions must shed at least as hard — the E-LOAD curve's
+// monotonicity in miniature.
+func TestShedRateGrowsWithOfferedLoad(t *testing.T) {
+	rate := func(sessions int) float64 {
+		t.Helper()
+		res, err := Run(corpus(t), Config{
+			Sessions:    sessions,
+			Duration:    10 * time.Second,
+			Seed:        3,
+			MaxInFlight: 4,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res.ShedRate
+	}
+	lo, hi := rate(30), rate(300)
+	if hi < lo {
+		t.Fatalf("shed rate fell as load rose: %d sessions -> %.3f, %d -> %.3f", 30, lo, 300, hi)
+	}
+}
+
+// TestConfigValidation covers the error paths.
+func TestConfigValidation(t *testing.T) {
+	srv := corpus(t)
+	if _, err := Run(srv, Config{Sessions: 0, StepsEach: 1}); err == nil {
+		t.Fatal("Sessions=0 accepted")
+	}
+	if _, err := Run(srv, Config{Sessions: 1}); err == nil {
+		t.Fatal("no StepsEach/Duration accepted")
+	}
+}

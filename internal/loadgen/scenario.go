@@ -1,0 +1,153 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"minos/internal/demo"
+	"minos/internal/object"
+	"minos/internal/server"
+)
+
+// Scenario is a workload generator profile: the step mix and pacing of one
+// class of simulated user. The three stock scenarios correspond to the
+// paper's application sketches (§6): office information systems, medical
+// records, and the city-guide / tourist information system.
+type Scenario struct {
+	Name string
+	// Step-kind weights (relative): content query, miniature browse
+	// batch, piece read, audio fetch. A session picks each step from
+	// this distribution with its private deterministic generator.
+	QueryW, BrowseW, PieceW, AudioW int
+	// Think is the base pause between steps; ThinkJitter adds a uniform
+	// random extra so sessions do not march in lockstep.
+	Think, ThinkJitter time.Duration
+	// BrowseBatch is the number of miniatures fetched per browse step
+	// (the sequential-browsing prefetch depth).
+	BrowseBatch int
+	// PieceLen caps the byte length of one piece read.
+	PieceLen uint64
+}
+
+// Office models the §6 office information system: query-heavy filing and
+// retrieval, miniature browsing of result sets, occasional full-piece
+// document reads, almost no audio.
+func Office() Scenario {
+	return Scenario{
+		Name:   "office",
+		QueryW: 4, BrowseW: 4, PieceW: 2, AudioW: 0,
+		Think: 400 * time.Millisecond, ThinkJitter: 400 * time.Millisecond,
+		BrowseBatch: 8,
+		PieceLen:    4096,
+	}
+}
+
+// Medical models the medical records scenario: piece-read heavy (x-ray
+// image extents dominate), with voice annotations fetched alongside.
+func Medical() Scenario {
+	return Scenario{
+		Name:   "medical",
+		QueryW: 2, BrowseW: 2, PieceW: 5, AudioW: 1,
+		Think: 600 * time.Millisecond, ThinkJitter: 600 * time.Millisecond,
+		BrowseBatch: 4,
+		PieceLen:    16384,
+	}
+}
+
+// CityGuide models the tourist information system: browsing-dominated
+// (maps and miniatures) with frequent audio fetches (spoken guidance) and
+// short think times — a kiosk user flipping through a guide.
+func CityGuide() Scenario {
+	return Scenario{
+		Name:   "cityguide",
+		QueryW: 1, BrowseW: 5, PieceW: 1, AudioW: 3,
+		Think: 200 * time.Millisecond, ThinkJitter: 200 * time.Millisecond,
+		BrowseBatch: 12,
+		PieceLen:    2048,
+	}
+}
+
+// DefaultScenarios returns the three stock scenarios; Run assigns them to
+// sessions round-robin.
+func DefaultScenarios() []Scenario {
+	return []Scenario{Office(), Medical(), CityGuide()}
+}
+
+// queryTerms is the vocabulary sessions draw query terms from; it matches
+// the demo corpus filler topics so queries return non-empty result sets.
+var queryTerms = []string{
+	"lung", "heart", "shadow", "rhythm", "archive", "optical", "voice",
+	"image", "browsing", "presentation", "workstation", "server", "map",
+	"hospital", "university", "subway", "tour", "transparency", "report",
+}
+
+// BuildCorpus publishes the standard load-test corpus: the demo figure
+// objects, fillers filler documents, and spoken audio-mode objects so the
+// audio-fetch step has targets.
+func BuildCorpus(blocks, fillers, spoken int) (*server.Server, error) {
+	c, err := demo.Build(blocks, fillers)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < spoken; i++ {
+		topic := queryTerms[i%len(queryTerms)]
+		o, err := demo.SpokenObject(object.ID(500_000+i), topic, 60, i, 8000)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: spoken object %d: %w", i, err)
+		}
+		if _, err := c.Server.Publish(o); err != nil {
+			return nil, fmt.Errorf("loadgen: publish spoken %d: %w", i, err)
+		}
+	}
+	return c.Server, nil
+}
+
+// catalog is the harness's view of the published corpus: the object sets
+// each step kind draws targets from, scanned once before the run.
+type catalog struct {
+	visual []target // visual-mode objects with their archive extents
+	audio  []object.ID
+	terms  []string
+}
+
+type target struct {
+	id  object.ID
+	ext extentRange
+}
+
+type extentRange struct {
+	start, length uint64
+}
+
+func scanCatalog(srv *server.Server) (catalog, error) {
+	var cat catalog
+	for _, id := range srv.IDs() {
+		mode, ok := srv.Mode(id)
+		if !ok {
+			continue
+		}
+		if mode == object.Audio {
+			cat.audio = append(cat.audio, id)
+			continue
+		}
+		ext, err := srv.Archiver().ExtentOf(id)
+		if err != nil {
+			return cat, err
+		}
+		cat.visual = append(cat.visual, target{id: id, ext: extentRange{start: ext.Start, length: ext.Length}})
+	}
+	if len(cat.visual) == 0 {
+		return cat, fmt.Errorf("loadgen: corpus has no visual objects")
+	}
+	// Keep only terms that actually hit, so query steps exercise result
+	// browsing rather than empty sets.
+	for _, t := range queryTerms {
+		if len(srv.Query(t)) > 0 {
+			cat.terms = append(cat.terms, t)
+		}
+	}
+	if len(cat.terms) == 0 {
+		cat.terms = queryTerms
+	}
+	return cat, nil
+}

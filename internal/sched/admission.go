@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Admission is the per-tenant admission gate for device-bound requests.
+// It bounds the total number of admitted requests and, when more than one
+// tenant is active, caps each tenant at its fair share of the bound, so a
+// hot session cannot occupy the whole admission budget while others are
+// shed. Rejected requests are shed immediately (the caller maps that to a
+// retryable busy response) — admission never queues, bounding both memory
+// and the latency of the shed signal.
+//
+// The fair share is dynamic: with max total slots and t active tenants
+// (tenants holding at least one slot, counting the requester), each tenant
+// may hold at most max(1, max/t) slots. A single tenant with the gate to
+// itself may still use all of it — the old global-gate behaviour — and the
+// moment a second tenant gets a slot in, the first tenant's cap halves and
+// its excess drains as it releases.
+type Admission struct {
+	mu       sync.Mutex
+	max      int // 0 = unbounded
+	total    int
+	inflight map[uint64]int // slots held per tenant
+	shed     atomic.Int64
+}
+
+// NewAdmission returns a gate admitting at most max requests at once;
+// max <= 0 leaves admission unbounded.
+func NewAdmission(max int) *Admission {
+	a := &Admission{inflight: map[uint64]int{}}
+	a.SetMax(max)
+	return a
+}
+
+// SetMax changes the admission bound (0 disables it). Safe under load:
+// outstanding releases remain valid, and a lowered bound simply sheds new
+// requests until in-flight work drains below it.
+func (a *Admission) SetMax(n int) {
+	if n < 0 {
+		n = 0
+	}
+	a.mu.Lock()
+	a.max = n
+	a.mu.Unlock()
+}
+
+// Max returns the current admission bound (0 = unbounded).
+func (a *Admission) Max() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.max
+}
+
+// Admit asks for a slot on behalf of tenant. On success it returns a
+// release function (invoke exactly once, when the request finishes) and
+// true; on shed it returns nil and false and bumps the shed counter.
+func (a *Admission) Admit(tenant uint64) (release func(), ok bool) {
+	a.mu.Lock()
+	if a.max <= 0 {
+		a.mu.Unlock()
+		return func() {}, true
+	}
+	if a.total >= a.max {
+		a.mu.Unlock()
+		a.shed.Add(1)
+		return nil, false
+	}
+	active := len(a.inflight)
+	held := a.inflight[tenant]
+	if held == 0 {
+		active++ // the requester counts toward the share it is asking for
+	}
+	share := a.max / active
+	if share < 1 {
+		share = 1
+	}
+	if held >= share {
+		a.mu.Unlock()
+		a.shed.Add(1)
+		return nil, false
+	}
+	a.total++
+	a.inflight[tenant] = held + 1
+	a.mu.Unlock()
+	return func() {
+		a.mu.Lock()
+		a.total--
+		if n := a.inflight[tenant]; n <= 1 {
+			delete(a.inflight, tenant)
+		} else {
+			a.inflight[tenant] = n - 1
+		}
+		a.mu.Unlock()
+	}, true
+}
+
+// Shed returns the number of requests rejected since the last reset.
+func (a *Admission) Shed() int64 { return a.shed.Load() }
+
+// ResetShed zeroes the shed counter.
+func (a *Admission) ResetShed() { a.shed.Store(0) }
+
+// InFlight reports the number of currently admitted requests.
+func (a *Admission) InFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// ActiveTenants reports the number of tenants currently holding slots.
+func (a *Admission) ActiveTenants() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.inflight)
+}

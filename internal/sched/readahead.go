@@ -1,0 +1,36 @@
+package sched
+
+import "sync/atomic"
+
+// ReadAhead coordinates sequential block read-ahead: it holds the
+// configured depth and admits at most one background sweep at a time, so
+// cache misses cannot fan out a goroutine storm onto the seek semaphore.
+// Depth changes are safe under load (the next miss observes the new
+// depth; an in-flight sweep finishes at the old one).
+type ReadAhead struct {
+	depth atomic.Int64
+	busy  atomic.Bool
+}
+
+// SetDepth sets the read-ahead depth in blocks (minimum 0 = disabled).
+func (r *ReadAhead) SetDepth(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.depth.Store(int64(n))
+}
+
+// Depth returns the configured depth.
+func (r *ReadAhead) Depth() int { return int(r.depth.Load()) }
+
+// TryStart claims the single sweep slot, reporting whether the caller
+// should run a sweep. A successful claim must be paired with Done.
+func (r *ReadAhead) TryStart() bool {
+	return r.depth.Load() > 0 && r.busy.CompareAndSwap(false, true)
+}
+
+// Done releases the sweep slot.
+func (r *ReadAhead) Done() { r.busy.Store(false) }
+
+// Sweeping reports whether a sweep currently holds the slot.
+func (r *ReadAhead) Sweeping() bool { return r.busy.Load() }

@@ -1,0 +1,79 @@
+// Package sched holds the device-scheduling policies of the object server:
+// the fair per-tenant queue, the resizable seek semaphore, and the
+// admission gate. The paper (§5) names "scheduling" as a responsibility of
+// the multimedia object server and worries about "queueing delays that may
+// be experienced when several users try to access data from the same
+// device"; this package is that policy layer, extracted from
+// internal/server so the same structures can drive both the real blocking
+// server path and the event-driven load simulation in internal/loadgen.
+//
+// A tenant is a unit of fairness — one wire connection, one simulated
+// session. Tenant 0 is the anonymous tenant used by callers that predate
+// the per-tenant API; it competes like any other tenant.
+package sched
+
+// FairQueue is a deterministic per-tenant FIFO with round-robin service
+// across tenants: Pop returns the head of the next tenant's queue in ring
+// order, so a tenant with a deep backlog cannot starve tenants behind it —
+// each tenant advances one item per round. The zero value is ready to use.
+// FairQueue is not self-synchronizing; callers hold their own lock.
+type FairQueue[T any] struct {
+	queues map[uint64][]T
+	ring   []uint64 // tenants with queued items, in service order
+	cursor int      // next ring slot to serve
+	size   int
+}
+
+// Push appends item to tenant's FIFO. A tenant becomes eligible for
+// service at the end of the current round.
+func (q *FairQueue[T]) Push(tenant uint64, item T) {
+	if q.queues == nil {
+		q.queues = map[uint64][]T{}
+	}
+	queue, ok := q.queues[tenant]
+	if !ok {
+		q.ring = append(q.ring, tenant)
+	}
+	q.queues[tenant] = append(queue, item)
+	q.size++
+}
+
+// Pop removes and returns the next item in round-robin order along with
+// its tenant. ok is false when the queue is empty.
+func (q *FairQueue[T]) Pop() (tenant uint64, item T, ok bool) {
+	var zero T
+	if q.size == 0 {
+		return 0, zero, false
+	}
+	if q.cursor >= len(q.ring) {
+		q.cursor = 0
+	}
+	tenant = q.ring[q.cursor]
+	queue := q.queues[tenant]
+	item = queue[0]
+	queue[0] = zero // release the reference
+	if len(queue) == 1 {
+		delete(q.queues, tenant)
+		q.ring = append(q.ring[:q.cursor], q.ring[q.cursor+1:]...)
+		if q.cursor >= len(q.ring) {
+			q.cursor = 0
+		}
+	} else {
+		q.queues[tenant] = queue[1:]
+		q.cursor++
+		if q.cursor >= len(q.ring) {
+			q.cursor = 0
+		}
+	}
+	q.size--
+	return tenant, item, true
+}
+
+// Len reports the number of queued items across all tenants.
+func (q *FairQueue[T]) Len() int { return q.size }
+
+// Tenants reports the number of tenants with at least one queued item.
+func (q *FairQueue[T]) Tenants() int { return len(q.ring) }
+
+// TenantLen reports the number of items queued for one tenant.
+func (q *FairQueue[T]) TenantLen(tenant uint64) int { return len(q.queues[tenant]) }

@@ -1,0 +1,293 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- FairQueue ---
+
+// TestFairQueueRoundRobin: service rotates across tenants one item per
+// round, FIFO within a tenant.
+func TestFairQueueRoundRobin(t *testing.T) {
+	var q FairQueue[string]
+	q.Push(1, "a1")
+	q.Push(1, "a2")
+	q.Push(1, "a3")
+	q.Push(2, "b1")
+	q.Push(3, "c1")
+	q.Push(2, "b2")
+
+	var order []string
+	for {
+		_, item, ok := q.Pop()
+		if !ok {
+			break
+		}
+		order = append(order, item)
+	}
+	want := []string{"a1", "b1", "c1", "a2", "b2", "a3"}
+	if len(order) != len(want) {
+		t.Fatalf("popped %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("popped %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFairQueueInterleavedPush: a tenant pushed mid-drain joins the ring
+// without disturbing FIFO order of existing tenants.
+func TestFairQueueInterleavedPush(t *testing.T) {
+	var q FairQueue[int]
+	q.Push(1, 10)
+	q.Push(1, 11)
+	tenant, v, ok := q.Pop()
+	if !ok || tenant != 1 || v != 10 {
+		t.Fatalf("Pop = (%d, %d, %v)", tenant, v, ok)
+	}
+	q.Push(2, 20)
+	if q.Len() != 2 || q.Tenants() != 2 || q.TenantLen(1) != 1 {
+		t.Fatalf("Len=%d Tenants=%d TenantLen(1)=%d", q.Len(), q.Tenants(), q.TenantLen(1))
+	}
+	var rest []int
+	for {
+		_, v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		rest = append(rest, v)
+	}
+	if len(rest) != 2 || rest[0]+rest[1] != 31 {
+		t.Fatalf("drained %v", rest)
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+}
+
+// --- Semaphore ---
+
+// TestSemaphoreFairAcrossTenants: a hot tenant with a deep backlog cannot
+// starve a light tenant — grants rotate round-robin.
+func TestSemaphoreFairAcrossTenants(t *testing.T) {
+	s := NewSemaphore(1)
+	s.Acquire(99) // occupy the only slot
+
+	var mu sync.Mutex
+	var order []uint64
+	var wg sync.WaitGroup
+	acquire := func(tenant uint64) {
+		defer wg.Done()
+		s.Acquire(tenant)
+		mu.Lock()
+		order = append(order, tenant)
+		mu.Unlock()
+		s.Release()
+	}
+	// Queue the hot tenant's backlog first, then the light tenant.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go acquire(1)
+		for s.Waiting() < i+1 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	wg.Add(1)
+	go acquire(2)
+	for s.Waiting() < 5 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	s.Release() // open the gate
+	wg.Wait()
+	// Tenant 2 queued last but must be served second (one round of RR),
+	// not after the whole backlog of tenant 1.
+	if order[1] != 2 {
+		t.Fatalf("grant order %v: light tenant starved behind the backlog", order)
+	}
+}
+
+// TestSemaphoreTryAcquireNoBarge: TryAcquire must fail while waiters
+// queue, even if capacity is momentarily free, so fairness holds.
+func TestSemaphoreTryAcquireNoBarge(t *testing.T) {
+	s := NewSemaphore(1)
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire on idle semaphore failed")
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Acquire(7)
+		close(done)
+	}()
+	for s.Waiting() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	s.Release() // slot transfers directly to the waiter
+	<-done
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire barged in while the waiter held the slot")
+	}
+	s.Release()
+}
+
+// TestSemaphoreResizeUnderLoad hammers Resize concurrently with
+// acquire/release traffic and asserts the invariant the old channel
+// semaphore could not give: holders never exceed the capacity in effect
+// at their admission. Run under -race.
+func TestSemaphoreResizeUnderLoad(t *testing.T) {
+	s := NewSemaphore(2)
+	var held atomic.Int64
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(tenant uint64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Acquire(tenant)
+				h := held.Add(1)
+				for {
+					p := peak.Load()
+					if h <= p || peak.CompareAndSwap(p, h) {
+						break
+					}
+				}
+				held.Add(-1)
+				s.Release()
+			}
+		}(uint64(g))
+	}
+	sizes := []int{1, 4, 2, 8, 1, 3}
+	for i := 0; i < 200; i++ {
+		s.Resize(sizes[i%len(sizes)])
+	}
+	close(stop)
+	wg.Wait()
+	if p := peak.Load(); p > 8 {
+		t.Fatalf("held %d slots at once, above the largest capacity 8", p)
+	}
+	if s.InUse() != 0 || s.Waiting() != 0 {
+		t.Fatalf("leaked state after drain: inuse=%d waiting=%d", s.InUse(), s.Waiting())
+	}
+	// Shrink to 1 and prove mutual exclusion still holds.
+	s.Resize(1)
+	s.Acquire(1)
+	if s.TryAcquire() {
+		t.Fatal("capacity 1 admitted two holders after the resize storm")
+	}
+	s.Release()
+}
+
+// --- Admission ---
+
+// TestAdmissionSingleTenantUsesWholeGate preserves the PR 4 global-gate
+// behaviour: alone, a tenant may fill the bound, then sheds.
+func TestAdmissionSingleTenantUsesWholeGate(t *testing.T) {
+	a := NewAdmission(3)
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		r, ok := a.Admit(1)
+		if !ok {
+			t.Fatalf("admit %d refused below the bound", i)
+		}
+		releases = append(releases, r)
+	}
+	if _, ok := a.Admit(1); ok {
+		t.Fatal("admitted past the bound")
+	}
+	if a.Shed() != 1 {
+		t.Fatalf("Shed = %d, want 1", a.Shed())
+	}
+	for _, r := range releases {
+		r()
+	}
+	if a.InFlight() != 0 || a.ActiveTenants() != 0 {
+		t.Fatalf("leaked: inflight=%d tenants=%d", a.InFlight(), a.ActiveTenants())
+	}
+}
+
+// TestAdmissionFairShare: once a second tenant holds a slot, the first is
+// capped at max/2 — its excess sheds while the newcomer still admits.
+func TestAdmissionFairShare(t *testing.T) {
+	a := NewAdmission(4)
+	r1a, ok := a.Admit(1)
+	r1b, ok2 := a.Admit(1)
+	if !ok || !ok2 {
+		t.Fatal("tenant 1 refused its fair share")
+	}
+	if _, ok := a.Admit(2); !ok {
+		t.Fatal("tenant 2 refused with slots free")
+	}
+	// Tenant 1 holds 2 = 4/2 with two tenants active: capped.
+	if _, ok := a.Admit(1); ok {
+		t.Fatal("tenant 1 admitted past its fair share while tenant 2 is active")
+	}
+	// Tenant 2 still has headroom up to its own share.
+	if _, ok := a.Admit(2); !ok {
+		t.Fatal("tenant 2 refused inside its fair share")
+	}
+	r1a()
+	r1b()
+	// Tenant 1 drained; tenant 2 may now grow into the freed slots.
+	if _, ok := a.Admit(2); !ok {
+		t.Fatal("tenant 2 refused after tenant 1 drained")
+	}
+}
+
+// TestAdmissionUnbounded: max 0 admits everything and tracks nothing.
+func TestAdmissionUnbounded(t *testing.T) {
+	a := NewAdmission(0)
+	for i := 0; i < 100; i++ {
+		r, ok := a.Admit(uint64(i))
+		if !ok {
+			t.Fatal("unbounded gate shed")
+		}
+		r()
+	}
+	if a.Shed() != 0 {
+		t.Fatalf("Shed = %d", a.Shed())
+	}
+}
+
+// TestAdmissionSetMaxUnderLoad lowers and raises the bound while
+// requests churn; run under -race. Outstanding releases must stay valid.
+func TestAdmissionSetMaxUnderLoad(t *testing.T) {
+	a := NewAdmission(8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(tenant uint64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if r, ok := a.Admit(tenant); ok {
+					r()
+				}
+			}
+		}(uint64(g))
+	}
+	for i := 0; i < 500; i++ {
+		a.SetMax(1 + i%9)
+	}
+	a.SetMax(0)
+	close(stop)
+	wg.Wait()
+	if a.InFlight() != 0 {
+		t.Fatalf("inflight %d after drain", a.InFlight())
+	}
+}

@@ -1,0 +1,117 @@
+package sched
+
+import "sync"
+
+// Semaphore is the seek semaphore: a counting semaphore with per-tenant
+// fair queueing and safe resizing under load. Waiters queue in a FairQueue
+// and are granted slots round-robin across tenants, so one hot session's
+// backlog of device reads cannot starve a light session's single read —
+// the light session waits at most one round, not the whole backlog.
+//
+// Unlike the channel semaphore it replaces, Resize is safe while readers
+// are on the device: growing wakes queued waiters immediately, shrinking
+// lets in-use slots drain naturally — at no point do more readers than the
+// new capacity hold the device together with freshly admitted ones.
+type Semaphore struct {
+	mu       sync.Mutex
+	capacity int
+	inuse    int
+	waiters  FairQueue[chan struct{}]
+}
+
+// NewSemaphore returns a semaphore with the given capacity (minimum 1).
+func NewSemaphore(n int) *Semaphore {
+	if n < 1 {
+		n = 1
+	}
+	return &Semaphore{capacity: n}
+}
+
+// TryAcquire takes a slot without blocking, reporting whether it
+// succeeded. It never barges past queued waiters: if anyone is waiting the
+// fast path fails and the caller should Acquire (and count the wait).
+func (s *Semaphore) TryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inuse < s.capacity && s.waiters.Len() == 0 {
+		s.inuse++
+		return true
+	}
+	return false
+}
+
+// Acquire blocks until a slot is available, queueing fairly under the
+// given tenant.
+func (s *Semaphore) Acquire(tenant uint64) {
+	s.mu.Lock()
+	if s.inuse < s.capacity && s.waiters.Len() == 0 {
+		s.inuse++
+		s.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	s.waiters.Push(tenant, ch)
+	s.mu.Unlock()
+	<-ch
+}
+
+// Release returns a slot and hands it to the next waiter in round-robin
+// tenant order, if any.
+func (s *Semaphore) Release() {
+	s.mu.Lock()
+	s.inuse--
+	if s.inuse < 0 {
+		s.mu.Unlock()
+		panic("sched: Semaphore released more than acquired")
+	}
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+// grantLocked transfers free slots to queued waiters. The slot moves
+// directly from releaser to waiter, so TryAcquire cannot barge in between.
+func (s *Semaphore) grantLocked() {
+	for s.inuse < s.capacity {
+		_, ch, ok := s.waiters.Pop()
+		if !ok {
+			return
+		}
+		s.inuse++
+		close(ch)
+	}
+}
+
+// Resize changes the capacity (minimum 1). Safe under load: growing
+// grants slots to queued waiters at once; shrinking stops new grants until
+// in-use slots drain below the new capacity. Readers already on the device
+// are never interrupted and no new reader is admitted beyond the new bound.
+func (s *Semaphore) Resize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.capacity = n
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+// Capacity returns the current capacity.
+func (s *Semaphore) Capacity() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capacity
+}
+
+// InUse returns the number of slots currently held.
+func (s *Semaphore) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inuse
+}
+
+// Waiting reports the number of queued waiters.
+func (s *Semaphore) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waiters.Len()
+}

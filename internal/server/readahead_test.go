@@ -15,7 +15,7 @@ func waitReadAhead(t *testing.T, s *Server, want int64) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if s.Stats().ReadAheadBlocks >= want && !s.raBusy.Load() {
+		if s.Stats().ReadAheadBlocks >= want && !s.ra.Sweeping() {
 			return
 		}
 		time.Sleep(time.Millisecond)

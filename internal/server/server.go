@@ -25,6 +25,7 @@ import (
 	"minos/internal/layout"
 	"minos/internal/object"
 	"minos/internal/pool"
+	"minos/internal/sched"
 	"minos/internal/voice"
 )
 
@@ -45,9 +46,9 @@ type Server struct {
 	cache *BlockCache
 
 	// devSem bounds concurrent device reads (the configurable "number of
-	// heads"); acquisition wait time is the contention signal reported by
-	// Stats.
-	devSem chan struct{}
+	// heads") with per-tenant fair queueing; acquisition wait time is the
+	// contention signal reported by Stats.
+	devSem *sched.Semaphore
 
 	// mu guards the serving maps below (and the index, whose AddObject
 	// mutates shared postings).
@@ -73,18 +74,16 @@ type Server struct {
 	encHits  atomic.Int64
 	encMiss  atomic.Int64
 
-	// readAhead is the number of sequentially-next blocks pulled into the
-	// cache after a cache-miss read (0 = disabled); raBusy keeps at most
-	// one read-ahead sweep in flight so misses cannot fan out a goroutine
-	// storm onto the seek semaphore.
-	readAhead int
-	raBusy    atomic.Bool
+	// ra coordinates sequential block read-ahead: depth in blocks (0 =
+	// disabled) plus a single-sweep claim so misses cannot fan out a
+	// goroutine storm onto the seek semaphore.
+	ra sched.ReadAhead
 
-	// inflight bounds admitted device-bound requests (nil = unbounded).
-	// When the queue is full, Admit sheds the request with ErrBusy instead
-	// of queueing without bound — the client backs off and retries.
-	inflight chan struct{}
-	shed     atomic.Int64
+	// adm is the per-tenant admission gate for device-bound requests.
+	// When the gate is full (or a tenant exceeds its fair share), Admit
+	// sheds the request with ErrBusy instead of queueing without bound —
+	// the client backs off and retries.
+	adm *sched.Admission
 
 	// Stats (atomic: bumped on every piece read, no lock on the hot path).
 	pieceReads   atomic.Int64
@@ -136,14 +135,13 @@ func WithSeekConcurrency(n int) Option {
 }
 
 // SetSeekConcurrency resizes the device seek semaphore for a server built
-// elsewhere (e.g. the demo corpus). It must be called before requests are
-// served concurrently; swapping the semaphore under load would let extra
-// readers onto the device.
+// elsewhere (e.g. the demo corpus). Resizing is safe under load: growing
+// grants slots to queued readers at once, shrinking lets readers already
+// on the device drain before new ones are admitted — at no point do more
+// readers than the new bound occupy the device together with newly
+// admitted ones (see sched.Semaphore.Resize).
 func (s *Server) SetSeekConcurrency(n int) {
-	if n < 1 {
-		n = 1
-	}
-	s.devSem = make(chan struct{}, n)
+	s.devSem.Resize(n)
 }
 
 // ErrBusy reports that the server refused to queue a request because its
@@ -161,31 +159,27 @@ func WithMaxInFlight(n int) Option {
 }
 
 // SetMaxInFlight sets the admission bound for a server built elsewhere.
-// Like SetSeekConcurrency it must be called before concurrent serving
-// starts.
+// Safe under load: a lowered bound sheds new requests until in-flight
+// work drains below it; outstanding releases stay valid.
 func (s *Server) SetMaxInFlight(n int) {
-	if n <= 0 {
-		s.inflight = nil
-		return
-	}
-	s.inflight = make(chan struct{}, n)
+	s.adm.SetMax(n)
 }
 
-// Admit asks for an admission slot for one device-bound request. On
-// success it returns a release function the caller must invoke when the
-// request finishes; when the in-flight queue is full it sheds the request
-// with ErrBusy.
-func (s *Server) Admit() (func(), error) {
-	if s.inflight == nil {
-		return func() {}, nil
-	}
-	select {
-	case s.inflight <- struct{}{}:
-		return func() { <-s.inflight }, nil
-	default:
-		s.shed.Add(1)
+// Admit asks for an admission slot for one device-bound request on behalf
+// of the anonymous tenant. See AdmitAs.
+func (s *Server) Admit() (func(), error) { return s.AdmitAs(0) }
+
+// AdmitAs asks for an admission slot on behalf of tenant (one wire
+// connection, one simulated session). On success it returns a release
+// function the caller must invoke when the request finishes; when the gate
+// is full — or the tenant already holds its fair share of it while others
+// are active — the request is shed with ErrBusy.
+func (s *Server) AdmitAs(tenant uint64) (func(), error) {
+	release, ok := s.adm.Admit(tenant)
+	if !ok {
 		return nil, ErrBusy
 	}
+	return release, nil
 }
 
 // WithReadAhead enables sequential block read-ahead: after a cache-miss
@@ -197,13 +191,10 @@ func WithReadAhead(n int) Option {
 }
 
 // SetReadAhead sets the read-ahead depth in blocks for a server built
-// elsewhere. Like SetSeekConcurrency it must be called before concurrent
-// serving starts.
+// elsewhere. Safe under load: the next cache miss observes the new depth;
+// an in-flight sweep finishes at the old one.
 func (s *Server) SetReadAhead(n int) {
-	if n < 0 {
-		n = 0
-	}
-	s.readAhead = n
+	s.ra.SetDepth(n)
 }
 
 // New builds a server over an archiver. By default a modest cache is
@@ -213,7 +204,8 @@ func New(arch *archiver.Archiver, opts ...Option) *Server {
 		arch:     arch,
 		idx:      index.New(),
 		cache:    NewBlockCache(256),
-		devSem:   make(chan struct{}, 1),
+		devSem:   sched.NewSemaphore(1),
+		adm:      sched.NewAdmission(0),
 		minis:    map[object.ID]*img.Bitmap{},
 		modes:    map[object.ID]object.Mode{},
 		previews: map[object.ID]*voice.Part{},
@@ -336,11 +328,18 @@ func buildMiniature(o *object.Object) *img.Bitmap {
 }
 
 // ReadPiece serves an archiver-absolute byte extent through the block
-// cache, returning the device service time actually incurred (cache hits
-// cost nothing). Cache misses acquire the seek semaphore, so at most the
-// configured number of readers occupy the device while cache hits proceed
-// untouched.
+// cache on behalf of the anonymous tenant. See ReadPieceAs.
 func (s *Server) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
+	return s.ReadPieceAs(0, off, length)
+}
+
+// ReadPieceAs serves an archiver-absolute byte extent through the block
+// cache, returning the device service time actually incurred (cache hits
+// cost nothing). Cache misses acquire the seek semaphore under the given
+// tenant — waiters queue round-robin per tenant, so one session's backlog
+// cannot starve another's single read — while cache hits proceed
+// untouched.
+func (s *Server) ReadPieceAs(tenant uint64, off, length uint64) ([]byte, time.Duration, error) {
 	s.pieceReads.Add(1)
 	if length == 0 {
 		return nil, 0, nil
@@ -366,7 +365,7 @@ func (s *Server) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
 		if blk == nil {
 			var t time.Duration
 			var err error
-			blk, t, err = s.readDeviceBlock(dev, b)
+			blk, t, err = s.readDeviceBlock(tenant, dev, b)
 			if err != nil {
 				return nil, total, err
 			}
@@ -388,22 +387,27 @@ func (s *Server) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
 	s.bytesOut.Add(int64(len(out)))
 	// A miss that reached the device hints at a sequential sweep: warm
 	// the next blocks in the background so the follower request hits.
-	if missed && s.readAhead > 0 && s.cache != nil && s.raBusy.CompareAndSwap(false, true) {
+	if missed && s.cache != nil && s.ra.TryStart() {
 		go s.readAheadFrom(last + 1)
 	}
 	return out, total, nil
 }
 
-// readAheadFrom pulls up to s.readAhead sequentially-next blocks into the
-// block cache. It competes for the seek semaphore like any device reader
-// (the optical head is still the bottleneck the paper worries about) but
-// does not touch the contention counters: its queueing is background work,
-// not a user-visible wait.
+// tenantReadAhead is the seek-semaphore tenant of the background
+// read-ahead sweep: background warming competes as its own tenant so it
+// can never crowd a user session out of its round-robin turn.
+const tenantReadAhead = ^uint64(0)
+
+// readAheadFrom pulls up to the configured depth of sequentially-next
+// blocks into the block cache. It competes for the seek semaphore like any
+// device reader (the optical head is still the bottleneck the paper
+// worries about) but does not touch the contention counters: its queueing
+// is background work, not a user-visible wait.
 func (s *Server) readAheadFrom(first uint64) {
-	defer s.raBusy.Store(false)
+	defer s.ra.Done()
 	dev := s.arch.Device()
 	end := uint64(dev.Blocks())
-	for i := uint64(0); i < uint64(s.readAhead); i++ {
+	for i := uint64(0); i < uint64(s.ra.Depth()); i++ {
 		b := first + i
 		if b >= end {
 			return
@@ -411,7 +415,7 @@ func (s *Server) readAheadFrom(first uint64) {
 		if s.cache.peek(b) != nil {
 			continue
 		}
-		s.devSem <- struct{}{}
+		s.devSem.Acquire(tenantReadAhead)
 		var err error
 		if s.cache.peek(b) == nil { // re-check: a foreground read may have won
 			var blk []byte
@@ -420,7 +424,7 @@ func (s *Server) readAheadFrom(first uint64) {
 				s.raBlocks.Add(1)
 			}
 		}
-		<-s.devSem
+		s.devSem.Release()
 		if err != nil {
 			return
 		}
@@ -431,16 +435,14 @@ func (s *Server) readAheadFrom(first uint64) {
 // cache. After waiting for a slot it re-checks the cache: another reader
 // may have fetched the same block meanwhile, in which case the device is
 // not touched again.
-func (s *Server) readDeviceBlock(dev disk.Device, b uint64) ([]byte, time.Duration, error) {
-	select {
-	case s.devSem <- struct{}{}:
-	default:
+func (s *Server) readDeviceBlock(tenant uint64, dev disk.Device, b uint64) ([]byte, time.Duration, error) {
+	if !s.devSem.TryAcquire() {
 		start := time.Now()
-		s.devSem <- struct{}{}
+		s.devSem.Acquire(tenant)
 		s.devWaits.Add(1)
 		s.devWaitNanos.Add(time.Since(start).Nanoseconds())
 	}
-	defer func() { <-s.devSem }()
+	defer s.devSem.Release()
 	if s.cache != nil {
 		// peek, not Get: the caller's lookup already recorded this
 		// request's miss.
@@ -460,11 +462,16 @@ func (s *Server) readDeviceBlock(dev disk.Device, b uint64) ([]byte, time.Durati
 
 // Descriptor reads and parses an object's descriptor through the cache.
 func (s *Server) Descriptor(id object.ID) (*descriptor.Descriptor, time.Duration, error) {
+	return s.DescriptorAs(0, id)
+}
+
+// DescriptorAs is Descriptor with the device reads attributed to tenant.
+func (s *Server) DescriptorAs(tenant uint64, id object.ID) (*descriptor.Descriptor, time.Duration, error) {
 	ext, err := s.arch.ExtentOf(id)
 	if err != nil {
 		return nil, 0, err
 	}
-	hdr, t1, err := s.ReadPiece(ext.Start, 8)
+	hdr, t1, err := s.ReadPieceAs(tenant, ext.Start, 8)
 	if err != nil {
 		return nil, t1, err
 	}
@@ -473,7 +480,7 @@ func (s *Server) Descriptor(id object.ID) (*descriptor.Descriptor, time.Duration
 	if 8+descLen > ext.Length {
 		return nil, t1, fmt.Errorf("server: object %d descriptor length %d exceeds extent", id, descLen)
 	}
-	raw, t2, err := s.ReadPiece(ext.Start+8, descLen)
+	raw, t2, err := s.ReadPieceAs(tenant, ext.Start+8, descLen)
 	if err != nil {
 		return nil, t1 + t2, err
 	}
@@ -511,6 +518,11 @@ func (s *Server) Load(id object.ID) (*object.Object, time.Duration, error) {
 // response carries just the view's pixels, so link traffic scales with the
 // view area, not the image area.
 func (s *Server) ImageView(id object.ID, name string, r img.Rect) (*img.Bitmap, time.Duration, error) {
+	return s.ImageViewAs(0, id, name, r)
+}
+
+// ImageViewAs is ImageView with the device reads attributed to tenant.
+func (s *Server) ImageViewAs(tenant uint64, id object.ID, name string, r img.Rect) (*img.Bitmap, time.Duration, error) {
 	key := fmt.Sprintf("%d/%s", id, name)
 	s.mu.Lock()
 	job, ok := s.rasters[key]
@@ -526,7 +538,7 @@ func (s *Server) ImageView(id object.ID, name string, r img.Rect) (*img.Bitmap, 
 		// any cache hit.
 		<-job.done
 	} else {
-		job.bm, job.dur, job.err = s.rasterize(id, name)
+		job.bm, job.dur, job.err = s.rasterize(tenant, id, name)
 		if job.err != nil {
 			// Do not cache failures: a later Publish may make the
 			// view servable.
@@ -547,8 +559,8 @@ func (s *Server) ImageView(id object.ID, name string, r img.Rect) (*img.Bitmap, 
 
 // rasterize decodes and rasterizes the named image part of an object,
 // charging the device time incurred.
-func (s *Server) rasterize(id object.ID, name string) (*img.Bitmap, time.Duration, error) {
-	d, dur, err := s.Descriptor(id)
+func (s *Server) rasterize(tenant uint64, id object.ID, name string) (*img.Bitmap, time.Duration, error) {
+	d, dur, err := s.DescriptorAs(tenant, id)
 	if err != nil {
 		return nil, dur, err
 	}
@@ -562,7 +574,7 @@ func (s *Server) rasterize(id object.ID, name string) (*img.Bitmap, time.Duratio
 	if ref == nil {
 		return nil, dur, fmt.Errorf("server: object %d has no image %q", id, name)
 	}
-	raw, t2, err := s.ReadPiece(ref.Offset, ref.Length)
+	raw, t2, err := s.ReadPieceAs(tenant, ref.Offset, ref.Length)
 	dur += t2
 	if err != nil {
 		return nil, dur, err
@@ -700,7 +712,7 @@ func (s *Server) Stats() Stats {
 		DeviceWaits:     s.devWaits.Load(),
 		DeviceWaitNanos: s.devWaitNanos.Load(),
 		ReadAheadBlocks: s.raBlocks.Load(),
-		Shed:            s.shed.Load(),
+		Shed:            s.adm.Shed(),
 		EncodedHits:     s.encHits.Load(),
 		EncodedMiss:     s.encMiss.Load(),
 	}
@@ -718,7 +730,7 @@ func (s *Server) ResetStats() {
 	s.devWaits.Store(0)
 	s.devWaitNanos.Store(0)
 	s.raBlocks.Store(0)
-	s.shed.Store(0)
+	s.adm.ResetShed()
 	s.encHits.Store(0)
 	s.encMiss.Store(0)
 	pool.ResetCounters()

@@ -1,0 +1,211 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTimerEdgeCases is the table-driven sweep over the scheduling edge
+// cases the load harness leans on: zero-duration timers, timers at the
+// same tick, past timestamps, cancellation at the firing instant.
+func TestTimerEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, c *Clock) (got, want []int)
+	}{
+		{
+			name: "zero-duration timer fires on next advance",
+			run: func(t *testing.T, c *Clock) ([]int, []int) {
+				var got []int
+				c.AfterFunc(0, func() { got = append(got, 1) })
+				if len(got) != 0 {
+					t.Fatal("zero-duration timer fired before Advance")
+				}
+				c.Advance(0)
+				return got, []int{1}
+			},
+		},
+		{
+			name: "zero-duration chain drains within one advance",
+			run: func(t *testing.T, c *Clock) ([]int, []int) {
+				var got []int
+				c.AfterFunc(0, func() {
+					got = append(got, 1)
+					c.AfterFunc(0, func() { got = append(got, 2) })
+				})
+				c.Advance(0)
+				return got, []int{1, 2}
+			},
+		},
+		{
+			name: "same-tick timers fire FIFO",
+			run: func(t *testing.T, c *Clock) ([]int, []int) {
+				var got []int
+				at := 5 * time.Millisecond
+				for i := 1; i <= 4; i++ {
+					i := i
+					c.Schedule(at, func() { got = append(got, i) })
+				}
+				c.Advance(10 * time.Millisecond)
+				return got, []int{1, 2, 3, 4}
+			},
+		},
+		{
+			name: "same-tick scheduled from callback fires same advance",
+			run: func(t *testing.T, c *Clock) ([]int, []int) {
+				var got []int
+				c.Schedule(time.Millisecond, func() {
+					got = append(got, 1)
+					// Scheduled at the instant now == 1ms: still inside
+					// the window, fires after already-queued same-tick
+					// events.
+					c.Schedule(time.Millisecond, func() { got = append(got, 3) })
+				})
+				c.Schedule(time.Millisecond, func() { got = append(got, 2) })
+				c.Advance(time.Millisecond)
+				return got, []int{1, 2, 3}
+			},
+		},
+		{
+			name: "past timestamp clamps to now",
+			run: func(t *testing.T, c *Clock) ([]int, []int) {
+				var got []int
+				c.Advance(10 * time.Millisecond)
+				c.Schedule(2*time.Millisecond, func() { got = append(got, 1) })
+				c.Advance(0)
+				return got, []int{1}
+			},
+		},
+		{
+			name: "stop at firing tick prevents the event",
+			run: func(t *testing.T, c *Clock) ([]int, []int) {
+				var got []int
+				var tm *Timer
+				c.Schedule(time.Millisecond, func() {
+					got = append(got, 1)
+					if !tm.Stop() {
+						t.Fatal("Stop on a pending same-tick timer reported not-pending")
+					}
+				})
+				tm = c.Schedule(time.Millisecond, func() { got = append(got, 2) })
+				c.Advance(time.Millisecond)
+				return got, []int{1}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, want := tc.run(t, New())
+			if len(got) != len(want) {
+				t.Fatalf("fired %v, want %v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("fired %v, want %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentAdvanceCallers: N goroutines each Advance(d) concurrently;
+// they must serialize, the clock must land on the sum, and every event
+// must fire exactly once in timestamp order. Run under -race.
+func TestConcurrentAdvanceCallers(t *testing.T) {
+	c := New()
+	const (
+		goroutines = 8
+		step       = time.Millisecond
+	)
+	var mu sync.Mutex
+	var fired []time.Duration
+	for i := 1; i <= goroutines; i++ {
+		at := time.Duration(i) * step
+		c.Schedule(at, func() {
+			// Events fire one at a time (the firing pass holds the
+			// clock); the mutex is for cross-goroutine visibility.
+			mu.Lock()
+			fired = append(fired, at)
+			mu.Unlock()
+		})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Advance(step)
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Now(), time.Duration(goroutines)*step; got != want {
+		t.Fatalf("Now() = %v after %d concurrent Advance(%v), want %v", got, goroutines, step, want)
+	}
+	if len(fired) != goroutines {
+		t.Fatalf("%d events fired, want %d", len(fired), goroutines)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("events fired out of timestamp order: %v", fired)
+		}
+	}
+}
+
+// TestConcurrentScheduleRace: many goroutines schedule concurrently;
+// nothing is lost and the clock survives -race.
+func TestConcurrentScheduleRace(t *testing.T) {
+	c := New()
+	var fired sync.Map
+	var wg sync.WaitGroup
+	const n = 100
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.AfterFunc(time.Duration(i%10)*time.Millisecond, func() {
+				fired.Store(i, true)
+			})
+		}(i)
+	}
+	wg.Wait()
+	c.Advance(time.Second)
+	count := 0
+	fired.Range(func(_, _ any) bool { count++; return true })
+	if count != n {
+		t.Fatalf("%d events fired, want %d", count, n)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("%d events still pending", c.Pending())
+	}
+}
+
+// TestReentrantAdvanceStillPanicsConcurrently: with concurrent callers
+// waiting their turn, a re-entrant call from a callback must still panic
+// (it is the firing goroutine) rather than deadlock or corrupt the heap.
+func TestReentrantAdvanceStillPanicsConcurrently(t *testing.T) {
+	c := New()
+	panicked := make(chan any, 1)
+	c.AfterFunc(time.Millisecond, func() {
+		defer func() { panicked <- recover() }()
+		c.Advance(time.Millisecond)
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Advance(2 * time.Millisecond) // concurrent caller: waits, then proceeds
+	}()
+	c.Advance(2 * time.Millisecond)
+	wg.Wait()
+	if p := <-panicked; p == nil {
+		t.Fatal("re-entrant Advance from a callback did not panic")
+	}
+	// The clock must remain usable after the recovered panic.
+	var ok bool
+	c.AfterFunc(time.Millisecond, func() { ok = true })
+	c.Advance(time.Millisecond)
+	if !ok {
+		t.Fatal("clock unusable after recovered re-entrancy panic")
+	}
+}

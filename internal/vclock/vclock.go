@@ -8,33 +8,51 @@ package vclock
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 )
 
 // Clock is a virtual clock. The zero value is not usable; use New.
 //
-// A Clock is single-threaded by design: events fire inside Advance/Run on
-// the calling goroutine, in timestamp order (FIFO among equal timestamps).
-// This mirrors a classical discrete-event simulator and avoids any
-// dependence on goroutine scheduling for experiment results.
+// Events fire inside Advance/Run on the calling goroutine, in timestamp
+// order (FIFO among equal timestamps), mirroring a classical discrete-event
+// simulator: within one Advance nothing depends on goroutine scheduling.
+// The clock itself is safe for concurrent use — Schedule and Now may be
+// called from any goroutine, and concurrent Advance/Run callers serialize:
+// late arrivals wait for the in-progress pass to finish, then advance from
+// the then-current time. Calling Advance or Run from inside an event
+// callback is still a programming error and panics, as the traversal it
+// would re-enter is the one that invoked the callback.
 type Clock struct {
+	mu     sync.Mutex
+	cond   *sync.Cond // signalled when a firing pass completes
 	now    time.Duration
 	events eventHeap
 	seq    uint64
-	// firing guards against re-entrant Advance calls from inside an
-	// event callback, which would corrupt the heap traversal.
-	firing bool
+	// firing marks an Advance/Run pass in progress; firingG is the id of
+	// the goroutine running it, used to tell a re-entrant call (panic)
+	// from a concurrent one (wait).
+	firing  bool
+	firingG uint64
 }
 
 // New returns a Clock positioned at time zero with no pending events.
 func New() *Clock {
-	return &Clock{}
+	c := &Clock{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
 }
 
 // Now returns the current virtual time as an offset from the clock's origin.
-func (c *Clock) Now() time.Duration { return c.now }
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
 
-// Timer is a handle to a scheduled event. Stop cancels it.
+// Timer is a handle to a scheduled event. Stop cancels it. A Timer is for
+// use by one goroutine at a time.
 type Timer struct {
 	clock   *Clock
 	id      uint64
@@ -96,6 +114,8 @@ func (c *Clock) Schedule(at time.Duration, fn func()) *Timer {
 	if fn == nil {
 		panic("vclock: Schedule with nil function")
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if at < c.now {
 		at = c.now
 	}
@@ -110,10 +130,20 @@ func (c *Clock) AfterFunc(d time.Duration, fn func()) *Timer {
 	if d < 0 {
 		d = 0
 	}
-	return c.Schedule(c.now+d, fn)
+	if fn == nil {
+		panic("vclock: Schedule with nil function")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	e := &event{at: c.now + d, seq: c.seq, fn: fn}
+	heap.Push(&c.events, e)
+	return &Timer{clock: c, id: e.seq}
 }
 
 func (c *Clock) cancel(id uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, e := range c.events {
 		if e.seq == id && !e.cancelled {
 			e.cancelled = true
@@ -125,6 +155,8 @@ func (c *Clock) cancel(id uint64) bool {
 
 // Pending reports the number of scheduled, uncancelled events.
 func (c *Clock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := 0
 	for _, e := range c.events {
 		if !e.cancelled {
@@ -134,26 +166,86 @@ func (c *Clock) Pending() int {
 	return n
 }
 
+// goid returns the current goroutine's id, parsed from the runtime stack
+// header ("goroutine N [...]"). It is taken once per Advance/Run pass, only
+// to distinguish a re-entrant call from a concurrent one.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = "goroutine "
+	var id uint64
+	for _, ch := range buf[len(prefix):n] {
+		if ch < '0' || ch > '9' {
+			break
+		}
+		id = id*10 + uint64(ch-'0')
+	}
+	return id
+}
+
+// beginPass marks a firing pass started by goroutine g, waiting out any
+// concurrent pass first and panicking on re-entrancy from a callback.
+func (c *Clock) beginPass(g uint64, what string) {
+	for c.firing {
+		if c.firingG == g {
+			c.mu.Unlock()
+			panic("vclock: re-entrant " + what + " from event callback")
+		}
+		c.cond.Wait()
+	}
+	c.firing = true
+	c.firingG = g
+}
+
+// endPass ends the pass and wakes concurrent Advance/Run callers.
+func (c *Clock) endPass() {
+	c.firing = false
+	c.cond.Broadcast()
+}
+
 // Advance moves the clock forward by d, firing every event whose timestamp
 // falls within the window, in order. Events scheduled by callbacks within
-// the window also fire.
+// the window also fire. A concurrent Advance waits for the in-progress pass
+// and then advances by d from the then-current time, so N concurrent
+// callers always move the clock forward by the sum of their durations.
 func (c *Clock) Advance(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("vclock: Advance by negative duration %v", d))
 	}
-	c.AdvanceTo(c.now + d)
+	g := goid()
+	c.mu.Lock()
+	c.beginPass(g, "Advance")
+	c.advanceLocked(c.now + d)
 }
 
 // AdvanceTo moves the clock forward to absolute time t, firing due events.
 func (c *Clock) AdvanceTo(t time.Duration) {
+	g := goid()
+	c.mu.Lock()
+	c.beginPass(g, "Advance")
 	if t < c.now {
-		panic(fmt.Sprintf("vclock: AdvanceTo(%v) before now (%v)", t, c.now))
+		now := c.now
+		c.endPass()
+		c.mu.Unlock()
+		panic(fmt.Sprintf("vclock: AdvanceTo(%v) before now (%v)", t, now))
 	}
-	if c.firing {
-		panic("vclock: re-entrant Advance from event callback")
-	}
-	c.firing = true
-	defer func() { c.firing = false }()
+	c.advanceLocked(t)
+}
+
+// advanceLocked fires events through t. Called with mu held and the pass
+// begun; releases the lock around each callback (callbacks may Schedule,
+// Stop timers, or read Now) and unlocks before returning. The pass is
+// ended even when a callback panics (e.g. by re-entering Advance), so the
+// clock stays usable after a recovered panic.
+func (c *Clock) advanceLocked(t time.Duration) {
+	locked := true
+	defer func() {
+		if !locked {
+			c.mu.Lock()
+		}
+		c.endPass()
+		c.mu.Unlock()
+	}()
 	for len(c.events) > 0 {
 		next := c.events[0]
 		if next.cancelled {
@@ -165,7 +257,11 @@ func (c *Clock) AdvanceTo(t time.Duration) {
 		}
 		heap.Pop(&c.events)
 		c.now = next.at
+		c.mu.Unlock()
+		locked = false
 		next.fn()
+		c.mu.Lock()
+		locked = true
 	}
 	c.now = t
 }
@@ -175,11 +271,17 @@ func (c *Clock) AdvanceTo(t time.Duration) {
 // means "no limit"; in that case the caller is responsible for ensuring the
 // event set drains (e.g. a tour that ends).
 func (c *Clock) Run(limit time.Duration) time.Duration {
-	if c.firing {
-		panic("vclock: re-entrant Run from event callback")
-	}
-	c.firing = true
-	defer func() { c.firing = false }()
+	g := goid()
+	c.mu.Lock()
+	c.beginPass(g, "Run")
+	locked := true
+	defer func() {
+		if !locked {
+			c.mu.Lock()
+		}
+		c.endPass()
+		c.mu.Unlock()
+	}()
 	for len(c.events) > 0 {
 		next := c.events[0]
 		if next.cancelled {
@@ -192,7 +294,11 @@ func (c *Clock) Run(limit time.Duration) time.Duration {
 		}
 		heap.Pop(&c.events)
 		c.now = next.at
+		c.mu.Unlock()
+		locked = false
 		next.fn()
+		c.mu.Lock()
+		locked = true
 	}
 	if limit > 0 && limit > c.now {
 		c.now = limit

@@ -396,7 +396,7 @@ const maxConnInFlight = 64
 // request's correlation id, so slow (device-bound) requests do not block
 // fast (cache-hit) ones behind head-of-line. Returns when the connection
 // dies, after draining in-flight handlers.
-func muxConn(conn net.Conn, h *Handler, opts ServeOpts, serialMu *sync.Mutex, logf func(format string, args ...any)) {
+func muxConn(conn net.Conn, tenant uint64, h *Handler, opts ServeOpts, serialMu *sync.Mutex, logf func(format string, args ...any)) {
 	var (
 		writeMu sync.Mutex
 		wg      sync.WaitGroup
@@ -429,10 +429,10 @@ func muxConn(conn net.Conn, h *Handler, opts ServeOpts, serialMu *sync.Mutex, lo
 			var resp []byte
 			if opts.Serialize {
 				serialMu.Lock()
-				resp = h.Handle(req)
+				resp = h.HandleAs(tenant, req)
 				serialMu.Unlock()
 			} else {
-				resp = h.Handle(req)
+				resp = h.HandleAs(tenant, req)
 			}
 			pool.Bytes.Put(frame) // Handle copies what it keeps
 			out := muxFrame(id, resp)

@@ -30,8 +30,9 @@ type LocalTransport struct {
 	Bandwidth int64
 
 	mu          sync.Mutex
-	bytesSent   int64 // workstation -> server
-	bytesRecv   int64 // server -> workstation
+	tenant      uint64 // fairness identity, claimed from H on first use
+	bytesSent   int64  // workstation -> server
+	bytesRecv   int64  // server -> workstation
 	roundTrips  int64
 	linkTime    time.Duration
 	outstanding int // in-flight exchanges (Start issued, Wait pending)
@@ -64,9 +65,16 @@ func (p *localPending) Wait() ([]byte, error) {
 // Start implements Pipeliner. The handler runs immediately (the simulated
 // link defers cost accounting, not work); the exchange stays open until
 // Wait, and only the exchange that opens a batch window pays the link's
-// round-trip latency.
+// round-trip latency. Each transport serves one simulated workstation, so
+// it claims one tenant identity for the server's fairness machinery.
 func (l *LocalTransport) Start(req []byte) Pending {
-	resp := l.H.Handle(req)
+	l.mu.Lock()
+	if l.tenant == 0 {
+		l.tenant = l.H.NewTenant()
+	}
+	tenant := l.tenant
+	l.mu.Unlock()
+	resp := l.H.HandleAs(tenant, req)
 	l.mu.Lock()
 	l.bytesSent += int64(len(req))
 	l.bytesRecv += int64(len(resp))
@@ -292,6 +300,9 @@ func ServeWith(l net.Listener, h *Handler, opts ServeOpts) error {
 		connMu.Unlock()
 		wg.Add(1)
 		go func(conn net.Conn) {
+			// One tenant per connection: admission fairness tracks
+			// sessions, not individual requests.
+			tenant := h.NewTenant()
 			defer wg.Done()
 			defer func() {
 				connMu.Lock()
@@ -314,10 +325,10 @@ func ServeWith(l net.Listener, h *Handler, opts ServeOpts) error {
 				var resp []byte
 				if opts.Serialize {
 					serialMu.Lock()
-					resp = h.Handle(req)
+					resp = h.HandleAs(tenant, req)
 					serialMu.Unlock()
 				} else {
-					resp = h.Handle(req)
+					resp = h.HandleAs(tenant, req)
 				}
 				if err := writeFramePooled(conn, resp); err != nil {
 					if !errors.Is(err, net.ErrClosed) {
@@ -339,7 +350,7 @@ func ServeWith(l net.Listener, h *Handler, opts ServeOpts) error {
 				pool.Bytes.Put(req)
 				recycleResponse(resp)
 				if upgrade {
-					muxConn(conn, h, opts, &serialMu, logf)
+					muxConn(conn, tenant, h, opts, &serialMu, logf)
 					return
 				}
 			}

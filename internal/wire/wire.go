@@ -189,10 +189,25 @@ func (c *cursor) rest() []byte { return c.data[c.pos:] }
 // Handler serves protocol requests against a server.
 type Handler struct {
 	Srv *server.Server
+
+	// tenants hands out the per-connection fairness identities passed to
+	// the server's admission gate and seek semaphore.
+	tenants atomic.Uint64
 }
 
-// Handle processes one request message and returns the response message.
-func (h *Handler) Handle(req []byte) []byte {
+// NewTenant allocates a fresh tenant identity. The serving loops call it
+// once per accepted connection (and LocalTransport once per transport), so
+// admission fairness is per session, not per request.
+func (h *Handler) NewTenant() uint64 { return h.tenants.Add(1) }
+
+// Handle processes one request message on behalf of the anonymous tenant
+// and returns the response message. Connection-serving paths use HandleAs
+// with a per-connection tenant instead.
+func (h *Handler) Handle(req []byte) []byte { return h.HandleAs(0, req) }
+
+// HandleAs processes one request message attributed to tenant and returns
+// the response message.
+func (h *Handler) HandleAs(tenant uint64, req []byte) []byte {
 	c := &cursor{data: req}
 	op, err := c.u8()
 	if err != nil {
@@ -204,7 +219,7 @@ func (h *Handler) Handle(req []byte) []byte {
 	// are always served — they are what a degraded client needs most.
 	switch op {
 	case OpReadPiece, OpDescriptor, OpImageView:
-		release, aerr := h.Srv.Admit()
+		release, aerr := h.Srv.AdmitAs(tenant)
 		if aerr != nil {
 			return errResp(aerr)
 		}
@@ -233,7 +248,7 @@ func (h *Handler) Handle(req []byte) []byte {
 		if err != nil {
 			return errResp(err)
 		}
-		d, dur, err := h.Srv.Descriptor(object.ID(id))
+		d, dur, err := h.Srv.DescriptorAs(tenant, object.ID(id))
 		if err != nil {
 			return errResp(err)
 		}
@@ -247,7 +262,7 @@ func (h *Handler) Handle(req []byte) []byte {
 		if err != nil {
 			return errResp(err)
 		}
-		data, dur, err := h.Srv.ReadPiece(off, length)
+		data, dur, err := h.Srv.ReadPieceAs(tenant, off, length)
 		if err != nil {
 			return errResp(err)
 		}
@@ -323,7 +338,7 @@ func (h *Handler) Handle(req []byte) []byte {
 			}
 			rect[i] = int(int32(v))
 		}
-		bm, dur, err := h.Srv.ImageView(object.ID(id), name, img.Rect{X: rect[0], Y: rect[1], W: rect[2], H: rect[3]})
+		bm, dur, err := h.Srv.ImageViewAs(tenant, object.ID(id), name, img.Rect{X: rect[0], Y: rect[1], W: rect[2], H: rect[3]})
 		if err != nil {
 			return errResp(err)
 		}
