@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 
-.PHONY: all build test race bench bench-smoke bench-json bench-json-smoke alloc-guard fault-matrix load-smoke fmt vet check
+.PHONY: all build test race bench bench-smoke bench-json bench-json-smoke alloc-guard fault-matrix load-smoke shard-smoke fmt vet check
 
 all: build
 
@@ -13,7 +13,7 @@ test:
 
 # Short-mode race pass over the packages with concurrency stress tests.
 race:
-	$(GO) test -race -short ./internal/server ./internal/wire ./internal/workstation ./internal/faults ./internal/sched ./internal/vclock
+	$(GO) test -race -short ./internal/server ./internal/wire ./internal/workstation ./internal/faults ./internal/sched ./internal/vclock ./internal/cluster
 
 # Resilience suite: fault injection, v1/v2 interop under faults, session
 # resync/degraded serving, and the E-FAULT experiment.
@@ -31,15 +31,20 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'EPipe|Mux|Prefetch' -benchtime=1x . ./internal/wire ./internal/workstation
 
 # Benchmark-regression report: run the E-ALLOC hot-path benchmarks plus
-# the E-LOAD mass-session run and write the combined report to
-# $(BENCH_OUT) (committed per PR).
+# the E-LOAD mass-session run and the E-SHARD scaling sweep, and write the
+# combined report to $(BENCH_OUT) (committed per PR).
 bench-json:
-	$(GO) run ./cmd/minos-bench -load -out $(BENCH_OUT)
+	$(GO) run ./cmd/minos-bench -load -shard -out $(BENCH_OUT)
 
 # E-LOAD smoke: ~100 sessions x 200 steps through the load harness with a
 # p99 latency bound. Cheap enough to gate every `make check`.
 load-smoke:
 	$(GO) test -run 'ELoadSmoke' -count=1 .
+
+# E-SHARD smoke: a 2-shard mini run under vclock with a mid-run primary
+# failure — proves partitioned routing and replica failover on every check.
+shard-smoke:
+	$(GO) test -run 'EShardSmoke' -count=1 .
 
 # One-iteration harness smoke: proves minos-bench still runs and parses
 # without overwriting the committed report.
@@ -49,7 +54,7 @@ bench-json-smoke:
 # Steady-state allocation guards (testing.AllocsPerRun); skipped under
 # -race, where the runtime deliberately drops sync.Pool entries.
 alloc-guard:
-	$(GO) test -run 'Alloc' -count=1 ./internal/image ./internal/voice ./internal/server ./internal/wire
+	$(GO) test -run 'Alloc' -count=1 ./internal/image ./internal/voice ./internal/server ./internal/wire ./internal/cluster
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -58,4 +63,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test race fault-matrix bench-smoke alloc-guard bench-json-smoke load-smoke
+check: fmt vet build test race fault-matrix bench-smoke alloc-guard bench-json-smoke load-smoke shard-smoke

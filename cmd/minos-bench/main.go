@@ -9,7 +9,8 @@
 // Usage:
 //
 //	minos-bench [-out file] [-bench regex] [-benchtime d] [-count n]
-//	            [-load] [-load-sessions n] [-load-duration d] [pkg ...]
+//	            [-load] [-load-sessions n] [-load-duration d]
+//	            [-shard] [-shard-sessions n] [-shard-duration d] [pkg ...]
 //
 // With -out - the report goes to stdout. The default package set covers the
 // rasterize→encode, miniature-serve, synthesis and wire paths measured by
@@ -19,6 +20,13 @@
 // the internal/loadgen harness drives the configured fleet in-process
 // against a fresh corpus and the measured latency percentiles, shed rate,
 // fairness ratio and device-wait histogram are embedded under "load".
+//
+// With -shard the report carries the E-SHARD scaling sweep: the corpus is
+// partitioned across N = 1/2/4/8 shards by the cluster hash ring, each
+// shard gets the identical per-shard configuration, a saturating hot
+// population scaled with N drives the fleet, and the aggregate device-path
+// throughput plus p99 per width is embedded under "shard" — together with
+// a 2-shard mid-run primary-failure run showing replica failover.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"minos/internal/cluster"
 	"minos/internal/loadgen"
 )
 
@@ -76,17 +85,57 @@ type LoadReport struct {
 	DevWaits      []int64 `json:"dev_waits"`
 }
 
+// ShardPoint is one width of the E-SHARD scaling sweep.
+type ShardPoint struct {
+	Shards      int   `json:"shards"`
+	Sessions    int   `json:"sessions"`
+	Steps       int64 `json:"steps"`
+	DeviceSteps int64 `json:"device_steps"`
+	// Throughput is device-path completions per virtual second.
+	Throughput float64 `json:"throughput_per_s"`
+	P99Ms      float64 `json:"p99_ms"`
+	ShedRate   float64 `json:"shed_rate"`
+}
+
+// ShardFailover is the embedded replica-failover run: a 2-shard fleet
+// whose shard-0 primary dies mid-experiment.
+type ShardFailover struct {
+	Shards        int     `json:"shards"`
+	Sessions      int     `json:"sessions"`
+	FailShard     int     `json:"fail_shard"`
+	FailAtMs      float64 `json:"fail_at_ms"`
+	Steps         int64   `json:"steps"`
+	DeviceSteps   int64   `json:"device_steps"`
+	FailoverSteps int64   `json:"failover_steps"`
+	P99Ms         float64 `json:"p99_ms"`
+	MinSteps      int64   `json:"min_steps"`
+}
+
+// ShardReport is the embedded E-SHARD result.
+type ShardReport struct {
+	SessionsPerShard int          `json:"sessions_per_shard"`
+	DurationMs       float64      `json:"duration_ms"`
+	MaxInFlight      int          `json:"max_in_flight"`
+	Seed             uint64       `json:"seed"`
+	Points           []ShardPoint `json:"points"`
+	// SpeedupAt4 is aggregate throughput at N=4 over N=1 (acceptance
+	// bar: >= 3).
+	SpeedupAt4 float64        `json:"speedup_at_4"`
+	Failover   *ShardFailover `json:"failover,omitempty"`
+}
+
 // Report is the written JSON document.
 type Report struct {
-	GoVersion string      `json:"go_version"`
-	Bench     string      `json:"bench"`
-	BenchTime string      `json:"benchtime"`
-	Results   []Result    `json:"results"`
-	Load      *LoadReport `json:"load,omitempty"`
+	GoVersion string       `json:"go_version"`
+	Bench     string       `json:"bench"`
+	BenchTime string       `json:"benchtime"`
+	Results   []Result     `json:"results"`
+	Load      *LoadReport  `json:"load,omitempty"`
+	Shard     *ShardReport `json:"shard,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "report file (- = stdout)")
+	out := flag.String("out", "BENCH_7.json", "report file (- = stdout)")
 	bench := flag.String("bench", "Rasterize|Miniature|Synthesize|MuxBatched|LocalRoundTrip", "benchmark regex passed to go test")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (empty = default)")
 	count := flag.Int("count", 1, "go test -count value")
@@ -95,6 +144,11 @@ func main() {
 	loadDuration := flag.Duration("load-duration", 30*time.Second, "E-LOAD virtual duration")
 	loadMaxInFlight := flag.Int("load-maxinflight", 64, "E-LOAD server admission bound")
 	loadSeed := flag.Uint64("load-seed", 1986, "E-LOAD run seed")
+	shard := flag.Bool("shard", false, "run the E-SHARD scaling sweep and embed its result")
+	shardSessions := flag.Int("shard-sessions", 64, "E-SHARD saturating sessions per shard")
+	shardDuration := flag.Duration("shard-duration", 20*time.Second, "E-SHARD virtual duration per width")
+	shardMaxInFlight := flag.Int("shard-maxinflight", 8, "E-SHARD per-shard admission bound")
+	shardSeed := flag.Uint64("shard-seed", 1986, "E-SHARD run seed")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
@@ -111,6 +165,16 @@ func main() {
 		rep.Load = lr
 		fmt.Fprintf(os.Stderr, "minos-bench: E-LOAD %d sessions: steps=%d shed=%.1f%% p99=%.2fms fairness=%.2f\n",
 			lr.Sessions, lr.Steps, 100*lr.ShedRate, lr.P99Ms, lr.FairnessRatio)
+	}
+	if *shard {
+		sr, err := runShard(*shardSessions, *shardDuration, *shardMaxInFlight, *shardSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minos-bench: shard: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Shard = sr
+		fmt.Fprintf(os.Stderr, "minos-bench: E-SHARD speedup at N=4: %.2fx; failover steps: %d\n",
+			sr.SpeedupAt4, sr.Failover.FailoverSteps)
 	}
 	for _, pkg := range pkgs {
 		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
@@ -230,6 +294,88 @@ func runLoad(sessions int, duration time.Duration, maxInFlight int, seed uint64)
 		MaxSteps:      res.MaxSteps,
 		DevWaits:      res.DevWaits,
 	}, nil
+}
+
+// runShard sweeps the E-SHARD widths with the identical per-shard
+// configuration and a saturating hot population scaled with N, then runs
+// the 2-shard replica-failover experiment. Deterministic: same flags,
+// same report.
+func runShard(perShard int, duration time.Duration, maxInFlight int, seed uint64) (*ShardReport, error) {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	sr := &ShardReport{
+		SessionsPerShard: perShard,
+		DurationMs:       ms(duration),
+		MaxInFlight:      maxInFlight,
+		Seed:             seed,
+	}
+	var base float64
+	for _, n := range []int{1, 2, 4, 8} {
+		fleet, err := loadgen.BuildFleet(1<<15, 60, 12, n, cluster.DefaultVnodes, false)
+		if err != nil {
+			return nil, err
+		}
+		sessions := perShard * n
+		res, err := loadgen.RunFleet(fleet, loadgen.Config{
+			Sessions:    sessions,
+			Duration:    duration,
+			Seed:        seed,
+			MaxInFlight: maxInFlight,
+			HotSessions: sessions,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tput := 0.0
+		if res.VirtualTime > 0 {
+			tput = float64(res.DeviceSteps) / res.VirtualTime.Seconds()
+		}
+		if n == 1 {
+			base = tput
+		} else if n == 4 && base > 0 {
+			sr.SpeedupAt4 = tput / base
+		}
+		sr.Points = append(sr.Points, ShardPoint{
+			Shards:      n,
+			Sessions:    sessions,
+			Steps:       res.Steps,
+			DeviceSteps: res.DeviceSteps,
+			Throughput:  tput,
+			P99Ms:       ms(res.P99),
+			ShedRate:    res.ShedRate,
+		})
+		fmt.Fprintf(os.Stderr, "minos-bench: E-SHARD N=%d: deviceSteps=%d throughput=%.0f/s p99=%.2fms\n",
+			n, res.DeviceSteps, tput, ms(res.P99))
+	}
+	// Replica failover: a 2-shard fleet with replicas, shard 0's primary
+	// dying at the midpoint.
+	fleet, err := loadgen.BuildFleet(1<<15, 60, 12, 2, cluster.DefaultVnodes, true)
+	if err != nil {
+		return nil, err
+	}
+	failAt := 15 * time.Second
+	res, err := loadgen.RunFleet(fleet, loadgen.Config{
+		Sessions:    128,
+		Duration:    30 * time.Second,
+		Seed:        seed,
+		MaxInFlight: 32,
+		FailShard:   0,
+		FailShardAt: failAt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sr.Failover = &ShardFailover{
+		Shards:        2,
+		Sessions:      128,
+		FailShard:     0,
+		FailAtMs:      ms(failAt),
+		Steps:         res.Steps,
+		DeviceSteps:   res.DeviceSteps,
+		FailoverSteps: res.FailoverSteps,
+		P99Ms:         ms(res.P99),
+		MinSteps:      res.MinSteps,
+	}
+	return sr, nil
 }
 
 func goVersion() string {

@@ -1,0 +1,182 @@
+package minos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"minos/internal/cluster"
+	"minos/internal/loadgen"
+)
+
+// E-SHARD: horizontal scaling of the object-server fleet. One optical-disk
+// server was the paper's deployment unit (§5); the north star — "millions
+// of users" — needs many. This experiment partitions the corpus across N
+// shards with the consistent-hash ring, gives every shard the identical
+// per-shard configuration (admission bound, one optical head, link model),
+// scales the saturating session population with N, and measures aggregate
+// read throughput and p99 step latency at N = 1/2/4/8 under the §6
+// scenario mixes.
+//
+// Claims gated here:
+//   - near-linear scaling: N=4 serves >= 3x the device-path read
+//     throughput of N=1 at the same per-shard config;
+//   - p99 step latency stays within the single-shard envelope as the
+//     fleet grows (per-shard load is constant, so queues are too);
+//   - a primary failure mid-run fails reads over to the shard's WORM
+//     replica: sessions keep completing steps, nobody is starved;
+//   - the whole experiment is deterministic (bit-identical Results).
+
+// eshardSessionsPerShard is the per-shard saturating population: far more
+// hot sessions than one head and MaxInFlight=8 admission slots can serve,
+// so completed device steps measure capacity, not offered load.
+const eshardSessionsPerShard = 64
+
+func eshardFleet(t *testing.T, shards int, replicas bool) *loadgen.Fleet {
+	t.Helper()
+	f, err := loadgen.BuildFleet(1<<15, 60, 12, shards, cluster.DefaultVnodes, replicas)
+	if err != nil {
+		t.Fatalf("BuildFleet(%d): %v", shards, err)
+	}
+	return f
+}
+
+func eshardConfig(shards int) loadgen.Config {
+	sessions := eshardSessionsPerShard * shards
+	return loadgen.Config{
+		Sessions:    sessions,
+		Duration:    20 * time.Second,
+		Seed:        1986,
+		MaxInFlight: 8,
+		HotSessions: sessions, // everyone saturates: capacity is the measurand
+	}
+}
+
+// throughput is device-path completions per virtual second.
+func throughput(res loadgen.Result) float64 {
+	if res.VirtualTime <= 0 {
+		return 0
+	}
+	return float64(res.DeviceSteps) / res.VirtualTime.Seconds()
+}
+
+// TestEShardScaling is the headline N=1/2/4/8 sweep.
+func TestEShardScaling(t *testing.T) {
+	widths := []int{1, 2, 4, 8}
+	if testing.Short() {
+		widths = []int{1, 2, 4}
+	}
+	results := map[int]loadgen.Result{}
+	for _, n := range widths {
+		res, err := loadgen.RunFleet(eshardFleet(t, n, false), eshardConfig(n))
+		if err != nil {
+			t.Fatalf("RunFleet(N=%d): %v", n, err)
+		}
+		results[n] = res
+		t.Logf("E-SHARD N=%d: sessions=%d deviceSteps=%d throughput=%.0f/s p99=%v shed=%.1f%%",
+			n, res.Sessions, res.DeviceSteps, throughput(res), res.P99, 100*res.ShedRate)
+		if res.DeviceSteps == 0 {
+			t.Fatalf("N=%d completed no device steps", n)
+		}
+	}
+	base := throughput(results[1])
+	if base <= 0 {
+		t.Fatal("single-shard throughput is zero")
+	}
+	// The acceptance bar: 4 shards, 4x the population, same per-shard
+	// config — at least 3x the aggregate read throughput.
+	if speedup := throughput(results[4]) / base; speedup < 3 {
+		t.Fatalf("N=4 speedup %.2fx below the 3x acceptance bar", speedup)
+	}
+	// Monotonicity across the sweep: adding shards never loses capacity.
+	prev := 0.0
+	for _, n := range widths {
+		cur := throughput(results[n])
+		if cur < prev {
+			t.Fatalf("throughput fell from %.0f/s to %.0f/s at N=%d", prev, cur, n)
+		}
+		prev = cur
+	}
+	// Per-shard load is constant, so the latency envelope must not grow
+	// materially with fleet width.
+	if limit := 2 * results[1].P99; results[4].P99 > limit {
+		t.Fatalf("N=4 p99 %v blew past the single-shard envelope %v", results[4].P99, limit)
+	}
+}
+
+// TestEShardFailover kills shard 0's primary mid-experiment; its WORM
+// replica absorbs the reads and the browse sessions complete.
+func TestEShardFailover(t *testing.T) {
+	cfg := loadgen.Config{
+		Sessions:    128,
+		Duration:    30 * time.Second,
+		Seed:        1986,
+		MaxInFlight: 32,
+		FailShard:   0,
+		FailShardAt: 15 * time.Second,
+	}
+	res, err := loadgen.RunFleet(eshardFleet(t, 2, true), cfg)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	t.Logf("E-SHARD failover: steps=%d deviceSteps=%d failoverSteps=%d p99=%v minSteps=%d",
+		res.Steps, res.DeviceSteps, res.FailoverSteps, res.P99, res.MinSteps)
+	if res.FailoverSteps == 0 {
+		t.Fatal("no device steps were served by the replica after the primary failure")
+	}
+	if res.MinSteps == 0 {
+		t.Fatalf("a session starved across the failover: %+v", res)
+	}
+	if res.P99 > 10*time.Second {
+		t.Fatalf("p99 %v exceeds the 10s envelope across the failover", res.P99)
+	}
+}
+
+// TestEShardDeterminism: the sharded run is as repeatable as the
+// single-server one — bit-identical Results for identical inputs.
+func TestEShardDeterminism(t *testing.T) {
+	cfg := eshardConfig(4)
+	cfg.Duration = 8 * time.Second
+	a, err := loadgen.RunFleet(eshardFleet(t, 4, false), cfg)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	b, err := loadgen.RunFleet(eshardFleet(t, 4, false), cfg)
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("E-SHARD diverged between identical runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestEShardSmoke is the `make shard-smoke` gate: a closed 2-shard run
+// with a mid-run failover, cheap enough for every `make check`. Every
+// session must finish all its steps even though a primary dies.
+func TestEShardSmoke(t *testing.T) {
+	f, err := loadgen.BuildFleet(1<<14, 30, 6, 2, cluster.DefaultVnodes, true)
+	if err != nil {
+		t.Fatalf("BuildFleet: %v", err)
+	}
+	res, err := loadgen.RunFleet(f, loadgen.Config{
+		Sessions:    60,
+		StepsEach:   100,
+		Seed:        99,
+		MaxInFlight: 32,
+		FailShard:   0,
+		FailShardAt: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if want := int64(60 * 100); res.Steps != want {
+		t.Fatalf("completed %d steps, want %d", res.Steps, want)
+	}
+	if res.FailoverSteps == 0 {
+		t.Fatal("failover never engaged")
+	}
+	if res.P99 > 5*time.Second {
+		t.Fatalf("p99 %v exceeds generous 5s bound", res.P99)
+	}
+	t.Logf("shard-smoke: p50=%v p99=%v failoverSteps=%d shed=%.1f%%", res.P50, res.P99, res.FailoverSteps, 100*res.ShedRate)
+}

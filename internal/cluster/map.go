@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Shard names one shard's serving endpoints: the primary (which also
+// ingests — writes stay pinned to it) and any number of read replicas of
+// its WORM archive.
+type Shard struct {
+	ID       int
+	Primary  string
+	Replicas []string
+}
+
+// Map is the cluster map: which shards exist, where each one is served,
+// and a monotonically increasing epoch. Servers hand the encoded map to
+// clients at HELLO time and via the CLUSTERMAP op; a client that routed a
+// request with a stale map refetches instead of failing hard (the epoch
+// tells it whether the map actually moved).
+type Map struct {
+	Epoch uint64
+	// Vnodes is the ring's virtual-point count, carried in the map so
+	// every client builds the identical ring the partitioner used.
+	Vnodes int
+	Shards []Shard
+}
+
+// mapMagic leads the encoded map so damaged payloads fail fast.
+const mapMagic = 0xC7
+
+// ErrBadMap reports an undecodable cluster-map payload.
+var ErrBadMap = errors.New("cluster: bad map payload")
+
+// Encode serializes the map for the wire: magic, epoch, vnodes, then each
+// shard as [id][primary][replica count][replicas...].
+func (m *Map) Encode() []byte {
+	out := []byte{mapMagic}
+	out = binary.BigEndian.AppendUint64(out, m.Epoch)
+	out = binary.BigEndian.AppendUint32(out, uint32(m.Vnodes))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(m.Shards)))
+	for _, s := range m.Shards {
+		out = binary.BigEndian.AppendUint32(out, uint32(s.ID))
+		out = appendMapStr(out, s.Primary)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(s.Replicas)))
+		for _, r := range s.Replicas {
+			out = appendMapStr(out, r)
+		}
+	}
+	return out
+}
+
+func appendMapStr(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+type mapCursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *mapCursor) u32() (uint32, error) {
+	if c.pos+4 > len(c.data) {
+		return 0, ErrBadMap
+	}
+	v := binary.BigEndian.Uint32(c.data[c.pos:])
+	c.pos += 4
+	return v, nil
+}
+
+func (c *mapCursor) u64() (uint64, error) {
+	if c.pos+8 > len(c.data) {
+		return 0, ErrBadMap
+	}
+	v := binary.BigEndian.Uint64(c.data[c.pos:])
+	c.pos += 8
+	return v, nil
+}
+
+func (c *mapCursor) str() (string, error) {
+	n, err := c.u32()
+	if err != nil {
+		return "", err
+	}
+	if c.pos+int(n) > len(c.data) {
+		return "", ErrBadMap
+	}
+	s := string(c.data[c.pos : c.pos+int(n)])
+	c.pos += int(n)
+	return s, nil
+}
+
+// ParseMap decodes an Encode payload.
+func ParseMap(data []byte) (*Map, error) {
+	if len(data) == 0 || data[0] != mapMagic {
+		return nil, ErrBadMap
+	}
+	c := &mapCursor{data: data, pos: 1}
+	m := &Map{}
+	epoch, err := c.u64()
+	if err != nil {
+		return nil, err
+	}
+	m.Epoch = epoch
+	vn, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	m.Vnodes = int(vn)
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	// A shard entry needs at least 12 bytes; reject counts the remaining
+	// payload cannot possibly hold before preallocating.
+	if int(n) > (len(data)-c.pos)/12+1 {
+		return nil, ErrBadMap
+	}
+	m.Shards = make([]Shard, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var s Shard
+		id, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		s.ID = int(id)
+		if s.Primary, err = c.str(); err != nil {
+			return nil, err
+		}
+		rn, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint32(0); j < rn; j++ {
+			rep, err := c.str()
+			if err != nil {
+				return nil, err
+			}
+			s.Replicas = append(s.Replicas, rep)
+		}
+		m.Shards = append(m.Shards, s)
+	}
+	return m, nil
+}
+
+// Ring builds the consistent-hash ring this map describes.
+func (m *Map) Ring() *Ring {
+	ids := make([]int, len(m.Shards))
+	for i, s := range m.Shards {
+		ids[i] = s.ID
+	}
+	return NewRing(ids, m.Vnodes)
+}
+
+// Shard returns the entry for shard id, or nil.
+func (m *Map) Shard(id int) *Shard {
+	for i := range m.Shards {
+		if m.Shards[i].ID == id {
+			return &m.Shards[i]
+		}
+	}
+	return nil
+}
+
+// Validate rejects maps a client cannot route with.
+func (m *Map) Validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("cluster: map epoch %d has no shards", m.Epoch)
+	}
+	for _, s := range m.Shards {
+		if s.Primary == "" {
+			return fmt.Errorf("cluster: shard %d has no primary endpoint", s.ID)
+		}
+	}
+	return nil
+}

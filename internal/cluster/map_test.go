@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleMap() *Map {
+	return &Map{
+		Epoch:  7,
+		Vnodes: DefaultVnodes,
+		Shards: []Shard{
+			{ID: 0, Primary: "127.0.0.1:7086", Replicas: []string{"127.0.0.1:7186"}},
+			{ID: 1, Primary: "127.0.0.1:7087"},
+			{ID: 2, Primary: "127.0.0.1:7088", Replicas: []string{"127.0.0.1:7188", "127.0.0.1:7288"}},
+		},
+	}
+}
+
+// TestMapRoundTrip: Encode/ParseMap must be lossless — the map is the only
+// routing state a client has.
+func TestMapRoundTrip(t *testing.T) {
+	m := sampleMap()
+	got, err := ParseMap(m.Encode())
+	if err != nil {
+		t.Fatalf("ParseMap: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip lost data:\nwant %+v\ngot  %+v", m, got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// TestMapParseTruncated: every truncation of a valid payload must fail
+// cleanly with ErrBadMap — a half-received map must never route anything.
+func TestMapParseTruncated(t *testing.T) {
+	enc := sampleMap().Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := ParseMap(enc[:cut]); !errors.Is(err, ErrBadMap) {
+			t.Fatalf("ParseMap of %d/%d bytes: err=%v, want ErrBadMap", cut, len(enc), err)
+		}
+	}
+	// Damaged magic.
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xFF
+	if _, err := ParseMap(bad); !errors.Is(err, ErrBadMap) {
+		t.Fatalf("ParseMap with bad magic: err=%v, want ErrBadMap", err)
+	}
+}
+
+// TestMapParseHostileCount: a forged shard count far beyond the payload
+// must be rejected before preallocation, not crash or over-allocate.
+func TestMapParseHostileCount(t *testing.T) {
+	enc := sampleMap().Encode()
+	bad := append([]byte(nil), enc...)
+	// Shard count sits after magic(1) + epoch(8) + vnodes(4).
+	bad[13], bad[14], bad[15], bad[16] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := ParseMap(bad); !errors.Is(err, ErrBadMap) {
+		t.Fatalf("hostile shard count: err=%v, want ErrBadMap", err)
+	}
+}
+
+// TestMapValidate covers the reject paths.
+func TestMapValidate(t *testing.T) {
+	if err := (&Map{Epoch: 1}).Validate(); err == nil {
+		t.Fatal("empty map validated")
+	}
+	m := sampleMap()
+	m.Shards[1].Primary = ""
+	if err := m.Validate(); err == nil {
+		t.Fatal("shard without primary validated")
+	}
+}
+
+// TestMapShardLookup: Shard returns the entry by id, nil for unknown.
+func TestMapShardLookup(t *testing.T) {
+	m := sampleMap()
+	if sh := m.Shard(2); sh == nil || sh.Primary != "127.0.0.1:7088" {
+		t.Fatalf("Shard(2) = %+v", sh)
+	}
+	if sh := m.Shard(9); sh != nil {
+		t.Fatalf("Shard(9) = %+v, want nil", sh)
+	}
+}

@@ -1,0 +1,98 @@
+// Package cluster is the N-shard fleet layer: a consistent-hash ring
+// assigning every object id to one shard, a cluster map naming each shard's
+// primary and read-replica endpoints (with an epoch so clients can detect a
+// stale map), and a routed client that splits batched requests by owning
+// shard and fails reads over to a replica when a primary dies.
+//
+// The paper's presentation manager assumed one optical-disk server per site
+// (§5); the write-once model it builds on is exactly what makes a fleet
+// cheap: sealed extents never change, so a read replica of a shard's WORM
+// archive is trivially consistent — replication is a copy of the medium,
+// routing is a pure client-side concern, and only Publish (ingestion) needs
+// to care which instance is the primary.
+package cluster
+
+import (
+	"sort"
+
+	"minos/internal/object"
+)
+
+// DefaultVnodes is the number of virtual ring points per shard. 256 points
+// keep the assignment skew across shards within a few percent of ideal at
+// the corpus sizes the experiments use, while the ring stays small enough
+// that Owner is a cheap binary search.
+const DefaultVnodes = 256
+
+// Ring is a consistent-hash ring over object ids. Each shard contributes
+// vnodes points; an object belongs to the shard owning the first point at
+// or clockwise after the object's hash. Adding a shard therefore remaps
+// only the ids falling into the arcs the new shard's points claim —
+// asymptotically 1/(N+1) of them — instead of rehashing everything.
+//
+// A Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	points []ringPoint
+	shards []int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring over the given shard ids with vnodes virtual points
+// per shard (<= 0 selects DefaultVnodes). Construction is deterministic:
+// the same shard ids and vnodes always produce the same assignment.
+func NewRing(shards []int, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{
+		points: make([]ringPoint, 0, len(shards)*vnodes),
+		shards: append([]int(nil), shards...),
+	}
+	sort.Ints(r.shards)
+	for _, s := range r.shards {
+		for v := 0; v < vnodes; v++ {
+			// Shard in the high half, vnode in the low half, salt XORed in:
+			// each (shard, vnode) pair maps to a distinct hash input.
+			h := mix64(uint64(s)<<32 ^ uint64(v) ^ 0x5bd1e995)
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break deterministically by shard id
+		// so two rings built from the same inputs agree point for point.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Owner returns the shard id owning the object.
+func (r *Ring) Owner(id object.ID) int {
+	h := mix64(uint64(id))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the first point owns the arc past the last one
+	}
+	return r.points[i].shard
+}
+
+// Shards returns the shard ids on the ring, ascending.
+func (r *Ring) Shards() []int { return r.shards }
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit hash
+// for ring points and object ids alike.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

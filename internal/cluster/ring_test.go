@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"testing"
+
+	"minos/internal/object"
+)
+
+// syntheticIDs mimics the corpus id space: small figure ids, 1000+ fillers
+// and 500000+ spoken objects.
+func syntheticIDs(n int) []object.ID {
+	ids := make([]object.ID, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			ids = append(ids, object.ID(1+i))
+		case 1:
+			ids = append(ids, object.ID(1000+i))
+		default:
+			ids = append(ids, object.ID(500_000+i))
+		}
+	}
+	return ids
+}
+
+// TestRingDeterminism: two rings built from the same inputs must agree on
+// every assignment — the partitioner and every client depend on it.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing([]int{0, 1, 2, 3}, DefaultVnodes)
+	b := NewRing([]int{3, 2, 1, 0}, DefaultVnodes) // order must not matter
+	for _, id := range syntheticIDs(2000) {
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("rings from permuted shard lists disagree on id %d: %d vs %d",
+				id, a.Owner(id), b.Owner(id))
+		}
+	}
+}
+
+// TestRingDistributionSkew bounds the assignment skew across 1k synthetic
+// ids for every fleet width the E-SHARD experiment uses: with 256 vnodes
+// per shard no shard may end up with less than half or more than double
+// its fair share.
+func TestRingDistributionSkew(t *testing.T) {
+	ids := syntheticIDs(1000)
+	for n := 1; n <= 8; n++ {
+		shards := make([]int, n)
+		for i := range shards {
+			shards[i] = i
+		}
+		r := NewRing(shards, DefaultVnodes)
+		counts := make([]int, n)
+		for _, id := range ids {
+			counts[r.Owner(id)]++
+		}
+		fair := float64(len(ids)) / float64(n)
+		for s, c := range counts {
+			if got := float64(c); got < fair/2 || got > fair*2 {
+				t.Fatalf("N=%d: shard %d owns %d of %d ids (fair share %.0f): skew out of [0.5x, 2x]",
+					n, s, c, len(ids), fair)
+			}
+		}
+	}
+}
+
+// TestRingRemapFraction is the consistent-hashing property: growing the
+// fleet from N to N+1 shards moves only the ids the new shard claims —
+// every moved id must land on the added shard, and the moved fraction must
+// stay near 1/(N+1) (bounded at 1.5x to absorb vnode placement variance).
+func TestRingRemapFraction(t *testing.T) {
+	ids := syntheticIDs(4096)
+	for n := 1; n <= 7; n++ {
+		old := make([]int, n)
+		for i := range old {
+			old[i] = i
+		}
+		grown := append(append([]int(nil), old...), n)
+		a, b := NewRing(old, DefaultVnodes), NewRing(grown, DefaultVnodes)
+		moved := 0
+		for _, id := range ids {
+			oa, ob := a.Owner(id), b.Owner(id)
+			if oa == ob {
+				continue
+			}
+			if ob != n {
+				t.Fatalf("N=%d->%d: id %d moved %d->%d, not to the added shard %d",
+					n, n+1, id, oa, ob, n)
+			}
+			moved++
+		}
+		if bound := 1.5 * float64(len(ids)) / float64(n+1); float64(moved) > bound {
+			t.Fatalf("N=%d->%d: %d of %d ids moved, above the 1.5/(N+1) bound %.0f",
+				n, n+1, moved, len(ids), bound)
+		}
+	}
+}
+
+// TestRingOwnerAllocs: routing is on the batched hot path; the binary
+// search must not allocate.
+func TestRingOwnerAllocs(t *testing.T) {
+	r := NewRing([]int{0, 1, 2, 3}, DefaultVnodes)
+	avg := testing.AllocsPerRun(1000, func() {
+		_ = r.Owner(12345)
+	})
+	if avg > 0 {
+		t.Fatalf("Owner allocates %.1f objects/run, want 0", avg)
+	}
+}

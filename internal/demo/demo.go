@@ -11,6 +11,7 @@ import (
 	img "minos/internal/image"
 
 	"minos/internal/archiver"
+	"minos/internal/cluster"
 	"minos/internal/disk"
 	"minos/internal/figures"
 	"minos/internal/object"
@@ -60,24 +61,22 @@ func FillerMarkup(topic string, n, seed int) string {
 	return b.String()
 }
 
-// Build publishes the figure objects and fillers filler documents onto a
-// fresh server with the given optical disk capacity (blocks).
-func Build(blocks, fillers int) (*Corpus, error) {
-	dev, err := disk.NewOptical("archive0", disk.OpticalGeometry(blocks))
-	if err != nil {
-		return nil, err
-	}
-	srv := server.New(archiver.New(dev))
-	c := &Corpus{Server: srv, FigureIDs: map[string]object.ID{}}
+// Labeled is one corpus entry: the object plus its scenario label (empty
+// for filler documents).
+type Labeled struct {
+	Label string
+	Obj   *object.Object
+}
 
+// Objects returns the full demo corpus as a deterministic ordered list:
+// the figure objects, the big map, then fillers filler documents. Both the
+// single-server and the sharded builders publish from this one list, in
+// this one order — map iteration order would vary the archive layout from
+// build to build, and the load harness's determinism guarantee covers the
+// corpus too.
+func Objects(fillers int) ([]Labeled, error) {
 	parent, university, hospitals := figures.Fig78Objects()
-	// Publish in a fixed order: map iteration order would vary the archive
-	// layout from build to build, and the load harness's determinism
-	// guarantee covers the corpus too.
-	for _, fig := range []struct {
-		label string
-		o     *object.Object
-	}{
+	list := []Labeled{
 		{"fig12", figures.Fig12Object()},
 		{"fig34", figures.Fig34Object()},
 		{"fig56", figures.Fig56Object()},
@@ -85,22 +84,12 @@ func Build(blocks, fillers int) (*Corpus, error) {
 		{"fig78-uni", university},
 		{"fig78-hos", hospitals},
 		{"fig910", figures.Fig910Object()},
-	} {
-		if _, err := srv.Publish(fig.o); err != nil {
-			return nil, fmt.Errorf("demo: publish %s: %w", fig.label, err)
-		}
-		c.FigureIDs[fig.label] = fig.o.ID
 	}
-
 	big, err := BigMapObject(900, 640, 480, 60)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := srv.Publish(big); err != nil {
-		return nil, err
-	}
-	c.FigureIDs["bigmap"] = big.ID
-
+	list = append(list, Labeled{"bigmap", big})
 	for i := 0; i < fillers; i++ {
 		topic := topics[i%len(topics)]
 		o, err := object.NewBuilder(object.ID(1000+i), "Notes on "+topic, object.Visual).
@@ -109,11 +98,105 @@ func Build(blocks, fillers int) (*Corpus, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := srv.Publish(o); err != nil {
-			return nil, err
+		list = append(list, Labeled{"", o})
+	}
+	return list, nil
+}
+
+// NewServer returns a fresh server over a fresh optical device with the
+// given capacity (blocks), named for shard/replica bookkeeping.
+func NewServer(name string, blocks int) (*server.Server, error) {
+	dev, err := disk.NewOptical(name, disk.OpticalGeometry(blocks))
+	if err != nil {
+		return nil, err
+	}
+	return server.New(archiver.New(dev)), nil
+}
+
+// Build publishes the figure objects and fillers filler documents onto a
+// fresh server with the given optical disk capacity (blocks).
+func Build(blocks, fillers int) (*Corpus, error) {
+	srv, err := NewServer("archive0", blocks)
+	if err != nil {
+		return nil, err
+	}
+	list, err := Objects(fillers)
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{Server: srv, FigureIDs: map[string]object.ID{}}
+	for _, e := range list {
+		if _, err := srv.Publish(e.Obj); err != nil {
+			return nil, fmt.Errorf("demo: publish %s: %w", labelOr(e), err)
+		}
+		if e.Label != "" {
+			c.FigureIDs[e.Label] = e.Obj.ID
 		}
 	}
 	return c, nil
+}
+
+func labelOr(e Labeled) string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return fmt.Sprintf("object %d", e.Obj.ID)
+}
+
+// Sharded is the demo corpus partitioned across a fleet of shard servers
+// by the cluster hash ring.
+type Sharded struct {
+	// Servers[i] is shard i's primary.
+	Servers []*server.Server
+	// FigureIDs maps scenario labels to published object ids (fleet-wide).
+	FigureIDs map[string]object.ID
+	Ring      *cluster.Ring
+}
+
+// BuildSharded partitions the demo corpus across shards servers using the
+// same consistent-hash ring the routed client uses, so every object lands
+// exactly on the shard that client-side routing will ask for it.
+//
+// Determinism composes: Objects yields a fixed global order; each shard
+// publishes the subsequence the ring assigns it in that same order; and
+// the archiver is append-only (WORM) — so per (fillers, shards, vnodes)
+// the byte layout of every shard archive is identical across builds, and
+// E-SHARD results built on it stay bit-identical per (corpus, N, Config).
+func BuildSharded(blocks, fillers, shards, vnodes int) (*Sharded, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("demo: shards must be positive")
+	}
+	ids := make([]int, shards)
+	for i := range ids {
+		ids[i] = i
+	}
+	ring := cluster.NewRing(ids, vnodes)
+	list, err := Objects(fillers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sharded{
+		Servers:   make([]*server.Server, shards),
+		FigureIDs: map[string]object.ID{},
+		Ring:      ring,
+	}
+	for i := range s.Servers {
+		srv, err := NewServer(fmt.Sprintf("archive%d", i), blocks)
+		if err != nil {
+			return nil, err
+		}
+		s.Servers[i] = srv
+	}
+	for _, e := range list {
+		owner := ring.Owner(e.Obj.ID)
+		if _, err := s.Servers[owner].Publish(e.Obj); err != nil {
+			return nil, fmt.Errorf("demo: publish %s on shard %d: %w", labelOr(e), owner, err)
+		}
+		if e.Label != "" {
+			s.FigureIDs[e.Label] = e.Obj.ID
+		}
+	}
+	return s, nil
 }
 
 // BigMapObject builds a large labelled map image (the §2 road-map example)

@@ -1,0 +1,228 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"minos/internal/cluster"
+	"minos/internal/demo"
+	"minos/internal/object"
+	"minos/internal/server"
+	"minos/internal/vclock"
+)
+
+// Fleet is a sharded object-server population for the load harness: the
+// same consistent-hash ring the routed wire client uses, one primary per
+// shard, and optionally a WORM read replica per shard for failover
+// experiments.
+type Fleet struct {
+	Ring   *cluster.Ring
+	Shards []FleetShard
+}
+
+// FleetShard is one shard of the fleet. Replica, when non-nil, holds a
+// bit-identical copy of the primary's archive (WORM determinism: same
+// objects published in the same order onto a fresh device yield the same
+// layout), so archiver-absolute offsets from either server are valid on
+// both.
+type FleetShard struct {
+	Primary *server.Server
+	Replica *server.Server
+}
+
+// SingleFleet wraps one server as a 1-shard fleet, the legacy Run shape.
+func SingleFleet(srv *server.Server) *Fleet {
+	return &Fleet{
+		Ring:   cluster.NewRing([]int{0}, 1),
+		Shards: []FleetShard{{Primary: srv}},
+	}
+}
+
+// BuildFleet publishes the standard load corpus (demo figures, fillers
+// filler documents, spoken audio objects) partitioned across shards by the
+// cluster hash ring. blocks is the per-shard optical capacity. With
+// replicas, each shard also gets a read replica built by replaying the
+// identical publish sequence onto a fresh device.
+func BuildFleet(blocks, fillers, spoken, shards, vnodes int, replicas bool) (*Fleet, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("loadgen: shards must be positive")
+	}
+	ids := make([]int, shards)
+	for i := range ids {
+		ids[i] = i
+	}
+	ring := cluster.NewRing(ids, vnodes)
+	list, err := demo.Objects(fillers)
+	if err != nil {
+		return nil, err
+	}
+	all := make([]*object.Object, 0, len(list)+spoken)
+	for _, e := range list {
+		all = append(all, e.Obj)
+	}
+	for i := 0; i < spoken; i++ {
+		topic := queryTerms[i%len(queryTerms)]
+		o, err := demo.SpokenObject(object.ID(500_000+i), topic, 60, i, 8000)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: spoken object %d: %w", i, err)
+		}
+		all = append(all, o)
+	}
+	f := &Fleet{Ring: ring, Shards: make([]FleetShard, shards)}
+	for i := range f.Shards {
+		p, err := demo.NewServer(fmt.Sprintf("shard%d", i), blocks)
+		if err != nil {
+			return nil, err
+		}
+		f.Shards[i].Primary = p
+		if replicas {
+			r, err := demo.NewServer(fmt.Sprintf("shard%d-replica", i), blocks)
+			if err != nil {
+				return nil, err
+			}
+			f.Shards[i].Replica = r
+		}
+	}
+	// One global deterministic publish order; each shard sees the
+	// subsequence the ring assigns it, primaries and replicas in lockstep.
+	for _, o := range all {
+		sh := &f.Shards[ring.Owner(o.ID)]
+		if _, err := sh.Primary.Publish(o); err != nil {
+			return nil, fmt.Errorf("loadgen: publish %d: %w", o.ID, err)
+		}
+		if sh.Replica != nil {
+			if _, err := sh.Replica.Publish(o); err != nil {
+				return nil, fmt.Errorf("loadgen: publish replica %d: %w", o.ID, err)
+			}
+		}
+	}
+	return f, nil
+}
+
+// RunFleet drives cfg.Sessions sessions against the fleet on the virtual
+// clock and reports the measured result. Every shard primary (and replica)
+// gets cfg.MaxInFlight admission slots and its own cfg.Heads-head device
+// station — "same per-shard config", so fleet width is the only variable
+// in a scaling experiment. Identical (fleet corpus, Config) inputs produce
+// identical Results.
+func RunFleet(f *Fleet, cfg Config) (Result, error) {
+	if f == nil || len(f.Shards) == 0 {
+		return Result{}, fmt.Errorf("loadgen: empty fleet")
+	}
+	if cfg.Sessions <= 0 {
+		return Result{}, fmt.Errorf("loadgen: Sessions must be positive")
+	}
+	if cfg.StepsEach <= 0 && cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("loadgen: one of StepsEach or Duration must be set")
+	}
+	if cfg.FailShardAt > 0 && (cfg.FailShard < 0 || cfg.FailShard >= len(f.Shards)) {
+		return Result{}, fmt.Errorf("loadgen: FailShard %d out of range [0,%d)", cfg.FailShard, len(f.Shards))
+	}
+	if cfg.Heads <= 0 {
+		cfg.Heads = 1
+	}
+	if cfg.Link == (LinkModel{}) {
+		cfg.Link = DefaultLink()
+	}
+	scen := cfg.Scenarios
+	if len(scen) == 0 {
+		scen = DefaultScenarios()
+	}
+
+	h := &harness{
+		clock: vclock.New(),
+		ring:  f.Ring,
+		cfg:   cfg,
+		waits: make([]int64, len(WaitBounds)+2),
+	}
+	h.nodes = make([]*node, len(f.Shards))
+	for i, sh := range f.Shards {
+		sh.Primary.SetMaxInFlight(cfg.MaxInFlight)
+		n := &node{shard: i, primary: sh.Primary, replica: sh.Replica}
+		n.pst = &station{h: h, heads: cfg.Heads}
+		if sh.Replica != nil {
+			sh.Replica.SetMaxInFlight(cfg.MaxInFlight)
+			n.rst = &station{h: h, heads: cfg.Heads}
+		}
+		h.nodes[i] = n
+	}
+	cat, err := scanCatalog(h.nodes)
+	if err != nil {
+		return Result{}, err
+	}
+	h.cat = cat
+
+	h.sessions = make([]*session, cfg.Sessions)
+	for i := range h.sessions {
+		s := &session{
+			h:      h,
+			id:     i,
+			tenant: uint64(i) + 1,
+			scIdx:  i % len(scen),
+			sc:     scen[i%len(scen)],
+			hot:    i < cfg.HotSessions,
+			rng:    (cfg.Seed+1)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9 + 1,
+		}
+		h.sessions[i] = s
+		// Stagger starts across one think window so the fleet does not
+		// arrive as a single synchronized burst.
+		window := s.sc.Think + s.sc.ThinkJitter
+		if s.hot || window <= 0 {
+			window = time.Millisecond
+		}
+		h.clock.AfterFunc(time.Duration(s.rand(uint64(window))), s.beginStep)
+	}
+	if cfg.FailShardAt > 0 {
+		h.clock.AfterFunc(cfg.FailShardAt, func() {
+			h.nodes[cfg.FailShard].failed = true
+		})
+	}
+	h.clock.Run(0)
+	return h.result(), nil
+}
+
+// scanCatalog builds the harness's view of the published fleet corpus: the
+// object sets each step kind draws targets from, scanned once before the
+// run and merged in ascending id order so target selection is independent
+// of fleet width.
+func scanCatalog(nodes []*node) (catalog, error) {
+	var cat catalog
+	for _, n := range nodes {
+		srv := n.primary
+		for _, id := range srv.IDs() {
+			mode, ok := srv.Mode(id)
+			if !ok {
+				continue
+			}
+			if mode == object.Audio {
+				cat.audio = append(cat.audio, id)
+				continue
+			}
+			ext, err := srv.Archiver().ExtentOf(id)
+			if err != nil {
+				return cat, err
+			}
+			cat.visual = append(cat.visual, target{id: id, ext: extentRange{start: ext.Start, length: ext.Length}})
+		}
+	}
+	sort.Slice(cat.visual, func(i, j int) bool { return cat.visual[i].id < cat.visual[j].id })
+	sort.Slice(cat.audio, func(i, j int) bool { return cat.audio[i] < cat.audio[j] })
+	if len(cat.visual) == 0 {
+		return cat, fmt.Errorf("loadgen: corpus has no visual objects")
+	}
+	// Keep only terms that actually hit, so query steps exercise result
+	// browsing rather than empty sets.
+	for _, t := range queryTerms {
+		for _, n := range nodes {
+			if len(n.primary.Query(t)) > 0 {
+				cat.terms = append(cat.terms, t)
+				break
+			}
+		}
+	}
+	if len(cat.terms) == 0 {
+		cat.terms = queryTerms
+	}
+	return cat, nil
+}

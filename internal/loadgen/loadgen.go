@@ -16,10 +16,10 @@
 package loadgen
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
+	"minos/internal/cluster"
 	"minos/internal/object"
 	"minos/internal/sched"
 	"minos/internal/server"
@@ -82,6 +82,13 @@ type Config struct {
 	HotSessions int
 	// Link overrides the link model (zero value = DefaultLink).
 	Link LinkModel
+	// FailShardAt, when positive, injects a primary failure at that
+	// virtual time: shard FailShard's primary stops serving, and routed
+	// work moves to its WORM read replica (or degrades if the shard has
+	// none) — the E-SHARD failover experiment.
+	FailShardAt time.Duration
+	// FailShard selects the shard whose primary fails (see FailShardAt).
+	FailShard int
 }
 
 // WaitBounds are the device-wait histogram bucket upper bounds. Bucket 0
@@ -112,83 +119,106 @@ type Result struct {
 	// DevWaits is the device-wait histogram (see WaitBounds).
 	DevWaits    []int64
 	VirtualTime time.Duration
+	// Shards is the fleet width the run was driven against.
+	Shards int
+	// DeviceSteps counts completed device-path steps (piece and audio
+	// reads that passed admission) — the aggregate read throughput signal
+	// for the E-SHARD scaling claim. Think-time-bound browse steps do not
+	// grow with fleet width; device-path completions do.
+	DeviceSteps int64
+	// FailoverSteps counts device-path steps served by a read replica
+	// after its primary failed.
+	FailoverSteps int64
 }
 
 // Run drives cfg.Sessions sessions against srv and reports the measured
 // result. The server should be freshly built (cache state is part of the
 // experiment); read-ahead must be disabled on it, as the harness is
 // single-threaded and background sweeps would race the virtual clock.
+//
+// Run is the fleet-of-1 special case of RunFleet: the routing layer
+// short-circuits for a single shard, so the event sequence (and hence the
+// Result) is the one the pre-fleet harness produced.
 func Run(srv *server.Server, cfg Config) (Result, error) {
-	if cfg.Sessions <= 0 {
-		return Result{}, fmt.Errorf("loadgen: Sessions must be positive")
-	}
-	if cfg.StepsEach <= 0 && cfg.Duration <= 0 {
-		return Result{}, fmt.Errorf("loadgen: one of StepsEach or Duration must be set")
-	}
-	cat, err := scanCatalog(srv)
-	if err != nil {
-		return Result{}, err
-	}
-	if cfg.Heads <= 0 {
-		cfg.Heads = 1
-	}
-	if cfg.Link == (LinkModel{}) {
-		cfg.Link = DefaultLink()
-	}
-	scen := cfg.Scenarios
-	if len(scen) == 0 {
-		scen = DefaultScenarios()
-	}
-	srv.SetMaxInFlight(cfg.MaxInFlight)
-
-	h := &harness{
-		clock: vclock.New(),
-		srv:   srv,
-		cat:   cat,
-		cfg:   cfg,
-		waits: make([]int64, len(WaitBounds)+2),
-	}
-	h.station = &station{h: h, heads: cfg.Heads}
-	h.sessions = make([]*session, cfg.Sessions)
-	for i := range h.sessions {
-		s := &session{
-			h:      h,
-			id:     i,
-			tenant: uint64(i) + 1,
-			scIdx:  i % len(scen),
-			sc:     scen[i%len(scen)],
-			hot:    i < cfg.HotSessions,
-			rng:    (cfg.Seed+1)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9 + 1,
-		}
-		h.sessions[i] = s
-		// Stagger starts across one think window so the fleet does not
-		// arrive as a single synchronized burst.
-		window := s.sc.Think + s.sc.ThinkJitter
-		if s.hot || window <= 0 {
-			window = time.Millisecond
-		}
-		h.clock.AfterFunc(time.Duration(s.rand(uint64(window))), s.beginStep)
-	}
-	h.clock.Run(0)
-	return h.result(), nil
+	return RunFleet(SingleFleet(srv), cfg)
 }
 
 // harness is the shared run state. Everything below runs on the single
 // goroutine inside Clock.Run; no locking is needed or wanted — event order
 // is the only ordering.
 type harness struct {
-	clock     *vclock.Clock
-	srv       *server.Server
-	cat       catalog
-	cfg       Config
-	station   *station
-	sessions  []*session
-	latencies []time.Duration
-	steps     int64
-	offered   int64
-	sheds     int64
-	degraded  int64
-	waits     []int64
+	clock         *vclock.Clock
+	nodes         []*node
+	ring          *cluster.Ring
+	cat           catalog
+	cfg           Config
+	sessions      []*session
+	latencies     []time.Duration
+	steps         int64
+	offered       int64
+	sheds         int64
+	degraded      int64
+	deviceSteps   int64
+	failoverSteps int64
+	waits         []int64
+}
+
+// node is one shard of the simulated fleet: a primary server with its
+// device station, and optionally a WORM read replica with its own.
+type node struct {
+	shard    int
+	primary  *server.Server
+	replica  *server.Server // nil = unreplicated shard
+	pst, rst *station
+	failed   bool // primary down (fault injection)
+}
+
+// down reports whether the shard is entirely dark: primary failed with no
+// replica to absorb reads.
+func (n *node) down() bool { return n.failed && n.replica == nil }
+
+// srv is the server currently serving this shard's reads.
+func (n *node) srv() *server.Server {
+	if n.failed && n.replica != nil {
+		return n.replica
+	}
+	return n.primary
+}
+
+// st is the device station behind srv.
+func (n *node) st() *station {
+	if n.failed && n.rst != nil {
+		return n.rst
+	}
+	return n.pst
+}
+
+// node routes an object id to its owning shard; the single-shard fast
+// path keeps the fleet-of-1 run identical to the pre-fleet harness.
+func (h *harness) node(id object.ID) *node {
+	if len(h.nodes) == 1 {
+		return h.nodes[0]
+	}
+	return h.nodes[h.ring.Owner(id)]
+}
+
+// queryAll evaluates a content query across the fleet, merging the
+// per-shard id sets ascending — exactly what the routed wire client's
+// scatter/gather Query returns. A dark shard's objects simply drop out of
+// the result, as they would for a real workstation.
+func (h *harness) queryAll(term string) []object.ID {
+	if len(h.nodes) == 1 {
+		return h.nodes[0].srv().Query(term)
+	}
+	var all []object.ID
+	for _, n := range h.nodes {
+		if n.down() {
+			continue
+		}
+		all = append(all, n.srv().Query(term)...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
 }
 
 func (h *harness) recordWait(w time.Duration) {
@@ -207,13 +237,16 @@ func (h *harness) recordWait(w time.Duration) {
 
 func (h *harness) result() Result {
 	r := Result{
-		Sessions:    h.cfg.Sessions,
-		Steps:       h.steps,
-		Offered:     h.offered,
-		Sheds:       h.sheds,
-		Degraded:    h.degraded,
-		DevWaits:    h.waits,
-		VirtualTime: h.clock.Now(),
+		Sessions:      h.cfg.Sessions,
+		Steps:         h.steps,
+		Offered:       h.offered,
+		Sheds:         h.sheds,
+		Degraded:      h.degraded,
+		DevWaits:      h.waits,
+		VirtualTime:   h.clock.Now(),
+		Shards:        len(h.nodes),
+		DeviceSteps:   h.deviceSteps,
+		FailoverSteps: h.failoverSteps,
 	}
 	if h.offered > 0 {
 		r.ShedRate = float64(h.sheds) / float64(h.offered)
@@ -332,6 +365,25 @@ type session struct {
 	stepStart time.Duration
 	attempts  int    // admission attempts within the current step
 	current   func() // in-progress step, retried after a shed backoff
+	failKnown uint64 // bitmask of shards whose primary failure this session has discovered
+}
+
+// route resolves id's owning node plus the one-time failover discovery
+// cost: the first routed call a session sends after a primary fails pays
+// one dead round trip before redirecting to the replica. Thereafter the
+// workstation's connection state (the wire client's NeedsReconnect
+// classification) sends reads straight to the replica at no extra cost.
+func (s *session) route(id object.ID) (*node, time.Duration) {
+	n := s.h.node(id)
+	if !n.failed {
+		return n, 0
+	}
+	bit := uint64(1) << uint(n.shard%64)
+	if s.failKnown&bit != 0 {
+		return n, 0
+	}
+	s.failKnown |= bit
+	return n, s.h.cfg.Link.transfer(0)
 }
 
 // The session's shed-retry budget mirrors the wire client's default
@@ -435,7 +487,7 @@ func (s *session) thinkTime() time.Duration {
 // session's browse cursor onto the result set.
 func (s *session) doQuery() {
 	term := s.h.cat.terms[s.rand(uint64(len(s.h.cat.terms)))]
-	ids := s.h.srv.Query(term)
+	ids := s.h.queryAll(term)
 	if len(ids) > 0 {
 		s.results = ids
 		s.cursor = int(s.rand(uint64(len(ids))))
@@ -452,25 +504,31 @@ func (s *session) doBrowse() {
 		n = len(s.results)
 	}
 	bytes := 0
+	var extra time.Duration
 	for i := 0; i < n; i++ {
 		id := s.results[(s.cursor+i)%len(s.results)]
-		if payload, _, ok := s.h.srv.MiniatureEncoded(id); ok {
+		nd, pen := s.route(id)
+		extra += pen
+		if nd.down() {
+			continue // dark shard: the miniature is simply missing from the strip
+		}
+		if payload, _, ok := nd.srv().MiniatureEncoded(id); ok {
 			bytes += len(payload) + 6
 		}
 	}
 	s.cursor = (s.cursor + n) % len(s.results)
-	cost := s.h.cfg.Link.transfer(bytes) + time.Duration(n)*s.h.cfg.Link.StepCPU
+	cost := s.h.cfg.Link.transfer(bytes) + time.Duration(n)*s.h.cfg.Link.StepCPU + extra
 	s.complete(cost)
 }
 
-// admitDevice passes the server's real admission gate. On shed it backs
-// off exponentially with jitter and retries the in-progress step; past
-// the retry budget it completes the step degraded (link cost only, no
+// admitDevice passes the shard server's real admission gate. On shed it
+// backs off exponentially with jitter and retries the in-progress step;
+// past the retry budget it completes the step degraded (link cost only, no
 // device work) — the workstation falls back to what it has cached.
-func (s *session) admitDevice(admitted func(release func())) {
+func (s *session) admitDevice(nd *node, admitted func(release func())) {
 	s.h.offered++
 	s.attempts++
-	release, err := s.h.srv.AdmitAs(s.tenant)
+	release, err := nd.srv().AdmitAs(s.tenant)
 	if err != nil {
 		s.h.sheds++
 		if s.attempts >= shedMaxAttempts {
@@ -499,13 +557,17 @@ func (s *session) admitDevice(admitted func(release func())) {
 }
 
 // finishDevice routes the device-bound tail of a step: real device time
-// queues at the station under this session's tenant; pure cache hits skip
-// the device entirely, exactly like the real read path.
-func (s *session) finishDevice(release func(), devTime, transfer time.Duration) {
+// queues at the owning shard's station under this session's tenant; pure
+// cache hits skip the device entirely, exactly like the real read path.
+func (s *session) finishDevice(nd *node, release func(), devTime, transfer time.Duration) {
+	s.h.deviceSteps++
+	if nd.failed && nd.replica != nil {
+		s.h.failoverSteps++
+	}
 	if devTime > 0 {
 		// The admission slot is held through device service + transfer;
 		// completion latency covers the same span.
-		s.h.station.submit(s.tenant, devTime, func() {
+		nd.st().submit(s.tenant, devTime, func() {
 			s.h.clock.AfterFunc(transfer, release)
 			s.complete(transfer)
 		})
@@ -515,40 +577,54 @@ func (s *session) finishDevice(release func(), devTime, transfer time.Duration) 
 	s.complete(transfer)
 }
 
-// doPiece reads a random extent of a visual object through the server's
-// real block cache and admission gate.
+// doPiece reads a random extent of a visual object through the owning
+// shard server's real block cache and admission gate. Offsets are
+// archiver-absolute per shard, so the routing key is the object id the
+// extent was scanned from.
 func (s *session) doPiece() {
 	t := s.h.cat.visual[s.rand(uint64(len(s.h.cat.visual)))]
+	nd, pen := s.route(t.id)
+	if nd.down() {
+		s.h.degraded++
+		s.complete(s.h.cfg.Link.transfer(0) + pen)
+		return
+	}
 	length := s.sc.PieceLen
 	if length > t.ext.length {
 		length = t.ext.length
 	}
 	off := t.ext.start + s.rand(t.ext.length-length+1)
-	s.admitDevice(func(release func()) {
-		data, devT, err := s.h.srv.ReadPieceAs(s.tenant, off, length)
-		transfer := s.h.cfg.Link.transfer(len(data)) + s.h.cfg.Link.StepCPU
+	s.admitDevice(nd, func(release func()) {
+		data, devT, err := nd.srv().ReadPieceAs(s.tenant, off, length)
+		transfer := s.h.cfg.Link.transfer(len(data)) + s.h.cfg.Link.StepCPU + pen
 		if err != nil {
-			transfer = s.h.cfg.Link.transfer(0)
+			transfer = s.h.cfg.Link.transfer(0) + pen
 		}
-		s.finishDevice(release, devT, transfer)
+		s.finishDevice(nd, release, devT, transfer)
 	})
 }
 
 // doAudio fetches an audio object's descriptor (a device read, first
 // time) and its voice preview bytes — the "voice segments ... played as
-// the miniature passes through the screen" (§5).
+// the miniature passes through the screen" (§5) — from its owning shard.
 func (s *session) doAudio() {
 	id := s.h.cat.audio[s.rand(uint64(len(s.h.cat.audio)))]
-	s.admitDevice(func(release func()) {
-		_, devT, err := s.h.srv.DescriptorAs(s.tenant, id)
+	nd, pen := s.route(id)
+	if nd.down() {
+		s.h.degraded++
+		s.complete(s.h.cfg.Link.transfer(0) + pen)
+		return
+	}
+	s.admitDevice(nd, func(release func()) {
+		_, devT, err := nd.srv().DescriptorAs(s.tenant, id)
 		bytes := 0
-		if vp := s.h.srv.VoicePreview(id); vp != nil {
+		if vp := nd.srv().VoicePreview(id); vp != nil {
 			bytes = 2 * len(vp.Samples) // 16-bit mono PCM
 		}
-		transfer := s.h.cfg.Link.transfer(bytes) + s.h.cfg.Link.StepCPU
+		transfer := s.h.cfg.Link.transfer(bytes) + s.h.cfg.Link.StepCPU + pen
 		if err != nil {
-			transfer = s.h.cfg.Link.transfer(0)
+			transfer = s.h.cfg.Link.transfer(0) + pen
 		}
-		s.finishDevice(release, devT, transfer)
+		s.finishDevice(nd, release, devT, transfer)
 	})
 }

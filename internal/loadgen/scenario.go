@@ -103,7 +103,8 @@ func BuildCorpus(blocks, fillers, spoken int) (*server.Server, error) {
 }
 
 // catalog is the harness's view of the published corpus: the object sets
-// each step kind draws targets from, scanned once before the run.
+// each step kind draws targets from, scanned once before the run (see
+// scanCatalog in fleet.go).
 type catalog struct {
 	visual []target // visual-mode objects with their archive extents
 	audio  []object.ID
@@ -117,37 +118,4 @@ type target struct {
 
 type extentRange struct {
 	start, length uint64
-}
-
-func scanCatalog(srv *server.Server) (catalog, error) {
-	var cat catalog
-	for _, id := range srv.IDs() {
-		mode, ok := srv.Mode(id)
-		if !ok {
-			continue
-		}
-		if mode == object.Audio {
-			cat.audio = append(cat.audio, id)
-			continue
-		}
-		ext, err := srv.Archiver().ExtentOf(id)
-		if err != nil {
-			return cat, err
-		}
-		cat.visual = append(cat.visual, target{id: id, ext: extentRange{start: ext.Start, length: ext.Length}})
-	}
-	if len(cat.visual) == 0 {
-		return cat, fmt.Errorf("loadgen: corpus has no visual objects")
-	}
-	// Keep only terms that actually hit, so query steps exercise result
-	// browsing rather than empty sets.
-	for _, t := range queryTerms {
-		if len(srv.Query(t)) > 0 {
-			cat.terms = append(cat.terms, t)
-		}
-	}
-	if len(cat.terms) == 0 {
-		cat.terms = queryTerms
-	}
-	return cat, nil
 }

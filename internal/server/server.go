@@ -85,6 +85,14 @@ type Server struct {
 	// the client backs off and retries.
 	adm *sched.Admission
 
+	// cmap is this fleet member's cluster map: an opaque encoded payload
+	// (internal/cluster owns the encoding) plus its epoch, handed to
+	// clients at HELLO time and on epoch-mismatch refetches. Standalone
+	// servers have none.
+	cmapMu      sync.RWMutex
+	cmapEpoch   uint64
+	cmapPayload []byte
+
 	// Stats (atomic: bumped on every piece read, no lock on the hot path).
 	pieceReads   atomic.Int64
 	bytesOut     atomic.Int64
@@ -216,6 +224,26 @@ func New(arch *archiver.Archiver, opts ...Option) *Server {
 		o(s)
 	}
 	return s
+}
+
+// SetClusterMap installs (or replaces) the encoded cluster map this server
+// hands to routing clients, with its epoch. Fleet assembly calls it on
+// every member; replacing the map with a higher epoch is how a re-shard is
+// announced — clients discover the move through an epoch-mismatch refetch,
+// never through a hard error.
+func (s *Server) SetClusterMap(epoch uint64, payload []byte) {
+	s.cmapMu.Lock()
+	s.cmapEpoch = epoch
+	s.cmapPayload = payload
+	s.cmapMu.Unlock()
+}
+
+// ClusterMap returns the encoded cluster map and its epoch; ok is false on
+// a standalone (unsharded) server.
+func (s *Server) ClusterMap() (epoch uint64, payload []byte, ok bool) {
+	s.cmapMu.RLock()
+	defer s.cmapMu.RUnlock()
+	return s.cmapEpoch, s.cmapPayload, s.cmapPayload != nil
 }
 
 // Archiver exposes the underlying archive (the workstation never touches it

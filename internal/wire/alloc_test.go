@@ -23,6 +23,21 @@ func TestAllocMuxFrameEncode(t *testing.T) {
 	}
 }
 
+// TestAllocBackoffJitter guards the retry path's jitter source: drawing
+// backoff delays — including through a shared multi-shard BackoffRand —
+// must never allocate, so a K-way scatter/gather retrying under load adds
+// no GC pressure.
+func TestAllocBackoffJitter(t *testing.T) {
+	rng := NewBackoffRand(1)
+	pol := RetryPolicy{}.withDefaults()
+	avg := testing.AllocsPerRun(1000, func() {
+		_ = pol.backoff(2, rng)
+	})
+	if avg > 0 {
+		t.Fatalf("backoff allocates %.1f objects/run, want 0", avg)
+	}
+}
+
 // TestAllocMiniatureServeWarm is the zero-allocation acceptance guard: once
 // every miniature is built and its encoding cached, serving a batched
 // miniature request must perform no heap allocations at all.

@@ -150,6 +150,9 @@ func (d *demux) pendingLen() int {
 type MuxTransport struct {
 	conn    net.Conn
 	version int
+	// helloExtra is the opaque payload the server appended to its HELLO
+	// ack (a fleet member's encoded cluster map); nil otherwise.
+	helloExtra []byte
 
 	// callTimeout (nanoseconds) bounds each call; 0 = wait forever.
 	callTimeout atomic.Int64
@@ -185,6 +188,7 @@ func DialMux(addr string) (*MuxTransport, error) {
 	}
 	if v, perr := parseHelloResponse(resp); perr == nil && v >= ProtocolV2 {
 		m.version = ProtocolV2
+		m.helloExtra = parseHelloExtra(resp)
 		m.d = newDemux()
 		go m.readLoop()
 	}
@@ -207,8 +211,35 @@ func parseHelloResponse(resp []byte) (int, error) {
 	return int(v), nil
 }
 
+// parseHelloExtra extracts the optional length-prefixed payload a server
+// appended after the version word of its HELLO ack (the cluster map), or
+// nil when absent or damaged.
+func parseHelloExtra(resp []byte) []byte {
+	payload, _, err := parseResponse(resp)
+	if err != nil {
+		return nil
+	}
+	c := &cursor{data: payload}
+	if _, err := c.u32(); err != nil { // version word
+		return nil
+	}
+	n, err := c.u32()
+	if err != nil || c.pos+int(n) > len(payload) {
+		return nil
+	}
+	extra := make([]byte, n)
+	copy(extra, payload[c.pos:c.pos+int(n)])
+	return extra
+}
+
 // Version reports the negotiated protocol version.
 func (m *MuxTransport) Version() int { return m.version }
+
+// HelloExtra returns the opaque payload the server attached to its HELLO
+// acknowledgement — a sharded fleet member attaches its encoded cluster map
+// — or nil. The routing client uses it to learn the shard topology without
+// a second round trip.
+func (m *MuxTransport) HelloExtra() []byte { return m.helloExtra }
 
 // SetCallTimeout bounds every subsequent call (write + wait for response);
 // zero waits forever. A timed-out call fails with ErrCallTimeout while the

@@ -4,8 +4,8 @@ import (
 	"context"
 	"errors"
 	"io"
-	"math/rand"
 	"net"
+	"sync/atomic"
 	"syscall"
 	"time"
 )
@@ -94,9 +94,45 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// BackoffRand is the jitter source of the retry loop: a Weyl-sequence
+// splitmix64 generator on one atomic word. Drawing from it is lock-free and
+// allocation-free, so a scatter/gather fan-out with K per-shard calls
+// retrying concurrently shares a single source instead of contending on the
+// math/rand global lock (or seeding K throwaway generators).
+type BackoffRand struct {
+	state atomic.Uint64
+}
+
+// NewBackoffRand returns a jitter source seeded deterministically from seed.
+func NewBackoffRand(seed uint64) *BackoffRand {
+	r := &BackoffRand{}
+	r.state.Store(seed)
+	return r
+}
+
+// backoffSeq seeds per-client default sources so clients built in a loop do
+// not share one jitter stream by accident.
+var backoffSeq atomic.Uint64
+
+func newDefaultBackoffRand() *BackoffRand {
+	return NewBackoffRand(backoffSeq.Add(1) * 0x9E3779B97F4A7C15)
+}
+
+// next draws one value: an atomic Weyl step followed by the splitmix64
+// finalizer.
+func (r *BackoffRand) next() uint64 {
+	x := r.state.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
 // backoff returns the jittered delay to sleep before retry number `retry`
-// (1-based).
-func (p RetryPolicy) backoff(retry int) time.Duration {
+// (1-based), drawing jitter from rng.
+func (p RetryPolicy) backoff(retry int, rng *BackoffRand) time.Duration {
 	d := p.BaseDelay
 	for i := 1; i < retry && d < p.MaxDelay; i++ {
 		d *= 2
@@ -105,11 +141,11 @@ func (p RetryPolicy) backoff(retry int) time.Duration {
 		d = p.MaxDelay
 	}
 	// Jitter in [d/2, d].
-	half := int64(d / 2)
+	half := uint64(d / 2)
 	if half <= 0 {
 		return d
 	}
-	return time.Duration(half + rand.Int63n(half+1))
+	return time.Duration(half + rng.next()%(half+1))
 }
 
 // sleepCtx sleeps for d or until the context ends, whichever is first.
@@ -132,6 +168,15 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 func (c *Client) SetRetryPolicy(p RetryPolicy) {
 	c.mu.Lock()
 	c.retry = p.withDefaults()
+	c.mu.Unlock()
+}
+
+// SetBackoffRand replaces the client's backoff jitter source. A routed
+// (multi-shard) client installs one shared source on every per-shard client
+// so a K-way fan-out draws from a single generator.
+func (c *Client) SetBackoffRand(r *BackoffRand) {
+	c.mu.Lock()
+	c.jitter = r
 	c.mu.Unlock()
 }
 

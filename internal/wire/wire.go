@@ -49,6 +49,11 @@ const (
 	// driving modes) in one round trip — the batched op behind the
 	// sequential-browsing prefetch pipeline.
 	OpMiniatures = 11
+	// OpClusterMap fetches the server's cluster map (shard id → primary +
+	// replica endpoints, map epoch) when the server belongs to a sharded
+	// fleet. The request carries the client's current epoch; a server whose
+	// map has not moved answers "unchanged" without resending the payload.
+	OpClusterMap = 12
 )
 
 // MaxMiniatureBatch bounds the ids accepted by one OpMiniatures request;
@@ -320,7 +325,32 @@ func (h *Handler) HandleAs(tenant uint64, req []byte) []byte {
 		if neg < ProtocolV1 {
 			return errResp(fmt.Errorf("wire: unsupported protocol version %d", v))
 		}
-		return okResp(0, appendU32(nil, neg))
+		payload := appendU32(nil, neg)
+		// A fleet member ships its cluster map with the HELLO ack, so a
+		// routing client learns the shard topology in the round trip it
+		// already pays for version negotiation. Pre-map clients parse only
+		// the leading version word and ignore the rest.
+		if _, mp, ok := h.Srv.ClusterMap(); ok {
+			payload = appendU32(payload, uint32(len(mp)))
+			payload = append(payload, mp...)
+		}
+		return okResp(0, payload)
+	case OpClusterMap:
+		epoch, err := c.u64()
+		if err != nil {
+			return errResp(err)
+		}
+		curEpoch, mp, ok := h.Srv.ClusterMap()
+		if !ok {
+			return errResp(fmt.Errorf("wire: server is not part of a cluster"))
+		}
+		if epoch == curEpoch {
+			return okResp(0, []byte{0}) // unchanged
+		}
+		out := newResp(1 + len(mp))
+		out = append(out, 1)
+		out = append(out, mp...)
+		return finishResp(out, statusOK, 0)
 	case OpImageView:
 		id, err := c.u64()
 		if err != nil {
@@ -581,22 +611,27 @@ type Client struct {
 	t      Transport
 	redial func() (Transport, error)
 	retry  RetryPolicy
+	// jitter is the backoff jitter source, hoisted out of the retry loop:
+	// every retry of every call draws from this one generator (shareable
+	// across clients via SetBackoffRand), so a fan-out of K concurrent
+	// calls neither contends on a global lock nor allocates rand state.
+	jitter *BackoffRand
 
 	reconnects atomic.Int64
 }
 
 // NewClient wraps a transport.
 func NewClient(t Transport) *Client {
-	return &Client{t: t, retry: RetryPolicy{}.withDefaults()}
+	return &Client{t: t, retry: RetryPolicy{}.withDefaults(), jitter: newDefaultBackoffRand()}
 }
 
 // Close releases the transport.
 func (c *Client) Close() error { return c.Transport().Close() }
 
-func (c *Client) policy() RetryPolicy {
+func (c *Client) policy() (RetryPolicy, *BackoffRand) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.retry
+	return c.retry, c.jitter
 }
 
 // callCtx performs one request/response exchange under the retry loop,
@@ -605,7 +640,7 @@ func (c *Client) callCtx(ctx context.Context, req []byte) ([]byte, time.Duration
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	pol := c.policy()
+	pol, rng := c.policy()
 	var last error
 	for attempt := 1; ; attempt++ {
 		t := c.Transport()
@@ -634,7 +669,7 @@ func (c *Client) callCtx(ctx context.Context, req []byte) ([]byte, time.Duration
 				last = fmt.Errorf("wire: reconnect: %w", rerr)
 			}
 		}
-		if serr := sleepCtx(ctx, pol.backoff(attempt)); serr != nil {
+		if serr := sleepCtx(ctx, pol.backoff(attempt, rng)); serr != nil {
 			return nil, 0, last
 		}
 	}
@@ -1026,6 +1061,26 @@ func (c *Client) StatsCtx(ctx context.Context) (server.Stats, error) {
 // Stats fetches the server's request/cache/contention counters.
 func (c *Client) Stats() (server.Stats, error) {
 	return c.StatsCtx(context.Background())
+}
+
+// ClusterMapCtx fetches the server's encoded cluster map when it has moved
+// past the client's epoch. changed=false (with a nil payload) means the
+// server's map still has that epoch; an error means the server is not part
+// of a cluster (or the call failed). The payload encoding belongs to
+// internal/cluster — the wire layer ships it opaquely.
+func (c *Client) ClusterMapCtx(ctx context.Context, epoch uint64) (payload []byte, changed bool, err error) {
+	req := appendU64([]byte{OpClusterMap}, epoch)
+	resp, _, err := c.callCtx(ctx, req)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(resp) < 1 {
+		return nil, false, errShort
+	}
+	if resp[0] == 0 {
+		return nil, false, nil
+	}
+	return resp[1:], true, nil
 }
 
 // Fetch adapts the client into a descriptor.FetchFunc, accumulating device
