@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_7.json
+BENCH_OUT ?= BENCH_8.json
 
-.PHONY: all build test race bench bench-smoke bench-json bench-json-smoke alloc-guard fault-matrix load-smoke shard-smoke fmt vet check
+.PHONY: all build test race bench bench-smoke bench-json bench-json-smoke alloc-guard fault-matrix load-smoke shard-smoke stream-smoke fmt vet check
 
 all: build
 
@@ -31,10 +31,11 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'EPipe|Mux|Prefetch' -benchtime=1x . ./internal/wire ./internal/workstation
 
 # Benchmark-regression report: run the E-ALLOC hot-path benchmarks plus
-# the E-LOAD mass-session run and the E-SHARD scaling sweep, and write the
-# combined report to $(BENCH_OUT) (committed per PR).
+# the E-LOAD mass-session run, the E-SHARD scaling sweep and the E-STREAM
+# streaming-delivery experiment, and write the combined report to
+# $(BENCH_OUT) (committed per PR).
 bench-json:
-	$(GO) run ./cmd/minos-bench -load -shard -out $(BENCH_OUT)
+	$(GO) run ./cmd/minos-bench -load -shard -stream -out $(BENCH_OUT)
 
 # E-LOAD smoke: ~100 sessions x 200 steps through the load harness with a
 # p99 latency bound. Cheap enough to gate every `make check`.
@@ -45,6 +46,12 @@ load-smoke:
 # failure — proves partitioned routing and replica failover on every check.
 shard-smoke:
 	$(GO) test -run 'EShardSmoke' -count=1 .
+
+# E-STREAM smoke: a short spoken part streamed over the mux on the modelled
+# link — first audio must beat the batch full download by >= 2x, zero
+# underruns, and a mid-stream primary kill must resume on the replica.
+stream-smoke:
+	$(GO) test -run 'EStreamSmoke' -count=1 .
 
 # One-iteration harness smoke: proves minos-bench still runs and parses
 # without overwriting the committed report.
@@ -63,4 +70,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test race fault-matrix bench-smoke alloc-guard bench-json-smoke load-smoke shard-smoke
+check: fmt vet build test race fault-matrix bench-smoke alloc-guard bench-json-smoke load-smoke shard-smoke stream-smoke

@@ -10,7 +10,8 @@
 //
 //	minos-bench [-out file] [-bench regex] [-benchtime d] [-count n]
 //	            [-load] [-load-sessions n] [-load-duration d]
-//	            [-shard] [-shard-sessions n] [-shard-duration d] [pkg ...]
+//	            [-shard] [-shard-sessions n] [-shard-duration d]
+//	            [-stream] [-stream-cells n] [-stream-seconds n] [pkg ...]
 //
 // With -out - the report goes to stdout. The default package set covers the
 // rasterize→encode, miniature-serve, synthesis and wire paths measured by
@@ -27,6 +28,13 @@
 // population scaled with N drives the fleet, and the aggregate device-path
 // throughput plus p99 per width is embedded under "shard" — together with
 // a 2-shard mid-run primary-failure run showing replica failover.
+//
+// With -stream the report carries the E-STREAM run: a >=10 s spoken part
+// streamed over the mux on the simulated 10 Mbit/s link (time-to-first-
+// audio vs the batch full download, underrun count), the progressive
+// browse screen (time-to-usable vs the batch miniature delivery), the
+// mid-stream replica failover resume and the per-chunk allocation guard,
+// embedded under "stream".
 package main
 
 import (
@@ -124,18 +132,49 @@ type ShardReport struct {
 	Failover   *ShardFailover `json:"failover,omitempty"`
 }
 
+// StreamReport is the embedded E-STREAM result: streaming delivery vs the
+// batch path on the simulated 10 Mbit/s link. Times are milliseconds so
+// the committed JSON diffs readably.
+type StreamReport struct {
+	Seed         int     `json:"seed"`
+	VoiceSeconds float64 `json:"voice_seconds"`
+	VoiceBytes   uint64  `json:"voice_bytes"`
+	VoiceChunks  int     `json:"voice_chunks"`
+	TTFAMs       float64 `json:"ttfa_ms"`
+	FullMs       float64 `json:"voice_full_download_ms"`
+	// TTFASpeedup is full-download over first-audio (acceptance bar: >= 5).
+	TTFASpeedup float64 `json:"ttfa_speedup"`
+	Underruns   int     `json:"underruns"`
+
+	ScreenCells      int     `json:"screen_cells"`
+	CoarseFrameBytes int64   `json:"coarse_frame_bytes"`
+	FullStreamBytes  int64   `json:"full_stream_bytes"`
+	BatchFrameBytes  int64   `json:"batch_frame_bytes"`
+	ScreenUsableMs   float64 `json:"screen_usable_ms"`
+	ScreenFullMs     float64 `json:"screen_full_ms"`
+	// UsableRatio is usable over full (acceptance bar: <= 0.5).
+	UsableRatio float64 `json:"usable_ratio"`
+
+	FailoverDelivered uint64 `json:"failover_delivered"`
+	FailoverResumes   int64  `json:"failover_resumes"`
+	FailoverOK        bool   `json:"failover_ok"`
+
+	AllocsPerChunk float64 `json:"allocs_per_chunk"`
+}
+
 // Report is the written JSON document.
 type Report struct {
-	GoVersion string       `json:"go_version"`
-	Bench     string       `json:"bench"`
-	BenchTime string       `json:"benchtime"`
-	Results   []Result     `json:"results"`
-	Load      *LoadReport  `json:"load,omitempty"`
-	Shard     *ShardReport `json:"shard,omitempty"`
+	GoVersion string        `json:"go_version"`
+	Bench     string        `json:"bench"`
+	BenchTime string        `json:"benchtime"`
+	Results   []Result      `json:"results"`
+	Load      *LoadReport   `json:"load,omitempty"`
+	Shard     *ShardReport  `json:"shard,omitempty"`
+	Stream    *StreamReport `json:"stream,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "report file (- = stdout)")
+	out := flag.String("out", "BENCH_8.json", "report file (- = stdout)")
 	bench := flag.String("bench", "Rasterize|Miniature|Synthesize|MuxBatched|LocalRoundTrip", "benchmark regex passed to go test")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (empty = default)")
 	count := flag.Int("count", 1, "go test -count value")
@@ -149,6 +188,10 @@ func main() {
 	shardDuration := flag.Duration("shard-duration", 20*time.Second, "E-SHARD virtual duration per width")
 	shardMaxInFlight := flag.Int("shard-maxinflight", 8, "E-SHARD per-shard admission bound")
 	shardSeed := flag.Uint64("shard-seed", 1986, "E-SHARD run seed")
+	stream := flag.Bool("stream", false, "run the E-STREAM streaming-delivery experiment and embed its result")
+	streamCells := flag.Int("stream-cells", 0, "E-STREAM browse-screen miniature count (0 = default)")
+	streamSeconds := flag.Int("stream-seconds", 0, "E-STREAM minimum spoken-part seconds (0 = default)")
+	streamSeed := flag.Int("stream-seed", 1986, "E-STREAM run seed")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
@@ -175,6 +218,16 @@ func main() {
 		rep.Shard = sr
 		fmt.Fprintf(os.Stderr, "minos-bench: E-SHARD speedup at N=4: %.2fx; failover steps: %d\n",
 			sr.SpeedupAt4, sr.Failover.FailoverSteps)
+	}
+	if *stream {
+		st, err := runStream(*streamCells, *streamSeconds, *streamSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minos-bench: stream: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Stream = st
+		fmt.Fprintf(os.Stderr, "minos-bench: E-STREAM ttfa speedup %.1fx, screen usable ratio %.2f, failover ok=%v, allocs/chunk=%.3f\n",
+			st.TTFASpeedup, st.UsableRatio, st.FailoverOK, st.AllocsPerChunk)
 	}
 	for _, pkg := range pkgs {
 		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
@@ -376,6 +429,42 @@ func runShard(perShard int, duration time.Duration, maxInFlight int, seed uint64
 		MinSteps:      res.MinSteps,
 	}
 	return sr, nil
+}
+
+// runStream runs the E-STREAM experiment in-process. Deterministic apart
+// from the alloc guard, which measures the live heap (and reports exactly
+// zero when the steady state allocates nothing).
+func runStream(cells, seconds, seed int) (*StreamReport, error) {
+	res, err := loadgen.RunStream(loadgen.StreamConfig{
+		ScreenCells:  cells,
+		VoiceSeconds: seconds,
+		Seed:         seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return &StreamReport{
+		Seed:              seed,
+		VoiceSeconds:      res.VoiceSeconds,
+		VoiceBytes:        res.VoiceBytes,
+		VoiceChunks:       res.VoiceChunks,
+		TTFAMs:            ms(res.TTFA),
+		FullMs:            ms(res.VoiceFullDownload),
+		TTFASpeedup:       res.TTFASpeedup,
+		Underruns:         res.Underruns,
+		ScreenCells:       res.ScreenCells,
+		CoarseFrameBytes:  res.CoarseFrameBytes,
+		FullStreamBytes:   res.FullStreamBytes,
+		BatchFrameBytes:   res.BatchFrameBytes,
+		ScreenUsableMs:    ms(res.ScreenUsable),
+		ScreenFullMs:      ms(res.ScreenFull),
+		UsableRatio:       res.UsableRatio,
+		FailoverDelivered: res.FailoverDelivered,
+		FailoverResumes:   res.FailoverResumes,
+		FailoverOK:        res.FailoverOK,
+		AllocsPerChunk:    res.AllocsPerChunk,
+	}, nil
 }
 
 func goVersion() string {

@@ -276,6 +276,16 @@ func buildServer(archivePath string, blocks, fillers int) (*server.Server, error
 	if err != nil {
 		return nil, err
 	}
+	// A spoken object so live sessions can exercise the voice paths
+	// (preview and the v3 stream); published after the demo corpus so the
+	// corpus ids and order stay exactly demo.Build's.
+	spoken, err := demo.SpokenObject(950, "city", 400, 7, 8000)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Server.Publish(spoken); err != nil {
+		return nil, err
+	}
 	if archivePath != "" {
 		if err := c.Server.Archiver().Device().SaveFile(archivePath); err != nil {
 			return nil, err

@@ -121,7 +121,7 @@ func TestEPipeOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tp.Version() != wire.ProtocolV2 {
+	if tp.Version() < wire.ProtocolV2 {
 		t.Fatalf("negotiated version = %d", tp.Version())
 	}
 	tp.SetCallTimeout(10 * time.Second)

@@ -2,6 +2,14 @@
 // plays voice.Part sample streams in virtual time (vclock), supporting the
 // §2 voice browsing primitives: interrupt, resume from the interrupted
 // position, resume from a given offset, and position queries while playing.
+//
+// Parts may also arrive incrementally (the streaming delivery path):
+// BeginStream declares an expected sample count, Feed appends samples as
+// chunks land, and playback started before the last chunk keeps emitting as
+// long as delivery stays ahead of the play head. When it does not, the
+// player records a buffer underrun and stalls deterministically until the
+// next Feed — under vclock the underrun count is a bit-exact measurement,
+// not a race.
 package audioout
 
 import (
@@ -24,6 +32,13 @@ type Player struct {
 	timer     *vclock.Timer
 	onDone    func()
 
+	// Streaming state: a part being fed incrementally. stalled marks
+	// playback paused at the delivery frontier waiting for the next Feed.
+	streaming   bool
+	streamTotal int
+	stalled     bool
+	underruns   int
+
 	// PlayLog records every contiguous segment the device actually
 	// emitted (useful for asserting logical-message and tour semantics).
 	PlayLog []Played
@@ -40,12 +55,83 @@ func NewPlayer(clock *vclock.Clock) *Player {
 	return &Player{clock: clock}
 }
 
-// Load selects the part to play, stopping any current playback.
+// Load selects the part to play, stopping any current playback. Reloading
+// the part already loaded is a no-op that preserves playback state —
+// position, running timer, stall — so an idempotent re-load (a browse step
+// revisited, a stream resumed after shard failover) cannot silently kill
+// the audio it is supposed to continue.
 func (p *Player) Load(part *voice.Part) {
+	if part != nil && part == p.part {
+		return
+	}
 	p.stopTimer()
 	p.playing = false
+	p.streaming = false
+	p.stalled = false
 	p.part = part
 }
+
+// BeginStream prepares the player for incremental delivery: a fresh part
+// with the given rate is installed, total is the expected sample count, and
+// Feed appends chunks as they arrive. Play may be called as soon as the
+// first chunk is fed — that is the whole point of the streaming path.
+func (p *Player) BeginStream(rate, total int) {
+	p.stopTimer()
+	p.playing = false
+	p.stalled = false
+	p.streaming = true
+	p.streamTotal = total
+	p.part = &voice.Part{Rate: rate, Samples: make([]int16, 0, total)}
+}
+
+// Feed appends streamed samples (the slice is copied; the caller keeps
+// ownership, so pooled chunk buffers can be recycled after the call). A
+// playback stalled on an underrun resumes at the moment of the feed.
+func (p *Player) Feed(samples []int16) {
+	if !p.streaming || p.part == nil {
+		return
+	}
+	p.part.Samples = append(p.part.Samples, samples...)
+	if p.stalled {
+		p.stalled = false
+		p.schedule(p.startPos, p.endPos)
+	}
+}
+
+// FinishStream marks the end of incremental delivery: what has been fed is
+// the whole part. A playback waiting past the delivered end (the stream was
+// cut short) completes at the real end instead of stalling forever.
+func (p *Player) FinishStream() {
+	if !p.streaming {
+		return
+	}
+	p.streaming = false
+	p.streamTotal = len(p.part.Samples)
+	if p.endPos > len(p.part.Samples) {
+		p.endPos = len(p.part.Samples)
+	}
+	if p.stalled {
+		p.stalled = false
+		if p.startPos < p.endPos {
+			p.schedule(p.startPos, p.endPos)
+			return
+		}
+		// The stall position is the real end: the segment is complete.
+		if p.onDone != nil {
+			done := p.onDone
+			p.onDone = nil
+			done()
+		}
+	}
+}
+
+// Streaming reports whether the player is between BeginStream and
+// FinishStream.
+func (p *Player) Streaming() bool { return p.streaming }
+
+// Underruns returns the number of times playback exhausted the delivered
+// samples and had to stall for the next Feed.
+func (p *Player) Underruns() int { return p.underruns }
 
 // Part returns the loaded part.
 func (p *Player) Part() *voice.Part { return p.part }
@@ -53,14 +139,17 @@ func (p *Player) Part() *voice.Part { return p.part }
 // Playing reports whether the device is emitting.
 func (p *Player) Playing() bool { return p.playing }
 
-// Play starts emitting samples [from, to); to <= 0 means end of part.
-// onDone (may be nil) fires on the clock when the segment completes. Any
-// current playback is replaced.
+// Play starts emitting samples [from, to); to <= 0 means end of part (the
+// expected stream end while streaming). onDone (may be nil) fires on the
+// clock when the segment completes. Any current playback is replaced.
 func (p *Player) Play(from, to int, onDone func()) error {
 	if p.part == nil {
 		return fmt.Errorf("audioout: no part loaded")
 	}
 	n := len(p.part.Samples)
+	if p.streaming && p.streamTotal > n {
+		n = p.streamTotal
+	}
 	if to <= 0 || to > n {
 		to = n
 	}
@@ -71,23 +160,59 @@ func (p *Player) Play(from, to int, onDone func()) error {
 		from = to
 	}
 	p.stopTimer()
-	p.playing = true
+	p.stalled = false
+	p.onDone = onDone
+	p.schedule(from, to)
+	return nil
+}
+
+// schedule starts (or resumes) emission of [from, to), bounded by the
+// samples actually delivered so far. Reaching the delivery frontier before
+// to is a buffer underrun: the player stalls — deterministically, on the
+// clock — and the next Feed resumes from the frontier.
+func (p *Player) schedule(from, to int) {
 	p.startPos = from
 	p.endPos = to
-	p.startedAt = p.clock.Now()
-	p.onDone = onDone
-	p.PlayLog = append(p.PlayLog, Played{From: from, To: to, At: p.startedAt})
-	dur := p.part.TimeAt(to) - p.part.TimeAt(from)
-	p.timer = p.clock.AfterFunc(dur, func() {
+	limit := to
+	if avail := len(p.part.Samples); limit > avail {
+		limit = avail
+	}
+	if from >= limit && limit < to {
+		// Nothing deliverable at the play head yet.
+		p.underruns++
+		p.stalled = true
 		p.playing = false
+		p.startPos = from
+		return
+	}
+	p.playing = true
+	p.startedAt = p.clock.Now()
+	p.PlayLog = append(p.PlayLog, Played{From: from, To: limit, At: p.startedAt})
+	dur := p.part.TimeAt(limit) - p.part.TimeAt(from)
+	p.timer = p.clock.AfterFunc(dur, func() {
 		p.timer = nil
+		p.playing = false
+		if limit < p.endPos {
+			if len(p.part.Samples) > limit {
+				// More samples landed while this segment played: continue
+				// seamlessly from the old frontier. Not an underrun — the
+				// device never went hungry.
+				p.schedule(limit, p.endPos)
+				return
+			}
+			// Delivery fell behind the play head: stall until more samples
+			// are fed (or the stream finishes and clamps the end).
+			p.underruns++
+			p.stalled = true
+			p.startPos = limit
+			return
+		}
 		if p.onDone != nil {
 			done := p.onDone
 			p.onDone = nil
 			done()
 		}
 	})
-	return nil
 }
 
 func (p *Player) stopTimer() {
@@ -116,9 +241,11 @@ func (p *Player) Position() int {
 }
 
 // Interrupt stops playback, keeping the current position for Resume; it
-// returns that position. Interrupting a stopped player is a no-op.
+// returns that position. Interrupting a stopped player is a no-op; a
+// stalled stream playback is un-stalled (its position is the frontier).
 func (p *Player) Interrupt() int {
 	if !p.playing {
+		p.stalled = false
 		return p.startPos
 	}
 	pos := p.Position()
@@ -144,6 +271,9 @@ func (p *Player) Resume(onDone func()) error {
 	to := p.endPos
 	if to <= p.startPos {
 		to = len(p.part.Samples)
+		if p.streaming && p.streamTotal > to {
+			to = p.streamTotal
+		}
 	}
 	return p.Play(p.startPos, to, onDone)
 }

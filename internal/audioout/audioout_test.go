@@ -177,16 +177,148 @@ func TestPlayClampsRange(t *testing.T) {
 	}
 }
 
-func TestLoadStopsPlayback(t *testing.T) {
+func TestLoadDifferentPartStopsPlayback(t *testing.T) {
 	c := vclock.New()
 	p := NewPlayer(c)
 	part := testPart(t)
 	p.Load(part)
 	done := false
 	p.Play(0, 0, func() { done = true })
-	p.Load(part) // reload stops
+	p.Load(&voice.Part{Rate: part.Rate, Samples: part.Samples[:10]}) // new part stops
+	if p.Playing() {
+		t.Fatal("Load of a different part did not stop playback")
+	}
 	c.Advance(part.Duration() * 2)
+	if done {
+		t.Fatal("replaced playback still fired its callback")
+	}
+}
+
+func TestLoadSamePartPreservesPlayback(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	part := testPart(t)
+	p.Load(part)
+	done := false
+	p.Play(0, 0, func() { done = true })
+	c.Advance(time.Second)
+	p.Load(part) // idempotent reload: playback continues
+	if !p.Playing() {
+		t.Fatal("reload of the same part stopped playback")
+	}
+	c.Advance(part.Duration())
+	if !done {
+		t.Fatal("completion callback lost across same-part reload")
+	}
+	if len(p.PlayLog) != 1 {
+		t.Fatalf("reload restarted playback: PlayLog = %+v", p.PlayLog)
+	}
+}
+
+func TestStreamPlayWhileFeeding(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	part := testPart(t)
+	total := len(part.Samples)
+	p.BeginStream(part.Rate, total)
+	half := total / 2
+	p.Feed(part.Samples[:half])
+	done := false
+	if err := p.Play(0, 0, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Playing() {
+		t.Fatal("not playing after first chunk")
+	}
+	// Second half arrives while the first is still playing: no underrun.
+	c.Advance(part.TimeAt(half) / 2)
+	p.Feed(part.Samples[half:])
+	p.FinishStream()
+	c.Advance(part.Duration())
+	if !done {
+		t.Fatal("streamed playback did not complete")
+	}
+	if p.Underruns() != 0 {
+		t.Fatalf("underruns = %d, want 0", p.Underruns())
+	}
+}
+
+func TestStreamUnderrunStallsAndResumes(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	part := testPart(t)
+	total := len(part.Samples)
+	p.BeginStream(part.Rate, total)
+	half := total / 2
+	p.Feed(part.Samples[:half])
+	done := false
+	p.Play(0, 0, func() { done = true })
+	// Play past the delivered frontier: the player must stall, not finish.
+	c.Advance(part.Duration())
 	if done || p.Playing() {
-		t.Fatal("Load did not stop playback")
+		t.Fatal("playback ran past the delivered samples")
+	}
+	if p.Underruns() != 1 {
+		t.Fatalf("underruns = %d, want 1", p.Underruns())
+	}
+	if p.Position() != half {
+		t.Fatalf("stalled at %d, want frontier %d", p.Position(), half)
+	}
+	// The late chunk resumes playback from the frontier.
+	p.Feed(part.Samples[half:])
+	if !p.Playing() {
+		t.Fatal("Feed did not resume stalled playback")
+	}
+	p.FinishStream()
+	c.Advance(part.Duration())
+	if !done {
+		t.Fatal("resumed playback did not complete")
+	}
+	if n := len(p.PlayLog); n != 2 || p.PlayLog[0].To != half || p.PlayLog[1].From != half {
+		t.Fatalf("PlayLog = %+v", p.PlayLog)
+	}
+}
+
+func TestStreamPlayBeforeAnyChunkStalls(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	part := testPart(t)
+	p.BeginStream(part.Rate, len(part.Samples))
+	done := false
+	p.Play(0, 0, func() { done = true })
+	if p.Playing() {
+		t.Fatal("playing with zero samples delivered")
+	}
+	if p.Underruns() != 1 {
+		t.Fatalf("underruns = %d, want 1", p.Underruns())
+	}
+	p.Feed(part.Samples)
+	if !p.Playing() {
+		t.Fatal("first Feed did not start stalled playback")
+	}
+	p.FinishStream()
+	c.Advance(part.Duration())
+	if !done {
+		t.Fatal("playback did not complete")
+	}
+}
+
+func TestFinishStreamShortCompletesAtRealEnd(t *testing.T) {
+	c := vclock.New()
+	p := NewPlayer(c)
+	part := testPart(t)
+	total := len(part.Samples)
+	p.BeginStream(part.Rate, total) // claims total...
+	half := total / 2
+	p.Feed(part.Samples[:half])
+	done := false
+	p.Play(0, 0, func() { done = true })
+	c.Advance(part.Duration())
+	if done {
+		t.Fatal("completed before stream end")
+	}
+	p.FinishStream() // ...but ends at half: the stall resolves as completion
+	if !done {
+		t.Fatal("short stream did not complete at its real end")
 	}
 }

@@ -54,9 +54,10 @@ type Client struct {
 	retry    wire.RetryPolicy
 	retrySet bool
 
-	refetches atomic.Int64
-	failovers atomic.Int64
-	reroutes  atomic.Int64
+	refetches     atomic.Int64
+	failovers     atomic.Int64
+	reroutes      atomic.Int64
+	streamResumes atomic.Int64
 }
 
 // Dial connects to a fleet through one seed endpoint and learns the
@@ -132,6 +133,10 @@ func (c *Client) Map() *Map { m, _ := c.topo(); return m }
 func (c *Client) Refetches() int64 { return c.refetches.Load() }
 func (c *Client) Failovers() int64 { return c.failovers.Load() }
 func (c *Client) Reroutes() int64  { return c.reroutes.Load() }
+
+// StreamResumes reports how many open streams were resumed mid-flight on
+// another endpoint after their serving endpoint failed.
+func (c *Client) StreamResumes() int64 { return c.streamResumes.Load() }
 
 // SetRetryPolicy installs the retry policy on every per-shard connection
 // (current and future).

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"minos/internal/object"
+	"minos/internal/wire"
+)
+
+// Stream routing composes the fleet's replica failover with the wire
+// layer's credit-based server-push streams. A stream is opened on the
+// shard owning the object, like any routed call; unlike a routed call it
+// is long-lived, so the primary can die in the middle. Both stream kinds
+// address every data frame by its absolute byte offset in the streamed
+// media, which makes resumption a pure client-side affair: the router
+// remembers the high-water mark of bytes it has handed to the consumer,
+// re-opens the stream on the next endpoint with from = that mark, and
+// trims any overlap the replica re-sends. The consumer observes one
+// gapless, duplicate-free byte sequence and never restarts the part.
+//
+// Voice resumption stays sample-aligned for free: the PCM region is an
+// even number of bytes, chunks are cut at even sizes, so the delivered
+// mark is always even. Miniature resumption lands on pass boundaries for
+// the same reason — each data frame is exactly one progressive pass.
+
+// streamOpen opens one stream attempt on a shard connection, starting at
+// the given absolute byte offset.
+type streamOpen func(wc *wire.Client, from uint64) (wire.StreamConn, error)
+
+// VoiceStreamCtx opens a credit-based voice PCM stream on the shard owning
+// id, resuming on a replica from the last delivered byte if the serving
+// endpoint fails mid-stream.
+func (c *Client) VoiceStreamCtx(ctx context.Context, id object.ID, from uint64, window int) (wire.VoiceStreamInfo, wire.StreamConn, error) {
+	var info wire.VoiceStreamInfo
+	var got bool
+	open := func(wc *wire.Client, at uint64) (wire.StreamConn, error) {
+		i, sc, err := wc.VoiceStreamCtx(ctx, id, at, window)
+		if err == nil && !got {
+			info, got = i, true
+		}
+		return sc, err
+	}
+	sc, err := c.openStream(ctx, id, from, open)
+	return info, sc, err
+}
+
+// MiniatureStreamCtx opens a progressive miniature stream on the shard
+// owning id, with the same mid-stream failover as VoiceStreamCtx.
+func (c *Client) MiniatureStreamCtx(ctx context.Context, id object.ID, from uint64, window int) (wire.MiniatureStreamInfo, wire.StreamConn, error) {
+	var info wire.MiniatureStreamInfo
+	var got bool
+	open := func(wc *wire.Client, at uint64) (wire.StreamConn, error) {
+		i, sc, err := wc.MiniatureStreamCtx(ctx, id, at, window)
+		if err == nil && !got {
+			info, got = i, true
+		}
+		return sc, err
+	}
+	sc, err := c.openStream(ctx, id, from, open)
+	return info, sc, err
+}
+
+// openStream routes a stream open to the owning shard (re-routing once on
+// a stale map, like routed) and wraps the connection for failover resume.
+func (c *Client) openStream(ctx context.Context, id object.ID, from uint64, open streamOpen) (wire.StreamConn, error) {
+	m, ring := c.topo()
+	sc, eps, idx, err := c.openOnShard(ctx, m, ring.Owner(id), from, open)
+	if isStaleRoute(err) && c.maybeRefetch(ctx) {
+		nm, nring := c.topo()
+		c.reroutes.Add(1)
+		sc, eps, idx, err = c.openOnShard(ctx, nm, nring.Owner(id), from, open)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &failoverStream{
+		c:         c,
+		ctx:       ctx,
+		open:      open,
+		endpoints: eps,
+		epIdx:     idx,
+		delivered: from,
+		conn:      sc,
+	}, nil
+}
+
+// openOnShard tries the stream open on the shard's primary, then — for
+// failures a replica can absorb — on each replica in order, exactly like
+// onShard for unary calls.
+func (c *Client) openOnShard(ctx context.Context, m *Map, shard int, from uint64, open streamOpen) (wire.StreamConn, []string, int, error) {
+	sh := m.Shard(shard)
+	if sh == nil {
+		return nil, nil, 0, fmt.Errorf("cluster: map epoch %d has no shard %d", m.Epoch, shard)
+	}
+	eps := append([]string{sh.Primary}, sh.Replicas...)
+	var last error
+	for i, ep := range eps {
+		wc, err := c.conn(ep)
+		if err == nil {
+			var sc wire.StreamConn
+			sc, err = open(wc, from)
+			if err == nil {
+				if i > 0 {
+					c.failovers.Add(1)
+				}
+				return sc, eps, i, nil
+			}
+		}
+		last = err
+		if !failoverable(err) || ctx.Err() != nil {
+			return nil, nil, 0, err
+		}
+	}
+	return nil, nil, 0, fmt.Errorf("cluster: shard %d unavailable for stream (primary and %d replicas): %w",
+		shard, len(eps)-1, last)
+}
+
+// failoverStream is a wire.StreamConn that survives the death of the
+// endpoint serving it: a failoverable Recv error re-opens the stream on
+// the shard's next endpoint at the delivered high-water mark and the read
+// loop continues. Offsets are absolute, so duplicates a replica re-sends
+// around the resume point are trimmed before the consumer sees them.
+type failoverStream struct {
+	c    *Client
+	ctx  context.Context
+	open streamOpen
+
+	mu        sync.Mutex
+	conn      wire.StreamConn
+	endpoints []string
+	epIdx     int
+	delivered uint64 // next byte the consumer has not yet received
+}
+
+func (s *failoverStream) current() wire.StreamConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn
+}
+
+// Recv returns the next never-before-delivered chunk, transparently
+// resuming on the next endpoint when the current one fails mid-stream.
+func (s *failoverStream) Recv() (wire.StreamChunk, error) {
+	for {
+		conn := s.current()
+		if conn == nil {
+			return wire.StreamChunk{}, errors.New("cluster: stream closed")
+		}
+		ch, err := conn.Recv()
+		if err == nil {
+			end := ch.Offset + uint64(len(ch.Data))
+			if end <= s.delivered {
+				continue // wholly before the resume point: duplicate
+			}
+			if ch.Offset < s.delivered {
+				ch.Data = ch.Data[s.delivered-ch.Offset:]
+				ch.Offset = s.delivered
+			}
+			s.delivered = end
+			return ch, nil
+		}
+		if errors.Is(err, io.EOF) {
+			return ch, err // clean end (the final chunk carries timing only)
+		}
+		if !failoverable(err) || s.ctx.Err() != nil {
+			return ch, err
+		}
+		if rerr := s.resume(); rerr != nil {
+			return wire.StreamChunk{}, fmt.Errorf("cluster: stream resume after %q: %w", err, rerr)
+		}
+	}
+}
+
+// resume re-opens the stream on the next endpoint of the shard at the
+// delivered mark. It never retries the endpoint that just failed: a
+// mid-stream failure is stronger evidence than a failed unary call, and
+// the wire client's own retry loop already ran underneath it.
+func (s *failoverStream) resume() error {
+	s.mu.Lock()
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+	s.mu.Unlock()
+	var last error
+	for {
+		s.mu.Lock()
+		s.epIdx++
+		if s.epIdx >= len(s.endpoints) {
+			s.mu.Unlock()
+			if last == nil {
+				last = errors.New("no endpoint left")
+			}
+			return last
+		}
+		ep := s.endpoints[s.epIdx]
+		at := s.delivered
+		s.mu.Unlock()
+		wc, err := s.c.conn(ep)
+		if err == nil {
+			var sc wire.StreamConn
+			sc, err = s.open(wc, at)
+			if err == nil {
+				s.mu.Lock()
+				s.conn = sc
+				s.mu.Unlock()
+				s.c.failovers.Add(1)
+				s.c.streamResumes.Add(1)
+				return nil
+			}
+		}
+		last = err
+		if !failoverable(err) || s.ctx.Err() != nil {
+			return err
+		}
+	}
+}
+
+// Grant tops up the current endpoint's send window. Credit lost with a
+// dead endpoint is re-granted implicitly: the re-open carries the full
+// window again.
+func (s *failoverStream) Grant(n int) {
+	if conn := s.current(); conn != nil {
+		conn.Grant(n)
+	}
+}
+
+// Close tears the stream down (cancelling it on the serving endpoint if
+// it is still live).
+func (s *failoverStream) Close() error {
+	s.mu.Lock()
+	conn := s.conn
+	s.conn = nil
+	s.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	return conn.Close()
+}

@@ -1,0 +1,254 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"minos/internal/cluster"
+	"minos/internal/demo"
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/wire"
+)
+
+// Stream support for the flaky test transport: the open is refused once
+// the endpoint is killed, and an already-open stream starts failing its
+// Recv calls like a reset TCP connection — which is exactly where a real
+// mid-stream primary death surfaces.
+
+func (t *flakyTransport) OpenStream(ctx context.Context, req []byte) ([]byte, time.Duration, wire.StreamConn, error) {
+	if t.failed.Load() {
+		return nil, 0, nil, syscall.ECONNRESET
+	}
+	meta, dev, sc, err := t.inner.OpenStream(ctx, req)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return meta, dev, &flakyStreamConn{inner: sc, failed: t.failed}, nil
+}
+
+type flakyStreamConn struct {
+	inner  wire.StreamConn
+	failed *atomic.Bool
+}
+
+func (s *flakyStreamConn) Recv() (wire.StreamChunk, error) {
+	if s.failed.Load() {
+		return wire.StreamChunk{}, syscall.ECONNRESET
+	}
+	return s.inner.Recv()
+}
+
+func (s *flakyStreamConn) Grant(n int)  { s.inner.Grant(n) }
+func (s *flakyStreamConn) Close() error { return s.inner.Close() }
+
+// buildVoiceFleet is a one-shard fleet (primary + replica) whose corpus is
+// a single deterministic spoken object: both endpoints publish their own
+// identical build, like the WORM replicas of buildFleet.
+func buildVoiceFleet(t *testing.T) (*testFleet, *cluster.Client, object.ID) {
+	t.Helper()
+	const id = object.ID(4242)
+	f := &testFleet{}
+	for _, name := range []string{"prime", "prime-r"} {
+		srv, err := demo.NewServer(name, 1<<15)
+		if err != nil {
+			t.Fatalf("NewServer(%s): %v", name, err)
+		}
+		o, err := demo.SpokenObject(id, "heart", 400, 7, 8000)
+		if err != nil {
+			t.Fatalf("SpokenObject: %v", err)
+		}
+		if _, err := srv.Publish(o); err != nil {
+			t.Fatalf("Publish on %s: %v", name, err)
+		}
+		f.add(name, srv)
+	}
+	m := &cluster.Map{
+		Epoch:  1,
+		Vnodes: cluster.DefaultVnodes,
+		Shards: []cluster.Shard{{ID: 0, Primary: "prime", Replicas: []string{"prime-r"}}},
+	}
+	enc := m.Encode()
+	f.mu.Lock()
+	for _, ep := range f.endpoints {
+		ep.h.Srv.SetClusterMap(m.Epoch, enc)
+	}
+	f.mu.Unlock()
+	c, err := cluster.Dial("prime", f.dialer())
+	if err != nil {
+		t.Fatalf("cluster.Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.SetRetryPolicy(fastRetry)
+	return f, c, id
+}
+
+// TestVoiceStreamFailoverResume kills the primary mid-stream and requires
+// the stream to resume on the replica from the last delivered byte: the
+// consumer sees one gapless, duplicate-free copy of the PCM region and
+// never restarts the part.
+func TestVoiceStreamFailoverResume(t *testing.T) {
+	ctx := context.Background()
+	f, c, id := buildVoiceFleet(t)
+
+	// Ground truth straight off the primary's archive.
+	f.mu.Lock()
+	srv := f.endpoints["prime"].h.Srv
+	f.mu.Unlock()
+	pcm, _, err := srv.VoicePCMInfoAs(0, id)
+	if err != nil {
+		t.Fatalf("VoicePCMInfoAs: %v", err)
+	}
+	want, _, err := srv.ReadPieceAs(0, pcm.Off, pcm.Bytes)
+	if err != nil {
+		t.Fatalf("ReadPieceAs: %v", err)
+	}
+
+	info, sc, err := c.VoiceStreamCtx(ctx, id, 0, 64<<10)
+	if err != nil {
+		t.Fatalf("VoiceStreamCtx: %v", err)
+	}
+	defer sc.Close()
+	if info.TotalBytes != pcm.Bytes || info.Rate != pcm.Rate {
+		t.Fatalf("stream meta {rate %d total %d}, want {rate %d total %d}",
+			info.Rate, info.TotalBytes, pcm.Rate, pcm.Bytes)
+	}
+
+	got := make([]byte, 0, info.TotalBytes)
+	var next uint64
+	killed := false
+	for {
+		ch, err := sc.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Recv at offset %d: %v", next, err)
+		}
+		if ch.Offset != next {
+			t.Fatalf("chunk offset %d, want contiguous %d", ch.Offset, next)
+		}
+		got = append(got, ch.Data...)
+		next = ch.Offset + uint64(len(ch.Data))
+		sc.Grant(len(ch.Data))
+		if !killed && next >= info.TotalBytes/3 {
+			f.kill("prime") // primary dies mid-stream
+			killed = true
+		}
+	}
+	if !killed {
+		t.Fatal("stream ended before the kill point; corpus too small")
+	}
+	if uint64(len(got)) != info.TotalBytes {
+		t.Fatalf("delivered %d bytes, want %d", len(got), info.TotalBytes)
+	}
+	if string(got) != string(want) {
+		t.Fatal("streamed PCM diverges from the archive after failover")
+	}
+	if c.StreamResumes() != 1 {
+		t.Fatalf("stream resumes = %d, want 1", c.StreamResumes())
+	}
+	if c.Failovers() == 0 {
+		t.Fatal("no failover recorded despite a dead primary")
+	}
+}
+
+// TestVoiceStreamOpensOnReplica: a primary already dead at open time must
+// not prevent the stream — the open itself fails over.
+func TestVoiceStreamOpensOnReplica(t *testing.T) {
+	ctx := context.Background()
+	f, c, id := buildVoiceFleet(t)
+	f.kill("prime")
+
+	info, sc, err := c.VoiceStreamCtx(ctx, id, 0, 64<<10)
+	if err != nil {
+		t.Fatalf("VoiceStreamCtx with dead primary: %v", err)
+	}
+	defer sc.Close()
+	var n uint64
+	for {
+		ch, err := sc.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		n += uint64(len(ch.Data))
+	}
+	if n != info.TotalBytes {
+		t.Fatalf("delivered %d bytes off the replica, want %d", n, info.TotalBytes)
+	}
+	if c.Failovers() == 0 {
+		t.Fatal("open-time failover not recorded")
+	}
+}
+
+// TestMiniatureStreamFailoverResume: the progressive miniature stream of a
+// sharded corpus object must survive a mid-stream primary kill, resuming
+// at the next pass boundary; the reassembled bitmap is bit-identical to
+// the miniature served whole.
+func TestMiniatureStreamFailoverResume(t *testing.T) {
+	ctx := context.Background()
+	f, sh, _ := buildFleet(t, 2, true)
+	c := dialFleet(t, f)
+
+	// Any object with a miniature will do; find one and its owning shard.
+	var id object.ID
+	var owner int
+	var want *img.Bitmap
+	for _, cand := range sh.Servers[0].IDs() {
+		if bm := sh.Servers[0].Miniature(cand); bm != nil {
+			id, owner, want = cand, 0, bm
+			break
+		}
+	}
+	if want == nil {
+		t.Fatal("no miniature-bearing object on shard 0")
+	}
+
+	info, sc, err := c.MiniatureStreamCtx(ctx, id, 0, 64<<10)
+	if err != nil {
+		t.Fatalf("MiniatureStreamCtx: %v", err)
+	}
+	defer sc.Close()
+	if info.W != want.W || info.H != want.H {
+		t.Fatalf("stream meta %dx%d, want %dx%d", info.W, info.H, want.W, want.H)
+	}
+	prog := img.NewProgressive(info.W, info.H)
+	passes := 0
+	for {
+		ch, err := sc.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Recv pass %d: %v", passes, err)
+		}
+		pass, ok := img.PassAtOffset(info.W, info.H, ch.Offset)
+		if !ok {
+			t.Fatalf("chunk offset %d is not a pass boundary", ch.Offset)
+		}
+		if err := prog.Apply(pass, ch.Data); err != nil {
+			t.Fatalf("Apply pass %d: %v", pass, err)
+		}
+		passes++
+		if passes == 1 {
+			f.kill(fmt.Sprintf("shard%d", owner)) // die after the coarse pass
+		}
+	}
+	if !prog.Complete() {
+		t.Fatalf("progressive miniature incomplete after %d passes", passes)
+	}
+	if prog.Bitmap().Hash() != want.Hash() {
+		t.Fatal("reassembled miniature diverges from the whole one after failover")
+	}
+	if c.StreamResumes() != 1 {
+		t.Fatalf("stream resumes = %d, want 1", c.StreamResumes())
+	}
+}

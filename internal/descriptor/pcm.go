@@ -1,0 +1,37 @@
+package descriptor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// VoicePCMHeaderMax is the largest possible size of the fixed prefix that
+// VoicePCMInfo needs: one varint (rate) plus one uvarint (sample count),
+// each at most binary.MaxVarintLen64 bytes. Callers streaming a voice part
+// incrementally read this many bytes (clamped to the part length) to locate
+// the PCM region without materializing the part.
+const VoicePCMHeaderMax = 2 * binary.MaxVarintLen64
+
+// VoicePCMInfo parses just the header of an encoded PartVoice payload from
+// its leading bytes, returning the sample rate, the sample count and the
+// byte offset within the encoded part where the PCM samples begin. The
+// samples themselves are stored as little-endian uint16 words (2 bytes per
+// sample, encodeVoicePart's layout), so [pcmStart, pcmStart+2*samples) is
+// the part's raw PCM byte region — the unit the streaming voice path cuts
+// into page-sized chunks. prefix needs at most VoicePCMHeaderMax bytes (a
+// shorter complete part is fine).
+func VoicePCMInfo(prefix []byte) (rate int, samples uint64, pcmStart int, err error) {
+	r, n := binary.Varint(prefix)
+	if n <= 0 {
+		return 0, 0, 0, fmt.Errorf("%w: voice rate varint", ErrCorrupt)
+	}
+	if r <= 0 || r > math.MaxInt32 {
+		return 0, 0, 0, fmt.Errorf("%w: voice rate %d", ErrCorrupt, r)
+	}
+	cnt, m := binary.Uvarint(prefix[n:])
+	if m <= 0 {
+		return 0, 0, 0, fmt.Errorf("%w: voice sample count uvarint", ErrCorrupt)
+	}
+	return int(r), cnt, n + m, nil
+}

@@ -1,0 +1,141 @@
+package image
+
+import "fmt"
+
+// Progressive (coarse-rows-first) bitmap delivery. A miniature streamed
+// over a slow link is useless until the last row of a top-to-bottom encoding
+// arrives; interleaving the rows into ProgressivePasses groups — every 4th
+// row first — puts a recognizable quarter-resolution image on the screen
+// after ~1/4 of the bytes, and each later pass sharpens it. The pass
+// payloads are plain packed rows in Bitmap's own storage layout, so the
+// encoder is a gather and the decoder a scatter: no transform, no extra
+// per-pixel cost, and the concatenation of all passes carries exactly the
+// bitmap's bytes (stride * H), just reordered.
+const ProgressivePasses = 4
+
+// passResidue[p] is the row residue (y % ProgressivePasses) carried by pass
+// p. Pass order 0,2,1,3 keeps the refinement spatially uniform: after two
+// passes every other row is real, not the top half.
+var passResidue = [ProgressivePasses]int{0, 2, 1, 3}
+
+// passRowCount returns the number of rows of an h-row bitmap carried by
+// pass p: the rows y in [0,h) with y%ProgressivePasses == passResidue[p].
+func passRowCount(h, p int) int {
+	r := passResidue[p]
+	if h <= r {
+		return 0
+	}
+	return (h - r + ProgressivePasses - 1) / ProgressivePasses
+}
+
+// PassSize returns the payload size in bytes of pass p for a w x h bitmap.
+func PassSize(w, h, p int) int {
+	return ((w + 7) / 8) * passRowCount(h, p)
+}
+
+// PassOffset returns the byte offset of pass p within the concatenated
+// pass stream of a w x h bitmap. Streamed progressive miniatures address
+// chunks by this logical byte offset, which is what makes a resumed stream
+// (replica failover) able to continue at a pass boundary.
+func PassOffset(w, h, p int) int {
+	off := 0
+	for i := 0; i < p; i++ {
+		off += PassSize(w, h, i)
+	}
+	return off
+}
+
+// PassAtOffset maps a byte offset in the concatenated pass stream back to
+// the pass starting there; ok is false when off is not a pass boundary (or
+// is past the end of a complete, non-empty stream).
+func PassAtOffset(w, h int, off uint64) (pass int, ok bool) {
+	for p := 0; p < ProgressivePasses; p++ {
+		if uint64(PassOffset(w, h, p)) == off {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// AppendPassRows appends pass p of the bitmap — its interleave rows, packed
+// exactly as stored, in increasing y — to dst and returns the extended
+// slice. The append never allocates when dst has PassSize capacity left.
+func (b *Bitmap) AppendPassRows(dst []byte, p int) []byte {
+	r := passResidue[p]
+	for y := r; y < b.H; y += ProgressivePasses {
+		dst = append(dst, b.bits[y*b.stride:(y+1)*b.stride]...)
+	}
+	return dst
+}
+
+// Progressive accumulates the passes of a streamed bitmap. Every applied
+// pass scatters its rows into place; rows whose pass has not arrived yet
+// are filled by replicating the nearest earlier coarse row, so Bitmap()
+// always returns a fully-painted (if soft) image — the browse screen shows
+// it as soon as pass 0 lands.
+type Progressive struct {
+	bm  *Bitmap
+	got [ProgressivePasses]bool
+}
+
+// NewProgressive builds an accumulator for a w x h streamed bitmap.
+func NewProgressive(w, h int) *Progressive {
+	return &Progressive{bm: NewBitmap(w, h)}
+}
+
+// Apply installs one pass payload (the bytes AppendPassRows produced).
+func (p *Progressive) Apply(pass int, rows []byte) error {
+	if pass < 0 || pass >= ProgressivePasses {
+		return fmt.Errorf("image: progressive pass %d out of range", pass)
+	}
+	b := p.bm
+	if len(rows) != PassSize(b.W, b.H, pass) {
+		return fmt.Errorf("image: progressive pass %d payload %d bytes, want %d",
+			pass, len(rows), PassSize(b.W, b.H, pass))
+	}
+	r := passResidue[pass]
+	src := 0
+	for y := r; y < b.H; y += ProgressivePasses {
+		copy(b.bits[y*b.stride:(y+1)*b.stride], rows[src:src+b.stride])
+		src += b.stride
+		if pass == 0 {
+			// Coarse fill: replicate the anchor row over the following rows
+			// whose passes are still in flight; they are overwritten as
+			// their own passes arrive.
+			for fy := y + 1; fy < b.H && fy < y+ProgressivePasses; fy++ {
+				if !p.got[passIndexOf(fy%ProgressivePasses)] {
+					copy(b.bits[fy*b.stride:(fy+1)*b.stride], b.bits[y*b.stride:(y+1)*b.stride])
+				}
+			}
+		}
+	}
+	p.got[pass] = true
+	return nil
+}
+
+// passIndexOf returns the pass carrying rows of the given residue.
+func passIndexOf(residue int) int {
+	for p, r := range passResidue {
+		if r == residue {
+			return p
+		}
+	}
+	return 0
+}
+
+// Usable reports whether the coarse pass has been applied — the point where
+// the image is worth painting.
+func (p *Progressive) Usable() bool { return p.got[0] }
+
+// Complete reports whether every pass has been applied.
+func (p *Progressive) Complete() bool {
+	for _, g := range p.got {
+		if !g {
+			return false
+		}
+	}
+	return true
+}
+
+// Bitmap returns the accumulated image (shared, repainted as passes apply).
+func (p *Progressive) Bitmap() *Bitmap { return p.bm }

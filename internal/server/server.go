@@ -295,10 +295,23 @@ func (s *Server) Adopt(o *object.Object) {
 // screen" (§5).
 const PreviewSeconds = 5
 
+// maxPreviewSamples additionally caps the preview at one default audio page
+// of samples at the canonical rate (§2 pages voice; a preview is at most a
+// page-sized prefix). The time cap alone scales with the part's recorded
+// rate, so a part with a hostile or corrupt rate could drive PreviewSeconds
+// worth of it into one unbounded wire frame; the absolute cap bounds the
+// legacy OpVoicePreview response no matter what the part claims. At sane
+// rates (the canonical 8 kHz) the time cap is far below this and previews
+// are byte-for-byte what they always were.
+const maxPreviewSamples = voice.SampleRate * int(voice.DefaultPageLength/time.Second)
+
 func voicePreview(vp *voice.Part) *voice.Part {
 	n := vp.Rate * PreviewSeconds
-	if n > len(vp.Samples) {
+	if n > len(vp.Samples) || n < 0 {
 		n = len(vp.Samples)
+	}
+	if n > maxPreviewSamples {
+		n = maxPreviewSamples
 	}
 	return &voice.Part{Rate: vp.Rate, Samples: vp.Samples[:n]}
 }
@@ -368,23 +381,48 @@ func (s *Server) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
 // cannot starve another's single read — while cache hits proceed
 // untouched.
 func (s *Server) ReadPieceAs(tenant uint64, off, length uint64) ([]byte, time.Duration, error) {
-	s.pieceReads.Add(1)
 	if length == 0 {
+		s.pieceReads.Add(1)
 		return nil, 0, nil
 	}
+	out, t, err := s.ReadPieceAppend(tenant, off, length, nil)
+	if err != nil {
+		return nil, t, err
+	}
+	return out, t, nil
+}
+
+// ReadPieceAppend is ReadPieceAs appending the extent's bytes onto dst
+// instead of allocating a fresh slice, returning the extended slice. When
+// dst has length bytes of spare capacity the read itself performs zero
+// allocations on the cache-hit path — the streaming voice producer leans on
+// this to serve every chunk out of one pooled buffer.
+func (s *Server) ReadPieceAppend(tenant uint64, off, length uint64, dst []byte) ([]byte, time.Duration, error) {
+	s.pieceReads.Add(1)
+	if length == 0 {
+		return dst, 0, nil
+	}
+	base := len(dst)
 	dev := s.arch.Device()
 	bs := uint64(dev.BlockSize())
 	// Bounds-check before allocating: wire requests carry
 	// client-controlled lengths, and an unchecked huge length would
 	// overflow off+length or drive an enormous allocation.
 	if off+length < off || off+length > bs*uint64(dev.Blocks()) {
-		return nil, 0, fmt.Errorf("server: extent [%d, +%d) beyond device end %d", off, length, bs*uint64(dev.Blocks()))
+		return dst, 0, fmt.Errorf("server: extent [%d, +%d) beyond device end %d", off, length, bs*uint64(dev.Blocks()))
 	}
 	first := off / bs
 	last := (off + length - 1) / bs
 	var total time.Duration
 	missed := false
-	out := make([]byte, 0, length)
+	out := dst
+	// Pre-size once, after the bounds check (length is client-controlled
+	// and must be validated before sizing anything by it).
+	if need := base + int(length); cap(out) < need {
+		grown := make([]byte, base, need)
+		copy(grown, out)
+		out = grown
+	}
 	for b := first; b <= last; b++ {
 		var blk []byte
 		if s.cache != nil {
@@ -395,7 +433,7 @@ func (s *Server) ReadPieceAs(tenant uint64, off, length uint64) ([]byte, time.Du
 			var err error
 			blk, t, err = s.readDeviceBlock(tenant, dev, b)
 			if err != nil {
-				return nil, total, err
+				return dst, total, err
 			}
 			total += t
 			missed = true
@@ -412,7 +450,7 @@ func (s *Server) ReadPieceAs(tenant uint64, off, length uint64) ([]byte, time.Du
 	}
 	// Count bytes actually produced, not the client-claimed length: a
 	// rejected oversized request must not skew the counter.
-	s.bytesOut.Add(int64(len(out)))
+	s.bytesOut.Add(int64(len(out) - base))
 	// A miss that reached the device hints at a sequential sweep: warm
 	// the next blocks in the background so the follower request hits.
 	if missed && s.cache != nil && s.ra.TryStart() {

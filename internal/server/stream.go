@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"minos/internal/descriptor"
+	"minos/internal/object"
+)
+
+// VoicePCM locates the streamable PCM region of an object's primary voice
+// part: the run of little-endian 2-byte samples inside the encoded part.
+// The streaming voice producer cuts exactly this region into page-sized
+// chunks; everything around it (rate header, markers, utterances) stays on
+// the server, so the stream carries only what the output device consumes.
+type VoicePCM struct {
+	Rate    int    // samples per second
+	Samples uint64 // total PCM sample count
+	Off     uint64 // archiver-absolute offset of the first PCM byte
+	Bytes   uint64 // PCM region length: 2 * Samples
+}
+
+// VoicePCMInfoAs resolves the PCM region of id's first voice part reading
+// only the descriptor and the part's few header bytes — not the part
+// itself, which is the point: a multi-minute recording is located with two
+// small cached reads and then streamed chunk by chunk.
+func (s *Server) VoicePCMInfoAs(tenant uint64, id object.ID) (VoicePCM, time.Duration, error) {
+	d, total, err := s.DescriptorAs(tenant, id)
+	if err != nil {
+		return VoicePCM{}, total, err
+	}
+	var ref *descriptor.PartRef
+	for i := range d.Parts {
+		if d.Parts[i].Kind == descriptor.PartVoice {
+			ref = &d.Parts[i]
+			break
+		}
+	}
+	if ref == nil {
+		return VoicePCM{}, total, fmt.Errorf("server: object %d has no voice part", id)
+	}
+	n := uint64(descriptor.VoicePCMHeaderMax)
+	if n > ref.Length {
+		n = ref.Length
+	}
+	prefix, t, err := s.ReadPieceAs(tenant, ref.Offset, n)
+	total += t
+	if err != nil {
+		return VoicePCM{}, total, err
+	}
+	rate, cnt, start, err := descriptor.VoicePCMInfo(prefix)
+	if err != nil {
+		return VoicePCM{}, total, fmt.Errorf("server: object %d voice part: %w", id, err)
+	}
+	if uint64(start)+2*cnt < cnt || uint64(start)+2*cnt > ref.Length {
+		return VoicePCM{}, total, fmt.Errorf("server: object %d voice part claims %d samples beyond its %d-byte extent", id, cnt, ref.Length)
+	}
+	return VoicePCM{Rate: rate, Samples: cnt, Off: ref.Offset + uint64(start), Bytes: 2 * cnt}, total, nil
+}

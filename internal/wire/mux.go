@@ -19,9 +19,15 @@ import (
 // prefixing every frame (in both directions) with a 4-byte correlation id,
 // which is what lets the browse prefetch pipeline overlap delivery with
 // viewing instead of paying a full link round trip per cursor step.
+// Version 3 keeps v2's framing and adds server-push streams (see
+// stream.go): one correlation id may carry a whole sequence of stream
+// frames under credit-based flow control. Peers that negotiate v2 or v1
+// keep the single-frame paths byte for byte — stream ops are simply never
+// sent to them.
 const (
 	ProtocolV1 = 1
 	ProtocolV2 = 2
+	ProtocolV3 = 3
 )
 
 // Errors surfaced by pipelined calls.
@@ -65,11 +71,14 @@ type muxResult struct {
 type demux struct {
 	mu      sync.Mutex
 	pending map[uint32]chan muxResult
+	// streams routes ids with many frames in flight (server-push streams):
+	// unlike pending, a delivery does not retire the slot.
+	streams map[uint32]*muxStream
 	err     error // set once the transport dies; register fails afterwards
 }
 
 func newDemux() *demux {
-	return &demux{pending: map[uint32]chan muxResult{}}
+	return &demux{pending: map[uint32]chan muxResult{}, streams: map[uint32]*muxStream{}}
 }
 
 // register allocates the pending slot for a correlation id. It fails after
@@ -96,9 +105,35 @@ func (d *demux) cancel(id uint32) {
 	d.mu.Unlock()
 }
 
+// registerStream allocates the stream slot for a correlation id; stream
+// slots live until removeStream (many frames deliver to them).
+func (d *demux) registerStream(id uint32, s *muxStream) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return d.err
+	}
+	if _, dup := d.pending[id]; dup {
+		return fmt.Errorf("wire: duplicate correlation id %d", id)
+	}
+	if _, dup := d.streams[id]; dup {
+		return fmt.Errorf("wire: duplicate correlation id %d", id)
+	}
+	d.streams[id] = s
+	return nil
+}
+
+// removeStream releases a stream slot; later frames for the id are
+// unknown-id drops.
+func (d *demux) removeStream(id uint32) {
+	d.mu.Lock()
+	delete(d.streams, id)
+	d.mu.Unlock()
+}
+
 // deliver routes one raw v2 frame ([4-byte id][response]) to its pending
-// call. It reports whether a call was completed; short frames and unknown
-// or already-completed ids are dropped.
+// call or open stream. It reports whether the frame found a home; short
+// frames and unknown or already-completed ids are dropped.
 func (d *demux) deliver(frame []byte) bool {
 	if len(frame) < 4 {
 		return false
@@ -109,12 +144,20 @@ func (d *demux) deliver(frame []byte) bool {
 	if ok {
 		delete(d.pending, id)
 	}
-	d.mu.Unlock()
+	var st *muxStream
 	if !ok {
-		return false
+		st = d.streams[id]
 	}
-	ch <- muxResult{resp: frame[4:]}
-	return true
+	d.mu.Unlock()
+	if ok {
+		ch <- muxResult{resp: frame[4:]}
+		return true
+	}
+	if st != nil {
+		st.push(frame[4:])
+		return true
+	}
+	return false
 }
 
 // failAll completes every pending call with err and poisons the table so
@@ -125,11 +168,27 @@ func (d *demux) failAll(err error) {
 	if d.err == nil {
 		d.err = err
 	}
+	ferr := d.err
 	for id, ch := range d.pending {
 		delete(d.pending, id)
-		ch <- muxResult{err: d.err}
+		ch <- muxResult{err: ferr}
+	}
+	var streams []*muxStream
+	for id, s := range d.streams {
+		delete(d.streams, id)
+		streams = append(streams, s)
 	}
 	d.mu.Unlock()
+	for _, s := range streams {
+		s.fail(ferr)
+	}
+}
+
+// streamLen returns the number of registered, unclosed streams.
+func (d *demux) streamLen() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.streams)
 }
 
 // pendingLen returns the number of registered, undelivered calls.
@@ -176,7 +235,7 @@ func DialMux(addr string) (*MuxTransport, error) {
 		return nil, err
 	}
 	m := &MuxTransport{conn: conn, version: ProtocolV1}
-	hello := appendU32([]byte{OpHello}, ProtocolV2)
+	hello := appendU32([]byte{OpHello}, ProtocolV3)
 	if err := WriteFrame(conn, hello); err != nil {
 		conn.Close()
 		return nil, err
@@ -187,7 +246,9 @@ func DialMux(addr string) (*MuxTransport, error) {
 		return nil, err
 	}
 	if v, perr := parseHelloResponse(resp); perr == nil && v >= ProtocolV2 {
-		m.version = ProtocolV2
+		// Honour the server's negotiated version (capped at what we asked
+		// for): v2 servers get a pure-v2 client that never sends stream ops.
+		m.version = min(v, ProtocolV3)
 		m.helloExtra = parseHelloExtra(resp)
 		m.d = newDemux()
 		go m.readLoop()
@@ -422,19 +483,27 @@ func (m *MuxTransport) Close() error { return m.conn.Close() }
 // flight than that.
 const maxConnInFlight = 64
 
-// muxConn serves one upgraded v2 connection: each request frame is handled
+// muxConn serves one upgraded v2+ connection: each request frame is handled
 // on its own goroutine and its response written back tagged with the
 // request's correlation id, so slow (device-bound) requests do not block
-// fast (cache-hit) ones behind head-of-line. Returns when the connection
-// dies, after draining in-flight handlers.
-func muxConn(conn net.Conn, tenant uint64, h *Handler, opts ServeOpts, serialMu *sync.Mutex, logf func(format string, args ...any)) {
+// fast (cache-hit) ones behind head-of-line. On a v3-negotiated connection
+// stream ops get dedicated handling: credit and cancel frames are applied
+// inline by the read loop (they must never queue behind data production),
+// and stream producers run on goroutines outside the in-flight semaphore —
+// they are paced by their credit windows, and letting them hold semaphore
+// slots for a stream's lifetime would starve (or deadlock) batched calls.
+// Returns when the connection dies, after cancelling open streams and
+// draining in-flight handlers.
+func muxConn(conn net.Conn, tenant uint64, version int, h *Handler, opts ServeOpts, serialMu *sync.Mutex, logf func(format string, args ...any)) {
 	var (
 		writeMu sync.Mutex
 		wg      sync.WaitGroup
 		sem     = make(chan struct{}, maxConnInFlight)
 		hdr     [4]byte // frame-header scratch (only the read loop touches it)
+		streams = newSrvStreams()
 	)
 	defer wg.Wait()
+	defer streams.cancelAll() // runs before wg.Wait: unblocks producers first
 	for {
 		if opts.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(opts.IdleTimeout))
@@ -451,6 +520,35 @@ func muxConn(conn net.Conn, tenant uint64, h *Handler, opts ServeOpts, serialMu 
 			return
 		}
 		id := binary.BigEndian.Uint32(frame)
+		if version >= ProtocolV3 && len(frame) >= 5 {
+			switch frame[4] {
+			case OpStreamCredit:
+				if len(frame) >= 9 {
+					streams.grant(id, binary.BigEndian.Uint32(frame[5:9]))
+				}
+				pool.Bytes.Put(frame)
+				continue
+			case OpStreamCancel:
+				streams.cancel(id)
+				pool.Bytes.Put(frame)
+				continue
+			case OpVoiceStream, OpMiniatureStream:
+				st := streams.open(id)
+				if st == nil {
+					logf("wire: %s: duplicate stream id %d", conn.RemoteAddr(), id)
+					pool.Bytes.Put(frame)
+					continue
+				}
+				wg.Add(1)
+				go func(id uint32, frame []byte, st *srvStream) {
+					defer wg.Done()
+					defer streams.remove(id)
+					serveMuxStream(conn, &writeMu, id, tenant, h, frame[4:], st, logf)
+					pool.Bytes.Put(frame)
+				}(id, frame, st)
+				continue
+			}
+		}
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(id uint32, frame []byte) {

@@ -31,8 +31,8 @@ func TestMuxNegotiation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tp.Close()
-	if tp.Version() != ProtocolV2 {
-		t.Fatalf("negotiated version = %d, want %d", tp.Version(), ProtocolV2)
+	if tp.Version() != ProtocolV3 {
+		t.Fatalf("negotiated version = %d, want %d", tp.Version(), ProtocolV3)
 	}
 	c := NewClient(tp)
 	ids, _, err := c.Query("lung")

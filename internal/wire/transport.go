@@ -338,10 +338,17 @@ func ServeWith(l net.Listener, h *Handler, opts ServeOpts) error {
 				}
 				// A HELLO negotiating v2 or higher upgrades this
 				// connection to multiplexed framing; the acknowledgement
-				// just written was the last lock-step frame.
+				// just written was the last lock-step frame. The negotiated
+				// version gates the stream ops: a v2 peer's connection
+				// serves them through the normal path, which answers
+				// "unknown op" exactly as before.
 				upgrade := len(req) == 5 && req[0] == OpHello && resp[0] == statusOK
+				version := 0
 				if upgrade {
-					if v, err := parseHelloResponse(resp); err != nil || v < ProtocolV2 {
+					if v, err := parseHelloResponse(resp); err == nil {
+						version = v
+					}
+					if version < ProtocolV2 {
 						upgrade = false
 					}
 				}
@@ -350,7 +357,7 @@ func ServeWith(l net.Listener, h *Handler, opts ServeOpts) error {
 				pool.Bytes.Put(req)
 				recycleResponse(resp)
 				if upgrade {
-					muxConn(conn, tenant, h, opts, &serialMu, logf)
+					muxConn(conn, tenant, version, h, opts, &serialMu, logf)
 					return
 				}
 			}

@@ -30,20 +30,28 @@ import (
 	"minos/internal/voice"
 )
 
-// Op codes.
+// Op codes. Ops 13-16 are the server-push stream ops (protocol v3, see
+// stream.go).
 const (
-	OpQuery        = 1
-	OpDescriptor   = 2
-	OpReadPiece    = 3
-	OpMiniature    = 4
-	OpList         = 5
-	OpMode         = 6
-	OpImageView    = 7
+	OpQuery      = 1
+	OpDescriptor = 2
+	OpReadPiece  = 3
+	OpMiniature  = 4
+	OpList       = 5
+	OpMode       = 6
+	OpImageView  = 7
+	// OpVoicePreview ships a whole (page-capped) voice preview in one
+	// frame.
+	//
+	// Deprecated: use the OpVoiceStream path (Client.VoiceStreamCtx) —
+	// playback can start after the first chunk instead of the last byte.
+	// The op is kept for v1/v2 peers; its response is capped at a
+	// page-sized prefix (see server.voicePreview).
 	OpVoicePreview = 8
 	OpStats        = 9
-	// OpHello negotiates the protocol version (see ProtocolV2 in mux.go).
-	// A v1 server answers it with an unknown-op error, which the client
-	// treats as "version 1".
+	// OpHello negotiates the protocol version (see ProtocolV2/V3 in
+	// mux.go). A v1 server answers it with an unknown-op error, which the
+	// client treats as "version 1".
 	OpHello = 10
 	// OpMiniatures fetches up to MaxMiniatureBatch miniatures (with their
 	// driving modes) in one round trip — the batched op behind the
@@ -318,7 +326,7 @@ func (h *Handler) HandleAs(tenant uint64, req []byte) []byte {
 		if err != nil {
 			return errResp(err)
 		}
-		neg := uint32(ProtocolV2)
+		neg := uint32(ProtocolV3)
 		if v < neg {
 			neg = v
 		}
