@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
 
-.PHONY: all build test race bench bench-smoke bench-json bench-json-smoke alloc-guard fault-matrix load-smoke shard-smoke stream-smoke fmt vet check
+.PHONY: all build test race bench bench-smoke bench-json bench-json-smoke alloc-guard fault-matrix load-smoke shard-smoke stream-smoke gate-smoke fmt vet check
 
 all: build
 
@@ -13,7 +13,7 @@ test:
 
 # Short-mode race pass over the packages with concurrency stress tests.
 race:
-	$(GO) test -race -short ./internal/server ./internal/wire ./internal/workstation ./internal/faults ./internal/sched ./internal/vclock ./internal/cluster
+	$(GO) test -race -short ./internal/server ./internal/wire ./internal/workstation ./internal/faults ./internal/sched ./internal/vclock ./internal/cluster ./internal/gateway
 
 # Resilience suite: fault injection, v1/v2 interop under faults, session
 # resync/degraded serving, and the E-FAULT experiment.
@@ -31,11 +31,11 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'EPipe|Mux|Prefetch' -benchtime=1x . ./internal/wire ./internal/workstation
 
 # Benchmark-regression report: run the E-ALLOC hot-path benchmarks plus
-# the E-LOAD mass-session run, the E-SHARD scaling sweep and the E-STREAM
-# streaming-delivery experiment, and write the combined report to
-# $(BENCH_OUT) (committed per PR).
+# the E-LOAD mass-session run, the E-SHARD scaling sweep, the E-STREAM
+# streaming-delivery experiment and the E-GATE gateway run, and write the
+# combined report to $(BENCH_OUT) (committed per PR).
 bench-json:
-	$(GO) run ./cmd/minos-bench -load -shard -stream -out $(BENCH_OUT)
+	$(GO) run ./cmd/minos-bench -load -shard -stream -gate -out $(BENCH_OUT)
 
 # E-LOAD smoke: ~100 sessions x 200 steps through the load harness with a
 # p99 latency bound. Cheap enough to gate every `make check`.
@@ -53,6 +53,13 @@ shard-smoke:
 stream-smoke:
 	$(GO) test -run 'EStreamSmoke' -count=1 .
 
+# E-GATE smoke: a small gateway run (16 sessions under vclock, exact step
+# count asserted) plus the end-to-end HTTP browse with its /metrics scrape
+# assertions.
+gate-smoke:
+	$(GO) test -run 'EGateSmoke' -count=1 .
+	$(GO) test -run 'GatewayBrowseHTTP' -count=1 ./internal/gateway
+
 # One-iteration harness smoke: proves minos-bench still runs and parses
 # without overwriting the committed report.
 bench-json-smoke:
@@ -61,7 +68,7 @@ bench-json-smoke:
 # Steady-state allocation guards (testing.AllocsPerRun); skipped under
 # -race, where the runtime deliberately drops sync.Pool entries.
 alloc-guard:
-	$(GO) test -run 'Alloc' -count=1 ./internal/image ./internal/voice ./internal/server ./internal/wire ./internal/cluster
+	$(GO) test -run 'Alloc' -count=1 ./internal/image ./internal/voice ./internal/server ./internal/wire ./internal/cluster ./internal/gateway
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -70,4 +77,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test race fault-matrix bench-smoke alloc-guard bench-json-smoke load-smoke shard-smoke stream-smoke
+check: fmt vet build test race fault-matrix bench-smoke alloc-guard bench-json-smoke load-smoke shard-smoke stream-smoke gate-smoke

@@ -11,7 +11,8 @@
 //	minos-bench [-out file] [-bench regex] [-benchtime d] [-count n]
 //	            [-load] [-load-sessions n] [-load-duration d]
 //	            [-shard] [-shard-sessions n] [-shard-duration d]
-//	            [-stream] [-stream-cells n] [-stream-seconds n] [pkg ...]
+//	            [-stream] [-stream-cells n] [-stream-seconds n]
+//	            [-gate] [-gate-sessions n] [-gate-duration d] [pkg ...]
 //
 // With -out - the report goes to stdout. The default package set covers the
 // rasterize→encode, miniature-serve, synthesis and wire paths measured by
@@ -28,6 +29,12 @@
 // population scaled with N drives the fleet, and the aggregate device-path
 // throughput plus p99 per width is embedded under "shard" — together with
 // a 2-shard mid-run primary-failure run showing replica failover.
+//
+// With -gate the report carries the E-GATE run: N web browse sessions
+// multiplexed through the gateway tier over a shared backend pool, the
+// office mix on the virtual clock, with push-latency percentiles, the
+// encoded-PNG cache hit rate and the same-scale direct-client baseline p99
+// embedded under "gate".
 //
 // With -stream the report carries the E-STREAM run: a >=10 s spoken part
 // streamed over the mux on the simulated 10 Mbit/s link (time-to-first-
@@ -162,6 +169,36 @@ type StreamReport struct {
 	AllocsPerChunk float64 `json:"allocs_per_chunk"`
 }
 
+// GateReport is the embedded E-GATE result: web sessions driven through
+// the gateway tier, with the same-scale direct-client run as baseline.
+// Latencies are milliseconds so the committed JSON diffs readably.
+type GateReport struct {
+	Sessions   int     `json:"sessions"`
+	DurationMs float64 `json:"duration_ms"`
+	PoolSize   int     `json:"pool_size"`
+	StepSlots  int     `json:"step_slots"`
+	Seed       uint64  `json:"seed"`
+	Steps      int64   `json:"steps"`
+	Queries    int64   `json:"queries"`
+	Browses    int64   `json:"browses"`
+	Opens      int64   `json:"opens"`
+	Offered    int64   `json:"offered"`
+	Sheds      int64   `json:"sheds"`
+	Degraded   int64   `json:"degraded"`
+	ShedRate   float64 `json:"shed_rate"`
+	StepsPerS  float64 `json:"steps_per_s"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+	PNGHitRate float64 `json:"png_hit_rate"`
+	Pushes     int64   `json:"pushes"`
+	PushBytes  int64   `json:"push_bytes"`
+	// DirectP99Ms is the direct-client E-LOAD p99 at the same session
+	// count and duration — the 2x acceptance baseline.
+	DirectP99Ms float64 `json:"direct_p99_ms"`
+}
+
 // Report is the written JSON document.
 type Report struct {
 	GoVersion string        `json:"go_version"`
@@ -171,10 +208,11 @@ type Report struct {
 	Load      *LoadReport   `json:"load,omitempty"`
 	Shard     *ShardReport  `json:"shard,omitempty"`
 	Stream    *StreamReport `json:"stream,omitempty"`
+	Gate      *GateReport   `json:"gate,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "report file (- = stdout)")
+	out := flag.String("out", "BENCH_9.json", "report file (- = stdout)")
 	bench := flag.String("bench", "Rasterize|Miniature|Synthesize|MuxBatched|LocalRoundTrip", "benchmark regex passed to go test")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (empty = default)")
 	count := flag.Int("count", 1, "go test -count value")
@@ -192,6 +230,12 @@ func main() {
 	streamCells := flag.Int("stream-cells", 0, "E-STREAM browse-screen miniature count (0 = default)")
 	streamSeconds := flag.Int("stream-seconds", 0, "E-STREAM minimum spoken-part seconds (0 = default)")
 	streamSeed := flag.Int("stream-seed", 1986, "E-STREAM run seed")
+	gate := flag.Bool("gate", false, "run the E-GATE gateway-tier experiment and embed its result")
+	gateSessions := flag.Int("gate-sessions", 120, "E-GATE concurrent web sessions")
+	gateDuration := flag.Duration("gate-duration", 20*time.Second, "E-GATE virtual duration")
+	gatePool := flag.Int("gate-pool", 0, "E-GATE backend pool size (0 = sessions/8)")
+	gateSlots := flag.Int("gate-slots", 64, "E-GATE fair-share step slots")
+	gateSeed := flag.Uint64("gate-seed", 1986, "E-GATE run seed")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
@@ -218,6 +262,16 @@ func main() {
 		rep.Shard = sr
 		fmt.Fprintf(os.Stderr, "minos-bench: E-SHARD speedup at N=4: %.2fx; failover steps: %d\n",
 			sr.SpeedupAt4, sr.Failover.FailoverSteps)
+	}
+	if *gate {
+		gr, err := runGate(*gateSessions, *gateDuration, *gatePool, *gateSlots, *gateSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minos-bench: gate: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Gate = gr
+		fmt.Fprintf(os.Stderr, "minos-bench: E-GATE %d sessions: steps=%d (%.0f/s) p99=%.2fms (direct %.2fms) pngHit=%.2f shed=%.1f%%\n",
+			gr.Sessions, gr.Steps, gr.StepsPerS, gr.P99Ms, gr.DirectP99Ms, gr.PNGHitRate, 100*gr.ShedRate)
 	}
 	if *stream {
 		st, err := runStream(*streamCells, *streamSeconds, *streamSeed)
@@ -429,6 +483,64 @@ func runShard(perShard int, duration time.Duration, maxInFlight int, seed uint64
 		MinSteps:      res.MinSteps,
 	}
 	return sr, nil
+}
+
+// runGate runs the E-GATE experiment in-process: the gateway-tier run on
+// a fresh standard corpus, then the same-scale direct-client E-LOAD run as
+// baseline. Deterministic: same flags, same report.
+func runGate(sessions int, duration time.Duration, pool, slots int, seed uint64) (*GateReport, error) {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	srv, err := loadgen.BuildCorpus(1<<15, 60, 12)
+	if err != nil {
+		return nil, err
+	}
+	res, err := loadgen.RunGate(srv, loadgen.GateConfig{
+		Sessions:  sessions,
+		Duration:  duration,
+		Seed:      seed,
+		PoolSize:  pool,
+		StepSlots: slots,
+	})
+	if err != nil {
+		return nil, err
+	}
+	base, err := loadgen.BuildCorpus(1<<15, 60, 12)
+	if err != nil {
+		return nil, err
+	}
+	direct, err := loadgen.Run(base, loadgen.Config{
+		Sessions:    sessions,
+		Duration:    duration,
+		Seed:        seed,
+		MaxInFlight: slots,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GateReport{
+		Sessions:    res.Sessions,
+		DurationMs:  ms(duration),
+		PoolSize:    res.PoolSize,
+		StepSlots:   slots,
+		Seed:        seed,
+		Steps:       res.Steps,
+		Queries:     res.Queries,
+		Browses:     res.Browses,
+		Opens:       res.Opens,
+		Offered:     res.Offered,
+		Sheds:       res.Sheds,
+		Degraded:    res.Degraded,
+		ShedRate:    res.ShedRate,
+		StepsPerS:   res.StepsPerSec,
+		P50Ms:       ms(res.P50),
+		P95Ms:       ms(res.P95),
+		P99Ms:       ms(res.P99),
+		MaxMs:       ms(res.MaxLat),
+		PNGHitRate:  res.PNGHitRate,
+		Pushes:      res.Hub.Pushes,
+		PushBytes:   res.Hub.PushBytes,
+		DirectP99Ms: ms(direct.P99),
+	}, nil
 }
 
 // runStream runs the E-STREAM experiment in-process. Deterministic apart

@@ -1,7 +1,8 @@
 // Command minos-server runs a MINOS multimedia object server over TCP,
 // serving the demonstration corpus (the figure objects plus filler
 // documents) through the wire protocol. Workstation sessions (cmd/minos,
-// the examples) connect with -connect.
+// the examples) connect with -connect; cmd/minos-gateway fronts a server
+// or fleet for web browsers, pooling its mux connections.
 //
 // Usage:
 //

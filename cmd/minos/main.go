@@ -17,6 +17,7 @@
 // Global flags:
 //
 //	-connect addr    use a remote server instead of the built-in corpus
+//	-cluster         treat -connect as a fleet seed and route via the cluster map
 //	-timeout d       per-call deadline for remote servers (default 10s)
 //	-fillers n       filler documents in the built-in corpus (default 12)
 //
@@ -40,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"minos/internal/cluster"
 	"minos/internal/core"
 	"minos/internal/demo"
 	img "minos/internal/image"
@@ -62,6 +64,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("minos", flag.ContinueOnError)
 	connect := fs.String("connect", "", "remote server address (default: built-in corpus)")
+	clustered := fs.Bool("cluster", false, "treat -connect as a fleet seed and route via the cluster map")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-call deadline for remote servers (0 = none)")
 	fillers := fs.Int("fillers", 12, "filler documents in the built-in corpus")
 	script := fs.String("script", "next,next,prev", "browse command script")
@@ -77,7 +80,7 @@ func run(args []string) error {
 		return fmt.Errorf("missing subcommand")
 	}
 
-	session, srv, err := openSession(*connect, *fillers)
+	session, srv, err := openSession(*connect, *clustered, *fillers)
 	if err != nil {
 		return err
 	}
@@ -244,8 +247,17 @@ func interactive(sess *workstation.Session, r io.Reader) error {
 	return sc.Err()
 }
 
-func openSession(connect string, fillers int) (*workstation.Session, *server.Server, error) {
+func openSession(connect string, clustered bool, fillers int) (*workstation.Session, *server.Server, error) {
 	cfg := core.Config{Screen: screen.New(512, 342), Clock: vclock.New(), VoiceOption: true}
+	if connect != "" && clustered {
+		// Routed fleet client: the session layer is identical — the
+		// cluster client is just another workstation.Backend.
+		cc, err := cluster.Dial(connect, func(ep string) (wire.Transport, error) { return wire.DialMux(ep) })
+		if err != nil {
+			return nil, nil, err
+		}
+		return workstation.New(cc, cfg), nil, nil
+	}
 	if connect != "" {
 		// Multiplexed v2 transport (falls back to v1 lock-step during
 		// HELLO), retries on transient faults, and redials the server if

@@ -87,7 +87,7 @@ func TestParseUnit(t *testing.T) {
 }
 
 func TestInteractiveSession(t *testing.T) {
-	sess, _, err := openSession("", 2)
+	sess, _, err := openSession("", false, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,131 @@
+package minos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"minos/internal/loadgen"
+)
+
+// E-GATE: the gateway-tier experiment. E-LOAD showed the object server
+// absorbing a mass-session population through direct wire clients; E-GATE
+// interposes the web gateway — many browse sessions multiplexed over a
+// shared pool of mux connections, miniatures served as encoded PNGs, steps
+// pushed over a modelled browser link — and asks what the extra tier
+// costs.
+//
+// Claims gated here:
+//   - the run is deterministic (bit-identical GateResult for identical
+//     inputs);
+//   - >= 100 concurrent gateway sessions complete the office mix with
+//     push-latency p99 within 2x of the direct-client E-LOAD figure at the
+//     same scale (the gateway tier roughly at parity, not a multiplier);
+//   - the shared encoded-PNG cache converts repeat miniature traffic into
+//     warm hits (hit rate above one half once sessions overlap).
+
+// egateConfig is the standard E-GATE shape: office mix, pooled backends,
+// fair-share step slots.
+func egateConfig(sessions int) loadgen.GateConfig {
+	return loadgen.GateConfig{
+		Sessions:  sessions,
+		Duration:  20 * time.Second,
+		Seed:      1986,
+		StepSlots: 64,
+	}
+}
+
+// egateBaseline runs the direct-client E-LOAD harness at the same session
+// count and duration, so the 2x comparison tracks the corpus and scale
+// rather than a frozen constant.
+func egateBaseline(t *testing.T, sessions int) loadgen.Result {
+	t.Helper()
+	res, err := loadgen.Run(eloadCorpus(t), loadgen.Config{
+		Sessions:    sessions,
+		Duration:    20 * time.Second,
+		Seed:        1986,
+		MaxInFlight: 64,
+	})
+	if err != nil {
+		t.Fatalf("baseline Run: %v", err)
+	}
+	return res
+}
+
+// TestEGateHeadline is the headline run: >=100 concurrent web sessions
+// through the gateway.
+func TestEGateHeadline(t *testing.T) {
+	const sessions = 120
+	res, err := loadgen.RunGate(eloadCorpus(t), egateConfig(sessions))
+	if err != nil {
+		t.Fatalf("RunGate: %v", err)
+	}
+	t.Logf("E-GATE %d sessions: steps=%d (%.1f/s) queries=%d browses=%d opens=%d shed=%.1f%% p50=%v p95=%v p99=%v max=%v pngHit=%.2f",
+		sessions, res.Steps, res.StepsPerSec, res.Queries, res.Browses, res.Opens,
+		100*res.ShedRate, res.P50, res.P95, res.P99, res.MaxLat, res.PNGHitRate)
+	if res.Steps == 0 {
+		t.Fatal("no steps completed")
+	}
+	if res.Hub.SessionsOpened != sessions {
+		t.Fatalf("opened %d sessions, want %d", res.Hub.SessionsOpened, sessions)
+	}
+	// Every session must make progress: the fair-share gate sheds bursts,
+	// it does not starve users.
+	if res.Steps < int64(sessions) {
+		t.Fatalf("only %d steps across %d sessions", res.Steps, sessions)
+	}
+	base := egateBaseline(t, sessions)
+	t.Logf("direct baseline: p99=%v (gate p99=%v)", base.P99, res.P99)
+	if base.P99 > 0 && res.P99 > 2*base.P99 {
+		t.Fatalf("gateway p99 %v exceeds 2x the direct-client p99 %v", res.P99, base.P99)
+	}
+	// Sessions browse overlapping result sets, so the shared encoded-PNG
+	// cache must be doing most of the serving.
+	if res.PNGHitRate < 0.5 {
+		t.Fatalf("PNG cache hit rate %.2f below 0.5", res.PNGHitRate)
+	}
+}
+
+// TestEGateDeterminism reruns a scaled-down configuration on a fresh
+// corpus and demands a bit-identical GateResult.
+func TestEGateDeterminism(t *testing.T) {
+	cfg := egateConfig(60)
+	cfg.Duration = 8 * time.Second
+	a, err := loadgen.RunGate(eloadCorpus(t), cfg)
+	if err != nil {
+		t.Fatalf("RunGate: %v", err)
+	}
+	b, err := loadgen.RunGate(eloadCorpus(t), cfg)
+	if err != nil {
+		t.Fatalf("RunGate: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("E-GATE diverged between identical runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestEGateSmoke is the `make gate-smoke` gate: a small closed run cheap
+// enough for every `make check`.
+func TestEGateSmoke(t *testing.T) {
+	srv, err := loadgen.BuildCorpus(1<<14, 30, 6)
+	if err != nil {
+		t.Fatalf("corpus: %v", err)
+	}
+	res, err := loadgen.RunGate(srv, loadgen.GateConfig{
+		Sessions:  16,
+		StepsEach: 30,
+		Seed:      7,
+		StepSlots: 16,
+	})
+	if err != nil {
+		t.Fatalf("RunGate: %v", err)
+	}
+	if want := int64(16 * 30); res.Steps != want {
+		t.Fatalf("completed %d steps, want %d", res.Steps, want)
+	}
+	if res.P99 > 5*time.Second {
+		t.Fatalf("p99 %v exceeds generous 5s bound", res.P99)
+	}
+	t.Logf("gate-smoke: p50=%v p95=%v p99=%v shed=%.1f%% pngHit=%.2f",
+		res.P50, res.P95, res.P99, 100*res.ShedRate, res.PNGHitRate)
+}

@@ -138,6 +138,20 @@ func (c *Client) Reroutes() int64  { return c.reroutes.Load() }
 // another endpoint after their serving endpoint failed.
 func (c *Client) StreamResumes() int64 { return c.streamResumes.Load() }
 
+// Reconnects sums the reconnect counters of every pooled shard connection.
+// A workstation session watches this (through the Backend interface) the
+// way it watches a single connection's counter: any movement means some
+// shard may have restarted, so cached browse state is resynchronized.
+func (c *Client) Reconnects() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, wc := range c.conns {
+		n += wc.Reconnects()
+	}
+	return n
+}
+
 // SetRetryPolicy installs the retry policy on every per-shard connection
 // (current and future).
 func (c *Client) SetRetryPolicy(p wire.RetryPolicy) {
@@ -357,6 +371,13 @@ func (c *Client) ReadPieceCtx(ctx context.Context, id object.ID, off, length uin
 	return data, dur, err
 }
 
+// ObjectPieceCtx is the routable spelling of ReadPieceCtx shared with the
+// single-server client: the workstation Backend interface reads pieces
+// through it so one Session drives either topology.
+func (c *Client) ObjectPieceCtx(ctx context.Context, id object.ID, off, length uint64) ([]byte, time.Duration, error) {
+	return c.ReadPieceCtx(ctx, id, off, length)
+}
+
 // Fetch adapts the client into a descriptor.FetchFunc resolving parts of
 // object id, accumulating device time into dur if non-nil.
 func (c *Client) Fetch(id object.ID, dur *time.Duration) descriptor.FetchFunc {
@@ -435,6 +456,35 @@ func (c *Client) MiniaturesCtx(ctx context.Context, ids []object.ID) ([]wire.Min
 		}
 	}
 	return out, dur, nil
+}
+
+// pendingMiniatures is one in-flight batched miniature fetch launched by
+// StartMiniatures.
+type pendingMiniatures struct {
+	ch  chan struct{}
+	res []wire.MiniatureResult
+	dur time.Duration
+	err error
+}
+
+func (p *pendingMiniatures) Wait() ([]wire.MiniatureResult, time.Duration, error) {
+	<-p.ch
+	return p.res, p.dur, p.err
+}
+
+// StartMiniatures launches a batched miniature fetch without waiting — the
+// workstation prefetcher's pipelining hook, giving fleet-backed sessions
+// the same depth-N read-ahead as single-server ones. Each in-flight batch
+// runs the routed scatter/gather concurrently: the per-shard sub-batches
+// ride their shard's multiplexed connection, so several batches in flight
+// share the fleet's links exactly like pipelined calls share one mux.
+func (c *Client) StartMiniatures(ctx context.Context, ids []object.ID) wire.MiniatureBatch {
+	p := &pendingMiniatures{ch: make(chan struct{})}
+	go func() {
+		defer close(p.ch)
+		p.res, p.dur, p.err = c.MiniaturesCtx(ctx, ids)
+	}()
+	return p
 }
 
 func allIndices(n int) []int {

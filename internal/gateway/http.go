@@ -1,0 +1,406 @@
+// HTTP transport over the Hub: the endpoint surface a browser (or the
+// in-repo test client) speaks. Browse steps and progressive passes are
+// pushed over WebSocket (ws.go) with an SSE fallback for clients that
+// cannot upgrade; PNGs are fetched by URL or pushed as binary WS frames.
+//
+// Endpoints (also tabulated in the repo's doc.go):
+//
+//	POST   /session                     open a session        -> {"session":id}
+//	DELETE /session/{sid}               close it
+//	POST   /session/{sid}/query?q=...   content query         -> {"hits":n}
+//	POST   /session/{sid}/step?dir=next|prev                  -> step event JSON
+//	POST   /session/{sid}/open?obj=N    present an object     -> opened event JSON
+//	POST   /session/{sid}/progressive?obj=N  stream passes to subscribers
+//	GET    /session/{sid}/mini/{obj}.png     miniature (cached encode)
+//	GET    /session/{sid}/view.png           current screen render
+//	GET    /session/{sid}/ws            WebSocket: push + text commands
+//	GET    /session/{sid}/events        SSE push fallback
+//	GET    /metrics                     gateway + backend counters
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"minos/internal/object"
+)
+
+// Server straps the HTTP endpoint surface onto a Hub.
+type Server struct {
+	hub *Hub
+	mux *http.ServeMux
+}
+
+// NewServer builds the HTTP layer over a Hub.
+func NewServer(h *Hub) *Server {
+	s := &Server{hub: h, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /session", s.handleOpen)
+	s.mux.HandleFunc("DELETE /session/{sid}", s.handleClose)
+	s.mux.HandleFunc("POST /session/{sid}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /session/{sid}/step", s.handleStep)
+	s.mux.HandleFunc("POST /session/{sid}/open", s.handleOpenObject)
+	s.mux.HandleFunc("POST /session/{sid}/progressive", s.handleProgressive)
+	s.mux.HandleFunc("GET /session/{sid}/mini/{obj}", s.handleMiniPNG)
+	s.mux.HandleFunc("GET /session/{sid}/view.png", s.handleViewPNG)
+	s.mux.HandleFunc("GET /session/{sid}/ws", s.handleWS)
+	s.mux.HandleFunc("GET /session/{sid}/events", s.handleSSE)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// sid parses the session id path segment.
+func sid(r *http.Request) (uint64, error) {
+	return strconv.ParseUint(r.PathValue("sid"), 10, 64)
+}
+
+// fail maps Hub errors onto HTTP statuses. Shed and session-limit both
+// answer 503 with Retry-After — the browser-side contract is "back off
+// and come back", exactly the wire client's busy semantics.
+func fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNoSession):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrSessionLimit):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// admit wraps a backend-bound handler span in the fair-share gate.
+func (s *Server) admit(w http.ResponseWriter, id uint64, fn func() error) {
+	release, ok := s.hub.Admission().Admit(id)
+	if !ok {
+		fail(w, ErrBusy)
+		return
+	}
+	defer release()
+	if err := fn(); err != nil {
+		fail(w, err)
+	}
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	id, err := s.hub.Open()
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, map[string]uint64{"session": id})
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	id, err := sid(r)
+	if err != nil {
+		http.Error(w, "bad session id", http.StatusBadRequest)
+		return
+	}
+	if err := s.hub.CloseSession(id); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id, err := sid(r)
+	if err != nil {
+		http.Error(w, "bad session id", http.StatusBadRequest)
+		return
+	}
+	terms := strings.Fields(r.URL.Query().Get("q"))
+	if len(terms) == 0 {
+		http.Error(w, "q required", http.StatusBadRequest)
+		return
+	}
+	s.admit(w, id, func() error {
+		n, err := s.hub.Query(r.Context(), id, terms...)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, map[string]int{"hits": n})
+		return nil
+	})
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	id, err := sid(r)
+	if err != nil {
+		http.Error(w, "bad session id", http.StatusBadRequest)
+		return
+	}
+	dir := 1
+	if r.URL.Query().Get("dir") == "prev" {
+		dir = -1
+	}
+	s.admit(w, id, func() error {
+		ev, err := s.hub.Step(r.Context(), id, dir)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, ev)
+		return nil
+	})
+}
+
+func (s *Server) handleOpenObject(w http.ResponseWriter, r *http.Request) {
+	id, err := sid(r)
+	if err != nil {
+		http.Error(w, "bad session id", http.StatusBadRequest)
+		return
+	}
+	obj, err := strconv.ParseUint(r.URL.Query().Get("obj"), 10, 64)
+	if err != nil {
+		http.Error(w, "obj required", http.StatusBadRequest)
+		return
+	}
+	s.admit(w, id, func() error {
+		ev, err := s.hub.OpenObject(r.Context(), id, object.ID(obj))
+		if err != nil {
+			return err
+		}
+		writeJSON(w, ev)
+		return nil
+	})
+}
+
+func (s *Server) handleProgressive(w http.ResponseWriter, r *http.Request) {
+	id, err := sid(r)
+	if err != nil {
+		http.Error(w, "bad session id", http.StatusBadRequest)
+		return
+	}
+	obj, err := strconv.ParseUint(r.URL.Query().Get("obj"), 10, 64)
+	if err != nil {
+		http.Error(w, "obj required", http.StatusBadRequest)
+		return
+	}
+	s.admit(w, id, func() error {
+		pp, err := s.hub.Progressive(r.Context(), id, object.ID(obj))
+		if err != nil {
+			return err
+		}
+		writeJSON(w, map[string]any{"streamed": pp.Streamed, "passes": pp.Passes})
+		return nil
+	})
+}
+
+func (s *Server) handleMiniPNG(w http.ResponseWriter, r *http.Request) {
+	id, err := sid(r)
+	if err != nil {
+		http.Error(w, "bad session id", http.StatusBadRequest)
+		return
+	}
+	name, ok := strings.CutSuffix(r.PathValue("obj"), ".png")
+	if !ok {
+		http.Error(w, "want <obj>.png", http.StatusNotFound)
+		return
+	}
+	obj, err := strconv.ParseUint(name, 10, 64)
+	if err != nil {
+		http.Error(w, "bad object id", http.StatusBadRequest)
+		return
+	}
+	s.admit(w, id, func() error {
+		data, err := s.hub.MiniaturePNG(r.Context(), id, object.ID(obj))
+		if err != nil {
+			return err
+		}
+		w.Header().Set("Content-Type", "image/png")
+		w.Write(data)
+		return nil
+	})
+}
+
+func (s *Server) handleViewPNG(w http.ResponseWriter, r *http.Request) {
+	id, err := sid(r)
+	if err != nil {
+		http.Error(w, "bad session id", http.StatusBadRequest)
+		return
+	}
+	data, err := s.hub.ViewPNG(id)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Write(data)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.hub.WriteMetrics(r.Context(), w)
+}
+
+// handleWS upgrades to WebSocket. Push events arrive as a JSON text frame
+// followed, when the event carries an image, by one binary frame with the
+// PNG. The client may drive the browse over the same socket with text
+// commands: "query <terms>", "next", "prev", "open <obj>",
+// "progressive <obj>". Command errors come back as {"kind":"error"} text
+// frames; admission sheds as {"kind":"busy"}.
+func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
+	id, err := sid(r)
+	if err != nil {
+		http.Error(w, "bad session id", http.StatusBadRequest)
+		return
+	}
+	events, cancel, err := s.hub.Subscribe(id)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	conn, rw, err := wsHandshake(w, r)
+	if err != nil {
+		cancel()
+		return
+	}
+	ws := newWSConn(conn, rw.Reader)
+	defer conn.Close()
+	defer cancel()
+
+	// Writer: one goroutine owns pushes so event JSON and its binary PNG
+	// frame stay adjacent (wsConn serializes individual frames, not pairs).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			text, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if err := ws.WriteMessage(wsOpText, text); err != nil {
+				return
+			}
+			if len(ev.PNG) > 0 {
+				if err := ws.WriteMessage(wsOpBinary, ev.PNG); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	for {
+		op, payload, err := ws.ReadMessage()
+		if err != nil {
+			break
+		}
+		if op != wsOpText {
+			continue
+		}
+		if err := s.wsCommand(r.Context(), ws, id, string(payload)); err != nil {
+			break
+		}
+	}
+	cancel() // closes the events channel path; writer drains and exits
+	<-done
+}
+
+// wsCommand executes one text command from the socket. Only transport
+// failures return an error (and drop the connection); command failures are
+// reported to the client in-band.
+func (s *Server) wsCommand(ctx context.Context, ws *wsConn, id uint64, cmd string) error {
+	reply := func(v any) error {
+		text, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		return ws.WriteMessage(wsOpText, text)
+	}
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return nil
+	}
+	release, ok := s.hub.Admission().Admit(id)
+	if !ok {
+		return reply(map[string]string{"kind": "busy"})
+	}
+	defer release()
+	var err error
+	switch fields[0] {
+	case "query":
+		var n int
+		n, err = s.hub.Query(ctx, id, fields[1:]...)
+		if err == nil {
+			return reply(map[string]any{"kind": "hits", "hits": n})
+		}
+	case "next":
+		_, err = s.hub.Step(ctx, id, 1)
+	case "prev":
+		_, err = s.hub.Step(ctx, id, -1)
+	case "open", "progressive":
+		if len(fields) < 2 {
+			return reply(map[string]string{"kind": "error", "error": "object id required"})
+		}
+		var obj uint64
+		obj, err = strconv.ParseUint(fields[1], 10, 64)
+		if err == nil {
+			if fields[0] == "open" {
+				_, err = s.hub.OpenObject(ctx, id, object.ID(obj))
+			} else {
+				_, err = s.hub.Progressive(ctx, id, object.ID(obj))
+			}
+		}
+	default:
+		return reply(map[string]string{"kind": "error", "error": "unknown command " + fields[0]})
+	}
+	if err != nil {
+		return reply(map[string]string{"kind": "error", "error": err.Error()})
+	}
+	// Successful step/open/progressive results reach the client through
+	// the push fan-out; no direct reply needed.
+	return nil
+}
+
+// handleSSE is the push fallback for clients that cannot speak WebSocket:
+// the same JSON events as text/event-stream, PNGs by Href fetch.
+func (s *Server) handleSSE(w http.ResponseWriter, r *http.Request) {
+	id, err := sid(r)
+	if err != nil {
+		http.Error(w, "bad session id", http.StatusBadRequest)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	events, cancel, err := s.hub.Subscribe(id)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			text, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, text)
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// PNG serving: the gateway turns the workstation's 1-bit bitmaps into
+// browser-viewable PNGs with the stdlib encoder, and caches the encoded
+// bytes the way the server caches encoded miniature frames
+// (server.MiniatureEncoded): encode once, serve bytes thereafter.
+//
+// Ownership rules (DESIGN.md §11): the paletted pixel buffer used during
+// an encode is drawn from the process buffer pool and released before the
+// function returns — the encode is its only owner. The returned PNG bytes
+// are heap-allocated and immutable; once inside the cache they are shared
+// by every subsequent hit, so nothing may ever write to or Release them.
+// A warm hit therefore touches no pooled memory at all.
+package gateway
+
+import (
+	"bytes"
+	"container/list"
+	"image"
+	"image/color"
+	"image/png"
+	"sync"
+
+	img "minos/internal/image"
+	"minos/internal/object"
+	"minos/internal/pool"
+)
+
+// monoPalette renders set bits as black on white, like the era's displays
+// printed: index 0 = background, index 1 = ink.
+var monoPalette = color.Palette{
+	color.Gray{Y: 0xff},
+	color.Gray{Y: 0x00},
+}
+
+// encodePNG encodes a 1-bit bitmap as a paletted PNG. The intermediate
+// 1-byte-per-pixel buffer comes from the pool and goes back before return.
+func encodePNG(bm *img.Bitmap) ([]byte, error) {
+	w, h := bm.W, bm.H
+	pix := pool.Bytes.GetZeroed(w * h)
+	raw := bm.Raw()
+	stride := (w + 7) / 8
+	for y := 0; y < h; y++ {
+		rowIn := raw[y*stride : y*stride+stride]
+		rowOut := pix[y*w : y*w+w]
+		for x := 0; x < w; x++ {
+			if rowIn[x/8]&(1<<(x%8)) != 0 {
+				rowOut[x] = 1
+			}
+		}
+	}
+	im := &image.Paletted{Pix: pix, Stride: w, Rect: image.Rect(0, 0, w, h), Palette: monoPalette}
+	var buf bytes.Buffer
+	err := png.Encode(&buf, im)
+	pool.Bytes.Put(pix)
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// pngEntry is one cached encoding. The content hash guards against an id
+// ever re-resolving to different pixels (the archive is write-once, so in
+// practice it never does — the hash is the cheap proof, not a hope).
+type pngEntry struct {
+	id   object.ID
+	hash uint64
+	png  []byte
+}
+
+// pngCache is the gateway-wide encoded-PNG LRU, keyed by object id. It is
+// shared by every session: miniatures are identical across sessions, so
+// one session's encode warms every other's browse.
+type pngCache struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List
+	byID map[object.ID]*list.Element
+
+	hits, misses int64
+}
+
+func newPNGCache(capEntries int) *pngCache {
+	return &pngCache{cap: capEntries, ll: list.New(), byID: map[object.ID]*list.Element{}}
+}
+
+// get returns the cached encoding for id. hash 0 accepts any content
+// (serving by URL, no bitmap in hand); a nonzero hash must match.
+func (c *pngCache) get(id object.ID, hash uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byID[id]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	ent := e.Value.(*pngEntry)
+	if hash != 0 && ent.hash != hash {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	c.hits++
+	return ent.png, true
+}
+
+func (c *pngCache) put(id object.ID, hash uint64, data []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byID[id]; ok {
+		c.ll.MoveToFront(e)
+		e.Value = &pngEntry{id: id, hash: hash, png: data}
+		return
+	}
+	c.byID[id] = c.ll.PushFront(&pngEntry{id: id, hash: hash, png: data})
+	for c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.byID, old.Value.(*pngEntry).id)
+	}
+}
+
+// counters snapshots hit/miss totals.
+func (c *pngCache) counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// miniaturePNG returns the browser encoding of a miniature bitmap,
+// consulting the cache first. The caller keeps ownership of bm; the
+// returned bytes are shared and immutable.
+func (c *pngCache) miniaturePNG(id object.ID, bm *img.Bitmap) ([]byte, error) {
+	h := bm.Hash()
+	if data, ok := c.get(id, h); ok {
+		return data, nil
+	}
+	data, err := encodePNG(bm)
+	if err != nil {
+		return nil, err
+	}
+	c.put(id, h, data)
+	return data, nil
+}

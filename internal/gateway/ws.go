@@ -1,0 +1,322 @@
+// Minimal server-side RFC 6455 WebSocket: handshake, frame codec, and a
+// message-level wrapper. The repo is dependency-free, so the subset the
+// gateway needs is implemented here rather than imported: HTTP/1.1 upgrade
+// with the accept-key digest, masked client->server frames, unmasked
+// server->client frames, 16/64-bit extended lengths, close/ping/pong
+// control frames and continuation coalescing. No extensions, no
+// subprotocols, no compression.
+package gateway
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// wsGUID is the key-digest constant of RFC 6455 §1.3.
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// WebSocket opcodes (RFC 6455 §5.2).
+const (
+	wsOpContinuation = 0x0
+	wsOpText         = 0x1
+	wsOpBinary       = 0x2
+	wsOpClose        = 0x8
+	wsOpPing         = 0x9
+	wsOpPong         = 0xA
+)
+
+// wsMaxPayload bounds a single message reassembled from frames; the
+// gateway's client->server traffic is short commands, so anything larger
+// is a protocol violation, not a use case.
+const wsMaxPayload = 1 << 20
+
+// Frame-codec errors. The read side fails closed: any violation tears the
+// connection down rather than guessing at resynchronization.
+var (
+	errWSReserved    = errors.New("gateway: ws frame uses reserved bits")
+	errWSUnmasked    = errors.New("gateway: unmasked client frame")
+	errWSControlLen  = errors.New("gateway: control frame over 125 bytes")
+	errWSControlFrag = errors.New("gateway: fragmented control frame")
+	errWSBadOpcode   = errors.New("gateway: reserved opcode")
+	errWSTooBig      = errors.New("gateway: ws message too large")
+	errWSBadCont     = errors.New("gateway: continuation without start frame")
+	errWSBadLen      = errors.New("gateway: non-minimal or oversized length")
+)
+
+// wsAcceptKey computes the Sec-WebSocket-Accept digest for a client key.
+func wsAcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// wsHandshake validates an upgrade request and hijacks the connection,
+// answering 101. On failure it writes the error status itself and returns
+// a nil conn.
+func wsHandshake(w http.ResponseWriter, r *http.Request) (net.Conn, *bufio.ReadWriter, error) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "websocket: GET required", http.StatusMethodNotAllowed)
+		return nil, nil, fmt.Errorf("gateway: ws handshake: method %s", r.Method)
+	}
+	if !headerHasToken(r.Header, "Connection", "upgrade") ||
+		!strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		http.Error(w, "websocket: upgrade required", http.StatusBadRequest)
+		return nil, nil, errors.New("gateway: ws handshake: not an upgrade")
+	}
+	if r.Header.Get("Sec-WebSocket-Version") != "13" {
+		w.Header().Set("Sec-WebSocket-Version", "13")
+		http.Error(w, "websocket: version 13 required", http.StatusUpgradeRequired)
+		return nil, nil, errors.New("gateway: ws handshake: bad version")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "websocket: missing key", http.StatusBadRequest)
+		return nil, nil, errors.New("gateway: ws handshake: missing key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "websocket: unsupported transport", http.StatusInternalServerError)
+		return nil, nil, errors.New("gateway: ws handshake: not hijackable")
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, nil, fmt.Errorf("gateway: ws hijack: %w", err)
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + wsAcceptKey(key) + "\r\n\r\n"
+	if _, err := rw.WriteString(resp); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	if err := rw.Flush(); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return conn, rw, nil
+}
+
+// headerHasToken reports whether a comma-separated header contains the
+// token (case-insensitive) — Connection can legitimately be
+// "keep-alive, Upgrade".
+func headerHasToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// wsFrame is one decoded frame.
+type wsFrame struct {
+	fin     bool
+	opcode  byte
+	payload []byte
+}
+
+// appendWSFrame appends one unmasked (server->client) frame to dst.
+func appendWSFrame(dst []byte, fin bool, opcode byte, payload []byte) []byte {
+	b0 := opcode & 0x0f
+	if fin {
+		b0 |= 0x80
+	}
+	dst = append(dst, b0)
+	switch n := len(payload); {
+	case n < 126:
+		dst = append(dst, byte(n))
+	case n < 1<<16:
+		dst = append(dst, 126, byte(n>>8), byte(n))
+	default:
+		dst = append(dst, 127)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(n))
+	}
+	return append(dst, payload...)
+}
+
+// appendWSFrameMasked appends one masked (client->server) frame — the
+// gateway never sends these, but its tests and in-repo test clients do.
+func appendWSFrameMasked(dst []byte, fin bool, opcode byte, mask [4]byte, payload []byte) []byte {
+	b0 := opcode & 0x0f
+	if fin {
+		b0 |= 0x80
+	}
+	dst = append(dst, b0)
+	switch n := len(payload); {
+	case n < 126:
+		dst = append(dst, 0x80|byte(n))
+	case n < 1<<16:
+		dst = append(dst, 0x80|126, byte(n>>8), byte(n))
+	default:
+		dst = append(dst, 0x80|127)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(n))
+	}
+	dst = append(dst, mask[:]...)
+	for i, b := range payload {
+		dst = append(dst, b^mask[i&3])
+	}
+	return dst
+}
+
+// readWSFrame decodes one client frame. Violations (reserved bits, missing
+// mask, oversized control frames, non-minimal lengths) are errors; a
+// truncated stream surfaces as io.ErrUnexpectedEOF (io.EOF only on a clean
+// boundary before any header byte).
+func readWSFrame(br *bufio.Reader, maxPayload int) (wsFrame, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		return wsFrame{}, err // io.EOF here is a clean close
+	}
+	if _, err := io.ReadFull(br, hdr[1:2]); err != nil {
+		return wsFrame{}, unexpected(err)
+	}
+	f := wsFrame{fin: hdr[0]&0x80 != 0, opcode: hdr[0] & 0x0f}
+	if hdr[0]&0x70 != 0 {
+		return wsFrame{}, errWSReserved
+	}
+	switch f.opcode {
+	case wsOpContinuation, wsOpText, wsOpBinary, wsOpClose, wsOpPing, wsOpPong:
+	default:
+		return wsFrame{}, errWSBadOpcode
+	}
+	masked := hdr[1]&0x80 != 0
+	if !masked {
+		return wsFrame{}, errWSUnmasked
+	}
+	n := uint64(hdr[1] & 0x7f)
+	switch n {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(br, ext[:]); err != nil {
+			return wsFrame{}, unexpected(err)
+		}
+		n = uint64(binary.BigEndian.Uint16(ext[:]))
+		if n < 126 {
+			return wsFrame{}, errWSBadLen
+		}
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(br, ext[:]); err != nil {
+			return wsFrame{}, unexpected(err)
+		}
+		n = binary.BigEndian.Uint64(ext[:])
+		if n < 1<<16 || n > 1<<62 {
+			return wsFrame{}, errWSBadLen
+		}
+	}
+	if f.opcode >= wsOpClose {
+		if n > 125 {
+			return wsFrame{}, errWSControlLen
+		}
+		if !f.fin {
+			return wsFrame{}, errWSControlFrag
+		}
+	}
+	if n > uint64(maxPayload) {
+		return wsFrame{}, errWSTooBig
+	}
+	var mask [4]byte
+	if _, err := io.ReadFull(br, mask[:]); err != nil {
+		return wsFrame{}, unexpected(err)
+	}
+	f.payload = make([]byte, n)
+	if _, err := io.ReadFull(br, f.payload); err != nil {
+		return wsFrame{}, unexpected(err)
+	}
+	for i := range f.payload {
+		f.payload[i] ^= mask[i&3]
+	}
+	return f, nil
+}
+
+// unexpected maps a mid-frame EOF to io.ErrUnexpectedEOF so callers can
+// tell truncation from a clean close.
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// wsConn is a message-level WebSocket connection: writes are serialized,
+// reads coalesce continuations and answer pings transparently.
+type wsConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu  sync.Mutex
+	wbuf []byte
+}
+
+func newWSConn(conn net.Conn, br *bufio.Reader) *wsConn {
+	return &wsConn{conn: conn, br: br}
+}
+
+// WriteMessage sends one complete message (never fragmented: the
+// gateway's pushes are small).
+func (c *wsConn) WriteMessage(opcode byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = appendWSFrame(c.wbuf[:0], true, opcode, payload)
+	_, err := c.conn.Write(c.wbuf)
+	return err
+}
+
+// ReadMessage returns the next complete data message. Pings are answered
+// with pongs in-line; a close frame is echoed and surfaces as io.EOF.
+func (c *wsConn) ReadMessage() (opcode byte, payload []byte, err error) {
+	var msg []byte
+	var msgOp byte
+	for {
+		f, err := readWSFrame(c.br, wsMaxPayload)
+		if err != nil {
+			return 0, nil, err
+		}
+		switch f.opcode {
+		case wsOpClose:
+			c.WriteMessage(wsOpClose, f.payload)
+			return 0, nil, io.EOF
+		case wsOpPing:
+			if err := c.WriteMessage(wsOpPong, f.payload); err != nil {
+				return 0, nil, err
+			}
+			continue
+		case wsOpPong:
+			continue
+		case wsOpContinuation:
+			if msgOp == 0 {
+				return 0, nil, errWSBadCont
+			}
+			msg = append(msg, f.payload...)
+		default:
+			if msgOp != 0 {
+				return 0, nil, errWSBadCont
+			}
+			msgOp = f.opcode
+			msg = f.payload
+		}
+		if len(msg) > wsMaxPayload {
+			return 0, nil, errWSTooBig
+		}
+		if f.fin {
+			return msgOp, msg, nil
+		}
+	}
+}
+
+// Close sends a close frame and tears the connection down.
+func (c *wsConn) Close() error {
+	c.WriteMessage(wsOpClose, nil)
+	return c.conn.Close()
+}

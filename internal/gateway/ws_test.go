@@ -1,0 +1,244 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestWSAcceptKey pins the RFC 6455 §1.3 worked example.
+func TestWSAcceptKey(t *testing.T) {
+	got := wsAcceptKey("dGhlIHNhbXBsZSBub25jZQ==")
+	if want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="; got != want {
+		t.Fatalf("accept key %q, want %q", got, want)
+	}
+}
+
+func readFrom(b []byte) *bufio.Reader {
+	return bufio.NewReader(bytes.NewReader(b))
+}
+
+// TestWSFrameRoundTrip crosses every payload-length encoding boundary:
+// 7-bit, 16-bit and 64-bit extended lengths must decode to the bytes that
+// went in.
+func TestWSFrameRoundTrip(t *testing.T) {
+	mask := [4]byte{0x12, 0x34, 0x56, 0x78}
+	for _, n := range []int{0, 1, 125, 126, 1000, 65535, 65536, 70000} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i * 31)
+		}
+		raw := appendWSFrameMasked(nil, true, wsOpBinary, mask, payload)
+		f, err := readWSFrame(readFrom(raw), wsMaxPayload)
+		if err != nil {
+			t.Fatalf("len %d: %v", n, err)
+		}
+		if !f.fin || f.opcode != wsOpBinary || !bytes.Equal(f.payload, payload) {
+			t.Fatalf("len %d: frame diverged (fin=%v opcode=%d len=%d)", n, f.fin, f.opcode, len(f.payload))
+		}
+	}
+}
+
+// TestWSFrameViolations is the protocol-violation table: every row must
+// fail closed with its specific error.
+func TestWSFrameViolations(t *testing.T) {
+	mask := [4]byte{1, 2, 3, 4}
+	valid := appendWSFrameMasked(nil, true, wsOpText, mask, []byte("ok"))
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"reserved bits", append([]byte{0x81 | 0x40}, valid[1:]...), errWSReserved},
+		{"reserved opcode", append([]byte{0x83}, valid[1:]...), errWSBadOpcode},
+		{"unmasked client frame", appendWSFrame(nil, true, wsOpText, []byte("ok")), errWSUnmasked},
+		{"oversized control", appendWSFrameMasked(nil, true, wsOpPing, mask, make([]byte, 126)), errWSControlLen},
+		{"fragmented control", appendWSFrameMasked(nil, false, wsOpPing, mask, nil), errWSControlFrag},
+		// 16-bit extended length encoding a value that fits in 7 bits.
+		{"non-minimal 16-bit length", []byte{0x82, 0x80 | 126, 0x00, 0x05, 1, 2, 3, 4, 0, 0, 0, 0, 0}, errWSBadLen},
+		// 64-bit extended length encoding a value that fits in 16 bits.
+		{"non-minimal 64-bit length", []byte{0x82, 0x80 | 127, 0, 0, 0, 0, 0, 0, 0x01, 0x00, 1, 2, 3, 4}, errWSBadLen},
+		// 64-bit length with the top bits set (also > 1<<62).
+		{"oversized 64-bit length", []byte{0x82, 0x80 | 127, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4}, errWSBadLen},
+	}
+	for _, tc := range cases {
+		if _, err := readWSFrame(readFrom(tc.raw), wsMaxPayload); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Payload above the reader's cap is refused before it is read.
+	big := appendWSFrameMasked(nil, true, wsOpBinary, mask, make([]byte, 200))
+	if _, err := readWSFrame(readFrom(big), 100); !errors.Is(err, errWSTooBig) {
+		t.Errorf("over-cap payload: got %v, want %v", err, errWSTooBig)
+	}
+}
+
+// TestWSFrameTruncation cuts a valid frame at every byte boundary: a
+// truncated stream must surface io.ErrUnexpectedEOF (io.EOF only before
+// the first header byte), never a hang or a bogus frame.
+func TestWSFrameTruncation(t *testing.T) {
+	mask := [4]byte{9, 8, 7, 6}
+	for _, n := range []int{5, 200, 70000} {
+		full := appendWSFrameMasked(nil, true, wsOpBinary, mask, make([]byte, n))
+		for cut := 0; cut < len(full); cut++ {
+			_, err := readWSFrame(readFrom(full[:cut]), wsMaxPayload)
+			want := io.ErrUnexpectedEOF
+			if cut == 0 {
+				want = io.EOF
+			}
+			if !errors.Is(err, want) {
+				t.Fatalf("payload %d cut at %d: got %v, want %v", n, cut, err, want)
+			}
+			if cut > len(full)-2 && n > 1000 {
+				break // the long tail of a big payload adds nothing
+			}
+		}
+	}
+}
+
+// FuzzWSReadFrame feeds arbitrary bytes to the frame reader: it must
+// return an error or a frame, never panic, and any frame it accepts must
+// re-encode to a prefix-consistent masked frame.
+func FuzzWSReadFrame(f *testing.F) {
+	mask := [4]byte{1, 2, 3, 4}
+	f.Add(appendWSFrameMasked(nil, true, wsOpText, mask, []byte("seed")))
+	f.Add(appendWSFrameMasked(nil, false, wsOpBinary, mask, make([]byte, 130)))
+	f.Add([]byte{0x88, 0x80, 0, 0, 0, 0})
+	f.Add([]byte{0x81, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		fr, err := readWSFrame(readFrom(raw), wsMaxPayload)
+		if err != nil {
+			return
+		}
+		// Round-trip: re-masking the decoded payload must reproduce the
+		// consumed prefix byte-for-byte.
+		var mask [4]byte
+		hdrLen := 2
+		switch l := len(fr.payload); {
+		case l >= 1<<16:
+			hdrLen += 8
+		case l >= 126:
+			hdrLen += 2
+		}
+		copy(mask[:], raw[hdrLen:hdrLen+4])
+		re := appendWSFrameMasked(nil, fr.fin, fr.opcode, mask, fr.payload)
+		if !bytes.Equal(re, raw[:len(re)]) {
+			t.Fatalf("re-encoded frame diverges from input prefix")
+		}
+	})
+}
+
+// wsPair returns a message-level server conn wired to a raw client pipe.
+func wsPair(t *testing.T) (*wsConn, net.Conn) {
+	t.Helper()
+	client, srvEnd := net.Pipe()
+	c := newWSConn(srvEnd, bufio.NewReader(srvEnd))
+	t.Cleanup(func() { client.Close(); srvEnd.Close() })
+	return c, client
+}
+
+// readServerFrame parses one unmasked server frame off the client side.
+func readServerFrame(t *testing.T, br *bufio.Reader) (byte, []byte) {
+	t.Helper()
+	var hdr [2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		t.Fatalf("read server frame header: %v", err)
+	}
+	if hdr[1]&0x80 != 0 {
+		t.Fatal("server frame is masked")
+	}
+	n := int(hdr[1] & 0x7f)
+	switch n {
+	case 126:
+		var ext [2]byte
+		io.ReadFull(br, ext[:])
+		n = int(ext[0])<<8 | int(ext[1])
+	case 127:
+		t.Fatal("unexpected 64-bit server frame in test")
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		t.Fatalf("read server frame payload: %v", err)
+	}
+	return hdr[0] & 0x0f, payload
+}
+
+// TestWSConnMessages exercises the message layer over a pipe: continuation
+// coalescing, transparent ping/pong, and close-echo as io.EOF.
+func TestWSConnMessages(t *testing.T) {
+	c, client := wsPair(t)
+	mask := [4]byte{5, 5, 5, 5}
+
+	type result struct {
+		op      byte
+		payload []byte
+		err     error
+	}
+	results := make(chan result, 3)
+	go func() {
+		for i := 0; i < 3; i++ {
+			op, p, err := c.ReadMessage()
+			results <- result{op, p, err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	// Fragmented text message with a ping interleaved between fragments.
+	var raw []byte
+	raw = appendWSFrameMasked(raw, false, wsOpText, mask, []byte("hel"))
+	raw = appendWSFrameMasked(raw, true, wsOpPing, mask, []byte("hb"))
+	raw = appendWSFrameMasked(raw, true, wsOpContinuation, mask, []byte("lo"))
+	if _, err := client.Write(raw); err != nil {
+		t.Fatalf("client write: %v", err)
+	}
+	br := bufio.NewReader(client)
+	op, payload := readServerFrame(t, br)
+	if op != wsOpPong || string(payload) != "hb" {
+		t.Fatalf("ping answered with opcode %d payload %q", op, payload)
+	}
+	r := <-results
+	if r.err != nil || r.op != wsOpText || string(r.payload) != "hello" {
+		t.Fatalf("coalesced message: op=%d payload=%q err=%v", r.op, r.payload, r.err)
+	}
+
+	// A second whole message.
+	if _, err := client.Write(appendWSFrameMasked(nil, true, wsOpBinary, mask, []byte{1, 2})); err != nil {
+		t.Fatalf("client write: %v", err)
+	}
+	r = <-results
+	if r.err != nil || r.op != wsOpBinary || !bytes.Equal(r.payload, []byte{1, 2}) {
+		t.Fatalf("second message: op=%d payload=%v err=%v", r.op, r.payload, r.err)
+	}
+
+	// Close: echoed by the server, surfaced as io.EOF.
+	if _, err := client.Write(appendWSFrameMasked(nil, true, wsOpClose, mask, nil)); err != nil {
+		t.Fatalf("client write: %v", err)
+	}
+	if op, _ := readServerFrame(t, br); op != wsOpClose {
+		t.Fatalf("close answered with opcode %d", op)
+	}
+	select {
+	case r = <-results:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader did not return after close")
+	}
+	if r.err != io.EOF {
+		t.Fatalf("close surfaced as %v, want io.EOF", r.err)
+	}
+}
+
+// TestWSConnBadContinuation: a continuation with no started message tears
+// the read down.
+func TestWSConnBadContinuation(t *testing.T) {
+	c, client := wsPair(t)
+	go client.Write(appendWSFrameMasked(nil, true, wsOpContinuation, [4]byte{}, []byte("x")))
+	if _, _, err := c.ReadMessage(); !errors.Is(err, errWSBadCont) {
+		t.Fatalf("got %v, want %v", err, errWSBadCont)
+	}
+}

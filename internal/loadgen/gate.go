@@ -1,0 +1,449 @@
+// E-GATE: the gateway-tier load experiment. Where Run/RunFleet model a
+// workstation population hitting object servers directly, RunGate drives
+// the same §6 office mix through a real gateway.Hub — every step executes
+// the production path (workstation session → mux wire client →
+// server read path → PNG encode → push fan-out), and only the waiting is
+// simulated: backend link time accrues on wire.LocalTransport's virtual
+// accounting, server device time arrives as reported durations, and the
+// browser-side push rides a (slower) web link model. Everything runs on
+// one goroutine inside Clock.Run, so a given (corpus, GateConfig) pair
+// yields a bit-identical GateResult every run.
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"minos/internal/gateway"
+	"minos/internal/object"
+	"minos/internal/server"
+	"minos/internal/vclock"
+	"minos/internal/wire"
+	"minos/internal/workstation"
+)
+
+// GateConfig parameterizes one gateway harness run.
+type GateConfig struct {
+	// Sessions is the number of concurrent web browse sessions.
+	Sessions int
+	// StepsEach, when positive, ends each session after that many
+	// completed steps (closed run).
+	StepsEach int
+	// Duration, when positive, stops sessions from starting new steps at
+	// this virtual time (open run).
+	Duration time.Duration
+	// Seed drives every random choice in the run.
+	Seed uint64
+	// Scenario is the per-session step mix (zero value = Office()).
+	Scenario Scenario
+	// PoolSize is the number of shared mux backend connections the
+	// gateway multiplexes sessions over (default max(1, Sessions/8)).
+	PoolSize int
+	// StepSlots bounds backend-bound requests in flight across the
+	// gateway, fair-shared per session (0 = unbounded).
+	StepSlots int
+	// WebLink models the gateway↔browser hop the pushes ride (zero value
+	// = DefaultWebLink: T1-era 1.5 Mbit/s at 5 ms).
+	WebLink LinkModel
+}
+
+// DefaultWebLink is the browser-side link model: a T1-class 1.5 Mbit/s
+// pipe with wide-area 5 ms propagation — deliberately slower than the
+// backend Ethernet, as the web hop was.
+func DefaultWebLink() LinkModel {
+	return LinkModel{Latency: 5 * time.Millisecond, Bandwidth: 1_500_000 / 8}
+}
+
+// GateResult is the measured outcome of one RunGate. Identical (corpus,
+// GateConfig) inputs produce identical GateResults.
+type GateResult struct {
+	Sessions int
+	Steps    int64 // completed steps across all sessions
+	Queries  int64
+	Browses  int64
+	Opens    int64
+	Offered  int64 // gateway admission attempts
+	Sheds    int64 // attempts refused by the fair-share gate
+	Degraded int64 // steps abandoned past the retry budget
+	ShedRate float64
+	// StepsPerSec is completed steps per virtual second.
+	StepsPerSec float64
+	// Push latency percentiles: step begin → event delivered over the web
+	// link (includes backend link time, server device time, PNG encode
+	// path, and the push transfer).
+	P50, P95    time.Duration
+	P99, MaxLat time.Duration
+	// PNGHitRate is the encoded-PNG cache hit fraction.
+	PNGHitRate  float64
+	VirtualTime time.Duration
+	// PoolSize is the backend connection pool width driven.
+	PoolSize int
+	// Hub snapshots the gateway's own counters at run end.
+	Hub gateway.Stats
+}
+
+// gateHarness is the run state; single-goroutine inside Clock.Run.
+type gateHarness struct {
+	clock *vclock.Clock
+	cfg   GateConfig
+	hub   *gateway.Hub
+	lts   []*wire.LocalTransport
+	terms []string
+
+	sessions  []*gateSession
+	latencies []time.Duration
+	steps     int64
+	queries   int64
+	browses   int64
+	opens     int64
+	offered   int64
+	sheds     int64
+	degraded  int64
+}
+
+// gateSession is one simulated web user behind the gateway.
+type gateSession struct {
+	h   *gateHarness
+	sid uint64
+	sc  Scenario
+	rng uint64
+
+	steps     int64
+	hits      int       // result count of the last successful query
+	lastObj   object.ID // last object a step landed on (open target)
+	stepStart time.Duration
+	attempts  int
+	current   func()
+	release   func() // held admission slot for the in-flight step
+}
+
+func (s *gateSession) rand(mod uint64) uint64 {
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	if mod == 0 {
+		return s.rng
+	}
+	return s.rng % mod
+}
+
+func (s *gateSession) done() bool {
+	if s.h.cfg.StepsEach > 0 && s.steps >= int64(s.h.cfg.StepsEach) {
+		return true
+	}
+	if s.h.cfg.Duration > 0 && s.h.clock.Now() >= s.h.cfg.Duration {
+		return true
+	}
+	return false
+}
+
+// RunGate opens cfg.Sessions gateway sessions over a cfg.PoolSize backend
+// pool against srv and drives the scenario mix on the virtual clock. The
+// server should be freshly built and have read-ahead disabled (the
+// harness is single-threaded).
+func RunGate(srv *server.Server, cfg GateConfig) (GateResult, error) {
+	if cfg.Sessions <= 0 {
+		return GateResult{}, fmt.Errorf("loadgen: Sessions must be positive")
+	}
+	if cfg.StepsEach <= 0 && cfg.Duration <= 0 {
+		return GateResult{}, fmt.Errorf("loadgen: one of StepsEach or Duration must be set")
+	}
+	if cfg.Scenario == (Scenario{}) {
+		cfg.Scenario = Office()
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = cfg.Sessions / 8
+		if cfg.PoolSize < 1 {
+			cfg.PoolSize = 1
+		}
+	}
+	if cfg.WebLink == (LinkModel{}) {
+		cfg.WebLink = DefaultWebLink()
+	}
+
+	h := &gateHarness{clock: vclock.New(), cfg: cfg}
+	backends := make([]workstation.Backend, cfg.PoolSize)
+	h.lts = make([]*wire.LocalTransport, cfg.PoolSize)
+	for i := range backends {
+		lt := wire.EthernetLink(&wire.Handler{Srv: srv})
+		h.lts[i] = lt
+		backends[i] = wire.NewClient(lt)
+	}
+	hub, err := gateway.New(gateway.Config{
+		Backends:  backends,
+		StepSlots: cfg.StepSlots,
+	})
+	if err != nil {
+		return GateResult{}, err
+	}
+	h.hub = hub
+	defer func() {
+		hub.Close()
+		for _, be := range backends {
+			be.Close()
+		}
+	}()
+
+	// Keep only query terms that hit, as the fleet harness does, so query
+	// steps land the cursor on browsable result sets.
+	for _, t := range queryTerms {
+		if len(srv.Query(t)) > 0 {
+			h.terms = append(h.terms, t)
+		}
+	}
+	if len(h.terms) == 0 {
+		h.terms = queryTerms
+	}
+
+	h.sessions = make([]*gateSession, cfg.Sessions)
+	for i := range h.sessions {
+		sid, err := hub.Open()
+		if err != nil {
+			return GateResult{}, fmt.Errorf("loadgen: open gateway session %d: %w", i, err)
+		}
+		s := &gateSession{
+			h:   h,
+			sid: sid,
+			sc:  cfg.Scenario,
+			rng: (cfg.Seed+1)*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9 + 1,
+		}
+		h.sessions[i] = s
+		window := s.sc.Think + s.sc.ThinkJitter
+		if window <= 0 {
+			window = time.Millisecond
+		}
+		h.clock.AfterFunc(time.Duration(s.rand(uint64(window))), s.beginStep)
+	}
+	h.clock.Run(0)
+	return h.result(), nil
+}
+
+func (s *gateSession) beginStep() {
+	if s.done() {
+		return
+	}
+	s.stepStart = s.h.clock.Now()
+	s.attempts = 0
+	switch s.pickKind() {
+	case kindQuery:
+		s.current = s.doQuery
+	case kindPiece:
+		s.current = s.doOpen
+	default:
+		// Browse and audio steps both advance the cursor: an audio
+		// object's step plays its preview as the miniature passes (§5),
+		// which the gateway delivers in the same push.
+		s.current = s.doStep
+	}
+	s.admit(s.current)
+}
+
+func (s *gateSession) pickKind() int {
+	if s.hits == 0 {
+		return kindQuery
+	}
+	q, b, p, a := s.sc.QueryW, s.sc.BrowseW, s.sc.PieceW, s.sc.AudioW
+	r := int(s.rand(uint64(q + b + p + a)))
+	switch {
+	case r < q:
+		return kindQuery
+	case r < q+b+a:
+		return kindBrowse
+	default:
+		return kindPiece
+	}
+}
+
+// admit passes the gateway's fair-share gate, holding the slot across the
+// step's whole virtual span — exactly what the HTTP/WS transports do with
+// wall-clock spans. Sheds back off with jitter like the wire client; past
+// the budget the step degrades (the browser keeps its last frame).
+func (s *gateSession) admit(step func()) {
+	s.h.offered++
+	s.attempts++
+	release, ok := s.h.hub.Admission().Admit(s.sid)
+	if !ok {
+		s.h.sheds++
+		if s.attempts >= shedMaxAttempts {
+			s.h.degraded++
+			s.complete(nil, s.h.cfg.WebLink.transfer(0))
+			return
+		}
+		backoff := shedBaseDelay << (s.attempts - 1)
+		if backoff > shedMaxDelay {
+			backoff = shedMaxDelay
+		}
+		delay := backoff/2 + time.Duration(s.rand(uint64(backoff)))
+		s.h.clock.AfterFunc(delay, func() {
+			if s.h.cfg.Duration > 0 && s.h.clock.Now() >= s.h.cfg.Duration {
+				return
+			}
+			s.admit(step)
+		})
+		return
+	}
+	s.release = release
+	step()
+}
+
+// backendCost measures the virtual backend cost of fn: the link time the
+// session's pool transport accrued plus the server device time the
+// workstation session recorded (both fully virtual — fn itself runs
+// synchronously and sleeps for neither).
+func (s *gateSession) backendCost(fn func() error) (time.Duration, error) {
+	lt := s.h.lts[s.h.hub.BackendIndex(s.sid)]
+	ws, err := s.h.hub.Workstation(s.sid)
+	if err != nil {
+		return 0, err
+	}
+	linkBefore := lt.Stats().LinkTime
+	fetchBefore := ws.FetchTime
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	return (lt.Stats().LinkTime - linkBefore) + (ws.FetchTime - fetchBefore), nil
+}
+
+// complete finishes the step after the push crosses the web link, then
+// releases the admission slot and schedules the next step.
+func (s *gateSession) complete(ev *gateway.Event, cost time.Duration) {
+	push := cost
+	if ev != nil {
+		push += s.h.cfg.WebLink.transfer(eventBytes(*ev))
+	}
+	rel := s.release
+	s.release = nil
+	s.h.clock.AfterFunc(push, func() {
+		if rel != nil {
+			rel()
+		}
+		s.h.latencies = append(s.h.latencies, s.h.clock.Now()-s.stepStart)
+		s.steps++
+		s.h.steps++
+		think := s.sc.Think
+		if s.sc.ThinkJitter > 0 {
+			think += time.Duration(s.rand(uint64(s.sc.ThinkJitter)))
+		}
+		s.h.clock.AfterFunc(think, s.beginStep)
+	})
+}
+
+// eventBytes is the push payload size: the JSON event on the text channel
+// plus the PNG binary frame.
+func eventBytes(ev gateway.Event) int {
+	j, err := json.Marshal(ev)
+	if err != nil {
+		return len(ev.PNG)
+	}
+	return len(j) + len(ev.PNG)
+}
+
+func (s *gateSession) doQuery() {
+	term := s.h.terms[s.rand(uint64(len(s.h.terms)))]
+	var hits int
+	cost, err := s.backendCost(func() error {
+		n, err := s.h.hub.Query(context.Background(), s.sid, term)
+		hits = n
+		return err
+	})
+	if err != nil {
+		s.h.degraded++
+		s.complete(nil, s.h.cfg.WebLink.transfer(0))
+		return
+	}
+	s.hits = hits
+	s.h.queries++
+	// The hit list returns to the browser as a small JSON id array.
+	s.complete(nil, cost+s.h.cfg.WebLink.transfer(16+8*hits))
+}
+
+func (s *gateSession) doStep() {
+	var ev gateway.Event
+	cost, err := s.backendCost(func() error {
+		e, err := s.h.hub.Step(context.Background(), s.sid, 1)
+		ev = e
+		return err
+	})
+	if err != nil {
+		s.h.degraded++
+		s.complete(nil, s.h.cfg.WebLink.transfer(0))
+		return
+	}
+	if ev.Done {
+		// Cursor ran off the result set: next step re-queries.
+		s.hits = 0
+		s.complete(&ev, cost)
+		return
+	}
+	s.lastObj = ev.Obj
+	s.h.browses++
+	s.complete(&ev, cost)
+}
+
+func (s *gateSession) doOpen() {
+	if s.lastObj == 0 {
+		s.doStep()
+		return
+	}
+	id := s.lastObj
+	var ev gateway.Event
+	cost, err := s.backendCost(func() error {
+		e, err := s.h.hub.OpenObject(context.Background(), s.sid, id)
+		ev = e
+		return err
+	})
+	if err != nil {
+		s.h.degraded++
+		s.complete(nil, s.h.cfg.WebLink.transfer(0))
+		return
+	}
+	s.h.opens++
+	s.complete(&ev, cost)
+}
+
+func (h *gateHarness) result() GateResult {
+	st := h.hub.Stats()
+	r := GateResult{
+		Sessions:    h.cfg.Sessions,
+		Steps:       h.steps,
+		Queries:     h.queries,
+		Browses:     h.browses,
+		Opens:       h.opens,
+		Offered:     h.offered,
+		Sheds:       h.sheds,
+		Degraded:    h.degraded,
+		VirtualTime: h.clock.Now(),
+		PoolSize:    h.cfg.PoolSize,
+		Hub:         st,
+	}
+	if h.offered > 0 {
+		r.ShedRate = float64(h.sheds) / float64(h.offered)
+	}
+	if r.VirtualTime > 0 {
+		r.StepsPerSec = float64(h.steps) / r.VirtualTime.Seconds()
+	}
+	if st.PNGHits+st.PNGMisses > 0 {
+		r.PNGHitRate = float64(st.PNGHits) / float64(st.PNGHits+st.PNGMisses)
+	}
+	if len(h.latencies) > 0 {
+		sorted := make([]time.Duration, len(h.latencies))
+		copy(sorted, h.latencies)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		pick := func(p float64) time.Duration {
+			i := int(p*float64(len(sorted))+0.5) - 1
+			if i < 0 {
+				i = 0
+			}
+			if i >= len(sorted) {
+				i = len(sorted) - 1
+			}
+			return sorted[i]
+		}
+		r.P50, r.P95, r.P99 = pick(0.50), pick(0.95), pick(0.99)
+		r.MaxLat = sorted[len(sorted)-1]
+	}
+	return r
+}

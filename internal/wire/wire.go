@@ -786,6 +786,15 @@ func (c *Client) ReadPiece(off, length uint64) ([]byte, time.Duration, error) {
 	return c.ReadPieceCtx(context.Background(), off, length)
 }
 
+// ObjectPieceCtx fetches a byte extent of the archive holding object id.
+// On the single-server client the id is advisory — one server owns every
+// object, so it reduces to ReadPieceCtx — but it makes the call routable:
+// a fleet client uses the same signature to send the read to the shard
+// whose archive the descriptor's offsets are absolute in.
+func (c *Client) ObjectPieceCtx(ctx context.Context, _ object.ID, off, length uint64) ([]byte, time.Duration, error) {
+	return c.ReadPieceCtx(ctx, off, length)
+}
+
 // MiniatureCtx fetches an object miniature. It rides the batched
 // OpMiniatures path (a batch of one), falling back to the legacy single-
 // shot op against servers that predate batching.
@@ -879,11 +888,25 @@ func encodeMiniaturesReq(ids []object.ID) []byte {
 	return req
 }
 
+// MiniatureBatch is an in-flight batched miniature fetch, abstracted so
+// backend-agnostic consumers (the workstation prefetcher) can pipeline
+// batches without naming the concrete client that issued them.
+type MiniatureBatch interface {
+	// Wait collects the batch's results.
+	Wait() ([]MiniatureResult, time.Duration, error)
+}
+
 // MiniaturesStartCtx launches a batched miniature fetch without waiting —
 // the browse prefetcher keeps several of these in flight on a pipelined
 // transport while the user views the current miniature.
 func (c *Client) MiniaturesStartCtx(ctx context.Context, ids []object.ID) *PendingMiniatures {
 	return &PendingMiniatures{ids: ids, p: c.startCtx(ctx, encodeMiniaturesReq(ids))}
+}
+
+// StartMiniatures implements the workstation Backend's pipelined miniature
+// hook: it is MiniaturesStartCtx behind the interface return type.
+func (c *Client) StartMiniatures(ctx context.Context, ids []object.ID) MiniatureBatch {
+	return c.MiniaturesStartCtx(ctx, ids)
 }
 
 // MiniaturesStart launches a batched miniature fetch without waiting.
@@ -990,6 +1013,11 @@ func (c *Client) VoicePreviewCtx(ctx context.Context, id object.ID) (*voice.Part
 }
 
 // VoicePreview fetches the voice preview of an audio-mode object.
+//
+// Deprecated: use VoiceStreamCtx — the credit-based voice stream starts
+// playback after the first chunk instead of buffering a whole preview, and
+// the server caps OpVoicePreview at a page-sized prefix. VoicePreviewCtx
+// remains only as the fallback for peers that did not negotiate streams.
 func (c *Client) VoicePreview(id object.ID) (*voice.Part, time.Duration, error) {
 	return c.VoicePreviewCtx(context.Background(), id)
 }

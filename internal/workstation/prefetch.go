@@ -144,7 +144,7 @@ func (c *miniLRU) put(ent *miniEntry) {
 // generation so in-flight results for the old result set are discarded
 // instead of surfacing stale.
 type prefetcher struct {
-	c *wire.Client
+	be Backend
 
 	mu        sync.Mutex
 	landed    sync.Cond // broadcast whenever an in-flight fetch completes
@@ -158,10 +158,10 @@ type prefetcher struct {
 	wg sync.WaitGroup // background batch waiters, drained on Close
 }
 
-func newPrefetcher(c *wire.Client, cfg PrefetchConfig) *prefetcher {
+func newPrefetcher(be Backend, cfg PrefetchConfig) *prefetcher {
 	cfg = cfg.withDefaults()
 	p := &prefetcher{
-		c:         c,
+		be:        be,
 		cfg:       cfg,
 		cache:     newMiniLRU(cfg.CacheSize),
 		inflight:  map[object.ID]uint64{},
@@ -253,7 +253,7 @@ func (p *prefetcher) ensure(ctx context.Context, ids []object.ID, i int) (*img.B
 	}
 	p.mu.Unlock()
 
-	res, dur, err := p.c.MiniaturesCtx(ctx, chunk)
+	res, dur, err := p.be.MiniaturesCtx(ctx, chunk)
 
 	p.mu.Lock()
 	for _, cid := range chunk {
@@ -358,9 +358,11 @@ func (p *prefetcher) launch(chunks [][]object.ID, gen uint64) {
 	if len(chunks) == 0 {
 		return
 	}
-	calls := make([]*wire.PendingMiniatures, len(chunks))
+	// Background batches are read-ahead — droppable by generation — so
+	// they are not bounded by any caller's ctx.
+	calls := make([]wire.MiniatureBatch, len(chunks))
 	for i, chunk := range chunks {
-		calls[i] = p.c.MiniaturesStart(chunk)
+		calls[i] = p.be.StartMiniatures(context.Background(), chunk)
 	}
 	p.wg.Add(1)
 	go func() {

@@ -232,7 +232,7 @@ func TestPrefetchRefineRace(t *testing.T) {
 func TestPrefetcherConcurrentEnsureInvalidate(t *testing.T) {
 	const n = 16
 	s, _, _ := browseFixture(t, n)
-	p := newPrefetcher(s.client, PrefetchConfig{Depth: 8, Batch: 4})
+	p := newPrefetcher(s.be, PrefetchConfig{Depth: 8, Batch: 4})
 	ids := make([]object.ID, n)
 	for i := range ids {
 		ids[i] = object.ID(i + 1)

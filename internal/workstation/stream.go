@@ -55,7 +55,7 @@ type VoicePlayback struct {
 // A peer without the stream feature falls back to the batched voice
 // preview path: same audible result for short parts, Streamed=false.
 func (s *Session) PlayVoiceStreamCtx(ctx context.Context, id object.ID, advance func(at time.Duration)) (VoicePlayback, error) {
-	info, sc, err := s.client.VoiceStreamCtx(ctx, id, 0, voiceStreamWindow)
+	info, sc, err := s.be.VoiceStreamCtx(ctx, id, 0, voiceStreamWindow)
 	if err != nil {
 		if wire.StreamFallback(err) {
 			return s.playVoiceBatch(ctx, id)
@@ -105,7 +105,7 @@ func (s *Session) PlayVoiceStreamCtx(ctx context.Context, id object.ID, advance 
 // playVoiceBatch is the pre-stream behaviour: one response carries the
 // preview, playback starts only after the whole transfer.
 func (s *Session) playVoiceBatch(ctx context.Context, id object.ID) (VoicePlayback, error) {
-	vp, dur, err := s.client.VoicePreviewCtx(ctx, id)
+	vp, dur, err := s.be.VoicePreviewCtx(ctx, id)
 	if err != nil {
 		return VoicePlayback{}, err
 	}
@@ -139,18 +139,21 @@ type ProgressivePaint struct {
 // A peer without the stream feature falls back to the single-frame
 // miniature fetch: onPass fires once with the complete bitmap.
 func (s *Session) MiniatureProgressiveCtx(ctx context.Context, id object.ID, onPass func(bm *img.Bitmap, usable bool, at time.Duration)) (*img.Bitmap, ProgressivePaint, error) {
-	info, sc, err := s.client.MiniatureStreamCtx(ctx, id, 0, miniatureStreamWindow)
+	info, sc, err := s.be.MiniatureStreamCtx(ctx, id, 0, miniatureStreamWindow)
 	if err != nil {
 		if wire.StreamFallback(err) {
-			bm, dur, ferr := s.client.MiniatureCtx(ctx, id)
+			res, dur, ferr := s.be.MiniaturesCtx(ctx, []object.ID{id})
+			s.FetchTime += dur
 			if ferr != nil {
 				return nil, ProgressivePaint{}, ferr
 			}
-			s.FetchTime += dur
-			if onPass != nil {
-				onPass(bm, true, 0)
+			if len(res) == 0 || !res[0].OK {
+				return nil, ProgressivePaint{}, &noMiniatureError{id: id}
 			}
-			return bm, ProgressivePaint{Passes: 1}, nil
+			if onPass != nil {
+				onPass(res[0].Mini, true, 0)
+			}
+			return res[0].Mini, ProgressivePaint{Passes: 1}, nil
 		}
 		return nil, ProgressivePaint{}, err
 	}

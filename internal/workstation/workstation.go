@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"minos/internal/core"
+	"minos/internal/descriptor"
 	"minos/internal/formatter"
 	img "minos/internal/image"
 	"minos/internal/object"
@@ -26,8 +27,8 @@ import (
 
 // Session is one user's workstation session.
 type Session struct {
-	client *wire.Client
-	mgr    *core.Manager
+	be  Backend
+	mgr *core.Manager
 
 	results []object.ID
 	cursor  int
@@ -64,10 +65,12 @@ type BrowseStep struct {
 	Done bool
 }
 
-// New builds a session over a protocol client. The manager configuration's
-// Resolver is overridden to resolve relevant objects through the server.
-func New(client *wire.Client, cfg core.Config) *Session {
-	s := &Session{client: client, cursor: -1}
+// New builds a session over any Backend — a single-server wire client and
+// a routed fleet client drive the identical session code path. The manager
+// configuration's Resolver is overridden to resolve relevant objects
+// through the backend.
+func New(be Backend, cfg core.Config) *Session {
+	s := &Session{be: be, cursor: -1}
 	cfg.Resolver = func(id object.ID) (*object.Object, error) {
 		return s.load(id)
 	}
@@ -75,8 +78,19 @@ func New(client *wire.Client, cfg core.Config) *Session {
 	return s
 }
 
+// NewWithClient builds a session over a single-server protocol client. It
+// is New with the concrete parameter type spelled out — kept so call sites
+// written before the Backend interface existed keep compiling verbatim.
+func NewWithClient(client *wire.Client, cfg core.Config) *Session {
+	return New(client, cfg)
+}
+
 // Manager exposes the presentation manager driving this session's screen.
 func (s *Session) Manager() *core.Manager { return s.mgr }
+
+// Backend exposes the session's retrieval backend (the gateway serves
+// cache-miss miniature fetches through it on the session's connection).
+func (s *Session) Backend() Backend { return s.be }
 
 // EnablePrefetch turns on the browse read-ahead pipeline: sequential
 // browsing fetches miniatures in batches of cfg.Batch per round trip and
@@ -84,7 +98,7 @@ func (s *Session) Manager() *core.Manager { return s.mgr }
 // while the user views the current one. Query and Refine invalidate the
 // pipeline so a changed result set never surfaces a stale miniature.
 func (s *Session) EnablePrefetch(cfg PrefetchConfig) {
-	s.pf = newPrefetcher(s.client, cfg)
+	s.pf = newPrefetcher(s.be, cfg)
 }
 
 // PrefetchStats reports the read-ahead pipeline's counters (zero value if
@@ -99,7 +113,7 @@ func (s *Session) PrefetchStats() PrefetchStats {
 // QueryCtx submits a content query and installs the qualifying objects as
 // the sequential browsing result set. It returns the number of hits.
 func (s *Session) QueryCtx(ctx context.Context, terms ...string) (int, error) {
-	ids, dur, err := s.client.QueryCtx(ctx, terms...)
+	ids, dur, err := s.be.QueryCtx(ctx, terms...)
 	if err != nil {
 		return 0, err
 	}
@@ -107,7 +121,7 @@ func (s *Session) QueryCtx(ctx context.Context, terms ...string) (int, error) {
 	s.results = ids
 	s.cursor = -1
 	s.queryLog = [][]string{append([]string(nil), terms...)}
-	s.seenReconnects = s.client.Reconnects()
+	s.seenReconnects = s.be.Reconnects()
 	if s.pf != nil {
 		s.pf.invalidate()
 	}
@@ -124,7 +138,7 @@ func (s *Session) Query(terms ...string) (int, error) {
 // refine his filter". The refined set is the intersection of the current
 // results with the new terms' matches.
 func (s *Session) RefineCtx(ctx context.Context, terms ...string) (int, error) {
-	ids, dur, err := s.client.QueryCtx(ctx, terms...)
+	ids, dur, err := s.be.QueryCtx(ctx, terms...)
 	if err != nil {
 		return 0, err
 	}
@@ -167,7 +181,7 @@ func intersect(base, hits []object.ID) []object.ID {
 // down) leaves the old state for degraded browsing and retries on the next
 // step.
 func (s *Session) maybeResync(ctx context.Context) {
-	rc := s.client.Reconnects()
+	rc := s.be.Reconnects()
 	if rc == s.seenReconnects {
 		return
 	}
@@ -180,7 +194,7 @@ func (s *Session) maybeResync(ctx context.Context) {
 	}
 	var rebuilt []object.ID
 	for i, terms := range s.queryLog {
-		ids, dur, err := s.client.QueryCtx(ctx, terms...)
+		ids, dur, err := s.be.QueryCtx(ctx, terms...)
 		if err != nil {
 			// Keep the stale result set and the unsynchronized counter:
 			// the next cursor step tries again.
@@ -198,7 +212,7 @@ func (s *Session) maybeResync(ctx context.Context) {
 		s.cursor = len(s.results) - 1
 	}
 	// The replay itself may have reconnected again; record where we ended.
-	s.seenReconnects = s.client.Reconnects()
+	s.seenReconnects = s.be.Reconnects()
 }
 
 // Results returns the current result set.
@@ -259,15 +273,18 @@ func (s *Session) stepAtCursor(ctx context.Context) (BrowseStep, error) {
 			mini, mode = m, md
 		}
 	} else {
-		m, dur, err := s.client.MiniatureCtx(ctx, id)
+		// A batch of one: the reply ships the mode inline with the
+		// miniature, so even without prefetch a cursor step is a single
+		// round trip on either backend.
+		res, dur, err := s.be.MiniaturesCtx(ctx, []object.ID{id})
 		s.FetchTime += dur
-		if err != nil {
+		switch {
+		case err != nil:
 			ferr = err
-		} else {
-			mini = m
-			if md, merr := s.client.ModeCtx(ctx, id); merr == nil {
-				mode = md
-			}
+		case len(res) == 0 || !res[0].OK:
+			ferr = &noMiniatureError{id: id}
+		default:
+			mini, mode = res[0].Mini, res[0].Mode
 		}
 	}
 	if ferr != nil {
@@ -283,7 +300,7 @@ func (s *Session) stepAtCursor(ctx context.Context) (BrowseStep, error) {
 		return BrowseStep{ID: id}, ferr
 	}
 	if mode == object.Audio {
-		if vp, pdur, perr := s.client.VoicePreviewCtx(ctx, id); perr == nil {
+		if vp, pdur, perr := s.be.VoicePreviewCtx(ctx, id); perr == nil {
 			s.FetchTime += pdur
 			s.mgr.MsgPlayer().Load(vp)
 			s.mgr.MsgPlayer().Play(0, 0, nil)
@@ -295,8 +312,14 @@ func (s *Session) stepAtCursor(ctx context.Context) (BrowseStep, error) {
 // ShowBrowser renders the sequential browsing interface on the session's
 // screen: a filmstrip of the result set's miniatures with the cursor's
 // miniature highlighted, as §5 describes for browsing "a large number of
-// objects that may qualify".
+// objects that may qualify". The visible miniatures are fetched in batched
+// round trips (MaxMiniatureBatch per OpMiniatures), never one by one.
 func (s *Session) ShowBrowser() error {
+	return s.ShowBrowserCtx(context.Background())
+}
+
+// ShowBrowserCtx renders the sequential browsing interface, bounded by ctx.
+func (s *Session) ShowBrowserCtx(ctx context.Context) error {
 	scr := s.mgr.Screen()
 	w, h := scr.ContentWidth(), scr.ContentHeight()
 	page := img.NewBitmap(w, h)
@@ -306,19 +329,37 @@ func (s *Session) ShowBrowser() error {
 	if perRow < 1 {
 		perRow = 1
 	}
-	for i, id := range s.results {
-		row, col := i/perRow, i%perRow
-		x, y := 4+col*cell, 14+row*cell
-		if y+cell > h {
-			img.DrawString(page, 4, h-10, "MORE ...")
+	// Only the rows that fit on the page are fetched; the rest is "MORE".
+	visible := len(s.results)
+	more := false
+	for i := range s.results {
+		if 14+(i/perRow)*cell+cell > h {
+			visible, more = i, true
 			break
 		}
-		mini, dur, err := s.client.Miniature(id)
+	}
+	minis := make(map[object.ID]*img.Bitmap, visible)
+	for at := 0; at < visible; at += wire.MaxMiniatureBatch {
+		chunk := s.results[at:min(at+wire.MaxMiniatureBatch, visible)]
+		res, dur, err := s.be.MiniaturesCtx(ctx, chunk)
 		s.FetchTime += dur
 		if err != nil {
 			return err
 		}
-		page.Or(mini, x+2, y+2)
+		for _, r := range res {
+			if !r.OK {
+				return &noMiniatureError{id: r.ID}
+			}
+			minis[r.ID] = r.Mini
+		}
+	}
+	if more {
+		img.DrawString(page, 4, h-10, "MORE ...")
+	}
+	for i, id := range s.results[:visible] {
+		row, col := i/perRow, i%perRow
+		x, y := 4+col*cell, 14+row*cell
+		page.Or(minis[id], x+2, y+2)
 		if i == s.cursor {
 			// Highlight the cursor's miniature with a border.
 			for bx := 0; bx < cell-4; bx++ {
@@ -358,12 +399,19 @@ func (s *Session) OpenObject(id object.ID) error {
 }
 
 func (s *Session) load(id object.ID) (*object.Object, error) {
-	d, dur, err := s.client.Descriptor(id)
+	ctx := context.Background()
+	d, dur, err := s.be.DescriptorCtx(ctx, id)
 	if err != nil {
 		return nil, err
 	}
 	s.FetchTime += dur
-	return d.Materialize(s.client.Fetch(&s.FetchTime))
+	// Piece reads carry the object id so a fleet backend routes them to
+	// the shard whose archive the descriptor's extents are absolute in.
+	return d.Materialize(func(ref descriptor.PartRef) ([]byte, error) {
+		data, t, err := s.be.ObjectPieceCtx(ctx, id, ref.Offset, ref.Length)
+		s.FetchTime += t
+		return data, err
+	})
 }
 
 // BrowseEditing presents the formatter's current object — still in the
@@ -376,10 +424,18 @@ func (s *Session) BrowseEditing(f *formatter.Formatter) error {
 	return s.mgr.Open(o)
 }
 
-// Close drains any in-flight prefetches and releases the protocol client.
+// Close drains any in-flight prefetches and releases the backend.
 func (s *Session) Close() error {
+	s.Detach()
+	return s.be.Close()
+}
+
+// Detach ends the session without closing its backend: in-flight
+// prefetches are drained, the connection is left open. Gateway sessions
+// use it — many sessions share one pooled mux connection, so no single
+// session may close it.
+func (s *Session) Detach() {
 	if s.pf != nil {
 		s.pf.drain()
 	}
-	return s.client.Close()
 }
