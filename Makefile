@@ -1,7 +1,7 @@
 GO ?= go
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 
-.PHONY: all build test race bench bench-smoke bench-json bench-json-smoke alloc-guard fault-matrix load-smoke shard-smoke stream-smoke gate-smoke fmt vet check
+.PHONY: all build test race bench bench-smoke bench-json bench-json-smoke alloc-guard fault-matrix load-smoke shard-smoke stream-smoke gate-smoke index-smoke fmt vet check
 
 all: build
 
@@ -13,7 +13,7 @@ test:
 
 # Short-mode race pass over the packages with concurrency stress tests.
 race:
-	$(GO) test -race -short ./internal/server ./internal/wire ./internal/workstation ./internal/faults ./internal/sched ./internal/vclock ./internal/cluster ./internal/gateway
+	$(GO) test -race -short ./internal/server ./internal/wire ./internal/workstation ./internal/faults ./internal/sched ./internal/vclock ./internal/cluster ./internal/gateway ./internal/index
 
 # Resilience suite: fault injection, v1/v2 interop under faults, session
 # resync/degraded serving, and the E-FAULT experiment.
@@ -35,7 +35,7 @@ bench-smoke:
 # streaming-delivery experiment and the E-GATE gateway run, and write the
 # combined report to $(BENCH_OUT) (committed per PR).
 bench-json:
-	$(GO) run ./cmd/minos-bench -load -shard -stream -gate -out $(BENCH_OUT)
+	$(GO) run ./cmd/minos-bench -load -shard -stream -gate -index -out $(BENCH_OUT)
 
 # E-LOAD smoke: ~100 sessions x 200 steps through the load harness with a
 # p99 latency bound. Cheap enough to gate every `make check`.
@@ -60,6 +60,13 @@ gate-smoke:
 	$(GO) test -run 'EGateSmoke' -count=1 .
 	$(GO) test -run 'GatewayBrowseHTTP' -count=1 ./internal/gateway
 
+# E-INDEX smoke: the segmented content index vs a brute-force scan of the
+# corpus definition, incremental (seal+merge) vs bulk build equivalence,
+# and the experiment invariants (bit-identical segments, planner == naive,
+# ~0 allocs per warm query) at 30k docs.
+index-smoke:
+	$(GO) test -run 'EIndexSmoke' -count=1 .
+
 # One-iteration harness smoke: proves minos-bench still runs and parses
 # without overwriting the committed report.
 bench-json-smoke:
@@ -68,7 +75,7 @@ bench-json-smoke:
 # Steady-state allocation guards (testing.AllocsPerRun); skipped under
 # -race, where the runtime deliberately drops sync.Pool entries.
 alloc-guard:
-	$(GO) test -run 'Alloc' -count=1 ./internal/image ./internal/voice ./internal/server ./internal/wire ./internal/cluster ./internal/gateway
+	$(GO) test -run 'Alloc' -count=1 ./internal/image ./internal/voice ./internal/server ./internal/wire ./internal/cluster ./internal/gateway ./internal/index
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -77,4 +84,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test race fault-matrix bench-smoke alloc-guard bench-json-smoke load-smoke shard-smoke stream-smoke gate-smoke
+check: fmt vet build test race fault-matrix bench-smoke alloc-guard bench-json-smoke load-smoke shard-smoke stream-smoke gate-smoke index-smoke

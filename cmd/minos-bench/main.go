@@ -199,6 +199,47 @@ type GateReport struct {
 	DirectP99Ms float64 `json:"direct_p99_ms"`
 }
 
+// IndexReport is the embedded E-INDEX result: the segmented content index
+// built serially and in parallel over the synthetic corpus, then queried
+// through the planner and the naive evaluator. Latencies are microseconds
+// (individual planned queries run well under a millisecond); build times
+// are milliseconds.
+type IndexReport struct {
+	Docs         int    `json:"docs"`
+	Queries      int    `json:"queries"`
+	Workers      int    `json:"workers"`
+	Seed         uint64 `json:"seed"`
+	Postings     int    `json:"postings"`
+	Segments     int    `json:"segments"`
+	SegmentBytes int    `json:"segment_bytes"`
+
+	SerialBuildMs   float64 `json:"serial_build_ms"`
+	ParallelBuildMs float64 `json:"parallel_build_ms"`
+	Chunks          int     `json:"chunks"`
+	// ModelSpeedup is the makespan-model speedup at Workers workers over
+	// the measured per-chunk build times (acceptance bar: >= 3 at 4
+	// workers); WallSpeedup is the raw wall-clock ratio, which only
+	// tracks the model when the container actually has Workers cores.
+	ModelSpeedup   float64 `json:"model_speedup"`
+	WallSpeedup    float64 `json:"wall_speedup"`
+	DocsPerCoreSec float64 `json:"docs_per_core_sec"`
+	// Deterministic reports the parallel build produced byte-identical
+	// segment files to the serial build (acceptance bar: true).
+	Deterministic bool `json:"deterministic"`
+
+	MeanHits     float64 `json:"mean_hits"`
+	PlannedP50Us float64 `json:"planned_p50_us"`
+	PlannedP99Us float64 `json:"planned_p99_us"`
+	NaiveP50Us   float64 `json:"naive_p50_us"`
+	NaiveP99Us   float64 `json:"naive_p99_us"`
+	// P99Speedup is naive p99 over planned p99 (acceptance bar: >= 5).
+	P99Speedup float64 `json:"p99_speedup"`
+	// AllocsPerQuery is the marginal heap allocations of one warm planned
+	// query (acceptance bar: ~0).
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+	ResultsMatch   bool    `json:"results_match"`
+}
+
 // Report is the written JSON document.
 type Report struct {
 	GoVersion string        `json:"go_version"`
@@ -209,10 +250,11 @@ type Report struct {
 	Shard     *ShardReport  `json:"shard,omitempty"`
 	Stream    *StreamReport `json:"stream,omitempty"`
 	Gate      *GateReport   `json:"gate,omitempty"`
+	Index     *IndexReport  `json:"e_index,omitempty"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_9.json", "report file (- = stdout)")
+	out := flag.String("out", "BENCH_10.json", "report file (- = stdout)")
 	bench := flag.String("bench", "Rasterize|Miniature|Synthesize|MuxBatched|LocalRoundTrip", "benchmark regex passed to go test")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (empty = default)")
 	count := flag.Int("count", 1, "go test -count value")
@@ -236,6 +278,11 @@ func main() {
 	gatePool := flag.Int("gate-pool", 0, "E-GATE backend pool size (0 = sessions/8)")
 	gateSlots := flag.Int("gate-slots", 64, "E-GATE fair-share step slots")
 	gateSeed := flag.Uint64("gate-seed", 1986, "E-GATE run seed")
+	indexRun := flag.Bool("index", false, "run the E-INDEX content-index experiment and embed its result")
+	indexDocs := flag.Int("index-docs", 1_000_000, "E-INDEX synthetic corpus size")
+	indexQueries := flag.Int("index-queries", 200, "E-INDEX query battery size")
+	indexWorkers := flag.Int("index-workers", 4, "E-INDEX parallel build width")
+	indexSeed := flag.Uint64("index-seed", 1986, "E-INDEX corpus seed")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
@@ -272,6 +319,16 @@ func main() {
 		rep.Gate = gr
 		fmt.Fprintf(os.Stderr, "minos-bench: E-GATE %d sessions: steps=%d (%.0f/s) p99=%.2fms (direct %.2fms) pngHit=%.2f shed=%.1f%%\n",
 			gr.Sessions, gr.Steps, gr.StepsPerS, gr.P99Ms, gr.DirectP99Ms, gr.PNGHitRate, 100*gr.ShedRate)
+	}
+	if *indexRun {
+		ir, err := runIndex(*indexDocs, *indexQueries, *indexWorkers, *indexSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minos-bench: index: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Index = ir
+		fmt.Fprintf(os.Stderr, "minos-bench: E-INDEX %d docs: planned p99 %.0fµs vs naive %.0fµs (%.1fx), build model %.2fx@%d, deterministic=%v allocs/query=%.3f\n",
+			ir.Docs, ir.PlannedP99Us, ir.NaiveP99Us, ir.P99Speedup, ir.ModelSpeedup, ir.Workers, ir.Deterministic, ir.AllocsPerQuery)
 	}
 	if *stream {
 		st, err := runStream(*streamCells, *streamSeconds, *streamSeed)
@@ -576,6 +633,47 @@ func runStream(cells, seconds, seed int) (*StreamReport, error) {
 		FailoverResumes:   res.FailoverResumes,
 		FailoverOK:        res.FailoverOK,
 		AllocsPerChunk:    res.AllocsPerChunk,
+	}, nil
+}
+
+// runIndex runs the E-INDEX experiment in-process: serial vs parallel
+// segment builds over the synthetic corpus, the bit-identity check between
+// them, and the planned-vs-naive query battery.
+func runIndex(docs, queries, workers int, seed uint64) (*IndexReport, error) {
+	res, err := loadgen.RunIndex(loadgen.IndexConfig{
+		Docs:    docs,
+		Queries: queries,
+		Workers: workers,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	return &IndexReport{
+		Docs:            res.Docs,
+		Queries:         res.Queries,
+		Workers:         res.Workers,
+		Seed:            seed,
+		Postings:        res.Postings,
+		Segments:        res.Segments,
+		SegmentBytes:    res.SegmentBytes,
+		SerialBuildMs:   ms(res.SerialBuild),
+		ParallelBuildMs: ms(res.ParallelBuild),
+		Chunks:          res.Chunks,
+		ModelSpeedup:    res.ModelSpeedup,
+		WallSpeedup:     res.WallSpeedup,
+		DocsPerCoreSec:  res.DocsPerCoreSec,
+		Deterministic:   res.Deterministic,
+		MeanHits:        res.MeanHits,
+		PlannedP50Us:    us(res.PlannedP50),
+		PlannedP99Us:    us(res.PlannedP99),
+		NaiveP50Us:      us(res.NaiveP50),
+		NaiveP99Us:      us(res.NaiveP99),
+		P99Speedup:      res.P99Speedup,
+		AllocsPerQuery:  res.AllocsPerQuery,
+		ResultsMatch:    res.ResultsMatch,
 	}, nil
 }
 

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	minos query <term>...                    evaluate a content query
+//	minos query <term|predicate>...          evaluate a content query
+//	                                         (kind:visual|audio, after:/before:YYYY-MM-DD)
 //	minos list                               list published objects
 //	minos -script "cmds" browse <id>         open an object and run commands
 //	minos [-clients n] simulate              run the queueing simulation
@@ -45,6 +46,7 @@ import (
 	"minos/internal/core"
 	"minos/internal/demo"
 	img "minos/internal/image"
+	"minos/internal/index"
 	"minos/internal/object"
 	"minos/internal/screen"
 	"minos/internal/server"
@@ -100,8 +102,14 @@ func run(args []string) error {
 		if len(rest) < 2 {
 			return fmt.Errorf("query needs terms")
 		}
+		// The argument list is one planner query: bare words are AND
+		// terms, kind:/after:/before: are attribute predicates.
+		q, err := index.ParseQuery(strings.Join(rest[1:], " "))
+		if err != nil {
+			return err
+		}
 		ctx, cancel := callCtx()
-		n, err := session.QueryCtx(ctx, rest[1:]...)
+		n, err := session.QueryPlannedCtx(ctx, q)
 		cancel()
 		if err != nil {
 			return err

@@ -14,6 +14,7 @@ import (
 func TestRunSubcommands(t *testing.T) {
 	cases := [][]string{
 		{"-fillers", "2", "query", "lung"},
+		{"-fillers", "2", "query", "lung", "kind:visual", "after:1980-01-01"},
 		{"-fillers", "2", "list"},
 		{"-fillers", "2", "-script", "next,prev,find:opacity,nextunit:chapter", "browse", "102"},
 		{"-fillers", "2", "-script", "transp,transp:next,goto:0", "browse", "103"},
@@ -34,6 +35,7 @@ func TestRunErrors(t *testing.T) {
 		{},
 		{"frobnicate"},
 		{"query"},
+		{"query", "lung", "kind:nope"},
 		{"browse"},
 		{"browse", "notanumber"},
 		{"browse", "424242"},

@@ -34,9 +34,12 @@
 //	14  OpMiniatureStream v3     open a progressive miniature stream
 //	15  OpStreamCredit    v3     grant flow-control credit to a stream
 //	16  OpStreamCancel    v3     cancel an open stream
+//	17  OpQueryPlanned    v3     planned content query (AND terms +
+//	                             kind/date predicates) → sorted ids
 //
 // Stream frame layout, credit rules and failover-resume semantics are
-// specified in DESIGN.md §10.
+// specified in DESIGN.md §10; the planned-query grammar, segment format
+// and planner cost model in DESIGN.md §12.
 //
 // # Gateway HTTP endpoints
 //
@@ -48,6 +51,8 @@
 //	POST   /session                          open a session → {"session":id}
 //	DELETE /session/{sid}                    close the session (204)
 //	POST   /session/{sid}/query?q=terms      content query → {"hits":n}
+//	GET    /session/{sid}/query?q=query      planned query (terms plus
+//	                                         kind:/after:/before:) → {"hits":n}
 //	POST   /session/{sid}/step?dir=next|prev browse step → step event JSON
 //	POST   /session/{sid}/open?obj=N         open an object → opened event
 //	POST   /session/{sid}/progressive?obj=N  progressive miniature passes

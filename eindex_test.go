@@ -1,0 +1,155 @@
+package minos
+
+import (
+	"testing"
+
+	"minos/internal/demo"
+	"minos/internal/index"
+	"minos/internal/loadgen"
+	"minos/internal/object"
+)
+
+// E-INDEX smoke: the segmented content index answers exactly like a brute
+// force scan of the corpus definition, the incremental path (memtable
+// seals + background merges) is equivalent to the bulk parallel build, and
+// the small-scale experiment run holds the report's invariants
+// (bit-identical segments across worker counts, planner results equal to
+// the naive evaluator, ~0 allocations per warm query). The full-scale run
+// lives in cmd/minos-bench -index; this is the `make index-smoke` gate.
+
+// bruteForceIDs evaluates q against the synthetic corpus definition itself
+// — no index code on this path at all.
+func bruteForceIDs(seed uint64, docs int, q index.Query) []object.ID {
+	var ids []object.ID
+	var d index.Doc
+	for i := 0; i < docs; i++ {
+		demo.SynthDoc(seed, i, &d)
+		ok := true
+		for _, term := range q.Terms {
+			found := false
+			for _, have := range d.Terms {
+				if have == term {
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		switch q.Kind {
+		case index.KindVisual:
+			if d.Mode != object.Visual {
+				continue
+			}
+		case index.KindAudio:
+			if d.Mode != object.Audio {
+				continue
+			}
+		}
+		if q.DateFrom != 0 && d.Date < q.DateFrom {
+			continue
+		}
+		if q.DateTo != 0 && (d.Date > q.DateTo || d.Date == 0) {
+			continue
+		}
+		ids = append(ids, d.ID)
+	}
+	return ids
+}
+
+func assertSameIDs(t *testing.T, what string, got, want []object.ID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d ids, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: id[%d] = %d, want %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+func mustDate(t *testing.T, s string) uint32 {
+	t.Helper()
+	d, err := index.ParseDate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEIndexSmoke(t *testing.T) {
+	const (
+		seed = uint64(1986)
+		docs = 30_000
+	)
+	gen := func(i int, d *index.Doc) { demo.SynthDoc(seed, i, d) }
+
+	bulk, _, err := index.BuildStore(docs, gen, index.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Incremental store with a tiny memtable and an eager merge policy, so
+	// the smoke run exercises seal + background merge, not just bulk build.
+	inc := index.NewStore(index.Config{MemtableDocs: 512, MergeFanIn: 4})
+	var d index.Doc
+	for i := 0; i < docs; i++ {
+		demo.SynthDoc(seed, i, &d)
+		if !inc.Add(&d) {
+			t.Fatalf("incremental add rejected doc %d", i)
+		}
+	}
+	inc.WaitMerges()
+
+	// Query battery: selective conjunctions plus attribute-predicate
+	// variants of each, answered by both stores and checked exactly
+	// against a brute-force scan of the corpus definition.
+	nonEmpty := 0
+	for k := 0; k < 24; k++ {
+		base := demo.SynthQuery(seed, k, docs)
+		variants := []index.Query{
+			base,
+			{Terms: base.Terms, Kind: index.KindAudio},
+			{Terms: base.Terms, Kind: index.KindVisual, DateFrom: mustDate(t, "1983-01-01")},
+			{Terms: base.Terms[:1], DateFrom: mustDate(t, "1984-06-01"), DateTo: mustDate(t, "1986-06-01")},
+		}
+		for _, q := range variants {
+			want := bruteForceIDs(seed, docs, q)
+			assertSameIDs(t, "bulk vs brute", bulk.Search(q, nil), want)
+			assertSameIDs(t, "incremental vs brute", inc.Search(q, nil), want)
+			if len(want) > 0 {
+				nonEmpty++
+			}
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("every battery query matched nothing; corpus or query derivation is broken")
+	}
+
+	// Small-scale experiment run: the invariants the committed BENCH
+	// report claims at full scale must already hold here.
+	res, err := loadgen.RunIndex(loadgen.IndexConfig{Docs: docs, Queries: 40, Workers: 4, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("E-INDEX smoke: %d docs, %d segments (%d bytes), planned p99 %v vs naive %v (%.1fx), model %.2fx@%d, allocs/query %.3f",
+		res.Docs, res.Segments, res.SegmentBytes, res.PlannedP99, res.NaiveP99, res.P99Speedup, res.ModelSpeedup, res.Workers, res.AllocsPerQuery)
+	if !res.Deterministic {
+		t.Fatal("parallel build segments differ from serial build")
+	}
+	if !res.ResultsMatch {
+		t.Fatal("planner results differ from naive evaluator")
+	}
+	if res.AllocsPerQuery > 0.5 {
+		t.Fatalf("warm planned query allocates (%.2f allocs/query)", res.AllocsPerQuery)
+	}
+	if res.MeanHits <= 0 {
+		t.Fatal("query battery matched nothing")
+	}
+}

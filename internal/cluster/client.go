@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -12,6 +11,7 @@ import (
 
 	"minos/internal/descriptor"
 	img "minos/internal/image"
+	"minos/internal/index"
 	"minos/internal/object"
 	"minos/internal/server"
 	"minos/internal/voice"
@@ -565,6 +565,19 @@ func (c *Client) QueryCtx(ctx context.Context, terms ...string) ([]object.ID, ti
 	})
 }
 
+// QueryPlannedCtx scatters a planned content query — conjunctive terms plus
+// attribute predicates — to every shard in parallel, where each shard's
+// planner evaluates it against the local segments, and gathers the sorted
+// per-shard id streams into one ascending result. Shards are reached through
+// onShard, so a dead primary fails over to its replicas like every other op
+// (the WORM content index is identical on a replica, so a failed-over answer
+// equals the primary's).
+func (c *Client) QueryPlannedCtx(ctx context.Context, q index.Query) ([]object.ID, time.Duration, error) {
+	return c.gatherIDs(ctx, func(wc *wire.Client) ([]object.ID, time.Duration, error) {
+		return wc.QueryPlannedCtx(ctx, q)
+	})
+}
+
 // ListCtx returns all published object ids across the fleet, ascending.
 func (c *Client) ListCtx(ctx context.Context) ([]object.ID, time.Duration, error) {
 	return c.gatherIDs(ctx, func(wc *wire.Client) ([]object.ID, time.Duration, error) {
@@ -572,6 +585,10 @@ func (c *Client) ListCtx(ctx context.Context) ([]object.ID, time.Duration, error
 	})
 }
 
+// gatherIDs fans call out to every shard and merges the per-shard id
+// streams. Each shard answers in ascending order (both the content index
+// and the archiver directory are sorted), so the gather is a k-way merge of
+// sorted streams, not a global re-sort.
 func (c *Client) gatherIDs(ctx context.Context, call func(*wire.Client) ([]object.ID, time.Duration, error)) ([]object.ID, time.Duration, error) {
 	m, _ := c.topo()
 	var (
@@ -579,11 +596,11 @@ func (c *Client) gatherIDs(ctx context.Context, call func(*wire.Client) ([]objec
 		mu       sync.Mutex
 		firstErr error
 		maxDur   time.Duration
-		all      []object.ID
 	)
-	for _, sh := range m.Shards {
+	parts := make([][]object.ID, len(m.Shards))
+	for i, sh := range m.Shards {
 		wg.Add(1)
-		go func(shard int) {
+		go func(slot, shard int) {
 			defer wg.Done()
 			var ids []object.ID
 			var dur time.Duration
@@ -603,15 +620,59 @@ func (c *Client) gatherIDs(ctx context.Context, call func(*wire.Client) ([]objec
 			if dur > maxDur {
 				maxDur = dur
 			}
-			all = append(all, ids...)
-		}(sh.ID)
+			parts[slot] = ids
+		}(i, sh.ID)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, maxDur, firstErr
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	return all, maxDur, nil
+	return mergeSortedIDs(parts), maxDur, nil
+}
+
+// mergeSortedIDs merges ascending id streams into one ascending slice,
+// deduplicating equal heads (shards partition the corpus, so duplicates
+// only appear if two streams overlap — e.g. a re-published object caught
+// on both sides of a resharding).
+func mergeSortedIDs(parts [][]object.ID) []object.ID {
+	total, live := 0, 0
+	for _, p := range parts {
+		total += len(p)
+		if len(p) > 0 {
+			live++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]object.ID, 0, total)
+	if live == 1 {
+		for _, p := range parts {
+			if len(p) > 0 {
+				return append(out, p...)
+			}
+		}
+	}
+	heads := make([]int, len(parts))
+	for {
+		best := -1
+		var min object.ID
+		for i, p := range parts {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if v := p[heads[i]]; best < 0 || v < min {
+				best, min = i, v
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		if len(out) == 0 || out[len(out)-1] != min {
+			out = append(out, min)
+		}
+		heads[best]++
+	}
 }
 
 // StatsCtx aggregates the request/cache/contention counters across every

@@ -21,6 +21,7 @@ import (
 
 	"minos/internal/core"
 	img "minos/internal/image"
+	"minos/internal/index"
 	"minos/internal/object"
 	"minos/internal/sched"
 	"minos/internal/screen"
@@ -72,6 +73,10 @@ type Stats struct {
 	SessionsActive int64
 	SessionsDenied int64
 	Queries        int64
+	// PlannedQueries counts the subset of Queries that arrived as planned
+	// queries (terms plus attribute predicates) through the GET endpoint
+	// or Hub.QueryPlanned.
+	PlannedQueries int64
 	Steps          int64
 	Opens          int64
 	// Pushes counts events emitted to the push fan-out (browse steps,
@@ -131,6 +136,7 @@ type Hub struct {
 
 	opened, denied        int64
 	queries, steps, opens int64
+	plannedQueries        int64
 	pushes, pushBytes     int64
 	droppedPushes         int64
 }
@@ -268,6 +274,26 @@ func (h *Hub) Query(ctx context.Context, sid uint64, terms ...string) (int, erro
 	if err == nil {
 		h.mu.Lock()
 		h.queries++
+		h.mu.Unlock()
+	}
+	return n, err
+}
+
+// QueryPlanned submits a planned content query — conjunctive terms plus
+// attribute predicates — on a session through the same Backend seam, so it
+// works identically over a single server and a routed fleet.
+func (h *Hub) QueryPlanned(ctx context.Context, sid uint64, q index.Query) (int, error) {
+	s, err := h.get(sid)
+	if err != nil {
+		return 0, err
+	}
+	s.ops.Lock()
+	defer s.ops.Unlock()
+	n, err := s.ws.QueryPlannedCtx(ctx, q)
+	if err == nil {
+		h.mu.Lock()
+		h.queries++
+		h.plannedQueries++
 		h.mu.Unlock()
 	}
 	return n, err
@@ -479,6 +505,7 @@ func (h *Hub) Stats() Stats {
 		SessionsActive: int64(len(h.sessions)),
 		SessionsDenied: h.denied,
 		Queries:        h.queries,
+		PlannedQueries: h.plannedQueries,
 		Steps:          h.steps,
 		Opens:          h.opens,
 		Pushes:         h.pushes,
@@ -499,6 +526,7 @@ func (h *Hub) WriteMetrics(ctx context.Context, w io.Writer) error {
 	fmt.Fprintf(w, "gateway_sessions_opened %d\n", st.SessionsOpened)
 	fmt.Fprintf(w, "gateway_sessions_denied %d\n", st.SessionsDenied)
 	fmt.Fprintf(w, "gateway_queries %d\n", st.Queries)
+	fmt.Fprintf(w, "gateway_planned_queries %d\n", st.PlannedQueries)
 	fmt.Fprintf(w, "gateway_steps %d\n", st.Steps)
 	fmt.Fprintf(w, "gateway_opens %d\n", st.Opens)
 	fmt.Fprintf(w, "gateway_pushes %d\n", st.Pushes)

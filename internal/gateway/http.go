@@ -8,6 +8,8 @@
 //	POST   /session                     open a session        -> {"session":id}
 //	DELETE /session/{sid}               close it
 //	POST   /session/{sid}/query?q=...   content query         -> {"hits":n}
+//	GET    /session/{sid}/query?q=...   planned query (kind:/after:/before:
+//	                                    predicates allowed)   -> {"hits":n}
 //	POST   /session/{sid}/step?dir=next|prev                  -> step event JSON
 //	POST   /session/{sid}/open?obj=N    present an object     -> opened event JSON
 //	POST   /session/{sid}/progressive?obj=N  stream passes to subscribers
@@ -27,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"minos/internal/index"
 	"minos/internal/object"
 )
 
@@ -42,6 +45,7 @@ func NewServer(h *Hub) *Server {
 	s.mux.HandleFunc("POST /session", s.handleOpen)
 	s.mux.HandleFunc("DELETE /session/{sid}", s.handleClose)
 	s.mux.HandleFunc("POST /session/{sid}/query", s.handleQuery)
+	s.mux.HandleFunc("GET /session/{sid}/query", s.handleQueryPlanned)
 	s.mux.HandleFunc("POST /session/{sid}/step", s.handleStep)
 	s.mux.HandleFunc("POST /session/{sid}/open", s.handleOpenObject)
 	s.mux.HandleFunc("POST /session/{sid}/progressive", s.handleProgressive)
@@ -129,6 +133,36 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.admit(w, id, func() error {
 		n, err := s.hub.Query(r.Context(), id, terms...)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, map[string]int{"hits": n})
+		return nil
+	})
+}
+
+// handleQueryPlanned serves the planned-query endpoint: the q parameter is
+// parsed by the index query grammar, so besides plain terms it accepts
+// kind:visual|audio, after:YYYY-MM-DD and before:YYYY-MM-DD predicates,
+// pushed down to the backend's segmented index.
+func (s *Server) handleQueryPlanned(w http.ResponseWriter, r *http.Request) {
+	id, err := sid(r)
+	if err != nil {
+		http.Error(w, "bad session id", http.StatusBadRequest)
+		return
+	}
+	raw := r.URL.Query().Get("q")
+	if strings.TrimSpace(raw) == "" {
+		http.Error(w, "q required", http.StatusBadRequest)
+		return
+	}
+	q, err := index.ParseQuery(raw)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.admit(w, id, func() error {
+		n, err := s.hub.QueryPlanned(r.Context(), id, q)
 		if err != nil {
 			return err
 		}

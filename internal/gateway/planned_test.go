@@ -1,0 +1,103 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestGatewayPlannedQueryHTTP drives the GET query endpoint: plain terms,
+// attribute predicates, grammar errors, and the /metrics planned-query
+// counter. The endpoint reaches the index through the workstation Backend
+// seam, so the same test body passes over a routed fleet pool.
+func TestGatewayPlannedQueryHTTP(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		backends int
+		fleet    bool
+	}{
+		{"single-server", 2, false},
+		{"fleet", 2, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var hub *Hub
+			if tc.fleet {
+				hub = newTestHub(t, fleetBackends(t, tc.backends, 3))
+			} else {
+				hub = newTestHub(t, demoBackends(t, tc.backends))
+			}
+			ts := httptest.NewServer(NewServer(hub))
+			defer ts.Close()
+
+			resp, err := http.Post(ts.URL+"/session", "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var open map[string]uint64
+			json.NewDecoder(resp.Body).Decode(&open)
+			resp.Body.Close()
+			sid := open["session"]
+
+			get := func(q string) (int, int) {
+				t.Helper()
+				u := fmt.Sprintf("%s/session/%d/query?q=%s", ts.URL, sid, url.QueryEscape(q))
+				resp, err := http.Get(u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				body, _ := io.ReadAll(resp.Body)
+				if resp.StatusCode != http.StatusOK {
+					return 0, resp.StatusCode
+				}
+				var out map[string]int
+				if err := json.Unmarshal(body, &out); err != nil {
+					t.Fatalf("bad body %q: %v", body, err)
+				}
+				return out["hits"], resp.StatusCode
+			}
+
+			all, code := get("hospital")
+			if code != http.StatusOK || all == 0 {
+				t.Fatalf("plain GET query: hits %d code %d", all, code)
+			}
+			audio, code := get("hospital kind:audio")
+			if code != http.StatusOK {
+				t.Fatalf("filtered GET query code %d", code)
+			}
+			visual, code := get("hospital kind:visual")
+			if code != http.StatusOK {
+				t.Fatalf("filtered GET query code %d", code)
+			}
+			// The demo corpus mixes modes; the two filtered sets must
+			// partition the unfiltered one.
+			if audio+visual != all || visual == 0 {
+				t.Fatalf("kind partitions: audio %d + visual %d != all %d", audio, visual, all)
+			}
+			if _, code := get("kind:nope"); code != http.StatusBadRequest {
+				t.Fatalf("bad kind predicate answered %d, want 400", code)
+			}
+			if _, code := get("after:19-1-1"); code != http.StatusBadRequest {
+				t.Fatalf("bad date predicate answered %d, want 400", code)
+			}
+
+			mresp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			metrics, _ := io.ReadAll(mresp.Body)
+			mresp.Body.Close()
+			if !strings.Contains(string(metrics), "gateway_planned_queries 3\n") {
+				t.Fatalf("planned-query counter missing or wrong:\n%s", metrics)
+			}
+			if !strings.Contains(string(metrics), "gateway_queries 3\n") {
+				t.Fatalf("query counter should include planned queries:\n%s", metrics)
+			}
+		})
+	}
+}

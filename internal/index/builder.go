@@ -1,0 +1,332 @@
+package index
+
+import (
+	"sort"
+	"strings"
+
+	"minos/internal/object"
+	"minos/internal/text"
+)
+
+// Doc is the unit the segmented index ingests: an object reduced to its id,
+// attribute predicates (mode, date) and the normalized terms of its content
+// — title fields, text stream words and recognized voice utterances all
+// land in the same term space, which is what keeps retrieval symmetric
+// across media (§2).
+type Doc struct {
+	ID   object.ID
+	Mode object.Mode
+	// Date is the ordinal-encoded archive date (see ParseDate); 0 when
+	// the object carries none.
+	Date uint32
+	// Terms are normalized tokens; duplicates are allowed and collapse
+	// to one posting.
+	Terms []string
+}
+
+// Config shapes a segmented index store.
+type Config struct {
+	// MemtableDocs is the seal threshold: the memtable seals into an
+	// immutable segment when it reaches this many docs. Default 4096.
+	MemtableDocs int
+	// SigBits is the per-doc signature width in bits (rounded up to 64).
+	// Negative disables the signature block. Default 256.
+	SigBits int
+	// BitsPerTerm is how many signature bits each term sets. Default 3.
+	BitsPerTerm int
+	// MergeFanIn triggers a background merge when at least this many
+	// small segments (< 2x MemtableDocs docs) exist. Default 8.
+	MergeFanIn int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemtableDocs <= 0 {
+		c.MemtableDocs = 4096
+	}
+	switch {
+	case c.SigBits < 0:
+		c.SigBits = 0
+	case c.SigBits == 0:
+		c.SigBits = 256
+	}
+	if c.BitsPerTerm <= 0 {
+		c.BitsPerTerm = 3
+	}
+	if c.MergeFanIn < 2 {
+		c.MergeFanIn = 8
+	}
+	return c
+}
+
+func (c Config) sigWords() int { return (c.SigBits + 63) / 64 }
+
+// sigTermBits sets bitsPerTerm signature bits for the token — two
+// independent hashes combined (Kirsch–Mitzenmacher), shared with the
+// standalone SignatureFile so segment signatures and the E-PAT signature
+// file agree on the encoding.
+func sigTermBits(tok string, sig []uint64, bitsPerTerm int) {
+	var h1, h2 uint64 = 14695981039346656037, 5381
+	for i := 0; i < len(tok); i++ {
+		h1 = (h1 ^ uint64(tok[i])) * 1099511628211
+		h2 = h2*33 + uint64(tok[i])
+	}
+	bits := uint64(len(sig) * 64)
+	for k := 0; k < bitsPerTerm; k++ {
+		b := (h1 + uint64(k)*h2) % bits
+		sig[b/64] |= 1 << (b % 64)
+	}
+}
+
+// builder accumulates docs into a mutable memtable and seals them into a
+// segment. It doubles as the store's live memtable (queries read it under
+// the store's memtable lock) and as the per-worker state of the parallel
+// bulk build. All storage is reused across reset() so the steady-state
+// add() path — the hot tokenize/post path of a publish — allocates nothing
+// (guarded by TestAllocBuilderAdd).
+type builder struct {
+	sigWords    int
+	bitsPerTerm int
+
+	ids   []object.ID
+	modes []object.Mode
+	dates []uint32
+	sigs  []uint64
+	byID  map[object.ID]int32
+
+	terms    map[string]*postList
+	postings int
+
+	// seal scratch, reused.
+	perm     []int32
+	remap    []uint32
+	nameBuf  []string
+	partsBuf []partTerm
+}
+
+type postList struct{ ords []uint32 }
+
+func newBuilder(cfg Config) *builder {
+	return &builder{
+		sigWords:    cfg.sigWords(),
+		bitsPerTerm: cfg.BitsPerTerm,
+		byID:        make(map[object.ID]int32),
+		terms:       make(map[string]*postList),
+	}
+}
+
+func (b *builder) docs() int { return len(b.ids) }
+
+// add indexes one doc; it reports false (and does nothing) when the id is
+// already present. The caller owns d; nothing in it is retained except the
+// term strings themselves.
+func (b *builder) add(d *Doc) bool {
+	if _, dup := b.byID[d.ID]; dup {
+		return false
+	}
+	ord := uint32(len(b.ids))
+	b.byID[d.ID] = int32(ord)
+	b.ids = append(b.ids, d.ID)
+	b.modes = append(b.modes, d.Mode)
+	b.dates = append(b.dates, d.Date)
+	var sig []uint64
+	if b.sigWords > 0 {
+		for i := 0; i < b.sigWords; i++ {
+			b.sigs = append(b.sigs, 0)
+		}
+		sig = b.sigs[int(ord)*b.sigWords:]
+	}
+	for _, t := range d.Terms {
+		if t == "" {
+			continue
+		}
+		pl := b.terms[t]
+		if pl == nil {
+			pl = &postList{}
+			b.terms[t] = pl
+		}
+		if n := len(pl.ords); n > 0 && pl.ords[n-1] == ord {
+			continue // duplicate within this doc; signature bits already set
+		}
+		pl.ords = append(pl.ords, ord)
+		b.postings++
+		if sig != nil {
+			sigTermBits(t, sig, b.bitsPerTerm)
+		}
+	}
+	return true
+}
+
+// reset clears the builder for the next memtable while keeping every map
+// bucket and slice capacity warm.
+func (b *builder) reset() {
+	b.ids = b.ids[:0]
+	b.modes = b.modes[:0]
+	b.dates = b.dates[:0]
+	b.sigs = b.sigs[:0]
+	clear(b.byID)
+	for _, pl := range b.terms {
+		pl.ords = pl.ords[:0]
+	}
+	b.postings = 0
+}
+
+// seal encodes the memtable into a segment file: docs sorted by id, terms
+// sorted bytewise, ordinals remapped accordingly. The output depends only
+// on the set of docs added (in any order) and the config.
+func (b *builder) seal() []byte {
+	n := len(b.ids)
+	b.perm = b.perm[:0]
+	for i := 0; i < n; i++ {
+		b.perm = append(b.perm, int32(i))
+	}
+	sort.Slice(b.perm, func(i, j int) bool { return b.ids[b.perm[i]] < b.ids[b.perm[j]] })
+	b.remap = b.remap[:0]
+	for range b.perm {
+		b.remap = append(b.remap, 0)
+	}
+	for newOrd, oldOrd := range b.perm {
+		b.remap[oldOrd] = uint32(newOrd)
+	}
+
+	parts := segParts{
+		ids:   make([]object.ID, n),
+		modes: make([]object.Mode, n),
+		dates: make([]uint32, n),
+	}
+	if b.sigWords > 0 {
+		parts.sigs = make([]uint64, n*b.sigWords)
+	}
+	for newOrd, oldOrd := range b.perm {
+		parts.ids[newOrd] = b.ids[oldOrd]
+		parts.modes[newOrd] = b.modes[oldOrd]
+		parts.dates[newOrd] = b.dates[oldOrd]
+		if b.sigWords > 0 {
+			copy(parts.sigs[newOrd*b.sigWords:(newOrd+1)*b.sigWords], b.sigs[int(oldOrd)*b.sigWords:])
+		}
+	}
+
+	b.nameBuf = b.nameBuf[:0]
+	for name, pl := range b.terms {
+		if len(pl.ords) > 0 {
+			b.nameBuf = append(b.nameBuf, name)
+		}
+	}
+	sort.Strings(b.nameBuf)
+	b.partsBuf = b.partsBuf[:0]
+	for _, name := range b.nameBuf {
+		ords := b.terms[name].ords
+		mapped := make([]uint32, len(ords))
+		for i, o := range ords {
+			mapped[i] = b.remap[o]
+		}
+		sortU32(mapped)
+		b.partsBuf = append(b.partsBuf, partTerm{name: []byte(name), ords: mapped})
+	}
+	parts.terms = b.partsBuf
+	return encodeParts(&parts, b.sigWords, b.bitsPerTerm)
+}
+
+// sortU32 is an allocation-free quicksort (insertion sort below 12) for
+// ordinal slices.
+func sortU32(a []uint32) {
+	for len(a) > 12 {
+		p := medianOfThreeU32(a)
+		lo, hi := 0, len(a)-1
+		for lo <= hi {
+			for a[lo] < p {
+				lo++
+			}
+			for a[hi] > p {
+				hi--
+			}
+			if lo <= hi {
+				a[lo], a[hi] = a[hi], a[lo]
+				lo++
+				hi--
+			}
+		}
+		if hi+1 < len(a)-lo {
+			sortU32(a[:hi+1])
+			a = a[lo:]
+		} else {
+			sortU32(a[lo:])
+			a = a[:hi+1]
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func medianOfThreeU32(a []uint32) uint32 {
+	lo, mid, hi := a[0], a[len(a)/2], a[len(a)-1]
+	if lo > mid {
+		lo, mid = mid, lo
+	}
+	if mid > hi {
+		mid = hi
+	}
+	if lo > mid {
+		mid = lo
+	}
+	return mid
+}
+
+// sortIDs is sortU32 for object ids (used for memtable result emission).
+func sortIDs(a []object.ID) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// DocFromObject reduces an object to its indexable Doc, appending terms to
+// d.Terms (reset to [:0] first): title and attribute words, text stream
+// words and recognized voice utterances — the same term space the legacy
+// Index uses — plus the date attribute parsed into d.Date.
+func DocFromObject(o *object.Object, d *Doc) {
+	d.ID = o.ID
+	d.Mode = o.Mode
+	d.Date = 0
+	if s, ok := o.Attrs["date"]; ok {
+		if dt, err := ParseDate(s); err == nil {
+			d.Date = dt
+		}
+	}
+	d.Terms = d.Terms[:0]
+	addWords := func(s string) {
+		for _, f := range strings.Fields(s) {
+			if tok := text.NormalizeToken(f); tok != "" {
+				d.Terms = append(d.Terms, tok)
+			}
+		}
+	}
+	addWords(o.Title)
+	for _, v := range o.Attrs {
+		addWords(v)
+	}
+	for _, seg := range o.Text {
+		addWords(seg.Title)
+		for _, ch := range seg.Chapters {
+			addWords(ch.Title)
+			for _, sec := range ch.Sections {
+				addWords(sec.Title)
+			}
+		}
+	}
+	for _, fw := range o.Stream() {
+		if tok := text.NormalizeToken(fw.Word.Text); tok != "" {
+			d.Terms = append(d.Terms, tok)
+		}
+	}
+	for _, vp := range o.Voice {
+		for _, u := range vp.Utterances {
+			if u.Token != "" {
+				d.Terms = append(d.Terms, u.Token)
+			}
+		}
+	}
+}

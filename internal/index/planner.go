@@ -1,0 +1,390 @@
+package index
+
+import (
+	"fmt"
+	"strings"
+
+	"minos/internal/object"
+	"minos/internal/text"
+)
+
+// KindFilter restricts a query to one driving mode.
+type KindFilter uint8
+
+const (
+	KindAny KindFilter = iota
+	KindVisual
+	KindAudio
+)
+
+// Query is a planned content query: an AND over normalized terms combined
+// with attribute predicates from the descriptor (driving mode, archive date
+// range). The zero value matches nothing.
+type Query struct {
+	Terms []string
+	Kind  KindFilter
+	// DateFrom/DateTo bound the ordinal-encoded date (see ParseDate),
+	// inclusive; zero means unbounded on that side.
+	DateFrom uint32
+	DateTo   uint32
+}
+
+// HasFilters reports whether the query carries attribute predicates beyond
+// its terms (such a query cannot be served by the plain term-query op).
+func (q Query) HasFilters() bool {
+	return q.Kind != KindAny || q.DateFrom != 0 || q.DateTo != 0
+}
+
+// empty reports whether the query can match nothing at all.
+func (q Query) empty() bool {
+	return len(q.Terms) == 0 && !q.HasFilters()
+}
+
+// matchAttrs applies the attribute predicates to one doc.
+func (q *Query) matchAttrs(mode object.Mode, date uint32) bool {
+	switch q.Kind {
+	case KindVisual:
+		if mode != object.Visual {
+			return false
+		}
+	case KindAudio:
+		if mode != object.Audio {
+			return false
+		}
+	}
+	if q.DateFrom != 0 && date < q.DateFrom {
+		return false
+	}
+	if q.DateTo != 0 && (date > q.DateTo || date == 0) {
+		return false
+	}
+	return true
+}
+
+// ParseDate parses a YYYY-MM-DD attribute date into its ordinal encoding
+// (year*416 + month*32 + day): not a calendar day count, but strictly
+// monotonic in the date, which is all range predicates need. Zero is
+// reserved for "no date".
+func ParseDate(s string) (uint32, error) {
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return 0, fmt.Errorf("index: date %q is not YYYY-MM-DD", s)
+	}
+	num := func(sub string) (int, bool) {
+		v := 0
+		for i := 0; i < len(sub); i++ {
+			if sub[i] < '0' || sub[i] > '9' {
+				return 0, false
+			}
+			v = v*10 + int(sub[i]-'0')
+		}
+		return v, true
+	}
+	y, ok1 := num(s[:4])
+	m, ok2 := num(s[5:7])
+	d, ok3 := num(s[8:])
+	if !ok1 || !ok2 || !ok3 || m < 1 || m > 12 || d < 1 || d > 31 {
+		return 0, fmt.Errorf("index: date %q is not YYYY-MM-DD", s)
+	}
+	return uint32(y*416 + m*32 + d), nil
+}
+
+// FormatDate is ParseDate's inverse.
+func FormatDate(v uint32) string {
+	return fmt.Sprintf("%04d-%02d-%02d", v/416, (v%416)/32, v%32)
+}
+
+// ParseQuery parses the user-facing query syntax: whitespace-separated
+// terms plus the attribute filters kind:visual|audio, after:YYYY-MM-DD and
+// before:YYYY-MM-DD (both inclusive).
+func ParseQuery(s string) (Query, error) {
+	var q Query
+	for _, f := range strings.Fields(s) {
+		switch {
+		case strings.HasPrefix(f, "kind:"):
+			switch f[len("kind:"):] {
+			case "visual":
+				q.Kind = KindVisual
+			case "audio":
+				q.Kind = KindAudio
+			case "any":
+				q.Kind = KindAny
+			default:
+				return Query{}, fmt.Errorf("index: unknown kind %q", f[len("kind:"):])
+			}
+		case strings.HasPrefix(f, "after:"):
+			v, err := ParseDate(f[len("after:"):])
+			if err != nil {
+				return Query{}, err
+			}
+			q.DateFrom = v
+		case strings.HasPrefix(f, "before:"):
+			v, err := ParseDate(f[len("before:"):])
+			if err != nil {
+				return Query{}, err
+			}
+			q.DateTo = v
+		default:
+			if tok := text.NormalizeToken(f); tok != "" {
+				q.Terms = append(q.Terms, tok)
+			}
+		}
+	}
+	return q, nil
+}
+
+// normalizeIfNeeded is text.NormalizeToken with an allocation-free pass
+// for tokens that are already normalized (lowercase ASCII alphanumerics) —
+// the hot-path case, since every parse front-end normalizes terms before
+// they reach the store.
+func normalizeIfNeeded(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') {
+			continue
+		}
+		return text.NormalizeToken(s)
+	}
+	return s
+}
+
+// Strategy is the per-segment execution strategy the planner picks.
+type Strategy uint8
+
+const (
+	// StrategyEmpty: some term is absent from the segment; no matches.
+	StrategyEmpty Strategy = iota
+	// StrategyIntersect: direct posting intersection, terms ordered by
+	// ascending posting length, driver list probed into the others via
+	// skip-table seeks.
+	StrategyIntersect
+	// StrategySignature: superimposed-coding pre-filter — scan the doc
+	// signatures for containment of the query probe, then verify the few
+	// candidates against the postings. Wins when every term is common.
+	StrategySignature
+	// StrategyScan: no terms; walk the doc table applying attribute
+	// predicates only.
+	StrategyScan
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyIntersect:
+		return "intersect"
+	case StrategySignature:
+		return "signature"
+	case StrategyScan:
+		return "scan"
+	default:
+		return "empty"
+	}
+}
+
+// Plan explains how one segment will be searched (exposed for tests and
+// the planner experiment; execution uses the same numbers).
+type Plan struct {
+	Strategy Strategy
+	// TermCounts are the per-term posting counts in execution order
+	// (ascending — the rarest term drives the intersection).
+	TermCounts []int
+	// CostIntersect and CostSignature are the planner's abstract cost
+	// estimates (comparable to each other, not to wall time).
+	CostIntersect float64
+	CostSignature float64
+}
+
+// Planner cost weights. A skip-table probe costs a binary search plus at
+// most one block decode; a signature containment test costs sigWords word
+// compares per doc. The constants only need to get the crossover right:
+// intersection wins while the driver list is short relative to the doc
+// count; the signature scan wins when every term is common.
+const (
+	costSeek    = 24.0 // one seekGE into a posting list
+	costSigWord = 0.9  // one 64-bit signature word test
+	costEmit    = 1.0  // one candidate verification step
+)
+
+// planSegment resolves the query's terms against one segment and picks the
+// strategy. The resolved term entries are appended to sc.terms (ordered by
+// ascending posting count).
+func (sc *Searcher) planSegment(g *Segment, q *Query) Plan {
+	sc.terms = sc.terms[:0]
+	if len(q.Terms) == 0 {
+		if q.HasFilters() {
+			return Plan{Strategy: StrategyScan}
+		}
+		return Plan{Strategy: StrategyEmpty}
+	}
+	for _, tok := range q.Terms {
+		te := g.findTerm(tok)
+		if te == nil {
+			return Plan{Strategy: StrategyEmpty}
+		}
+		sc.terms = append(sc.terms, te)
+	}
+	// Ascending posting count: insertion sort on the tiny slice.
+	for i := 1; i < len(sc.terms); i++ {
+		for j := i; j > 0 && sc.terms[j].count < sc.terms[j-1].count; j-- {
+			sc.terms[j], sc.terms[j-1] = sc.terms[j-1], sc.terms[j]
+		}
+	}
+	p := Plan{Strategy: StrategyIntersect}
+	if cap(sc.counts) < len(sc.terms) {
+		sc.counts = make([]int, 0, len(q.Terms))
+	}
+	sc.counts = sc.counts[:0]
+	for _, te := range sc.terms {
+		sc.counts = append(sc.counts, int(te.count))
+	}
+	p.TermCounts = sc.counts
+
+	driver := float64(sc.terms[0].count)
+	p.CostIntersect = driver * float64(len(sc.terms)-1) * costSeek
+	if g.sigWords > 0 && len(sc.terms) > 1 {
+		// Expected true matches under independence, plus the false-positive
+		// tail of the superimposed code (~docs/1024 at the default config).
+		sel := 1.0
+		for _, te := range sc.terms {
+			sel *= float64(te.count) / float64(len(g.ids))
+		}
+		cand := sel*float64(len(g.ids)) + float64(len(g.ids))/1024
+		p.CostSignature = float64(len(g.ids)*g.sigWords)*costSigWord +
+			cand*float64(len(sc.terms))*(costSeek+costEmit)
+		if p.CostSignature < p.CostIntersect {
+			p.Strategy = StrategySignature
+		}
+	}
+	return p
+}
+
+// PlanFor returns the plan the searcher would execute against the given
+// segment — exposed for tests and EXPERIMENTS.md; the returned TermCounts
+// slice is only valid until the next call on the same Searcher.
+func (sc *Searcher) PlanFor(g *Segment, q Query) Plan {
+	sc.normalize(&q)
+	return sc.planSegment(g, &q)
+}
+
+// searchSegment appends the segment's matching ids (ascending) to sc.arena.
+func (sc *Searcher) searchSegment(g *Segment, q *Query) {
+	plan := sc.planSegment(g, q)
+	switch plan.Strategy {
+	case StrategyEmpty:
+	case StrategyScan:
+		for i := range g.ids {
+			if q.matchAttrs(g.modes[i], g.dates[i]) {
+				sc.arena = append(sc.arena, g.ids[i])
+			}
+		}
+	case StrategyIntersect:
+		sc.intersectSegment(g, q)
+	case StrategySignature:
+		sc.signatureSegment(g, q)
+	}
+}
+
+// intersectSegment drives the shortest posting list through skip-table
+// seeks into the others. Allocation-free once the searcher scratch is warm.
+func (sc *Searcher) intersectSegment(g *Segment, q *Query) {
+	if cap(sc.iters) < len(sc.terms) {
+		sc.iters = make([]postingIter, len(sc.terms))
+	}
+	sc.iters = sc.iters[:len(sc.terms)]
+	for i, te := range sc.terms {
+		sc.iters[i].reset(g, te)
+	}
+	drv := &sc.iters[0]
+	ord, ok := drv.next()
+	for ok {
+		matched := true
+		for i := 1; i < len(sc.iters); i++ {
+			got, stillOK := sc.iters[i].seekGE(ord)
+			if !stillOK {
+				return
+			}
+			if got != ord {
+				// This list jumped ahead; catch the driver up to it and
+				// re-test from the top (seekGE never rewinds, so every
+				// list advances monotonically).
+				ord, ok = drv.seekGE(got)
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		sc.emit(g, q, ord)
+		ord, ok = drv.next()
+	}
+}
+
+func (sc *Searcher) emit(g *Segment, q *Query, ord uint32) {
+	if q.matchAttrs(g.modes[ord], g.dates[ord]) {
+		sc.arena = append(sc.arena, g.ids[ord])
+	}
+}
+
+// signatureSegment scans the signature block for probe containment, then
+// verifies each candidate against the postings (the superimposed code
+// admits false positives, never false negatives).
+func (sc *Searcher) signatureSegment(g *Segment, q *Query) {
+	if cap(sc.probe) < g.sigWords {
+		sc.probe = make([]uint64, g.sigWords)
+	}
+	sc.probe = sc.probe[:g.sigWords]
+	for i := range sc.probe {
+		sc.probe[i] = 0
+	}
+	for _, tok := range q.Terms {
+		sigTermBits(tok, sc.probe, g.bitsPerTerm)
+	}
+	sc.cand = sc.cand[:0]
+	for ord := 0; ord < len(g.ids); ord++ {
+		if !q.matchAttrs(g.modes[ord], g.dates[ord]) {
+			continue
+		}
+		row := g.sigs[ord*g.sigWords : (ord+1)*g.sigWords]
+		match := true
+		for i, w := range sc.probe {
+			if row[i]&w != w {
+				match = false
+				break
+			}
+		}
+		if match {
+			sc.cand = append(sc.cand, uint32(ord))
+		}
+	}
+	if len(sc.cand) == 0 {
+		return
+	}
+	// Verify candidates term by term, rarest first; candidates are
+	// ascending, so each list is walked forward at most once.
+	if cap(sc.iters) < len(sc.terms) {
+		sc.iters = make([]postingIter, len(sc.terms))
+	}
+	sc.iters = sc.iters[:len(sc.terms)]
+	for i, te := range sc.terms {
+		sc.iters[i].reset(g, te)
+	}
+	for i := range sc.iters {
+		it := &sc.iters[i]
+		sc.cand2 = sc.cand2[:0]
+		for _, ord := range sc.cand {
+			got, ok := it.seekGE(ord)
+			if !ok {
+				break
+			}
+			if got == ord {
+				sc.cand2 = append(sc.cand2, ord)
+			}
+		}
+		sc.cand, sc.cand2 = sc.cand2, sc.cand
+		if len(sc.cand) == 0 {
+			return
+		}
+	}
+	for _, ord := range sc.cand {
+		sc.arena = append(sc.arena, g.ids[ord])
+	}
+}

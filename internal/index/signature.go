@@ -47,17 +47,9 @@ func (sf *SignatureFile) Objects() int { return len(sf.sigs) }
 func (sf *SignatureFile) SizeBytes() int { return len(sf.sigs) * sf.width * 8 }
 
 func (sf *SignatureFile) termBits(tok string, sig []uint64) {
-	// Two independent hashes combined (Kirsch–Mitzenmacher).
-	var h1, h2 uint64 = 14695981039346656037, 5381
-	for i := 0; i < len(tok); i++ {
-		h1 = (h1 ^ uint64(tok[i])) * 1099511628211
-		h2 = h2*33 + uint64(tok[i])
-	}
-	bits := uint64(sf.width * 64)
-	for k := 0; k < sf.bitsPerTerm; k++ {
-		b := (h1 + uint64(k)*h2) % bits
-		sig[b/64] |= 1 << (b % 64)
-	}
+	// Shared with the segment signature block (builder.go) so both
+	// encodings agree.
+	sigTermBits(tok, sig, sf.bitsPerTerm)
 }
 
 // AddObject computes and stores the object's signature over its text words,

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"minos/internal/index"
+	"minos/internal/object"
+)
+
+// TestQueryConcurrentWithPublish drives queries in parallel with a stream
+// of publishes. Before the segmented index, Query held the server-wide
+// s.mu for the whole index walk — queries serialized with publishes and
+// with each other; now both run lock-free against the index snapshot. Under
+// -race this is the query-vs-publish safety proof; the count assertions
+// prove a query never misses an object whose Publish completed first.
+func TestQueryConcurrentWithPublish(t *testing.T) {
+	const docs = 400
+	s := newServer(t, 1<<16)
+	var published atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				floor := published.Load()
+				ids := s.Query("catalog")
+				if int64(len(ids)) < floor {
+					t.Errorf("query saw %d objects, %d were published", len(ids), floor)
+					return
+				}
+				for i := 1; i < len(ids); i++ {
+					if ids[i] <= ids[i-1] {
+						t.Errorf("result not strictly ascending at %d", i)
+						return
+					}
+				}
+				// Planned queries share the same snapshot path.
+				audio := s.QueryPlanned(index.Query{Terms: []string{"catalog"}, Kind: index.KindAudio})
+				if int64(len(audio)) > int64(len(s.Query("catalog"))) {
+					t.Errorf("filtered result larger than unfiltered")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < docs; i++ {
+		mode := object.Visual
+		if i%3 == 0 {
+			mode = object.Audio
+		}
+		o, err := object.NewBuilder(object.ID(i+1), fmt.Sprintf("catalog entry %d", i), mode).
+			Text(fmt.Sprintf(".title Entry\ncatalog item tag%04d described here.\n", i)).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Publish(o); err != nil {
+			t.Fatal(err)
+		}
+		published.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := len(s.Query("catalog")); got != docs {
+		t.Fatalf("final query saw %d objects, want %d", got, docs)
+	}
+	// Attribute predicates against the final corpus.
+	audio := s.QueryPlanned(index.Query{Terms: []string{"catalog"}, Kind: index.KindAudio})
+	want := 0
+	for i := 0; i < docs; i++ {
+		if i%3 == 0 {
+			want++
+		}
+	}
+	if len(audio) != want {
+		t.Fatalf("audio-filtered query saw %d objects, want %d", len(audio), want)
+	}
+	// And each object's unique term still resolves exactly.
+	for _, i := range []int{0, docs / 2, docs - 1} {
+		ids := s.Query(fmt.Sprintf("tag%04d", i))
+		if len(ids) != 1 || ids[0] != object.ID(i+1) {
+			t.Fatalf("tag%04d -> %v, want [%d]", i, ids, i+1)
+		}
+	}
+}

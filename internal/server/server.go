@@ -41,8 +41,11 @@ const MiniatureSize = 64
 // paper's single-optical-head queueing behaviour — so cache hits never
 // queue behind a seek.
 type Server struct {
-	arch  *archiver.Archiver
-	idx   *index.Index
+	arch *archiver.Archiver
+	// store is the segmented content index. It synchronizes itself
+	// (lock-free snapshot queries, bounded memtable, background merge), so
+	// neither Query nor Adopt involves s.mu for content retrieval.
+	store *index.Store
 	cache *BlockCache
 
 	// devSem bounds concurrent device reads (the configurable "number of
@@ -50,8 +53,7 @@ type Server struct {
 	// contention signal reported by Stats.
 	devSem *sched.Semaphore
 
-	// mu guards the serving maps below (and the index, whose AddObject
-	// mutates shared postings).
+	// mu guards the serving maps below.
 	mu       sync.RWMutex
 	minis    map[object.ID]*img.Bitmap
 	modes    map[object.ID]object.Mode
@@ -210,7 +212,7 @@ func (s *Server) SetReadAhead(n int) {
 func New(arch *archiver.Archiver, opts ...Option) *Server {
 	s := &Server{
 		arch:     arch,
-		idx:      index.New(),
+		store:    index.NewStore(index.Config{}),
 		cache:    NewBlockCache(256),
 		devSem:   sched.NewSemaphore(1),
 		adm:      sched.NewAdmission(0),
@@ -250,8 +252,8 @@ func (s *Server) ClusterMap() (epoch uint64, payload []byte, ok bool) {
 // directly; tests and tools do).
 func (s *Server) Archiver() *archiver.Archiver { return s.arch }
 
-// Index exposes the content index.
-func (s *Server) Index() *index.Index { return s.idx }
+// ContentIndex exposes the segmented content index store.
+func (s *Server) ContentIndex() *index.Store { return s.store }
 
 // Publish archives the object, indexes its content, and builds its
 // miniature for the sequential browsing interface. It is the ingestion path
@@ -270,8 +272,11 @@ func (s *Server) Publish(o *object.Object, shared ...archiver.SharedPart) (time.
 // (archiver.Recover) use it to rebuild serving state from the medium.
 func (s *Server) Adopt(o *object.Object) {
 	mini := buildMiniature(o) // pure; keep it outside the lock
+	// The content index synchronizes itself: publishes accumulate in its
+	// memtable and seal into immutable segments without touching s.mu, so
+	// queries never serialize with the serving-map update below.
+	s.store.AddObject(o)
 	s.mu.Lock()
-	s.idx.AddObject(o)
 	s.minis[o.ID] = mini
 	s.modes[o.ID] = o.Mode
 	if o.Mode == object.Audio {
@@ -674,10 +679,18 @@ func (s *Server) Versions(id object.ID) []object.ID { return s.arch.VersionChain
 
 // Query evaluates a content query ("users submit queries based on object
 // content from their workstation", §5) and returns qualifying object ids.
+// It takes no server lock: the segmented index serves queries off an
+// immutable snapshot, so queries run concurrently with each other and with
+// publishes.
 func (s *Server) Query(terms ...string) []object.ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.idx.Query(terms...)
+	return s.store.Search(index.Query{Terms: terms}, nil)
+}
+
+// QueryPlanned evaluates a planned content query: AND terms (ordered and
+// executed by the index planner) combined with attribute predicates from
+// the descriptor — driving mode and archive date range.
+func (s *Server) QueryPlanned(q index.Query) []object.ID {
+	return s.store.Search(q, nil)
 }
 
 // Miniature returns the object's miniature, or nil.

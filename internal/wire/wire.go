@@ -24,6 +24,7 @@ import (
 
 	"minos/internal/descriptor"
 	img "minos/internal/image"
+	"minos/internal/index"
 	"minos/internal/object"
 	"minos/internal/pool"
 	"minos/internal/server"
@@ -62,7 +63,20 @@ const (
 	// fleet. The request carries the client's current epoch; a server whose
 	// map has not moved answers "unchanged" without resending the payload.
 	OpClusterMap = 12
+	// OpQueryPlanned evaluates a planned content query: conjunctive terms
+	// plus attribute predicates (media kind, date range) pushed down to the
+	// server's segmented index, where the planner picks the evaluation
+	// strategy per segment. Request: [kind u8][dateFrom u32][dateTo u32]
+	// [n u32][term strings]. Pre-planner servers answer with an unknown-op
+	// error; the client falls back to OpQuery for filterless queries.
+	// (Ops 13-16 are the stream ops, see stream.go.)
+	OpQueryPlanned = 17
 )
+
+// MaxQueryTerms bounds the conjunction accepted by one OpQueryPlanned
+// request; longer conjunctions are rejected rather than letting a client
+// drive an arbitrarily wide plan.
+const MaxQueryTerms = 64
 
 // MaxMiniatureBatch bounds the ids accepted by one OpMiniatures request;
 // larger batches are rejected rather than letting a client drive an
@@ -256,6 +270,39 @@ func (h *Handler) HandleAs(tenant uint64, req []byte) []byte {
 			terms = append(terms, s)
 		}
 		return idsResp(h.Srv.Query(terms...))
+	case OpQueryPlanned:
+		kind, err := c.u8()
+		if err != nil {
+			return errResp(err)
+		}
+		if index.KindFilter(kind) > index.KindAudio {
+			return errResp(fmt.Errorf("wire: unknown kind filter %d", kind))
+		}
+		from, err := c.u32()
+		if err != nil {
+			return errResp(err)
+		}
+		to, err := c.u32()
+		if err != nil {
+			return errResp(err)
+		}
+		n, err := c.u32()
+		if err != nil {
+			return errResp(err)
+		}
+		if n > MaxQueryTerms {
+			return errResp(fmt.Errorf("wire: query of %d terms exceeds %d", n, MaxQueryTerms))
+		}
+		q := index.Query{Kind: index.KindFilter(kind), DateFrom: from, DateTo: to}
+		q.Terms = make([]string, 0, min(int(n), len(c.rest())/4+1))
+		for i := uint32(0); i < n; i++ {
+			s, err := c.str()
+			if err != nil {
+				return errResp(err)
+			}
+			q.Terms = append(q.Terms, s)
+		}
+		return idsResp(h.Srv.QueryPlanned(q))
 	case OpDescriptor:
 		id, err := c.u64()
 		if err != nil {
@@ -756,6 +803,44 @@ func (c *Client) QueryCtx(ctx context.Context, terms ...string) ([]object.ID, ti
 // Query evaluates a content query on the server.
 func (c *Client) Query(terms ...string) ([]object.ID, time.Duration, error) {
 	return c.QueryCtx(context.Background(), terms...)
+}
+
+// encodeQueryPlannedReq builds an OpQueryPlanned request message.
+func encodeQueryPlannedReq(q index.Query) []byte {
+	req := []byte{OpQueryPlanned, byte(q.Kind)}
+	req = appendU32(req, q.DateFrom)
+	req = appendU32(req, q.DateTo)
+	req = appendU32(req, uint32(len(q.Terms)))
+	for _, t := range q.Terms {
+		req = appendStr(req, t)
+	}
+	return req
+}
+
+// QueryPlannedCtx evaluates a planned content query — conjunctive terms
+// plus attribute predicates — on the server's segmented index, bounded by
+// ctx. Against a pre-planner server the op fails as unknown; a filterless
+// query then falls back to the legacy OpQuery (same result set), while a
+// query with attribute predicates reports the error, since the old op
+// cannot honour them.
+func (c *Client) QueryPlannedCtx(ctx context.Context, q index.Query) ([]object.ID, time.Duration, error) {
+	if len(q.Terms) > MaxQueryTerms {
+		return nil, 0, fmt.Errorf("wire: query of %d terms exceeds %d", len(q.Terms), MaxQueryTerms)
+	}
+	payload, dur, err := c.callCtx(ctx, encodeQueryPlannedReq(q))
+	if err != nil {
+		if isUnknownOp(err) && !q.HasFilters() {
+			return c.QueryCtx(ctx, q.Terms...)
+		}
+		return nil, dur, err
+	}
+	ids, err := decodeIDs(payload)
+	return ids, dur, err
+}
+
+// QueryPlanned evaluates a planned content query on the server.
+func (c *Client) QueryPlanned(q index.Query) ([]object.ID, time.Duration, error) {
+	return c.QueryPlannedCtx(context.Background(), q)
 }
 
 // DescriptorCtx fetches and parses an object descriptor, bounded by ctx.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"minos/internal/descriptor"
+	"minos/internal/index"
 	"minos/internal/object"
 	"minos/internal/server"
 	"minos/internal/voice"
@@ -29,9 +30,13 @@ import (
 // id is the routing key that keeps descriptor and piece reads on the same
 // shard. The single-server client ignores the id.
 type Backend interface {
-	// QueryCtx evaluates a content query; ListCtx returns every published
-	// object id. Durations are server device time attributed to the call.
+	// QueryCtx evaluates a content query; QueryPlannedCtx evaluates a
+	// planned one (conjunctive terms plus attribute predicates, pushed
+	// down to the server's segmented index); ListCtx returns every
+	// published object id. Durations are server device time attributed to
+	// the call.
 	QueryCtx(ctx context.Context, terms ...string) ([]object.ID, time.Duration, error)
+	QueryPlannedCtx(ctx context.Context, q index.Query) ([]object.ID, time.Duration, error)
 	ListCtx(ctx context.Context) ([]object.ID, time.Duration, error)
 
 	// DescriptorCtx fetches an object's presentation descriptor;

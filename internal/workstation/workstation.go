@@ -21,6 +21,7 @@ import (
 	"minos/internal/descriptor"
 	"minos/internal/formatter"
 	img "minos/internal/image"
+	"minos/internal/index"
 	"minos/internal/object"
 	"minos/internal/wire"
 )
@@ -37,8 +38,9 @@ type Session struct {
 	// every refinement applied to it, in order. After a reconnect (the
 	// server may have restarted) the session replays the log to re-derive
 	// the result set instead of trusting the one fetched before the
-	// failure.
-	queryLog [][]string
+	// failure. Entries carry full planned queries so attribute predicates
+	// survive the replay, not just terms.
+	queryLog []index.Query
 	// seenReconnects is the client reconnect count the session last
 	// synchronized against (see maybeResync).
 	seenReconnects int64
@@ -113,14 +115,23 @@ func (s *Session) PrefetchStats() PrefetchStats {
 // QueryCtx submits a content query and installs the qualifying objects as
 // the sequential browsing result set. It returns the number of hits.
 func (s *Session) QueryCtx(ctx context.Context, terms ...string) (int, error) {
-	ids, dur, err := s.be.QueryCtx(ctx, terms...)
+	return s.QueryPlannedCtx(ctx, index.Query{Terms: append([]string(nil), terms...)})
+}
+
+// QueryPlannedCtx submits a planned content query — conjunctive terms plus
+// attribute predicates (media kind, date range) — and installs the
+// qualifying objects as the browsing result set. Filterless queries take
+// the same path; against a pre-planner server the backend falls back to
+// the legacy query op for them.
+func (s *Session) QueryPlannedCtx(ctx context.Context, q index.Query) (int, error) {
+	ids, dur, err := s.be.QueryPlannedCtx(ctx, q)
 	if err != nil {
 		return 0, err
 	}
 	s.FetchTime += dur
 	s.results = ids
 	s.cursor = -1
-	s.queryLog = [][]string{append([]string(nil), terms...)}
+	s.queryLog = []index.Query{q}
 	s.seenReconnects = s.be.Reconnects()
 	if s.pf != nil {
 		s.pf.invalidate()
@@ -145,7 +156,7 @@ func (s *Session) RefineCtx(ctx context.Context, terms ...string) (int, error) {
 	s.FetchTime += dur
 	s.results = intersect(s.results, ids)
 	s.cursor = -1
-	s.queryLog = append(s.queryLog, append([]string(nil), terms...))
+	s.queryLog = append(s.queryLog, index.Query{Terms: append([]string(nil), terms...)})
 	if s.pf != nil {
 		s.pf.invalidate()
 	}
@@ -193,8 +204,10 @@ func (s *Session) maybeResync(ctx context.Context) {
 		return
 	}
 	var rebuilt []object.ID
-	for i, terms := range s.queryLog {
-		ids, dur, err := s.be.QueryCtx(ctx, terms...)
+	for i, q := range s.queryLog {
+		// Replay preserves each entry's attribute predicates; the backend
+		// degrades filterless entries to the legacy op on old servers.
+		ids, dur, err := s.be.QueryPlannedCtx(ctx, q)
 		if err != nil {
 			// Keep the stale result set and the unsynchronized counter:
 			// the next cursor step tries again.
